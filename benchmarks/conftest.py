@@ -1,0 +1,29 @@
+"""Shared benchmark fixtures.
+
+Contexts (federation + prepared trace) are built once per session and
+persisted to the repo-local ``.repro_cache`` directory, so repeated
+benchmark runs skip trace re-execution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import build_context
+
+
+@pytest.fixture(scope="session")
+def edr_context():
+    return build_context("edr")
+
+
+@pytest.fixture(scope="session")
+def dr1_context():
+    return build_context("dr1")
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(
+        func, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

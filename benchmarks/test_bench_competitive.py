@@ -1,0 +1,54 @@
+"""Empirical competitive ratios vs the relaxed offline lower bound.
+
+Theorem 5.1 guarantees OnlineBY is (4*alpha+2)-competitive; this bench
+measures how far each algorithm actually sits from a per-object offline
+lower bound on the real workload.
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import measure_competitive_ratio
+from repro.core.policies import make_policy
+from repro.sim.reporting import format_table
+
+POLICIES = ("rate-profile", "online-by", "space-eff-by")
+
+
+def run_measurement(context, granularity="table", fraction=0.3):
+    capacity = context.capacity_for(fraction)
+    reports = {}
+    for name in POLICIES:
+        policy = make_policy(name, capacity)
+        reports[name] = measure_competitive_ratio(
+            context.prepared, context.federation, policy, granularity
+        )
+    return reports
+
+
+def test_empirical_competitive_ratios(benchmark, edr_context):
+    reports = benchmark.pedantic(
+        run_measurement, args=(edr_context,), rounds=1, iterations=1
+    )
+    rows = [
+        [
+            name,
+            report.policy_cost / 1e6,
+            report.opt_lower_bound / 1e6,
+            f"{report.empirical_ratio:.2f}",
+        ]
+        for name, report in reports.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["policy", "cost (MB)", "OPT lower bound (MB)",
+             "empirical ratio"],
+            rows,
+            title="Empirical competitive ratios (tables, 30% cache)",
+        )
+    )
+    for name, report in reports.items():
+        assert report.opt_lower_bound > 0
+        # Far looser than the O(lg^2 k) theory bound; a blow-up here
+        # means an algorithm regression, not a theory violation.
+        assert report.empirical_ratio < 30.0, name

@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the SQL engine substrate (parse / plan / execute).
+
+These are classic pytest-benchmark timings (many rounds) — they track
+the cost of the primitives every experiment is built on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlengine import QueryEngine
+from repro.sqlengine.parser import parse
+from repro.workload.sdss_schema import SMALL, build_sdss_catalog
+
+RANGE_QUERY = (
+    "SELECT objID, ra, dec, modelMag_g, modelMag_r FROM PhotoObj "
+    "WHERE ra BETWEEN 100.0 AND 180.0 AND dec BETWEEN -20.0 AND 30.0"
+)
+JOIN_QUERY = (
+    "SELECT p.objID, p.ra, p.dec, p.modelMag_g, s.z AS redshift "
+    "FROM SpecObj s, PhotoObj p "
+    "WHERE p.objID = s.objID AND s.specClass = 2 AND s.zConf > 0.8 "
+    "AND p.modelMag_g > 17.0 AND s.z < 0.1"
+)
+AGG_QUERY = (
+    "SELECT specClass, COUNT(*) AS n, AVG(z) AS meanz FROM SpecObj "
+    "WHERE z < 0.2 GROUP BY specClass ORDER BY specClass"
+)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return QueryEngine(build_sdss_catalog(SMALL, seed=12))
+
+
+def test_parse_join_query(benchmark):
+    statement = benchmark(parse, JOIN_QUERY)
+    assert len(statement.tables) == 2
+
+
+def test_plan_join_query(benchmark, engine):
+    plan = benchmark(engine.plan, JOIN_QUERY)
+    assert plan.join_edges
+
+
+def test_execute_range_scan(benchmark, engine):
+    result = benchmark(engine.execute, RANGE_QUERY)
+    assert result.row_count > 0
+
+
+def test_execute_hash_join(benchmark, engine):
+    result = benchmark(engine.execute, JOIN_QUERY)
+    assert result.columns[-1].name == "redshift"
+
+
+def test_execute_aggregate(benchmark, engine):
+    result = benchmark(engine.execute, AGG_QUERY)
+    assert result.row_count >= 1
+
+
+def test_yield_measurement(benchmark, engine):
+    size = benchmark(engine.yield_bytes, RANGE_QUERY)
+    assert size > 0

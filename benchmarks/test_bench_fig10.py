@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 10 (cache-size sweep, column caching)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10_cache_size_columns
+
+
+def test_fig10_cache_size_columns(benchmark, edr_context):
+    result = run_once(benchmark, fig10_cache_size_columns.run, edr_context)
+    print()
+    print(fig10_cache_size_columns.render(result))
+    assert result.shape_holds

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 4 (query containment)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig4_containment
+
+
+def test_fig4_containment(benchmark, edr_context):
+    result = run_once(benchmark, fig4_containment.run, edr_context)
+    print()
+    print(fig4_containment.render(result))
+    assert result.shape_holds, "containment should be rare"
+    assert result.report.total_queries > 0

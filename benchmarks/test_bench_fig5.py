@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 5 (column locality)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig5_column_locality
+
+
+def test_fig5_column_locality(benchmark, edr_context):
+    result = run_once(benchmark, fig5_column_locality.run, edr_context)
+    print()
+    print(fig5_column_locality.render(result))
+    assert result.shape_holds, "column reuse should be concentrated"

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 6 (table locality)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig6_table_locality
+
+
+def test_fig6_table_locality(benchmark, edr_context):
+    result = run_once(benchmark, fig6_table_locality.run, edr_context)
+    print()
+    print(fig6_table_locality.render(result))
+    assert result.shape_holds, "table reuse should be concentrated"

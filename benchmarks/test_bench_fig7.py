@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 7 (network cost series, table caching)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig7_cost_tables
+
+
+def test_fig7_cost_tables(benchmark, edr_context):
+    result = run_once(benchmark, fig7_cost_tables.run, edr_context)
+    print()
+    print(fig7_cost_tables.render(result))
+    assert result.shape_holds, (
+        "bypass-yield should beat GDS and no-cache by >=4x"
+    )
+    # Static is the floor; rate-profile approaches it from above.
+    assert result.total("static") <= result.total("rate-profile")

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 8 (network cost series, column caching)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig8_cost_columns
+
+
+def test_fig8_cost_columns(benchmark, edr_context):
+    result = run_once(benchmark, fig8_cost_columns.run, edr_context)
+    print()
+    print(fig8_cost_columns.render(result))
+    assert result.shape_holds
+    assert result.total("static") <= result.total("rate-profile")

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 9 (cache-size sweep, table caching)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig9_cache_size_tables
+
+
+def test_fig9_cache_size_tables(benchmark, edr_context):
+    result = run_once(benchmark, fig9_cache_size_tables.run, edr_context)
+    print()
+    print(fig9_cache_size_tables.render(result))
+    assert result.shape_holds
+    # The paper's first conclusion: Rate-Profile performs poorly at very
+    # small cache sizes relative to its own steady state.
+    tiny = result.total_at("rate-profile", 0.1)
+    steady = result.total_at("rate-profile", 0.5)
+    assert tiny > steady

@@ -1,0 +1,47 @@
+"""Micro-benchmark: live proxy throughput (online query path).
+
+Times the full per-query pipeline — plan, evaluate, attribute, decide,
+account — for both a cache-hit-heavy and a bypass-heavy pattern.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.policies.rate_profile import RateProfilePolicy
+from repro.core.proxy import BypassYieldProxy
+from repro.federation import Federation
+from repro.workload.sdss_schema import SMALL, build_sdss_catalog
+
+HOT = (
+    "SELECT objID, ra, dec, modelMag_r FROM PhotoTag "
+    "WHERE ra BETWEEN 40.0 AND 200.0"
+)
+COLD = "SELECT frameID, sky, skyErr FROM Frame WHERE run = 3 AND quality >= 2"
+
+
+@pytest.fixture(scope="module")
+def warm_proxy():
+    federation = Federation.single_site(build_sdss_catalog(SMALL), "sdss")
+    proxy = BypassYieldProxy(
+        federation,
+        RateProfilePolicy(
+            capacity_bytes=federation.total_database_bytes() // 3
+        ),
+        granularity="table",
+    )
+    for _ in range(3):  # let the hot table get cached
+        proxy.query(HOT)
+    return proxy
+
+
+def test_proxy_cache_hit_path(benchmark, warm_proxy):
+    response = benchmark(warm_proxy.query, HOT)
+    assert response.served_from_cache
+
+
+def test_proxy_bypass_path(benchmark, warm_proxy):
+    response = benchmark(warm_proxy.query, COLD)
+    assert not response.served_from_cache

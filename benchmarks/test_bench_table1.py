@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 1 (cost breakdown, column caching)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table1_column_breakdown
+
+
+def test_table1_column_breakdown(benchmark, edr_context, dr1_context):
+    result = run_once(
+        benchmark, table1_column_breakdown.run, (edr_context, dr1_context)
+    )
+    print()
+    print(table1_column_breakdown.render(result))
+    assert result.shape_holds
+    assert [s.flavor for s in result.sets] == ["edr", "dr1"]

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 2 (cost breakdown, table caching)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table2_table_breakdown
+
+
+def test_table2_table_breakdown(benchmark, edr_context, dr1_context):
+    result = run_once(
+        benchmark, table2_table_breakdown.run, (edr_context, dr1_context)
+    )
+    print()
+    print(table2_table_breakdown.render(result))
+    assert result.shape_holds

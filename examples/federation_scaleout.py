@@ -1,0 +1,84 @@
+"""The scalability story: total WAN traffic as the federation grows.
+
+The paper's motivation is SkyQuery's "impending scalability crisis":
+network performance limits the federation at fewer than 10 sites, with
+120 expected.  Because each mediator cache acts independently (Section
+3), the federation's total traffic is the sum over client sites — this
+script grows the client population and compares the no-cache total
+against bypass-yield caching at every site.
+
+Run:  python examples/federation_scaleout.py
+"""
+
+from __future__ import annotations
+
+from repro.core import RateProfilePolicy
+from repro.federation import Federation, Mediator
+from repro.sim import ClientSite, simulate_fleet
+from repro.workload import (
+    TINY,
+    TraceConfig,
+    build_sdss_catalog,
+    generate_trace,
+    prepare_trace,
+)
+
+CLIENT_COUNTS = (1, 2, 4, 8)
+QUERIES_PER_CLIENT = 300
+
+
+def main() -> None:
+    federation = Federation.single_site(build_sdss_catalog(TINY), "sdss")
+    mediator = Mediator(federation)
+    database = federation.total_database_bytes()
+    capacity = database * 3 // 10
+
+    # Each client site issues its own workload (different seeds: real
+    # user communities differ), with a bypass-yield cache at its
+    # mediator.
+    client_traces = []
+    for client in range(max(CLIENT_COUNTS)):
+        trace = generate_trace(
+            TraceConfig(
+                num_queries=QUERIES_PER_CLIENT,
+                flavor="edr",
+                seed=9000 + client,
+            ),
+            TINY,
+        )
+        client_traces.append(prepare_trace(trace, mediator))
+
+    print(
+        f"{'clients':>7} {'no-cache total':>16} "
+        f"{'bypass-yield total':>20} {'savings':>8}"
+    )
+    for count in CLIENT_COUNTS:
+        fleet = simulate_fleet(
+            federation,
+            [
+                ClientSite(
+                    name=f"site-{i}",
+                    trace=client_traces[i],
+                    policy=RateProfilePolicy(capacity_bytes=capacity),
+                )
+                for i in range(count)
+            ],
+            granularity="table",
+        )
+        print(
+            f"{count:>7} {fleet.sequence_bytes / 1e6:>13.2f} MB "
+            f"{fleet.total_bytes / 1e6:>17.2f} MB "
+            f"{fleet.savings_factor:>7.1f}x"
+        )
+
+    print(
+        "\nEvery added client multiplies the uncached WAN load; with an "
+        "altruistic\nbypass-yield cache at each mediator the shared "
+        "network sees only the\nresidual bypasses and the (amortized) "
+        "object loads — the federation can\ngrow without the network "
+        "melting."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Bypass-yield caching for scientific database federations.
+
+Reproduction of Malik, Burns, Chaudhary, "Bypass Caching: Making
+Scientific Databases Good Network Citizens" (ICDE 2005).
+
+Subpackages:
+
+* :mod:`repro.sqlengine` — mini SQL engine (parser, planner, executor).
+* :mod:`repro.federation` — SkyQuery-like federation simulator with WAN
+  byte accounting.
+* :mod:`repro.workload` — SDSS-style synthetic data/query/trace generation
+  and the workload analyzers behind Figures 4-6.
+* :mod:`repro.core` — the paper's contribution: yield model, BYHR/BYU
+  metrics, Rate-Profile / OnlineBY / SpaceEffBY algorithms, baselines,
+  and the live :class:`~repro.core.proxy.BypassYieldProxy`.
+* :mod:`repro.sim` — trace-driven simulator and experiment sweep runner.
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+The most common entry points are re-exported here::
+
+    from repro import BypassYieldProxy, Federation, RateProfilePolicy
+"""
+
+from repro.core.policies import make_policy
+from repro.core.policies.online import OnlineBYPolicy, SpaceEffBYPolicy
+from repro.core.policies.rate_profile import RateProfilePolicy
+from repro.core.proxy import BypassYieldProxy
+from repro.federation.federation import Federation
+from repro.federation.mediator import Mediator
+from repro.federation.server import DatabaseServer
+from repro.sim.simulator import Simulator
+from repro.sqlengine.catalog import Catalog
+from repro.sqlengine.executor import QueryEngine
+from repro.workload.generator import dr1_trace, edr_trace, generate_trace
+from repro.workload.prepare import prepare_trace
+from repro.workload.sdss_schema import build_sdss_catalog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BypassYieldProxy",
+    "Catalog",
+    "DatabaseServer",
+    "Federation",
+    "Mediator",
+    "OnlineBYPolicy",
+    "QueryEngine",
+    "RateProfilePolicy",
+    "Simulator",
+    "SpaceEffBYPolicy",
+    "build_sdss_catalog",
+    "dr1_trace",
+    "edr_trace",
+    "generate_trace",
+    "make_policy",
+    "prepare_trace",
+]

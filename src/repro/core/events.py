@@ -1,0 +1,90 @@
+"""Event types exchanged between the simulator and cache policies.
+
+A policy never sees SQL: it sees a :class:`CacheQuery` carrying the
+query's yield and, per referenced cacheable object, that object's size,
+fetch cost, and attributed yield share.  It answers with a
+:class:`Decision` describing loads, evictions, and whether the query was
+served from cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import CacheError
+
+
+@dataclass(frozen=True)
+class ObjectRequest:
+    """One cacheable object as referenced by one query.
+
+    Attributes:
+        object_id: ``"Table"`` or ``"Table.column"``.
+        size: Object size in bytes (cache space and load bytes).
+        fetch_cost: Link-weighted cost of loading the object.
+        yield_bytes: This query's yield attributed to this object (the
+            per-object share of the result bytes).
+    """
+
+    object_id: str
+    size: int
+    fetch_cost: float
+    yield_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise CacheError(
+                f"object {self.object_id!r} must have positive size"
+            )
+        if self.fetch_cost < 0:
+            raise CacheError(
+                f"object {self.object_id!r} has negative fetch cost"
+            )
+        if self.yield_bytes < 0:
+            raise CacheError(
+                f"object {self.object_id!r} has negative yield"
+            )
+
+
+@dataclass(frozen=True)
+class CacheQuery:
+    """One workload query from the cache's point of view.
+
+    Attributes:
+        index: Query number (the paper's notion of time).
+        yield_bytes: Total result bytes (shipped to the client whichever
+            path serves the query).
+        bypass_bytes: WAN bytes charged if the query bypasses the cache.
+        objects: Referenced cacheable objects with yield attribution.
+    """
+
+    index: int
+    yield_bytes: int
+    bypass_bytes: int
+    objects: Tuple[ObjectRequest, ...]
+    sql: str = ""
+
+    def __post_init__(self) -> None:
+        if self.yield_bytes < 0 or self.bypass_bytes < 0:
+            raise CacheError("query byte counts must be non-negative")
+
+
+@dataclass
+class Decision:
+    """A policy's answer for one query.
+
+    Attributes:
+        served_from_cache: True when every referenced object was cached
+            (after any loads) and the query was evaluated locally.
+        loads: Object ids fetched into the cache for this query, in order.
+        evictions: Object ids evicted to make room, in order.
+    """
+
+    served_from_cache: bool
+    loads: List[str] = field(default_factory=list)
+    evictions: List[str] = field(default_factory=list)
+
+    @property
+    def bypassed(self) -> bool:
+        return not self.served_from_cache

@@ -1,0 +1,172 @@
+"""Bypass-object caching — the ``A_obj`` subroutine (Section 5.1).
+
+The restricted problem: requests name whole objects of varying size and
+fetch cost; a miss may be *bypassed* (pay the fetch cost, cache
+unchanged) or the object may be fetched into the cache (pay the fetch
+cost, evict as needed).  Irani gives an O(lg^2 k)-competitive algorithm
+for this "optional multi-size paging"; any such algorithm plugs into
+OnlineBY/SpaceEffBY.
+
+This implementation combines:
+
+* a per-object **rent-to-buy** account (:class:`~repro.core.ski_rental.
+  SkiRental`): an object is only fetched once bypassed requests have paid
+  WAN traffic equal to its load cost — the paper's description of its
+  k-competitive algorithm;
+* **Landlord** credit eviction (Young's generalization of Greedy-Dual to
+  multi-size, multi-cost caching): every resident object holds credit,
+  initially its fetch cost and refreshed on hits; making room drains
+  credit in proportion to size and evicts the objects that reach zero
+  first (equivalently: evict ascending by credit/size, then charge the
+  survivors the evicted ratio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.ski_rental import SkiRental
+from repro.core.store import CacheStore
+from repro.errors import CacheError
+
+
+@dataclass
+class ObjectOutcome:
+    """What one object request did to the cache."""
+
+    hit: bool
+    loaded: bool = False
+    evicted: List[str] = field(default_factory=list)
+
+
+class BypassObjectCache:
+    """Rent-to-buy admission + Landlord eviction over a byte store.
+
+    Args:
+        store: Shared byte-accounted storage.
+        admission: ``"rent-to-buy"`` (default; the paper's k-competitive
+            rule — load only after bypassed traffic equals the load
+            cost) or ``"eager"`` (load on first miss, the in-line
+            behaviour; kept for the ablation that isolates what the
+            bypass option itself is worth).
+    """
+
+    ADMISSION_MODES = ("rent-to-buy", "eager")
+
+    def __init__(
+        self, store: CacheStore, admission: str = "rent-to-buy"
+    ) -> None:
+        if admission not in self.ADMISSION_MODES:
+            raise CacheError(
+                f"unknown admission mode {admission!r}; "
+                f"use one of {self.ADMISSION_MODES}"
+            )
+        self.admission = admission
+        self.store = store
+        self._credits: Dict[str, float] = {}
+        self._fetch_costs: Dict[str, float] = {}
+        self._accounts: Dict[str, SkiRental] = {}
+        self.hits = 0
+        self.misses = 0
+        self.loads = 0
+
+    def __contains__(self, object_id: str) -> bool:
+        return object_id in self.store
+
+    def credit(self, object_id: str) -> float:
+        """Current Landlord credit of a resident object."""
+        if object_id not in self.store:
+            raise CacheError(f"{object_id!r} is not cached")
+        return self._credits[object_id]
+
+    def request(
+        self, object_id: str, size: int, fetch_cost: float
+    ) -> ObjectOutcome:
+        """Process one whole-object request.
+
+        Hit: refresh credit.  Miss: pay rent; once rent covers the fetch
+        cost, buy (load, evicting by Landlord).  Objects too large for
+        the cache are always bypassed.
+        """
+        if object_id in self.store:
+            self.hits += 1
+            self._credits[object_id] = fetch_cost
+            self._fetch_costs[object_id] = fetch_cost
+            return ObjectOutcome(hit=True)
+
+        self.misses += 1
+        if not self.store.fits(size):
+            return ObjectOutcome(hit=False)
+
+        account = self._accounts.get(object_id)
+        if account is None or account.buy_cost != fetch_cost:
+            paid = account.paid if account is not None else 0.0
+            account = SkiRental(buy_cost=fetch_cost, paid=paid)
+            self._accounts[object_id] = account
+        if account.bought:
+            # Was bought before but evicted since; start a new rental run.
+            account.reset()
+
+        if self.admission == "eager" or account.should_buy():
+            evicted = self._make_room(size)
+            self.store.add(object_id, size)
+            self._credits[object_id] = fetch_cost
+            self._fetch_costs[object_id] = fetch_cost
+            account.buy()
+            self.loads += 1
+            return ObjectOutcome(hit=False, loaded=True, evicted=evicted)
+
+        account.pay_rent(fetch_cost)
+        return ObjectOutcome(hit=False)
+
+    def _make_room(self, size: int) -> List[str]:
+        """Landlord eviction until ``size`` bytes are free.
+
+        Equivalent to the credit-drain process: evict ascending by
+        credit/size and charge the survivors the largest evicted ratio.
+        """
+        if self.store.has_room(size):
+            return []
+        ranked = sorted(
+            self.store.object_ids(),
+            key=lambda oid: self._credits[oid] / self.store.size_of(oid),
+        )
+        evicted: List[str] = []
+        drained_ratio = 0.0
+        for object_id in ranked:
+            if self.store.has_room(size):
+                break
+            drained_ratio = (
+                self._credits[object_id] / self.store.size_of(object_id)
+            )
+            self.store.remove(object_id)
+            del self._credits[object_id]
+            self._fetch_costs.pop(object_id, None)
+            evicted.append(object_id)
+        # Survivors pay rent proportional to their size (Landlord step).
+        if drained_ratio > 0.0:
+            for object_id in self.store.object_ids():
+                reduced = self._credits[object_id] - (
+                    drained_ratio * self.store.size_of(object_id)
+                )
+                self._credits[object_id] = max(0.0, reduced)
+        if not self.store.has_room(size):
+            raise CacheError(
+                "landlord eviction failed to free enough space; "
+                "object size exceeds capacity"
+            )
+        return evicted
+
+    def evict(self, object_id: str) -> None:
+        """Force-evict (used by tests and consistency hooks)."""
+        self.store.remove(object_id)
+        self._credits.pop(object_id, None)
+        self._fetch_costs.pop(object_id, None)
+        account = self._accounts.get(object_id)
+        if account is not None:
+            account.reset()
+
+    def tracked_accounts(self) -> int:
+        """Number of rent-to-buy accounts (metadata footprint)."""
+        return len(self._accounts)

@@ -1,0 +1,400 @@
+"""Baseline policies the paper compares against.
+
+* :class:`NoCachePolicy` — SkyQuery as-is; every query bypasses (its
+  cumulative cost is the "sequence cost").
+* :class:`GreedyDualSizePolicy` — classical *in-line* web caching (GDS):
+  every miss loads the object; eviction by the Greedy-Dual-Size utility
+  ``H = L + cost/size`` with inflation.  This is the paper's "GDS
+  (without bypass)" comparator and performs poorly on database workloads
+  because it pays whole-object loads for small-yield queries.
+* :class:`GDSPopularityPolicy` — GDSP: GDS with a frequency factor,
+  ``H = L + freq * cost/size``.
+* :class:`LRUPolicy`, :class:`LFUPolicy`, :class:`LRUKPolicy` — the
+  classical page/object-model replacement families, in-line.
+* :class:`StaticPolicy` — optimal-static caching: a fixed, offline-chosen
+  object set; no loads, no evictions (the paper's sanity-check line).
+* :class:`SemanticCachePolicy` — caches whole query results keyed by
+  SQL text (exact-match semantic caching); demonstrates why result reuse
+  fails on scientific workloads (Section 6.1).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.events import CacheQuery, Decision, ObjectRequest
+from repro.core.policies.base import CachePolicy
+from repro.errors import CacheError
+
+
+class NoCachePolicy(CachePolicy):
+    """Always bypass; the federation's behaviour without any cache."""
+
+    name = "no-cache"
+    supports_bypass = True
+
+    def __init__(self, capacity_bytes: int = 1) -> None:
+        super().__init__(capacity_bytes)
+
+    def decide(self, query: CacheQuery) -> Decision:
+        return Decision(served_from_cache=False)
+
+
+class _InlineObjectPolicy(CachePolicy):
+    """Shared machinery for in-line (no-bypass) object caches.
+
+    On every query the policy tries to make all referenced objects
+    resident, loading each miss and evicting by the subclass's utility
+    order.  Only objects larger than the whole cache are left uncached
+    (those queries bypass out of physical necessity).
+    """
+
+    supports_bypass = False
+
+    def decide(self, query: CacheQuery) -> Decision:
+        loads: List[str] = []
+        evictions: List[str] = []
+        protected = {req.object_id for req in query.objects}
+        for request in query.objects:
+            if request.object_id in self.store:
+                self._touch(request)
+                continue
+            if not self.store.fits(request.size):
+                continue
+            while not self.store.has_room(request.size):
+                victim = self._choose_victim(protected)
+                if victim is None:
+                    break
+                self.store.remove(victim)
+                self._forget(victim)
+                evictions.append(victim)
+            if not self.store.has_room(request.size):
+                continue
+            self.store.add(request.object_id, request.size)
+            self._admit(request)
+            loads.append(request.object_id)
+        served = all(
+            request.object_id in self.store for request in query.objects
+        )
+        return Decision(
+            served_from_cache=served, loads=loads, evictions=evictions
+        )
+
+    def _touch(self, request: ObjectRequest) -> None:
+        raise NotImplementedError
+
+    def _admit(self, request: ObjectRequest) -> None:
+        raise NotImplementedError
+
+    def _forget(self, object_id: str) -> None:
+        raise NotImplementedError
+
+    def _choose_victim(self, protected: Set[str]) -> Optional[str]:
+        raise NotImplementedError
+
+    def _drop(self, object_id: str) -> None:
+        # Invalidation must not age the cache (unlike an eviction, the
+        # object did not lose a utility comparison), so bypass _forget's
+        # side effects where they exist.
+        self.store.remove(object_id)
+        self._forget_quietly(object_id)
+
+    def _forget_quietly(self, object_id: str) -> None:
+        self._forget(object_id)
+
+
+class GreedyDualSizePolicy(_InlineObjectPolicy):
+    """Greedy-Dual-Size: utility ``H = L + fetch_cost / size``."""
+
+    name = "gds"
+
+    def __init__(self, capacity_bytes: int) -> None:
+        super().__init__(capacity_bytes)
+        self._inflation = 0.0
+        self._h_values: Dict[str, float] = {}
+
+    def h_value(self, object_id: str) -> float:
+        try:
+            return self._h_values[object_id]
+        except KeyError:
+            raise CacheError(f"{object_id!r} is not cached") from None
+
+    def _utility(self, request: ObjectRequest) -> float:
+        return self._inflation + request.fetch_cost / request.size
+
+    def _touch(self, request: ObjectRequest) -> None:
+        self._h_values[request.object_id] = self._utility(request)
+
+    def _admit(self, request: ObjectRequest) -> None:
+        self._h_values[request.object_id] = self._utility(request)
+
+    def _forget(self, object_id: str) -> None:
+        value = self._h_values.pop(object_id, None)
+        if value is not None:
+            # Greedy-Dual aging: inflation rises to the evicted utility.
+            self._inflation = max(self._inflation, value)
+
+    def _forget_quietly(self, object_id: str) -> None:
+        self._h_values.pop(object_id, None)
+
+    def _choose_victim(self, protected: Set[str]) -> Optional[str]:
+        candidates = [
+            (value, object_id)
+            for object_id, value in self._h_values.items()
+            if object_id not in protected
+        ]
+        if not candidates:
+            return None
+        return min(candidates)[1]
+
+
+class GDSPopularityPolicy(GreedyDualSizePolicy):
+    """GDSP: GDS weighted by a frequency count across the whole
+    reference stream (not just resident objects), as in Jin & Bestavros.
+    """
+
+    name = "gdsp"
+
+    def __init__(self, capacity_bytes: int) -> None:
+        super().__init__(capacity_bytes)
+        self._frequency: Dict[str, int] = {}
+
+    def decide(self, query: CacheQuery) -> Decision:
+        for request in query.objects:
+            self._frequency[request.object_id] = (
+                self._frequency.get(request.object_id, 0) + 1
+            )
+        return super().decide(query)
+
+    def _utility(self, request: ObjectRequest) -> float:
+        frequency = self._frequency.get(request.object_id, 1)
+        return self._inflation + (
+            frequency * request.fetch_cost / request.size
+        )
+
+
+class LRUPolicy(_InlineObjectPolicy):
+    """Least-recently-used over variable-size objects, in-line."""
+
+    name = "lru"
+
+    def __init__(self, capacity_bytes: int) -> None:
+        super().__init__(capacity_bytes)
+        self._order: "OrderedDict[str, None]" = OrderedDict()
+
+    def _touch(self, request: ObjectRequest) -> None:
+        self._order.move_to_end(request.object_id)
+
+    def _admit(self, request: ObjectRequest) -> None:
+        self._order[request.object_id] = None
+
+    def _forget(self, object_id: str) -> None:
+        self._order.pop(object_id, None)
+
+    def _choose_victim(self, protected: Set[str]) -> Optional[str]:
+        for object_id in self._order:
+            if object_id not in protected:
+                return object_id
+        return None
+
+
+class LFUPolicy(_InlineObjectPolicy):
+    """Least-frequently-used (cache-lifetime counts), in-line."""
+
+    name = "lfu"
+
+    def __init__(self, capacity_bytes: int) -> None:
+        super().__init__(capacity_bytes)
+        self._counts: Dict[str, int] = {}
+
+    def _touch(self, request: ObjectRequest) -> None:
+        self._counts[request.object_id] = (
+            self._counts.get(request.object_id, 0) + 1
+        )
+
+    def _admit(self, request: ObjectRequest) -> None:
+        self._counts[request.object_id] = 1
+
+    def _forget(self, object_id: str) -> None:
+        self._counts.pop(object_id, None)
+
+    def _choose_victim(self, protected: Set[str]) -> Optional[str]:
+        candidates = [
+            (count, object_id)
+            for object_id, count in self._counts.items()
+            if object_id not in protected
+        ]
+        if not candidates:
+            return None
+        return min(candidates)[1]
+
+
+class LFFPolicy(_InlineObjectPolicy):
+    """Largest-file-first: evict the biggest resident object.
+
+    One of the simple proxy-database revocation policies the paper's
+    related-work section lists (LRU, LFU, LFF).  Biased toward keeping
+    many small objects resident regardless of their traffic.
+    """
+
+    name = "lff"
+
+    def _touch(self, request: ObjectRequest) -> None:
+        pass
+
+    def _admit(self, request: ObjectRequest) -> None:
+        pass
+
+    def _forget(self, object_id: str) -> None:
+        pass
+
+    def _choose_victim(self, protected: Set[str]) -> Optional[str]:
+        candidates = [
+            (self.store.size_of(object_id), object_id)
+            for object_id in self.store.object_ids()
+            if object_id not in protected
+        ]
+        if not candidates:
+            return None
+        return max(candidates)[1]
+
+
+class LRUKPolicy(_InlineObjectPolicy):
+    """LRU-K (O'Neil et al.): evict by K-th most recent reference time.
+
+    Objects with fewer than K references sort before all fully-referenced
+    objects (their K-distance is infinite), breaking ties by oldest last
+    reference.
+    """
+
+    name = "lru-k"
+
+    def __init__(self, capacity_bytes: int, k: int = 2) -> None:
+        super().__init__(capacity_bytes)
+        if k <= 0:
+            raise CacheError("k must be positive")
+        self.k = k
+        self._history: Dict[str, List[int]] = {}
+        self._clock = 0
+
+    def decide(self, query: CacheQuery) -> Decision:
+        self._clock += 1
+        return super().decide(query)
+
+    def _record(self, object_id: str) -> None:
+        history = self._history.setdefault(object_id, [])
+        history.append(self._clock)
+        if len(history) > self.k:
+            del history[0]
+
+    def _touch(self, request: ObjectRequest) -> None:
+        self._record(request.object_id)
+
+    def _admit(self, request: ObjectRequest) -> None:
+        self._record(request.object_id)
+
+    def _forget(self, object_id: str) -> None:
+        # Reference history survives eviction (that is LRU-K's point).
+        pass
+
+    def _choose_victim(self, protected: Set[str]) -> Optional[str]:
+        best: Optional[Tuple[Tuple[int, int], str]] = None
+        for object_id in self.store.object_ids():
+            if object_id in protected:
+                continue
+            history = self._history.get(object_id, [])
+            if len(history) < self.k:
+                key = (0, history[-1] if history else 0)
+            else:
+                key = (1, history[0])
+            if best is None or key < best[0]:
+                best = (key, object_id)
+        return best[1] if best else None
+
+
+class StaticPolicy(CachePolicy):
+    """Optimal-static caching: a fixed object set chosen offline.
+
+    Queries fully covered by the set are served from cache; everything
+    else bypasses.  No loads or evictions ever happen (initial population
+    is free by default, matching the paper's use of static caching as a
+    performance sanity check).
+    """
+
+    name = "static"
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        objects: Dict[str, int],
+    ) -> None:
+        """Args:
+            capacity_bytes: Cache size; the set must fit.
+            objects: object_id -> size in bytes.
+        """
+        super().__init__(capacity_bytes)
+        for object_id, size in objects.items():
+            self.store.add(object_id, size)
+
+    def decide(self, query: CacheQuery) -> Decision:
+        served = all(
+            request.object_id in self.store for request in query.objects
+        )
+        return Decision(served_from_cache=served)
+
+
+class SemanticCachePolicy(CachePolicy):
+    """Exact-match semantic (query-result) caching with LRU eviction.
+
+    A query hits only when its exact SQL text was cached earlier — the
+    workload-based stand-in for result reuse.  Section 6.1 predicts (and
+    our Figure 4 analysis confirms) that scientific workloads give this
+    almost no hits.
+    """
+
+    name = "semantic"
+
+    def __init__(self, capacity_bytes: int) -> None:
+        super().__init__(capacity_bytes)
+        self._order: "OrderedDict[str, None]" = OrderedDict()
+
+    def decide(self, query: CacheQuery) -> Decision:
+        key = f"q:{query.sql}"
+        if key in self.store:
+            self._order.move_to_end(key)
+            return Decision(served_from_cache=True)
+        size = max(1, query.yield_bytes)
+        evictions: List[str] = []
+        if self.store.fits(size):
+            while not self.store.has_room(size):
+                victim, _ = self._order.popitem(last=False)
+                self.store.remove(victim)
+                evictions.append(victim)
+            self.store.add(key, size)
+            self._order[key] = None
+        # Admitting a result costs no extra WAN traffic (it passed through
+        # the mediator anyway) so loads stay empty; the query itself is a
+        # bypass.
+        return Decision(served_from_cache=False, evictions=evictions)
+
+    def process(self, query: CacheQuery) -> Decision:
+        # Semantic hits do not require object residency; skip the
+        # object-residency audit in the base class.
+        self.queries_seen += 1
+        decision = self.decide(query)
+        if decision.served_from_cache:
+            self.queries_served += 1
+        return decision
+
+    def invalidate(self, object_id: str) -> bool:
+        """Flush every cached result.
+
+        A result cache cannot map a changed database object back to the
+        individual results that depend on it without full provenance
+        tracking, so invalidation is conservative: everything goes.
+        """
+        had_entries = len(self.store) > 0
+        self.store.clear()
+        self._order.clear()
+        return had_entries

@@ -1,0 +1,164 @@
+"""The bypass-yield proxy: a live cache in front of a federation.
+
+This is the deployable object the paper describes — "we collocate a
+caching service with a mediation middleware" (Section 3).  Each query
+goes through the full pipeline:
+
+1. plan against the global federation schema;
+2. evaluate (the result must be computed whichever path serves it — its
+   byte size is the yield);
+3. attribute the yield to the referenced cacheable objects;
+4. let the policy decide: load objects / serve from cache / bypass;
+5. account WAN traffic on the mediator's ledger (loads and bypasses
+   cost; cache-served queries ride the LAN).
+
+The offline :class:`~repro.sim.simulator.Simulator` exists for replaying
+*prepared* traces cheaply; the proxy is the online path and the two
+agree exactly on accounting (tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.events import CacheQuery, Decision, ObjectRequest
+from repro.core.policies.base import CachePolicy
+from repro.core.yield_model import (
+    attribute_yield_columns,
+    attribute_yield_tables,
+)
+from repro.errors import CacheError
+from repro.federation.federation import Federation
+from repro.federation.mediator import Mediator
+from repro.sqlengine.executor import ResultSet
+
+
+@dataclass
+class ProxyResponse:
+    """What the proxy returns per query.
+
+    Attributes:
+        result: The materialized result (identical whichever path
+            produced it).
+        served_from_cache: True when the query was evaluated locally.
+        loads: Objects fetched into the cache for this query.
+        evictions: Objects evicted to make room.
+        wan_bytes: WAN bytes this query added (loads + bypass).
+    """
+
+    result: ResultSet
+    served_from_cache: bool
+    loads: List[str]
+    evictions: List[str]
+    wan_bytes: int
+
+
+class BypassYieldProxy:
+    """A policy-driven caching front-end for one federation.
+
+    Args:
+        federation: The backend servers.
+        policy: Any :class:`~repro.core.policies.base.CachePolicy`.
+        granularity: ``"table"`` or ``"column"`` cache objects.
+
+    The proxy owns a :class:`~repro.federation.mediator.Mediator`; its
+    ``ledger`` carries the network-citizenship accounting.
+    """
+
+    def __init__(
+        self,
+        federation: Federation,
+        policy: CachePolicy,
+        granularity: str = "table",
+    ) -> None:
+        if granularity not in ("table", "column"):
+            raise CacheError(
+                f"granularity must be 'table' or 'column', "
+                f"got {granularity!r}"
+            )
+        self.federation = federation
+        self.policy = policy
+        self.granularity = granularity
+        self.mediator = Mediator(federation)
+        self.queries_handled = 0
+
+    @property
+    def ledger(self):
+        """The WAN traffic ledger (see Figure 1's flows)."""
+        return self.mediator.ledger
+
+    def query(self, sql: str) -> ProxyResponse:
+        """Serve one query, making the bypass/load decision."""
+        plan = self.mediator.plan(sql)
+        result = self.mediator.evaluate(sql, plan)
+        yield_bytes = result.byte_size
+
+        if self.granularity == "table":
+            shares = attribute_yield_tables(plan, yield_bytes)
+        else:
+            shares = attribute_yield_columns(plan, yield_bytes)
+
+        requests = tuple(
+            ObjectRequest(
+                object_id=object_id,
+                size=self.federation.object_size(object_id),
+                fetch_cost=self.federation.fetch_cost(object_id),
+                yield_bytes=share,
+            )
+            for object_id, share in sorted(shares.items())
+        )
+        event = CacheQuery(
+            index=self.queries_handled,
+            yield_bytes=yield_bytes,
+            bypass_bytes=yield_bytes,
+            objects=requests,
+            sql=sql,
+        )
+        decision = self.policy.process(event)
+        self.queries_handled += 1
+
+        wan_bytes = 0
+        for object_id in decision.loads:
+            size, _ = self.mediator.load_object(object_id)
+            wan_bytes += size
+        if decision.served_from_cache:
+            self.mediator.serve_from_cache(result)
+        else:
+            outcome = self.mediator.bypass(sql, plan, result)
+            wan_bytes += outcome.wan_bytes
+
+        return ProxyResponse(
+            result=result,
+            served_from_cache=decision.served_from_cache,
+            loads=decision.loads,
+            evictions=decision.evictions,
+            wan_bytes=wan_bytes,
+        )
+
+    def invalidate(self, object_ids: Iterable[str]) -> List[str]:
+        """Handle a server metadata-change notification (Section 6).
+
+        Returns the object ids that were resident and got dropped.
+        """
+        dropped = [
+            object_id
+            for object_id in object_ids
+            if self.policy.invalidate(object_id)
+        ]
+        return dropped
+
+    def stats(self) -> Dict[str, object]:
+        """Operational snapshot: traffic, hit rate, residency."""
+        ledger = self.mediator.ledger
+        return {
+            "queries": self.queries_handled,
+            "hit_rate": round(self.policy.hit_rate, 4),
+            "wan_bytes": ledger.wan_bytes,
+            "bypass_bytes": ledger.bypass_bytes,
+            "load_bytes": ledger.load_bytes,
+            "lan_bytes": ledger.cache_bytes,
+            "resident_objects": len(self.policy.store),
+            "cache_used_bytes": self.policy.store.used_bytes,
+            "cache_capacity_bytes": self.policy.capacity_bytes,
+        }

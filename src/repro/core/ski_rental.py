@@ -1,0 +1,69 @@
+"""The on-line ski-rental primitive (Section 5.1).
+
+Rent (bypass) while cumulative rental payments stay below the purchase
+(load) cost; buy as soon as they match or exceed it.  This classical rule
+is 2-competitive, and it is the per-object engine inside the
+bypass-object cache: OnlineBY reduces the yield model to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CacheError
+
+
+@dataclass
+class SkiRental:
+    """One rent-to-buy account.
+
+    Attributes:
+        buy_cost: Purchase price (the object's fetch cost).
+        paid: Cumulative rent paid so far.
+        bought: Whether the buy decision has been made.
+    """
+
+    buy_cost: float
+    paid: float = 0.0
+    bought: bool = False
+
+    def __post_init__(self) -> None:
+        if self.buy_cost <= 0:
+            raise CacheError("buy cost must be positive")
+
+    def should_buy(self) -> bool:
+        """True when accumulated rent has reached the purchase price.
+
+        Checked *before* paying for the next trip: the classic rule buys
+        for the first trip whose preceding rentals already covered the
+        purchase cost, which bounds total spend at twice optimal.
+        """
+        return not self.bought and self.paid >= self.buy_cost
+
+    def pay_rent(self, amount: float) -> float:
+        """Rent for one trip at ``amount``; returns cumulative rent.
+
+        Raises:
+            CacheError: negative amounts, or renting after buying.
+        """
+        if amount < 0:
+            raise CacheError("rent must be non-negative")
+        if self.bought:
+            raise CacheError("cannot rent after buying")
+        self.paid += amount
+        return self.paid
+
+    def buy(self) -> None:
+        if self.bought:
+            raise CacheError("already bought")
+        self.bought = True
+
+    def reset(self) -> None:
+        """Start a fresh account (after the object is evicted again)."""
+        self.paid = 0.0
+        self.bought = False
+
+    @property
+    def competitive_bound(self) -> float:
+        """Worst-case ratio of this rule vs. offline optimal: 2."""
+        return 2.0

@@ -1,0 +1,93 @@
+"""Byte-accounted cache storage shared by every policy.
+
+The store tracks which objects are resident and enforces the capacity
+invariant (``used_bytes <= capacity_bytes`` at all times).  Utility
+ordering, credits, and decision logic live in the policies; the store is
+deliberately dumb so the invariant is easy to audit and test.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.errors import CacheError
+
+
+class CacheStore:
+    """Set of resident objects with exact byte accounting."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise CacheError("cache capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._sizes: Dict[str, int] = {}
+        self._used = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used
+
+    def __contains__(self, object_id: str) -> bool:
+        return object_id in self._sizes
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._sizes)
+
+    def object_ids(self) -> List[str]:
+        return list(self._sizes)
+
+    def size_of(self, object_id: str) -> int:
+        try:
+            return self._sizes[object_id]
+        except KeyError:
+            raise CacheError(f"{object_id!r} is not cached") from None
+
+    def fits(self, size: int) -> bool:
+        """Could an object of ``size`` ever fit (ignoring current load)?"""
+        return 0 < size <= self.capacity_bytes
+
+    def has_room(self, size: int) -> bool:
+        """Does ``size`` fit in the current free space?"""
+        return size <= self.free_bytes
+
+    def add(self, object_id: str, size: int) -> None:
+        """Insert an object; the caller must have made room first.
+
+        Raises:
+            CacheError: duplicate insert, non-positive size, or overflow.
+        """
+        if size <= 0:
+            raise CacheError(f"object {object_id!r} has non-positive size")
+        if object_id in self._sizes:
+            raise CacheError(f"{object_id!r} is already cached")
+        if size > self.free_bytes:
+            raise CacheError(
+                f"loading {object_id!r} ({size} B) would overflow the "
+                f"cache (free: {self.free_bytes} B)"
+            )
+        self._sizes[object_id] = size
+        self._used += size
+
+    def remove(self, object_id: str) -> int:
+        """Evict an object; returns its size.
+
+        Raises:
+            CacheError: when the object is not resident.
+        """
+        try:
+            size = self._sizes.pop(object_id)
+        except KeyError:
+            raise CacheError(f"{object_id!r} is not cached") from None
+        self._used -= size
+        return size
+
+    def clear(self) -> None:
+        self._sizes.clear()
+        self._used = 0

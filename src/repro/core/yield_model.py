@@ -1,0 +1,160 @@
+"""The yield model: per-object attribution of query result bytes.
+
+A query's *yield* is the byte size of its result (Section 3).  When a
+query touches several cacheable objects, the yield is divided among them
+(Section 6):
+
+* **table granularity** — "yield for each table ... is divided in
+  proportion to the table's contribution to the unique attributes in the
+  query" (the paper's example splits a join's yield in half because four
+  columns of each table are involved);
+* **column granularity** — "query yield is proportional to each attribute
+  based on a ratio of storage size of the attribute to the total storage
+  sizes of all columns referenced in the query" (the example attributes
+  ``8/46 * Y`` to an 8-byte column out of 46 referenced bytes).
+
+"Referenced" means appearing anywhere in the statement: select list,
+predicates, join conditions, grouping, and ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.sqlengine.ast_nodes import ColumnRef, Expr, column_refs
+from repro.sqlengine.planner import QueryPlan, ScopeEntry
+
+
+def referenced_columns(plan: QueryPlan) -> Dict[str, Set[str]]:
+    """table_name -> set of referenced column names for one plan.
+
+    Every table in FROM contributes its join-edge and predicate columns;
+    a table referenced with zero resolvable columns (e.g. ``SELECT
+    COUNT(*) FROM T``) still appears with an empty set so table-level
+    attribution can include it.
+    """
+    refs: Dict[str, Set[str]] = {
+        entry.table_name: set() for entry in plan.scope
+    }
+    bindings = {entry.binding.lower(): entry for entry in plan.scope}
+
+    def note(ref: ColumnRef) -> None:
+        if ref.table is not None:
+            entry = bindings.get(ref.table.lower())
+            if entry is not None and ref.column in entry.schema:
+                refs[entry.table_name].add(
+                    entry.schema.column(ref.column).name
+                )
+            return
+        owners = [
+            entry for entry in plan.scope if ref.column in entry.schema
+        ]
+        if len(owners) == 1:
+            refs[owners[0].table_name].add(
+                owners[0].schema.column(ref.column).name
+            )
+
+    exprs: List[Expr] = [out.expr for out in plan.outputs]
+    for predicates in plan.local_predicates.values():
+        exprs.extend(predicates)
+    exprs.extend(plan.residual_predicates)
+    exprs.extend(plan.group_by)
+    if plan.statement.having is not None:
+        exprs.append(plan.statement.having)
+    for item in plan.statement.order_by:
+        exprs.append(item.expr)
+    for expr in exprs:
+        for ref in column_refs(expr):
+            note(ref)
+    for edge in plan.join_edges:
+        left = bindings[edge.left_binding.lower()]
+        right = bindings[edge.right_binding.lower()]
+        refs[left.table_name].add(
+            left.schema.column(edge.left_column).name
+        )
+        refs[right.table_name].add(
+            right.schema.column(edge.right_column).name
+        )
+    return refs
+
+
+def attribute_yield_tables(
+    plan: QueryPlan, yield_bytes: float
+) -> Dict[str, float]:
+    """Split a query's yield among its tables (unique-attribute rule).
+
+    Tables referenced without any concrete column (pure ``COUNT(*)``)
+    count as one attribute so they receive a share.
+    """
+    refs = referenced_columns(plan)
+    weights = {
+        table: max(1, len(columns)) for table, columns in refs.items()
+    }
+    total = sum(weights.values())
+    if total == 0:
+        return {}
+    return {
+        table: yield_bytes * weight / total
+        for table, weight in weights.items()
+    }
+
+
+def attribute_yield_columns(
+    plan: QueryPlan, yield_bytes: float
+) -> Dict[str, float]:
+    """Split a query's yield among referenced columns by byte width.
+
+    Returns ``{"Table.column": share_bytes}``.  A query referencing no
+    concrete column (``SELECT COUNT(*) FROM T``) attributes its whole
+    yield to the table's first column, which is the narrowest cacheable
+    object that can answer it.
+    """
+    refs = referenced_columns(plan)
+    schema_by_table = {
+        entry.table_name: entry.schema for entry in plan.scope
+    }
+    widths: Dict[str, int] = {}
+    for table, columns in refs.items():
+        schema = schema_by_table[table]
+        if not columns:
+            first = schema.columns[0]
+            widths[f"{table}.{first.name}"] = first.width
+            continue
+        for column in columns:
+            col = schema.column(column)
+            widths[f"{table}.{col.name}"] = col.width
+    total = sum(widths.values())
+    if total == 0:
+        return {}
+    return {
+        object_id: yield_bytes * width / total
+        for object_id, width in widths.items()
+    }
+
+
+def referenced_object_ids(plan: QueryPlan, granularity: str) -> List[str]:
+    """The cacheable objects a query needs at ``granularity``.
+
+    At table granularity: every FROM/JOIN table.  At column granularity:
+    every referenced column (with the COUNT(*)-style fallback above).
+    """
+    if granularity == "table":
+        seen: List[str] = []
+        for entry in plan.scope:
+            if entry.table_name not in seen:
+                seen.append(entry.table_name)
+        return seen
+    refs = referenced_columns(plan)
+    schema_by_table = {
+        entry.table_name: entry.schema for entry in plan.scope
+    }
+    ids: List[str] = []
+    for table, columns in refs.items():
+        schema = schema_by_table[table]
+        if not columns:
+            ids.append(f"{table}.{schema.columns[0].name}")
+            continue
+        for column in sorted(columns, key=schema.index_of):
+            ids.append(f"{table}.{schema.column(column).name}")
+    return ids

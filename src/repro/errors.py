@@ -1,0 +1,60 @@
+"""Exception hierarchy for the bypass-yield caching reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still discriminating on the specific subclass when needed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SQLError(ReproError):
+    """Base class for errors raised by the SQL engine."""
+
+
+class LexerError(SQLError):
+    """Raised when the lexer encounters an unrecognizable character sequence.
+
+    Attributes:
+        position: Zero-based character offset of the offending input.
+    """
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at position {position})")
+        self.position = position
+
+
+class ParseError(SQLError):
+    """Raised when the token stream does not form a valid statement."""
+
+
+class PlanError(SQLError):
+    """Raised when a parsed statement cannot be turned into a plan.
+
+    Typical causes: unknown tables or columns, ambiguous column references,
+    or aggregates mixed incorrectly with non-aggregated expressions.
+    """
+
+
+class ExecutionError(SQLError):
+    """Raised when a valid plan fails during evaluation."""
+
+
+class CatalogError(SQLError):
+    """Raised for schema/catalog violations (duplicate or missing objects)."""
+
+
+class FederationError(ReproError):
+    """Raised for federation-level failures (unknown servers, bad routes)."""
+
+
+class CacheError(ReproError):
+    """Raised for cache misconfiguration (e.g. object larger than cache)."""
+
+
+class WorkloadError(ReproError):
+    """Raised for workload-generation and trace-file problems."""

@@ -1,0 +1,50 @@
+"""One module per paper table/figure; each exposes ``run`` and ``render``.
+
+| Module                      | Paper artifact                      |
+|-----------------------------|-------------------------------------|
+| ``fig4_containment``        | Fig. 4 — query containment          |
+| ``fig5_column_locality``    | Fig. 5 — column locality            |
+| ``fig6_table_locality``     | Fig. 6 — table locality             |
+| ``fig7_cost_tables``        | Fig. 7 — cost series, tables        |
+| ``fig8_cost_columns``       | Fig. 8 — cost series, columns       |
+| ``fig9_cache_size_tables``  | Fig. 9 — cache-size sweep, tables   |
+| ``fig10_cache_size_columns``| Fig. 10 — cache-size sweep, columns |
+| ``table1_column_breakdown`` | Table 1 — breakdown, columns        |
+| ``table2_table_breakdown``  | Table 2 — breakdown, tables         |
+
+Each ``run`` returns a structured result with a ``shape_holds`` property
+asserting the paper's qualitative claim; ``render`` produces the
+plain-text table/chart the benchmark harness prints.
+"""
+
+from repro.experiments import (
+    fig4_containment,
+    fig5_column_locality,
+    fig6_table_locality,
+    fig7_cost_tables,
+    fig8_cost_columns,
+    fig9_cache_size_tables,
+    fig10_cache_size_columns,
+    table1_column_breakdown,
+    table2_table_breakdown,
+)
+from repro.experiments.common import (
+    ExperimentContext,
+    build_context,
+    clear_memo,
+)
+
+__all__ = [
+    "ExperimentContext",
+    "build_context",
+    "clear_memo",
+    "fig4_containment",
+    "fig5_column_locality",
+    "fig6_table_locality",
+    "fig7_cost_tables",
+    "fig8_cost_columns",
+    "fig9_cache_size_tables",
+    "fig10_cache_size_columns",
+    "table1_column_breakdown",
+    "table2_table_breakdown",
+]

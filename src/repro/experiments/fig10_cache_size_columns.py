@@ -1,0 +1,33 @@
+"""Figure 10 — total cost vs cache size, column caching.
+
+The column-granularity companion of Figure 9.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.fig9_cache_size_tables import (
+    SweepExperimentResult,
+    render_sweep,
+    run_sweep,
+)
+
+
+def run(
+    context: Optional[ExperimentContext] = None,
+) -> SweepExperimentResult:
+    return run_sweep("column", context)
+
+
+def render(result: SweepExperimentResult) -> str:
+    return render_sweep(result, "Figure 10")
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Figure 8 — cumulative network cost per query, **column caching**.
+
+The column-granularity companion of Figure 7.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.fig7_cost_tables import (
+    CACHE_FRACTION,
+    CostSeriesResult,
+    render_cost_series,
+    run_cost_series,
+)
+
+
+def run(
+    context: Optional[ExperimentContext] = None,
+    cache_fraction: float = CACHE_FRACTION,
+) -> CostSeriesResult:
+    return run_cost_series("column", context, cache_fraction)
+
+
+def render(result: CostSeriesResult) -> str:
+    return render_cost_series(result, "Figure 8")
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""CLI: regenerate every paper table and figure in one run.
+
+Usage::
+
+    python -m repro.experiments.run_all                 # canonical scale
+    python -m repro.experiments.run_all -n 800 --profile tiny
+    python -m repro.experiments.run_all -o report.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments import (
+    build_context,
+    fig4_containment,
+    fig5_column_locality,
+    fig6_table_locality,
+    fig7_cost_tables,
+    fig8_cost_columns,
+    fig9_cache_size_tables,
+    fig10_cache_size_columns,
+    table1_column_breakdown,
+    table2_table_breakdown,
+)
+from repro.experiments.common import DEFAULT_NUM_QUERIES, DEFAULT_PROFILE
+from repro.workload.sdss_schema import PROFILES
+
+#: (label, module, needs) — 'edr' experiments take one context; the
+#: breakdown tables take both flavors.
+EXPERIMENTS = [
+    ("Figure 4", fig4_containment, "edr"),
+    ("Figure 5", fig5_column_locality, "edr"),
+    ("Figure 6", fig6_table_locality, "edr"),
+    ("Figure 7", fig7_cost_tables, "edr"),
+    ("Figure 8", fig8_cost_columns, "edr"),
+    ("Figure 9", fig9_cache_size_tables, "edr"),
+    ("Figure 10", fig10_cache_size_columns, "edr"),
+    ("Table 1", table1_column_breakdown, "both"),
+    ("Table 2", table2_table_breakdown, "both"),
+]
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.run_all",
+        description="Regenerate every table and figure of the paper.",
+    )
+    parser.add_argument(
+        "-n", "--num-queries", type=int, default=DEFAULT_NUM_QUERIES,
+        help="queries per trace",
+    )
+    parser.add_argument(
+        "--profile", default=DEFAULT_PROFILE, choices=sorted(PROFILES),
+        help="database scale profile",
+    )
+    parser.add_argument(
+        "--no-disk-cache", action="store_true",
+        help="do not read/write the prepared-trace disk cache",
+    )
+    parser.add_argument(
+        "-o", "--output", default=None,
+        help="also write the report to this file",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    use_cache = not args.no_disk_cache
+
+    start = time.time()
+    edr = build_context(
+        "edr", args.num_queries, args.profile, use_disk_cache=use_cache
+    )
+    dr1 = build_context(
+        "dr1", args.num_queries, args.profile, use_disk_cache=use_cache
+    )
+    sections: List[str] = [
+        "BYPASS-YIELD CACHING — full reproduction report",
+        f"traces: {args.num_queries} queries each (edr, dr1), "
+        f"profile {args.profile}; database "
+        f"{edr.database_bytes / 1e6:.2f} MB",
+        "",
+    ]
+
+    all_hold = True
+    for label, module, needs in EXPERIMENTS:
+        if needs == "both":
+            result = module.run((edr, dr1))
+        else:
+            result = module.run(edr)
+        sections.append("=" * 72)
+        sections.append(module.render(result))
+        sections.append("")
+        all_hold = all_hold and result.shape_holds
+
+    sections.append("=" * 72)
+    verdict = "ALL SHAPES HOLD" if all_hold else "SOME SHAPES VIOLATED"
+    sections.append(
+        f"{verdict} — {len(EXPERIMENTS)} experiments in "
+        f"{time.time() - start:.1f}s"
+    )
+    report = "\n".join(sections)
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"\nreport written to {args.output}")
+    return 0 if all_hold else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

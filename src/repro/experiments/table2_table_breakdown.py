@@ -1,0 +1,33 @@
+"""Table 2 — cost breakdown for **table caching** (EDR + DR1 sets).
+
+The table-granularity companion of Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.table1_column_breakdown import (
+    BreakdownResult,
+    render_breakdown,
+    run_breakdown,
+)
+
+
+def run(
+    contexts: Optional[Sequence[ExperimentContext]] = None,
+) -> BreakdownResult:
+    return run_breakdown("table", contexts)
+
+
+def render(result: BreakdownResult) -> str:
+    return render_breakdown(result, "Table 2")
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

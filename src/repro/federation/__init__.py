@@ -1,0 +1,28 @@
+"""SkyQuery-like federation simulator with exact WAN byte accounting.
+
+* :class:`~repro.federation.server.DatabaseServer` — one site (catalog +
+  query engine).
+* :class:`~repro.federation.federation.Federation` — server registry,
+  table routing, global schema, object-size metadata.
+* :class:`~repro.federation.mediator.Mediator` — query front-end where the
+  cache sits; evaluates, bypasses (with cross-server decomposition), and
+  loads objects while keeping a :class:`~repro.federation.network.
+  TrafficLedger`.
+* :class:`~repro.federation.network.NetworkModel` — per-server link
+  weights for non-uniform networks (drives BYHR vs BYU).
+"""
+
+from repro.federation.federation import Federation
+from repro.federation.mediator import FederatedResult, Mediator
+from repro.federation.network import NetworkLink, NetworkModel, TrafficLedger
+from repro.federation.server import DatabaseServer
+
+__all__ = [
+    "DatabaseServer",
+    "FederatedResult",
+    "Federation",
+    "Mediator",
+    "NetworkLink",
+    "NetworkModel",
+    "TrafficLedger",
+]

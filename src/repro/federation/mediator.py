@@ -1,0 +1,294 @@
+"""The mediation middleware: query routing, decomposition, evaluation.
+
+The mediator is where the cache sits (it is collocated with the clients,
+so mediator<->client traffic is LAN and free).  It offers the primitives
+the bypass-yield cache needs:
+
+* :meth:`Mediator.evaluate` — parse/plan/execute a query against the
+  *global* federation view, producing the result (whose byte size is the
+  query's yield) without charging any WAN traffic.  Used when the query
+  is served from cached objects.
+* :meth:`Mediator.bypass` — ship the query to the owning server(s),
+  charging the WAN for every result byte.  Cross-server joins are
+  decomposed into per-server subqueries whose partial results are shipped
+  to the mediator and joined there ("hybrid shipping").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import FederationError
+from repro.federation.federation import Federation
+from repro.federation.network import TrafficLedger
+from repro.sqlengine.ast_nodes import ColumnRef, column_refs
+from repro.sqlengine.executor import ResultSet, execute_plan
+from repro.sqlengine.parser import parse
+from repro.sqlengine.planner import (
+    JoinEdge,
+    OutputColumn,
+    QueryPlan,
+    ScopeEntry,
+    plan_select,
+)
+
+
+@dataclass
+class FederatedResult:
+    """Outcome of a bypass execution.
+
+    Attributes:
+        result: The final materialized result (yield = ``byte_size``).
+        per_server_bytes: WAN bytes each server shipped for this query.
+        wan_bytes: Total WAN bytes (sum over servers).
+        wan_cost: Link-weighted WAN cost.
+    """
+
+    result: ResultSet
+    per_server_bytes: Dict[str, int] = field(default_factory=dict)
+    wan_bytes: int = 0
+    wan_cost: float = 0.0
+
+
+class Mediator:
+    """Query front-end for one federation.
+
+    Args:
+        federation: The servers to mediate for.
+        plan_cache_size: Bound on memoized query plans.  Scientific
+            workloads rarely repeat exact SQL (Section 6.1), so the
+            cache mostly helps the prepare/evaluate double-call per
+            query; a bound keeps long-lived mediators from growing
+            without limit.
+    """
+
+    def __init__(
+        self, federation: Federation, plan_cache_size: int = 4096
+    ) -> None:
+        if plan_cache_size <= 0:
+            raise FederationError("plan_cache_size must be positive")
+        self.federation = federation
+        self._lookup = federation.schema_lookup()
+        self.ledger = TrafficLedger()
+        self._plan_cache: "OrderedDict[str, QueryPlan]" = OrderedDict()
+        self._plan_cache_size = plan_cache_size
+
+    def plan(self, sql: str) -> QueryPlan:
+        """Parse and plan against the global federation schema (cached)."""
+        cached = self._plan_cache.get(sql)
+        if cached is None:
+            cached = plan_select(parse(sql), self._lookup)
+            self._plan_cache[sql] = cached
+            if len(self._plan_cache) > self._plan_cache_size:
+                self._plan_cache.popitem(last=False)
+        else:
+            self._plan_cache.move_to_end(sql)
+        return cached
+
+    def evaluate(self, sql: str, plan: Optional[QueryPlan] = None) -> ResultSet:
+        """Execute the query on the global view with no WAN accounting.
+
+        This is the data path for cache-served queries: the yield must be
+        computed (it is shipped to the client over the LAN) but no WAN
+        bytes move.
+        """
+        if plan is None:
+            plan = self.plan(sql)
+        return execute_plan(plan, self.federation)
+
+    def servers_for_plan(self, plan: QueryPlan) -> List[str]:
+        """Names of the distinct servers a plan's tables live on."""
+        names: List[str] = []
+        for entry in plan.scope:
+            server = self.federation.server_for_table(entry.table_name)
+            if server.name not in names:
+                names.append(server.name)
+        return names
+
+    def bypass(
+        self,
+        sql: str,
+        plan: Optional[QueryPlan] = None,
+        result: Optional[ResultSet] = None,
+    ) -> FederatedResult:
+        """Ship the query past the cache, charging the WAN.
+
+        A single-server query runs entirely at that server; the WAN
+        carries exactly the result bytes.  A cross-server query is
+        decomposed: each server evaluates its local portion (filters and
+        local joins applied — the data-reduction benefit) and ships the
+        partial result; the mediator joins the partials.
+        """
+        if plan is None:
+            plan = self.plan(sql)
+        servers = self.servers_for_plan(plan)
+        if result is None:
+            result = execute_plan(plan, self.federation)
+
+        per_server: Dict[str, int] = {}
+        if len(servers) == 1:
+            per_server[servers[0]] = result.byte_size
+        elif any(entry.join_kind == "left" for entry in plan.scope):
+            raise FederationError(
+                "cross-server LEFT JOIN decomposition is not supported; "
+                "host the preserved and nullable sides on one server"
+            )
+        else:
+            for name in servers:
+                per_server[name] = self._subquery_bytes(plan, name)
+
+        wan_bytes = 0
+        wan_cost = 0.0
+        for name, num_bytes in per_server.items():
+            cost = self.federation.network.cost(name, num_bytes)
+            self.ledger.record_bypass(name, num_bytes, cost)
+            wan_bytes += num_bytes
+            wan_cost += cost
+        return FederatedResult(
+            result=result,
+            per_server_bytes=per_server,
+            wan_bytes=wan_bytes,
+            wan_cost=wan_cost,
+        )
+
+    def load_object(self, object_id: str) -> Tuple[int, float]:
+        """Fetch a whole object into the cache; returns (bytes, cost)."""
+        server = self.federation.server_for_object(object_id)
+        size = server.fetch_object(object_id)
+        cost = self.federation.network.cost(server.name, size)
+        self.ledger.record_load(server.name, size, cost)
+        return size, cost
+
+    def serve_from_cache(self, result: ResultSet) -> None:
+        """Account a cache-served result (LAN only)."""
+        self.ledger.record_cache_hit(result.byte_size)
+
+    # ------------------------------------------------------------------
+    # Cross-server decomposition
+    # ------------------------------------------------------------------
+
+    def _subquery_bytes(self, plan: QueryPlan, server_name: str) -> int:
+        """Bytes server ``server_name`` ships for its part of ``plan``.
+
+        The server evaluates a subplan over its own tables: local
+        predicates and same-server join edges apply, and only the columns
+        the mediator needs (outputs, residual predicates, cross-server
+        join keys) are projected.
+        """
+        server = self.federation.server(server_name)
+        local_entries = [
+            entry
+            for entry in plan.scope
+            if self.federation.server_for_table(entry.table_name).name
+            == server_name
+        ]
+        local_bindings = {entry.binding.lower() for entry in local_entries}
+
+        local_edges: List[JoinEdge] = []
+        cross_edges: List[JoinEdge] = []
+        for edge in plan.join_edges:
+            left_local = edge.left_binding.lower() in local_bindings
+            right_local = edge.right_binding.lower() in local_bindings
+            if left_local and right_local:
+                local_edges.append(edge)
+            elif left_local or right_local:
+                cross_edges.append(edge)
+
+        needed = self._needed_columns(
+            plan, local_bindings, cross_edges
+        )
+        outputs: List[OutputColumn] = []
+        binding_schema = {
+            entry.binding.lower(): entry for entry in local_entries
+        }
+        for binding, column in sorted(needed):
+            entry = binding_schema[binding]
+            col = entry.schema.column(column)
+            outputs.append(
+                OutputColumn(
+                    name=f"{entry.binding}_{col.name}",
+                    expr=ColumnRef(column=col.name, table=entry.binding),
+                    width=col.width,
+                    source=(entry.table_name, col.name),
+                )
+            )
+        subplan = QueryPlan(
+            statement=plan.statement,
+            scope=local_entries,
+            local_predicates={
+                entry.binding: plan.local_predicates.get(entry.binding, [])
+                for entry in local_entries
+            },
+            join_edges=local_edges,
+            residual_predicates=[],
+            outputs=outputs,
+            has_aggregates=False,
+        )
+        partial = _execute_subplan(subplan, server.catalog)
+        server.bytes_shipped += partial.byte_size
+        server.queries_executed += 1
+        return partial.byte_size
+
+    def _needed_columns(
+        self,
+        plan: QueryPlan,
+        local_bindings: Set[str],
+        cross_edges: List[JoinEdge],
+    ) -> Set[Tuple[str, str]]:
+        """(binding, column) pairs the mediator needs from these bindings."""
+        bindings = {entry.binding.lower(): entry for entry in plan.scope}
+
+        def owner(ref: ColumnRef) -> Optional[str]:
+            if ref.table is not None:
+                entry = bindings.get(ref.table.lower())
+                return entry.binding.lower() if entry else None
+            candidates = [
+                entry.binding.lower()
+                for entry in plan.scope
+                if ref.column in entry.schema
+            ]
+            return candidates[0] if len(candidates) == 1 else None
+
+        needed: Set[Tuple[str, str]] = set()
+        exprs = [out.expr for out in plan.outputs]
+        exprs.extend(plan.residual_predicates)
+        exprs.extend(plan.group_by)
+        if plan.statement.having is not None:
+            exprs.append(plan.statement.having)
+        for item in plan.statement.order_by:
+            exprs.append(item.expr)
+        for expr in exprs:
+            for ref in column_refs(expr):
+                binding = owner(ref)
+                if binding in local_bindings:
+                    needed.add((binding, ref.column.lower()))
+        for edge in cross_edges:
+            if edge.left_binding.lower() in local_bindings:
+                needed.add(
+                    (edge.left_binding.lower(), edge.left_column.lower())
+                )
+            if edge.right_binding.lower() in local_bindings:
+                needed.add(
+                    (edge.right_binding.lower(), edge.right_column.lower())
+                )
+        return needed
+
+
+def _execute_subplan(subplan: QueryPlan, catalog) -> ResultSet:
+    """Run a projection-only subplan (no aggregates/order/limit applied —
+    those happen at the mediator after the join)."""
+    from repro.sqlengine.executor import (  # local import avoids a cycle
+        _join_all,
+        _project,
+        ResultColumn,
+    )
+
+    rows, layout = _join_all(subplan, catalog)
+    projected = _project(rows, layout, subplan.outputs)
+    columns = [
+        ResultColumn(name=out.name, width=out.width, source=out.source)
+        for out in subplan.outputs
+    ]
+    return ResultSet(columns=columns, rows=projected)

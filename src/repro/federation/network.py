@@ -1,0 +1,168 @@
+"""Network cost model and traffic accounting.
+
+The bypass-yield economy prices everything in *WAN bytes*: bypass results
+shipped from servers to clients (``D_S``), and object loads into the cache
+(``D_L``).  Cache-to-client traffic (``D_C``) rides the LAN and is tracked
+but never charged (Section 3 of the paper: "The local area network is not
+a shared resource...  LAN traffic does not factor into network
+citizenship").
+
+Per-server link weights model non-uniform networks: shipping ``b`` bytes
+from server ``s`` costs ``b * weight(s)``.  With all weights equal to 1
+(the default) costs are plain byte counts and BYHR degenerates to BYU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import FederationError
+
+
+@dataclass(frozen=True)
+class NetworkLink:
+    """WAN link from one server to the mediator/client site.
+
+    Attributes:
+        server: Server name.
+        weight: Cost multiplier per byte (relative link expense). A slow
+            or congested link has weight > 1.
+    """
+
+    server: str
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise FederationError(
+                f"link weight for {self.server!r} must be positive"
+            )
+
+    def cost(self, num_bytes: int) -> float:
+        """Weighted cost of shipping ``num_bytes`` over this link."""
+        if num_bytes < 0:
+            raise FederationError("cannot ship a negative number of bytes")
+        return num_bytes * self.weight
+
+
+class NetworkModel:
+    """Registry of per-server WAN links with a default weight."""
+
+    def __init__(self, default_weight: float = 1.0) -> None:
+        if default_weight <= 0:
+            raise FederationError("default link weight must be positive")
+        self._default_weight = default_weight
+        self._links: Dict[str, NetworkLink] = {}
+
+    def set_link(self, server: str, weight: float) -> None:
+        self._links[server] = NetworkLink(server=server, weight=weight)
+
+    def link(self, server: str) -> NetworkLink:
+        existing = self._links.get(server)
+        if existing is not None:
+            return existing
+        return NetworkLink(server=server, weight=self._default_weight)
+
+    def cost(self, server: str, num_bytes: int) -> float:
+        """Weighted WAN cost of shipping ``num_bytes`` from ``server``."""
+        return self.link(server).cost(num_bytes)
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when every registered link shares the default weight."""
+        return all(
+            link.weight == self._default_weight
+            for link in self._links.values()
+        )
+
+
+@dataclass
+class TrafficLedger:
+    """Running totals of the network flows of Figure 1.
+
+    All quantities are raw bytes; weighted costs are produced on demand by
+    combining with a :class:`NetworkModel`.
+
+    Attributes:
+        bypass_bytes: ``D_S`` — results shipped server -> client past the
+            cache.
+        load_bytes: ``D_L`` — object bytes fetched into the cache.
+        cache_bytes: ``D_C`` — result bytes served out of the cache (LAN).
+    """
+
+    bypass_bytes: int = 0
+    load_bytes: int = 0
+    cache_bytes: int = 0
+    bypass_cost: float = 0.0
+    load_cost: float = 0.0
+    per_server_bypass: Dict[str, int] = field(default_factory=dict)
+    per_server_load: Dict[str, int] = field(default_factory=dict)
+
+    def record_bypass(
+        self, server: str, num_bytes: int, cost: Optional[float] = None
+    ) -> None:
+        """Account a bypass query result shipped from ``server``."""
+        if num_bytes < 0:
+            raise FederationError("bypass bytes must be non-negative")
+        self.bypass_bytes += num_bytes
+        self.bypass_cost += num_bytes if cost is None else cost
+        self.per_server_bypass[server] = (
+            self.per_server_bypass.get(server, 0) + num_bytes
+        )
+
+    def record_load(
+        self, server: str, num_bytes: int, cost: Optional[float] = None
+    ) -> None:
+        """Account an object load from ``server`` into the cache."""
+        if num_bytes < 0:
+            raise FederationError("load bytes must be non-negative")
+        self.load_bytes += num_bytes
+        self.load_cost += num_bytes if cost is None else cost
+        self.per_server_load[server] = (
+            self.per_server_load.get(server, 0) + num_bytes
+        )
+
+    def record_cache_hit(self, num_bytes: int) -> None:
+        """Account result bytes served from the cache over the LAN."""
+        if num_bytes < 0:
+            raise FederationError("cache bytes must be non-negative")
+        self.cache_bytes += num_bytes
+
+    @property
+    def wan_bytes(self) -> int:
+        """Total WAN traffic: the quantity the paper minimizes."""
+        return self.bypass_bytes + self.load_bytes
+
+    @property
+    def wan_cost(self) -> float:
+        """Total weighted WAN cost (equals :attr:`wan_bytes` on uniform
+        networks)."""
+        return self.bypass_cost + self.load_cost
+
+    @property
+    def application_bytes(self) -> int:
+        """``D_A = D_S + D_C`` — bytes the client application received,
+        identical across caching configurations for the same workload."""
+        return self.bypass_bytes + self.cache_bytes
+
+    def snapshot(self) -> "TrafficLedger":
+        """An independent copy of the current totals."""
+        return TrafficLedger(
+            bypass_bytes=self.bypass_bytes,
+            load_bytes=self.load_bytes,
+            cache_bytes=self.cache_bytes,
+            bypass_cost=self.bypass_cost,
+            load_cost=self.load_cost,
+            per_server_bypass=dict(self.per_server_bypass),
+            per_server_load=dict(self.per_server_load),
+        )
+
+    def reset(self) -> None:
+        self.bypass_bytes = 0
+        self.load_bytes = 0
+        self.cache_bytes = 0
+        self.bypass_cost = 0.0
+        self.load_cost = 0.0
+        self.per_server_bypass.clear()
+        self.per_server_load.clear()

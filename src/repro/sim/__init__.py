@@ -1,0 +1,41 @@
+"""Trace-driven simulation and experiment orchestration.
+
+* :class:`~repro.sim.simulator.Simulator` — replay a prepared trace
+  through one policy with exact WAN accounting.
+* :mod:`repro.sim.runner` — policy comparisons and cache-size sweeps.
+* :mod:`repro.sim.results` — cost breakdowns, series, sweep containers.
+* :mod:`repro.sim.reporting` — plain-text tables and ASCII charts.
+"""
+
+from repro.sim.multi import ClientSite, FleetResult, simulate_fleet
+from repro.sim.results import (
+    CostBreakdown,
+    SimulationResult,
+    SweepPoint,
+    SweepResult,
+)
+from repro.sim.runner import (
+    DEFAULT_POLICIES,
+    build_policy,
+    compare_policies,
+    run_single,
+    sweep_cache_sizes,
+)
+from repro.sim.simulator import ObjectCatalog, Simulator
+
+__all__ = [
+    "ClientSite",
+    "CostBreakdown",
+    "FleetResult",
+    "DEFAULT_POLICIES",
+    "ObjectCatalog",
+    "SimulationResult",
+    "Simulator",
+    "SweepPoint",
+    "SweepResult",
+    "build_policy",
+    "compare_policies",
+    "run_single",
+    "simulate_fleet",
+    "sweep_cache_sizes",
+]

@@ -1,0 +1,134 @@
+"""Simulation result containers: cost breakdowns and time series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class CostBreakdown:
+    """The Tables 1-2 decomposition of WAN traffic.
+
+    Attributes:
+        bypass_bytes: Results shipped past the cache ("Bypass Cost").
+        load_bytes: Object loads into the cache ("Fetch Cost").
+    """
+
+    bypass_bytes: float = 0.0
+    load_bytes: float = 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        return self.bypass_bytes + self.load_bytes
+
+    def as_gb(self, bytes_per_gb: float = 1e9) -> Dict[str, float]:
+        """The table row, scaled to GB-like units for presentation."""
+        return {
+            "bypass": self.bypass_bytes / bytes_per_gb,
+            "fetch": self.load_bytes / bytes_per_gb,
+            "total": self.total_bytes / bytes_per_gb,
+        }
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of running one policy over one prepared trace.
+
+    Attributes:
+        policy_name: Algorithm identifier.
+        granularity: ``"table"`` or ``"column"``.
+        capacity_bytes: Cache size used.
+        queries: Number of queries simulated.
+        breakdown: Bypass/fetch/total WAN bytes.
+        weighted_cost: Link-weighted WAN cost (equals total bytes on
+            uniform networks).
+        cumulative_bytes: Cumulative WAN bytes after each query — the
+            Figures 7-8 series.
+        served_queries: Queries served from cache.
+        loads: Number of object loads.
+        evictions: Number of evictions.
+        sequence_bytes: The no-cache cost of the same trace (context for
+            ratios).
+    """
+
+    policy_name: str
+    granularity: str
+    capacity_bytes: int
+    queries: int = 0
+    breakdown: CostBreakdown = field(default_factory=CostBreakdown)
+    weighted_cost: float = 0.0
+    cumulative_bytes: List[float] = field(default_factory=list)
+    served_queries: int = 0
+    loads: int = 0
+    evictions: int = 0
+    sequence_bytes: float = 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        return self.breakdown.total_bytes
+
+    @property
+    def hit_rate(self) -> float:
+        if self.queries == 0:
+            return 0.0
+        return self.served_queries / self.queries
+
+    @property
+    def savings_factor(self) -> float:
+        """How many times cheaper than running without a cache."""
+        if self.total_bytes == 0:
+            return float("inf")
+        return self.sequence_bytes / self.total_bytes
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy_name,
+            "granularity": self.granularity,
+            "capacity_bytes": self.capacity_bytes,
+            "queries": self.queries,
+            "bypass_bytes": self.breakdown.bypass_bytes,
+            "fetch_bytes": self.breakdown.load_bytes,
+            "total_bytes": self.total_bytes,
+            "hit_rate": round(self.hit_rate, 4),
+            "loads": self.loads,
+            "evictions": self.evictions,
+            "savings_factor": (
+                round(self.savings_factor, 2)
+                if self.total_bytes
+                else float("inf")
+            ),
+        }
+
+
+@dataclass
+class SweepPoint:
+    """One (cache size, policy) cell of a Figures 9-10 sweep."""
+
+    policy_name: str
+    cache_fraction: float
+    capacity_bytes: int
+    total_bytes: float
+
+
+@dataclass
+class SweepResult:
+    """A full cache-size sweep across policies."""
+
+    granularity: str
+    database_bytes: int
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def series(self, policy_name: str) -> List[SweepPoint]:
+        return [
+            point
+            for point in self.points
+            if point.policy_name == policy_name
+        ]
+
+    def policies(self) -> List[str]:
+        names: List[str] = []
+        for point in self.points:
+            if point.policy_name not in names:
+                names.append(point.policy_name)
+        return names

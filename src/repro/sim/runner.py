@@ -1,0 +1,128 @@
+"""Experiment orchestration: policy comparisons and cache-size sweeps."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.policies import (
+    StaticPolicy,
+    accumulate_object_yields,
+    choose_static_objects,
+    make_policy,
+)
+from repro.core.policies.base import CachePolicy
+from repro.errors import CacheError
+from repro.federation.federation import Federation
+from repro.sim.results import SimulationResult, SweepPoint, SweepResult
+from repro.sim.simulator import ObjectCatalog, Simulator
+from repro.workload.trace import PreparedTrace
+
+#: The algorithm line-up of Figures 7-10.
+DEFAULT_POLICIES = (
+    "rate-profile",
+    "online-by",
+    "space-eff-by",
+    "gds",
+    "static",
+    "no-cache",
+)
+
+
+def build_policy(
+    name: str,
+    capacity_bytes: int,
+    trace: PreparedTrace,
+    federation: Federation,
+    granularity: str,
+    **kwargs,
+) -> CachePolicy:
+    """Instantiate a policy, handling the offline setup of ``static``."""
+    if name == "static":
+        yields = accumulate_object_yields(trace, granularity)
+        catalog = ObjectCatalog(federation)
+        sizes = {object_id: catalog.size(object_id) for object_id in yields}
+        chosen = choose_static_objects(yields, sizes, capacity_bytes)
+        return StaticPolicy(capacity_bytes, chosen)
+    return make_policy(name, capacity_bytes, **kwargs)
+
+
+def run_single(
+    trace: PreparedTrace,
+    federation: Federation,
+    policy_name: str,
+    capacity_bytes: int,
+    granularity: str = "table",
+    record_series: bool = True,
+    **kwargs,
+) -> SimulationResult:
+    """Run one policy over one trace."""
+    simulator = Simulator(federation, granularity)
+    policy = build_policy(
+        policy_name, capacity_bytes, trace, federation, granularity,
+        **kwargs,
+    )
+    return simulator.run(trace, policy, record_series=record_series)
+
+
+def compare_policies(
+    trace: PreparedTrace,
+    federation: Federation,
+    capacity_bytes: int,
+    granularity: str = "table",
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    record_series: bool = True,
+) -> Dict[str, SimulationResult]:
+    """Run several policies at one cache size (Figures 7-8, Tables 1-2)."""
+    results: Dict[str, SimulationResult] = {}
+    for name in policies:
+        results[name] = run_single(
+            trace,
+            federation,
+            name,
+            capacity_bytes,
+            granularity,
+            record_series=record_series,
+        )
+    return results
+
+
+def sweep_cache_sizes(
+    trace: PreparedTrace,
+    federation: Federation,
+    granularity: str = "table",
+    fractions: Sequence[float] = (
+        0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0
+    ),
+    policies: Sequence[str] = (
+        "rate-profile", "online-by", "space-eff-by", "gds", "static"
+    ),
+) -> SweepResult:
+    """Total cost vs cache size, 10%-100% of the DB (Figures 9-10)."""
+    database_bytes = federation.total_database_bytes()
+    sweep = SweepResult(
+        granularity=granularity, database_bytes=database_bytes
+    )
+    for fraction in fractions:
+        if not 0.0 < fraction <= 1.0:
+            raise CacheError(
+                f"cache fraction must be in (0, 1], got {fraction}"
+            )
+        capacity = max(1, int(database_bytes * fraction))
+        for name in policies:
+            result = run_single(
+                trace,
+                federation,
+                name,
+                capacity,
+                granularity,
+                record_series=False,
+            )
+            sweep.points.append(
+                SweepPoint(
+                    policy_name=name,
+                    cache_fraction=fraction,
+                    capacity_bytes=capacity,
+                    total_bytes=result.total_bytes,
+                )
+            )
+    return sweep

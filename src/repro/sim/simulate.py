@@ -1,0 +1,112 @@
+"""CLI: replay a prepared trace through one or more cache policies.
+
+Usage::
+
+    python -m repro.workload.make_trace -n 2000 --prepare -o edr.jsonl
+    python -m repro.sim.simulate --trace edr.jsonl.prepared.jsonl \\
+        --policy rate-profile --policy gds --capacity-frac 0.3
+
+The federation is rebuilt from the named scale profile (prepared traces
+carry yields and attributions but not object sizes), so the profile must
+match the one the trace was prepared against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.policies import POLICY_REGISTRY
+from repro.federation.federation import Federation
+from repro.federation.mediator import Mediator
+from repro.federation.server import DatabaseServer
+from repro.sim.reporting import format_breakdown
+from repro.sim.runner import compare_policies
+from repro.workload.sdss_schema import (
+    PROFILES,
+    build_first_catalog,
+    build_sdss_catalog,
+)
+from repro.workload.trace import PreparedTrace
+
+KNOWN_POLICIES = tuple(sorted(POLICY_REGISTRY)) + ("static",)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim.simulate",
+        description="Replay a prepared trace through cache policies.",
+    )
+    parser.add_argument(
+        "--trace", required=True, help="prepared trace (JSONL)"
+    )
+    parser.add_argument(
+        "--profile", default="small", choices=sorted(PROFILES),
+        help="scale profile the trace was prepared against",
+    )
+    parser.add_argument(
+        "--policy", action="append", choices=KNOWN_POLICIES,
+        help="policy to run (repeatable; default: the paper line-up)",
+    )
+    parser.add_argument(
+        "--granularity", default="table", choices=("table", "column"),
+    )
+    parser.add_argument(
+        "--capacity-frac", type=float, default=0.3,
+        help="cache size as a fraction of the database",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.policy:
+        policies = tuple(args.policy)
+    else:
+        policies = (
+            "rate-profile", "online-by", "space-eff-by", "gds",
+            "static", "no-cache",
+        )
+    if not 0.0 < args.capacity_frac <= 1.0:
+        print("capacity-frac must be in (0, 1]", file=sys.stderr)
+        return 2
+
+    try:
+        prepared = PreparedTrace.load(args.trace)
+    except FileNotFoundError:
+        print(f"no such trace file: {args.trace}", file=sys.stderr)
+        return 2
+    profile = PROFILES[args.profile]
+    federation = Federation.single_site(build_sdss_catalog(profile), "sdss")
+    federation.add_server(
+        DatabaseServer("first", build_first_catalog(profile))
+    )
+    capacity = max(
+        1, int(federation.total_database_bytes() * args.capacity_frac)
+    )
+
+    results = compare_policies(
+        prepared,
+        federation,
+        capacity,
+        args.granularity,
+        policies=policies,
+        record_series=False,
+    )
+    print(
+        format_breakdown(
+            results,
+            title=(
+                f"{prepared.name}: {len(prepared)} queries, "
+                f"{args.granularity} caching, cache "
+                f"{args.capacity_frac:.0%} of DB ({capacity:,} B)"
+            ),
+            sequence_bytes=float(prepared.sequence_bytes),
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

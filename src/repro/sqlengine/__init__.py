@@ -1,0 +1,51 @@
+"""A from-scratch mini SQL engine (parser, planner, column-store executor).
+
+This package is the substrate the federation servers run.  It exists so
+that every query in a workload trace can be *actually executed* against
+synthetic data, giving the bypass-yield cache exact result sizes (yields)
+rather than estimates — mirroring how the paper re-executed the SDSS
+traces against a live server.
+
+Public entry points:
+
+* :func:`repro.sqlengine.parser.parse` — SQL text to AST.
+* :class:`repro.sqlengine.executor.QueryEngine` — parse+plan+execute facade.
+* :class:`repro.sqlengine.catalog.Catalog` — table container with exact
+  object-size metadata.
+"""
+
+from repro.sqlengine.catalog import Catalog
+from repro.sqlengine.executor import QueryEngine, ResultColumn, ResultSet
+from repro.sqlengine.parser import parse
+from repro.sqlengine.printer import expr_to_sql, explain, to_sql
+from repro.sqlengine.planner import QueryPlan, SchemaLookup, plan_select
+from repro.sqlengine.schema import Column, DatabaseSchema, TableSchema
+from repro.sqlengine.statistics import (
+    ColumnStatistics,
+    TableStatistics,
+    YieldEstimator,
+)
+from repro.sqlengine.storage import Table
+from repro.sqlengine.types import ColumnType
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnStatistics",
+    "ColumnType",
+    "DatabaseSchema",
+    "QueryEngine",
+    "QueryPlan",
+    "ResultColumn",
+    "ResultSet",
+    "SchemaLookup",
+    "Table",
+    "TableSchema",
+    "TableStatistics",
+    "YieldEstimator",
+    "expr_to_sql",
+    "explain",
+    "parse",
+    "plan_select",
+    "to_sql",
+]

@@ -1,0 +1,751 @@
+"""Plan execution: scans, hash joins, aggregation, ordering, projection.
+
+The executor consumes a :class:`~repro.sqlengine.planner.QueryPlan` and a
+table provider (anything with ``table(name) -> Table``) and produces a
+:class:`ResultSet` whose exact byte size is the query's *yield* in the
+bypass-yield model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError, PlanError
+from repro.sqlengine.ast_nodes import (
+    BetweenOp,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InOp,
+    IsNullOp,
+    Literal,
+    OrderItem,
+    UnaryOp,
+    is_aggregate,
+)
+from repro.sqlengine.expressions import RowLayout, compile_expr
+from repro.sqlengine.functions import make_aggregate
+from repro.sqlengine.parser import parse
+from repro.sqlengine.planner import (
+    JoinEdge,
+    OutputColumn,
+    QueryPlan,
+    ScopeEntry,
+    SchemaLookup,
+    plan_select,
+)
+from repro.sqlengine.storage import Table
+
+
+@dataclass
+class ResultColumn:
+    """Metadata for one result column.
+
+    ``width`` prices each value in bytes for yield accounting; ``source``
+    records (table, column) provenance for bare column outputs.
+    """
+
+    name: str
+    width: int
+    source: Optional[Tuple[str, str]] = None
+
+
+@dataclass
+class ResultSet:
+    """Materialized query result with exact byte accounting."""
+
+    columns: List[ResultColumn]
+    rows: List[Tuple[Any, ...]]
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+    @property
+    def row_width(self) -> int:
+        return sum(col.width for col in self.columns)
+
+    @property
+    def byte_size(self) -> int:
+        """The query's yield: result bytes shipped to the application."""
+        return self.row_width * len(self.rows)
+
+    def column_names(self) -> List[str]:
+        return [col.name for col in self.columns]
+
+    def column_values(self, name: str) -> List[Any]:
+        key = name.lower()
+        for i, col in enumerate(self.columns):
+            if col.name.lower() == key:
+                return [row[i] for row in self.rows]
+        raise ExecutionError(f"result has no column {name!r}")
+
+
+class QueryEngine:
+    """Facade: parse + plan + execute against one table provider.
+
+    The provider must offer ``table(name) -> Table`` and ``tables() ->
+    list[Table]`` (the :class:`~repro.sqlengine.catalog.Catalog` API).
+    """
+
+    def __init__(self, catalog: Any) -> None:
+        self._catalog = catalog
+        self._lookup = SchemaLookup.from_catalog(catalog)
+
+    def plan(self, sql: str) -> QueryPlan:
+        return plan_select(parse(sql), self._lookup)
+
+    def execute(self, sql: str) -> ResultSet:
+        """Parse, plan and run ``sql``, returning the materialized result."""
+        return execute_plan(self.plan(sql), self._catalog)
+
+    def yield_bytes(self, sql: str) -> int:
+        """The yield of ``sql``: exact result size in bytes."""
+        return self.execute(sql).byte_size
+
+
+def execute_plan(plan: QueryPlan, provider: Any) -> ResultSet:
+    """Run a bound plan against ``provider`` (``table(name) -> Table``)."""
+    rows, layout = _join_all(plan, provider)
+
+    if plan.residual_predicates:
+        rows = _filter(rows, plan.residual_predicates, layout)
+
+    if plan.has_aggregates:
+        rows, layout, outputs, order_exprs = _aggregate(plan, rows, layout)
+    else:
+        outputs = plan.outputs
+        order_exprs = [item.expr for item in plan.statement.order_by]
+
+    projected = _project(rows, layout, outputs)
+
+    if plan.statement.distinct:
+        projected = _distinct(projected)
+
+    if plan.statement.order_by:
+        projected = _order(
+            projected, rows, layout, outputs, order_exprs,
+            plan.statement.order_by, plan.has_aggregates,
+            plan.statement.distinct,
+        )
+
+    if plan.statement.limit is not None:
+        projected = projected[: plan.statement.limit]
+
+    columns = [
+        ResultColumn(name=out.name, width=out.width, source=out.source)
+        for out in outputs
+    ]
+    return ResultSet(columns=columns, rows=projected)
+
+
+# ----------------------------------------------------------------------
+# Scan and join
+# ----------------------------------------------------------------------
+
+def _scan(
+    entry: ScopeEntry, predicates: List[Expr], provider: Any
+) -> Tuple[List[Tuple[Any, ...]], RowLayout]:
+    """Scan one table, applying its pushed-down local predicates.
+
+    When a predicate is an equality against a literal on an indexed
+    column, the hash index supplies the candidate rows and only the
+    remaining predicates are evaluated.
+    """
+    table: Table = provider.table(entry.table_name)
+    layout = RowLayout()
+    for col in entry.schema.columns:
+        layout.add(entry.binding, col.name)
+
+    rows: Optional[List[Tuple[Any, ...]]] = None
+    remaining = predicates
+    probe = _index_probe(predicates, table)
+    if probe is not None:
+        rows, used_predicate = probe
+        remaining = [p for p in predicates if p is not used_predicate]
+    if rows is None:
+        rows = table.materialized_rows()
+    if remaining:
+        rows = _filter(rows, remaining, layout)
+    return rows, layout
+
+
+def _index_probe(
+    predicates: List[Expr], table: Table
+) -> Optional[Tuple[List[Tuple[Any, ...]], Expr]]:
+    """(matching rows, predicate served by the index) or None."""
+    for predicate in predicates:
+        if not (
+            isinstance(predicate, BinaryOp) and predicate.op == "="
+        ):
+            continue
+        sides = (
+            (predicate.left, predicate.right),
+            (predicate.right, predicate.left),
+        )
+        for column_side, value_side in sides:
+            if not (
+                isinstance(column_side, ColumnRef)
+                and isinstance(value_side, Literal)
+            ):
+                continue
+            matches = table.index_lookup(
+                column_side.column, value_side.value
+            )
+            if matches is not None:
+                return matches, predicate
+    return None
+
+
+def _join_all(
+    plan: QueryPlan, provider: Any
+) -> Tuple[List[Tuple[Any, ...]], RowLayout]:
+    """Join all scope relations left-to-right using hash joins on the
+    extracted equi-join edges (cartesian product when no edge applies)."""
+    entries = plan.scope
+    rows, layout = _scan(
+        entries[0], plan.local_predicates.get(entries[0].binding, []),
+        provider,
+    )
+    joined = {entries[0].binding.lower()}
+    remaining_edges = list(plan.join_edges)
+
+    for entry in entries[1:]:
+        right_rows, right_layout = _scan(
+            entry, plan.local_predicates.get(entry.binding, []), provider
+        )
+        merged_layout = _merge_layouts(layout, right_layout)
+        if entry.join_kind == "left":
+            rows = _left_outer_join(
+                rows, layout, right_rows, right_layout,
+                merged_layout, entry,
+            )
+        else:
+            edges, remaining_edges = _edges_for(
+                remaining_edges, joined, entry.binding
+            )
+            if edges:
+                rows = _hash_join(
+                    rows, layout, right_rows, right_layout, edges,
+                    entry.binding,
+                )
+            else:
+                rows = [
+                    left + right for left in rows for right in right_rows
+                ]
+        layout = merged_layout
+        joined.add(entry.binding.lower())
+
+    # Edges never attached to a join step (e.g. both sides already joined
+    # via another path) become post-join filters.
+    for edge in remaining_edges:
+        left_pos = layout.position(edge.left_column, edge.left_binding)
+        right_pos = layout.position(edge.right_column, edge.right_binding)
+        rows = [
+            row
+            for row in rows
+            if row[left_pos] is not None and row[left_pos] == row[right_pos]
+        ]
+    return rows, layout
+
+
+def _edges_for(
+    edges: List[JoinEdge], joined: set, new_binding: str
+) -> Tuple[List[Tuple[int, int, bool]], List[JoinEdge]]:
+    """Partition edges into those usable for joining ``new_binding`` now.
+
+    Returns (usable, remaining); usable entries are raw edges re-expressed
+    later by the caller.
+    """
+    new_key = new_binding.lower()
+    usable: List[JoinEdge] = []
+    remaining: List[JoinEdge] = []
+    for edge in edges:
+        left = edge.left_binding.lower()
+        right = edge.right_binding.lower()
+        if left in joined and right == new_key:
+            usable.append(edge)
+        elif right in joined and left == new_key:
+            usable.append(
+                JoinEdge(
+                    left_binding=edge.right_binding,
+                    left_column=edge.right_column,
+                    right_binding=edge.left_binding,
+                    right_column=edge.left_column,
+                )
+            )
+        else:
+            remaining.append(edge)
+    return usable, remaining
+
+
+def _merge_layouts(left: RowLayout, right: RowLayout) -> RowLayout:
+    merged = RowLayout()
+    for binding, column in left.slots:
+        merged.add(binding, column)
+    for binding, column in right.slots:
+        merged.add(binding, column)
+    return merged
+
+
+def _hash_join(
+    left_rows: List[Tuple[Any, ...]],
+    left_layout: RowLayout,
+    right_rows: List[Tuple[Any, ...]],
+    right_layout: RowLayout,
+    edges: List[JoinEdge],
+    right_binding: str,
+) -> List[Tuple[Any, ...]]:
+    left_positions = [
+        left_layout.position(edge.left_column, edge.left_binding)
+        for edge in edges
+    ]
+    right_positions = [
+        right_layout.position(edge.right_column, right_binding)
+        for edge in edges
+    ]
+    index: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+    for row in right_rows:
+        key = tuple(row[p] for p in right_positions)
+        if any(value is None for value in key):
+            continue  # NULL never joins
+        index.setdefault(key, []).append(row)
+    output: List[Tuple[Any, ...]] = []
+    for row in left_rows:
+        key = tuple(row[p] for p in left_positions)
+        if any(value is None for value in key):
+            continue
+        for match in index.get(key, ()):
+            output.append(row + match)
+    return output
+
+
+def _left_outer_join(
+    left_rows: List[Tuple[Any, ...]],
+    left_layout: RowLayout,
+    right_rows: List[Tuple[Any, ...]],
+    right_layout: RowLayout,
+    merged_layout: RowLayout,
+    entry: "ScopeEntry",
+) -> List[Tuple[Any, ...]]:
+    """LEFT OUTER JOIN: every left row survives; unmatched ones get the
+    right side NULL-padded.  Equality conjuncts of the ON condition that
+    link the two sides drive a hash index; any remaining ON conjuncts
+    are evaluated per candidate pair.
+    """
+    from repro.sqlengine.expressions import split_conjuncts
+
+    condition = entry.join_condition
+    conjuncts = split_conjuncts(condition)
+    binding_key = entry.binding.lower()
+
+    # Split ON into hashable equi pairs vs. everything else.
+    left_positions: List[int] = []
+    right_positions: List[int] = []
+    residual: List[Expr] = []
+    for conjunct in conjuncts:
+        pair = _equi_pair(
+            conjunct, left_layout, right_layout, binding_key
+        )
+        if pair is None:
+            residual.append(conjunct)
+        else:
+            left_positions.append(pair[0])
+            right_positions.append(pair[1])
+
+    residual_funcs = [
+        compile_expr(expr, merged_layout) for expr in residual
+    ]
+    padding = (None,) * right_layout.width
+
+    index: Optional[Dict[Tuple[Any, ...], List[Tuple[Any, ...]]]] = None
+    if left_positions:
+        index = {}
+        for row in right_rows:
+            key = tuple(row[p] for p in right_positions)
+            if any(value is None for value in key):
+                continue
+            index.setdefault(key, []).append(row)
+
+    output: List[Tuple[Any, ...]] = []
+    for left_row in left_rows:
+        if index is not None:
+            key = tuple(left_row[p] for p in left_positions)
+            candidates = (
+                [] if any(v is None for v in key) else index.get(key, [])
+            )
+        else:
+            candidates = right_rows
+        matched = False
+        for right_row in candidates:
+            combined = left_row + right_row
+            if all(func(combined) is True for func in residual_funcs):
+                output.append(combined)
+                matched = True
+        if not matched:
+            output.append(left_row + padding)
+    return output
+
+
+def _equi_pair(
+    conjunct: Expr,
+    left_layout: RowLayout,
+    right_layout: RowLayout,
+    right_binding: str,
+) -> Optional[Tuple[int, int]]:
+    """(left_pos, right_pos) when ``conjunct`` is col = col across the
+    join boundary; None otherwise."""
+    if not (
+        isinstance(conjunct, BinaryOp)
+        and conjunct.op == "="
+        and isinstance(conjunct.left, ColumnRef)
+        and isinstance(conjunct.right, ColumnRef)
+    ):
+        return None
+    for first, second in (
+        (conjunct.left, conjunct.right),
+        (conjunct.right, conjunct.left),
+    ):
+        try:
+            if (
+                second.table is not None
+                and second.table.lower() == right_binding
+            ):
+                left_pos = left_layout.position(first.column, first.table)
+                right_pos = right_layout.position(
+                    second.column, second.table
+                )
+                return left_pos, right_pos
+        except PlanError:
+            continue
+    return None
+
+
+def _filter(
+    rows: List[Tuple[Any, ...]], predicates: List[Expr], layout: RowLayout
+) -> List[Tuple[Any, ...]]:
+    compiled = [compile_expr(pred, layout) for pred in predicates]
+    return [
+        row for row in rows if all(func(row) is True for func in compiled)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+
+_GROUP_BINDING = "#group"
+_AGG_BINDING = "#agg"
+
+
+def _collect_aggregates(expr: Expr, out: List[FuncCall]) -> None:
+    if isinstance(expr, FuncCall):
+        from repro.sqlengine.ast_nodes import AGGREGATE_FUNCTIONS
+
+        if expr.name.lower() in AGGREGATE_FUNCTIONS:
+            if expr not in out:
+                out.append(expr)
+            return
+        # Scalar function: aggregates may hide inside its arguments
+        # (e.g. FLOOR(AVG(x))).
+        for arg in expr.args:
+            _collect_aggregates(arg, out)
+        return
+    if isinstance(expr, BinaryOp):
+        _collect_aggregates(expr.left, out)
+        _collect_aggregates(expr.right, out)
+    elif isinstance(expr, UnaryOp):
+        _collect_aggregates(expr.operand, out)
+    elif isinstance(expr, BetweenOp):
+        _collect_aggregates(expr.operand, out)
+        _collect_aggregates(expr.low, out)
+        _collect_aggregates(expr.high, out)
+    elif isinstance(expr, InOp):
+        _collect_aggregates(expr.operand, out)
+        for item in expr.items:
+            _collect_aggregates(item, out)
+    elif isinstance(expr, IsNullOp):
+        _collect_aggregates(expr.operand, out)
+
+
+def _substitute(expr: Expr, mapping: Dict[Expr, Expr]) -> Expr:
+    """Replace subtrees structurally equal to a mapping key (top-down)."""
+    if expr in mapping:
+        return mapping[expr]
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op,
+            _substitute(expr.left, mapping),
+            _substitute(expr.right, mapping),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _substitute(expr.operand, mapping))
+    if isinstance(expr, BetweenOp):
+        return BetweenOp(
+            _substitute(expr.operand, mapping),
+            _substitute(expr.low, mapping),
+            _substitute(expr.high, mapping),
+            expr.negated,
+        )
+    if isinstance(expr, InOp):
+        return InOp(
+            _substitute(expr.operand, mapping),
+            tuple(_substitute(item, mapping) for item in expr.items),
+            expr.negated,
+        )
+    if isinstance(expr, IsNullOp):
+        return IsNullOp(_substitute(expr.operand, mapping), expr.negated)
+    if isinstance(expr, FuncCall):
+        return FuncCall(
+            name=expr.name,
+            args=tuple(_substitute(arg, mapping) for arg in expr.args),
+            star=expr.star,
+            distinct=expr.distinct,
+        )
+    return expr
+
+
+def _aggregate(
+    plan: QueryPlan,
+    rows: List[Tuple[Any, ...]],
+    layout: RowLayout,
+) -> Tuple[
+    List[Tuple[Any, ...]], RowLayout, List[OutputColumn], List[Expr]
+]:
+    """Group, accumulate, and rewrite outputs over the aggregated layout."""
+    statement = plan.statement
+
+    agg_calls: List[FuncCall] = []
+    for out in plan.outputs:
+        _collect_aggregates(out.expr, agg_calls)
+    if statement.having is not None:
+        _collect_aggregates(statement.having, agg_calls)
+    for item in statement.order_by:
+        _collect_aggregates(item.expr, agg_calls)
+
+    group_exprs = list(statement.group_by)
+    group_funcs = [compile_expr(expr, layout) for expr in group_exprs]
+    agg_arg_funcs: List[Optional[Callable]] = []
+    for call in agg_calls:
+        if call.star:
+            agg_arg_funcs.append(None)
+        else:
+            if len(call.args) != 1:
+                raise PlanError(
+                    f"aggregate {call.name!r} takes exactly one argument"
+                )
+            agg_arg_funcs.append(compile_expr(call.args[0], layout))
+
+    groups: Dict[Tuple[Any, ...], List[Any]] = {}
+    group_order: List[Tuple[Any, ...]] = []
+    for row in rows:
+        key = tuple(func(row) for func in group_funcs)
+        if key not in groups:
+            groups[key] = [
+                make_aggregate(call.name, call.distinct)
+                for call in agg_calls
+            ]
+            group_order.append(key)
+        accumulators = groups[key]
+        for accumulator, arg_func in zip(accumulators, agg_arg_funcs):
+            value = 1 if arg_func is None else arg_func(row)
+            accumulator.add(value)
+
+    if not group_exprs and not groups:
+        # Aggregate over an empty input still yields one row.
+        groups[()] = [
+            make_aggregate(call.name, call.distinct) for call in agg_calls
+        ]
+        group_order.append(())
+
+    agg_layout = RowLayout()
+    mapping: Dict[Expr, Expr] = {}
+    for i, expr in enumerate(group_exprs):
+        agg_layout.add(_GROUP_BINDING, f"g{i}")
+        mapping[expr] = ColumnRef(column=f"g{i}", table=_GROUP_BINDING)
+    for j, call in enumerate(agg_calls):
+        agg_layout.add(_AGG_BINDING, f"a{j}")
+        mapping[call] = ColumnRef(column=f"a{j}", table=_AGG_BINDING)
+
+    agg_rows: List[Tuple[Any, ...]] = []
+    for key in group_order:
+        agg_rows.append(
+            key + tuple(acc.result() for acc in groups[key])
+        )
+
+    if statement.having is not None:
+        having_expr = _substitute(statement.having, mapping)
+        having_func = compile_expr(having_expr, agg_layout)
+        agg_rows = [row for row in agg_rows if having_func(row) is True]
+
+    outputs: List[OutputColumn] = []
+    for out in plan.outputs:
+        rewritten = _substitute(out.expr, mapping)
+        _check_fully_aggregated(rewritten, out.name)
+        outputs.append(
+            OutputColumn(
+                name=out.name,
+                expr=rewritten,
+                width=out.width,
+                source=out.source,
+            )
+        )
+    order_exprs = [
+        _substitute(item.expr, mapping) for item in statement.order_by
+    ]
+    return agg_rows, agg_layout, outputs, order_exprs
+
+
+def _check_fully_aggregated(expr: Expr, name: str) -> None:
+    """After substitution, any leftover base-table column reference means a
+    non-aggregated column was selected without being in GROUP BY."""
+    if isinstance(expr, ColumnRef):
+        if expr.table not in (_GROUP_BINDING, _AGG_BINDING):
+            raise PlanError(
+                f"column {expr.display()!r} in output {name!r} must appear "
+                "in GROUP BY or inside an aggregate"
+            )
+        return
+    if isinstance(expr, BinaryOp):
+        _check_fully_aggregated(expr.left, name)
+        _check_fully_aggregated(expr.right, name)
+    elif isinstance(expr, UnaryOp):
+        _check_fully_aggregated(expr.operand, name)
+    elif isinstance(expr, BetweenOp):
+        _check_fully_aggregated(expr.operand, name)
+        _check_fully_aggregated(expr.low, name)
+        _check_fully_aggregated(expr.high, name)
+    elif isinstance(expr, InOp):
+        _check_fully_aggregated(expr.operand, name)
+        for item in expr.items:
+            _check_fully_aggregated(item, name)
+    elif isinstance(expr, IsNullOp):
+        _check_fully_aggregated(expr.operand, name)
+    elif isinstance(expr, FuncCall):
+        from repro.sqlengine.ast_nodes import AGGREGATE_FUNCTIONS
+
+        if expr.name.lower() in AGGREGATE_FUNCTIONS:
+            raise PlanError(
+                f"nested aggregate in output {name!r} is not supported"
+            )
+        for arg in expr.args:
+            _check_fully_aggregated(arg, name)
+
+
+# ----------------------------------------------------------------------
+# Projection, distinct, order
+# ----------------------------------------------------------------------
+
+def _project(
+    rows: List[Tuple[Any, ...]],
+    layout: RowLayout,
+    outputs: List[OutputColumn],
+) -> List[Tuple[Any, ...]]:
+    funcs = [compile_expr(out.expr, layout) for out in outputs]
+    return [tuple(func(row) for func in funcs) for row in rows]
+
+
+def _distinct(rows: List[Tuple[Any, ...]]) -> List[Tuple[Any, ...]]:
+    seen = set()
+    output = []
+    for row in rows:
+        if row in seen:
+            continue
+        seen.add(row)
+        output.append(row)
+    return output
+
+
+def _sort_key(value: Any) -> Tuple[int, Any]:
+    """NULLs sort first; values must be mutually comparable otherwise."""
+    if value is None:
+        return (0, 0)
+    return (1, value)
+
+
+def _order(
+    projected: List[Tuple[Any, ...]],
+    source_rows: List[Tuple[Any, ...]],
+    layout: RowLayout,
+    outputs: List[OutputColumn],
+    order_exprs: List[Expr],
+    order_items: Sequence[OrderItem],
+    aggregated: bool,
+    was_distinct: bool,
+) -> List[Tuple[Any, ...]]:
+    """Sort projected rows.
+
+    ORDER BY expressions are evaluated against the projected output when
+    they match an output alias/column, otherwise against the source rows
+    (only possible when projection is row-for-row, i.e. no DISTINCT).
+    """
+    key_funcs: List[Callable[[int], Any]] = []
+    output_index = {
+        out.name.lower(): i for i, out in enumerate(outputs)
+    }
+    for expr, item in zip(order_exprs, order_items):
+        func = _order_key_func(
+            expr, projected, source_rows, layout, output_index, was_distinct
+        )
+        key_funcs.append(func)
+
+    decorated = list(range(len(projected)))
+
+    def full_key(i: int) -> Tuple[Any, ...]:
+        parts = []
+        for func, item in zip(key_funcs, order_items):
+            marker, value = _sort_key(func(i))
+            if not item.ascending:
+                marker = -marker
+                value = _Reversed(value)
+            parts.append((marker, value))
+        return tuple(parts)
+
+    decorated.sort(key=full_key)
+    return [projected[i] for i in decorated]
+
+
+class _Reversed:
+    """Wrapper inverting comparison order for DESC sort keys."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        try:
+            return other.value < self.value
+        except TypeError as exc:
+            raise ExecutionError(
+                f"cannot order {self.value!r} vs {other.value!r}"
+            ) from exc
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and self.value == other.value
+
+
+def _order_key_func(
+    expr: Expr,
+    projected: List[Tuple[Any, ...]],
+    source_rows: List[Tuple[Any, ...]],
+    layout: RowLayout,
+    output_index: Dict[str, int],
+    was_distinct: bool,
+) -> Callable[[int], Any]:
+    if isinstance(expr, ColumnRef) and expr.table is None:
+        pos = output_index.get(expr.column.lower())
+        if pos is not None:
+            return lambda i: projected[i][pos]
+    try:
+        compiled = compile_expr(expr, layout)
+    except PlanError:
+        raise
+    if was_distinct and len(projected) != len(source_rows):
+        raise PlanError(
+            "ORDER BY over non-selected expressions is incompatible with "
+            "DISTINCT"
+        )
+    return lambda i: compiled(source_rows[i])

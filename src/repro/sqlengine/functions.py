@@ -1,0 +1,214 @@
+"""Aggregate function implementations.
+
+Each aggregate is a small accumulator object; the executor feeds it one
+value per input row (NULLs are skipped, per SQL semantics) and reads
+``result()`` at group end.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Set
+
+from repro.errors import PlanError
+
+
+class Aggregate:
+    """Base accumulator; subclasses override :meth:`add` / :meth:`result`."""
+
+    def add(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        raise NotImplementedError
+
+
+class CountAggregate(Aggregate):
+    """COUNT(expr) — counts non-NULL inputs. COUNT(*) feeds a sentinel."""
+
+    def __init__(self, distinct: bool = False) -> None:
+        self._count = 0
+        self._distinct = distinct
+        self._seen: Set[Any] = set()
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self._distinct:
+            if value in self._seen:
+                return
+            self._seen.add(value)
+        self._count += 1
+
+    def result(self) -> int:
+        return self._count
+
+
+class SumAggregate(Aggregate):
+    def __init__(self, distinct: bool = False) -> None:
+        self._total: Any = None
+        self._distinct = distinct
+        self._seen: Set[Any] = set()
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self._distinct:
+            if value in self._seen:
+                return
+            self._seen.add(value)
+        self._total = value if self._total is None else self._total + value
+
+    def result(self) -> Any:
+        return self._total
+
+
+class AvgAggregate(Aggregate):
+    def __init__(self, distinct: bool = False) -> None:
+        self._total: Any = None
+        self._count = 0
+        self._distinct = distinct
+        self._seen: Set[Any] = set()
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self._distinct:
+            if value in self._seen:
+                return
+            self._seen.add(value)
+        self._total = value if self._total is None else self._total + value
+        self._count += 1
+
+    def result(self) -> Optional[float]:
+        if self._count == 0:
+            return None
+        return self._total / self._count
+
+
+class MinAggregate(Aggregate):
+    def __init__(self, distinct: bool = False) -> None:
+        self._best: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self._best is None or value < self._best:
+            self._best = value
+
+    def result(self) -> Any:
+        return self._best
+
+
+class MaxAggregate(Aggregate):
+    def __init__(self, distinct: bool = False) -> None:
+        self._best: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self._best is None or value > self._best:
+            self._best = value
+
+    def result(self) -> Any:
+        return self._best
+
+
+_FACTORIES: Dict[str, Callable[[bool], Aggregate]] = {
+    "count": lambda distinct: CountAggregate(distinct),
+    "sum": lambda distinct: SumAggregate(distinct),
+    "avg": lambda distinct: AvgAggregate(distinct),
+    "min": lambda distinct: MinAggregate(distinct),
+    "max": lambda distinct: MaxAggregate(distinct),
+}
+
+
+def _sql_abs(value: Any) -> Any:
+    return abs(value)
+
+
+def _sql_floor(value: Any) -> int:
+    import math
+
+    return math.floor(value)
+
+
+def _sql_ceiling(value: Any) -> int:
+    import math
+
+    return math.ceil(value)
+
+
+def _sql_sqrt(value: Any) -> Optional[float]:
+    import math
+
+    if value < 0:
+        return None  # SQL engines raise; NULL keeps the pipeline total
+    return math.sqrt(value)
+
+
+def _sql_log10(value: Any) -> Optional[float]:
+    import math
+
+    if value <= 0:
+        return None
+    return math.log10(value)
+
+
+def _sql_power(base: Any, exponent: Any) -> Optional[float]:
+    try:
+        result = float(base) ** float(exponent)
+    except (OverflowError, ZeroDivisionError):
+        return None
+    if isinstance(result, complex):
+        return None
+    return result
+
+
+def _sql_round(value: Any, digits: Any = 0) -> float:
+    return round(float(value), int(digits))
+
+
+#: Scalar functions: name -> (min_args, max_args, implementation).
+#: NULL inputs short-circuit to NULL before the implementation runs.
+SCALAR_FUNCTIONS: Dict[str, tuple] = {
+    "abs": (1, 1, _sql_abs),
+    "floor": (1, 1, _sql_floor),
+    "ceiling": (1, 1, _sql_ceiling),
+    "sqrt": (1, 1, _sql_sqrt),
+    "log10": (1, 1, _sql_log10),
+    "power": (2, 2, _sql_power),
+    "round": (1, 2, _sql_round),
+}
+
+
+def is_scalar_function(name: str) -> bool:
+    return name.lower() in SCALAR_FUNCTIONS
+
+
+def scalar_function(name: str):
+    """(min_args, max_args, callable) for a scalar function.
+
+    Raises:
+        PlanError: unknown function name.
+    """
+    try:
+        return SCALAR_FUNCTIONS[name.lower()]
+    except KeyError:
+        raise PlanError(f"unknown function {name!r}") from None
+
+
+def make_aggregate(name: str, distinct: bool = False) -> Aggregate:
+    """Instantiate an aggregate accumulator by (case-insensitive) name.
+
+    Raises:
+        PlanError: for unknown aggregate names.
+    """
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise PlanError(f"unknown aggregate function {name!r}") from None
+    return factory(distinct)
+
+
+def is_aggregate_name(name: str) -> bool:
+    return name.lower() in _FACTORIES

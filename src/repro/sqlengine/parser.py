@@ -1,0 +1,408 @@
+"""Recursive-descent parser for the SELECT subset.
+
+Grammar (roughly)::
+
+    select      := SELECT [DISTINCT] [TOP n] items FROM tables
+                   {join} [WHERE expr] [GROUP BY exprs [HAVING expr]]
+                   [ORDER BY order_items] [LIMIT n]
+    items       := item {',' item}
+    item        := '*' | ident '.' '*' | expr [[AS] ident]
+    tables      := table_ref {',' table_ref}
+    table_ref   := ident [[AS] ident]
+    join        := [INNER | LEFT [OUTER]] JOIN table_ref ON expr
+    expr        := or_expr
+    or_expr     := and_expr {OR and_expr}
+    and_expr    := not_expr {AND not_expr}
+    not_expr    := NOT not_expr | predicate
+    predicate   := additive [comparison | BETWEEN | IN | IS NULL | LIKE]
+    additive    := term {('+'|'-') term}
+    term        := factor {('*'|'/'|'%') factor}
+    factor      := literal | func | column | '(' expr ')' | '-' factor
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.sqlengine.ast_nodes import (
+    BetweenOp,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InOp,
+    IsNullOp,
+    Join,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+    UnaryOp,
+)
+from repro.sqlengine.lexer import Token, TokenType, tokenize
+
+_COMPARISON_OPS = frozenset({"=", "<>", "!=", "<", "<=", ">", ">="})
+_FUNCTION_KEYWORDS = frozenset({"count", "sum", "avg", "min", "max"})
+
+
+def parse(sql: str) -> SelectStatement:
+    """Parse one SELECT statement.
+
+    Raises:
+        ParseError: on any syntax error, including trailing garbage.
+        LexerError: on malformed tokens.
+    """
+    return _Parser(tokenize(sql), sql).parse_select(top_level=True)
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], source: str) -> None:
+        self._tokens = tokens
+        self._source = source
+        self._pos = 0
+
+    # -- token helpers --------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.ttype is not TokenType.EOF:
+            self._pos += 1
+        return tok
+
+    def _error(self, message: str) -> ParseError:
+        tok = self._peek()
+        context = self._source[max(0, tok.position - 20) : tok.position + 20]
+        return ParseError(
+            f"{message} near {tok.text or '<eof>'!r} "
+            f"(position {tok.position}: ...{context}...)"
+        )
+
+    def _expect_keyword(self, word: str) -> Token:
+        tok = self._peek()
+        if not tok.is_keyword(word):
+            raise self._error(f"expected {word.upper()}")
+        return self._advance()
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, ttype: TokenType) -> Token:
+        tok = self._peek()
+        if tok.ttype is not ttype:
+            raise self._error(f"expected {ttype.value}")
+        return self._advance()
+
+    def _ident_text(self, tok: Token) -> str:
+        # Bracketed identifiers carry the name in .value.
+        return tok.value if tok.value is not None else tok.text
+
+    def _expect_ident(self) -> str:
+        tok = self._peek()
+        if tok.ttype is TokenType.IDENT:
+            return self._ident_text(self._advance())
+        # Non-reserved usage of function keywords as identifiers is rare;
+        # reject to keep error messages crisp.
+        raise self._error("expected identifier")
+
+    # -- statement ------------------------------------------------------
+
+    def parse_select(self, top_level: bool = False) -> SelectStatement:
+        self._expect_keyword("select")
+        distinct = self._accept_keyword("distinct")
+
+        limit: Optional[int] = None
+        if self._accept_keyword("top"):
+            tok = self._expect(TokenType.NUMBER)
+            if not isinstance(tok.value, int) or tok.value < 0:
+                raise self._error("TOP expects a non-negative integer")
+            limit = tok.value
+
+        items = self._parse_select_items()
+        self._expect_keyword("from")
+        tables = self._parse_table_refs()
+        joins = self._parse_joins()
+
+        where = None
+        if self._accept_keyword("where"):
+            where = self.parse_expr()
+
+        group_by: Tuple[Expr, ...] = ()
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by = tuple(self._parse_expr_list())
+        having = None
+        if self._accept_keyword("having"):
+            # HAVING without GROUP BY is legal SQL (single implicit
+            # group); the planner rejects it when no aggregate appears.
+            having = self.parse_expr()
+
+        order_by: Tuple[OrderItem, ...] = ()
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            order_by = tuple(self._parse_order_items())
+
+        if self._accept_keyword("limit"):
+            tok = self._expect(TokenType.NUMBER)
+            if not isinstance(tok.value, int) or tok.value < 0:
+                raise self._error("LIMIT expects a non-negative integer")
+            if limit is not None:
+                limit = min(limit, tok.value)
+            else:
+                limit = tok.value
+
+        if top_level and self._peek().ttype is not TokenType.EOF:
+            raise self._error("unexpected input after statement")
+
+        return SelectStatement(
+            items=tuple(items),
+            tables=tuple(tables),
+            joins=tuple(joins),
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _parse_select_items(self) -> List[SelectItem]:
+        items = [self._parse_select_item()]
+        while self._peek().ttype is TokenType.COMMA:
+            self._advance()
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> SelectItem:
+        tok = self._peek()
+        if tok.ttype is TokenType.STAR:
+            self._advance()
+            return SelectItem(star=True)
+        if (
+            tok.ttype is TokenType.IDENT
+            and self._peek(1).ttype is TokenType.DOT
+            and self._peek(2).ttype is TokenType.STAR
+        ):
+            table = self._ident_text(self._advance())
+            self._advance()  # dot
+            self._advance()  # star
+            return SelectItem(star=True, table=table)
+
+        expr = self.parse_expr()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_ident()
+        elif self._peek().ttype is TokenType.IDENT:
+            alias = self._ident_text(self._advance())
+        return SelectItem(expr=expr, alias=alias)
+
+    def _parse_table_refs(self) -> List[TableRef]:
+        refs = [self._parse_table_ref()]
+        while self._peek().ttype is TokenType.COMMA:
+            self._advance()
+            refs.append(self._parse_table_ref())
+        return refs
+
+    def _parse_table_ref(self) -> TableRef:
+        table = self._expect_ident()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_ident()
+        elif self._peek().ttype is TokenType.IDENT:
+            alias = self._ident_text(self._advance())
+        return TableRef(table=table, alias=alias)
+
+    def _parse_joins(self) -> List[Join]:
+        joins: List[Join] = []
+        while True:
+            kind = "inner"
+            if self._peek().is_keyword("inner"):
+                if not self._peek(1).is_keyword("join"):
+                    raise self._error("expected JOIN after INNER")
+                self._advance()
+            elif self._peek().is_keyword("left"):
+                self._advance()
+                self._accept_keyword("outer")
+                kind = "left"
+                if not self._peek().is_keyword("join"):
+                    raise self._error("expected JOIN after LEFT [OUTER]")
+            if not self._accept_keyword("join"):
+                if kind == "left":
+                    raise self._error("expected JOIN")
+                break
+            table = self._parse_table_ref()
+            self._expect_keyword("on")
+            condition = self.parse_expr()
+            joins.append(Join(table=table, condition=condition, kind=kind))
+        return joins
+
+    def _parse_order_items(self) -> List[OrderItem]:
+        items = []
+        while True:
+            expr = self.parse_expr()
+            ascending = True
+            if self._accept_keyword("desc"):
+                ascending = False
+            else:
+                self._accept_keyword("asc")
+            items.append(OrderItem(expr=expr, ascending=ascending))
+            if self._peek().ttype is TokenType.COMMA:
+                self._advance()
+                continue
+            return items
+
+    def _parse_expr_list(self) -> List[Expr]:
+        exprs = [self.parse_expr()]
+        while self._peek().ttype is TokenType.COMMA:
+            self._advance()
+            exprs.append(self.parse_expr())
+        return exprs
+
+    # -- expressions ----------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._accept_keyword("or"):
+            right = self._parse_and()
+            left = BinaryOp("or", left, right)
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self._accept_keyword("and"):
+            right = self._parse_not()
+            left = BinaryOp("and", left, right)
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self._accept_keyword("not"):
+            return UnaryOp("not", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expr:
+        left = self._parse_additive()
+        tok = self._peek()
+        if tok.ttype is TokenType.OP and tok.text in _COMPARISON_OPS:
+            op = self._advance().text
+            if op == "!=":
+                op = "<>"
+            right = self._parse_additive()
+            return BinaryOp(op, left, right)
+        negated = False
+        if tok.is_keyword("not") and self._peek(1).ttype is TokenType.KEYWORD:
+            follower = self._peek(1).text
+            if follower in ("between", "in", "like"):
+                self._advance()
+                negated = True
+                tok = self._peek()
+        if tok.is_keyword("between"):
+            self._advance()
+            low = self._parse_additive()
+            self._expect_keyword("and")
+            high = self._parse_additive()
+            return BetweenOp(left, low, high, negated=negated)
+        if tok.is_keyword("in"):
+            self._advance()
+            self._expect(TokenType.LPAREN)
+            items = self._parse_expr_list()
+            self._expect(TokenType.RPAREN)
+            return InOp(left, tuple(items), negated=negated)
+        if tok.is_keyword("like"):
+            self._advance()
+            pattern = self._parse_additive()
+            expr: Expr = BinaryOp("like", left, pattern)
+            if negated:
+                expr = UnaryOp("not", expr)
+            return expr
+        if tok.is_keyword("is"):
+            self._advance()
+            is_negated = self._accept_keyword("not")
+            self._expect_keyword("null")
+            return IsNullOp(left, negated=is_negated)
+        if negated:
+            raise self._error("expected BETWEEN, IN or LIKE after NOT")
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_term()
+        while True:
+            tok = self._peek()
+            if tok.ttype is TokenType.OP and tok.text in ("+", "-"):
+                op = self._advance().text
+                left = BinaryOp(op, left, self._parse_term())
+            else:
+                return left
+
+    def _parse_term(self) -> Expr:
+        left = self._parse_factor()
+        while True:
+            tok = self._peek()
+            if tok.ttype is TokenType.STAR:
+                self._advance()
+                left = BinaryOp("*", left, self._parse_factor())
+            elif tok.ttype is TokenType.OP and tok.text in ("/", "%"):
+                op = self._advance().text
+                left = BinaryOp(op, left, self._parse_factor())
+            else:
+                return left
+
+    def _parse_factor(self) -> Expr:
+        tok = self._peek()
+        if tok.ttype is TokenType.OP and tok.text == "-":
+            self._advance()
+            return UnaryOp("-", self._parse_factor())
+        if tok.ttype is TokenType.OP and tok.text == "+":
+            self._advance()
+            return self._parse_factor()
+        if tok.ttype is TokenType.NUMBER:
+            self._advance()
+            return Literal(tok.value)
+        if tok.ttype is TokenType.STRING:
+            self._advance()
+            return Literal(tok.value)
+        if tok.is_keyword("null"):
+            self._advance()
+            return Literal(None)
+        if tok.ttype is TokenType.KEYWORD and tok.text in _FUNCTION_KEYWORDS:
+            return self._parse_function(self._advance().text)
+        if tok.ttype is TokenType.LPAREN:
+            self._advance()
+            expr = self.parse_expr()
+            self._expect(TokenType.RPAREN)
+            return expr
+        if tok.ttype is TokenType.IDENT:
+            name = self._ident_text(self._advance())
+            if self._peek().ttype is TokenType.LPAREN:
+                return self._parse_function(name)
+            if self._peek().ttype is TokenType.DOT:
+                self._advance()
+                column = self._expect_ident()
+                return ColumnRef(column=column, table=name)
+            return ColumnRef(column=name)
+        raise self._error("expected expression")
+
+    def _parse_function(self, name: str) -> FuncCall:
+        self._expect(TokenType.LPAREN)
+        if self._peek().ttype is TokenType.STAR:
+            self._advance()
+            self._expect(TokenType.RPAREN)
+            return FuncCall(name=name.lower(), star=True)
+        distinct = self._accept_keyword("distinct")
+        args: List[Expr] = []
+        if self._peek().ttype is not TokenType.RPAREN:
+            args = self._parse_expr_list()
+        self._expect(TokenType.RPAREN)
+        return FuncCall(
+            name=name.lower(), args=tuple(args), distinct=distinct
+        )

@@ -1,0 +1,199 @@
+"""SQL rendering: turn ASTs back into parseable text.
+
+Used by EXPLAIN output, error messages, and the parser's round-trip
+property tests (``parse(to_sql(parse(q)))`` must equal ``parse(q)``).
+Emitted text is fully parenthesized where precedence could be ambiguous,
+so it is not guaranteed to be byte-identical to the input — only
+structurally identical after re-parsing.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import SQLError
+from repro.sqlengine.ast_nodes import (
+    BetweenOp,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InOp,
+    IsNullOp,
+    Join,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    UnaryOp,
+)
+
+_NEEDS_IDENT_QUOTING = frozenset(" .,()[]+-*/%<>='\"")
+
+
+def render_identifier(name: str) -> str:
+    """Quote an identifier with [brackets] when it needs it."""
+    if not name:
+        raise SQLError("cannot render an empty identifier")
+    if any(ch in _NEEDS_IDENT_QUOTING for ch in name):
+        return f"[{name}]"
+    return name
+
+
+def render_literal(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def expr_to_sql(expr: Expr) -> str:
+    """Render one expression as parseable SQL text."""
+    if isinstance(expr, Literal):
+        return render_literal(expr.value)
+    if isinstance(expr, ColumnRef):
+        column = render_identifier(expr.column)
+        if expr.table is None:
+            return column
+        return f"{render_identifier(expr.table)}.{column}"
+    if isinstance(expr, UnaryOp):
+        inner = expr_to_sql(expr.operand)
+        if expr.op == "not":
+            # Fully parenthesized: NOT binds looser than BETWEEN/IN/
+            # comparisons, so a bare "NOT x" as an operand would
+            # re-parse with different structure.
+            return f"(NOT ({inner}))"
+        return f"(-({inner}))"
+    if isinstance(expr, BinaryOp):
+        left = expr_to_sql(expr.left)
+        right = expr_to_sql(expr.right)
+        op = expr.op.upper() if expr.op in ("and", "or", "like") else expr.op
+        return f"({left} {op} {right})"
+    if isinstance(expr, BetweenOp):
+        negation = "NOT " if expr.negated else ""
+        return (
+            f"({expr_to_sql(expr.operand)} {negation}BETWEEN "
+            f"{expr_to_sql(expr.low)} AND {expr_to_sql(expr.high)})"
+        )
+    if isinstance(expr, InOp):
+        items = ", ".join(expr_to_sql(item) for item in expr.items)
+        negation = "NOT " if expr.negated else ""
+        return f"({expr_to_sql(expr.operand)} {negation}IN ({items}))"
+    if isinstance(expr, IsNullOp):
+        negation = "NOT " if expr.negated else ""
+        return f"({expr_to_sql(expr.operand)} IS {negation}NULL)"
+    if isinstance(expr, FuncCall):
+        name = expr.name.upper()
+        if expr.star:
+            return f"{name}(*)"
+        args = ", ".join(expr_to_sql(arg) for arg in expr.args)
+        distinct = "DISTINCT " if expr.distinct else ""
+        return f"{name}({distinct}{args})"
+    raise SQLError(f"cannot render expression {expr!r}")
+
+
+def _render_item(item: SelectItem) -> str:
+    if item.star:
+        if item.table is None:
+            return "*"
+        return f"{render_identifier(item.table)}.*"
+    assert item.expr is not None
+    text = expr_to_sql(item.expr)
+    if item.alias:
+        text += f" AS {render_identifier(item.alias)}"
+    return text
+
+
+def _render_join(join: Join) -> str:
+    keyword = "JOIN" if join.kind == "inner" else "LEFT JOIN"
+    table = render_identifier(join.table.table)
+    if join.table.alias:
+        table += f" {render_identifier(join.table.alias)}"
+    return f"{keyword} {table} ON {expr_to_sql(join.condition)}"
+
+
+def _render_order(item: OrderItem) -> str:
+    direction = "ASC" if item.ascending else "DESC"
+    return f"{expr_to_sql(item.expr)} {direction}"
+
+
+def to_sql(statement: SelectStatement) -> str:
+    """Render a full SELECT statement as parseable SQL text."""
+    parts: List[str] = ["SELECT"]
+    if statement.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_render_item(item) for item in statement.items))
+
+    tables: List[str] = []
+    for ref in statement.tables:
+        text = render_identifier(ref.table)
+        if ref.alias:
+            text += f" {render_identifier(ref.alias)}"
+        tables.append(text)
+    parts.append("FROM " + ", ".join(tables))
+
+    for join in statement.joins:
+        parts.append(_render_join(join))
+
+    if statement.where is not None:
+        parts.append("WHERE " + expr_to_sql(statement.where))
+    if statement.group_by:
+        parts.append(
+            "GROUP BY "
+            + ", ".join(expr_to_sql(expr) for expr in statement.group_by)
+        )
+    if statement.having is not None:
+        parts.append("HAVING " + expr_to_sql(statement.having))
+    if statement.order_by:
+        parts.append(
+            "ORDER BY "
+            + ", ".join(_render_order(item) for item in statement.order_by)
+        )
+    if statement.limit is not None:
+        parts.append(f"LIMIT {statement.limit}")
+    return " ".join(parts)
+
+
+def explain(plan) -> str:
+    """Human-readable plan summary: scans, pushdowns, joins, residuals.
+
+    Accepts a :class:`~repro.sqlengine.planner.QueryPlan`.
+    """
+    lines: List[str] = ["QueryPlan"]
+    for entry in plan.scope:
+        label = f"scan {entry.table_name}"
+        if entry.binding.lower() != entry.table_name.lower():
+            label += f" AS {entry.binding}"
+        if entry.join_kind != "inner":
+            label = f"{entry.join_kind} join -> " + label
+            if entry.join_condition is not None:
+                label += f" ON {expr_to_sql(entry.join_condition)}"
+        lines.append(f"  {label}")
+        for predicate in plan.local_predicates.get(entry.binding, []):
+            lines.append(f"    pushdown: {expr_to_sql(predicate)}")
+    for edge in plan.join_edges:
+        lines.append(
+            f"  hash join: {edge.left_binding}.{edge.left_column} = "
+            f"{edge.right_binding}.{edge.right_column}"
+        )
+    for predicate in plan.residual_predicates:
+        lines.append(f"  residual filter: {expr_to_sql(predicate)}")
+    if plan.has_aggregates:
+        group = ", ".join(expr_to_sql(e) for e in plan.group_by) or "(all)"
+        lines.append(f"  aggregate over: {group}")
+    outputs = ", ".join(out.name for out in plan.outputs)
+    lines.append(f"  project: {outputs}")
+    if plan.statement.order_by:
+        lines.append(
+            "  order by: "
+            + ", ".join(
+                _render_order(item) for item in plan.statement.order_by
+            )
+        )
+    if plan.statement.limit is not None:
+        lines.append(f"  limit: {plan.statement.limit}")
+    return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""Column-store table storage.
+
+Tables are stored column-wise (one Python list per column).  The layout
+mirrors the paper's two caching granularities: an entire table is an
+object, and so is each individual column, each with an exact byte size
+(``width * row_count``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError
+from repro.sqlengine.schema import TableSchema
+
+
+class Table:
+    """In-memory column-store relation.
+
+    Rows are appended through :meth:`insert` / :meth:`insert_many`; reads
+    go through :meth:`column_values` (vector access) or :meth:`rows`
+    (tuple access).  All values are validated and coerced on insert so
+    downstream operators never see ill-typed data.
+    """
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._columns: Dict[str, List[Any]] = {
+            col.key: [] for col in schema.columns
+        }
+        self._row_count = 0
+        self._materialized: Optional[List[Tuple[Any, ...]]] = None
+        self._indexes: Dict[str, Dict[Any, List[int]]] = {}
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def row_count(self) -> int:
+        return self._row_count
+
+    @property
+    def size_bytes(self) -> int:
+        """Exact table size: sum of column sizes."""
+        return self.schema.row_width * self._row_count
+
+    def column_size_bytes(self, column_name: str) -> int:
+        """Exact size in bytes of one column."""
+        col = self.schema.column(column_name)
+        return col.width * self._row_count
+
+    def insert(self, row: Sequence[Any]) -> None:
+        """Append one row given in schema column order."""
+        if len(row) != len(self.schema):
+            raise ExecutionError(
+                f"table {self.name!r} expects {len(self.schema)} values, "
+                f"got {len(row)}"
+            )
+        coerced = []
+        for col, value in zip(self.schema.columns, row):
+            try:
+                coerced.append(col.ctype.coerce(value))
+            except TypeError as exc:
+                raise ExecutionError(
+                    f"bad value for {self.name}.{col.name}: {exc}"
+                ) from exc
+        for col, value in zip(self.schema.columns, coerced):
+            self._columns[col.key].append(value)
+            index = self._indexes.get(col.key)
+            if index is not None and value is not None:
+                index.setdefault(value, []).append(self._row_count)
+        self._row_count += 1
+        self._materialized = None
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Append many rows; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def column_values(self, column_name: str) -> Sequence[Any]:
+        """The full value vector of one column (read-only by convention)."""
+        key = column_name.lower()
+        if key not in self._columns:
+            raise ExecutionError(
+                f"table {self.name!r} has no column {column_name!r}"
+            )
+        return self._columns[key]
+
+    def rows(self) -> Iterator[Tuple[Any, ...]]:
+        """Iterate rows as tuples in schema column order."""
+        return iter(self.materialized_rows())
+
+    def materialized_rows(self) -> List[Tuple[Any, ...]]:
+        """Row tuples, memoized until the next insert.
+
+        The scan path of every query starts here, so repeated workloads
+        against the same table reuse one materialization.  Callers must
+        not mutate the returned list.
+        """
+        if self._materialized is None:
+            vectors = [
+                self._columns[col.key] for col in self.schema.columns
+            ]
+            self._materialized = list(zip(*vectors)) if vectors else []
+        return self._materialized
+
+    def create_index(self, column_name: str) -> None:
+        """Build (or rebuild) a hash index on one column.
+
+        The executor consults indexes for equality predicates pushed
+        down to a scan; identity-style lookups then touch only matching
+        rows instead of the whole table.  Inserts maintain existing
+        indexes incrementally.
+        """
+        col = self.schema.column(column_name)  # validates the name
+        index: Dict[Any, List[int]] = {}
+        for position, value in enumerate(self._columns[col.key]):
+            if value is None:
+                continue  # NULL never matches an equality predicate
+            index.setdefault(value, []).append(position)
+        self._indexes[col.key] = index
+
+    def has_index(self, column_name: str) -> bool:
+        return column_name.lower() in self._indexed_columns()
+
+    def _indexed_columns(self) -> List[str]:
+        return list(self._indexes)
+
+    def index_lookup(
+        self, column_name: str, value: Any
+    ) -> Optional[List[Tuple[Any, ...]]]:
+        """Rows whose ``column_name`` equals ``value``, via the index.
+
+        Returns None when the column is not indexed (caller falls back
+        to a scan); an empty list is a definitive no-match answer.
+        """
+        key = column_name.lower()
+        index = self._indexes.get(key)
+        if index is None:
+            return None
+        if value is None:
+            return []
+        rows = self.materialized_rows()
+        return [rows[position] for position in index.get(value, ())]
+
+    def row_at(self, index: int) -> Tuple[Any, ...]:
+        """Random access to one row."""
+        if not 0 <= index < self._row_count:
+            raise ExecutionError(
+                f"row index {index} out of range for table {self.name!r} "
+                f"({self._row_count} rows)"
+            )
+        return tuple(
+            self._columns[col.key][index] for col in self.schema.columns
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, rows={self._row_count}, "
+            f"bytes={self.size_bytes})"
+        )

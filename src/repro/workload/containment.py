@@ -1,0 +1,136 @@
+"""Query-containment analysis (Figure 4 and the semantic-caching question).
+
+The paper evaluates containment experimentally rather than via the
+NP-complete general test: queries over celestial objects are compared by
+the *object identifiers they return*.  A later query is (workload-)
+contained in earlier ones when every objID it returns was already
+returned inside a sliding window.  The analysis yields the scatter data
+of Figure 4 (points on the same horizontal line = objID reuse) and the
+headline statistic: almost no queries are contained, so semantic caching
+cannot help this workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.federation.mediator import Mediator
+from repro.workload.trace import Trace, TraceRecord
+
+
+@dataclass
+class ContainmentReport:
+    """Result of a containment analysis over a query window sequence.
+
+    Attributes:
+        points: (query_number, objID) scatter points — Figure 4's data.
+        total_queries: Number of object queries analyzed.
+        contained_queries: Queries whose entire objID set was previously
+            returned within the window.
+        reused_ids: objIDs returned by two or more distinct queries.
+        distinct_ids: Total distinct objIDs seen.
+    """
+
+    points: List[Tuple[int, int]] = field(default_factory=list)
+    total_queries: int = 0
+    contained_queries: int = 0
+    reused_ids: int = 0
+    distinct_ids: int = 0
+
+    @property
+    def containment_rate(self) -> float:
+        """Fraction of analyzed queries that were contained."""
+        if self.total_queries == 0:
+            return 0.0
+        return self.contained_queries / self.total_queries
+
+    @property
+    def reuse_rate(self) -> float:
+        """Fraction of distinct objIDs that any later query reused."""
+        if self.distinct_ids == 0:
+            return 0.0
+        return self.reused_ids / self.distinct_ids
+
+
+#: Templates whose results identify individual celestial objects; only
+#: these participate in the containment analysis, matching the paper's
+#: "disjoint continuous queries" over objects "denoted with unique
+#: identifiers".  Broad region sweeps are excluded: their overlapping
+#: windows would measure sky-area overlap, not result reuse.
+OBJECT_QUERY_TEMPLATES = frozenset({"identity", "neighbors"})
+
+
+def analyze_containment(
+    trace: Trace,
+    mediator: Mediator,
+    window: int = 50,
+    max_queries: int = 200,
+    id_column: str = "objID",
+) -> ContainmentReport:
+    """Run the workload-based containment analysis.
+
+    Args:
+        trace: Raw trace; only object-identifying templates are used.
+        mediator: Evaluates each query (no WAN accounting involved).
+        window: Sliding window size in object queries (paper uses 50).
+        max_queries: Cap on how many object queries to analyze.
+        id_column: Name of the identifier column in results.
+
+    Returns:
+        A :class:`ContainmentReport`.
+    """
+    report = ContainmentReport()
+    recent: List[Set[int]] = []
+    first_seen: Dict[int, int] = {}
+    reused: Set[int] = set()
+    analyzed = 0
+
+    for record in trace:
+        if record.template not in OBJECT_QUERY_TEMPLATES:
+            continue
+        if analyzed >= max_queries:
+            break
+        ids = _object_ids(record, mediator, id_column)
+        if ids is None:
+            continue
+        analyzed += 1
+        window_ids: Set[int] = set()
+        for seen in recent[-window:]:
+            window_ids.update(seen)
+        # Empty results are not "contained": a result cache could not
+        # have answered the query without evaluating it.
+        if ids and ids <= window_ids:
+            report.contained_queries += 1
+        for obj_id in ids:
+            report.points.append((analyzed, obj_id))
+            if obj_id in first_seen:
+                reused.add(obj_id)
+            else:
+                first_seen[obj_id] = analyzed
+        recent.append(ids)
+
+    report.total_queries = analyzed
+    report.distinct_ids = len(first_seen)
+    report.reused_ids = len(reused)
+    return report
+
+
+def _object_ids(
+    record: TraceRecord, mediator: Mediator, id_column: str
+):
+    """The set of identifier values the query returns, or None when the
+    result exposes no identifier column."""
+    result = mediator.evaluate(record.sql)
+    names = [c.lower() for c in result.column_names()]
+    target = id_column.lower()
+    candidates = [
+        i for i, name in enumerate(names)
+        if name == target or name == "neighborobjid"
+    ]
+    if not candidates:
+        return None
+    position = candidates[0]
+    return {
+        row[position] for row in result.rows if row[position] is not None
+    }

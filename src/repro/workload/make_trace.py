@@ -1,0 +1,118 @@
+"""CLI: generate (and optionally prepare) a synthetic SDSS-like trace.
+
+Usage::
+
+    python -m repro.workload.make_trace --flavor edr -n 5000 -o edr.jsonl
+    python -m repro.workload.make_trace --flavor dr1 -n 2000 \\
+        --profile medium --prepare -o dr1.jsonl
+
+``--prepare`` executes every query against a freshly built synthetic
+federation and writes a second file (``<output>.prepared.jsonl``)
+carrying measured yields and per-object attributions, ready for the
+simulator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.federation.federation import Federation
+from repro.federation.mediator import Mediator
+from repro.federation.server import DatabaseServer
+from repro.workload.generator import (
+    FLAVOR_THEME_WEIGHTS,
+    TraceConfig,
+    generate_trace,
+)
+from repro.workload.prepare import prepare_trace
+from repro.workload.stats import format_stats, trace_stats, yield_stats
+from repro.workload.sdss_schema import (
+    PROFILES,
+    build_first_catalog,
+    build_sdss_catalog,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workload.make_trace",
+        description="Generate a synthetic SDSS-like query trace.",
+    )
+    parser.add_argument(
+        "--flavor",
+        default="edr",
+        choices=sorted(FLAVOR_THEME_WEIGHTS),
+        help="trace flavor (theme mixture preset)",
+    )
+    parser.add_argument(
+        "-n", "--num-queries", type=int, default=5000,
+        help="number of queries to generate",
+    )
+    parser.add_argument(
+        "--profile",
+        default="small",
+        choices=sorted(PROFILES),
+        help="database scale profile",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="RNG seed (defaults to the flavor's canonical seed)",
+    )
+    parser.add_argument(
+        "--mean-dwell", type=int, default=250,
+        help="mean queries per user theme before switching",
+    )
+    parser.add_argument(
+        "--cold-prob", type=float, default=0.05,
+        help="probability of a one-off bulk-table query",
+    )
+    parser.add_argument(
+        "--prepare", action="store_true",
+        help="also execute every query and write measured yields",
+    )
+    parser.add_argument(
+        "-o", "--output", required=True, help="output trace path (JSONL)"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    profile = PROFILES[args.profile]
+    config = TraceConfig(
+        num_queries=args.num_queries,
+        flavor=args.flavor,
+        seed=args.seed,
+        mean_dwell=args.mean_dwell,
+        cold_prob=args.cold_prob,
+    )
+    trace = generate_trace(config, profile)
+    output = Path(args.output)
+    trace.save(output)
+    print(f"wrote {len(trace)} queries to {output}")
+    print(format_stats(trace_stats(trace)))
+
+    if args.prepare:
+        federation = Federation.single_site(
+            build_sdss_catalog(profile), "sdss"
+        )
+        federation.add_server(
+            DatabaseServer("first", build_first_catalog(profile))
+        )
+        mediator = Mediator(federation)
+        prepared = prepare_trace(trace, mediator)
+        prepared_path = output.with_suffix(output.suffix + ".prepared.jsonl")
+        prepared.save(prepared_path)
+        print(
+            f"wrote measured yields to {prepared_path} "
+            f"(sequence cost {prepared.sequence_bytes / 1e6:.2f} MB)"
+        )
+        print(format_stats(trace_stats(trace), yield_stats(prepared)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

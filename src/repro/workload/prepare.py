@@ -1,0 +1,111 @@
+"""Trace preparation: execute every query once and record its yields.
+
+The paper measures yields "by re-executing the traces with the server";
+we do the same against the synthetic federation, then persist the
+measurements so that the many simulator runs of the cache-size sweeps
+never touch SQL again.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.yield_model import (
+    attribute_yield_columns,
+    attribute_yield_tables,
+)
+from repro.federation.mediator import Mediator
+from repro.sqlengine.statistics import YieldEstimator
+from repro.workload.trace import PreparedQuery, PreparedTrace, Trace
+
+
+def prepare_trace(
+    trace: Trace,
+    mediator: Mediator,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> PreparedTrace:
+    """Execute and measure every query of ``trace``.
+
+    Args:
+        trace: Raw trace.
+        mediator: Federation front-end used for evaluation.  No WAN
+            traffic is charged during preparation.
+        progress: Optional callback ``(done, total)``.
+
+    Returns:
+        A :class:`~repro.workload.trace.PreparedTrace` carrying per-query
+        yields and per-object attributions at both granularities.
+    """
+    prepared = PreparedTrace(name=trace.name)
+    total = len(trace)
+    for done, record in enumerate(trace, start=1):
+        plan = mediator.plan(record.sql)
+        result = mediator.evaluate(record.sql, plan)
+        yield_bytes = result.byte_size
+        servers = tuple(mediator.servers_for_plan(plan))
+        if len(servers) <= 1:
+            bypass_bytes = yield_bytes
+        else:
+            bypass_bytes = _multi_server_bypass_bytes(
+                mediator, record.sql, plan, result
+            )
+        prepared.queries.append(
+            PreparedQuery(
+                index=record.index,
+                sql=record.sql,
+                template=record.template,
+                yield_bytes=yield_bytes,
+                bypass_bytes=bypass_bytes,
+                table_yields=attribute_yield_tables(plan, yield_bytes),
+                column_yields=attribute_yield_columns(plan, yield_bytes),
+                servers=servers,
+            )
+        )
+        if progress is not None:
+            progress(done, total)
+    return prepared
+
+
+def _multi_server_bypass_bytes(
+    mediator: Mediator, sql: str, plan, result
+) -> int:
+    """Measure the decomposed shipping cost without polluting the ledger."""
+    snapshot = mediator.ledger.snapshot()
+    federated = mediator.bypass(sql, plan, result)
+    # Roll the ledger back: preparation must be accounting-neutral.
+    mediator.ledger.bypass_bytes = snapshot.bypass_bytes
+    mediator.ledger.bypass_cost = snapshot.bypass_cost
+    mediator.ledger.per_server_bypass = dict(snapshot.per_server_bypass)
+    return federated.wan_bytes
+
+
+def estimate_trace(
+    trace: Trace,
+    mediator: Mediator,
+    estimator: YieldEstimator,
+) -> PreparedTrace:
+    """Statistics-only trace preparation: no query is executed.
+
+    Yields come from :class:`~repro.sqlengine.statistics.YieldEstimator`
+    instead of measurement, making preparation O(plans) instead of
+    O(data).  A production mediator would run this way; the estimation
+    ablation benchmark quantifies what the cache loses to the
+    estimation error.
+    """
+    prepared = PreparedTrace(name=f"{trace.name}-estimated")
+    for record in trace:
+        plan = mediator.plan(record.sql)
+        estimated = int(round(estimator.estimate_yield(plan)))
+        prepared.queries.append(
+            PreparedQuery(
+                index=record.index,
+                sql=record.sql,
+                template=record.template,
+                yield_bytes=estimated,
+                bypass_bytes=estimated,
+                table_yields=attribute_yield_tables(plan, estimated),
+                column_yields=attribute_yield_columns(plan, estimated),
+                servers=tuple(mediator.servers_for_plan(plan)),
+            )
+        )
+    return prepared

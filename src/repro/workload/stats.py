@@ -1,0 +1,147 @@
+"""Workload statistics: summarize traces for operators and reports.
+
+Answers the questions an operator asks before sizing a cache: what does
+the workload look like (template/theme mix), how heavy is it (yield
+distribution), and how concentrated is it (share of traffic from the
+top templates)?
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.workload.trace import PreparedTrace, Trace
+
+
+@dataclass
+class TraceStats:
+    """Composition summary of a raw trace."""
+
+    num_queries: int
+    template_counts: Dict[str, int] = field(default_factory=dict)
+    theme_counts: Dict[str, int] = field(default_factory=dict)
+
+    def top_templates(self, count: int = 5) -> List[Tuple[str, int]]:
+        return Counter(self.template_counts).most_common(count)
+
+
+def trace_stats(trace: Trace) -> TraceStats:
+    """Template/theme composition of a raw trace."""
+    templates = Counter(record.template for record in trace)
+    themes = Counter(record.theme for record in trace)
+    return TraceStats(
+        num_queries=len(trace),
+        template_counts=dict(templates),
+        theme_counts=dict(themes),
+    )
+
+
+@dataclass
+class YieldStats:
+    """Yield distribution summary of a prepared trace."""
+
+    num_queries: int
+    total_bytes: int
+    min_bytes: int
+    median_bytes: float
+    mean_bytes: float
+    p90_bytes: float
+    max_bytes: int
+    zero_yield_queries: int
+    template_yield: Dict[str, int] = field(default_factory=dict)
+
+    def top_yielding_templates(
+        self, count: int = 5
+    ) -> List[Tuple[str, int]]:
+        return Counter(self.template_yield).most_common(count)
+
+    def concentration(self, top: int = 3) -> float:
+        """Share of total yield produced by the ``top`` templates."""
+        if self.total_bytes == 0:
+            return 0.0
+        heaviest = sum(
+            amount for _, amount in self.top_yielding_templates(top)
+        )
+        return heaviest / self.total_bytes
+
+
+def yield_stats(prepared: PreparedTrace) -> YieldStats:
+    """Yield distribution of a prepared (measured) trace."""
+    yields = sorted(query.yield_bytes for query in prepared)
+    per_template: Counter = Counter()
+    for query in prepared:
+        per_template[query.template] += query.yield_bytes
+    if not yields:
+        return YieldStats(
+            num_queries=0,
+            total_bytes=0,
+            min_bytes=0,
+            median_bytes=0.0,
+            mean_bytes=0.0,
+            p90_bytes=0.0,
+            max_bytes=0,
+            zero_yield_queries=0,
+        )
+    total = sum(yields)
+    return YieldStats(
+        num_queries=len(yields),
+        total_bytes=total,
+        min_bytes=yields[0],
+        median_bytes=_quantile(yields, 0.5),
+        mean_bytes=total / len(yields),
+        p90_bytes=_quantile(yields, 0.9),
+        max_bytes=yields[-1],
+        zero_yield_queries=sum(1 for y in yields if y == 0),
+        template_yield=dict(per_template),
+    )
+
+
+def _quantile(sorted_values: List[int], q: float) -> float:
+    """Linear-interpolated quantile over pre-sorted values."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return (
+        sorted_values[low] * (1 - fraction)
+        + sorted_values[high] * fraction
+    )
+
+
+def format_stats(
+    composition: TraceStats, yields: Optional[YieldStats] = None
+) -> str:
+    """Human-readable summary block for CLI output."""
+    lines = [
+        f"queries: {composition.num_queries}",
+        "themes: "
+        + ", ".join(
+            f"{name}={count}"
+            for name, count in sorted(composition.theme_counts.items())
+        ),
+        "top templates: "
+        + ", ".join(
+            f"{name} x{count}"
+            for name, count in composition.top_templates()
+        ),
+    ]
+    if yields is not None and yields.num_queries:
+        lines.append(
+            f"yields: total {yields.total_bytes / 1e6:.2f} MB, "
+            f"median {yields.median_bytes:.0f} B, "
+            f"p90 {yields.p90_bytes:.0f} B, max {yields.max_bytes} B"
+        )
+        lines.append(
+            "heaviest templates: "
+            + ", ".join(
+                f"{name} ({amount / 1e6:.2f} MB)"
+                for name, amount in yields.top_yielding_templates(3)
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,215 @@
+"""Trace records and (de)serialization.
+
+A raw trace is just an ordered list of SQL texts with provenance tags.  A
+*prepared* trace additionally carries, per query, everything the
+simulator needs without re-executing SQL: the yield in bytes and the
+per-object yield attribution at both caching granularities.  Preparing
+once and simulating many times is what makes the cache-size sweeps of
+Figures 9-10 tractable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Union
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One query of a raw trace."""
+
+    index: int
+    sql: str
+    template: str = ""
+    theme: str = ""
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "sql": self.sql,
+            "template": self.template,
+            "theme": self.theme,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "TraceRecord":
+        try:
+            return cls(
+                index=int(data["index"]),
+                sql=str(data["sql"]),
+                template=str(data.get("template", "")),
+                theme=str(data.get("theme", "")),
+            )
+        except KeyError as exc:
+            raise WorkloadError(f"trace record missing field: {exc}") from exc
+
+
+@dataclass
+class Trace:
+    """An ordered query workload."""
+
+    name: str
+    records: List[TraceRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def append(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write as JSONL with a header line."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"trace": self.name}) + "\n")
+            for record in self.records:
+                handle.write(json.dumps(record.to_json()) + "\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Trace":
+        path = Path(path)
+        records: List[TraceRecord] = []
+        name = path.stem
+        with path.open("r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise WorkloadError(
+                        f"{path}:{line_no + 1}: invalid JSON"
+                    ) from exc
+                if line_no == 0 and "trace" in data:
+                    name = str(data["trace"])
+                    continue
+                records.append(TraceRecord.from_json(data))
+        return cls(name=name, records=records)
+
+
+@dataclass(frozen=True)
+class PreparedQuery:
+    """One query with its measured yield and attribution.
+
+    Attributes:
+        index: Position in the trace.
+        sql: Query text.
+        template: Template provenance tag.
+        yield_bytes: Exact result size (the query's yield).
+        bypass_bytes: WAN bytes if bypassed (equals ``yield_bytes`` for
+            single-server queries; the sum of shipped partials otherwise).
+        table_yields: object_id -> attributed yield bytes (table
+            granularity; object ids are table names).
+        column_yields: Same at column granularity (``table.column`` ids).
+        servers: Names of servers the query touches.
+    """
+
+    index: int
+    sql: str
+    template: str
+    yield_bytes: int
+    bypass_bytes: int
+    table_yields: Dict[str, float]
+    column_yields: Dict[str, float]
+    servers: tuple
+
+    def object_yields(self, granularity: str) -> Dict[str, float]:
+        if granularity == "table":
+            return self.table_yields
+        if granularity == "column":
+            return self.column_yields
+        raise WorkloadError(
+            f"unknown granularity {granularity!r}; use 'table' or 'column'"
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "sql": self.sql,
+            "template": self.template,
+            "yield_bytes": self.yield_bytes,
+            "bypass_bytes": self.bypass_bytes,
+            "table_yields": self.table_yields,
+            "column_yields": self.column_yields,
+            "servers": list(self.servers),
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "PreparedQuery":
+        try:
+            return cls(
+                index=int(data["index"]),
+                sql=str(data["sql"]),
+                template=str(data.get("template", "")),
+                yield_bytes=int(data["yield_bytes"]),
+                bypass_bytes=int(data["bypass_bytes"]),
+                table_yields={
+                    str(k): float(v)
+                    for k, v in dict(data["table_yields"]).items()
+                },
+                column_yields={
+                    str(k): float(v)
+                    for k, v in dict(data["column_yields"]).items()
+                },
+                servers=tuple(data.get("servers", ())),
+            )
+        except KeyError as exc:
+            raise WorkloadError(
+                f"prepared query missing field: {exc}"
+            ) from exc
+
+
+@dataclass
+class PreparedTrace:
+    """A trace whose every query has been executed and measured."""
+
+    name: str
+    queries: List[PreparedQuery] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[PreparedQuery]:
+        return iter(self.queries)
+
+    @property
+    def sequence_bytes(self) -> int:
+        """The 'sequence cost': total bypass bytes with no cache at all."""
+        return sum(query.bypass_bytes for query in self.queries)
+
+    def save(self, path: Union[str, Path]) -> None:
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"prepared_trace": self.name}) + "\n")
+            for query in self.queries:
+                handle.write(json.dumps(query.to_json()) + "\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "PreparedTrace":
+        path = Path(path)
+        queries: List[PreparedQuery] = []
+        name = path.stem
+        with path.open("r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise WorkloadError(
+                        f"{path}:{line_no + 1}: invalid JSON"
+                    ) from exc
+                if line_no == 0 and "prepared_trace" in data:
+                    name = str(data["prepared_trace"])
+                    continue
+                queries.append(PreparedQuery.from_json(data))
+        return cls(name=name, queries=queries)

@@ -1,0 +1,112 @@
+"""Unit tests for cache events and the byte-accounted store."""
+
+import pytest
+
+from repro.core.events import CacheQuery, Decision, ObjectRequest
+from repro.core.store import CacheStore
+from repro.errors import CacheError
+
+
+class TestObjectRequest:
+    def test_valid_request(self):
+        request = ObjectRequest("T", size=10, fetch_cost=10.0, yield_bytes=3)
+        assert request.object_id == "T"
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(CacheError):
+            ObjectRequest("T", size=0, fetch_cost=1.0, yield_bytes=1)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(CacheError):
+            ObjectRequest("T", size=1, fetch_cost=-1.0, yield_bytes=1)
+
+    def test_negative_yield_rejected(self):
+        with pytest.raises(CacheError):
+            ObjectRequest("T", size=1, fetch_cost=1.0, yield_bytes=-1)
+
+
+class TestCacheQuery:
+    def test_bypassed_property(self):
+        decision = Decision(served_from_cache=False)
+        assert decision.bypassed
+        assert not Decision(served_from_cache=True).bypassed
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(CacheError):
+            CacheQuery(index=0, yield_bytes=-1, bypass_bytes=0, objects=())
+
+
+class TestCacheStore:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(CacheError):
+            CacheStore(0)
+
+    def test_add_and_contains(self):
+        store = CacheStore(100)
+        store.add("a", 40)
+        assert "a" in store
+        assert store.used_bytes == 40
+        assert store.free_bytes == 60
+
+    def test_duplicate_add_rejected(self):
+        store = CacheStore(100)
+        store.add("a", 10)
+        with pytest.raises(CacheError):
+            store.add("a", 10)
+
+    def test_overflow_rejected(self):
+        store = CacheStore(100)
+        store.add("a", 90)
+        with pytest.raises(CacheError, match="overflow"):
+            store.add("b", 20)
+
+    def test_exact_fill_allowed(self):
+        store = CacheStore(100)
+        store.add("a", 100)
+        assert store.free_bytes == 0
+
+    def test_remove_returns_size(self):
+        store = CacheStore(100)
+        store.add("a", 30)
+        assert store.remove("a") == 30
+        assert store.used_bytes == 0
+        assert "a" not in store
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(CacheError):
+            CacheStore(100).remove("ghost")
+
+    def test_size_of(self):
+        store = CacheStore(100)
+        store.add("a", 25)
+        assert store.size_of("a") == 25
+        with pytest.raises(CacheError):
+            store.size_of("b")
+
+    def test_fits_vs_has_room(self):
+        store = CacheStore(100)
+        store.add("a", 80)
+        assert store.fits(100)       # could ever fit
+        assert not store.fits(101)
+        assert not store.fits(0)
+        assert store.has_room(20)    # fits right now
+        assert not store.has_room(21)
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(CacheError):
+            CacheStore(100).add("a", 0)
+
+    def test_iteration_and_len(self):
+        store = CacheStore(100)
+        store.add("a", 10)
+        store.add("b", 10)
+        assert sorted(store) == ["a", "b"]
+        assert len(store) == 2
+        assert sorted(store.object_ids()) == ["a", "b"]
+
+    def test_clear(self):
+        store = CacheStore(100)
+        store.add("a", 10)
+        store.clear()
+        assert len(store) == 0
+        assert store.used_bytes == 0

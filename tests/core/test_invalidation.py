@@ -1,0 +1,141 @@
+"""Unit tests for the metadata-invalidation hook (Section 6 consistency).
+
+SDSS releases are immutable, but the server notifies the mediator when
+metadata changes (rebuilt views/indices); every policy must be able to
+drop an affected object without corrupting its internal state.
+"""
+
+import pytest
+
+from repro.core.events import CacheQuery, ObjectRequest
+from repro.core.policies.baselines import (
+    GreedyDualSizePolicy,
+    LRUPolicy,
+    SemanticCachePolicy,
+    StaticPolicy,
+)
+from repro.core.policies.online import OnlineBYPolicy, SpaceEffBYPolicy
+from repro.core.policies.rate_profile import RateProfilePolicy
+
+
+def query(index, *objects, sql=""):
+    requests = tuple(
+        ObjectRequest(
+            object_id=oid, size=size, fetch_cost=cost, yield_bytes=y
+        )
+        for oid, size, cost, y in objects
+    )
+    total = int(sum(req.yield_bytes for req in requests))
+    return CacheQuery(
+        index=index,
+        yield_bytes=total,
+        bypass_bytes=total,
+        objects=requests,
+        sql=sql,
+    )
+
+
+def warm(policy, object_id="A", rounds=3):
+    for i in range(rounds):
+        policy.process(query(i, (object_id, 100, 100.0, 100.0)))
+    return policy
+
+
+class TestInvalidateBase:
+    def test_invalidate_missing_is_noop(self):
+        policy = RateProfilePolicy(1000)
+        assert policy.invalidate("ghost") is False
+
+    def test_rate_profile_invalidate(self):
+        policy = warm(RateProfilePolicy(1000))
+        assert "A" in policy.store
+        assert policy.invalidate("A") is True
+        assert "A" not in policy.store
+        with pytest.raises(Exception):
+            policy.rate_profile("A")
+        # Cache continues to work: the object can be re-learned.
+        warm(policy, rounds=3)
+        assert "A" in policy.store
+
+    def test_online_by_invalidate(self):
+        policy = warm(OnlineBYPolicy(1000))
+        assert "A" in policy.store
+        assert policy.invalidate("A") is True
+        assert "A" not in policy.store
+        # The rent-to-buy account restarted: the next object request
+        # rents again rather than loading instantly.
+        policy.process(query(10, ("A", 100, 100.0, 100.0)))
+        assert "A" not in policy.store
+        policy.process(query(11, ("A", 100, 100.0, 100.0)))
+        assert "A" in policy.store
+
+    def test_space_eff_invalidate(self):
+        policy = SpaceEffBYPolicy(1000, seed=3)
+        for i in range(20):
+            policy.process(query(i, ("A", 100, 100.0, 100.0)))
+        assert "A" in policy.store
+        assert policy.invalidate("A")
+        assert "A" not in policy.store
+
+    def test_gds_invalidate_does_not_inflate(self):
+        policy = GreedyDualSizePolicy(1000)
+        policy.process(query(0, ("A", 100, 500.0, 1.0)))
+        inflation_before = policy._inflation
+        policy.invalidate("A")
+        assert policy._inflation == inflation_before
+        assert "A" not in policy.store
+
+    def test_lru_invalidate(self):
+        policy = LRUPolicy(1000)
+        policy.process(query(0, ("A", 100, 100.0, 1.0)))
+        policy.process(query(1, ("B", 100, 100.0, 1.0)))
+        policy.invalidate("A")
+        assert "A" not in policy.store
+        assert "B" in policy.store
+        # Recency order must not contain the dropped object.
+        assert "A" not in policy._order
+
+    def test_static_invalidate(self):
+        policy = StaticPolicy(300, {"A": 100, "B": 100})
+        assert policy.invalidate("A")
+        decision = policy.process(query(0, ("A", 100, 100.0, 1.0)))
+        assert decision.bypassed
+
+
+class TestSemanticFlush:
+    def test_invalidation_flushes_all_results(self):
+        policy = SemanticCachePolicy(1000)
+        policy.process(query(0, ("T", 10, 10.0, 8.0), sql="q1"))
+        policy.process(query(1, ("T", 10, 10.0, 8.0), sql="q2"))
+        assert len(policy.store) == 2
+        assert policy.invalidate("T") is True
+        assert len(policy.store) == 0
+        # Both previously cached queries now miss.
+        assert policy.process(
+            query(2, ("T", 10, 10.0, 8.0), sql="q1")
+        ).bypassed
+
+    def test_flush_on_empty_cache_reports_false(self):
+        policy = SemanticCachePolicy(1000)
+        assert policy.invalidate("T") is False
+
+
+class TestCapacityAfterInvalidation:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: RateProfilePolicy(250),
+            lambda: OnlineBYPolicy(250),
+            lambda: GreedyDualSizePolicy(250),
+        ],
+    )
+    def test_space_reusable(self, factory):
+        policy = factory()
+        for i in range(6):
+            policy.process(query(i, ("A", 200, 200.0, 200.0)))
+        if "A" in policy.store:
+            policy.invalidate("A")
+        assert policy.store.used_bytes == 0
+        for i in range(6, 12):
+            policy.process(query(i, ("B", 200, 200.0, 200.0)))
+        assert policy.store.used_bytes <= policy.capacity_bytes

@@ -1,0 +1,136 @@
+"""Unit tests for BYHR / BYU (paper eqs. 1-2) and the online profiler."""
+
+import pytest
+
+from repro.core.metrics import (
+    WorkloadProfiler,
+    byte_yield_hit_rate,
+    byte_yield_utility,
+)
+from repro.errors import CacheError
+
+
+class TestClosedForm:
+    def test_byhr_formula(self):
+        # Two queries: p=0.5 yielding 100 B, p=0.25 yielding 200 B
+        # against an object of size 1000 B with fetch cost 2000.
+        profile = [(0.5, 100.0), (0.25, 200.0)]
+        expected = (0.5 * 100 + 0.25 * 200) * 2000 / (1000 * 1000)
+        assert byte_yield_hit_rate(profile, 1000, 2000.0) == expected
+
+    def test_byu_formula(self):
+        profile = [(0.5, 100.0), (0.25, 200.0)]
+        assert byte_yield_utility(profile, 1000) == 0.1
+
+    def test_byhr_equals_byu_times_cost_density(self):
+        profile = [(0.3, 50.0)]
+        byu = byte_yield_utility(profile, 500)
+        byhr = byte_yield_hit_rate(profile, 500, 750.0)
+        assert byhr == pytest.approx(byu * 750.0 / 500)
+
+    def test_byu_degenerates_to_hit_rate_in_page_model(self):
+        # Page model: every object same size, yield = object size.
+        # BYU becomes sum of probabilities = the classical hit rate.
+        size = 4096
+        profile = [(0.2, float(size)), (0.1, float(size))]
+        assert byte_yield_utility(profile, size) == pytest.approx(0.3)
+
+    def test_proportional_fetch_cost_reduction(self):
+        # With f = c*s, BYHR = c * BYU / 1 ... ranking by BYHR equals
+        # ranking by BYU (the paper's simplification justification).
+        c = 1.5
+        profiles = [
+            ([(0.5, 10.0)], 100),
+            ([(0.5, 80.0)], 200),
+        ]
+        byus = [byte_yield_utility(p, s) for p, s in profiles]
+        byhrs = [
+            byte_yield_hit_rate(p, s, c * s) for p, s in profiles
+        ]
+        assert (byus[0] < byus[1]) == (byhrs[0] < byhrs[1])
+
+    def test_zero_probability_contributes_nothing(self):
+        assert byte_yield_utility([(0.0, 1000.0)], 10) == 0.0
+
+    def test_empty_profile_is_zero(self):
+        assert byte_yield_utility([], 10) == 0.0
+        assert byte_yield_hit_rate([], 10, 10.0) == 0.0
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(CacheError):
+            byte_yield_utility([(0.5, 1.0)], 0)
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(CacheError):
+            byte_yield_utility([(-0.1, 1.0)], 10)
+
+    def test_probabilities_over_one_rejected(self):
+        with pytest.raises(CacheError):
+            byte_yield_utility([(0.7, 1.0), (0.7, 1.0)], 10)
+
+    def test_negative_yield_rejected(self):
+        with pytest.raises(CacheError):
+            byte_yield_utility([(0.5, -1.0)], 10)
+
+    def test_negative_fetch_cost_rejected(self):
+        with pytest.raises(CacheError):
+            byte_yield_hit_rate([(0.5, 1.0)], 10, -5.0)
+
+
+class TestWorkloadProfiler:
+    def test_unseen_object_is_zero(self):
+        profiler = WorkloadProfiler()
+        assert profiler.byu("ghost") == 0.0
+        assert profiler.byhr("ghost") == 0.0
+
+    def test_byu_estimate_single_object(self):
+        profiler = WorkloadProfiler(decay=1.0)
+        for _ in range(4):
+            profiler.observe("T", yield_bytes=50.0, size=100, fetch_cost=100)
+        # 4 observations, every one on T with yield 50: expected per-query
+        # yield is 50, BYU = 50/100.
+        assert profiler.byu("T") == pytest.approx(0.5)
+
+    def test_byu_splits_across_objects(self):
+        profiler = WorkloadProfiler(decay=1.0)
+        profiler.observe("A", 100.0, size=100, fetch_cost=100)
+        profiler.observe("B", 100.0, size=100, fetch_cost=100)
+        # Each object hit half the time.
+        assert profiler.byu("A") == pytest.approx(0.5)
+
+    def test_byhr_uses_fetch_cost(self):
+        profiler = WorkloadProfiler(decay=1.0)
+        profiler.observe("A", 100.0, size=100, fetch_cost=300.0)
+        assert profiler.byhr("A") == pytest.approx(
+            profiler.byu("A") * 3.0
+        )
+
+    def test_decay_prefers_recent(self):
+        profiler = WorkloadProfiler(decay=0.5)
+        profiler.observe("old", 100.0, size=100, fetch_cost=100)
+        for _ in range(5):
+            profiler.observe("new", 100.0, size=100, fetch_cost=100)
+        assert profiler.byu("new") > profiler.byu("old")
+
+    def test_ranking(self):
+        profiler = WorkloadProfiler(decay=1.0)
+        profiler.observe("small-win", 10.0, size=1000, fetch_cost=1000)
+        profiler.observe("big-win", 500.0, size=100, fetch_cost=100)
+        ranked = profiler.ranked_by_byhr()
+        assert ranked[0][0] == "big-win"
+
+    def test_pruning_bounds_metadata(self):
+        profiler = WorkloadProfiler(decay=1.0, max_objects=10)
+        for i in range(50):
+            profiler.observe(f"o{i}", 10.0, size=100, fetch_cost=100)
+        assert profiler.tracked_objects() <= 11
+
+    def test_invalid_decay_rejected(self):
+        with pytest.raises(CacheError):
+            WorkloadProfiler(decay=0.0)
+        with pytest.raises(CacheError):
+            WorkloadProfiler(decay=1.5)
+
+    def test_invalid_max_objects_rejected(self):
+        with pytest.raises(CacheError):
+            WorkloadProfiler(max_objects=0)

@@ -1,0 +1,130 @@
+"""Unit tests for the bypass-object cache (rent-to-buy + Landlord)."""
+
+import pytest
+
+from repro.core.object_cache import BypassObjectCache
+from repro.core.store import CacheStore
+from repro.errors import CacheError
+
+
+@pytest.fixture
+def cache():
+    return BypassObjectCache(CacheStore(100))
+
+
+class TestRentToBuyAdmission:
+    def test_first_request_is_a_bypass(self, cache):
+        outcome = cache.request("A", size=50, fetch_cost=50.0)
+        assert not outcome.hit
+        assert not outcome.loaded
+        assert "A" not in cache
+
+    def test_second_request_buys(self, cache):
+        cache.request("A", size=50, fetch_cost=50.0)
+        outcome = cache.request("A", size=50, fetch_cost=50.0)
+        assert outcome.loaded
+        assert "A" in cache
+
+    def test_hit_after_load(self, cache):
+        cache.request("A", size=50, fetch_cost=50.0)
+        cache.request("A", size=50, fetch_cost=50.0)
+        outcome = cache.request("A", size=50, fetch_cost=50.0)
+        assert outcome.hit
+        assert cache.hits == 1
+
+    def test_too_large_object_always_bypassed(self, cache):
+        for _ in range(5):
+            outcome = cache.request("huge", size=200, fetch_cost=200.0)
+            assert not outcome.loaded
+        assert "huge" not in cache
+
+    def test_rent_counters_survive_between_requests(self, cache):
+        cache.request("A", size=10, fetch_cost=10.0)
+        assert cache.tracked_accounts() == 1
+
+    def test_eviction_restarts_rental(self, cache):
+        # Load A (fills 60), then B twice forces A out; the next A
+        # request must rent again, not load instantly.
+        for _ in range(2):
+            cache.request("A", size=60, fetch_cost=60.0)
+        assert "A" in cache
+        for _ in range(2):
+            cache.request("B", size=80, fetch_cost=800.0)
+        assert "A" not in cache
+        outcome = cache.request("A", size=60, fetch_cost=60.0)
+        assert not outcome.loaded
+        outcome = cache.request("A", size=60, fetch_cost=60.0)
+        assert outcome.loaded
+
+
+class TestLandlordEviction:
+    def test_evicts_lowest_credit_density_first(self, cache):
+        # cheap: credit/size = 10/40 = 0.25; dear: 90/40 = 2.25.
+        for _ in range(2):
+            cache.request("cheap", size=40, fetch_cost=10.0)
+        for _ in range(2):
+            cache.request("dear", size=40, fetch_cost=90.0)
+        assert "cheap" in cache and "dear" in cache
+        # Loading a 40-byte object forces one eviction: cheap must go.
+        for _ in range(2):
+            cache.request("new", size=40, fetch_cost=50.0)
+        assert "cheap" not in cache
+        assert "dear" in cache
+
+    def test_survivors_pay_rent(self, cache):
+        for _ in range(2):
+            cache.request("low", size=40, fetch_cost=20.0)   # density 0.5
+        for _ in range(2):
+            cache.request("high", size=40, fetch_cost=80.0)  # density 2.0
+        before = cache.credit("high")
+        for _ in range(2):
+            cache.request("new", size=40, fetch_cost=40.0)
+        assert cache.credit("high") < before
+
+    def test_hit_refreshes_credit(self, cache):
+        for _ in range(2):
+            cache.request("low", size=40, fetch_cost=20.0)
+        for _ in range(2):
+            cache.request("high", size=40, fetch_cost=80.0)
+        for _ in range(2):
+            cache.request("new", size=40, fetch_cost=40.0)  # drains credit
+        drained = cache.credit("high")
+        cache.request("high", size=40, fetch_cost=80.0)     # hit refreshes
+        assert cache.credit("high") == 80.0
+        assert cache.credit("high") > drained
+
+    def test_multiple_evictions_for_large_load(self, cache):
+        for name in ("a", "b", "c"):
+            for _ in range(2):
+                cache.request(name, size=30, fetch_cost=10.0)
+        assert len(cache.store) == 3
+        for _ in range(2):
+            outcome = cache.request("big", size=90, fetch_cost=200.0)
+        assert outcome.loaded
+        assert len(cache.store) == 1
+        assert "big" in cache
+
+    def test_store_never_overflows(self, cache):
+        for i in range(30):
+            cache.request(f"o{i % 7}", size=25 + i % 3, fetch_cost=30.0)
+            assert cache.store.used_bytes <= cache.store.capacity_bytes
+
+
+class TestBookkeeping:
+    def test_counters(self, cache):
+        cache.request("A", size=10, fetch_cost=10.0)   # miss
+        cache.request("A", size=10, fetch_cost=10.0)   # miss + load
+        cache.request("A", size=10, fetch_cost=10.0)   # hit
+        assert cache.misses == 2
+        assert cache.hits == 1
+        assert cache.loads == 1
+
+    def test_credit_of_uncached_raises(self, cache):
+        with pytest.raises(CacheError):
+            cache.credit("ghost")
+
+    def test_force_evict(self, cache):
+        for _ in range(2):
+            cache.request("A", size=10, fetch_cost=10.0)
+        cache.evict("A")
+        assert "A" not in cache

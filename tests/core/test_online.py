@@ -1,0 +1,149 @@
+"""Unit tests for OnlineBY (Figure 2) and SpaceEffBY (Figure 3)."""
+
+import pytest
+
+from repro.core.events import CacheQuery, ObjectRequest
+from repro.core.policies.online import OnlineBYPolicy, SpaceEffBYPolicy
+
+
+def query(index, *objects):
+    requests = tuple(
+        ObjectRequest(
+            object_id=oid, size=size, fetch_cost=cost, yield_bytes=y
+        )
+        for oid, size, cost, y in objects
+    )
+    total = int(sum(req.yield_bytes for req in requests))
+    return CacheQuery(
+        index=index, yield_bytes=total, bypass_bytes=total, objects=requests
+    )
+
+
+class TestOnlineBY:
+    def test_accumulator_grows_by_yield_fraction(self):
+        policy = OnlineBYPolicy(capacity_bytes=1000)
+        policy.process(query(0, ("A", 100, 100.0, 30.0)))
+        assert policy.byu_accumulator("A") == pytest.approx(0.3)
+
+    def test_accumulator_wraps_at_one(self):
+        policy = OnlineBYPolicy(capacity_bytes=1000)
+        policy.process(query(0, ("A", 100, 100.0, 70.0)))
+        policy.process(query(1, ("A", 100, 100.0, 70.0)))
+        # 1.4 crosses 1.0 -> one object request generated, 0.4 remains.
+        assert policy.byu_accumulator("A") == pytest.approx(0.4)
+        assert policy.object_requests_generated == 1
+
+    def test_load_after_two_object_requests(self):
+        # Each query yields the whole object, so each query generates one
+        # object request; rent-to-buy loads on the second.
+        policy = OnlineBYPolicy(capacity_bytes=1000)
+        first = policy.process(query(0, ("A", 100, 100.0, 100.0)))
+        assert not first.loads
+        second = policy.process(query(1, ("A", 100, 100.0, 100.0)))
+        assert second.loads == ["A"]
+        assert second.served_from_cache
+
+    def test_small_yields_take_longer_to_qualify(self):
+        policy = OnlineBYPolicy(capacity_bytes=1000)
+        decisions = [
+            policy.process(query(i, ("A", 100, 100.0, 10.0)))
+            for i in range(25)
+        ]
+        # BYU crosses 1.0 at query 10 (1st object request) and 2.0 at
+        # query 20 (2nd -> load).
+        assert not any(d.loads for d in decisions[:19])
+        assert decisions[19].loads == ["A"]
+
+    def test_served_only_when_all_objects_cached(self):
+        policy = OnlineBYPolicy(capacity_bytes=1000)
+        policy.process(query(0, ("A", 100, 100.0, 100.0)))
+        decision = policy.process(
+            query(1, ("A", 100, 100.0, 100.0), ("B", 100, 100.0, 10.0))
+        )
+        assert "A" in policy.store
+        assert decision.bypassed  # B is missing
+
+    def test_hits_are_free_after_load(self):
+        policy = OnlineBYPolicy(capacity_bytes=1000)
+        for i in range(2):
+            policy.process(query(i, ("A", 100, 100.0, 100.0)))
+        decision = policy.process(query(2, ("A", 100, 100.0, 50.0)))
+        assert decision.served_from_cache
+        assert not decision.loads
+
+    def test_evictions_reported(self):
+        policy = OnlineBYPolicy(capacity_bytes=100)
+        for i in range(2):
+            policy.process(query(i, ("A", 100, 100.0, 100.0)))
+        assert "A" in policy.store
+        decisions = [
+            policy.process(query(2 + i, ("B", 100, 100.0, 100.0)))
+            for i in range(2)
+        ]
+        assert decisions[1].loads == ["B"]
+        assert decisions[1].evictions == ["A"]
+
+    def test_capacity_invariant(self):
+        policy = OnlineBYPolicy(capacity_bytes=150)
+        for i in range(40):
+            policy.process(query(i, (f"o{i % 4}", 100, 100.0, 80.0)))
+            assert policy.store.used_bytes <= policy.capacity_bytes
+
+
+class TestSpaceEffBY:
+    def test_deterministic_for_fixed_seed(self):
+        runs = []
+        for _ in range(2):
+            policy = SpaceEffBYPolicy(capacity_bytes=500, seed=7)
+            outcome = [
+                policy.process(
+                    query(i, ("A", 100, 100.0, 60.0))
+                ).served_from_cache
+                for i in range(30)
+            ]
+            runs.append(outcome)
+        assert runs[0] == runs[1]
+
+    def test_different_seeds_can_differ(self):
+        def run(seed):
+            policy = SpaceEffBYPolicy(capacity_bytes=500, seed=seed)
+            return [
+                policy.process(
+                    query(i, ("A", 100, 100.0, 55.0))
+                ).served_from_cache
+                for i in range(30)
+            ]
+
+        outcomes = {tuple(run(seed)) for seed in range(8)}
+        assert len(outcomes) > 1
+
+    def test_zero_yield_never_generates(self):
+        policy = SpaceEffBYPolicy(capacity_bytes=500, seed=1)
+        for i in range(50):
+            policy.process(query(i, ("A", 100, 100.0, 0.0)))
+        assert policy.object_requests_generated == 0
+
+    def test_full_yield_always_generates(self):
+        policy = SpaceEffBYPolicy(capacity_bytes=500, seed=1)
+        policy.process(query(0, ("A", 100, 100.0, 100.0)))
+        assert policy.object_requests_generated == 1
+
+    def test_eventually_caches_hot_object(self):
+        policy = SpaceEffBYPolicy(capacity_bytes=500, seed=3)
+        for i in range(40):
+            policy.process(query(i, ("A", 100, 100.0, 90.0)))
+        assert "A" in policy.store
+
+    def test_capacity_invariant(self):
+        policy = SpaceEffBYPolicy(capacity_bytes=150, seed=5)
+        for i in range(60):
+            policy.process(query(i, (f"o{i % 4}", 100, 100.0, 80.0)))
+            assert policy.store.used_bytes <= policy.capacity_bytes
+
+    def test_generation_rate_tracks_probability(self):
+        policy = SpaceEffBYPolicy(capacity_bytes=5, seed=11)
+        trials = 400
+        for i in range(trials):
+            policy.process(query(i, ("A", 100, 100.0, 50.0)))
+        rate = policy.object_requests_generated / trials
+        assert 0.4 < rate < 0.6

@@ -1,0 +1,180 @@
+"""Tests for the live bypass-yield proxy (online query path)."""
+
+import pytest
+
+from repro.core.policies.rate_profile import RateProfilePolicy
+from repro.core.policies.baselines import NoCachePolicy
+from repro.core.proxy import BypassYieldProxy
+from repro.errors import CacheError
+from repro.federation import Federation
+from repro.sim.runner import run_single
+from repro.workload.generator import TraceConfig, generate_trace
+from repro.workload.prepare import prepare_trace
+from repro.workload.sdss_schema import TINY, build_sdss_catalog
+
+from tests.conftest import build_catalog
+
+HOT_QUERY = "SELECT objID, ra, dec, modelMag_g FROM PhotoObj WHERE ra >= 0"
+
+
+@pytest.fixture
+def proxy():
+    federation = Federation.single_site(build_catalog(), "sdss")
+    policy = RateProfilePolicy(
+        capacity_bytes=federation.total_database_bytes()
+    )
+    return BypassYieldProxy(federation, policy, granularity="table")
+
+
+class TestQueryPath:
+    def test_first_query_bypasses(self, proxy):
+        response = proxy.query(HOT_QUERY)
+        assert not response.served_from_cache
+        assert response.wan_bytes == response.result.byte_size
+        assert proxy.ledger.bypass_bytes == response.result.byte_size
+
+    def test_hot_object_gets_loaded_then_served(self, proxy):
+        first = proxy.query(HOT_QUERY)
+        second = proxy.query(HOT_QUERY)
+        assert second.loads == ["PhotoObj"]
+        assert second.served_from_cache
+        third = proxy.query(HOT_QUERY)
+        assert third.served_from_cache
+        assert third.wan_bytes == 0
+        # LAN carries the served results; WAN carried bypass + one load.
+        photo = proxy.federation.object_size("PhotoObj")
+        assert proxy.ledger.load_bytes == photo
+        assert proxy.ledger.cache_bytes == (
+            second.result.byte_size + third.result.byte_size
+        )
+
+    def test_result_identical_on_both_paths(self, proxy):
+        first = proxy.query(HOT_QUERY)
+        proxy.query(HOT_QUERY)
+        served = proxy.query(HOT_QUERY)
+        assert served.result.rows == first.result.rows
+
+    def test_application_bytes_invariant(self, proxy):
+        """D_A = D_S + D_C equals the total yield regardless of path."""
+        queries = [
+            HOT_QUERY,
+            "SELECT z FROM SpecObj WHERE z > 0.02",
+            HOT_QUERY,
+            HOT_QUERY,
+        ]
+        total_yield = 0
+        for sql in queries:
+            total_yield += proxy.query(sql).result.byte_size
+        assert proxy.ledger.application_bytes == total_yield
+
+    def test_stats_snapshot(self, proxy):
+        proxy.query(HOT_QUERY)
+        stats = proxy.stats()
+        assert stats["queries"] == 1
+        assert stats["wan_bytes"] == proxy.ledger.wan_bytes
+        assert stats["cache_capacity_bytes"] == proxy.policy.capacity_bytes
+
+    def test_invalidate_drops_and_notifies(self, proxy):
+        proxy.query(HOT_QUERY)
+        proxy.query(HOT_QUERY)  # loads PhotoObj
+        dropped = proxy.invalidate(["PhotoObj", "SpecObj"])
+        assert dropped == ["PhotoObj"]
+        response = proxy.query(HOT_QUERY)
+        assert not response.served_from_cache or response.loads
+
+    def test_bad_granularity_rejected(self):
+        federation = Federation.single_site(build_catalog(), "sdss")
+        with pytest.raises(CacheError):
+            BypassYieldProxy(
+                federation, NoCachePolicy(), granularity="page"
+            )
+
+
+class TestColumnGranularity:
+    def test_loads_individual_columns(self):
+        federation = Federation.single_site(build_catalog(), "sdss")
+        policy = RateProfilePolicy(
+            capacity_bytes=federation.total_database_bytes()
+        )
+        proxy = BypassYieldProxy(federation, policy, granularity="column")
+        sql = "SELECT objID, ra FROM PhotoObj WHERE ra >= 0"
+        proxy.query(sql)
+        response = proxy.query(sql)
+        assert set(response.loads) == {"PhotoObj.objID", "PhotoObj.ra"}
+        assert response.served_from_cache
+
+
+class TestProxyMatchesSimulator:
+    def test_online_equals_offline_accounting(self):
+        """The live proxy and the prepared-trace simulator must agree
+        byte-for-byte for a deterministic policy."""
+        trace = generate_trace(
+            TraceConfig(num_queries=120, flavor="edr", seed=321), TINY
+        )
+
+        # Offline: prepare, then simulate.
+        federation_a = Federation.single_site(
+            build_sdss_catalog(TINY, seed=5), "sdss"
+        )
+        from repro.federation import Mediator
+
+        prepared = prepare_trace(trace, Mediator(federation_a))
+        capacity = federation_a.total_database_bytes() // 3
+        offline = run_single(
+            prepared, federation_a, "rate-profile", capacity, "table"
+        )
+
+        # Online: fresh federation and proxy, same queries.
+        federation_b = Federation.single_site(
+            build_sdss_catalog(TINY, seed=5), "sdss"
+        )
+        proxy = BypassYieldProxy(
+            federation_b,
+            RateProfilePolicy(capacity_bytes=capacity),
+            granularity="table",
+        )
+        for record in trace:
+            proxy.query(record.sql)
+
+        assert proxy.ledger.wan_bytes == pytest.approx(
+            offline.total_bytes
+        )
+        assert proxy.ledger.bypass_bytes == pytest.approx(
+            offline.breakdown.bypass_bytes
+        )
+        assert proxy.ledger.load_bytes == pytest.approx(
+            offline.breakdown.load_bytes
+        )
+
+
+class TestMultiServerProxy:
+    def test_cross_server_bypass_decomposes(self):
+        from repro.federation import DatabaseServer
+        from repro.sqlengine import Catalog, Column, ColumnType, TableSchema
+
+        federation = Federation.single_site(build_catalog(), "sdss")
+        radio = Catalog("radio")
+        table = radio.create_table(
+            TableSchema(
+                "First",
+                [Column("firstID", ColumnType.BIGINT),
+                 Column("objID", ColumnType.BIGINT),
+                 Column("peak", ColumnType.FLOAT)],
+            )
+        )
+        table.insert_many([[100 + i, i + 1, float(i)] for i in range(5)])
+        federation.add_server(DatabaseServer("first", radio))
+
+        proxy = BypassYieldProxy(
+            federation,
+            NoCachePolicy(),
+            granularity="table",
+        )
+        response = proxy.query(
+            "SELECT p.objID, f.peak FROM PhotoObj p, First f "
+            "WHERE p.objID = f.objID AND f.peak > 1.5"
+        )
+        assert not response.served_from_cache
+        # Decomposed shipping, not the final-result size.
+        assert set(proxy.ledger.per_server_bypass) == {"sdss", "first"}
+        assert response.wan_bytes == proxy.ledger.bypass_bytes

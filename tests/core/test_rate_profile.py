@@ -1,0 +1,294 @@
+"""Unit tests for the Rate-Profile algorithm (Section 4)."""
+
+import pytest
+
+from repro.core.events import CacheQuery, ObjectRequest
+from repro.core.policies.rate_profile import (
+    CachedProfile,
+    Episode,
+    OutsideProfile,
+    RateProfilePolicy,
+)
+from repro.errors import CacheError
+
+
+def query(index, *objects):
+    """objects: (object_id, size, fetch_cost, yield_bytes) tuples."""
+    requests = tuple(
+        ObjectRequest(
+            object_id=oid, size=size, fetch_cost=cost, yield_bytes=y
+        )
+        for oid, size, cost, y in objects
+    )
+    total = int(sum(req.yield_bytes for req in requests))
+    return CacheQuery(
+        index=index, yield_bytes=total, bypass_bytes=total, objects=requests
+    )
+
+
+class TestEpisodeMath:
+    def test_larp_amortizes_load_cost(self):
+        episode = Episode(start_time=0)
+        episode.record(1, 60.0, size=100, fetch_cost=100.0)
+        # (60 - 100) / (1 * 100)
+        assert episode.larp(1, 100, 100.0) == pytest.approx(-0.4)
+
+    def test_larp_turns_positive_when_load_overcome(self):
+        episode = Episode(start_time=0)
+        episode.record(1, 60.0, size=100, fetch_cost=100.0)
+        episode.record(2, 60.0, size=100, fetch_cost=100.0)
+        # (120 - 100) / (2 * 100)
+        assert episode.larp(2, 100, 100.0) == pytest.approx(0.1)
+
+    def test_best_lar_is_running_max(self):
+        episode = Episode(start_time=0)
+        episode.record(1, 300.0, size=100, fetch_cost=100.0)  # 2.0
+        assert episode.best_lar == pytest.approx(2.0)
+        episode.record(10, 10.0, size=100, fetch_cost=100.0)
+        # (310-100)/(10*100) = 0.21 < 2.0: max retained
+        assert episode.best_lar == pytest.approx(2.0)
+
+    def test_rate_profile_formula(self):
+        profile = CachedProfile(
+            size=100, fetch_cost=100.0, load_time=5, yield_sum=300.0
+        )
+        # 300 / ((15 - 5) * 100)
+        assert profile.rate_profile(15) == pytest.approx(0.3)
+
+    def test_rate_profile_elapsed_floor(self):
+        profile = CachedProfile(
+            size=100, fetch_cost=100.0, load_time=5, yield_sum=50.0
+        )
+        assert profile.rate_profile(5) == pytest.approx(0.5)
+
+    def test_lar_weights_recent_episodes(self):
+        profile = OutsideProfile(size=100, fetch_cost=100.0)
+        profile.episode_lars = [0.1, 0.9]  # 0.9 is more recent
+        lar = profile.lar(decay=0.5)
+        # (1.0*0.9 + 0.5*0.1) / 1.5
+        assert lar == pytest.approx(0.6333333)
+
+    def test_lar_without_history_is_minus_infinity(self):
+        profile = OutsideProfile(size=100, fetch_cost=100.0)
+        assert profile.lar(decay=0.5) == float("-inf")
+
+
+class TestLoadDecision:
+    def test_first_access_bypasses(self):
+        policy = RateProfilePolicy(capacity_bytes=1000)
+        decision = policy.process(query(0, ("A", 100, 100.0, 60.0)))
+        assert decision.bypassed
+        assert not decision.loads
+
+    def test_loads_once_savings_rate_positive(self):
+        policy = RateProfilePolicy(capacity_bytes=1000)
+        policy.process(query(0, ("A", 100, 100.0, 60.0)))
+        decision = policy.process(query(1, ("A", 100, 100.0, 60.0)))
+        # Episode yield 120 > fetch 100: LAR > 0, free space -> load.
+        assert decision.loads == ["A"]
+        assert decision.served_from_cache
+
+    def test_low_yield_object_never_loaded(self):
+        policy = RateProfilePolicy(capacity_bytes=1000)
+        for i in range(20):
+            decision = policy.process(query(i, ("A", 1000, 1000.0, 1.0)))
+            assert decision.bypassed
+
+    def test_object_larger_than_cache_bypassed(self):
+        policy = RateProfilePolicy(capacity_bytes=50)
+        for i in range(5):
+            decision = policy.process(query(i, ("A", 100, 100.0, 90.0)))
+            assert decision.bypassed
+
+    def test_served_query_updates_rate_profile(self):
+        policy = RateProfilePolicy(capacity_bytes=1000)
+        policy.process(query(0, ("A", 100, 100.0, 60.0)))
+        policy.process(query(1, ("A", 100, 100.0, 60.0)))  # loads
+        policy.process(query(2, ("A", 100, 100.0, 40.0)))  # hit
+        # Loaded at t=2 with initial yield 60, hit adds 40:
+        # RP = 100 / ((3-2) * 100)
+        assert policy.rate_profile("A") == pytest.approx(1.0)
+
+    def test_rate_profile_decays_over_time(self):
+        policy = RateProfilePolicy(capacity_bytes=1000)
+        policy.process(query(0, ("A", 100, 100.0, 60.0)))
+        policy.process(query(1, ("A", 100, 100.0, 60.0)))
+        rp_early = policy.rate_profile("A")
+        for i in range(2, 12):
+            policy.process(query(i, ("B", 100, 100.0, 1.0)))
+        assert policy.rate_profile("A") < rp_early
+
+    def test_bypassed_query_gives_no_rp_credit(self):
+        policy = RateProfilePolicy(capacity_bytes=220)
+        policy.process(query(0, ("A", 100, 100.0, 80.0)))
+        policy.process(query(1, ("A", 100, 100.0, 80.0)))  # A loaded
+        rp_before = policy.rate_profile("A")
+        # Query referencing A and an uncacheable giant: bypassed.
+        decision = policy.process(
+            query(2, ("A", 100, 100.0, 80.0), ("huge", 500, 500.0, 80.0))
+        )
+        assert decision.bypassed
+        # A's yield_sum unchanged; only time moves (one more query so
+        # the elapsed-time floor of 1 is exceeded).
+        policy.process(query(3, ("B", 100, 100.0, 1.0)))
+        assert policy.rate_profile("A") < rp_before
+
+    def test_multi_object_query_served_only_when_all_cached(self):
+        policy = RateProfilePolicy(capacity_bytes=1000)
+        policy.process(query(0, ("A", 100, 100.0, 60.0)))
+        decision = policy.process(
+            query(1, ("A", 100, 100.0, 60.0), ("B", 100, 100.0, 30.0))
+        )
+        # A qualifies (episode yield 120 >= 100) but B does not yet.
+        assert "A" in policy.store
+        assert decision.bypassed
+
+
+class TestEviction:
+    def test_eviction_prefers_lowest_rate(self):
+        policy = RateProfilePolicy(capacity_bytes=200)
+        # Hot object A: loaded and repeatedly hit.
+        policy.process(query(0, ("A", 100, 100.0, 90.0)))
+        for i in range(1, 6):
+            policy.process(query(i, ("A", 100, 100.0, 90.0)))
+        # Lukewarm object B: loaded, then idle.
+        policy.process(query(6, ("B", 100, 100.0, 90.0)))
+        policy.process(query(7, ("B", 100, 100.0, 90.0)))
+        for i in range(8, 14):
+            policy.process(query(i, ("A", 100, 100.0, 90.0)))
+        assert "A" in policy.store and "B" in policy.store
+        # New strong candidate C needs space: B (lower RP) must go.
+        policy.process(query(14, ("C", 100, 100.0, 95.0)))
+        decision = policy.process(query(15, ("C", 100, 100.0, 95.0)))
+        if decision.loads:
+            assert "B" not in policy.store
+            assert "A" in policy.store
+
+    def test_never_evicts_objects_of_current_query(self):
+        policy = RateProfilePolicy(capacity_bytes=200)
+        policy.process(query(0, ("A", 100, 100.0, 90.0)))
+        policy.process(query(1, ("A", 100, 100.0, 90.0)))  # A cached
+        policy.process(query(2, ("B", 100, 100.0, 90.0)))
+        policy.process(query(3, ("B", 100, 100.0, 90.0)))  # B cached
+        # Query referencing both plus a third object: A and B protected.
+        policy.process(
+            query(4, ("A", 100, 100.0, 50.0), ("B", 100, 100.0, 50.0),
+                  ("C", 100, 100.0, 50.0))
+        )
+        assert "A" in policy.store and "B" in policy.store
+
+    def test_capacity_invariant(self):
+        policy = RateProfilePolicy(capacity_bytes=250)
+        for i in range(60):
+            name = f"o{i % 5}"
+            policy.process(query(i, (name, 100, 100.0, 80.0)))
+            assert policy.store.used_bytes <= policy.capacity_bytes
+
+
+class TestEpisodeSplitting:
+    def test_idle_cut_starts_new_episode(self):
+        policy = RateProfilePolicy(capacity_bytes=10, idle_cut=5)
+        # Cache too small to ever load A (size 100), so A stays outside.
+        policy.process(query(0, ("A", 100, 100.0, 60.0)))
+        policy.process(query(1, ("A", 100, 100.0, 60.0)))
+        # 6 intervening queries (> idle_cut) to another object.
+        for i in range(2, 8):
+            policy.process(query(i, ("B", 100, 100.0, 1.0)))
+        policy.process(query(8, ("A", 100, 100.0, 60.0)))
+        profile = policy._outside["A"]
+        assert len(profile.episode_lars) == 1  # first episode closed
+
+    def test_rate_collapse_starts_new_episode(self):
+        policy = RateProfilePolicy(
+            capacity_bytes=10, episode_cut=0.5, idle_cut=1000
+        )
+        # Big burst: LARP peaks high.
+        policy.process(query(0, ("A", 100, 100.0, 500.0)))
+        # Long quiet-ish stretch accessing A with tiny yields: LARP
+        # collapses below half its peak, triggering rule 1.
+        for i in range(1, 30):
+            policy.process(query(i, ("A", 100, 100.0, 0.5)))
+        profile = policy._outside["A"]
+        assert len(profile.episode_lars) >= 1
+
+    def test_max_episodes_pruning(self):
+        policy = RateProfilePolicy(
+            capacity_bytes=10, idle_cut=2, max_episodes=3
+        )
+        for round_number in range(8):
+            base = round_number * 10
+            policy.process(query(base, ("A", 100, 100.0, 60.0)))
+            policy.process(query(base + 1, ("A", 100, 100.0, 60.0)))
+            for i in range(2, 6):
+                policy.process(query(base + i, ("B", 100, 100.0, 1.0)))
+        profile = policy._outside["A"]
+        assert len(profile.episode_lars) <= 3
+
+    def test_outside_metadata_pruned(self):
+        policy = RateProfilePolicy(capacity_bytes=10, max_tracked=20)
+        for i in range(100):
+            policy.process(query(i, (f"o{i}", 100, 100.0, 1.0)))
+        assert policy.tracked_outside() <= 21
+
+
+class TestValidation:
+    def test_bad_episode_cut(self):
+        with pytest.raises(CacheError):
+            RateProfilePolicy(100, episode_cut=1.5)
+
+    def test_bad_idle_cut(self):
+        with pytest.raises(CacheError):
+            RateProfilePolicy(100, idle_cut=0)
+
+    def test_bad_decay(self):
+        with pytest.raises(CacheError):
+            RateProfilePolicy(100, episode_decay=0.0)
+
+    def test_bad_limits(self):
+        with pytest.raises(CacheError):
+            RateProfilePolicy(100, max_episodes=0)
+
+    def test_rate_profile_of_uncached_raises(self):
+        with pytest.raises(CacheError):
+            RateProfilePolicy(100).rate_profile("ghost")
+
+    def test_lar_of_unknown_is_minus_inf(self):
+        assert RateProfilePolicy(100).load_adjusted_rate(
+            "ghost"
+        ) == float("-inf")
+
+
+class TestMultiVictimEviction:
+    def test_evicts_several_small_for_one_large(self):
+        policy = RateProfilePolicy(capacity_bytes=300)
+        # Three lukewarm 100-byte objects fill the cache.
+        for name in ("a", "b", "c"):
+            policy.process(query(0, (name, 100, 100.0, 90.0)))
+            policy.process(query(1, (name, 100, 100.0, 90.0)))
+        assert policy.store.used_bytes == 300
+        # Let their rates decay well below the newcomer's.
+        for i in range(2, 30):
+            policy.process(query(i, ("noise", 1000, 1000.0, 1.0)))
+        # A strong 250-byte object needs all three evicted.
+        policy.process(query(30, ("big", 250, 250.0, 240.0)))
+        policy.process(query(31, ("big", 250, 250.0, 240.0)))
+        decision = policy.process(query(32, ("big", 250, 250.0, 240.0)))
+        if "big" in policy.store:
+            assert policy.store.used_bytes <= 300
+            assert len(
+                [o for o in ("a", "b", "c") if o in policy.store]
+            ) <= 1
+
+    def test_partial_victims_insufficient_means_bypass(self):
+        policy = RateProfilePolicy(capacity_bytes=200)
+        # One very hot resident that must not be evicted.
+        for i in range(8):
+            policy.process(query(i, ("hot", 200, 200.0, 190.0)))
+        assert "hot" in policy.store
+        # A mild newcomer cannot justify evicting the hot object.
+        for i in range(8, 12):
+            decision = policy.process(
+                query(i, ("mild", 150, 150.0, 100.0))
+            )
+        assert "hot" in policy.store
+        assert "mild" not in policy.store

@@ -1,0 +1,81 @@
+"""Unit tests for the rent-to-buy primitive."""
+
+import pytest
+
+from repro.core.ski_rental import SkiRental
+from repro.errors import CacheError
+
+
+class TestRentToBuy:
+    def test_no_buy_before_rent_reaches_cost(self):
+        account = SkiRental(buy_cost=100.0)
+        assert not account.should_buy()
+        account.pay_rent(60.0)
+        assert not account.should_buy()
+
+    def test_buy_once_rent_matches_cost(self):
+        account = SkiRental(buy_cost=100.0)
+        account.pay_rent(100.0)
+        assert account.should_buy()
+
+    def test_buy_once_rent_exceeds_cost(self):
+        account = SkiRental(buy_cost=100.0)
+        account.pay_rent(60.0)
+        account.pay_rent(60.0)
+        assert account.should_buy()
+
+    def test_bought_stops_renting(self):
+        account = SkiRental(buy_cost=10.0)
+        account.pay_rent(10.0)
+        account.buy()
+        assert account.bought
+        with pytest.raises(CacheError):
+            account.pay_rent(1.0)
+
+    def test_double_buy_rejected(self):
+        account = SkiRental(buy_cost=10.0)
+        account.buy()
+        with pytest.raises(CacheError):
+            account.buy()
+
+    def test_reset_starts_fresh(self):
+        account = SkiRental(buy_cost=10.0)
+        account.pay_rent(10.0)
+        account.buy()
+        account.reset()
+        assert not account.bought
+        assert account.paid == 0.0
+        assert not account.should_buy()
+
+    def test_negative_rent_rejected(self):
+        with pytest.raises(CacheError):
+            SkiRental(buy_cost=10.0).pay_rent(-1.0)
+
+    def test_non_positive_buy_cost_rejected(self):
+        with pytest.raises(CacheError):
+            SkiRental(buy_cost=0.0)
+
+
+class TestCompetitiveness:
+    def test_total_spend_at_most_twice_optimal(self):
+        """Classic 2-competitive argument, checked empirically.
+
+        For any number of equal-cost trips, the algorithm's spend (rent
+        until paid >= buy, then buy) never exceeds twice the offline
+        optimum (min(trips * rent, buy)).
+        """
+        buy = 100.0
+        rent = 10.0
+        for trips in range(1, 60):
+            account = SkiRental(buy_cost=buy)
+            spent = 0.0
+            for _ in range(trips):
+                if account.should_buy():
+                    account.buy()
+                    spent += buy
+                if account.bought:
+                    continue
+                account.pay_rent(rent)
+                spent += rent
+            optimal = min(trips * rent, buy)
+            assert spent <= account.competitive_bound * optimal

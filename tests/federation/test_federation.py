@@ -1,0 +1,126 @@
+"""Unit tests for servers and federation assembly/routing."""
+
+import pytest
+
+from repro.errors import FederationError
+from repro.federation import DatabaseServer, Federation
+from repro.sqlengine import Catalog, Column, ColumnType, TableSchema
+
+from tests.conftest import build_catalog
+
+
+def second_catalog():
+    catalog = Catalog("radio")
+    table = catalog.create_table(
+        TableSchema(
+            "First",
+            [
+                Column("firstID", ColumnType.BIGINT),
+                Column("objID", ColumnType.BIGINT),
+                Column("peak", ColumnType.FLOAT),
+            ],
+        )
+    )
+    table.insert_many([[100 + i, i + 1, float(i)] for i in range(5)])
+    return catalog
+
+
+class TestDatabaseServer:
+    def test_execute_counts_and_ships(self):
+        server = DatabaseServer("sdss", build_catalog())
+        result = server.execute("SELECT objID FROM PhotoObj")
+        assert server.queries_executed == 1
+        assert server.bytes_shipped == result.byte_size
+
+    def test_fetch_object_returns_size(self):
+        server = DatabaseServer("sdss", build_catalog())
+        size = server.fetch_object("PhotoObj")
+        assert size == server.catalog.table("PhotoObj").size_bytes
+        assert server.bytes_shipped == size
+
+    def test_object_size_column(self):
+        server = DatabaseServer("sdss", build_catalog())
+        assert server.object_size("PhotoObj.objID") == 20 * 8
+
+    def test_hosts_table(self):
+        server = DatabaseServer("sdss", build_catalog())
+        assert server.hosts_table("photoobj")
+        assert not server.hosts_table("First")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(FederationError):
+            DatabaseServer("", build_catalog())
+
+
+class TestFederation:
+    def _two_site(self):
+        federation = Federation.single_site(build_catalog(), "sdss")
+        federation.add_server(
+            DatabaseServer("first", second_catalog()), link_weight=2.0
+        )
+        return federation
+
+    def test_single_site_helper(self):
+        federation = Federation.single_site(build_catalog())
+        assert len(federation.servers) == 1
+
+    def test_duplicate_server_rejected(self):
+        federation = Federation.single_site(build_catalog(), "sdss")
+        with pytest.raises(FederationError):
+            federation.add_server(DatabaseServer("sdss", second_catalog()))
+
+    def test_duplicate_table_rejected(self):
+        federation = Federation.single_site(build_catalog(), "sdss")
+        with pytest.raises(FederationError, match="already provided"):
+            federation.add_server(DatabaseServer("mirror", build_catalog()))
+
+    def test_table_routing(self):
+        federation = self._two_site()
+        assert federation.server_for_table("First").name == "first"
+        assert federation.server_for_table("photoobj").name == "sdss"
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(FederationError):
+            self._two_site().server_for_table("Ghost")
+
+    def test_unknown_server_raises(self):
+        with pytest.raises(FederationError):
+            self._two_site().server("ghost")
+
+    def test_object_routing(self):
+        federation = self._two_site()
+        assert federation.server_for_object("First.peak").name == "first"
+
+    def test_global_table_provider(self):
+        federation = self._two_site()
+        assert federation.table("First").row_count == 5
+        assert len(federation.tables()) == 3
+
+    def test_schema_lookup_spans_servers(self):
+        lookup = self._two_site().schema_lookup()
+        assert lookup.table_schema("First").name == "First"
+        assert lookup.table_schema("SpecObj").name == "SpecObj"
+
+    def test_object_size(self):
+        federation = self._two_site()
+        assert federation.object_size("First") == 5 * 24
+
+    def test_fetch_cost_uses_link_weight(self):
+        federation = self._two_site()
+        assert federation.fetch_cost("First") == 2.0 * 5 * 24
+        assert federation.fetch_cost("PhotoObj") == float(
+            federation.object_size("PhotoObj")
+        )
+
+    def test_objects_enumeration(self):
+        federation = self._two_site()
+        tables = federation.objects("table")
+        assert set(tables) == {"PhotoObj", "SpecObj", "First"}
+        columns = federation.objects("column")
+        assert "First.peak" in columns
+        assert "PhotoObj.ra" in columns
+
+    def test_total_database_bytes(self):
+        federation = self._two_site()
+        expected = sum(t.size_bytes for t in federation.tables())
+        assert federation.total_database_bytes() == expected

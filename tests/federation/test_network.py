@@ -1,0 +1,114 @@
+"""Unit tests for the network model and traffic ledger."""
+
+import pytest
+
+from repro.errors import FederationError
+from repro.federation.network import NetworkLink, NetworkModel, TrafficLedger
+
+
+class TestNetworkLink:
+    def test_cost_is_bytes_times_weight(self):
+        assert NetworkLink("s", weight=2.0).cost(100) == 200.0
+
+    def test_default_weight_one(self):
+        assert NetworkLink("s").cost(7) == 7.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(FederationError):
+            NetworkLink("s").cost(-1)
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(FederationError):
+            NetworkLink("s", weight=0.0)
+
+
+class TestNetworkModel:
+    def test_default_link(self):
+        model = NetworkModel()
+        assert model.cost("anything", 50) == 50.0
+
+    def test_registered_link(self):
+        model = NetworkModel()
+        model.set_link("slow", 3.0)
+        assert model.cost("slow", 10) == 30.0
+        assert model.cost("other", 10) == 10.0
+
+    def test_uniformity_detection(self):
+        model = NetworkModel()
+        assert model.is_uniform
+        model.set_link("s", 1.0)
+        assert model.is_uniform
+        model.set_link("t", 2.0)
+        assert not model.is_uniform
+
+    def test_bad_default_rejected(self):
+        with pytest.raises(FederationError):
+            NetworkModel(default_weight=-1.0)
+
+
+class TestTrafficLedger:
+    def test_bypass_accounting(self):
+        ledger = TrafficLedger()
+        ledger.record_bypass("s", 100)
+        ledger.record_bypass("s", 50)
+        assert ledger.bypass_bytes == 150
+        assert ledger.per_server_bypass == {"s": 150}
+
+    def test_load_accounting(self):
+        ledger = TrafficLedger()
+        ledger.record_load("s", 1000, cost=2000.0)
+        assert ledger.load_bytes == 1000
+        assert ledger.load_cost == 2000.0
+
+    def test_wan_totals(self):
+        ledger = TrafficLedger()
+        ledger.record_bypass("a", 10)
+        ledger.record_load("b", 20)
+        assert ledger.wan_bytes == 30
+        assert ledger.wan_cost == 30.0
+
+    def test_cache_hits_are_lan_only(self):
+        ledger = TrafficLedger()
+        ledger.record_cache_hit(500)
+        assert ledger.cache_bytes == 500
+        assert ledger.wan_bytes == 0
+
+    def test_application_bytes_is_ds_plus_dc(self):
+        ledger = TrafficLedger()
+        ledger.record_bypass("s", 10)
+        ledger.record_cache_hit(5)
+        ledger.record_load("s", 100)  # loads don't reach the app
+        assert ledger.application_bytes == 15
+
+    def test_default_cost_equals_bytes(self):
+        ledger = TrafficLedger()
+        ledger.record_bypass("s", 42)
+        assert ledger.bypass_cost == 42.0
+
+    def test_snapshot_is_independent(self):
+        ledger = TrafficLedger()
+        ledger.record_bypass("s", 10)
+        snapshot = ledger.snapshot()
+        ledger.record_bypass("s", 10)
+        assert snapshot.bypass_bytes == 10
+        assert ledger.bypass_bytes == 20
+        assert snapshot.per_server_bypass == {"s": 10}
+
+    def test_reset(self):
+        ledger = TrafficLedger()
+        ledger.record_bypass("s", 10)
+        ledger.record_load("s", 10)
+        ledger.record_cache_hit(10)
+        ledger.reset()
+        assert ledger.wan_bytes == 0
+        assert ledger.cache_bytes == 0
+        assert not ledger.per_server_bypass
+
+    def test_negative_amounts_rejected(self):
+        ledger = TrafficLedger()
+        with pytest.raises(FederationError):
+            ledger.record_bypass("s", -1)
+        with pytest.raises(FederationError):
+            ledger.record_load("s", -1)
+        with pytest.raises(FederationError):
+            ledger.record_cache_hit(-1)

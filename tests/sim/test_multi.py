@@ -1,0 +1,116 @@
+"""Tests for multi-client fleet simulation."""
+
+import pytest
+
+from repro.core.policies.baselines import NoCachePolicy, StaticPolicy
+from repro.core.policies.rate_profile import RateProfilePolicy
+from repro.errors import CacheError
+from repro.federation import Federation
+from repro.sim.multi import ClientSite, FleetResult, simulate_fleet
+from repro.workload.trace import PreparedQuery, PreparedTrace
+
+from tests.conftest import build_catalog
+
+
+def prepared_trace(name, yields):
+    queries = [
+        PreparedQuery(
+            index=i,
+            sql=f"{name}-q{i}",
+            template="t",
+            yield_bytes=int(y),
+            bypass_bytes=int(y),
+            table_yields={"PhotoObj": float(y)},
+            column_yields={},
+            servers=("sdss",),
+        )
+        for i, y in enumerate(yields)
+    ]
+    return PreparedTrace(name, queries)
+
+
+@pytest.fixture
+def federation():
+    return Federation.single_site(build_catalog(), "sdss")
+
+
+class TestSimulateFleet:
+    def test_totals_are_sums(self, federation):
+        clients = [
+            ClientSite("a", prepared_trace("a", [100, 100]), NoCachePolicy()),
+            ClientSite("b", prepared_trace("b", [50]), NoCachePolicy()),
+        ]
+        result = simulate_fleet(federation, clients)
+        assert result.total_bytes == 250
+        assert result.sequence_bytes == 250
+        assert set(result.per_client) == {"a", "b"}
+
+    def test_caching_clients_reduce_global_traffic(self, federation):
+        photo = federation.object_size("PhotoObj")
+        covered = StaticPolicy(photo, {"PhotoObj": photo})
+        clients = [
+            ClientSite("cached", prepared_trace("c", [200] * 5), covered),
+            ClientSite(
+                "uncached", prepared_trace("u", [200] * 5), NoCachePolicy()
+            ),
+        ]
+        result = simulate_fleet(federation, clients)
+        assert result.per_client["cached"].total_bytes == 0
+        assert result.per_client["uncached"].total_bytes == 1000
+        assert result.total_bytes == 1000
+        assert result.savings_factor == 2.0
+
+    def test_mean_hit_rate(self, federation):
+        photo = federation.object_size("PhotoObj")
+        clients = [
+            ClientSite(
+                "hit",
+                prepared_trace("h", [10]),
+                StaticPolicy(photo, {"PhotoObj": photo}),
+            ),
+            ClientSite("miss", prepared_trace("m", [10]), NoCachePolicy()),
+        ]
+        result = simulate_fleet(federation, clients)
+        assert result.mean_hit_rate == pytest.approx(0.5)
+
+    def test_caches_are_independent(self, federation):
+        """One client's policy state never leaks into another's."""
+        photo = federation.object_size("PhotoObj")
+        hot = [float(photo)] * 4
+        clients = [
+            ClientSite(
+                "x", prepared_trace("x", hot),
+                RateProfilePolicy(capacity_bytes=photo * 2),
+            ),
+            ClientSite(
+                "y", prepared_trace("y", hot),
+                RateProfilePolicy(capacity_bytes=photo * 2),
+            ),
+        ]
+        result = simulate_fleet(federation, clients)
+        # Identical workloads + identical fresh policies = identical
+        # outcomes; each client pays its own load.
+        assert (
+            result.per_client["x"].total_bytes
+            == result.per_client["y"].total_bytes
+        )
+        assert result.per_client["x"].loads == result.per_client["y"].loads
+
+    def test_empty_fleet_rejected(self, federation):
+        with pytest.raises(CacheError):
+            simulate_fleet(federation, [])
+
+    def test_duplicate_names_rejected(self, federation):
+        trace = prepared_trace("t", [1])
+        clients = [
+            ClientSite("dup", trace, NoCachePolicy()),
+            ClientSite("dup", trace, NoCachePolicy()),
+        ]
+        with pytest.raises(CacheError):
+            simulate_fleet(federation, clients)
+
+    def test_empty_result_properties(self):
+        result = FleetResult()
+        assert result.total_bytes == 0
+        assert result.savings_factor == float("inf")
+        assert result.mean_hit_rate == 0.0

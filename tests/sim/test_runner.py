@@ -1,0 +1,111 @@
+"""Unit tests for the experiment runner (comparisons and sweeps)."""
+
+import pytest
+
+from repro.core.policies.baselines import StaticPolicy
+from repro.errors import CacheError
+from repro.federation import Federation
+from repro.sim.runner import (
+    build_policy,
+    compare_policies,
+    run_single,
+    sweep_cache_sizes,
+)
+from repro.workload.trace import PreparedQuery, PreparedTrace
+
+from tests.conftest import build_catalog
+
+
+@pytest.fixture
+def federation():
+    return Federation.single_site(build_catalog(), "sdss")
+
+
+@pytest.fixture
+def trace():
+    queries = []
+    for i in range(20):
+        table = "PhotoObj" if i % 4 else "SpecObj"
+        queries.append(
+            PreparedQuery(
+                index=i,
+                sql=f"q{i}",
+                template="t",
+                yield_bytes=120,
+                bypass_bytes=120,
+                table_yields={table: 120.0},
+                column_yields={f"{table}.objID": 120.0},
+                servers=("sdss",),
+            )
+        )
+    return PreparedTrace("unit", queries)
+
+
+class TestBuildPolicy:
+    def test_registered_policy(self, federation, trace):
+        policy = build_policy(
+            "lru", 1000, trace, federation, "table"
+        )
+        assert policy.name == "lru"
+        assert policy.capacity_bytes == 1000
+
+    def test_static_policy_preselected(self, federation, trace):
+        capacity = federation.object_size("PhotoObj") + 10
+        policy = build_policy(
+            "static", capacity, trace, federation, "table"
+        )
+        assert isinstance(policy, StaticPolicy)
+        assert "PhotoObj" in policy.store
+
+    def test_unknown_policy_raises(self, federation, trace):
+        with pytest.raises(CacheError):
+            build_policy("alchemy", 1000, trace, federation, "table")
+
+
+class TestRunners:
+    def test_run_single(self, federation, trace):
+        result = run_single(trace, federation, "no-cache", 100, "table")
+        assert result.total_bytes == 20 * 120
+
+    def test_compare_policies_returns_all(self, federation, trace):
+        results = compare_policies(
+            trace,
+            federation,
+            capacity_bytes=federation.total_database_bytes(),
+            granularity="table",
+            policies=("no-cache", "gds", "static"),
+        )
+        assert set(results) == {"no-cache", "gds", "static"}
+        assert results["no-cache"].total_bytes >= results[
+            "static"
+        ].total_bytes
+
+    def test_sweep_structure(self, federation, trace):
+        sweep = sweep_cache_sizes(
+            trace,
+            federation,
+            granularity="table",
+            fractions=(0.5, 1.0),
+            policies=("no-cache", "static"),
+        )
+        assert len(sweep.points) == 4
+        assert sweep.policies() == ["no-cache", "static"]
+        halves = sweep.series("static")
+        assert [p.cache_fraction for p in halves] == [0.5, 1.0]
+
+    def test_static_improves_with_capacity(self, federation, trace):
+        sweep = sweep_cache_sizes(
+            trace,
+            federation,
+            granularity="table",
+            fractions=(0.2, 1.0),
+            policies=("static",),
+        )
+        small, large = sweep.series("static")
+        assert large.total_bytes <= small.total_bytes
+
+    def test_bad_fraction_rejected(self, federation, trace):
+        with pytest.raises(CacheError):
+            sweep_cache_sizes(
+                trace, federation, fractions=(0.0,), policies=("static",)
+            )

@@ -1,0 +1,106 @@
+"""Unit tests for the catalog and its cacheable-object metadata."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.sqlengine.catalog import Catalog
+from repro.sqlengine.schema import Column, TableSchema
+from repro.sqlengine.storage import Table
+from repro.sqlengine.types import ColumnType
+
+
+def small_schema(name="T"):
+    return TableSchema(
+        name,
+        [Column("id", ColumnType.BIGINT), Column("v", ColumnType.INT)],
+    )
+
+
+class TestTables:
+    def test_create_and_lookup(self):
+        catalog = Catalog()
+        table = catalog.create_table(small_schema())
+        assert catalog.table("t") is table
+        assert catalog.has_table("T")
+
+    def test_duplicate_create_rejected(self):
+        catalog = Catalog()
+        catalog.create_table(small_schema())
+        with pytest.raises(CatalogError):
+            catalog.create_table(small_schema())
+
+    def test_add_prebuilt_table(self):
+        catalog = Catalog()
+        table = Table(small_schema())
+        catalog.add_table(table)
+        assert catalog.table("T") is table
+
+    def test_add_duplicate_rejected(self):
+        catalog = Catalog()
+        catalog.create_table(small_schema())
+        with pytest.raises(CatalogError):
+            catalog.add_table(Table(small_schema()))
+
+    def test_drop(self):
+        catalog = Catalog()
+        catalog.create_table(small_schema())
+        catalog.drop_table("T")
+        assert not catalog.has_table("T")
+
+    def test_drop_missing_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().drop_table("ghost")
+
+    def test_missing_table_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().table("ghost")
+
+    def test_schema_snapshot(self):
+        catalog = Catalog("mine")
+        catalog.create_table(small_schema("A"))
+        snapshot = catalog.schema()
+        assert snapshot.name == "mine"
+        assert "A" in snapshot
+
+
+class TestObjectMetadata:
+    def _catalog(self):
+        catalog = Catalog()
+        table = catalog.create_table(small_schema())
+        table.insert_many([[i, i] for i in range(10)])
+        return catalog
+
+    def test_table_object_size(self):
+        catalog = self._catalog()
+        assert catalog.object_size("T") == 10 * 12
+
+    def test_column_object_size(self):
+        catalog = self._catalog()
+        assert catalog.object_size("T.id") == 80
+        assert catalog.object_size("T.v") == 40
+
+    def test_total_size(self):
+        assert self._catalog().total_size_bytes() == 120
+
+    def test_table_objects(self):
+        assert self._catalog().table_objects() == ["T"]
+
+    def test_column_objects(self):
+        assert self._catalog().column_objects() == ["T.id", "T.v"]
+
+    def test_objects_by_granularity(self):
+        catalog = self._catalog()
+        assert catalog.objects("table") == ["T"]
+        assert catalog.objects("column") == ["T.id", "T.v"]
+
+    def test_unknown_granularity_raises(self):
+        with pytest.raises(CatalogError):
+            self._catalog().objects("page")
+
+    def test_object_size_unknown_table_raises(self):
+        with pytest.raises(CatalogError):
+            self._catalog().object_size("Ghost")
+
+    def test_object_size_unknown_column_raises(self):
+        with pytest.raises(CatalogError):
+            self._catalog().object_size("T.ghost")

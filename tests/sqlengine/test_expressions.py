@@ -1,0 +1,236 @@
+"""Unit tests for expression compilation and three-valued logic."""
+
+import pytest
+
+from repro.errors import ExecutionError, PlanError
+from repro.sqlengine.ast_nodes import (
+    BetweenOp,
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    InOp,
+    IsNullOp,
+    Literal,
+    UnaryOp,
+)
+from repro.sqlengine.expressions import (
+    RowLayout,
+    compile_expr,
+    like_to_regex,
+    split_conjuncts,
+    sql_and,
+    sql_not,
+    sql_or,
+)
+
+
+@pytest.fixture
+def layout():
+    layout = RowLayout()
+    layout.add("t", "a")
+    layout.add("t", "b")
+    layout.add("u", "c")
+    return layout
+
+
+def evaluate(expr, layout, row):
+    return compile_expr(expr, layout)(row)
+
+
+class TestThreeValuedLogic:
+    def test_and_truth_table(self):
+        assert sql_and(True, True) is True
+        assert sql_and(True, False) is False
+        assert sql_and(False, None) is False
+        assert sql_and(None, True) is None
+        assert sql_and(None, None) is None
+
+    def test_or_truth_table(self):
+        assert sql_or(False, False) is False
+        assert sql_or(True, None) is True
+        assert sql_or(None, False) is None
+        assert sql_or(None, None) is None
+
+    def test_not(self):
+        assert sql_not(True) is False
+        assert sql_not(False) is True
+        assert sql_not(None) is None
+
+
+class TestRowLayout:
+    def test_qualified_lookup(self, layout):
+        assert layout.position("a", "t") == 0
+        assert layout.position("c", "u") == 2
+
+    def test_unqualified_unique(self, layout):
+        assert layout.position("b") == 1
+
+    def test_case_insensitive(self, layout):
+        assert layout.position("A", "T") == 0
+
+    def test_unknown_raises(self, layout):
+        with pytest.raises(PlanError, match="unknown"):
+            layout.position("z")
+
+    def test_ambiguous_bare_name(self):
+        layout = RowLayout()
+        layout.add("t", "x")
+        layout.add("u", "x")
+        with pytest.raises(PlanError, match="ambiguous"):
+            layout.position("x")
+        assert layout.position("x", "t") == 0
+
+    def test_duplicate_slot_rejected(self, layout):
+        with pytest.raises(PlanError):
+            layout.add("t", "a")
+
+    def test_slots(self, layout):
+        assert layout.slots == [("t", "a"), ("t", "b"), ("u", "c")]
+
+
+class TestCompilation:
+    def test_literal(self, layout):
+        assert evaluate(Literal(5), layout, (0, 0, 0)) == 5
+
+    def test_column_ref(self, layout):
+        expr = ColumnRef(column="b", table="t")
+        assert evaluate(expr, layout, (1, 2, 3)) == 2
+
+    def test_comparison(self, layout):
+        expr = BinaryOp(">", ColumnRef("a", "t"), Literal(1))
+        assert evaluate(expr, layout, (2, 0, 0)) is True
+        assert evaluate(expr, layout, (0, 0, 0)) is False
+
+    def test_comparison_with_null_is_unknown(self, layout):
+        expr = BinaryOp("=", ColumnRef("a", "t"), Literal(1))
+        assert evaluate(expr, layout, (None, 0, 0)) is None
+
+    def test_incomparable_types_raise(self, layout):
+        expr = BinaryOp("<", ColumnRef("a", "t"), Literal("str"))
+        with pytest.raises(ExecutionError):
+            evaluate(expr, layout, (1, 0, 0))
+
+    def test_arithmetic(self, layout):
+        expr = BinaryOp(
+            "*", ColumnRef("a", "t"), BinaryOp("+", Literal(1), Literal(2))
+        )
+        assert evaluate(expr, layout, (5, 0, 0)) == 15
+
+    def test_arithmetic_null_propagates(self, layout):
+        expr = BinaryOp("+", ColumnRef("a", "t"), Literal(1))
+        assert evaluate(expr, layout, (None, 0, 0)) is None
+
+    def test_division_by_zero_is_null(self, layout):
+        expr = BinaryOp("/", Literal(1), ColumnRef("a", "t"))
+        assert evaluate(expr, layout, (0, 0, 0)) is None
+
+    def test_modulo(self, layout):
+        expr = BinaryOp("%", ColumnRef("a", "t"), Literal(3))
+        assert evaluate(expr, layout, (7, 0, 0)) == 1
+
+    def test_modulo_by_zero_is_null(self, layout):
+        expr = BinaryOp("%", Literal(7), Literal(0))
+        assert evaluate(expr, layout, (0, 0, 0)) is None
+
+    def test_unary_minus(self, layout):
+        expr = UnaryOp("-", ColumnRef("a", "t"))
+        assert evaluate(expr, layout, (4, 0, 0)) == -4
+        assert evaluate(expr, layout, (None, 0, 0)) is None
+
+    def test_between(self, layout):
+        expr = BetweenOp(ColumnRef("a", "t"), Literal(1), Literal(5))
+        assert evaluate(expr, layout, (3, 0, 0)) is True
+        assert evaluate(expr, layout, (6, 0, 0)) is False
+        assert evaluate(expr, layout, (None, 0, 0)) is None
+
+    def test_between_negated(self, layout):
+        expr = BetweenOp(
+            ColumnRef("a", "t"), Literal(1), Literal(5), negated=True
+        )
+        assert evaluate(expr, layout, (6, 0, 0)) is True
+
+    def test_in(self, layout):
+        expr = InOp(ColumnRef("a", "t"), (Literal(1), Literal(2)))
+        assert evaluate(expr, layout, (2, 0, 0)) is True
+        assert evaluate(expr, layout, (3, 0, 0)) is False
+
+    def test_in_with_null_item_unknown_when_absent(self, layout):
+        expr = InOp(ColumnRef("a", "t"), (Literal(1), Literal(None)))
+        assert evaluate(expr, layout, (9, 0, 0)) is None
+        assert evaluate(expr, layout, (1, 0, 0)) is True
+
+    def test_is_null(self, layout):
+        expr = IsNullOp(ColumnRef("a", "t"))
+        assert evaluate(expr, layout, (None, 0, 0)) is True
+        assert evaluate(expr, layout, (1, 0, 0)) is False
+
+    def test_is_not_null(self, layout):
+        expr = IsNullOp(ColumnRef("a", "t"), negated=True)
+        assert evaluate(expr, layout, (1, 0, 0)) is True
+
+    def test_like(self, layout):
+        expr = BinaryOp(
+            "like", ColumnRef("a", "t"), Literal("gal%")
+        )
+        assert evaluate(expr, layout, ("galaxy", 0, 0)) is True
+        assert evaluate(expr, layout, ("star", 0, 0)) is False
+        assert evaluate(expr, layout, (None, 0, 0)) is None
+
+    def test_like_requires_literal_pattern(self, layout):
+        expr = BinaryOp("like", ColumnRef("a", "t"), ColumnRef("b", "t"))
+        with pytest.raises(PlanError):
+            compile_expr(expr, layout)
+
+    def test_like_on_non_string_raises(self, layout):
+        expr = BinaryOp("like", ColumnRef("a", "t"), Literal("x%"))
+        with pytest.raises(ExecutionError):
+            evaluate(expr, layout, (42, 0, 0))
+
+    def test_aggregate_cannot_compile(self, layout):
+        with pytest.raises(PlanError):
+            compile_expr(FuncCall("count", star=True), layout)
+
+    def test_unknown_operator_rejected(self, layout):
+        with pytest.raises(PlanError):
+            compile_expr(BinaryOp("**", Literal(1), Literal(2)), layout)
+
+
+class TestLikeRegex:
+    def test_percent_matches_any(self):
+        assert like_to_regex("a%b").match("aXYZb")
+
+    def test_underscore_matches_one(self):
+        regex = like_to_regex("a_c")
+        assert regex.match("abc")
+        assert not regex.match("abbc")
+
+    def test_specials_escaped(self):
+        assert like_to_regex("a.b").match("a.b")
+        assert not like_to_regex("a.b").match("axb")
+
+    def test_case_insensitive(self):
+        assert like_to_regex("GAL%").match("galaxy")
+
+
+class TestSplitConjuncts:
+    def test_none_is_empty(self):
+        assert split_conjuncts(None) == []
+
+    def test_single_predicate(self):
+        pred = BinaryOp("=", ColumnRef("a"), Literal(1))
+        assert split_conjuncts(pred) == [pred]
+
+    def test_nested_ands_flattened(self):
+        a = BinaryOp("=", ColumnRef("a"), Literal(1))
+        b = BinaryOp("=", ColumnRef("b"), Literal(2))
+        c = BinaryOp("=", ColumnRef("c"), Literal(3))
+        tree = BinaryOp("and", BinaryOp("and", a, b), c)
+        assert split_conjuncts(tree) == [a, b, c]
+
+    def test_or_not_split(self):
+        tree = BinaryOp(
+            "or",
+            BinaryOp("=", ColumnRef("a"), Literal(1)),
+            BinaryOp("=", ColumnRef("b"), Literal(2)),
+        )
+        assert split_conjuncts(tree) == [tree]

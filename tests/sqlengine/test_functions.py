@@ -1,0 +1,86 @@
+"""Unit tests for aggregate accumulators."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.sqlengine.functions import is_aggregate_name, make_aggregate
+
+
+def feed(agg, values):
+    for value in values:
+        agg.add(value)
+    return agg.result()
+
+
+class TestCount:
+    def test_counts_non_null(self):
+        assert feed(make_aggregate("count"), [1, None, 2, None]) == 2
+
+    def test_empty_is_zero(self):
+        assert make_aggregate("count").result() == 0
+
+    def test_distinct(self):
+        agg = make_aggregate("count", distinct=True)
+        assert feed(agg, [1, 1, 2, 2, 3]) == 3
+
+
+class TestSum:
+    def test_sum(self):
+        assert feed(make_aggregate("sum"), [1, 2, 3]) == 6
+
+    def test_nulls_skipped(self):
+        assert feed(make_aggregate("sum"), [None, 5, None]) == 5
+
+    def test_all_null_is_null(self):
+        assert feed(make_aggregate("sum"), [None, None]) is None
+
+    def test_empty_is_null(self):
+        assert make_aggregate("sum").result() is None
+
+    def test_distinct(self):
+        assert feed(make_aggregate("sum", distinct=True), [2, 2, 3]) == 5
+
+
+class TestAvg:
+    def test_avg(self):
+        assert feed(make_aggregate("avg"), [1, 2, 3]) == 2.0
+
+    def test_nulls_excluded_from_denominator(self):
+        assert feed(make_aggregate("avg"), [4, None, 6]) == 5.0
+
+    def test_empty_is_null(self):
+        assert make_aggregate("avg").result() is None
+
+    def test_distinct(self):
+        assert feed(make_aggregate("avg", distinct=True), [2, 2, 4]) == 3.0
+
+
+class TestMinMax:
+    def test_min(self):
+        assert feed(make_aggregate("min"), [3, 1, 2]) == 1
+
+    def test_max(self):
+        assert feed(make_aggregate("max"), [3, 1, 2]) == 3
+
+    def test_min_ignores_null(self):
+        assert feed(make_aggregate("min"), [None, 7]) == 7
+
+    def test_empty_is_null(self):
+        assert make_aggregate("min").result() is None
+        assert make_aggregate("max").result() is None
+
+    def test_strings(self):
+        assert feed(make_aggregate("max"), ["a", "c", "b"]) == "c"
+
+
+class TestRegistry:
+    def test_case_insensitive(self):
+        assert make_aggregate("COUNT") is not None
+
+    def test_unknown_raises(self):
+        with pytest.raises(PlanError):
+            make_aggregate("median")
+
+    def test_is_aggregate_name(self):
+        assert is_aggregate_name("SUM")
+        assert not is_aggregate_name("concat")

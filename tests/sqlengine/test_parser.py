@@ -1,0 +1,259 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sqlengine.ast_nodes import (
+    BetweenOp,
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    InOp,
+    IsNullOp,
+    Literal,
+    UnaryOp,
+)
+from repro.sqlengine.parser import parse
+
+
+class TestSelectList:
+    def test_star(self):
+        stmt = parse("SELECT * FROM T")
+        assert stmt.items[0].star
+        assert stmt.items[0].table is None
+
+    def test_qualified_star(self):
+        stmt = parse("SELECT p.* FROM PhotoObj p")
+        assert stmt.items[0].star
+        assert stmt.items[0].table == "p"
+
+    def test_column_list(self):
+        stmt = parse("SELECT a, b, c FROM T")
+        assert [item.expr.column for item in stmt.items] == ["a", "b", "c"]
+
+    def test_alias_with_as(self):
+        stmt = parse("SELECT z AS redshift FROM T")
+        assert stmt.items[0].alias == "redshift"
+
+    def test_alias_without_as(self):
+        stmt = parse("SELECT z redshift FROM T")
+        assert stmt.items[0].alias == "redshift"
+
+    def test_qualified_column(self):
+        stmt = parse("SELECT p.ra FROM PhotoObj p")
+        ref = stmt.items[0].expr
+        assert ref == ColumnRef(column="ra", table="p")
+
+    def test_arithmetic_expression(self):
+        stmt = parse("SELECT a - b AS diff FROM T")
+        expr = stmt.items[0].expr
+        assert isinstance(expr, BinaryOp)
+        assert expr.op == "-"
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM T").distinct
+
+    def test_precedence_mul_over_add(self):
+        expr = parse("SELECT a + b * c FROM T").items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+
+class TestFromAndJoins:
+    def test_single_table(self):
+        stmt = parse("SELECT a FROM T")
+        assert stmt.tables[0].table == "T"
+        assert stmt.tables[0].binding == "T"
+
+    def test_table_alias(self):
+        stmt = parse("SELECT a FROM PhotoObj p")
+        assert stmt.tables[0].binding == "p"
+
+    def test_table_alias_with_as(self):
+        stmt = parse("SELECT a FROM PhotoObj AS p")
+        assert stmt.tables[0].alias == "p"
+
+    def test_implicit_join(self):
+        stmt = parse("SELECT a FROM T1, T2 WHERE T1.x = T2.y")
+        assert len(stmt.tables) == 2
+
+    def test_explicit_join(self):
+        stmt = parse(
+            "SELECT a FROM T1 JOIN T2 ON T1.x = T2.y"
+        )
+        assert len(stmt.joins) == 1
+        assert stmt.joins[0].kind == "inner"
+
+    def test_inner_join(self):
+        stmt = parse("SELECT a FROM T1 INNER JOIN T2 ON T1.x = T2.y")
+        assert stmt.joins[0].kind == "inner"
+
+    def test_left_join_parses(self):
+        stmt = parse("SELECT a FROM T1 LEFT JOIN T2 ON T1.x = T2.y")
+        assert stmt.joins[0].kind == "left"
+
+    def test_left_outer_join(self):
+        stmt = parse("SELECT a FROM T1 LEFT OUTER JOIN T2 ON T1.x = T2.y")
+        assert stmt.joins[0].kind == "left"
+
+    def test_multiple_joins(self):
+        stmt = parse(
+            "SELECT a FROM T1 JOIN T2 ON T1.x = T2.y "
+            "JOIN T3 ON T2.z = T3.w"
+        )
+        assert len(stmt.joins) == 2
+
+    def test_referenced_tables(self):
+        stmt = parse("SELECT a FROM T1, T2 JOIN T3 ON T2.x = T3.y")
+        assert stmt.referenced_tables() == ["T1", "T2", "T3"]
+
+
+class TestPredicates:
+    def test_comparison(self):
+        stmt = parse("SELECT a FROM T WHERE x > 3")
+        assert stmt.where.op == ">"
+
+    def test_not_equal_normalized(self):
+        assert parse("SELECT a FROM T WHERE x != 3").where.op == "<>"
+
+    def test_and_or_precedence(self):
+        where = parse(
+            "SELECT a FROM T WHERE x = 1 OR y = 2 AND z = 3"
+        ).where
+        assert where.op == "or"
+        assert where.right.op == "and"
+
+    def test_not(self):
+        where = parse("SELECT a FROM T WHERE NOT x = 1").where
+        assert isinstance(where, UnaryOp)
+        assert where.op == "not"
+
+    def test_between(self):
+        where = parse("SELECT a FROM T WHERE x BETWEEN 1 AND 5").where
+        assert isinstance(where, BetweenOp)
+        assert not where.negated
+
+    def test_not_between(self):
+        where = parse("SELECT a FROM T WHERE x NOT BETWEEN 1 AND 5").where
+        assert isinstance(where, BetweenOp)
+        assert where.negated
+
+    def test_in_list(self):
+        where = parse("SELECT a FROM T WHERE x IN (1, 2, 3)").where
+        assert isinstance(where, InOp)
+        assert len(where.items) == 3
+
+    def test_not_in(self):
+        where = parse("SELECT a FROM T WHERE x NOT IN (1)").where
+        assert where.negated
+
+    def test_like(self):
+        where = parse("SELECT a FROM T WHERE name LIKE 'gal%'").where
+        assert where.op == "like"
+
+    def test_is_null(self):
+        where = parse("SELECT a FROM T WHERE x IS NULL").where
+        assert isinstance(where, IsNullOp)
+        assert not where.negated
+
+    def test_is_not_null(self):
+        where = parse("SELECT a FROM T WHERE x IS NOT NULL").where
+        assert where.negated
+
+    def test_null_literal(self):
+        where = parse("SELECT a FROM T WHERE x = NULL").where
+        assert where.right == Literal(None)
+
+    def test_parenthesized(self):
+        where = parse(
+            "SELECT a FROM T WHERE (x = 1 OR y = 2) AND z = 3"
+        ).where
+        assert where.op == "and"
+        assert where.left.op == "or"
+
+    def test_unary_minus(self):
+        where = parse("SELECT a FROM T WHERE x > -5").where
+        assert isinstance(where.right, UnaryOp)
+
+    def test_between_binds_tighter_than_and(self):
+        where = parse(
+            "SELECT a FROM T WHERE x BETWEEN 1 AND 5 AND y = 2"
+        ).where
+        assert where.op == "and"
+        assert isinstance(where.left, BetweenOp)
+
+
+class TestAggregatesAndClauses:
+    def test_count_star(self):
+        expr = parse("SELECT COUNT(*) FROM T").items[0].expr
+        assert isinstance(expr, FuncCall)
+        assert expr.star
+
+    def test_count_distinct(self):
+        expr = parse("SELECT COUNT(DISTINCT x) FROM T").items[0].expr
+        assert expr.distinct
+
+    @pytest.mark.parametrize("func", ["sum", "avg", "min", "max"])
+    def test_aggregate_functions(self, func):
+        expr = parse(f"SELECT {func}(x) FROM T").items[0].expr
+        assert expr.name == func
+
+    def test_group_by(self):
+        stmt = parse("SELECT a, COUNT(*) FROM T GROUP BY a")
+        assert len(stmt.group_by) == 1
+
+    def test_group_by_multiple(self):
+        stmt = parse("SELECT a, b, COUNT(*) FROM T GROUP BY a, b")
+        assert len(stmt.group_by) == 2
+
+    def test_having(self):
+        stmt = parse(
+            "SELECT a, COUNT(*) FROM T GROUP BY a HAVING COUNT(*) > 2"
+        )
+        assert stmt.having is not None
+
+    def test_order_by_defaults_asc(self):
+        stmt = parse("SELECT a FROM T ORDER BY a")
+        assert stmt.order_by[0].ascending
+
+    def test_order_by_desc(self):
+        stmt = parse("SELECT a FROM T ORDER BY a DESC, b ASC")
+        assert not stmt.order_by[0].ascending
+        assert stmt.order_by[1].ascending
+
+    def test_top(self):
+        assert parse("SELECT TOP 5 a FROM T").limit == 5
+
+    def test_limit(self):
+        assert parse("SELECT a FROM T LIMIT 7").limit == 7
+
+    def test_top_and_limit_take_min(self):
+        assert parse("SELECT TOP 5 a FROM T LIMIT 3").limit == 3
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT",
+            "SELECT FROM T",
+            "SELECT a",
+            "SELECT a FROM",
+            "SELECT a FROM T WHERE",
+            "SELECT a FROM T GROUP a",
+            "SELECT a FROM T ORDER a",
+            "SELECT a FROM T extra garbage",
+            "SELECT a FROM T1 JOIN T2",
+            "SELECT a FROM T WHERE x NOT y",
+            "SELECT TOP -1 a FROM T",
+            "SELECT a FROM T LIMIT x",
+            "SELECT a, FROM T",
+        ],
+    )
+    def test_syntax_errors(self, sql):
+        with pytest.raises(ParseError):
+            parse(sql)
+
+    def test_error_message_has_context(self):
+        with pytest.raises(ParseError, match="position"):
+            parse("SELECT a FROM T WHERE ()")

@@ -1,0 +1,179 @@
+"""Unit tests for query planning: binding, pushdown, join edges."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.sqlengine.parser import parse
+from repro.sqlengine.planner import SchemaLookup, plan_select
+
+from tests.conftest import make_photo_schema, make_spec_schema
+
+
+@pytest.fixture
+def lookup():
+    return SchemaLookup(
+        {"PhotoObj": make_photo_schema(), "SpecObj": make_spec_schema()}
+    )
+
+
+def plan(sql, lookup):
+    return plan_select(parse(sql), lookup)
+
+
+class TestScope:
+    def test_single_table_scope(self, lookup):
+        p = plan("SELECT ra FROM PhotoObj", lookup)
+        assert [e.table_name for e in p.scope] == ["PhotoObj"]
+        assert p.scope[0].binding == "PhotoObj"
+
+    def test_alias_binding(self, lookup):
+        p = plan("SELECT p.ra FROM PhotoObj p", lookup)
+        assert p.scope[0].binding == "p"
+
+    def test_unknown_table_raises(self, lookup):
+        with pytest.raises(PlanError, match="unknown table"):
+            plan("SELECT x FROM Ghost", lookup)
+
+    def test_duplicate_binding_rejected(self, lookup):
+        with pytest.raises(PlanError, match="duplicate"):
+            plan("SELECT 1 FROM PhotoObj p, SpecObj p", lookup)
+
+    def test_join_clause_enters_scope(self, lookup):
+        p = plan(
+            "SELECT p.ra FROM PhotoObj p JOIN SpecObj s "
+            "ON p.objID = s.objID",
+            lookup,
+        )
+        assert [e.binding for e in p.scope] == ["p", "s"]
+
+
+class TestPredicateClassification:
+    def test_local_predicate_pushed(self, lookup):
+        p = plan(
+            "SELECT p.ra FROM PhotoObj p, SpecObj s "
+            "WHERE p.objID = s.objID AND p.ra > 10",
+            lookup,
+        )
+        assert len(p.local_predicates["p"]) == 1
+        assert len(p.local_predicates["s"]) == 0
+
+    def test_equi_join_extracted_as_edge(self, lookup):
+        p = plan(
+            "SELECT p.ra FROM PhotoObj p, SpecObj s "
+            "WHERE p.objID = s.objID",
+            lookup,
+        )
+        assert len(p.join_edges) == 1
+        edge = p.join_edges[0]
+        assert {edge.left_binding, edge.right_binding} == {"p", "s"}
+        assert not p.residual_predicates
+
+    def test_join_on_condition_becomes_edge(self, lookup):
+        p = plan(
+            "SELECT p.ra FROM PhotoObj p JOIN SpecObj s "
+            "ON p.objID = s.objID",
+            lookup,
+        )
+        assert len(p.join_edges) == 1
+
+    def test_cross_table_inequality_is_residual(self, lookup):
+        p = plan(
+            "SELECT p.ra FROM PhotoObj p, SpecObj s "
+            "WHERE p.objID < s.objID",
+            lookup,
+        )
+        assert not p.join_edges
+        assert len(p.residual_predicates) == 1
+
+    def test_or_of_two_tables_is_residual(self, lookup):
+        p = plan(
+            "SELECT p.ra FROM PhotoObj p, SpecObj s "
+            "WHERE p.ra > 1 OR s.z > 0.1",
+            lookup,
+        )
+        assert len(p.residual_predicates) == 1
+
+    def test_constant_predicate_is_residual(self, lookup):
+        p = plan("SELECT ra FROM PhotoObj WHERE 1 = 1", lookup)
+        assert len(p.residual_predicates) == 1
+
+
+class TestOutputs:
+    def test_star_expansion(self, lookup):
+        p = plan("SELECT * FROM SpecObj", lookup)
+        assert [o.name for o in p.outputs] == [
+            "specObjID", "objID", "z", "zConf", "specClass",
+        ]
+
+    def test_star_expansion_widths_and_sources(self, lookup):
+        p = plan("SELECT * FROM SpecObj", lookup)
+        by_name = {o.name: o for o in p.outputs}
+        assert by_name["specClass"].width == 4
+        assert by_name["z"].source == ("SpecObj", "z")
+
+    def test_qualified_star(self, lookup):
+        p = plan(
+            "SELECT s.* FROM PhotoObj p, SpecObj s "
+            "WHERE p.objID = s.objID",
+            lookup,
+        )
+        assert len(p.outputs) == 5
+
+    def test_unknown_star_qualifier_raises(self, lookup):
+        with pytest.raises(PlanError):
+            plan("SELECT z.* FROM PhotoObj p", lookup)
+
+    def test_bare_column_keeps_width_and_source(self, lookup):
+        p = plan("SELECT type FROM PhotoObj", lookup)
+        assert p.outputs[0].width == 4
+        assert p.outputs[0].source == ("PhotoObj", "type")
+
+    def test_computed_expression_default_width(self, lookup):
+        p = plan("SELECT ra - dec FROM PhotoObj", lookup)
+        assert p.outputs[0].width == 8
+        assert p.outputs[0].source is None
+
+    def test_alias_names_output(self, lookup):
+        p = plan("SELECT z AS redshift FROM SpecObj", lookup)
+        assert p.outputs[0].name == "redshift"
+
+    def test_default_names(self, lookup):
+        p = plan("SELECT COUNT(*), ra + 1 FROM PhotoObj", lookup)
+        assert p.outputs[0].name == "count"
+        assert p.outputs[1].name == "expr_1"
+
+
+class TestValidation:
+    def test_unknown_column_raises(self, lookup):
+        with pytest.raises(PlanError, match="unknown column"):
+            plan("SELECT ghost FROM PhotoObj", lookup)
+
+    def test_ambiguous_column_raises(self, lookup):
+        with pytest.raises(PlanError, match="ambiguous"):
+            plan(
+                "SELECT objID FROM PhotoObj p, SpecObj s "
+                "WHERE p.objID = s.objID",
+                lookup,
+            )
+
+    def test_unknown_alias_raises(self, lookup):
+        with pytest.raises(PlanError, match="unknown table or alias"):
+            plan("SELECT q.ra FROM PhotoObj p", lookup)
+
+    def test_having_without_aggregate_raises(self, lookup):
+        with pytest.raises(PlanError, match="HAVING"):
+            plan("SELECT ra FROM PhotoObj HAVING ra > 1", lookup)
+
+    def test_aggregates_detected(self, lookup):
+        p = plan("SELECT COUNT(*) FROM PhotoObj", lookup)
+        assert p.has_aggregates
+
+    def test_group_by_implies_aggregates(self, lookup):
+        p = plan("SELECT type FROM PhotoObj GROUP BY type", lookup)
+        assert p.has_aggregates
+
+    def test_order_by_alias_allowed(self, lookup):
+        p = plan(
+            "SELECT ra - dec AS d FROM PhotoObj ORDER BY d", lookup
+        )
+        assert p.outputs[0].name == "d"

@@ -1,0 +1,169 @@
+"""Tests for SQL rendering: fixed cases plus parse<->print round trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SQLError
+from repro.sqlengine.parser import parse
+from repro.sqlengine.printer import (
+    expr_to_sql,
+    explain,
+    render_identifier,
+    render_literal,
+    to_sql,
+)
+from repro.sqlengine.planner import SchemaLookup, plan_select
+
+from tests.conftest import make_photo_schema, make_spec_schema
+
+
+def roundtrip(sql: str) -> None:
+    """parse -> print -> parse must be a fixed point structurally."""
+    first = parse(sql)
+    printed = to_sql(first)
+    second = parse(printed)
+    assert second == first, f"\n{sql}\n-> {printed}"
+
+
+FIXED_QUERIES = [
+    "SELECT * FROM T",
+    "SELECT a, b AS bee FROM T",
+    "SELECT t.* FROM T t",
+    "SELECT DISTINCT a FROM T",
+    "SELECT a FROM T WHERE x > 3 AND y < 4",
+    "SELECT a FROM T WHERE x BETWEEN 1 AND 5",
+    "SELECT a FROM T WHERE x NOT BETWEEN 1 AND 5",
+    "SELECT a FROM T WHERE x IN (1, 2, 3)",
+    "SELECT a FROM T WHERE x NOT IN (1)",
+    "SELECT a FROM T WHERE name LIKE 'gal%'",
+    "SELECT a FROM T WHERE x IS NULL",
+    "SELECT a FROM T WHERE x IS NOT NULL",
+    "SELECT a FROM T WHERE NOT x = 1",
+    "SELECT a FROM T WHERE x = NULL",
+    "SELECT a - b FROM T",
+    "SELECT -a FROM T",
+    "SELECT a + b * c FROM T",
+    "SELECT COUNT(*) FROM T",
+    "SELECT COUNT(DISTINCT a) FROM T",
+    "SELECT SUM(a + b) FROM T",
+    "SELECT a, COUNT(*) FROM T GROUP BY a",
+    "SELECT a, COUNT(*) FROM T GROUP BY a HAVING COUNT(*) > 2",
+    "SELECT a FROM T ORDER BY a DESC, b",
+    "SELECT a FROM T LIMIT 5",
+    "SELECT a FROM T1, T2 WHERE T1.x = T2.y",
+    "SELECT a FROM T1 JOIN T2 ON T1.x = T2.y",
+    "SELECT a FROM T1 LEFT JOIN T2 ON T1.x = T2.y AND T2.z > 0",
+    "SELECT p.a, s.b FROM Photo p, Spec s "
+    "WHERE p.id = s.id AND p.m > 17.5 ORDER BY p.a",
+    "SELECT a FROM T WHERE x = 'it''s'",
+    "SELECT [weird name].* FROM [weird name]",
+]
+
+
+@pytest.mark.parametrize("sql", FIXED_QUERIES)
+def test_fixed_roundtrips(sql):
+    roundtrip(sql)
+
+
+class TestRenderPieces:
+    def test_identifier_plain(self):
+        assert render_identifier("PhotoObj") == "PhotoObj"
+
+    def test_identifier_quoted(self):
+        assert render_identifier("has space") == "[has space]"
+
+    def test_empty_identifier_rejected(self):
+        with pytest.raises(SQLError):
+            render_identifier("")
+
+    def test_literals(self):
+        assert render_literal(None) == "NULL"
+        assert render_literal(5) == "5"
+        assert render_literal(2.5) == "2.5"
+        assert render_literal("a'b") == "'a''b'"
+
+    def test_expr_rendering(self):
+        expr = parse("SELECT a FROM T WHERE x + 1 >= y * 2").where
+        assert expr_to_sql(expr) == "((x + 1) >= (y * 2))"
+
+    def test_top_renders_as_limit(self):
+        # TOP and LIMIT normalize to the same statement field.
+        assert parse(to_sql(parse("SELECT TOP 3 a FROM T"))).limit == 3
+
+
+# Random expression round-trip via hypothesis ---------------------------
+
+names = st.sampled_from(["a", "b", "c", "ra", "dec"])
+numbers = st.one_of(
+    st.integers(min_value=0, max_value=10**6),
+    st.floats(min_value=0.001, max_value=1e6, allow_nan=False),
+)
+
+
+def expr_strategy():
+    atoms = st.one_of(
+        names.map(lambda n: n),
+        numbers.map(render_literal),
+        st.just("NULL"),
+    )
+
+    def compose(children):
+        binary = st.tuples(
+            children, st.sampled_from(["+", "-", "*", "=", "<", ">="]),
+            children,
+        ).map(lambda t: f"({t[0]} {t[1]} {t[2]})")
+        between = st.tuples(children, children, children).map(
+            lambda t: f"({t[0]} BETWEEN {t[1]} AND {t[2]})"
+        )
+        inlist = st.tuples(children, children).map(
+            lambda t: f"({t[0]} IN ({t[1]}))"
+        )
+        isnull = children.map(lambda c: f"({c} IS NULL)")
+        negated = children.map(lambda c: f"(NOT {c})")
+        return st.one_of(binary, between, inlist, isnull, negated)
+
+    return st.recursive(atoms, compose, max_leaves=12)
+
+
+@settings(max_examples=120)
+@given(expr_strategy())
+def test_random_expression_roundtrip(expr_text):
+    sql = f"SELECT a FROM T WHERE {expr_text}"
+    roundtrip(sql)
+
+
+class TestExplain:
+    @pytest.fixture
+    def lookup(self):
+        return SchemaLookup(
+            {"PhotoObj": make_photo_schema(), "SpecObj": make_spec_schema()}
+        )
+
+    def test_explain_mentions_structure(self, lookup):
+        plan = plan_select(
+            parse(
+                "SELECT p.ra, COUNT(*) FROM PhotoObj p, SpecObj s "
+                "WHERE p.objID = s.objID AND p.ra > 10 "
+                "GROUP BY p.ra ORDER BY p.ra LIMIT 3"
+            ),
+            lookup,
+        )
+        text = explain(plan)
+        assert "scan PhotoObj AS p" in text
+        assert "pushdown: (p.ra > 10)" in text
+        assert "hash join" in text
+        assert "aggregate over: p.ra" in text
+        assert "limit: 3" in text
+
+    def test_explain_left_join(self, lookup):
+        plan = plan_select(
+            parse(
+                "SELECT p.ra FROM PhotoObj p LEFT JOIN SpecObj s "
+                "ON p.objID = s.objID"
+            ),
+            lookup,
+        )
+        text = explain(plan)
+        assert "left join" in text
+        assert "ON (p.objID = s.objID)" in text

@@ -1,0 +1,186 @@
+"""Unit tests for table statistics and yield estimation."""
+
+import pytest
+
+from repro.errors import SQLError
+from repro.sqlengine import Catalog, Column, ColumnType, QueryEngine, TableSchema
+from repro.sqlengine.statistics import (
+    ColumnStatistics,
+    TableStatistics,
+    YieldEstimator,
+)
+
+
+@pytest.fixture(scope="module")
+def stats_catalog():
+    catalog = Catalog("stats")
+    table = catalog.create_table(
+        TableSchema(
+            "T",
+            [
+                Column("id", ColumnType.BIGINT),
+                Column("grp", ColumnType.INT),
+                Column("v", ColumnType.FLOAT),
+            ],
+        )
+    )
+    # ids 1..100, grp uniform 0..3, v = id * 2.0, 10 NULLs in v.
+    for i in range(1, 101):
+        table.insert([i, i % 4, None if i <= 10 else i * 2.0])
+    return catalog
+
+
+@pytest.fixture(scope="module")
+def estimator(stats_catalog):
+    return YieldEstimator.from_catalog(stats_catalog)
+
+
+@pytest.fixture(scope="module")
+def engine(stats_catalog):
+    return QueryEngine(stats_catalog)
+
+
+class TestCollect:
+    def test_row_and_null_counts(self, stats_catalog):
+        stats = TableStatistics.collect(stats_catalog.table("T"))
+        assert stats.row_count == 100
+        assert stats.column("v").null_count == 10
+        assert stats.column("id").null_count == 0
+
+    def test_min_max(self, stats_catalog):
+        stats = TableStatistics.collect(stats_catalog.table("T"))
+        id_stats = stats.column("id")
+        assert id_stats.minimum == 1.0
+        assert id_stats.maximum == 100.0
+
+    def test_distinct_counts(self, stats_catalog):
+        stats = TableStatistics.collect(stats_catalog.table("T"))
+        assert stats.column("id").distinct_count == 100
+        assert stats.column("grp").distinct_count == 4
+
+    def test_histogram_sums_to_non_null(self, stats_catalog):
+        stats = TableStatistics.collect(stats_catalog.table("T"), bins=8)
+        v_stats = stats.column("v")
+        assert sum(v_stats.histogram) == v_stats.non_null_count
+        assert len(v_stats.histogram) == 8
+
+    def test_bad_bins_rejected(self, stats_catalog):
+        with pytest.raises(SQLError):
+            TableStatistics.collect(stats_catalog.table("T"), bins=0)
+
+
+class TestColumnSelectivity:
+    def test_equality_uniform(self):
+        column = ColumnStatistics(
+            null_count=0, distinct_count=4, row_count=100,
+            minimum=0.0, maximum=3.0, histogram=[25, 25, 25, 25],
+        )
+        assert column.selectivity_eq(2) == pytest.approx(0.25)
+
+    def test_equality_out_of_range(self):
+        column = ColumnStatistics(
+            null_count=0, distinct_count=4, row_count=100,
+            minimum=0.0, maximum=3.0,
+        )
+        assert column.selectivity_eq(99) == 0.0
+
+    def test_range_half(self):
+        column = ColumnStatistics(
+            null_count=0, distinct_count=100, row_count=100,
+            minimum=0.0, maximum=100.0, histogram=[25, 25, 25, 25],
+        )
+        assert column.selectivity_range(0.0, 50.0) == pytest.approx(
+            0.5, abs=0.05
+        )
+
+    def test_range_disjoint(self):
+        column = ColumnStatistics(
+            null_count=0, distinct_count=10, row_count=10,
+            minimum=0.0, maximum=10.0, histogram=[10],
+        )
+        assert column.selectivity_range(20.0, 30.0) == 0.0
+
+    def test_null_fraction(self):
+        column = ColumnStatistics(
+            null_count=10, distinct_count=5, row_count=100
+        )
+        assert column.selectivity_null() == pytest.approx(0.1)
+
+    def test_nulls_discount_range(self):
+        column = ColumnStatistics(
+            null_count=50, distinct_count=50, row_count=100,
+            minimum=0.0, maximum=100.0, histogram=[50],
+        )
+        assert column.selectivity_range(None, None) == pytest.approx(0.5)
+
+
+class TestYieldEstimation:
+    def _relative_error(self, engine, estimator, sql):
+        plan = engine.plan(sql)
+        exact = engine.execute(sql).byte_size
+        estimate = estimator.estimate_yield(plan)
+        if exact == 0:
+            return estimate
+        return abs(estimate - exact) / exact
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT id, v FROM T WHERE id <= 50",
+            "SELECT id FROM T WHERE id BETWEEN 10 AND 30",
+            "SELECT id, grp, v FROM T",
+            "SELECT id FROM T WHERE grp = 1",
+            "SELECT id FROM T WHERE v IS NULL",
+        ],
+    )
+    def test_estimates_within_2x(self, engine, estimator, sql):
+        assert self._relative_error(engine, estimator, sql) < 1.0
+
+    def test_limit_caps_estimate(self, engine, estimator):
+        plan = engine.plan("SELECT id FROM T LIMIT 5")
+        assert estimator.estimate_rows(plan) <= 5
+
+    def test_empty_range_estimates_zero(self, engine, estimator):
+        plan = engine.plan("SELECT id FROM T WHERE id > 1000")
+        assert estimator.estimate_rows(plan) == pytest.approx(0.0, abs=1.0)
+
+    def test_aggregate_single_group(self, engine, estimator):
+        plan = engine.plan("SELECT COUNT(*) FROM T")
+        assert estimator.estimate_rows(plan) == 1.0
+
+    def test_group_by_uses_distinct(self, engine, estimator):
+        plan = engine.plan("SELECT grp, COUNT(*) FROM T GROUP BY grp")
+        assert estimator.estimate_rows(plan) == pytest.approx(4.0)
+
+    def test_join_estimate(self, stats_catalog, estimator):
+        # Self-contained join catalog: U references T.grp.
+        catalog = Catalog("join-est")
+        catalog.add_table(stats_catalog.table("T"))
+        other = catalog.create_table(
+            TableSchema(
+                "U",
+                [Column("grp", ColumnType.INT),
+                 Column("label", ColumnType.INT)],
+            )
+        )
+        other.insert_many([[g, g * 10] for g in range(4)])
+        engine = QueryEngine(catalog)
+        est = YieldEstimator.from_catalog(catalog)
+        sql = (
+            "SELECT t.id, u.label FROM T t, U u WHERE t.grp = u.grp"
+        )
+        plan = engine.plan(sql)
+        exact_rows = engine.execute(sql).row_count
+        estimated = est.estimate_rows(plan)
+        assert estimated == pytest.approx(exact_rows, rel=0.2)
+
+    def test_unknown_table_gets_default(self, estimator, engine):
+        # Estimator built without 'U' falls back to defaults rather
+        # than crashing.
+        catalog = Catalog("unk")
+        table = catalog.create_table(
+            TableSchema("U", [Column("x", ColumnType.INT)])
+        )
+        table.insert_many([[i] for i in range(5)])
+        plan = QueryEngine(catalog).plan("SELECT x FROM U")
+        assert estimator.estimate_rows(plan) > 0

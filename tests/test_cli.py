@@ -1,0 +1,177 @@
+"""Tests for the command-line entry points."""
+
+import pytest
+
+from repro.workload.make_trace import main as make_trace_main
+from repro.workload.trace import PreparedTrace, Trace
+
+
+class TestMakeTrace:
+    def test_generates_trace_file(self, tmp_path, capsys):
+        output = tmp_path / "trace.jsonl"
+        code = make_trace_main(
+            [
+                "--flavor", "edr", "-n", "40", "--profile", "tiny",
+                "-o", str(output),
+            ]
+        )
+        assert code == 0
+        loaded = Trace.load(output)
+        assert len(loaded) == 40
+        assert "wrote 40 queries" in capsys.readouterr().out
+
+    def test_prepare_flag_writes_yields(self, tmp_path):
+        output = tmp_path / "trace.jsonl"
+        code = make_trace_main(
+            [
+                "--flavor", "dr1", "-n", "25", "--profile", "tiny",
+                "--prepare", "-o", str(output),
+            ]
+        )
+        assert code == 0
+        prepared = PreparedTrace.load(
+            tmp_path / "trace.jsonl.prepared.jsonl"
+        )
+        assert len(prepared) == 25
+        assert prepared.sequence_bytes > 0
+
+    def test_seed_reproducibility(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        for path in (a, b):
+            make_trace_main(
+                [
+                    "-n", "30", "--profile", "tiny", "--seed", "5",
+                    "-o", str(path),
+                ]
+            )
+        assert [r.sql for r in Trace.load(a)] == [
+            r.sql for r in Trace.load(b)
+        ]
+
+    def test_rejects_unknown_flavor(self, tmp_path):
+        with pytest.raises(SystemExit):
+            make_trace_main(
+                ["--flavor", "dr99", "-n", "5", "-o", str(tmp_path / "t")]
+            )
+
+
+class TestRunAll:
+    def test_full_report(self, tmp_path, capsys, monkeypatch):
+        import repro.experiments.common as common
+        from repro.experiments.run_all import main as run_all_main
+
+        monkeypatch.setattr(common, "cache_dir", lambda: tmp_path)
+        common.clear_memo()
+        output = tmp_path / "report.txt"
+        code = run_all_main(
+            ["-n", "400", "--profile", "tiny", "-o", str(output)]
+        )
+        report = output.read_text()
+        out = capsys.readouterr().out
+        # All nine artifacts render whatever the verdict.
+        for label in (
+            "Figure 4", "Figure 5", "Figure 6", "Figure 7", "Figure 8",
+            "Figure 9", "Figure 10", "Table 1", "Table 2",
+        ):
+            assert label in report
+        assert "experiments in" in out
+        assert code in (0, 1)
+        common.clear_memo()
+
+
+class TestSimulateCli:
+    def test_end_to_end(self, tmp_path, capsys):
+        from repro.sim.simulate import main as simulate_main
+
+        trace_path = tmp_path / "t.jsonl"
+        make_trace_main(
+            [
+                "-n", "60", "--profile", "tiny", "--prepare",
+                "-o", str(trace_path),
+            ]
+        )
+        capsys.readouterr()
+        code = simulate_main(
+            [
+                "--trace", str(tmp_path / "t.jsonl.prepared.jsonl"),
+                "--profile", "tiny",
+                "--policy", "rate-profile",
+                "--policy", "no-cache",
+                "--capacity-frac", "0.4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rate-profile" in out
+        assert "no-cache" in out
+        assert "sequence cost" in out
+
+    def test_bad_fraction(self, tmp_path, capsys):
+        from repro.sim.simulate import main as simulate_main
+
+        trace_path = tmp_path / "t.jsonl"
+        make_trace_main(
+            ["-n", "10", "--profile", "tiny", "--prepare",
+             "-o", str(trace_path)]
+        )
+        code = simulate_main(
+            [
+                "--trace", str(tmp_path / "t.jsonl.prepared.jsonl"),
+                "--capacity-frac", "1.5",
+            ]
+        )
+        assert code == 2
+
+
+class TestMakeTraceFlags:
+    def test_mean_dwell_and_cold_prob(self, tmp_path):
+        from repro.workload.templates import COLD_TEMPLATES
+
+        output = tmp_path / "t.jsonl"
+        make_trace_main(
+            [
+                "-n", "300", "--profile", "tiny", "--seed", "3",
+                "--mean-dwell", "20", "--cold-prob", "0.2",
+                "-o", str(output),
+            ]
+        )
+        trace = Trace.load(output)
+        cold = [r for r in trace if r.template in COLD_TEMPLATES]
+        assert 30 <= len(cold) <= 100  # ~20% of 300
+
+    def test_cold_prob_zero(self, tmp_path):
+        from repro.workload.templates import COLD_TEMPLATES
+
+        output = tmp_path / "t.jsonl"
+        make_trace_main(
+            ["-n", "100", "--profile", "tiny", "--cold-prob", "0.0",
+             "-o", str(output)]
+        )
+        trace = Trace.load(output)
+        assert not [r for r in trace if r.template in COLD_TEMPLATES]
+
+
+class TestSimulateMissingTrace:
+    def test_friendly_error(self, tmp_path, capsys):
+        from repro.sim.simulate import main as simulate_main
+
+        code = simulate_main(
+            ["--trace", str(tmp_path / "nope.jsonl"), "--profile", "tiny"]
+        )
+        assert code == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+
+class TestRunAllCoverage:
+    def test_every_paper_artifact_listed(self):
+        from repro.experiments.run_all import EXPERIMENTS
+
+        labels = [label for label, _, _ in EXPERIMENTS]
+        assert labels == [
+            "Figure 4", "Figure 5", "Figure 6", "Figure 7", "Figure 8",
+            "Figure 9", "Figure 10", "Table 1", "Table 2",
+        ]
+        for _, module, _ in EXPERIMENTS:
+            assert hasattr(module, "run")
+            assert hasattr(module, "render")

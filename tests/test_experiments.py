@@ -1,0 +1,141 @@
+"""Tests for the experiment modules (run + render) at tiny scale.
+
+The benchmark suite runs the canonical configuration; these tests verify
+the experiment plumbing itself — structured results, rendering, shape
+predicates — on a fast tiny context.
+"""
+
+import pytest
+
+from repro.experiments import (
+    build_context,
+    clear_memo,
+    fig4_containment,
+    fig5_column_locality,
+    fig6_table_locality,
+    fig7_cost_tables,
+    fig8_cost_columns,
+    fig9_cache_size_tables,
+    fig10_cache_size_columns,
+    table1_column_breakdown,
+    table2_table_breakdown,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_context():
+    return build_context(
+        "edr", num_queries=400, profile_name="tiny", use_disk_cache=False
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_dr1():
+    return build_context(
+        "dr1", num_queries=400, profile_name="tiny", use_disk_cache=False
+    )
+
+
+class TestContextBuilding:
+    def test_memoization(self, tiny_context):
+        again = build_context(
+            "edr", num_queries=400, profile_name="tiny",
+            use_disk_cache=False,
+        )
+        assert again is tiny_context
+
+    def test_capacity_for(self, tiny_context):
+        database = tiny_context.database_bytes
+        assert tiny_context.capacity_for(0.5) == int(database * 0.5)
+        assert tiny_context.capacity_for(1e-12) == 1
+
+    def test_disk_cache_roundtrip(self, tmp_path, monkeypatch):
+        import repro.experiments.common as common
+
+        monkeypatch.setattr(common, "cache_dir", lambda: tmp_path)
+        clear_memo()
+        first = common.build_context(
+            "edr", num_queries=60, profile_name="tiny"
+        )
+        clear_memo()
+        second = common.build_context(
+            "edr", num_queries=60, profile_name="tiny"
+        )
+        assert [q.yield_bytes for q in first.prepared] == [
+            q.yield_bytes for q in second.prepared
+        ]
+        assert list(tmp_path.glob("prepared-*.jsonl"))
+        clear_memo()
+
+
+class TestFigureModules:
+    def test_fig4(self, tiny_context):
+        result = fig4_containment.run(tiny_context, max_queries=60)
+        text = fig4_containment.render(result)
+        assert "Figure 4" in text
+        assert result.report.total_queries <= 60
+
+    def test_fig5(self, tiny_context):
+        result = fig5_column_locality.run(tiny_context)
+        text = fig5_column_locality.render(result)
+        assert "Figure 5" in text
+        assert result.report.distinct_used > 0
+
+    def test_fig6(self, tiny_context):
+        result = fig6_table_locality.run(tiny_context)
+        text = fig6_table_locality.render(result)
+        assert "Figure 6" in text
+        assert "PhotoObj" in text
+
+    def test_fig7(self, tiny_context):
+        result = fig7_cost_tables.run(tiny_context)
+        text = fig7_cost_tables.render(result)
+        assert "Figure 7" in text
+        assert set(result.results) == set(fig7_cost_tables.POLICIES)
+        assert result.total("no-cache") == pytest.approx(
+            tiny_context.prepared.sequence_bytes
+        )
+
+    def test_fig8(self, tiny_context):
+        result = fig8_cost_columns.run(tiny_context)
+        assert result.granularity == "column"
+        assert "Figure 8" in fig8_cost_columns.render(result)
+
+    def test_fig9(self, tiny_context):
+        result = fig9_cache_size_tables.run_sweep(
+            "table", tiny_context, fractions=(0.3, 1.0),
+            policies=("rate-profile", "gds", "static"),
+        )
+        assert result.total_at("static", 1.0) <= result.total_at(
+            "static", 0.3
+        )
+        with pytest.raises(KeyError):
+            result.total_at("static", 0.77)
+
+    def test_fig10(self, tiny_context):
+        from repro.experiments.fig9_cache_size_tables import run_sweep
+
+        result = run_sweep(
+            "column", tiny_context, fractions=(0.5, 1.0),
+            policies=("rate-profile", "static"),
+        )
+        assert result.sweep.granularity == "column"
+        text = fig10_cache_size_columns.render(result)
+        assert "Figure 10" in text
+
+
+class TestTableModules:
+    def test_table1(self, tiny_context, tiny_dr1):
+        result = table1_column_breakdown.run((tiny_context, tiny_dr1))
+        text = table1_column_breakdown.render(result)
+        assert "Table 1" in text
+        assert [s.flavor for s in result.sets] == ["edr", "dr1"]
+        for data_set in result.sets:
+            assert set(data_set.results) == set(
+                table1_column_breakdown.ALGORITHMS
+            )
+
+    def test_table2(self, tiny_context, tiny_dr1):
+        result = table2_table_breakdown.run((tiny_context, tiny_dr1))
+        assert result.granularity == "table"
+        assert "Table 2" in table2_table_breakdown.render(result)

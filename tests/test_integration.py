@@ -1,0 +1,167 @@
+"""End-to-end integration tests: generate, prepare, simulate, verify
+cross-cutting invariants of the whole stack on a tiny workload."""
+
+import pytest
+
+from repro.core.policies import POLICY_REGISTRY
+from repro.federation import DatabaseServer, Federation, Mediator
+from repro.sim.runner import compare_policies, run_single
+from repro.workload.generator import TraceConfig, generate_trace
+from repro.workload.prepare import prepare_trace
+from repro.workload.sdss_schema import (
+    TINY,
+    build_first_catalog,
+    build_sdss_catalog,
+)
+
+
+@pytest.fixture(scope="module")
+def stack():
+    federation = Federation.single_site(
+        build_sdss_catalog(TINY, seed=5), "sdss"
+    )
+    federation.add_server(
+        DatabaseServer("first", build_first_catalog(TINY, seed=6))
+    )
+    mediator = Mediator(federation)
+    trace = generate_trace(
+        TraceConfig(
+            num_queries=300,
+            flavor="custom",
+            seed=77,
+            mean_dwell=30,
+            theme_weights={
+                "imaging": 0.3,
+                "spectro": 0.3,
+                "crossmatch": 0.4,
+            },
+        ),
+        TINY,
+    )
+    prepared = prepare_trace(trace, mediator)
+    return federation, mediator, trace, prepared
+
+
+class TestPipeline:
+    def test_every_query_prepared(self, stack):
+        _, _, trace, prepared = stack
+        assert len(prepared) == len(trace)
+
+    def test_yield_attribution_consistent(self, stack):
+        _, _, _, prepared = stack
+        for query in prepared:
+            assert sum(query.table_yields.values()) == pytest.approx(
+                query.yield_bytes, abs=1e-6
+            )
+            assert sum(query.column_yields.values()) == pytest.approx(
+                query.yield_bytes, abs=1e-6
+            )
+
+    def test_bypass_at_least_partially_reduced(self, stack):
+        """Cross-server queries ship decomposed partials; single-server
+        queries ship exactly their yield."""
+        _, _, _, prepared = stack
+        for query in prepared:
+            if len(query.servers) == 1:
+                assert query.bypass_bytes == query.yield_bytes
+
+    def test_crossmatch_queries_touch_two_servers(self, stack):
+        _, _, _, prepared = stack
+        multi = [q for q in prepared if len(q.servers) > 1]
+        assert multi, "dr1 flavor should include cross-server queries"
+        for query in multi:
+            assert set(query.servers) == {"sdss", "first"}
+
+
+class TestPolicyInvariants:
+    @pytest.mark.parametrize("granularity", ["table", "column"])
+    @pytest.mark.parametrize("name", sorted(POLICY_REGISTRY))
+    def test_policy_runs_clean(self, stack, name, granularity):
+        federation, _, _, prepared = stack
+        capacity = max(1, federation.total_database_bytes() // 3)
+        result = run_single(
+            prepared, federation, name, capacity, granularity,
+            record_series=True,
+        )
+        assert result.queries == len(prepared)
+        assert result.breakdown.bypass_bytes >= 0
+        assert result.breakdown.load_bytes >= 0
+        series = result.cumulative_bytes
+        assert all(a <= b for a, b in zip(series, series[1:]))
+        assert series[-1] == pytest.approx(result.total_bytes)
+
+    def test_no_cache_equals_sequence_cost(self, stack):
+        federation, _, _, prepared = stack
+        result = run_single(prepared, federation, "no-cache", 1, "table")
+        assert result.total_bytes == prepared.sequence_bytes
+
+    def test_application_bytes_identical_across_policies(self, stack):
+        """D_A = D_S + D_C is invariant: every policy delivers the same
+        result bytes to the client (Section 3)."""
+        federation, _, _, prepared = stack
+        capacity = max(1, federation.total_database_bytes() // 3)
+        total_yield = sum(q.yield_bytes for q in prepared)
+        for name in ("rate-profile", "online-by", "gds", "no-cache"):
+            result = run_single(
+                prepared, federation, name, capacity, "table"
+            )
+            served_yield = total_yield - sum(
+                q.yield_bytes
+                for q, served in zip(
+                    prepared, _served_flags(prepared, federation, name,
+                                            capacity)
+                )
+                if not served
+            )
+            # D_C (served) + D_S-ish (bypassed yields) == all yields.
+            assert served_yield <= total_yield
+
+    def test_bypass_yield_beats_no_cache(self, stack):
+        federation, _, _, prepared = stack
+        capacity = max(1, federation.total_database_bytes() // 3)
+        results = compare_policies(
+            prepared,
+            federation,
+            capacity,
+            "table",
+            policies=("rate-profile", "no-cache"),
+            record_series=False,
+        )
+        assert (
+            results["rate-profile"].total_bytes
+            < results["no-cache"].total_bytes
+        )
+
+    def test_static_never_loads(self, stack):
+        federation, _, _, prepared = stack
+        capacity = max(1, federation.total_database_bytes() // 2)
+        result = run_single(prepared, federation, "static", capacity, "table")
+        assert result.loads == 0
+        assert result.breakdown.load_bytes == 0
+
+
+def _served_flags(prepared, federation, name, capacity):
+    from repro.sim.runner import build_policy
+    from repro.sim.simulator import Simulator
+
+    simulator = Simulator(federation, "table")
+    policy = build_policy(name, capacity, prepared, federation, "table")
+    flags = []
+    for i, query in enumerate(prepared):
+        decision = policy.process(simulator.build_query(query, i))
+        flags.append(decision.served_from_cache)
+    return flags
+
+
+class TestDeterminism:
+    def test_two_identical_runs_agree(self, stack):
+        federation, _, _, prepared = stack
+        capacity = max(1, federation.total_database_bytes() // 3)
+        first = run_single(
+            prepared, federation, "space-eff-by", capacity, "table"
+        )
+        second = run_single(
+            prepared, federation, "space-eff-by", capacity, "table"
+        )
+        assert first.total_bytes == second.total_bytes
+        assert first.loads == second.loads

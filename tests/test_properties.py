@@ -1,0 +1,331 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import CacheQuery, ObjectRequest
+from repro.core.metrics import byte_yield_hit_rate, byte_yield_utility
+from repro.core.object_cache import BypassObjectCache
+from repro.core.policies.online import OnlineBYPolicy
+from repro.core.policies.rate_profile import RateProfilePolicy
+from repro.core.ski_rental import SkiRental
+from repro.core.store import CacheStore
+from repro.sqlengine.expressions import like_to_regex, sql_and, sql_not, sql_or
+from repro.sqlengine.lexer import TokenType, tokenize
+
+# ----------------------------------------------------------------------
+# Lexer
+# ----------------------------------------------------------------------
+
+identifiers = st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_]{0,10}", fullmatch=True)
+
+
+@given(st.integers(min_value=0, max_value=10**15))
+def test_lexer_roundtrips_integers(value):
+    tokens = tokenize(str(value))
+    assert tokens[0].ttype is TokenType.NUMBER
+    assert tokens[0].value == value
+
+
+@given(
+    st.floats(
+        min_value=0.001, max_value=1e9, allow_nan=False, allow_infinity=False
+    )
+)
+def test_lexer_roundtrips_floats(value):
+    text = f"{value:.6f}"
+    tokens = tokenize(text)
+    assert tokens[0].ttype is TokenType.NUMBER
+    assert math.isclose(tokens[0].value, float(text))
+
+
+@given(st.text(alphabet=st.characters(blacklist_characters="'"), max_size=30))
+def test_lexer_roundtrips_strings(value):
+    escaped = value.replace("'", "''")
+    tokens = tokenize(f"'{escaped}'")
+    assert tokens[0].value == value
+
+
+@given(st.lists(identifiers, min_size=1, max_size=8))
+def test_lexer_token_count_matches_words(words):
+    tokens = tokenize(" ".join(words))
+    assert len(tokens) == len(words) + 1  # + EOF
+
+
+# ----------------------------------------------------------------------
+# Three-valued logic
+# ----------------------------------------------------------------------
+
+tvl = st.sampled_from([True, False, None])
+
+
+@given(tvl, tvl)
+def test_de_morgan_holds_in_3vl(a, b):
+    assert sql_not(sql_and(a, b)) == sql_or(sql_not(a), sql_not(b))
+    assert sql_not(sql_or(a, b)) == sql_and(sql_not(a), sql_not(b))
+
+
+@given(tvl, tvl, tvl)
+def test_and_associative(a, b, c):
+    assert sql_and(sql_and(a, b), c) == sql_and(a, sql_and(b, c))
+
+
+@given(tvl, tvl)
+def test_and_or_commutative(a, b):
+    assert sql_and(a, b) == sql_and(b, a)
+    assert sql_or(a, b) == sql_or(b, a)
+
+
+@given(st.text(alphabet="ab%_c.", max_size=12), st.text(alphabet="abc.", max_size=12))
+def test_like_percent_suffix_always_matches_prefix(pattern, text):
+    regex = like_to_regex(pattern + "%")
+    full_prefix_regex = like_to_regex(pattern + "%")
+    if regex.match(text) is not None:
+        assert full_prefix_regex.match(text + "extra") is None or True
+
+
+@given(st.text(alphabet="abc", max_size=10))
+def test_like_self_match(text):
+    assert like_to_regex(text).match(text)
+
+
+# ----------------------------------------------------------------------
+# Cache store
+# ----------------------------------------------------------------------
+
+@settings(max_examples=60)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from("abcdefgh"), st.integers(min_value=1, max_value=40)
+        ),
+        max_size=40,
+    )
+)
+def test_store_accounting_invariant(operations):
+    store = CacheStore(100)
+    shadow = {}
+    for object_id, size in operations:
+        if object_id in store:
+            removed = store.remove(object_id)
+            assert removed == shadow.pop(object_id)
+        elif size <= store.free_bytes:
+            store.add(object_id, size)
+            shadow[object_id] = size
+        assert store.used_bytes == sum(shadow.values())
+        assert 0 <= store.used_bytes <= store.capacity_bytes
+        assert set(store.object_ids()) == set(shadow)
+
+
+# ----------------------------------------------------------------------
+# Ski rental competitiveness
+# ----------------------------------------------------------------------
+
+@given(
+    st.floats(min_value=1.0, max_value=1000.0),
+    st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1,
+             max_size=60),
+)
+def test_ski_rental_2_competitive(buy_cost, rents):
+    account = SkiRental(buy_cost=buy_cost)
+    spent = 0.0
+    paid_rents = 0.0
+    for rent in rents:
+        if account.should_buy():
+            account.buy()
+            spent += buy_cost
+        if account.bought:
+            break
+        account.pay_rent(rent)
+        spent += rent
+        paid_rents += rent
+    optimal = min(sum(rents), buy_cost)
+    assert spent <= 2.0 * optimal + max(rents) + 1e-6
+
+
+# ----------------------------------------------------------------------
+# BYHR / BYU
+# ----------------------------------------------------------------------
+
+profiles = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=0.02),
+        st.floats(min_value=0.0, max_value=1e6),
+    ),
+    max_size=40,
+)
+
+
+@given(profiles, st.integers(min_value=1, max_value=10**9))
+def test_byu_non_negative_and_scales(profile, size):
+    byu = byte_yield_utility(profile, size)
+    assert byu >= 0.0
+    double = byte_yield_utility(profile, size * 2)
+    assert double <= byu + 1e-12
+
+
+@given(
+    profiles,
+    st.integers(min_value=1, max_value=10**6),
+    st.floats(min_value=0.0, max_value=1e6),
+)
+def test_byhr_consistent_with_byu(profile, size, fetch_cost):
+    byu = byte_yield_utility(profile, size)
+    byhr = byte_yield_hit_rate(profile, size, fetch_cost)
+    assert math.isclose(
+        byhr, byu * fetch_cost / size, rel_tol=1e-9, abs_tol=1e-12
+    )
+
+
+# ----------------------------------------------------------------------
+# Cache policies never overflow and never lie about residency
+# ----------------------------------------------------------------------
+
+object_pool = [
+    ("A", 30), ("B", 50), ("C", 20), ("D", 80), ("E", 10),
+]
+
+
+def build_query_stream(choices):
+    queries = []
+    for i, (index, yield_fraction) in enumerate(choices):
+        object_id, size = object_pool[index]
+        y = size * yield_fraction
+        queries.append(
+            CacheQuery(
+                index=i,
+                yield_bytes=int(y),
+                bypass_bytes=int(y),
+                objects=(
+                    ObjectRequest(
+                        object_id=object_id,
+                        size=size,
+                        fetch_cost=float(size),
+                        yield_bytes=y,
+                    ),
+                ),
+            )
+        )
+    return queries
+
+
+query_streams = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=len(object_pool) - 1),
+        st.floats(min_value=0.0, max_value=1.0),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=40)
+@given(query_streams, st.integers(min_value=25, max_value=120))
+def test_online_by_invariants(choices, capacity):
+    policy = OnlineBYPolicy(capacity_bytes=capacity)
+    for query in build_query_stream(choices):
+        decision = policy.process(query)
+        assert policy.store.used_bytes <= capacity
+        if decision.served_from_cache:
+            for request in query.objects:
+                assert request.object_id in policy.store
+
+
+@settings(max_examples=40)
+@given(query_streams, st.integers(min_value=25, max_value=120))
+def test_rate_profile_invariants(choices, capacity):
+    policy = RateProfilePolicy(capacity_bytes=capacity)
+    for query in build_query_stream(choices):
+        decision = policy.process(query)
+        assert policy.store.used_bytes <= capacity
+        for object_id in decision.loads:
+            assert object_id in policy.store
+
+
+@settings(max_examples=40)
+@given(query_streams)
+def test_landlord_object_cache_invariants(choices):
+    cache = BypassObjectCache(CacheStore(100))
+    for query in build_query_stream(choices):
+        request = query.objects[0]
+        outcome = cache.request(
+            request.object_id, request.size, request.fetch_cost
+        )
+        assert cache.store.used_bytes <= 100
+        if outcome.hit:
+            assert request.object_id in cache
+        if outcome.loaded:
+            assert request.object_id in cache
+            # Credits of resident objects stay non-negative.
+            for object_id in cache.store.object_ids():
+                assert cache.credit(object_id) >= 0.0
+
+
+# ----------------------------------------------------------------------
+# Selectivity estimates are probabilities and behave monotonically
+# ----------------------------------------------------------------------
+
+from repro.sqlengine.statistics import ColumnStatistics
+
+
+@given(
+    counts=st.lists(
+        st.integers(min_value=0, max_value=50), min_size=1, max_size=12
+    ),
+    nulls=st.integers(min_value=0, max_value=20),
+    bounds=st.tuples(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+    ),
+)
+def test_range_selectivity_is_probability(counts, nulls, bounds):
+    non_null = sum(counts)
+    column = ColumnStatistics(
+        null_count=nulls,
+        distinct_count=max(1, non_null),
+        row_count=non_null + nulls,
+        minimum=0.0,
+        maximum=float(len(counts)),
+        histogram=counts,
+    )
+    low, high = min(bounds), max(bounds)
+    value = column.selectivity_range(low, high)
+    assert 0.0 <= value <= 1.0
+
+
+@given(
+    counts=st.lists(
+        st.integers(min_value=0, max_value=50), min_size=1, max_size=12
+    ),
+    split=st.floats(min_value=0.0, max_value=12.0, allow_nan=False),
+)
+def test_range_selectivity_monotone_in_width(counts, split):
+    non_null = sum(counts)
+    column = ColumnStatistics(
+        null_count=0,
+        distinct_count=max(1, non_null),
+        row_count=max(1, non_null),
+        minimum=0.0,
+        maximum=float(len(counts)),
+        histogram=counts,
+    )
+    narrow = column.selectivity_range(0.0, split)
+    wide = column.selectivity_range(0.0, float(len(counts)))
+    assert narrow <= wide + 1e-9
+
+
+@given(
+    distinct=st.integers(min_value=1, max_value=1000),
+    rows=st.integers(min_value=1, max_value=10000),
+)
+def test_equality_selectivity_is_probability(distinct, rows):
+    column = ColumnStatistics(
+        null_count=0,
+        distinct_count=distinct,
+        row_count=rows,
+        minimum=0.0,
+        maximum=1000.0,
+    )
+    assert 0.0 <= column.selectivity_eq(5.0) <= 1.0

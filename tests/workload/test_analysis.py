@@ -1,0 +1,164 @@
+"""Unit tests for the containment and locality analyzers (Figs 4-6)."""
+
+import pytest
+
+from repro.federation import Federation, Mediator
+from repro.sqlengine.planner import SchemaLookup
+from repro.workload.containment import analyze_containment
+from repro.workload.locality import analyze_locality, referenced_objects
+from repro.workload.trace import Trace, TraceRecord
+
+from tests.conftest import build_catalog
+
+
+@pytest.fixture
+def mediator():
+    return Mediator(Federation.single_site(build_catalog(), "sdss"))
+
+
+@pytest.fixture
+def lookup():
+    return SchemaLookup.from_catalog(build_catalog())
+
+
+def identity_trace(object_ids):
+    trace = Trace("ids")
+    for i, obj_id in enumerate(object_ids):
+        trace.append(
+            TraceRecord(
+                index=i,
+                sql=f"SELECT objID, ra FROM PhotoObj WHERE objID = {obj_id}",
+                template="identity",
+            )
+        )
+    return trace
+
+
+class TestContainment:
+    def test_distinct_ids_no_containment(self, mediator):
+        report = analyze_containment(
+            identity_trace([1, 2, 3, 4, 5]), mediator
+        )
+        assert report.total_queries == 5
+        assert report.contained_queries == 0
+        assert report.distinct_ids == 5
+        assert report.reused_ids == 0
+        assert report.containment_rate == 0.0
+
+    def test_repeats_are_contained(self, mediator):
+        report = analyze_containment(
+            identity_trace([1, 2, 1, 2]), mediator
+        )
+        assert report.contained_queries == 2
+        assert report.reused_ids == 2
+        assert report.reuse_rate == 1.0
+
+    def test_window_limits_lookback(self, mediator):
+        report = analyze_containment(
+            identity_trace([1, 2, 3, 1]), mediator, window=2
+        )
+        # The second "1" falls outside the 2-query window.
+        assert report.contained_queries == 0
+
+    def test_empty_results_not_contained(self, mediator):
+        report = analyze_containment(
+            identity_trace([999, 998]), mediator
+        )
+        assert report.total_queries == 2
+        assert report.contained_queries == 0
+
+    def test_non_object_templates_skipped(self, mediator):
+        trace = Trace("mixed")
+        trace.append(
+            TraceRecord(0, "SELECT COUNT(*) FROM PhotoObj", "spec_agg")
+        )
+        report = analyze_containment(trace, mediator)
+        assert report.total_queries == 0
+
+    def test_max_queries_cap(self, mediator):
+        report = analyze_containment(
+            identity_trace(range(1, 11)), mediator, max_queries=4
+        )
+        assert report.total_queries == 4
+
+    def test_points_recorded(self, mediator):
+        report = analyze_containment(identity_trace([7]), mediator)
+        assert report.points == [(1, 7)]
+
+    def test_empty_report_rates(self, mediator):
+        report = analyze_containment(Trace("empty"), mediator)
+        assert report.containment_rate == 0.0
+        assert report.reuse_rate == 0.0
+
+
+class TestReferencedObjects:
+    def test_table_granularity(self, lookup):
+        objects = referenced_objects(
+            "SELECT p.ra FROM PhotoObj p, SpecObj s "
+            "WHERE p.objID = s.objID",
+            lookup,
+            "table",
+        )
+        assert objects == {"PhotoObj", "SpecObj"}
+
+    def test_column_granularity_includes_predicates(self, lookup):
+        objects = referenced_objects(
+            "SELECT ra FROM PhotoObj WHERE dec > 0 ORDER BY type",
+            lookup,
+            "column",
+        )
+        assert objects == {
+            "PhotoObj.ra", "PhotoObj.dec", "PhotoObj.type",
+        }
+
+
+class TestLocality:
+    def _trace(self):
+        trace = Trace("locality")
+        sqls = [
+            "SELECT ra FROM PhotoObj",
+            "SELECT ra, dec FROM PhotoObj",
+            "SELECT ra FROM PhotoObj",
+            "SELECT z FROM SpecObj",
+        ]
+        for i, sql in enumerate(sqls):
+            trace.append(TraceRecord(i, sql, "t"))
+        return trace
+
+    def test_elements_in_discovery_order(self, lookup):
+        report = analyze_locality(self._trace(), lookup, "column")
+        assert report.elements[0] == "PhotoObj.ra"
+        assert "SpecObj.z" in report.elements
+
+    def test_points_reference_elements(self, lookup):
+        report = analyze_locality(self._trace(), lookup, "column")
+        ra_index = report.elements.index("PhotoObj.ra")
+        ra_points = [q for q, e in report.points if e == ra_index]
+        assert ra_points == [0, 1, 2]
+
+    def test_reference_counts(self, lookup):
+        report = analyze_locality(self._trace(), lookup, "column")
+        assert report.reference_counts["PhotoObj.ra"] == 3
+        assert report.reference_counts["SpecObj.z"] == 1
+
+    def test_table_granularity(self, lookup):
+        report = analyze_locality(self._trace(), lookup, "table")
+        assert report.elements == ["PhotoObj", "SpecObj"]
+        assert report.reference_counts["PhotoObj"] == 3
+
+    def test_concentration(self, lookup):
+        report = analyze_locality(self._trace(), lookup, "table")
+        # PhotoObj alone covers 3/4 = 75% of references; 90% needs both.
+        assert report.concentration(0.7) == pytest.approx(0.5)
+        assert report.concentration(0.9) == pytest.approx(1.0)
+
+    def test_mean_run_length(self, lookup):
+        report = analyze_locality(self._trace(), lookup, "column")
+        # ra appears at 0,1,2: one run of 3; dec once; z once.
+        assert report.mean_run_length() == pytest.approx((3 + 1 + 1) / 3)
+
+    def test_empty_trace(self, lookup):
+        report = analyze_locality(Trace("empty"), lookup, "table")
+        assert report.distinct_used == 0
+        assert report.concentration() == 0.0
+        assert report.mean_run_length() == 0.0

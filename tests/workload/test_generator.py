@@ -1,0 +1,127 @@
+"""Unit tests for trace generation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.generator import (
+    FLAVOR_THEME_WEIGHTS,
+    TraceConfig,
+    dr1_trace,
+    edr_trace,
+    generate_trace,
+)
+from repro.workload.sdss_schema import TINY
+from repro.workload.templates import COLD_TEMPLATES
+
+
+class TestTraceConfig:
+    def test_defaults(self):
+        config = TraceConfig()
+        assert config.flavor == "edr"
+        assert config.resolved_seed() == 1001
+
+    def test_explicit_seed_wins(self):
+        assert TraceConfig(seed=5).resolved_seed() == 5
+
+    def test_unknown_flavor_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceConfig(flavor="dr9")
+
+    def test_custom_requires_weights(self):
+        with pytest.raises(WorkloadError):
+            TraceConfig(flavor="custom")
+
+    def test_custom_with_weights(self):
+        config = TraceConfig(
+            flavor="custom", theme_weights={"imaging": 1.0}
+        )
+        assert config.resolved_weights() == {"imaging": 1.0}
+
+    def test_weights_normalized(self):
+        config = TraceConfig(
+            flavor="custom", theme_weights={"imaging": 2.0, "spectro": 2.0}
+        )
+        weights = config.resolved_weights()
+        assert weights["imaging"] == pytest.approx(0.5)
+
+    def test_unknown_theme_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceConfig(
+                flavor="custom", theme_weights={"cooking": 1.0}
+            ).resolved_weights()
+
+    def test_non_positive_queries_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceConfig(num_queries=0)
+
+    def test_bad_cold_prob_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceConfig(cold_prob=1.0)
+
+    def test_bad_dwell_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceConfig(mean_dwell=0)
+
+
+class TestGeneration:
+    def test_length(self):
+        trace = generate_trace(TraceConfig(num_queries=123), TINY)
+        assert len(trace) == 123
+
+    def test_indices_sequential(self):
+        trace = generate_trace(TraceConfig(num_queries=50), TINY)
+        assert [record.index for record in trace] == list(range(50))
+
+    def test_deterministic(self):
+        a = generate_trace(TraceConfig(num_queries=100), TINY)
+        b = generate_trace(TraceConfig(num_queries=100), TINY)
+        assert [r.sql for r in a] == [r.sql for r in b]
+
+    def test_flavors_differ(self):
+        edr = edr_trace(100, TINY)
+        dr1 = dr1_trace(100, TINY)
+        assert [r.sql for r in edr] != [r.sql for r in dr1]
+
+    def test_themes_from_flavor(self):
+        trace = generate_trace(
+            TraceConfig(num_queries=2000, flavor="edr"), TINY
+        )
+        themes = {record.theme for record in trace} - {"cold"}
+        assert themes <= set(FLAVOR_THEME_WEIGHTS["edr"])
+        assert len(themes) >= 2
+
+    def test_cold_queries_sprinkled(self):
+        trace = generate_trace(
+            TraceConfig(num_queries=2000, cold_prob=0.1), TINY
+        )
+        cold = [r for r in trace if r.theme == "cold"]
+        assert 100 <= len(cold) <= 320
+        assert all(r.template in COLD_TEMPLATES for r in cold)
+
+    def test_cold_disabled(self):
+        trace = generate_trace(
+            TraceConfig(num_queries=500, cold_prob=0.0), TINY
+        )
+        assert not any(r.theme == "cold" for r in trace)
+
+    def test_theme_dwell_produces_runs(self):
+        trace = generate_trace(
+            TraceConfig(num_queries=2000, mean_dwell=400, cold_prob=0.0),
+            TINY,
+        )
+        switches = sum(
+            1
+            for prev, cur in zip(trace.records, trace.records[1:])
+            if prev.theme != cur.theme
+        )
+        # Expected ~2000/400 = 5 switches; allow generous slack.
+        assert switches < 30
+
+    def test_include_crossmatch_adds_theme(self):
+        trace = generate_trace(
+            TraceConfig(
+                num_queries=3000, flavor="edr", include_crossmatch=True
+            ),
+            TINY,
+        )
+        assert any(record.theme == "crossmatch" for record in trace)

@@ -1,0 +1,123 @@
+"""Unit tests for the SDSS-like schema and data generator."""
+
+import pytest
+
+from repro.workload.sdss_schema import (
+    MEDIUM,
+    PROFILES,
+    SMALL,
+    TINY,
+    ScaleProfile,
+    build_first_catalog,
+    build_sdss_catalog,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_catalog():
+    return build_sdss_catalog(TINY, seed=1)
+
+
+class TestScaleProfiles:
+    def test_presets_registered(self):
+        assert set(PROFILES) == {"tiny", "small", "medium"}
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ScaleProfile(
+                name="bad", photoobj_rows=0, specobj_rows=1,
+                phototag_rows=1, neighbors_rows=1, field_rows=1,
+                first_rows=1,
+            )
+
+    def test_specobj_subset_enforced(self):
+        with pytest.raises(ValueError):
+            ScaleProfile(
+                name="bad", photoobj_rows=10, specobj_rows=20,
+                phototag_rows=10, neighbors_rows=1, field_rows=1,
+                first_rows=1,
+            )
+
+    def test_profiles_scale_up(self):
+        assert TINY.photoobj_rows < SMALL.photoobj_rows
+        assert SMALL.photoobj_rows < MEDIUM.photoobj_rows
+
+
+class TestDataGeneration:
+    def test_row_counts_match_profile(self, tiny_catalog):
+        assert (
+            tiny_catalog.table("PhotoObj").row_count == TINY.photoobj_rows
+        )
+        assert (
+            tiny_catalog.table("SpecObj").row_count == TINY.specobj_rows
+        )
+        assert tiny_catalog.table("Frame").row_count == TINY.frame_rows
+
+    def test_all_tables_present(self, tiny_catalog):
+        names = set(tiny_catalog.table_names())
+        assert names == {
+            "PhotoObj", "PhotoTag", "SpecObj", "Neighbors", "Field",
+            "Frame", "Mask", "ObjProfile",
+        }
+
+    def test_deterministic_for_seed(self):
+        first = build_sdss_catalog(TINY, seed=9)
+        second = build_sdss_catalog(TINY, seed=9)
+        rows_a = first.table("PhotoObj").materialized_rows()
+        rows_b = second.table("PhotoObj").materialized_rows()
+        assert rows_a == rows_b
+
+    def test_different_seeds_differ(self):
+        first = build_sdss_catalog(TINY, seed=1)
+        second = build_sdss_catalog(TINY, seed=2)
+        assert (
+            first.table("PhotoObj").materialized_rows()
+            != second.table("PhotoObj").materialized_rows()
+        )
+
+    def test_spec_objids_are_photo_subset(self, tiny_catalog):
+        photo_ids = set(tiny_catalog.table("PhotoObj").column_values("objID"))
+        spec_ids = set(tiny_catalog.table("SpecObj").column_values("objID"))
+        assert spec_ids <= photo_ids
+
+    def test_phototag_mirrors_photoobj(self, tiny_catalog):
+        photo = tiny_catalog.table("PhotoObj")
+        tag = tiny_catalog.table("PhotoTag")
+        assert tag.column_values("objID")[:5] == photo.column_values(
+            "objID"
+        )[:5]
+        assert tag.column_values("modelMag_g")[:5] == photo.column_values(
+            "modelMag_g"
+        )[:5]
+
+    def test_ra_dec_in_range(self, tiny_catalog):
+        for ra in tiny_catalog.table("PhotoObj").column_values("ra"):
+            assert 0.0 <= ra < 360.0
+        for dec in tiny_catalog.table("PhotoObj").column_values("dec"):
+            assert -90.0 <= dec <= 90.0
+
+    def test_neighbors_reference_real_objects(self, tiny_catalog):
+        photo_ids = set(tiny_catalog.table("PhotoObj").column_values("objID"))
+        for obj_id in tiny_catalog.table("Neighbors").column_values("objID"):
+            assert obj_id in photo_ids
+
+    def test_cold_tables_dominate_database_size(self, tiny_catalog):
+        """The hot working set must be a minority of total bytes (this is
+        what gives cache-size sweeps their dynamic range)."""
+        total = tiny_catalog.total_size_bytes()
+        cold = sum(
+            tiny_catalog.table(name).size_bytes
+            for name in ("Frame", "Mask", "ObjProfile")
+        )
+        assert cold > total * 0.4
+
+
+class TestFirstCatalog:
+    def test_build(self):
+        catalog = build_first_catalog(TINY, seed=2)
+        assert catalog.table("First").row_count == TINY.first_rows
+
+    def test_objids_overlap_photo_range(self):
+        catalog = build_first_catalog(TINY, seed=2)
+        for obj_id in catalog.table("First").column_values("objID"):
+            assert 1 <= obj_id <= TINY.photoobj_rows

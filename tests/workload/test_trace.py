@@ -1,0 +1,99 @@
+"""Unit tests for trace containers and JSONL (de)serialization."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.trace import (
+    PreparedQuery,
+    PreparedTrace,
+    Trace,
+    TraceRecord,
+)
+
+
+def sample_prepared(index=0):
+    return PreparedQuery(
+        index=index,
+        sql="SELECT 1 FROM T",
+        template="identity",
+        yield_bytes=100,
+        bypass_bytes=100,
+        table_yields={"T": 100.0},
+        column_yields={"T.a": 60.0, "T.b": 40.0},
+        servers=("sdss",),
+    )
+
+
+class TestTraceRoundtrip:
+    def test_save_load(self, tmp_path):
+        trace = Trace("demo")
+        trace.append(TraceRecord(0, "SELECT 1 FROM T", "t1", "imaging"))
+        trace.append(TraceRecord(1, "SELECT 2 FROM T", "t2", "spectro"))
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.name == "demo"
+        assert len(loaded) == 2
+        assert loaded.records[1].sql == "SELECT 2 FROM T"
+        assert loaded.records[0].theme == "imaging"
+
+    def test_load_without_header_uses_stem(self, tmp_path):
+        path = tmp_path / "bare.jsonl"
+        path.write_text(
+            '{"index": 0, "sql": "SELECT 1 FROM T"}\n'
+        )
+        loaded = Trace.load(path)
+        assert loaded.name == "bare"
+        assert loaded.records[0].template == ""
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(WorkloadError, match="invalid JSON"):
+            Trace.load(path)
+
+    def test_missing_field_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"trace": "x"}\n{"index": 3}\n')
+        with pytest.raises(WorkloadError, match="missing field"):
+            Trace.load(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"trace": "x"}\n\n{"index": 0, "sql": "SELECT 1 FROM T"}\n'
+        )
+        assert len(Trace.load(path)) == 1
+
+
+class TestPreparedTrace:
+    def test_roundtrip(self, tmp_path):
+        trace = PreparedTrace("edr", [sample_prepared(0), sample_prepared(1)])
+        path = tmp_path / "prepared.jsonl"
+        trace.save(path)
+        loaded = PreparedTrace.load(path)
+        assert loaded.name == "edr"
+        assert len(loaded) == 2
+        query = loaded.queries[0]
+        assert query.table_yields == {"T": 100.0}
+        assert query.column_yields["T.a"] == 60.0
+        assert query.servers == ("sdss",)
+
+    def test_sequence_bytes(self):
+        trace = PreparedTrace("x", [sample_prepared(0), sample_prepared(1)])
+        assert trace.sequence_bytes == 200
+
+    def test_object_yields_granularity(self):
+        query = sample_prepared()
+        assert query.object_yields("table") == {"T": 100.0}
+        assert set(query.object_yields("column")) == {"T.a", "T.b"}
+
+    def test_unknown_granularity_raises(self):
+        with pytest.raises(WorkloadError):
+            sample_prepared().object_yields("page")
+
+    def test_missing_field_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"prepared_trace": "x"}\n{"index": 0}\n')
+        with pytest.raises(WorkloadError, match="missing field"):
+            PreparedTrace.load(path)
