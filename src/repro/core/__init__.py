@@ -8,6 +8,11 @@
 * :mod:`repro.core.policies` — Rate-Profile (Section 4), OnlineBY and
   SpaceEffBY (Section 5), and every baseline (GDS, GDSP, LRU, LFU,
   LRU-K, static, semantic, no-cache).
+* :mod:`repro.core.pipeline` — the decision pipeline shared by the
+  offline simulator and the online proxy (query construction, cost
+  views, WAN accounting).
+* :mod:`repro.core.instrumentation` — counters, decision events, stage
+  timers, and pluggable probes for every replay.
 """
 
 from repro.core.analysis import (
@@ -17,6 +22,17 @@ from repro.core.analysis import (
     opt_lower_bound,
 )
 from repro.core.events import CacheQuery, Decision, ObjectRequest
+from repro.core.instrumentation import (
+    DecisionEvent,
+    Instrumentation,
+    Probe,
+)
+from repro.core.pipeline import (
+    DecisionPipeline,
+    ObjectCatalog,
+    QueryAccounting,
+    shared_catalog,
+)
 from repro.core.metrics import (
     WorkloadProfiler,
     byte_yield_hit_rate,
@@ -60,18 +76,24 @@ __all__ = [
     "CacheQuery",
     "CacheStore",
     "Decision",
+    "DecisionEvent",
+    "DecisionPipeline",
     "GDSPopularityPolicy",
     "GreedyDualSizePolicy",
     "LFFPolicy",
     "LFUPolicy",
     "LRUKPolicy",
     "LRUPolicy",
+    "Instrumentation",
     "NoCachePolicy",
+    "ObjectCatalog",
     "ObjectOutcome",
     "ObjectRequest",
     "OnlineBYPolicy",
     "POLICY_REGISTRY",
+    "Probe",
     "ProxyResponse",
+    "QueryAccounting",
     "RateProfilePolicy",
     "SemanticCachePolicy",
     "SkiRental",
@@ -90,4 +112,5 @@ __all__ = [
     "opt_lower_bound",
     "referenced_columns",
     "referenced_object_ids",
+    "shared_catalog",
 ]

@@ -107,9 +107,10 @@ def measure_competitive_ratio(
     granularity: str = "table",
 ) -> CompetitiveReport:
     """Run ``policy`` over the trace and compare against the bound."""
-    from repro.sim.simulator import ObjectCatalog, Simulator
+    from repro.core.pipeline import shared_catalog
+    from repro.sim.simulator import Simulator
 
-    catalog = ObjectCatalog(federation)
+    catalog = shared_catalog(federation)
     object_ids = set()
     for query in prepared_trace:
         object_ids.update(query.object_yields(granularity))

@@ -1,0 +1,205 @@
+"""Observability seam for the decision pipeline.
+
+Every replay — offline (:class:`~repro.sim.simulator.Simulator`) or
+online (:class:`~repro.core.proxy.BypassYieldProxy`) — can emit a
+structured decision trace without touching policy code: counters,
+per-query :class:`DecisionEvent` records, and named stage timers, with
+optional stdlib ``logging`` integration and pluggable :class:`Probe`
+hooks for external collectors.
+
+The instrumentation object is deliberately cheap: callers hold ``None``
+by default and pay nothing; when one is attached, recording a decision
+is a dataclass construction plus a few dict updates.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import (
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
+
+
+@dataclass(frozen=True)
+class DecisionEvent:
+    """One per-query load/serve/bypass decision, fully accounted.
+
+    Attributes:
+        index: Query number (the paper's notion of time).
+        source: ``"simulator"`` or ``"proxy"`` — which driver emitted it.
+        policy: Name of the deciding policy.
+        granularity: ``"table"`` or ``"column"``.
+        served_from_cache: True when the query was evaluated locally.
+        loads: Object ids fetched into the cache for this query.
+        evictions: Object ids evicted to make room.
+        load_bytes: WAN bytes spent on loads for this query.
+        bypass_bytes: WAN bytes spent bypassing this query (0 on hits).
+        weighted_cost: Link-weighted WAN cost this query added.
+        sql: Query text (may be empty for synthetic traces).
+    """
+
+    index: int
+    source: str
+    policy: str
+    granularity: str
+    served_from_cache: bool
+    loads: Tuple[str, ...]
+    evictions: Tuple[str, ...]
+    load_bytes: int
+    bypass_bytes: int
+    weighted_cost: float
+    sql: str = ""
+
+    @property
+    def wan_bytes(self) -> int:
+        """Total WAN bytes this query added (loads + bypass)."""
+        return self.load_bytes + self.bypass_bytes
+
+
+class Probe:
+    """Pluggable hook receiving instrumentation callbacks.
+
+    Subclass and override any subset; the base methods are no-ops so a
+    probe only pays for what it watches.
+    """
+
+    def on_decision(self, event: DecisionEvent) -> None:
+        """Called once per query decision."""
+
+    def on_counter(self, name: str, value: float) -> None:
+        """Called on every counter increment with the increment value."""
+
+    def on_stage(self, name: str, seconds: float) -> None:
+        """Called when a timed stage finishes."""
+
+
+class Instrumentation:
+    """Counters, decision events, and stage timers for one run.
+
+    Args:
+        logger: A :class:`logging.Logger`, a logger name, or None.  When
+            set, decisions are logged at DEBUG level.
+        max_events: Bound on retained decision events (None keeps all;
+            0 disables event retention while keeping counters/timers).
+    """
+
+    def __init__(
+        self,
+        logger: Union[logging.Logger, str, None] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        if isinstance(logger, str):
+            logger = logging.getLogger(logger)
+        self.logger = logger
+        self.counters: Dict[str, float] = {}
+        self.stage_seconds: Dict[str, float] = {}
+        self.stage_calls: Dict[str, int] = {}
+        self.probes: List[Probe] = []
+        self._max_events = max_events
+        self.events: Deque[DecisionEvent] = deque(
+            maxlen=max_events if max_events not in (None, 0) else None
+        )
+        self._retain_events = max_events != 0
+
+    # -- probes ---------------------------------------------------------
+
+    def add_probe(self, probe: Probe) -> Probe:
+        """Attach a probe; returns it for chaining."""
+        self.probes.append(probe)
+        return probe
+
+    # -- counters -------------------------------------------------------
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Increment counter ``name`` by ``value``."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+        for probe in self.probes:
+            probe.on_counter(name, value)
+
+    # -- stage timers ---------------------------------------------------
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a named stage; accumulates across calls."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.stage_seconds[name] = (
+                self.stage_seconds.get(name, 0.0) + elapsed
+            )
+            self.stage_calls[name] = self.stage_calls.get(name, 0) + 1
+            for probe in self.probes:
+                probe.on_stage(name, elapsed)
+
+    # -- decision events ------------------------------------------------
+
+    def record_decision(self, event: DecisionEvent) -> None:
+        """Record one per-query decision event."""
+        if self._retain_events:
+            self.events.append(event)
+        self.count("decisions")
+        if event.served_from_cache:
+            self.count("decisions.served")
+        else:
+            self.count("decisions.bypassed")
+        if event.loads:
+            self.count("decisions.loads", len(event.loads))
+        if event.evictions:
+            self.count("decisions.evictions", len(event.evictions))
+        self.count("wan.load_bytes", event.load_bytes)
+        self.count("wan.bypass_bytes", event.bypass_bytes)
+        self.count("wan.weighted_cost", event.weighted_cost)
+        if self.logger is not None:
+            self.logger.debug(
+                "q%d [%s/%s] %s loads=%s evictions=%s wan=%d",
+                event.index,
+                event.source,
+                event.policy,
+                "serve" if event.served_from_cache else "bypass",
+                list(event.loads),
+                list(event.evictions),
+                event.wan_bytes,
+            )
+        for probe in self.probes:
+            probe.on_decision(event)
+
+    # -- snapshots ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Structured view of everything recorded so far."""
+        return {
+            "counters": dict(self.counters),
+            "stages": {
+                name: {
+                    "seconds": seconds,
+                    "calls": self.stage_calls.get(name, 0),
+                }
+                for name, seconds in self.stage_seconds.items()
+            },
+            "events": len(self.events),
+        }
+
+    def reset(self) -> None:
+        """Drop all recorded state (probes stay attached)."""
+        self.counters.clear()
+        self.stage_seconds.clear()
+        self.stage_calls.clear()
+        self.events.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"Instrumentation(counters={len(self.counters)}, "
+            f"stages={len(self.stage_seconds)}, events={len(self.events)})"
+        )

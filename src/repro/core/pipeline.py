@@ -1,0 +1,309 @@
+"""The shared offline/online decision pipeline.
+
+Both replay drivers — the offline
+:class:`~repro.sim.simulator.Simulator` and the online
+:class:`~repro.core.proxy.BypassYieldProxy` — must present *exactly* the
+same view of a query to the cache policy and charge *exactly* the same
+WAN costs for its decision; the paper's "the simulator and the proxy
+agree" claim is only true if the two paths share one implementation.
+This module is that implementation:
+
+* :class:`ObjectCatalog` — memoized object metadata (sizes, fetch
+  costs, owning servers), shared per federation via
+  :func:`shared_catalog`;
+* :class:`DecisionPipeline` — query → :class:`~repro.core.events.CacheQuery`
+  construction (yield attribution plus the BYHR/BYU
+  ``policy_sees_weights`` cost views) and WAN-cost accounting;
+* :class:`QueryAccounting` — the per-query cost record both drivers
+  produce.
+
+The BYHR view (``policy_sees_weights=True``) expresses the load price
+*and* the per-query savings in link-weighted cost units, so an object
+behind an expensive link is more valuable to cache (eq. 1's ``f``
+factor).  Mixing weighted costs with raw-byte yields inverts that
+preference — the exact bug DESIGN.md §6 documents; keeping the view
+logic in one place makes it unrepeatable.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.events import CacheQuery, Decision, ObjectRequest
+from repro.core.instrumentation import DecisionEvent, Instrumentation
+from repro.core.yield_model import (
+    attribute_yield_columns,
+    attribute_yield_tables,
+)
+from repro.errors import CacheError
+from repro.federation.federation import Federation
+from repro.workload.trace import PreparedQuery
+
+GRANULARITIES = ("table", "column")
+
+
+class ObjectCatalog:
+    """Memoized object metadata (sizes, fetch costs, owning servers)."""
+
+    def __init__(self, federation: Federation) -> None:
+        self._federation = federation
+        self._sizes: Dict[str, int] = {}
+        self._costs: Dict[str, float] = {}
+        self._servers: Dict[str, str] = {}
+
+    def size(self, object_id: str) -> int:
+        cached = self._sizes.get(object_id)
+        if cached is None:
+            cached = self._federation.object_size(object_id)
+            self._sizes[object_id] = cached
+        return cached
+
+    def fetch_cost(self, object_id: str) -> float:
+        cached = self._costs.get(object_id)
+        if cached is None:
+            cached = self._federation.fetch_cost(object_id)
+            self._costs[object_id] = cached
+        return cached
+
+    def server(self, object_id: str) -> str:
+        cached = self._servers.get(object_id)
+        if cached is None:
+            cached = self._federation.server_for_object(object_id).name
+            self._servers[object_id] = cached
+        return cached
+
+
+#: One catalog per live federation: simulators, runners, and proxies over
+#: the same federation share memoized metadata instead of each rebuilding
+#: it (sizes never change mid-run — SDSS releases are immutable).
+_SHARED_CATALOGS: "weakref.WeakKeyDictionary[Federation, ObjectCatalog]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def shared_catalog(federation: Federation) -> ObjectCatalog:
+    """The federation's shared :class:`ObjectCatalog` (created lazily)."""
+    catalog = _SHARED_CATALOGS.get(federation)
+    if catalog is None:
+        catalog = ObjectCatalog(federation)
+        _SHARED_CATALOGS[federation] = catalog
+    return catalog
+
+
+@dataclass(frozen=True)
+class QueryAccounting:
+    """WAN charges one query generated under one policy decision.
+
+    Attributes:
+        load_bytes: Whole-object bytes fetched into the cache.
+        load_cost: Link-weighted cost of those loads.
+        bypass_bytes: Result bytes shipped past the cache (0 on hits).
+        bypass_cost: Link-weighted cost of the bypass (0 on hits).
+    """
+
+    load_bytes: int
+    load_cost: float
+    bypass_bytes: int
+    bypass_cost: float
+
+    @property
+    def wan_bytes(self) -> int:
+        return self.load_bytes + self.bypass_bytes
+
+    @property
+    def weighted_cost(self) -> float:
+        return self.load_cost + self.bypass_cost
+
+
+class DecisionPipeline:
+    """Query construction + WAN accounting shared by simulator and proxy.
+
+    Args:
+        federation: Object metadata, link weights, servers.
+        granularity: ``"table"`` or ``"column"``.
+        policy_sees_weights: When True (default) policies receive
+            link-weighted fetch costs and cost-unit yields (the BYHR
+            view); when False they see raw byte sizes (the BYU
+            simplification).  WAN charges are always weighted — the flag
+            only changes what the policy knows, enabling the
+            BYHR-vs-BYU ablation.
+        catalog: Optional pre-built catalog; defaults to the
+            federation's shared one.
+        instrumentation: Optional observability sink; decision events
+            flow through :meth:`emit_decision`.
+    """
+
+    def __init__(
+        self,
+        federation: Federation,
+        granularity: str = "table",
+        policy_sees_weights: bool = True,
+        catalog: Optional[ObjectCatalog] = None,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> None:
+        if granularity not in GRANULARITIES:
+            raise CacheError(
+                f"granularity must be 'table' or 'column', "
+                f"got {granularity!r}"
+            )
+        self.federation = federation
+        self.granularity = granularity
+        self.policy_sees_weights = policy_sees_weights
+        self.catalog = catalog or shared_catalog(federation)
+        self.instrumentation = instrumentation
+
+    # -- query construction ---------------------------------------------
+
+    def attribute(self, plan, yield_bytes: int) -> Dict[str, float]:
+        """Per-object yield shares of a planned query (§6 rules)."""
+        if self.granularity == "table":
+            return attribute_yield_tables(plan, yield_bytes)
+        return attribute_yield_columns(plan, yield_bytes)
+
+    def build_query(
+        self,
+        index: int,
+        object_yields: Mapping[str, float],
+        yield_bytes: int,
+        bypass_bytes: int,
+        sql: str = "",
+    ) -> CacheQuery:
+        """Assemble the policy-facing event under the active cost view."""
+        requests: List[ObjectRequest] = []
+        for object_id, share in sorted(object_yields.items()):
+            size = self.catalog.size(object_id)
+            if self.policy_sees_weights:
+                # BYHR view: both the load price and the per-query
+                # savings are expressed in link-weighted cost units, so
+                # an object behind an expensive link is *more* valuable
+                # to cache (eq. 1's f factor), not less.
+                fetch_cost = self.catalog.fetch_cost(object_id)
+                weight = fetch_cost / size
+                shown_yield = share * weight
+            else:
+                fetch_cost = float(size)
+                shown_yield = share
+            requests.append(
+                ObjectRequest(
+                    object_id=object_id,
+                    size=size,
+                    fetch_cost=fetch_cost,
+                    yield_bytes=shown_yield,
+                )
+            )
+        return CacheQuery(
+            index=index,
+            yield_bytes=yield_bytes,
+            bypass_bytes=bypass_bytes,
+            objects=tuple(requests),
+            sql=sql,
+        )
+
+    def query_from_prepared(
+        self, prepared: PreparedQuery, index: int
+    ) -> CacheQuery:
+        """Convert one prepared (offline) query into the policy event."""
+        return self.build_query(
+            index=index,
+            object_yields=prepared.object_yields(self.granularity),
+            yield_bytes=prepared.yield_bytes,
+            bypass_bytes=prepared.bypass_bytes,
+            sql=prepared.sql,
+        )
+
+    # -- WAN accounting --------------------------------------------------
+
+    def load_accounting(
+        self, object_ids: Sequence[str]
+    ) -> Tuple[int, float]:
+        """(bytes, weighted cost) of loading ``object_ids`` whole."""
+        load_bytes = 0
+        load_cost = 0.0
+        for object_id in object_ids:
+            load_bytes += self.catalog.size(object_id)
+            load_cost += self.catalog.fetch_cost(object_id)
+        return load_bytes, load_cost
+
+    def bypass_cost(
+        self,
+        bypass_bytes: int,
+        servers: Sequence[str] = (),
+        per_server_bytes: Optional[Mapping[str, int]] = None,
+    ) -> float:
+        """Link-weighted cost of bypassing one query.
+
+        With exact ``per_server_bytes`` (the online path's decomposed
+        shipping), the cost is the per-link sum.  With only a server
+        list (the prepared-trace path, which stores total decomposed
+        bytes), a multi-server query is weighted by the mean of the
+        involved links.
+        """
+        if per_server_bytes is not None:
+            return sum(
+                self.federation.network.cost(server, num_bytes)
+                for server, num_bytes in per_server_bytes.items()
+            )
+        if not servers:
+            return float(bypass_bytes)
+        if len(servers) == 1:
+            return self.federation.network.cost(servers[0], bypass_bytes)
+        weights = [
+            self.federation.network.link(server).weight
+            for server in servers
+        ]
+        return bypass_bytes * (sum(weights) / len(weights))
+
+    def account(
+        self,
+        decision: Decision,
+        bypass_bytes: int,
+        servers: Sequence[str] = (),
+        per_server_bytes: Optional[Mapping[str, int]] = None,
+    ) -> QueryAccounting:
+        """Charge one decision: loads always, bypass unless served."""
+        load_bytes, load_cost = self.load_accounting(decision.loads)
+        if decision.served_from_cache:
+            charged_bypass, charged_cost = 0, 0.0
+        else:
+            charged_bypass = bypass_bytes
+            charged_cost = self.bypass_cost(
+                bypass_bytes, servers, per_server_bytes
+            )
+        return QueryAccounting(
+            load_bytes=load_bytes,
+            load_cost=load_cost,
+            bypass_bytes=charged_bypass,
+            bypass_cost=charged_cost,
+        )
+
+    # -- instrumentation -------------------------------------------------
+
+    def emit_decision(
+        self,
+        index: int,
+        source: str,
+        policy_name: str,
+        decision: Decision,
+        accounting: QueryAccounting,
+        sql: str = "",
+    ) -> None:
+        """Forward one decision to the instrumentation sink, if any."""
+        if self.instrumentation is None:
+            return
+        self.instrumentation.record_decision(
+            DecisionEvent(
+                index=index,
+                source=source,
+                policy=policy_name,
+                granularity=self.granularity,
+                served_from_cache=decision.served_from_cache,
+                loads=tuple(decision.loads),
+                evictions=tuple(decision.evictions),
+                load_bytes=accounting.load_bytes,
+                bypass_bytes=accounting.bypass_bytes,
+                weighted_cost=accounting.weighted_cost,
+                sql=sql,
+            )
+        )

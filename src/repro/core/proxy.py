@@ -13,22 +13,21 @@ goes through the full pipeline:
    cost; cache-served queries ride the LAN).
 
 The offline :class:`~repro.sim.simulator.Simulator` exists for replaying
-*prepared* traces cheaply; the proxy is the online path and the two
-agree exactly on accounting (tested).
+*prepared* traces cheaply; the proxy is the online path.  Both are thin
+drivers over the same :class:`~repro.core.pipeline.DecisionPipeline`, so
+they agree exactly on accounting under both cost views (tested).
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
-from repro.core.events import CacheQuery, Decision, ObjectRequest
+from repro.core.events import CacheQuery
+from repro.core.instrumentation import Instrumentation
+from repro.core.pipeline import DecisionPipeline, QueryAccounting
 from repro.core.policies.base import CachePolicy
-from repro.core.yield_model import (
-    attribute_yield_columns,
-    attribute_yield_tables,
-)
-from repro.errors import CacheError
 from repro.federation.federation import Federation
 from repro.federation.mediator import Mediator
 from repro.sqlengine.executor import ResultSet
@@ -61,6 +60,13 @@ class BypassYieldProxy:
         federation: The backend servers.
         policy: Any :class:`~repro.core.policies.base.CachePolicy`.
         granularity: ``"table"`` or ``"column"`` cache objects.
+        policy_sees_weights: When True (default) the policy receives
+            link-weighted fetch costs and cost-unit yields (the BYHR
+            view); when False it sees raw byte sizes (the BYU
+            simplification).  Mirrors the simulator flag — WAN charges
+            on the ledger are always weighted.
+        instrumentation: Optional observability sink; per-query decision
+            events and stage timers flow through it.
 
     The proxy owns a :class:`~repro.federation.mediator.Mediator`; its
     ``ledger`` carries the network-citizenship accounting.
@@ -71,69 +77,107 @@ class BypassYieldProxy:
         federation: Federation,
         policy: CachePolicy,
         granularity: str = "table",
+        policy_sees_weights: bool = True,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
-        if granularity not in ("table", "column"):
-            raise CacheError(
-                f"granularity must be 'table' or 'column', "
-                f"got {granularity!r}"
-            )
+        self.pipeline = DecisionPipeline(
+            federation,
+            granularity,
+            policy_sees_weights,
+            instrumentation=instrumentation,
+        )
         self.federation = federation
         self.policy = policy
         self.granularity = granularity
-        self.mediator = Mediator(federation)
+        self.mediator = Mediator(federation, instrumentation=instrumentation)
         self.queries_handled = 0
+
+    @property
+    def policy_sees_weights(self) -> bool:
+        return self.pipeline.policy_sees_weights
+
+    @property
+    def instrumentation(self) -> Optional[Instrumentation]:
+        return self.pipeline.instrumentation
 
     @property
     def ledger(self):
         """The WAN traffic ledger (see Figure 1's flows)."""
         return self.mediator.ledger
 
-    def query(self, sql: str) -> ProxyResponse:
-        """Serve one query, making the bypass/load decision."""
+    def _stage(self, name: str):
+        instrumentation = self.pipeline.instrumentation
+        if instrumentation is None:
+            return nullcontext()
+        return instrumentation.stage(name)
+
+    def build_query(self, sql: str) -> CacheQuery:
+        """Plan + evaluate + attribute one query into the policy event.
+
+        Exposed for inspection; :meth:`query` is the serving path.
+        """
         plan = self.mediator.plan(sql)
         result = self.mediator.evaluate(sql, plan)
+        return self._build_event(sql, plan, result)
+
+    def _build_event(self, sql: str, plan, result: ResultSet) -> CacheQuery:
         yield_bytes = result.byte_size
-
-        if self.granularity == "table":
-            shares = attribute_yield_tables(plan, yield_bytes)
-        else:
-            shares = attribute_yield_columns(plan, yield_bytes)
-
-        requests = tuple(
-            ObjectRequest(
-                object_id=object_id,
-                size=self.federation.object_size(object_id),
-                fetch_cost=self.federation.fetch_cost(object_id),
-                yield_bytes=share,
-            )
-            for object_id, share in sorted(shares.items())
-        )
-        event = CacheQuery(
+        with self._stage("proxy.attribute"):
+            shares = self.pipeline.attribute(plan, yield_bytes)
+        return self.pipeline.build_query(
             index=self.queries_handled,
+            object_yields=shares,
             yield_bytes=yield_bytes,
             bypass_bytes=yield_bytes,
-            objects=requests,
             sql=sql,
         )
-        decision = self.policy.process(event)
+
+    def query(self, sql: str) -> ProxyResponse:
+        """Serve one query, making the bypass/load decision."""
+        with self._stage("proxy.plan"):
+            plan = self.mediator.plan(sql)
+        with self._stage("proxy.evaluate"):
+            result = self.mediator.evaluate(sql, plan)
+        event = self._build_event(sql, plan, result)
+        with self._stage("proxy.decide"):
+            decision = self.policy.process(event)
+        index = self.queries_handled
         self.queries_handled += 1
 
-        wan_bytes = 0
-        for object_id in decision.loads:
-            size, _ = self.mediator.load_object(object_id)
-            wan_bytes += size
-        if decision.served_from_cache:
-            self.mediator.serve_from_cache(result)
-        else:
-            outcome = self.mediator.bypass(sql, plan, result)
-            wan_bytes += outcome.wan_bytes
+        load_bytes = 0
+        load_cost = 0.0
+        with self._stage("proxy.transfer"):
+            for object_id in decision.loads:
+                size, cost = self.mediator.load_object(object_id)
+                load_bytes += size
+                load_cost += cost
+            if decision.served_from_cache:
+                bypass_bytes, bypass_cost = 0, 0.0
+                self.mediator.serve_from_cache(result)
+            else:
+                outcome = self.mediator.bypass(sql, plan, result)
+                bypass_bytes = outcome.wan_bytes
+                bypass_cost = outcome.wan_cost
 
+        self.pipeline.emit_decision(
+            index=index,
+            source="proxy",
+            policy_name=self.policy.name,
+            decision=decision,
+            accounting=QueryAccounting(
+                load_bytes=load_bytes,
+                load_cost=load_cost,
+                bypass_bytes=bypass_bytes,
+                bypass_cost=bypass_cost,
+            ),
+            sql=sql,
+        )
         return ProxyResponse(
             result=result,
             served_from_cache=decision.served_from_cache,
             loads=decision.loads,
             evictions=decision.evictions,
-            wan_bytes=wan_bytes,
+            wan_bytes=load_bytes + bypass_bytes,
         )
 
     def invalidate(self, object_ids: Iterable[str]) -> List[str]:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional
@@ -37,6 +38,25 @@ CACHE_VERSION = 3
 #: whole suite in minutes while preserving every workload property.
 DEFAULT_NUM_QUERIES = 3000
 DEFAULT_PROFILE = "small"
+
+
+def parallel_workers() -> int:
+    """Worker-process count for experiment fan-out (0 means serial).
+
+    Controlled by the ``REPRO_PARALLEL`` environment variable: unset
+    uses one worker per CPU (serial on single-CPU machines), ``0`` /
+    ``false`` / ``off`` forces serial, and a positive integer pins the
+    pool size.  Parallel and serial execution produce identical results
+    (the runner guarantees deterministic ordering), so this is purely a
+    wall-clock knob.
+    """
+    env = os.environ.get("REPRO_PARALLEL", "").strip().lower()
+    if env in {"0", "false", "no", "off"}:
+        return 0
+    if env.isdigit():
+        return int(env)
+    cpus = os.cpu_count() or 1
+    return cpus if cpus > 1 else 0
 
 
 @dataclass

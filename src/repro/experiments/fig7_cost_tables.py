@@ -10,7 +10,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
-from repro.experiments.common import ExperimentContext, build_context
+from repro.experiments.common import (
+    ExperimentContext,
+    build_context,
+    parallel_workers,
+)
 from repro.sim.reporting import cost_series_chart, format_table
 from repro.sim.results import SimulationResult
 from repro.sim.runner import compare_policies
@@ -59,6 +63,7 @@ def run_cost_series(
     if context is None:
         context = build_context("edr")
     capacity = context.capacity_for(cache_fraction)
+    workers = parallel_workers()
     results = compare_policies(
         context.prepared,
         context.federation,
@@ -66,6 +71,8 @@ def run_cost_series(
         granularity,
         policies=policies,
         record_series=True,
+        parallel=workers > 1,
+        max_workers=workers or None,
     )
     return CostSeriesResult(
         granularity=granularity,

@@ -10,10 +10,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.experiments.common import ExperimentContext, build_context
+from repro.experiments.common import (
+    ExperimentContext,
+    build_context,
+    parallel_workers,
+)
 from repro.sim.reporting import format_table, sweep_chart
 from repro.sim.results import SweepResult
-from repro.sim.runner import sweep_cache_sizes
+from repro.sim import runner as sim_runner
 
 FRACTIONS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
 POLICIES = ("rate-profile", "online-by", "space-eff-by", "gds", "static")
@@ -50,15 +54,23 @@ def run_sweep(
     fractions: Sequence[float] = FRACTIONS,
     policies: Sequence[str] = POLICIES,
 ) -> SweepExperimentResult:
-    """Shared driver for Figures 9 and 10."""
+    """Shared driver for Figures 9 and 10.
+
+    The (fraction × policy) grid fans out over worker processes (see
+    :func:`repro.experiments.common.parallel_workers`); results are
+    identical to a serial run.
+    """
     if context is None:
         context = build_context("edr")
-    sweep = sweep_cache_sizes(
+    workers = parallel_workers()
+    sweep = sim_runner.run_sweep(
         context.prepared,
         context.federation,
         granularity=granularity,
         fractions=fractions,
         policies=policies,
+        parallel=workers > 1,
+        max_workers=workers or None,
     )
     return SweepExperimentResult(
         sweep=sweep,

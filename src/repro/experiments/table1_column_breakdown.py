@@ -12,7 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.common import ExperimentContext, build_context
+from repro.experiments.common import (
+    ExperimentContext,
+    build_context,
+    parallel_workers,
+)
 from repro.sim.reporting import format_table
 from repro.sim.results import SimulationResult
 from repro.sim.runner import compare_policies
@@ -69,6 +73,7 @@ def run_breakdown(
     result = BreakdownResult(
         granularity=granularity, cache_fraction=cache_fraction
     )
+    workers = parallel_workers()
     for context in contexts:
         capacity = context.capacity_for(cache_fraction)
         results = compare_policies(
@@ -78,6 +83,8 @@ def run_breakdown(
             granularity,
             policies=ALGORITHMS,
             record_series=False,
+            parallel=workers > 1,
+            max_workers=workers or None,
         )
         result.sets.append(
             BreakdownSet(

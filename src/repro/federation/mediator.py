@@ -18,11 +18,14 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.errors import FederationError
 from repro.federation.federation import Federation
 from repro.federation.network import TrafficLedger
+
+if TYPE_CHECKING:  # avoids a repro.core <-> repro.federation cycle
+    from repro.core.instrumentation import Instrumentation
 from repro.sqlengine.ast_nodes import ColumnRef, column_refs
 from repro.sqlengine.executor import ResultSet, execute_plan
 from repro.sqlengine.parser import parse
@@ -62,18 +65,30 @@ class Mediator:
             cache mostly helps the prepare/evaluate double-call per
             query; a bound keeps long-lived mediators from growing
             without limit.
+        instrumentation: Optional observability sink
+            (:class:`~repro.core.instrumentation.Instrumentation`);
+            every WAN-cost-bearing operation (plans, loads, bypasses,
+            cache hits) increments its counters.
     """
 
     def __init__(
-        self, federation: Federation, plan_cache_size: int = 4096
+        self,
+        federation: Federation,
+        plan_cache_size: int = 4096,
+        instrumentation: Optional["Instrumentation"] = None,
     ) -> None:
         if plan_cache_size <= 0:
             raise FederationError("plan_cache_size must be positive")
         self.federation = federation
         self._lookup = federation.schema_lookup()
         self.ledger = TrafficLedger()
+        self.instrumentation = instrumentation
         self._plan_cache: "OrderedDict[str, QueryPlan]" = OrderedDict()
         self._plan_cache_size = plan_cache_size
+
+    def _count(self, name: str, value: float = 1.0) -> None:
+        if self.instrumentation is not None:
+            self.instrumentation.count(name, value)
 
     def plan(self, sql: str) -> QueryPlan:
         """Parse and plan against the global federation schema (cached)."""
@@ -83,8 +98,10 @@ class Mediator:
             self._plan_cache[sql] = cached
             if len(self._plan_cache) > self._plan_cache_size:
                 self._plan_cache.popitem(last=False)
+            self._count("mediator.plan_misses")
         else:
             self._plan_cache.move_to_end(sql)
+            self._count("mediator.plan_hits")
         return cached
 
     def evaluate(self, sql: str, plan: Optional[QueryPlan] = None) -> ResultSet:
@@ -146,6 +163,9 @@ class Mediator:
             self.ledger.record_bypass(name, num_bytes, cost)
             wan_bytes += num_bytes
             wan_cost += cost
+        self._count("mediator.bypasses")
+        self._count("mediator.bypass_bytes", wan_bytes)
+        self._count("mediator.bypass_cost", wan_cost)
         return FederatedResult(
             result=result,
             per_server_bytes=per_server,
@@ -159,11 +179,16 @@ class Mediator:
         size = server.fetch_object(object_id)
         cost = self.federation.network.cost(server.name, size)
         self.ledger.record_load(server.name, size, cost)
+        self._count("mediator.loads")
+        self._count("mediator.load_bytes", size)
+        self._count("mediator.load_cost", cost)
         return size, cost
 
     def serve_from_cache(self, result: ResultSet) -> None:
         """Account a cache-served result (LAN only)."""
         self.ledger.record_cache_hit(result.byte_size)
+        self._count("mediator.cache_hits")
+        self._count("mediator.lan_bytes", result.byte_size)
 
     # ------------------------------------------------------------------
     # Cross-server decomposition

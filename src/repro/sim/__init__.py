@@ -1,10 +1,14 @@
 """Trace-driven simulation and experiment orchestration.
 
 * :class:`~repro.sim.simulator.Simulator` — replay a prepared trace
-  through one policy with exact WAN accounting.
-* :mod:`repro.sim.runner` — policy comparisons and cache-size sweeps.
+  through one policy with exact WAN accounting (a thin driver over
+  :class:`~repro.core.pipeline.DecisionPipeline`).
+* :mod:`repro.sim.runner` — policy comparisons and cache-size sweeps,
+  optionally fanned out over worker processes.
+* :mod:`repro.sim.multi` — independent-cache fleet simulation.
 * :mod:`repro.sim.results` — cost breakdowns, series, sweep containers.
-* :mod:`repro.sim.reporting` — plain-text tables and ASCII charts.
+* :mod:`repro.sim.reporting` — plain-text tables, ASCII charts, and
+  instrumentation rendering.
 """
 
 from repro.sim.multi import ClientSite, FleetResult, simulate_fleet
@@ -19,6 +23,7 @@ from repro.sim.runner import (
     build_policy,
     compare_policies,
     run_single,
+    run_sweep,
     sweep_cache_sizes,
 )
 from repro.sim.simulator import ObjectCatalog, Simulator
@@ -36,6 +41,7 @@ __all__ = [
     "build_policy",
     "compare_policies",
     "run_single",
+    "run_sweep",
     "simulate_fleet",
     "sweep_cache_sizes",
 ]

@@ -5,13 +5,23 @@ can be reduced to individual caches."  This module models a federation
 serving many client sites, each with its own mediator cache and its own
 workload, and reports the *global* WAN totals — the network-citizenship
 quantity the paper optimizes.
+
+Because the caches are independent, the fleet is embarrassingly
+parallel: ``simulate_fleet(parallel=True)`` replays each client site in
+its own worker process and aggregates identical results in client
+order.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
+from repro.core.instrumentation import Instrumentation
 from repro.core.policies.base import CachePolicy
 from repro.errors import CacheError
 from repro.federation.federation import Federation
@@ -64,27 +74,116 @@ class FleetResult:
             r.hit_rate for r in self.per_client.values()
         ) / len(self.per_client)
 
+    @property
+    def weighted_cost(self) -> float:
+        """Global link-weighted WAN cost across all sites."""
+        return sum(r.weighted_cost for r in self.per_client.values())
+
+    def summary(self) -> Dict[str, object]:
+        """Fleet-level aggregation snapshot."""
+        return {
+            "clients": len(self.per_client),
+            "total_bytes": self.total_bytes,
+            "sequence_bytes": self.sequence_bytes,
+            "weighted_cost": self.weighted_cost,
+            "mean_hit_rate": round(self.mean_hit_rate, 4),
+            "savings_factor": (
+                round(self.savings_factor, 2)
+                if self.total_bytes
+                else float("inf")
+            ),
+        }
+
+
+#: Per-worker shared state for the parallel fleet path.
+_FLEET_CONTEXT: Dict[str, object] = {}
+
+
+def _init_fleet_worker(
+    federation: Federation,
+    granularity: str,
+    policy_sees_weights: bool,
+    record_series: Union[bool, str],
+) -> None:
+    _FLEET_CONTEXT["args"] = (
+        federation, granularity, policy_sees_weights, record_series
+    )
+
+
+def _run_fleet_task(client: ClientSite) -> SimulationResult:
+    federation, granularity, policy_sees_weights, record_series = (
+        _FLEET_CONTEXT["args"]
+    )
+    simulator = Simulator(federation, granularity, policy_sees_weights)
+    result = simulator.run(
+        client.trace, client.policy, record_series=record_series
+    )
+    result.worker_pid = os.getpid()
+    return result
+
 
 def simulate_fleet(
     federation: Federation,
     clients: Sequence[ClientSite],
     granularity: str = "table",
+    policy_sees_weights: bool = True,
+    record_series: Union[bool, str] = False,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> FleetResult:
     """Run every client's workload through its own cache.
 
     Caches are independent (no coordination — out of the paper's
     scope), so the simulation is exact per site and the global total is
-    their sum.
+    their sum.  With ``parallel=True`` each site replays in a separate
+    worker process (falling back to serial when the platform cannot
+    spawn a pool); note that the caller's ``client.policy`` objects are
+    then *not* mutated — per-site state lives in the returned results.
     """
     if not clients:
         raise CacheError("simulate_fleet needs at least one client")
     names = [client.name for client in clients]
     if len(set(names)) != len(names):
         raise CacheError("client names must be unique")
-    simulator = Simulator(federation, granularity)
-    result = FleetResult()
-    for client in clients:
-        result.per_client[client.name] = simulator.run(
-            client.trace, client.policy, record_series=False
+
+    outcomes: Optional[List[SimulationResult]] = None
+    if parallel and len(clients) > 1:
+        workers = max_workers or (os.cpu_count() or 1)
+        workers = max(1, min(workers, len(clients)))
+        if workers > 1:
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_init_fleet_worker,
+                    initargs=(
+                        federation,
+                        granularity,
+                        policy_sees_weights,
+                        record_series,
+                    ),
+                ) as pool:
+                    outcomes = list(pool.map(_run_fleet_task, clients))
+            except (BrokenProcessPool, pickle.PicklingError, OSError):
+                outcomes = None  # fall back to serial below
+    if outcomes is None:
+        simulator = Simulator(
+            federation,
+            granularity,
+            policy_sees_weights,
+            instrumentation=instrumentation,
         )
+        outcomes = [
+            simulator.run(
+                client.trace, client.policy, record_series=record_series
+            )
+            for client in clients
+        ]
+
+    result = FleetResult()
+    for client, outcome in zip(clients, outcomes):
+        result.per_client[client.name] = outcome
+    if instrumentation is not None:
+        instrumentation.count("fleet.clients", len(clients))
+        instrumentation.count("fleet.wan_bytes", result.total_bytes)
     return result

@@ -9,6 +9,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.instrumentation import DecisionEvent, Instrumentation
 from repro.sim.results import SimulationResult, SweepResult
 
 
@@ -153,6 +154,75 @@ def ascii_chart(
     return "\n".join(lines)
 
 
+def format_instrumentation(
+    instrumentation: Instrumentation, title: str = "instrumentation"
+) -> str:
+    """Counters and stage timers of one run as aligned tables."""
+    sections: List[str] = []
+    counter_rows = [
+        [name, value]
+        for name, value in sorted(instrumentation.counters.items())
+    ]
+    sections.append(
+        format_table(
+            ["counter", "value"], counter_rows, title=title
+        )
+    )
+    if instrumentation.stage_seconds:
+        stage_rows = [
+            [
+                name,
+                instrumentation.stage_calls.get(name, 0),
+                seconds * 1e3,
+                (
+                    seconds * 1e3
+                    / max(1, instrumentation.stage_calls.get(name, 0))
+                ),
+            ]
+            for name, seconds in sorted(
+                instrumentation.stage_seconds.items()
+            )
+        ]
+        sections.append(
+            format_table(
+                ["stage", "calls", "total (ms)", "mean (ms)"],
+                stage_rows,
+                title="stage timers",
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def format_decision_trace(
+    events: Iterable[DecisionEvent],
+    limit: int = 20,
+    title: str = "decision trace",
+) -> str:
+    """The per-query decision log as a table (most recent ``limit``)."""
+    tail = list(events)[-limit:] if limit else list(events)
+    rows = [
+        [
+            event.index,
+            event.source,
+            event.policy,
+            "serve" if event.served_from_cache else "bypass",
+            len(event.loads),
+            len(event.evictions),
+            event.wan_bytes,
+            event.weighted_cost,
+        ]
+        for event in tail
+    ]
+    return format_table(
+        [
+            "query", "source", "policy", "decision",
+            "loads", "evictions", "wan bytes", "weighted cost",
+        ],
+        rows,
+        title=title,
+    )
+
+
 def sweep_chart(sweep: SweepResult, title: str) -> str:
     """Figures 9-10: total cost vs cache fraction, log-scale y."""
     series: Dict[str, List[Tuple[float, float]]] = {}
@@ -175,15 +245,21 @@ def cost_series_chart(
     title: str,
     stride: int = 0,
 ) -> str:
-    """Figures 7-8: cumulative WAN bytes vs query number."""
+    """Figures 7-8: cumulative WAN bytes vs query number.
+
+    Honors each result's ``series_stride`` so sampled series keep their
+    true query-number axis.
+    """
     series: Dict[str, List[Tuple[float, float]]] = {}
     for name, result in results.items():
         values = result.cumulative_bytes
         if not values:
             continue
+        recorded = result.series_stride or 1
         step = stride or max(1, len(values) // 60)
         series[name] = [
-            (float(i), values[i]) for i in range(0, len(values), step)
+            (float(i * recorded), values[i])
+            for i in range(0, len(values), step)
         ]
     return ascii_chart(
         series,

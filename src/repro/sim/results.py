@@ -43,13 +43,18 @@ class SimulationResult:
         breakdown: Bypass/fetch/total WAN bytes.
         weighted_cost: Link-weighted WAN cost (equals total bytes on
             uniform networks).
-        cumulative_bytes: Cumulative WAN bytes after each query — the
-            Figures 7-8 series.
+        cumulative_bytes: Cumulative WAN bytes after each recorded query
+            — the Figures 7-8 series.
+        series_stride: Query distance between consecutive points of
+            ``cumulative_bytes`` (1 when every query is recorded; > 1
+            under sampled recording).
         served_queries: Queries served from cache.
         loads: Number of object loads.
         evictions: Number of evictions.
         sequence_bytes: The no-cache cost of the same trace (context for
             ratios).
+        worker_pid: Process id that produced this result when it came
+            from a parallel runner (None for in-process runs).
     """
 
     policy_name: str
@@ -59,10 +64,12 @@ class SimulationResult:
     breakdown: CostBreakdown = field(default_factory=CostBreakdown)
     weighted_cost: float = 0.0
     cumulative_bytes: List[float] = field(default_factory=list)
+    series_stride: int = 1
     served_queries: int = 0
     loads: int = 0
     evictions: int = 0
     sequence_bytes: float = 0.0
+    worker_pid: Optional[int] = None
 
     @property
     def total_bytes(self) -> float:

@@ -1,9 +1,24 @@
-"""Experiment orchestration: policy comparisons and cache-size sweeps."""
+"""Experiment orchestration: policy comparisons and cache-size sweeps.
+
+The sweep surface (policies × cache sizes × traces) is embarrassingly
+parallel — every cell is an independent replay of an immutable prepared
+trace.  :func:`run_sweep` and :func:`compare_policies` therefore accept
+``parallel=True`` to fan the cells out over a
+:class:`concurrent.futures.ProcessPoolExecutor`; results are returned in
+deterministic (submission) order and are identical to serial mode, so
+the flag is purely a wall-clock knob.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.core.instrumentation import Instrumentation
+from repro.core.pipeline import shared_catalog
 from repro.core.policies import (
     StaticPolicy,
     accumulate_object_yields,
@@ -14,7 +29,7 @@ from repro.core.policies.base import CachePolicy
 from repro.errors import CacheError
 from repro.federation.federation import Federation
 from repro.sim.results import SimulationResult, SweepPoint, SweepResult
-from repro.sim.simulator import ObjectCatalog, Simulator
+from repro.sim.simulator import Simulator
 from repro.workload.trace import PreparedTrace
 
 #: The algorithm line-up of Figures 7-10.
@@ -39,7 +54,7 @@ def build_policy(
     """Instantiate a policy, handling the offline setup of ``static``."""
     if name == "static":
         yields = accumulate_object_yields(trace, granularity)
-        catalog = ObjectCatalog(federation)
+        catalog = shared_catalog(federation)
         sizes = {object_id: catalog.size(object_id) for object_id in yields}
         chosen = choose_static_objects(yields, sizes, capacity_bytes)
         return StaticPolicy(capacity_bytes, chosen)
@@ -52,16 +67,113 @@ def run_single(
     policy_name: str,
     capacity_bytes: int,
     granularity: str = "table",
-    record_series: bool = True,
+    record_series: Union[bool, str] = True,
+    policy_sees_weights: bool = True,
+    instrumentation: Optional[Instrumentation] = None,
     **kwargs,
 ) -> SimulationResult:
     """Run one policy over one trace."""
-    simulator = Simulator(federation, granularity)
+    simulator = Simulator(
+        federation,
+        granularity,
+        policy_sees_weights,
+        instrumentation=instrumentation,
+    )
     policy = build_policy(
         policy_name, capacity_bytes, trace, federation, granularity,
         **kwargs,
     )
     return simulator.run(trace, policy, record_series=record_series)
+
+
+# ---------------------------------------------------------------------------
+# Process-parallel execution
+# ---------------------------------------------------------------------------
+
+#: Per-worker shared state, installed once by the pool initializer so
+#: the (large) trace and federation cross the process boundary once per
+#: worker instead of once per task.
+_WORKER_CONTEXT: Dict[str, object] = {}
+
+
+def _init_worker(
+    trace: PreparedTrace,
+    federation: Federation,
+    granularity: str,
+    record_series: Union[bool, str],
+    policy_sees_weights: bool,
+) -> None:
+    _WORKER_CONTEXT["args"] = (
+        trace, federation, granularity, record_series, policy_sees_weights
+    )
+
+
+def _run_task(task: Tuple[str, int]) -> SimulationResult:
+    policy_name, capacity = task
+    trace, federation, granularity, record_series, policy_sees_weights = (
+        _WORKER_CONTEXT["args"]
+    )
+    result = run_single(
+        trace,
+        federation,
+        policy_name,
+        capacity,
+        granularity,
+        record_series=record_series,
+        policy_sees_weights=policy_sees_weights,
+    )
+    result.worker_pid = os.getpid()
+    return result
+
+
+def _run_cells(
+    tasks: Sequence[Tuple[str, int]],
+    trace: PreparedTrace,
+    federation: Federation,
+    granularity: str,
+    record_series: Union[bool, str],
+    policy_sees_weights: bool,
+    parallel: bool,
+    max_workers: Optional[int],
+) -> List[SimulationResult]:
+    """Run (policy, capacity) cells, optionally across processes.
+
+    Results come back in task order either way, so parallel and serial
+    execution are interchangeable.  If the platform cannot run a
+    process pool (no fork/spawn, unpicklable state), we fall back to
+    serial execution rather than failing the experiment.
+    """
+    if parallel and len(tasks) > 1:
+        workers = max_workers or (os.cpu_count() or 1)
+        workers = max(1, min(workers, len(tasks)))
+        if workers > 1:
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_init_worker,
+                    initargs=(
+                        trace,
+                        federation,
+                        granularity,
+                        record_series,
+                        policy_sees_weights,
+                    ),
+                ) as pool:
+                    return list(pool.map(_run_task, tasks))
+            except (BrokenProcessPool, pickle.PicklingError, OSError):
+                pass  # fall back to in-process execution below
+    return [
+        run_single(
+            trace,
+            federation,
+            name,
+            capacity,
+            granularity,
+            record_series=record_series,
+            policy_sees_weights=policy_sees_weights,
+        )
+        for name, capacity in tasks
+    ]
 
 
 def compare_policies(
@@ -70,20 +182,81 @@ def compare_policies(
     capacity_bytes: int,
     granularity: str = "table",
     policies: Sequence[str] = DEFAULT_POLICIES,
-    record_series: bool = True,
+    record_series: Union[bool, str] = True,
+    policy_sees_weights: bool = True,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
 ) -> Dict[str, SimulationResult]:
     """Run several policies at one cache size (Figures 7-8, Tables 1-2)."""
-    results: Dict[str, SimulationResult] = {}
-    for name in policies:
-        results[name] = run_single(
-            trace,
-            federation,
-            name,
-            capacity_bytes,
-            granularity,
-            record_series=record_series,
+    tasks = [(name, capacity_bytes) for name in policies]
+    outcomes = _run_cells(
+        tasks,
+        trace,
+        federation,
+        granularity,
+        record_series,
+        policy_sees_weights,
+        parallel,
+        max_workers,
+    )
+    return {name: result for name, result in zip(policies, outcomes)}
+
+
+def run_sweep(
+    trace: PreparedTrace,
+    federation: Federation,
+    granularity: str = "table",
+    fractions: Sequence[float] = (
+        0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0
+    ),
+    policies: Sequence[str] = (
+        "rate-profile", "online-by", "space-eff-by", "gds", "static"
+    ),
+    policy_sees_weights: bool = True,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
+) -> SweepResult:
+    """Total cost vs cache size, 10%-100% of the DB (Figures 9-10).
+
+    With ``parallel=True`` the (fraction × policy) grid fans out over a
+    process pool; the returned points are ordered exactly as in serial
+    mode (fractions outer, policies inner).
+    """
+    database_bytes = federation.total_database_bytes()
+    sweep = SweepResult(
+        granularity=granularity, database_bytes=database_bytes
+    )
+    tasks: List[Tuple[str, int]] = []
+    cells: List[Tuple[str, float, int]] = []
+    for fraction in fractions:
+        if not 0.0 < fraction <= 1.0:
+            raise CacheError(
+                f"cache fraction must be in (0, 1], got {fraction}"
+            )
+        capacity = max(1, int(database_bytes * fraction))
+        for name in policies:
+            tasks.append((name, capacity))
+            cells.append((name, fraction, capacity))
+    outcomes = _run_cells(
+        tasks,
+        trace,
+        federation,
+        granularity,
+        False,
+        policy_sees_weights,
+        parallel,
+        max_workers,
+    )
+    for (name, fraction, capacity), result in zip(cells, outcomes):
+        sweep.points.append(
+            SweepPoint(
+                policy_name=name,
+                cache_fraction=fraction,
+                capacity_bytes=capacity,
+                total_bytes=result.total_bytes,
+            )
         )
-    return results
+    return sweep
 
 
 def sweep_cache_sizes(
@@ -96,33 +269,14 @@ def sweep_cache_sizes(
     policies: Sequence[str] = (
         "rate-profile", "online-by", "space-eff-by", "gds", "static"
     ),
+    **kwargs,
 ) -> SweepResult:
-    """Total cost vs cache size, 10%-100% of the DB (Figures 9-10)."""
-    database_bytes = federation.total_database_bytes()
-    sweep = SweepResult(
-        granularity=granularity, database_bytes=database_bytes
+    """Backwards-compatible alias for :func:`run_sweep`."""
+    return run_sweep(
+        trace,
+        federation,
+        granularity=granularity,
+        fractions=fractions,
+        policies=policies,
+        **kwargs,
     )
-    for fraction in fractions:
-        if not 0.0 < fraction <= 1.0:
-            raise CacheError(
-                f"cache fraction must be in (0, 1], got {fraction}"
-            )
-        capacity = max(1, int(database_bytes * fraction))
-        for name in policies:
-            result = run_single(
-                trace,
-                federation,
-                name,
-                capacity,
-                granularity,
-                record_series=False,
-            )
-            sweep.points.append(
-                SweepPoint(
-                    policy_name=name,
-                    cache_fraction=fraction,
-                    capacity_bytes=capacity,
-                    total_bytes=result.total_bytes,
-                )
-            )
-    return sweep

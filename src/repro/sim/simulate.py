@@ -56,6 +56,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--capacity-frac", type=float, default=0.3,
         help="cache size as a fraction of the database",
     )
+    parser.add_argument(
+        "--parallel", action="store_true",
+        help="replay policies in parallel worker processes",
+    )
     return parser
 
 
@@ -93,6 +97,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.granularity,
         policies=policies,
         record_series=False,
+        parallel=args.parallel,
     )
     print(
         format_breakdown(

@@ -5,49 +5,31 @@ WAN traffic exactly as Section 3 prescribes: bypassed queries cost their
 (decomposed) result bytes, loads cost whole-object bytes, cache-served
 queries cost nothing on the WAN.  Object sizes and link weights come
 from the federation.
+
+Query construction and cost accounting live in
+:class:`~repro.core.pipeline.DecisionPipeline`, shared verbatim with the
+online :class:`~repro.core.proxy.BypassYieldProxy` — the two paths agree
+byte-for-byte by construction (and by test).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Optional, Union
 
-from repro.core.events import CacheQuery, ObjectRequest
+# Re-exported for backwards compatibility: ObjectCatalog historically
+# lived here before the pipeline layer was extracted.
+from repro.core.events import CacheQuery
+from repro.core.instrumentation import Instrumentation
+from repro.core.pipeline import DecisionPipeline, ObjectCatalog
 from repro.core.policies.base import CachePolicy
-from repro.errors import CacheError
 from repro.federation.federation import Federation
-from repro.sim.results import CostBreakdown, SimulationResult
+from repro.sim.results import SimulationResult
 from repro.workload.trace import PreparedQuery, PreparedTrace
 
+__all__ = ["ObjectCatalog", "Simulator", "SAMPLED_SERIES_POINTS"]
 
-class ObjectCatalog:
-    """Memoized object metadata (sizes, fetch costs, owning servers)."""
-
-    def __init__(self, federation: Federation) -> None:
-        self._federation = federation
-        self._sizes: Dict[str, int] = {}
-        self._costs: Dict[str, float] = {}
-        self._servers: Dict[str, str] = {}
-
-    def size(self, object_id: str) -> int:
-        cached = self._sizes.get(object_id)
-        if cached is None:
-            cached = self._federation.object_size(object_id)
-            self._sizes[object_id] = cached
-        return cached
-
-    def fetch_cost(self, object_id: str) -> float:
-        cached = self._costs.get(object_id)
-        if cached is None:
-            cached = self._federation.fetch_cost(object_id)
-            self._costs[object_id] = cached
-        return cached
-
-    def server(self, object_id: str) -> str:
-        cached = self._servers.get(object_id)
-        if cached is None:
-            cached = self._federation.server_for_object(object_id).name
-            self._servers[object_id] = cached
-        return cached
+#: Target number of retained points when ``record_series="sampled"``.
+SAMPLED_SERIES_POINTS = 512
 
 
 class Simulator:
@@ -58,6 +40,8 @@ class Simulator:
         federation: Federation,
         granularity: str = "table",
         policy_sees_weights: bool = True,
+        pipeline: Optional[DecisionPipeline] = None,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
         """Args:
             federation: Object metadata, link weights, servers.
@@ -67,106 +51,98 @@ class Simulator:
                 they see raw byte sizes (the BYU simplification).  WAN
                 charges are always weighted — the flag only changes what
                 the policy knows, enabling the BYHR-vs-BYU ablation.
+            pipeline: Optional pre-built decision pipeline (shared with
+                other drivers); by default one is constructed over the
+                federation's shared object catalog.
+            instrumentation: Optional observability sink; per-query
+                decision events and stage counters are emitted through
+                it (ignored when ``pipeline`` is supplied — the
+                pipeline's own sink wins).
         """
-        if granularity not in ("table", "column"):
-            raise CacheError(
-                f"granularity must be 'table' or 'column', "
-                f"got {granularity!r}"
+        if pipeline is None:
+            pipeline = DecisionPipeline(
+                federation,
+                granularity,
+                policy_sees_weights,
+                instrumentation=instrumentation,
             )
-        self.federation = federation
-        self.granularity = granularity
-        self.policy_sees_weights = policy_sees_weights
-        self.objects = ObjectCatalog(federation)
+        self.pipeline = pipeline
+        self.federation = pipeline.federation
+        self.granularity = pipeline.granularity
+        self.policy_sees_weights = pipeline.policy_sees_weights
+        self.objects = pipeline.catalog
+
+    @property
+    def instrumentation(self) -> Optional[Instrumentation]:
+        return self.pipeline.instrumentation
 
     def build_query(self, prepared: PreparedQuery, index: int) -> CacheQuery:
         """Convert one prepared query into the policy-facing event."""
-        requests: List[ObjectRequest] = []
-        for object_id, share in sorted(
-            prepared.object_yields(self.granularity).items()
-        ):
-            size = self.objects.size(object_id)
-            if self.policy_sees_weights:
-                # BYHR view: both the load price and the per-query
-                # savings are expressed in link-weighted cost units, so
-                # an object behind an expensive link is *more* valuable
-                # to cache (eq. 1's f factor), not less.
-                fetch_cost = self.objects.fetch_cost(object_id)
-                weight = fetch_cost / size
-                shown_yield = share * weight
-            else:
-                fetch_cost = float(size)
-                shown_yield = share
-            requests.append(
-                ObjectRequest(
-                    object_id=object_id,
-                    size=size,
-                    fetch_cost=fetch_cost,
-                    yield_bytes=shown_yield,
-                )
-            )
-        return CacheQuery(
-            index=index,
-            yield_bytes=prepared.yield_bytes,
-            bypass_bytes=prepared.bypass_bytes,
-            objects=tuple(requests),
-            sql=prepared.sql,
-        )
+        return self.pipeline.query_from_prepared(prepared, index)
 
     def run(
         self,
         trace: PreparedTrace,
         policy: CachePolicy,
-        record_series: bool = True,
+        record_series: Union[bool, str] = True,
     ) -> SimulationResult:
         """Replay ``trace`` through ``policy``, returning full accounting.
+
+        Args:
+            trace: The prepared workload.
+            policy: Any cache policy.
+            record_series: ``True`` records the cumulative WAN series
+                after every query (the Figures 7-8 data); ``False``
+                records none; ``"sampled"`` records roughly
+                :data:`SAMPLED_SERIES_POINTS` evenly-strided points
+                (plus the final one), bounding memory on long traces.
+                The stride is stored as ``result.series_stride``.
         """
+        pipeline = self.pipeline
+        total = len(trace)
+        stride = 1
+        if record_series == "sampled":
+            stride = max(1, total // SAMPLED_SERIES_POINTS)
         result = SimulationResult(
             policy_name=policy.name,
             granularity=self.granularity,
             capacity_bytes=policy.capacity_bytes,
             sequence_bytes=float(trace.sequence_bytes),
+            series_stride=stride,
         )
         breakdown = result.breakdown
         weighted = 0.0
-        cumulative: List[float] = []
+        cumulative = result.cumulative_bytes
 
         for index, prepared in enumerate(trace):
-            query = self.build_query(prepared, index)
+            query = pipeline.query_from_prepared(prepared, index)
             decision = policy.process(query)
+            accounting = pipeline.account(
+                decision,
+                bypass_bytes=prepared.bypass_bytes,
+                servers=prepared.servers,
+            )
 
-            for object_id in decision.loads:
-                size = self.objects.size(object_id)
-                breakdown.load_bytes += size
-                weighted += self.objects.fetch_cost(object_id)
+            breakdown.load_bytes += accounting.load_bytes
+            breakdown.bypass_bytes += accounting.bypass_bytes
+            weighted += accounting.weighted_cost
             result.loads += len(decision.loads)
             result.evictions += len(decision.evictions)
-
             if decision.served_from_cache:
                 result.served_queries += 1
-            else:
-                breakdown.bypass_bytes += prepared.bypass_bytes
-                weighted += self._bypass_cost(prepared)
-            if record_series:
+            if record_series and (
+                (index + 1) % stride == 0 or index == total - 1
+            ):
                 cumulative.append(breakdown.total_bytes)
-
-        result.queries = len(trace)
-        result.weighted_cost = weighted
-        result.cumulative_bytes = cumulative
-        return result
-
-    def _bypass_cost(self, prepared: PreparedQuery) -> float:
-        """Link-weighted bypass cost of one query."""
-        if not prepared.servers:
-            return float(prepared.bypass_bytes)
-        if len(prepared.servers) == 1:
-            return self.federation.network.cost(
-                prepared.servers[0], prepared.bypass_bytes
+            pipeline.emit_decision(
+                index=index,
+                source="simulator",
+                policy_name=policy.name,
+                decision=decision,
+                accounting=accounting,
+                sql=prepared.sql,
             )
-        # Multi-server: weight by the mean of the involved links (the
-        # prepared trace stores only the total decomposed bytes).
-        weights = [
-            self.federation.network.link(server).weight
-            for server in prepared.servers
-        ]
-        mean_weight = sum(weights) / len(weights)
-        return prepared.bypass_bytes * mean_weight
+
+        result.queries = total
+        result.weighted_cost = weighted
+        return result

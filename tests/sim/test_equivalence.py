@@ -1,0 +1,138 @@
+"""Simulator ↔ proxy equivalence: one pipeline, two drivers.
+
+The offline :class:`~repro.sim.simulator.Simulator` and the online
+:class:`~repro.core.proxy.BypassYieldProxy` are thin drivers over the
+shared :class:`~repro.core.pipeline.DecisionPipeline`.  These tests
+replay the *same* trace through both paths — at both caching
+granularities and under both ``policy_sees_weights`` cost views, on
+uniform and non-uniform networks — and require byte-identical
+accounting: loads, evictions, bypass/fetch/total WAN bytes, and (on
+single-server traces, where both paths charge exact per-link costs)
+the weighted WAN cost.
+"""
+
+import pytest
+
+from repro.core.instrumentation import Instrumentation
+from repro.core.policies.rate_profile import RateProfilePolicy
+from repro.core.proxy import BypassYieldProxy
+from repro.federation import Federation, Mediator
+from repro.sim.runner import run_single
+from repro.workload.generator import TraceConfig, generate_trace
+from repro.workload.prepare import prepare_trace
+from repro.workload.sdss_schema import TINY, build_sdss_catalog
+
+
+def _trace():
+    return generate_trace(
+        TraceConfig(num_queries=120, flavor="edr", seed=321), TINY
+    )
+
+
+def _federation(link_weight=None):
+    federation = Federation.single_site(
+        build_sdss_catalog(TINY, seed=5), "sdss"
+    )
+    if link_weight is not None:
+        federation.network.set_link("sdss", link_weight)
+    return federation
+
+
+@pytest.mark.parametrize("granularity", ["table", "column"])
+@pytest.mark.parametrize("policy_sees_weights", [True, False])
+@pytest.mark.parametrize("link_weight", [None, 2.5])
+def test_online_equals_offline(
+    granularity, policy_sees_weights, link_weight
+):
+    trace = _trace()
+
+    # Offline: prepare once, then simulate against a fresh federation.
+    federation_a = _federation(link_weight)
+    prepared = prepare_trace(trace, Mediator(federation_a))
+    capacity = federation_a.total_database_bytes() // 3
+    offline = run_single(
+        prepared,
+        federation_a,
+        "rate-profile",
+        capacity,
+        granularity,
+        policy_sees_weights=policy_sees_weights,
+    )
+
+    # Online: identical federation, same queries through the proxy.
+    federation_b = _federation(link_weight)
+    proxy_instr = Instrumentation()
+    proxy = BypassYieldProxy(
+        federation_b,
+        RateProfilePolicy(capacity_bytes=capacity),
+        granularity=granularity,
+        policy_sees_weights=policy_sees_weights,
+        instrumentation=proxy_instr,
+    )
+    online_loads = 0
+    online_evictions = 0
+    for record in trace:
+        response = proxy.query(record.sql)
+        online_loads += len(response.loads)
+        online_evictions += len(response.evictions)
+
+    # Byte-identical WAN accounting.
+    assert proxy.ledger.bypass_bytes == offline.breakdown.bypass_bytes
+    assert proxy.ledger.load_bytes == offline.breakdown.load_bytes
+    assert proxy.ledger.wan_bytes == offline.total_bytes
+    # Identical decision sequences.
+    assert online_loads == offline.loads
+    assert online_evictions == offline.evictions
+    assert proxy.policy.queries_served == offline.served_queries
+    # Single-server trace: both paths charge exact per-link costs.
+    assert proxy.ledger.wan_cost == pytest.approx(offline.weighted_cost)
+    # The proxy's decision trace matches its own ledger.
+    assert proxy_instr.counters["wan.bypass_bytes"] == (
+        proxy.ledger.bypass_bytes
+    )
+    assert proxy_instr.counters["wan.load_bytes"] == (
+        proxy.ledger.load_bytes
+    )
+
+
+def test_decision_traces_identical_event_by_event():
+    """Per-query decision events agree between the two drivers."""
+    trace = _trace()
+    federation_a = _federation(2.0)
+    prepared = prepare_trace(trace, Mediator(federation_a))
+    capacity = federation_a.total_database_bytes() // 3
+
+    sim_instr = Instrumentation()
+    run_single(
+        prepared,
+        federation_a,
+        "rate-profile",
+        capacity,
+        "table",
+        instrumentation=sim_instr,
+    )
+
+    federation_b = _federation(2.0)
+    proxy_instr = Instrumentation()
+    proxy = BypassYieldProxy(
+        federation_b,
+        RateProfilePolicy(capacity_bytes=capacity),
+        granularity="table",
+        instrumentation=proxy_instr,
+    )
+    for record in trace:
+        proxy.query(record.sql)
+
+    sim_events = list(sim_instr.events)
+    proxy_events = list(proxy_instr.events)
+    assert len(sim_events) == len(proxy_events) == len(trace)
+    for sim_event, proxy_event in zip(sim_events, proxy_events):
+        assert sim_event.index == proxy_event.index
+        assert sim_event.served_from_cache == proxy_event.served_from_cache
+        assert sim_event.loads == proxy_event.loads
+        assert sim_event.evictions == proxy_event.evictions
+        assert sim_event.load_bytes == proxy_event.load_bytes
+        assert sim_event.bypass_bytes == proxy_event.bypass_bytes
+        assert sim_event.weighted_cost == pytest.approx(
+            proxy_event.weighted_cost
+        )

@@ -1,5 +1,7 @@
 """Tests for multi-client fleet simulation."""
 
+import os
+
 import pytest
 
 from repro.core.policies.baselines import NoCachePolicy, StaticPolicy
@@ -114,3 +116,82 @@ class TestSimulateFleet:
         assert result.total_bytes == 0
         assert result.savings_factor == float("inf")
         assert result.mean_hit_rate == 0.0
+
+    def test_weighted_cost_sums_per_client_link_costs(self, federation):
+        federation.network.set_link("sdss", 2.0)
+        clients = [
+            ClientSite("a", prepared_trace("a", [100, 100]), NoCachePolicy()),
+            ClientSite("b", prepared_trace("b", [50]), NoCachePolicy()),
+        ]
+        result = simulate_fleet(federation, clients)
+        assert result.weighted_cost == pytest.approx(250 * 2.0)
+
+    def test_summary_aggregates_fleet(self, federation):
+        photo = federation.object_size("PhotoObj")
+        clients = [
+            ClientSite(
+                "hit",
+                prepared_trace("h", [10]),
+                StaticPolicy(photo, {"PhotoObj": photo}),
+            ),
+            ClientSite("miss", prepared_trace("m", [10]), NoCachePolicy()),
+        ]
+        summary = simulate_fleet(federation, clients).summary()
+        assert summary["clients"] == 2
+        assert summary["total_bytes"] == 10
+        assert summary["sequence_bytes"] == 20
+        assert summary["mean_hit_rate"] == pytest.approx(0.5)
+        assert summary["savings_factor"] == pytest.approx(2.0)
+
+
+class TestParallelFleet:
+    def fleet(self, federation):
+        photo = federation.object_size("PhotoObj")
+        hot = [float(photo)] * 40
+        return [
+            ClientSite(
+                "alpha", prepared_trace("alpha", hot),
+                RateProfilePolicy(capacity_bytes=photo * 2),
+            ),
+            ClientSite(
+                "beta", prepared_trace("beta", [200] * 60), NoCachePolicy()
+            ),
+            ClientSite(
+                "gamma", prepared_trace("gamma", hot[:25]),
+                RateProfilePolicy(capacity_bytes=photo * 2),
+            ),
+        ]
+
+    def test_parallel_matches_serial(self, federation):
+        serial = simulate_fleet(federation, self.fleet(federation))
+        parallel = simulate_fleet(
+            federation,
+            self.fleet(federation),
+            parallel=True,
+            max_workers=2,
+        )
+        assert list(parallel.per_client) == list(serial.per_client)
+        for name, expected in serial.per_client.items():
+            got = parallel.per_client[name]
+            assert got.total_bytes == expected.total_bytes
+            assert (
+                got.breakdown.bypass_bytes == expected.breakdown.bypass_bytes
+            )
+            assert got.breakdown.load_bytes == expected.breakdown.load_bytes
+            assert got.weighted_cost == pytest.approx(expected.weighted_cost)
+            assert got.loads == expected.loads
+            assert got.evictions == expected.evictions
+            assert got.served_queries == expected.served_queries
+        assert parallel.total_bytes == serial.total_bytes
+        assert parallel.summary() == serial.summary()
+
+    def test_parallel_runs_in_worker_processes(self, federation):
+        result = simulate_fleet(
+            federation,
+            self.fleet(federation),
+            parallel=True,
+            max_workers=2,
+        )
+        pids = {r.worker_pid for r in result.per_client.values()}
+        assert None not in pids
+        assert os.getpid() not in pids

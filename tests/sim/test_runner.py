@@ -1,5 +1,7 @@
 """Unit tests for the experiment runner (comparisons and sweeps)."""
 
+import os
+
 import pytest
 
 from repro.core.policies.baselines import StaticPolicy
@@ -9,22 +11,18 @@ from repro.sim.runner import (
     build_policy,
     compare_policies,
     run_single,
+    run_sweep,
     sweep_cache_sizes,
 )
+from repro.sim.simulator import SAMPLED_SERIES_POINTS
 from repro.workload.trace import PreparedQuery, PreparedTrace
 
 from tests.conftest import build_catalog
 
 
-@pytest.fixture
-def federation():
-    return Federation.single_site(build_catalog(), "sdss")
-
-
-@pytest.fixture
-def trace():
+def make_trace(n=20, name="unit"):
     queries = []
-    for i in range(20):
+    for i in range(n):
         table = "PhotoObj" if i % 4 else "SpecObj"
         queries.append(
             PreparedQuery(
@@ -38,7 +36,17 @@ def trace():
                 servers=("sdss",),
             )
         )
-    return PreparedTrace("unit", queries)
+    return PreparedTrace(name, queries)
+
+
+@pytest.fixture
+def federation():
+    return Federation.single_site(build_catalog(), "sdss")
+
+
+@pytest.fixture
+def trace():
+    return make_trace(20)
 
 
 class TestBuildPolicy:
@@ -109,3 +117,179 @@ class TestRunners:
             sweep_cache_sizes(
                 trace, federation, fractions=(0.0,), policies=("static",)
             )
+
+    def test_bad_fraction_rejected_before_any_work(self, federation, trace):
+        # Validation happens before cells are dispatched, parallel or not.
+        with pytest.raises(CacheError):
+            run_sweep(
+                trace,
+                federation,
+                fractions=(0.5, 1.5),
+                policies=("static",),
+                parallel=True,
+            )
+
+
+class TestParallelExecution:
+    """ISSUE acceptance: parallel results identical to serial, in
+    deterministic order, while exercising multiple worker processes."""
+
+    POLICIES = ("rate-profile", "online-by", "gds", "static", "no-cache")
+
+    def test_compare_policies_parallel_matches_serial(self, federation):
+        trace = make_trace(400)
+        capacity = federation.total_database_bytes() // 2
+        serial = compare_policies(
+            trace,
+            federation,
+            capacity,
+            "table",
+            policies=self.POLICIES,
+            record_series=False,
+        )
+        parallel = compare_policies(
+            trace,
+            federation,
+            capacity,
+            "table",
+            policies=self.POLICIES,
+            record_series=False,
+            parallel=True,
+            max_workers=2,
+        )
+        assert list(parallel) == list(serial) == list(self.POLICIES)
+        for name in self.POLICIES:
+            assert parallel[name].total_bytes == serial[name].total_bytes
+            assert (
+                parallel[name].breakdown.bypass_bytes
+                == serial[name].breakdown.bypass_bytes
+            )
+            assert (
+                parallel[name].breakdown.load_bytes
+                == serial[name].breakdown.load_bytes
+            )
+            assert parallel[name].weighted_cost == pytest.approx(
+                serial[name].weighted_cost
+            )
+            assert parallel[name].loads == serial[name].loads
+            assert parallel[name].evictions == serial[name].evictions
+            assert (
+                parallel[name].served_queries == serial[name].served_queries
+            )
+
+    def test_parallel_runs_in_worker_processes(self, federation):
+        trace = make_trace(400)
+        results = compare_policies(
+            trace,
+            federation,
+            federation.total_database_bytes() // 2,
+            "table",
+            policies=self.POLICIES,
+            record_series=False,
+            parallel=True,
+            max_workers=2,
+        )
+        pids = {result.worker_pid for result in results.values()}
+        assert None not in pids  # every cell ran through the pool
+        assert os.getpid() not in pids  # ...in a child process
+
+    def test_serial_results_carry_no_worker_pid(self, federation, trace):
+        result = run_single(trace, federation, "no-cache", 100, "table")
+        assert result.worker_pid is None
+
+    def test_run_sweep_parallel_identical_to_serial(self, federation):
+        trace = make_trace(200)
+        kwargs = dict(
+            granularity="table",
+            fractions=(0.25, 0.5, 1.0),
+            policies=("gds", "static", "no-cache"),
+        )
+        serial = run_sweep(trace, federation, **kwargs)
+        parallel = run_sweep(
+            trace, federation, parallel=True, max_workers=2, **kwargs
+        )
+
+        def rows(sweep):
+            return [
+                (
+                    p.policy_name,
+                    p.cache_fraction,
+                    p.capacity_bytes,
+                    p.total_bytes,
+                )
+                for p in sweep.points
+            ]
+
+        assert rows(parallel) == rows(serial)
+        # Deterministic ordering: fractions outer, policies inner.
+        assert [p.cache_fraction for p in parallel.points] == [
+            0.25, 0.25, 0.25, 0.5, 0.5, 0.5, 1.0, 1.0, 1.0
+        ]
+
+    def test_run_sweep_honors_policy_sees_weights(self, federation):
+        federation.network.set_link("sdss", 3.0)
+        trace = make_trace(60)
+        kwargs = dict(
+            granularity="table",
+            fractions=(0.4,),
+            policies=("online-by",),
+        )
+        byhr = run_sweep(trace, federation, **kwargs)
+        byu = run_sweep(
+            trace, federation, policy_sees_weights=False, **kwargs
+        )
+        byhr_par = run_sweep(
+            trace, federation, parallel=True, max_workers=2, **kwargs
+        )
+        byu_par = run_sweep(
+            trace,
+            federation,
+            policy_sees_weights=False,
+            parallel=True,
+            max_workers=2,
+            **kwargs,
+        )
+        assert byhr_par.points[0].total_bytes == byhr.points[0].total_bytes
+        assert byu_par.points[0].total_bytes == byu.points[0].total_bytes
+
+
+class TestSampledSeries:
+    def test_sampled_series_is_strided_subsequence(self, federation):
+        trace = make_trace(1100)
+        full = run_single(
+            trace, federation, "no-cache", 100, record_series=True
+        )
+        sampled = run_single(
+            trace, federation, "no-cache", 100, record_series="sampled"
+        )
+        stride = max(1, 1100 // SAMPLED_SERIES_POINTS)
+        assert stride > 1  # the trace is long enough to downsample
+        assert sampled.series_stride == stride
+        assert full.series_stride == 1
+        expected = [
+            full.cumulative_bytes[i]
+            for i in range(1100)
+            if (i + 1) % stride == 0 or i == 1100 - 1
+        ]
+        assert sampled.cumulative_bytes == expected
+        assert len(sampled.cumulative_bytes) < len(full.cumulative_bytes)
+        # Totals are exact regardless of what the series retains.
+        assert sampled.cumulative_bytes[-1] == full.cumulative_bytes[-1]
+        assert sampled.total_bytes == full.total_bytes
+
+    def test_sampled_short_trace_keeps_every_point(self, federation, trace):
+        sampled = run_single(
+            trace, federation, "no-cache", 100, record_series="sampled"
+        )
+        full = run_single(
+            trace, federation, "no-cache", 100, record_series=True
+        )
+        assert sampled.series_stride == 1
+        assert sampled.cumulative_bytes == full.cumulative_bytes
+
+    def test_record_series_false_records_nothing(self, federation, trace):
+        result = run_single(
+            trace, federation, "no-cache", 100, record_series=False
+        )
+        assert result.cumulative_bytes == []
+        assert result.total_bytes == 20 * 120
