@@ -1,0 +1,25 @@
+"""Static-analysis tooling for the reproduction codebase.
+
+* :mod:`repro.analysis.lint` — ``repro-lint``: a domain-aware AST
+  linter enforcing the invariants the decision pipeline's correctness
+  rests on (typed byte/cost units, simulator determinism, policy
+  conformance, accounting discipline).
+"""
+
+from repro.analysis.lint import (
+    RULE_REGISTRY,
+    LintViolation,
+    Rule,
+    lint_file,
+    lint_paths,
+    register_rule,
+)
+
+__all__ = [
+    "RULE_REGISTRY",
+    "LintViolation",
+    "Rule",
+    "lint_file",
+    "lint_paths",
+    "register_rule",
+]

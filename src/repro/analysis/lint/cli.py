@@ -1,0 +1,86 @@
+"""Command-line front end for ``repro-lint``.
+
+Exit codes follow the usual linter convention:
+
+* ``0`` — no violations,
+* ``1`` — violations found (each printed as ``path:line:col: RULE …``),
+* ``2`` — tooling error (unknown rule, missing path, …).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.lint.engine import RULE_REGISTRY, lint_paths
+from repro.errors import AnalysisError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Domain-aware static analysis for the bypass-caching "
+            "reproduction: typed byte/cost units, deterministic replay, "
+            "policy conformance, and WAN accounting discipline."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _list_rules() -> int:
+    # Ensure built-in rules are registered before listing.
+    import repro.analysis.lint.rules  # noqa: F401
+
+    for rule_id in sorted(RULE_REGISTRY):
+        print(f"{rule_id}  {RULE_REGISTRY[rule_id].summary}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        return _list_rules()
+
+    paths: List[Path] = options.paths or [Path("src")]
+    select = (
+        options.select.split(",") if options.select is not None else None
+    )
+    try:
+        violations = lint_paths(paths, select=select)
+    except AnalysisError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        count = len(violations)
+        plural = "" if count == 1 else "s"
+        print(f"repro-lint: {count} violation{plural}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,224 @@
+"""The ``repro-lint`` rule engine.
+
+A rule is a class with an ``id`` (``RPR<nnn>``), a one-line ``summary``,
+an ``applies_to`` path predicate, and a ``check`` generator yielding
+:class:`LintViolation` records from a parsed module.  Rules register
+themselves into :data:`RULE_REGISTRY` via the :func:`register_rule`
+decorator at import time, so adding a rule is one new module under
+:mod:`repro.analysis.lint.rules`.
+
+Violations can be suppressed per line with a pragma comment::
+
+    start = time.perf_counter()  # repro-lint: allow[RPR002] timers only
+
+The pragma names the rule it silences (``allow[RPR002]``) or silences
+every rule on the line (bare ``allow``); an optional trailing reason is
+encouraged.  The engine only parses files — fixture corpora with
+deliberate violations are safe to lint because nothing is executed.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
+
+from repro.errors import AnalysisError
+
+#: Pragma grammar: ``# repro-lint: allow[RPR001]`` or ``# repro-lint: allow``.
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*allow(?:\[(?P<rules>[A-Z0-9, ]+)\])?"
+)
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """The ``path:line:col: RULE message`` display form."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} {self.message}"
+        )
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one module under lint."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    @property
+    def posix(self) -> str:
+        """Forward-slash path string used for scope predicates."""
+        return self.path.as_posix()
+
+    def has_segments(self, *segments: str) -> bool:
+        """True when ``segments`` appear consecutively in the path."""
+        parts = self.path.parts
+        window = len(segments)
+        return any(
+            parts[i : i + window] == segments
+            for i in range(len(parts) - window + 1)
+        )
+
+
+class Rule(abc.ABC):
+    """Base class for every ``repro-lint`` rule."""
+
+    #: Stable identifier, ``RPR`` + three digits.
+    rule_id: str = "RPR000"
+    #: One-line description shown by ``repro-lint --list-rules``.
+    summary: str = ""
+
+    def applies_to(self, context: FileContext) -> bool:
+        """Whether this rule should run on ``context`` (default: yes)."""
+        return True
+
+    @abc.abstractmethod
+    def check(self, context: FileContext) -> Iterator[LintViolation]:
+        """Yield violations found in the module."""
+
+    def violation(
+        self, context: FileContext, node: ast.AST, message: str
+    ) -> LintViolation:
+        """Build a violation anchored at ``node``."""
+        return LintViolation(
+            rule_id=self.rule_id,
+            path=str(context.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+#: rule_id -> rule class; populated by :func:`register_rule`.
+RULE_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to :data:`RULE_REGISTRY`."""
+    rule_id = rule_class.rule_id
+    if not re.fullmatch(r"RPR\d{3}", rule_id):
+        raise AnalysisError(
+            f"rule id must match RPR<nnn>, got {rule_id!r}"
+        )
+    existing = RULE_REGISTRY.get(rule_id)
+    if existing is not None and existing is not rule_class:
+        raise AnalysisError(
+            f"duplicate registration for {rule_id}: "
+            f"{existing.__name__} vs {rule_class.__name__}"
+        )
+    RULE_REGISTRY[rule_id] = rule_class
+    return rule_class
+
+
+def _load_rules(select: Optional[Sequence[str]]) -> List[Rule]:
+    # Importing the rules package triggers registration; deferred so the
+    # engine module stays importable from rule modules without a cycle.
+    import repro.analysis.lint.rules  # noqa: F401
+
+    if select is None:
+        chosen = sorted(RULE_REGISTRY)
+    else:
+        chosen = []
+        for rule_id in select:
+            rule_id = rule_id.strip().upper()
+            if rule_id not in RULE_REGISTRY:
+                raise AnalysisError(
+                    f"unknown rule {rule_id!r}; known: "
+                    f"{', '.join(sorted(RULE_REGISTRY))}"
+                )
+            chosen.append(rule_id)
+    return [RULE_REGISTRY[rule_id]() for rule_id in chosen]
+
+
+def _suppressed(violation: LintViolation, lines: List[str]) -> bool:
+    if not 1 <= violation.line <= len(lines):
+        return False
+    match = _PRAGMA.search(lines[violation.line - 1])
+    if match is None:
+        return False
+    rules = match.group("rules")
+    if rules is None:
+        return True
+    allowed = {part.strip() for part in rules.split(",")}
+    return violation.rule_id in allowed
+
+
+def lint_source(
+    source: str,
+    path: Path,
+    select: Optional[Sequence[str]] = None,
+) -> List[LintViolation]:
+    """Lint one module given its source text."""
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            LintViolation(
+                rule_id="RPR000",
+                path=str(path),
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    context = FileContext(
+        path=path,
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+    )
+    violations: List[LintViolation] = []
+    for rule in _load_rules(select):
+        if not rule.applies_to(context):
+            continue
+        for violation in rule.check(context):
+            if not _suppressed(violation, context.lines):
+                violations.append(violation)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return violations
+
+
+def lint_file(
+    path: Path, select: Optional[Sequence[str]] = None
+) -> List[LintViolation]:
+    """Lint one ``.py`` file."""
+    source = Path(path).read_text(encoding="utf-8")
+    return lint_source(source, Path(path), select)
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+        elif not path.exists():
+            raise AnalysisError(f"no such file or directory: {path}")
+
+
+def lint_paths(
+    paths: Iterable[Path], select: Optional[Sequence[str]] = None
+) -> List[LintViolation]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    violations: List[LintViolation] = []
+    for file_path in iter_python_files(paths):
+        violations.extend(lint_file(file_path, select))
+    return violations

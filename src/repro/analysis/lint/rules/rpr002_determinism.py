@@ -1,0 +1,180 @@
+"""RPR002 — nondeterminism in simulator/core hot paths.
+
+``run_sweep``/``compare_policies``/``simulate_fleet`` guarantee that
+``parallel=True`` and serial execution produce byte-identical results
+in deterministic order; replay equivalence between the simulator and
+the proxy rests on the same property.  Any unseeded entropy or
+order-unstable iteration inside ``repro.core`` / ``repro.sim`` silently
+breaks those guarantees, so this rule flags:
+
+* uses of the module-global ``random`` API (``random.random()``,
+  ``random.shuffle()``, …) and ``from random import …`` — seed a local
+  ``random.Random(seed)`` instead (``SpaceEffBY`` shows the pattern);
+* ``random.Random()`` constructed *without* a seed;
+* wall-clock and entropy reads: ``time.time``/``monotonic``/
+  ``perf_counter``/``process_time`` (and ``_ns`` variants),
+  ``datetime.now``/``utcnow``/``today``, ``os.urandom``,
+  ``uuid.uuid1``/``uuid4``, and anything from ``secrets``;
+* iterating directly over a ``set`` display or ``set(...)`` call in a
+  ``for`` loop or comprehension — set iteration order varies across
+  processes; sort first (``sorted(...)`` is deterministic).
+
+Observability-only exceptions (e.g. stage timers) carry an explicit
+``# repro-lint: allow[RPR002]`` pragma at the use site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.analysis.lint.engine import (
+    FileContext,
+    LintViolation,
+    Rule,
+    register_rule,
+)
+
+_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+}
+
+_DATETIME_NOW = {"now", "utcnow", "today"}
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for simple attribute chains, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@register_rule
+class NondeterminismRule(Rule):
+    """Flag entropy, wall clocks, and set iteration in hot paths."""
+
+    rule_id = "RPR002"
+    summary = (
+        "unseeded randomness, wall-clock reads, or set-iteration in "
+        "sim/core hot paths break deterministic-replay guarantees"
+    )
+
+    def applies_to(self, context: FileContext) -> bool:
+        return context.has_segments("core") or context.has_segments("sim")
+
+    def check(self, context: FileContext) -> Iterator[LintViolation]:
+        random_aliases = self._random_aliases(context.tree)
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module in {"random", "secrets"}:
+                    yield self.violation(
+                        context,
+                        node,
+                        f"from {node.module} import … pulls module-global "
+                        f"entropy; construct a seeded random.Random(seed)",
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(context, node, random_aliases)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_iteration(context, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for generator in node.generators:
+                    yield from self._check_iteration(context, generator.iter)
+
+    @staticmethod
+    def _random_aliases(tree: ast.Module) -> Set[str]:
+        aliases = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        aliases.add(alias.asname or "random")
+        return aliases
+
+    def _check_call(
+        self,
+        context: FileContext,
+        node: ast.Call,
+        random_aliases: Set[str],
+    ) -> Iterator[LintViolation]:
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        head, _, method = dotted.rpartition(".")
+        if head in random_aliases:
+            if method == "Random":
+                if not node.args and not node.keywords:
+                    yield self.violation(
+                        context,
+                        node,
+                        "random.Random() without a seed is entropy-"
+                        "dependent; pass an explicit seed",
+                    )
+                return
+            if method == "SystemRandom":
+                yield self.violation(
+                    context,
+                    node,
+                    "random.SystemRandom is OS entropy; use a seeded "
+                    "random.Random(seed)",
+                )
+                return
+            yield self.violation(
+                context,
+                node,
+                f"module-global {dotted}() is unseeded shared state; "
+                f"use a seeded random.Random(seed) instance",
+            )
+            return
+        if dotted in _CLOCK_CALLS or dotted.startswith("secrets."):
+            yield self.violation(
+                context,
+                node,
+                f"{dotted}() reads wall-clock/OS entropy; hot paths "
+                f"must be replay-deterministic (pragma-allow if "
+                f"observability-only)",
+            )
+            return
+        if method in _DATETIME_NOW and head.split(".")[-1] in {
+            "datetime",
+            "date",
+        }:
+            yield self.violation(
+                context,
+                node,
+                f"{dotted}() reads the wall clock; derive time from the "
+                f"query index (the paper's notion of time)",
+            )
+
+    def _check_iteration(
+        self, context: FileContext, iterable: ast.expr
+    ) -> Iterator[LintViolation]:
+        is_set_display = isinstance(iterable, ast.Set)
+        is_set_call = (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id in {"set", "frozenset"}
+        )
+        if is_set_display or is_set_call:
+            yield self.violation(
+                context,
+                iterable,
+                "iterating a set has process-dependent order; iterate "
+                "sorted(...) for deterministic replay",
+            )

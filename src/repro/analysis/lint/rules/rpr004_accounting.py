@@ -1,0 +1,129 @@
+"""RPR004 — WAN-cost accounting discipline.
+
+The paper's headline numbers (D_S bypass bytes, D_L load bytes, the
+weighted WAN cost) are aggregated in exactly one place per layer:
+:class:`TrafficLedger` inside the federation, :class:`QueryAccounting`
+at the decision pipeline, and ``CostBreakdown``/``SimulationResult``
+in the simulator.  PR 1's audit found drift bugs caused by ad-hoc
+``result.load_bytes += …`` writes scattered across call sites, so this
+rule flags any assignment or augmented assignment to a WAN accounting
+attribute *outside* the owning classes' own methods.  Call sites must
+go through the sanctioned mutators (``TrafficLedger.record_load``,
+``TrafficLedger.restore``, ``SimulationResult.charge``, …) instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.analysis.lint.engine import (
+    FileContext,
+    LintViolation,
+    Rule,
+    register_rule,
+)
+
+#: Attribute names that carry WAN byte/cost totals.
+_ACCOUNTING_FIELDS = {
+    "load_bytes",
+    "bypass_bytes",
+    "cache_bytes",
+    "load_cost",
+    "bypass_cost",
+    "wan_bytes",
+    "wan_cost",
+    "weighted_cost",
+}
+
+#: Classes that own accounting state and may mutate it on ``self``.
+_SANCTIONED_OWNERS = {
+    "TrafficLedger",
+    "QueryAccounting",
+    "CostBreakdown",
+    "SimulationResult",
+    "FederatedResult",
+    "DecisionEvent",
+}
+
+
+def _attribute_write(target: ast.expr) -> Optional[Tuple[str, bool]]:
+    """``(field, is_self_write)`` when ``target`` writes ``x.<field>``."""
+    if not isinstance(target, ast.Attribute):
+        return None
+    if target.attr not in _ACCOUNTING_FIELDS:
+        return None
+    is_self = (
+        isinstance(target.value, ast.Name) and target.value.id == "self"
+    )
+    return target.attr, is_self
+
+
+@register_rule
+class AccountingDisciplineRule(Rule):
+    """Forbid ad-hoc writes to WAN byte/cost accounting fields."""
+
+    rule_id = "RPR004"
+    summary = (
+        "WAN accounting fields (load_bytes, bypass_cost, …) may only "
+        "be written by their owning accounting classes, never ad hoc"
+    )
+
+    def check(self, context: FileContext) -> Iterator[LintViolation]:
+        yield from self._walk(context, context.tree.body, owner=None)
+
+    def _walk(
+        self,
+        context: FileContext,
+        body: List[ast.stmt],
+        owner: Optional[str],
+    ) -> Iterator[LintViolation]:
+        for statement in body:
+            if isinstance(statement, ast.ClassDef):
+                yield from self._walk(
+                    context, statement.body, owner=statement.name
+                )
+                continue
+            targets: List[ast.expr] = []
+            if isinstance(statement, ast.Assign):
+                targets = list(statement.targets)
+            elif isinstance(statement, (ast.AugAssign, ast.AnnAssign)):
+                targets = [statement.target]
+            for target in targets:
+                yield from self._check_target(context, statement, target,
+                                              owner)
+            for child_body in self._child_bodies(statement):
+                yield from self._walk(context, child_body, owner)
+
+    @staticmethod
+    def _child_bodies(statement: ast.stmt) -> Iterator[List[ast.stmt]]:
+        for field_name in ("body", "orelse", "finalbody"):
+            child = getattr(statement, field_name, None)
+            if isinstance(child, list) and child:
+                if all(isinstance(item, ast.stmt) for item in child):
+                    yield child
+        for handler in getattr(statement, "handlers", []) or []:
+            yield handler.body
+
+    def _check_target(
+        self,
+        context: FileContext,
+        statement: ast.stmt,
+        target: ast.expr,
+        owner: Optional[str],
+    ) -> Iterator[LintViolation]:
+        write = _attribute_write(target)
+        if write is None:
+            return
+        field, is_self = write
+        if is_self and owner in _SANCTIONED_OWNERS:
+            return
+        holder = "self" if is_self else ast.unparse(target.value)
+        yield self.violation(
+            context,
+            statement,
+            f"ad-hoc write to {holder}.{field}; WAN accounting is "
+            f"owned by {sorted(_SANCTIONED_OWNERS)} — go through a "
+            f"sanctioned mutator (record_load/record_bypass/restore/"
+            f"charge)",
+        )

@@ -13,6 +13,9 @@
   views, WAN accounting).
 * :mod:`repro.core.instrumentation` — counters, decision events, stage
   timers, and pluggable probes for every replay.
+* :mod:`repro.core.units` — typed byte/cost units (``RawBytes``,
+  ``WeightedCost``, ``Yield``) and the sanctioned ``weigh`` /
+  ``unweigh`` conversions, checked by ``repro-lint``.
 """
 
 from repro.core.analysis import (
@@ -61,6 +64,19 @@ from repro.core.policies import (
 )
 from repro.core.ski_rental import SkiRental
 from repro.core.store import CacheStore
+from repro.core.units import (
+    UNIT_WEIGHT,
+    ZERO_BYTES,
+    ZERO_COST,
+    ZERO_YIELD,
+    RawBytes,
+    WeightedCost,
+    Yield,
+    per_byte_weight,
+    raw_bytes,
+    unweigh,
+    weigh,
+)
 from repro.core.yield_model import (
     attribute_yield_columns,
     attribute_yield_tables,
@@ -95,11 +111,18 @@ __all__ = [
     "ProxyResponse",
     "QueryAccounting",
     "RateProfilePolicy",
+    "RawBytes",
     "SemanticCachePolicy",
     "SkiRental",
     "SpaceEffBYPolicy",
     "StaticPolicy",
+    "UNIT_WEIGHT",
+    "WeightedCost",
     "WorkloadProfiler",
+    "Yield",
+    "ZERO_BYTES",
+    "ZERO_COST",
+    "ZERO_YIELD",
     "accumulate_object_yields",
     "attribute_yield_columns",
     "attribute_yield_tables",
@@ -110,7 +133,11 @@ __all__ = [
     "measure_competitive_ratio",
     "offline_single_object_opt",
     "opt_lower_bound",
+    "per_byte_weight",
+    "raw_bytes",
     "referenced_columns",
     "referenced_object_ids",
     "shared_catalog",
+    "unweigh",
+    "weigh",
 ]

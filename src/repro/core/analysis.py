@@ -12,9 +12,14 @@ empirical upper estimate of its competitive ratio.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence
 
 from repro.errors import CacheError
+
+if TYPE_CHECKING:
+    from repro.core.policies.base import CachePolicy
+    from repro.federation.federation import Federation
+    from repro.workload.trace import PreparedTrace
 
 
 def offline_single_object_opt(
@@ -101,9 +106,9 @@ def opt_lower_bound(
 
 
 def measure_competitive_ratio(
-    prepared_trace,
-    federation,
-    policy,
+    prepared_trace: "PreparedTrace",
+    federation: "Federation",
+    policy: "CachePolicy",
     granularity: str = "table",
 ) -> CompetitiveReport:
     """Run ``policy`` over the trace and compare against the bound."""

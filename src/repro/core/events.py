@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
+from repro.core.units import AnyRawBytes
 from repro.errors import CacheError
 
 
@@ -22,13 +23,16 @@ class ObjectRequest:
     Attributes:
         object_id: ``"Table"`` or ``"Table.column"``.
         size: Object size in bytes (cache space and load bytes).
-        fetch_cost: Link-weighted cost of loading the object.
-        yield_bytes: This query's yield attributed to this object (the
-            per-object share of the result bytes).
+        fetch_cost: Price of loading the object, in the active cost
+            view's currency (link-weighted under BYHR, raw bytes under
+            BYU).
+        yield_bytes: This query's yield attributed to this object,
+            quoted in the *same* currency as ``fetch_cost`` so the
+            policy's load-vs-savings comparison is dimensionally sound.
     """
 
     object_id: str
-    size: int
+    size: AnyRawBytes
     fetch_cost: float
     yield_bytes: float
 
@@ -60,8 +64,8 @@ class CacheQuery:
     """
 
     index: int
-    yield_bytes: int
-    bypass_bytes: int
+    yield_bytes: AnyRawBytes
+    bypass_bytes: AnyRawBytes
     objects: Tuple[ObjectRequest, ...]
     sql: str = ""
 

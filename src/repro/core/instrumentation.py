@@ -131,11 +131,11 @@ class Instrumentation:
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
         """Time a named stage; accumulates across calls."""
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro-lint: allow[RPR002] timers are observability-only
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - start
+            elapsed = time.perf_counter() - start  # repro-lint: allow[RPR002] timers are observability-only
             self.stage_seconds[name] = (
                 self.stage_seconds.get(name, 0.0) + elapsed
             )

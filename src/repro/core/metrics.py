@@ -11,13 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+from repro.core.units import AnyCost, AnyRawBytes, AnyYield
 from repro.errors import CacheError
 
 
 def byte_yield_hit_rate(
     query_profile: Sequence[Tuple[float, float]],
-    size: int,
-    fetch_cost: float,
+    size: AnyRawBytes,
+    fetch_cost: AnyCost,
 ) -> float:
     """BYHR (eq. 1): ``sum_j p_j * y_j * f / s^2``.
 
@@ -41,7 +42,7 @@ def byte_yield_hit_rate(
 
 
 def byte_yield_utility(
-    query_profile: Sequence[Tuple[float, float]], size: int
+    query_profile: Sequence[Tuple[float, float]], size: AnyRawBytes
 ) -> float:
     """BYU (eq. 2): ``sum_j p_j * y_j / s``.
 
@@ -73,8 +74,8 @@ def _validate_profile(
 class ObjectProfile:
     """Aged access statistics for one object."""
 
-    size: int
-    fetch_cost: float
+    size: AnyRawBytes
+    fetch_cost: AnyCost
     weighted_yield: float = 0.0  # aged sum of per-access yields
     weight: float = 0.0          # aged access count
     accesses: int = 0
@@ -109,9 +110,9 @@ class WorkloadProfiler:
     def observe(
         self,
         object_id: str,
-        yield_bytes: float,
-        size: int,
-        fetch_cost: float,
+        yield_bytes: AnyYield,
+        size: AnyRawBytes,
+        fetch_cost: AnyCost,
     ) -> None:
         """Record one access to ``object_id`` yielding ``yield_bytes``."""
         self._total_weight = self._total_weight * self._decay + 1.0

@@ -33,12 +33,23 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.events import CacheQuery, Decision, ObjectRequest
 from repro.core.instrumentation import DecisionEvent, Instrumentation
+from repro.core.units import (
+    UNIT_WEIGHT,
+    ZERO_BYTES,
+    ZERO_COST,
+    RawBytes,
+    WeightedCost,
+    per_byte_weight,
+    raw_bytes,
+    weigh,
+)
 from repro.core.yield_model import (
     attribute_yield_columns,
     attribute_yield_tables,
 )
 from repro.errors import CacheError
 from repro.federation.federation import Federation
+from repro.sqlengine.planner import QueryPlan
 from repro.workload.trace import PreparedQuery
 
 GRANULARITIES = ("table", "column")
@@ -49,21 +60,21 @@ class ObjectCatalog:
 
     def __init__(self, federation: Federation) -> None:
         self._federation = federation
-        self._sizes: Dict[str, int] = {}
-        self._costs: Dict[str, float] = {}
+        self._sizes: Dict[str, RawBytes] = {}
+        self._costs: Dict[str, WeightedCost] = {}
         self._servers: Dict[str, str] = {}
 
-    def size(self, object_id: str) -> int:
+    def size(self, object_id: str) -> RawBytes:
         cached = self._sizes.get(object_id)
         if cached is None:
-            cached = self._federation.object_size(object_id)
+            cached = raw_bytes(self._federation.object_size(object_id))
             self._sizes[object_id] = cached
         return cached
 
-    def fetch_cost(self, object_id: str) -> float:
+    def fetch_cost(self, object_id: str) -> WeightedCost:
         cached = self._costs.get(object_id)
         if cached is None:
-            cached = self._federation.fetch_cost(object_id)
+            cached = WeightedCost(self._federation.fetch_cost(object_id))
             self._costs[object_id] = cached
         return cached
 
@@ -103,18 +114,18 @@ class QueryAccounting:
         bypass_cost: Link-weighted cost of the bypass (0 on hits).
     """
 
-    load_bytes: int
-    load_cost: float
-    bypass_bytes: int
-    bypass_cost: float
+    load_bytes: RawBytes
+    load_cost: WeightedCost
+    bypass_bytes: RawBytes
+    bypass_cost: WeightedCost
 
     @property
-    def wan_bytes(self) -> int:
-        return self.load_bytes + self.bypass_bytes
+    def wan_bytes(self) -> RawBytes:
+        return RawBytes(self.load_bytes + self.bypass_bytes)
 
     @property
-    def weighted_cost(self) -> float:
-        return self.load_cost + self.bypass_cost
+    def weighted_cost(self) -> WeightedCost:
+        return WeightedCost(self.load_cost + self.bypass_cost)
 
 
 class DecisionPipeline:
@@ -156,7 +167,9 @@ class DecisionPipeline:
 
     # -- query construction ---------------------------------------------
 
-    def attribute(self, plan, yield_bytes: int) -> Dict[str, float]:
+    def attribute(
+        self, plan: QueryPlan, yield_bytes: int
+    ) -> Dict[str, float]:
         """Per-object yield shares of a planned query (§6 rules)."""
         if self.granularity == "table":
             return attribute_yield_tables(plan, yield_bytes)
@@ -174,15 +187,21 @@ class DecisionPipeline:
         requests: List[ObjectRequest] = []
         for object_id, share in sorted(object_yields.items()):
             size = self.catalog.size(object_id)
+            # Both view quantities cross the ObjectRequest boundary as
+            # plain floats; each branch fills them in one currency.
+            fetch_cost: float
+            shown_yield: float
             if self.policy_sees_weights:
                 # BYHR view: both the load price and the per-query
                 # savings are expressed in link-weighted cost units, so
                 # an object behind an expensive link is *more* valuable
                 # to cache (eq. 1's f factor), not less.
-                fetch_cost = self.catalog.fetch_cost(object_id)
-                weight = fetch_cost / size
-                shown_yield = share * weight
+                weighted_fetch = self.catalog.fetch_cost(object_id)
+                weight = per_byte_weight(weighted_fetch, size)
+                fetch_cost = weighted_fetch
+                shown_yield = weigh(share, weight)
             else:
+                # BYU view: both currencies are raw bytes.
                 fetch_cost = float(size)
                 shown_yield = share
             requests.append(
@@ -217,13 +236,17 @@ class DecisionPipeline:
 
     def load_accounting(
         self, object_ids: Sequence[str]
-    ) -> Tuple[int, float]:
+    ) -> Tuple[RawBytes, WeightedCost]:
         """(bytes, weighted cost) of loading ``object_ids`` whole."""
-        load_bytes = 0
-        load_cost = 0.0
+        load_bytes = ZERO_BYTES
+        load_cost = ZERO_COST
         for object_id in object_ids:
-            load_bytes += self.catalog.size(object_id)
-            load_cost += self.catalog.fetch_cost(object_id)
+            load_bytes = RawBytes(
+                load_bytes + self.catalog.size(object_id)
+            )
+            load_cost = WeightedCost(
+                load_cost + self.catalog.fetch_cost(object_id)
+            )
         return load_bytes, load_cost
 
     def bypass_cost(
@@ -231,7 +254,7 @@ class DecisionPipeline:
         bypass_bytes: int,
         servers: Sequence[str] = (),
         per_server_bytes: Optional[Mapping[str, int]] = None,
-    ) -> float:
+    ) -> WeightedCost:
         """Link-weighted cost of bypassing one query.
 
         With exact ``per_server_bytes`` (the online path's decomposed
@@ -241,19 +264,22 @@ class DecisionPipeline:
         involved links.
         """
         if per_server_bytes is not None:
-            return sum(
-                self.federation.network.cost(server, num_bytes)
-                for server, num_bytes in per_server_bytes.items()
+            return WeightedCost(
+                sum(
+                    self.federation.network.cost(server, num_bytes)
+                    for server, num_bytes in per_server_bytes.items()
+                )
             )
         if not servers:
-            return float(bypass_bytes)
+            return weigh(bypass_bytes, UNIT_WEIGHT)
         if len(servers) == 1:
             return self.federation.network.cost(servers[0], bypass_bytes)
         weights = [
             self.federation.network.link(server).weight
             for server in servers
         ]
-        return bypass_bytes * (sum(weights) / len(weights))
+        mean_weight = sum(weights) / len(weights)
+        return weigh(bypass_bytes, mean_weight)
 
     def account(
         self,
@@ -265,9 +291,9 @@ class DecisionPipeline:
         """Charge one decision: loads always, bypass unless served."""
         load_bytes, load_cost = self.load_accounting(decision.loads)
         if decision.served_from_cache:
-            charged_bypass, charged_cost = 0, 0.0
+            charged_bypass, charged_cost = ZERO_BYTES, ZERO_COST
         else:
-            charged_bypass = bypass_bytes
+            charged_bypass = raw_bytes(bypass_bytes)
             charged_cost = self.bypass_cost(
                 bypass_bytes, servers, per_server_bytes
             )

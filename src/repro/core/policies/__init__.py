@@ -5,7 +5,7 @@ capacity in bytes; :func:`make_policy` is the factory the simulator and
 benchmarks use.
 """
 
-from typing import Callable, Dict
+from typing import Any, Callable, Dict
 
 from repro.core.policies.base import CachePolicy
 from repro.core.policies.baselines import (
@@ -26,6 +26,7 @@ from repro.core.policies.static_select import (
     choose_static_objects,
     choose_static_objects_exact,
 )
+from repro.core.units import AnyRawBytes
 from repro.errors import CacheError
 
 POLICY_REGISTRY: Dict[str, Callable[[int], CachePolicy]] = {
@@ -43,7 +44,9 @@ POLICY_REGISTRY: Dict[str, Callable[[int], CachePolicy]] = {
 }
 
 
-def make_policy(name: str, capacity_bytes: int, **kwargs) -> CachePolicy:
+def make_policy(
+    name: str, capacity_bytes: AnyRawBytes, **kwargs: Any
+) -> CachePolicy:
     """Instantiate a registered policy by name.
 
     Raises:

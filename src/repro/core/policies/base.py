@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 from repro.core.events import CacheQuery, Decision
 from repro.core.store import CacheStore
+from repro.core.units import AnyRawBytes
 from repro.errors import CacheError
 
 
@@ -26,7 +27,7 @@ class CachePolicy(abc.ABC):
     #: which always try to cache what they serve).
     supports_bypass: bool = True
 
-    def __init__(self, capacity_bytes: int) -> None:
+    def __init__(self, capacity_bytes: AnyRawBytes) -> None:
         self.store = CacheStore(capacity_bytes)
         self.queries_seen = 0
         self.queries_served = 0

@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.events import CacheQuery, Decision, ObjectRequest
 from repro.core.policies.base import CachePolicy
+from repro.core.units import AnyRawBytes
 from repro.errors import CacheError
 
 
@@ -34,7 +35,7 @@ class NoCachePolicy(CachePolicy):
     name = "no-cache"
     supports_bypass = True
 
-    def __init__(self, capacity_bytes: int = 1) -> None:
+    def __init__(self, capacity_bytes: AnyRawBytes = 1) -> None:
         super().__init__(capacity_bytes)
 
     def decide(self, query: CacheQuery) -> Decision:
@@ -109,7 +110,7 @@ class GreedyDualSizePolicy(_InlineObjectPolicy):
 
     name = "gds"
 
-    def __init__(self, capacity_bytes: int) -> None:
+    def __init__(self, capacity_bytes: AnyRawBytes) -> None:
         super().__init__(capacity_bytes)
         self._inflation = 0.0
         self._h_values: Dict[str, float] = {}
@@ -156,7 +157,7 @@ class GDSPopularityPolicy(GreedyDualSizePolicy):
 
     name = "gdsp"
 
-    def __init__(self, capacity_bytes: int) -> None:
+    def __init__(self, capacity_bytes: AnyRawBytes) -> None:
         super().__init__(capacity_bytes)
         self._frequency: Dict[str, int] = {}
 
@@ -179,7 +180,7 @@ class LRUPolicy(_InlineObjectPolicy):
 
     name = "lru"
 
-    def __init__(self, capacity_bytes: int) -> None:
+    def __init__(self, capacity_bytes: AnyRawBytes) -> None:
         super().__init__(capacity_bytes)
         self._order: "OrderedDict[str, None]" = OrderedDict()
 
@@ -204,7 +205,7 @@ class LFUPolicy(_InlineObjectPolicy):
 
     name = "lfu"
 
-    def __init__(self, capacity_bytes: int) -> None:
+    def __init__(self, capacity_bytes: AnyRawBytes) -> None:
         super().__init__(capacity_bytes)
         self._counts: Dict[str, int] = {}
 
@@ -270,7 +271,7 @@ class LRUKPolicy(_InlineObjectPolicy):
 
     name = "lru-k"
 
-    def __init__(self, capacity_bytes: int, k: int = 2) -> None:
+    def __init__(self, capacity_bytes: AnyRawBytes, k: int = 2) -> None:
         super().__init__(capacity_bytes)
         if k <= 0:
             raise CacheError("k must be positive")
@@ -326,7 +327,7 @@ class StaticPolicy(CachePolicy):
 
     def __init__(
         self,
-        capacity_bytes: int,
+        capacity_bytes: AnyRawBytes,
         objects: Dict[str, int],
     ) -> None:
         """Args:
@@ -355,7 +356,7 @@ class SemanticCachePolicy(CachePolicy):
 
     name = "semantic"
 
-    def __init__(self, capacity_bytes: int) -> None:
+    def __init__(self, capacity_bytes: AnyRawBytes) -> None:
         super().__init__(capacity_bytes)
         self._order: "OrderedDict[str, None]" = OrderedDict()
 

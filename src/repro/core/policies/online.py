@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 from repro.core.events import CacheQuery, Decision, ObjectRequest
 from repro.core.object_cache import BypassObjectCache
 from repro.core.policies.base import CachePolicy
+from repro.core.units import AnyRawBytes
 from repro.errors import CacheError
 
 
@@ -38,7 +39,7 @@ class OnlineBYPolicy(CachePolicy):
     name = "online-by"
 
     def __init__(
-        self, capacity_bytes: int, admission: str = "rent-to-buy"
+        self, capacity_bytes: AnyRawBytes, admission: str = "rent-to-buy"
     ) -> None:
         super().__init__(capacity_bytes)
         self.object_cache = BypassObjectCache(
@@ -100,7 +101,7 @@ class SpaceEffBYPolicy(CachePolicy):
 
     name = "space-eff-by"
 
-    def __init__(self, capacity_bytes: int, seed: int = 17) -> None:
+    def __init__(self, capacity_bytes: AnyRawBytes, seed: int = 17) -> None:
         super().__init__(capacity_bytes)
         self.object_cache = BypassObjectCache(self.store)
         self._rng = random.Random(seed)

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.events import CacheQuery, Decision, ObjectRequest
 from repro.core.policies.base import CachePolicy
+from repro.core.units import AnyRawBytes
 from repro.errors import CacheError
 
 
@@ -141,7 +142,7 @@ class RateProfilePolicy(CachePolicy):
 
     def __init__(
         self,
-        capacity_bytes: int,
+        capacity_bytes: AnyRawBytes,
         episode_cut: float = 0.5,
         idle_cut: int = 1000,
         episode_decay: float = 0.6,

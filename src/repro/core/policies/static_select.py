@@ -9,15 +9,19 @@ whenever objects are small relative to capacity (our traces).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.core.units import AnyRawBytes
 from repro.errors import CacheError
+
+if TYPE_CHECKING:
+    from repro.workload.trace import PreparedQuery
 
 
 def choose_static_objects(
     object_yields: Dict[str, float],
     object_sizes: Dict[str, int],
-    capacity_bytes: int,
+    capacity_bytes: AnyRawBytes,
 ) -> Dict[str, int]:
     """Pick objects by descending yield density until capacity fills.
 
@@ -60,7 +64,7 @@ EXACT_SELECTION_LIMIT = 20
 def choose_static_objects_exact(
     object_yields: Dict[str, float],
     object_sizes: Dict[str, int],
-    capacity_bytes: int,
+    capacity_bytes: AnyRawBytes,
 ) -> Dict[str, int]:
     """Exact knapsack by subset enumeration (small instances only).
 
@@ -113,7 +117,7 @@ def choose_static_objects_exact(
 
 
 def accumulate_object_yields(
-    prepared_queries, granularity: str
+    prepared_queries: "Iterable[PreparedQuery]", granularity: str
 ) -> Dict[str, float]:
     """Sum attributed yields per object over a prepared trace."""
     totals: Dict[str, float] = {}

@@ -22,15 +22,18 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import ContextManager, Dict, Iterable, List, Optional
 
 from repro.core.events import CacheQuery
 from repro.core.instrumentation import Instrumentation
 from repro.core.pipeline import DecisionPipeline, QueryAccounting
+from repro.core.units import ZERO_BYTES, ZERO_COST, RawBytes, WeightedCost
 from repro.core.policies.base import CachePolicy
 from repro.federation.federation import Federation
 from repro.federation.mediator import Mediator
+from repro.federation.network import TrafficLedger
 from repro.sqlengine.executor import ResultSet
+from repro.sqlengine.planner import QueryPlan
 
 
 @dataclass
@@ -101,11 +104,11 @@ class BypassYieldProxy:
         return self.pipeline.instrumentation
 
     @property
-    def ledger(self):
+    def ledger(self) -> TrafficLedger:
         """The WAN traffic ledger (see Figure 1's flows)."""
         return self.mediator.ledger
 
-    def _stage(self, name: str):
+    def _stage(self, name: str) -> ContextManager[None]:
         instrumentation = self.pipeline.instrumentation
         if instrumentation is None:
             return nullcontext()
@@ -120,7 +123,9 @@ class BypassYieldProxy:
         result = self.mediator.evaluate(sql, plan)
         return self._build_event(sql, plan, result)
 
-    def _build_event(self, sql: str, plan, result: ResultSet) -> CacheQuery:
+    def _build_event(
+        self, sql: str, plan: QueryPlan, result: ResultSet
+    ) -> CacheQuery:
         yield_bytes = result.byte_size
         with self._stage("proxy.attribute"):
             shares = self.pipeline.attribute(plan, yield_bytes)
@@ -144,15 +149,15 @@ class BypassYieldProxy:
         index = self.queries_handled
         self.queries_handled += 1
 
-        load_bytes = 0
-        load_cost = 0.0
+        load_bytes = ZERO_BYTES
+        load_cost = ZERO_COST
         with self._stage("proxy.transfer"):
             for object_id in decision.loads:
                 size, cost = self.mediator.load_object(object_id)
-                load_bytes += size
-                load_cost += cost
+                load_bytes = RawBytes(load_bytes + size)
+                load_cost = WeightedCost(load_cost + cost)
             if decision.served_from_cache:
-                bypass_bytes, bypass_cost = 0, 0.0
+                bypass_bytes, bypass_cost = ZERO_BYTES, ZERO_COST
                 self.mediator.serve_from_cache(result)
             else:
                 outcome = self.mediator.bypass(sql, plan, result)

@@ -10,13 +10,14 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List
 
+from repro.core.units import AnyRawBytes
 from repro.errors import CacheError
 
 
 class CacheStore:
     """Set of resident objects with exact byte accounting."""
 
-    def __init__(self, capacity_bytes: int) -> None:
+    def __init__(self, capacity_bytes: AnyRawBytes) -> None:
         if capacity_bytes <= 0:
             raise CacheError("cache capacity must be positive")
         self.capacity_bytes = capacity_bytes

@@ -1,0 +1,111 @@
+"""Typed byte/cost units for the decision pipeline.
+
+The bypass-yield economy trades in three currencies that are easy to
+confuse and catastrophic to mix (DESIGN.md §6 documents the PR-1 bug
+where the proxy handed policies link-weighted fetch costs paired with
+raw-byte yields, inverting BYHR cache preference on weighted links):
+
+* :data:`RawBytes` — byte counts as they exist on the wire or in the
+  cache store: object sizes, result sizes, ledger byte totals.
+* :data:`WeightedCost` — raw bytes multiplied by a per-link weight
+  (eq. 1's ``f`` factor).  All WAN *charges* are weighted costs.
+* :data:`Yield` — per-query result bytes attributed to one object
+  (Section 6's attribution rules).  Yields are raw-byte-denominated
+  until explicitly weighed into cost units for the BYHR view.
+
+These are :func:`typing.NewType` wrappers — zero runtime cost, full
+``mypy --strict`` separation.  The *only* sanctioned bridges between the
+byte and cost currencies are :func:`weigh` and :func:`unweigh`; the
+``repro-lint`` rule RPR001 flags arithmetic that combines the two
+without passing through them.
+
+Aliases :data:`AnyRawBytes` / :data:`AnyCost` / :data:`AnyYield` exist
+for public boundaries that must keep accepting plain ``int`` / ``float``
+(NewTypes are subtypes of their base, so typed values always flow into
+such signatures).
+"""
+
+from __future__ import annotations
+
+from typing import NewType, Union
+
+from repro.errors import CacheError
+
+RawBytes = NewType("RawBytes", int)
+WeightedCost = NewType("WeightedCost", float)
+Yield = NewType("Yield", float)
+
+#: Boundary aliases: accept either the typed unit or its primitive.
+AnyRawBytes = Union[RawBytes, int]
+AnyCost = Union[WeightedCost, float]
+AnyYield = Union[Yield, float]
+
+ZERO_BYTES: RawBytes = RawBytes(0)
+ZERO_COST: WeightedCost = WeightedCost(0.0)
+ZERO_YIELD: Yield = Yield(0.0)
+
+#: The uniform-network link weight under which cost and bytes coincide
+#: (BYHR degenerates to BYU; Section 3).
+UNIT_WEIGHT: float = 1.0
+
+
+def raw_bytes(value: AnyRawBytes) -> RawBytes:
+    """Brand a non-negative byte count as :data:`RawBytes`."""
+    count = int(value)
+    if count < 0:
+        raise CacheError(f"byte counts must be non-negative, got {count}")
+    return RawBytes(count)
+
+
+def weigh(quantity: Union[AnyRawBytes, AnyYield], weight: float) -> WeightedCost:
+    """Convert a raw-byte-denominated quantity into weighted cost units.
+
+    This is the sanctioned raw→cost bridge: shipping ``quantity`` bytes
+    over a link of per-byte ``weight`` costs ``quantity * weight``.  Use
+    ``weigh(quantity, UNIT_WEIGHT)`` to express the uniform-network
+    identity conversion explicitly.
+    """
+    if weight <= 0:
+        raise CacheError(f"link weight must be positive, got {weight}")
+    return WeightedCost(float(quantity) * weight)
+
+
+def unweigh(cost: AnyCost, weight: float) -> Yield:
+    """Convert a weighted cost back into raw-byte-denominated units.
+
+    The inverse bridge of :func:`weigh`: a cost of ``cost`` over a link
+    of per-byte ``weight`` corresponds to ``cost / weight`` bytes.
+    """
+    if weight <= 0:
+        raise CacheError(f"link weight must be positive, got {weight}")
+    return Yield(float(cost) / weight)
+
+
+def per_byte_weight(fetch_cost: AnyCost, size: AnyRawBytes) -> float:
+    """Effective per-byte link weight implied by a (cost, size) pair.
+
+    ``weigh(size, per_byte_weight(f, s)) == f`` — this recovers the
+    link weight from an object's whole-fetch cost and its size, which is
+    how the BYHR view re-prices per-object yields.
+    """
+    if int(size) <= 0:
+        raise CacheError(f"object size must be positive, got {size}")
+    return float(fetch_cost) / float(size)
+
+
+__all__ = [
+    "AnyCost",
+    "AnyRawBytes",
+    "AnyYield",
+    "RawBytes",
+    "UNIT_WEIGHT",
+    "WeightedCost",
+    "Yield",
+    "ZERO_BYTES",
+    "ZERO_COST",
+    "ZERO_YIELD",
+    "per_byte_weight",
+    "raw_bytes",
+    "unweigh",
+    "weigh",
+]

@@ -58,3 +58,13 @@ class CacheError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised for workload-generation and trace-file problems."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid runtime configuration (environment variables,
+    CLI flags) where a clear message beats a traceback."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the static-analysis tooling (``repro-lint``) for bad
+    rule registrations, unknown rule selections, or missing inputs."""

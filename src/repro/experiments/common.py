@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro.errors import ConfigurationError
 from repro.federation.federation import Federation
 from repro.federation.mediator import Mediator
 from repro.federation.server import DatabaseServer
@@ -40,23 +41,54 @@ DEFAULT_NUM_QUERIES = 3000
 DEFAULT_PROFILE = "small"
 
 
+#: Spellings that force serial execution (worker count 0).
+_SERIAL_SPELLINGS = frozenset({"0", "false", "no", "off"})
+
+
+def parse_worker_count(raw: str, source: str = "REPRO_PARALLEL") -> int:
+    """Parse a worker-count setting into a pool size (0 means serial).
+
+    Accepts ``0`` / ``false`` / ``no`` / ``off`` for serial execution
+    and any positive decimal integer for a pinned pool size.  Anything
+    else — non-integers, negatives, floats — raises
+    :class:`~repro.errors.ConfigurationError` naming ``source``, rather
+    than being silently coerced into a CPU-count fallback.
+    """
+    text = raw.strip().lower()
+    if text in _SERIAL_SPELLINGS:
+        return 0
+    try:
+        value = int(text, 10)
+    except ValueError:
+        raise ConfigurationError(
+            f"{source} must be a positive integer worker count or one "
+            f"of 0/false/no/off for serial execution, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ConfigurationError(
+            f"{source} worker count must be >= 1 (use 0/false/no/off "
+            f"for serial execution), got {raw!r}"
+        )
+    return value
+
+
 def parallel_workers() -> int:
     """Worker-process count for experiment fan-out (0 means serial).
 
     Controlled by the ``REPRO_PARALLEL`` environment variable: unset
-    uses one worker per CPU (serial on single-CPU machines), ``0`` /
-    ``false`` / ``off`` forces serial, and a positive integer pins the
-    pool size.  Parallel and serial execution produce identical results
-    (the runner guarantees deterministic ordering), so this is purely a
-    wall-clock knob.
+    (or blank) uses one worker per CPU (serial on single-CPU machines),
+    ``0`` / ``false`` / ``no`` / ``off`` forces serial, and a positive
+    integer pins the pool size.  Malformed values raise
+    :class:`~repro.errors.ConfigurationError` instead of silently
+    falling back.  Parallel and serial execution produce identical
+    results (the runner guarantees deterministic ordering), so this is
+    purely a wall-clock knob.
     """
-    env = os.environ.get("REPRO_PARALLEL", "").strip().lower()
-    if env in {"0", "false", "no", "off"}:
-        return 0
-    if env.isdigit():
-        return int(env)
-    cpus = os.cpu_count() or 1
-    return cpus if cpus > 1 else 0
+    raw = os.environ.get("REPRO_PARALLEL")
+    if raw is None or not raw.strip():
+        cpus = os.cpu_count() or 1
+        return cpus if cpus > 1 else 0
+    return parse_worker_count(raw, source="REPRO_PARALLEL")
 
 
 @dataclass

@@ -20,6 +20,13 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
+from repro.core.units import (
+    ZERO_BYTES,
+    ZERO_COST,
+    RawBytes,
+    WeightedCost,
+    raw_bytes,
+)
 from repro.errors import FederationError
 from repro.federation.federation import Federation
 from repro.federation.network import TrafficLedger
@@ -51,8 +58,8 @@ class FederatedResult:
 
     result: ResultSet
     per_server_bytes: Dict[str, int] = field(default_factory=dict)
-    wan_bytes: int = 0
-    wan_cost: float = 0.0
+    wan_bytes: RawBytes = ZERO_BYTES
+    wan_cost: WeightedCost = ZERO_COST
 
 
 class Mediator:
@@ -156,13 +163,13 @@ class Mediator:
             for name in servers:
                 per_server[name] = self._subquery_bytes(plan, name)
 
-        wan_bytes = 0
-        wan_cost = 0.0
+        wan_bytes = ZERO_BYTES
+        wan_cost = ZERO_COST
         for name, num_bytes in per_server.items():
             cost = self.federation.network.cost(name, num_bytes)
             self.ledger.record_bypass(name, num_bytes, cost)
-            wan_bytes += num_bytes
-            wan_cost += cost
+            wan_bytes = RawBytes(wan_bytes + num_bytes)
+            wan_cost = WeightedCost(wan_cost + cost)
         self._count("mediator.bypasses")
         self._count("mediator.bypass_bytes", wan_bytes)
         self._count("mediator.bypass_cost", wan_cost)
@@ -173,10 +180,10 @@ class Mediator:
             wan_cost=wan_cost,
         )
 
-    def load_object(self, object_id: str) -> Tuple[int, float]:
+    def load_object(self, object_id: str) -> Tuple[RawBytes, WeightedCost]:
         """Fetch a whole object into the cache; returns (bytes, cost)."""
         server = self.federation.server_for_object(object_id)
-        size = server.fetch_object(object_id)
+        size = raw_bytes(server.fetch_object(object_id))
         cost = self.federation.network.cost(server.name, size)
         self.ledger.record_load(server.name, size, cost)
         self._count("mediator.loads")

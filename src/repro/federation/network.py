@@ -17,6 +17,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.core.units import (
+    UNIT_WEIGHT,
+    ZERO_BYTES,
+    ZERO_COST,
+    RawBytes,
+    WeightedCost,
+    weigh,
+)
 from repro.errors import FederationError
 
 
@@ -39,11 +47,11 @@ class NetworkLink:
                 f"link weight for {self.server!r} must be positive"
             )
 
-    def cost(self, num_bytes: int) -> float:
+    def cost(self, num_bytes: int) -> WeightedCost:
         """Weighted cost of shipping ``num_bytes`` over this link."""
         if num_bytes < 0:
             raise FederationError("cannot ship a negative number of bytes")
-        return num_bytes * self.weight
+        return weigh(num_bytes, self.weight)
 
 
 class NetworkModel:
@@ -64,7 +72,7 @@ class NetworkModel:
             return existing
         return NetworkLink(server=server, weight=self._default_weight)
 
-    def cost(self, server: str, num_bytes: int) -> float:
+    def cost(self, server: str, num_bytes: int) -> WeightedCost:
         """Weighted WAN cost of shipping ``num_bytes`` from ``server``."""
         return self.link(server).cost(num_bytes)
 
@@ -91,11 +99,11 @@ class TrafficLedger:
         cache_bytes: ``D_C`` — result bytes served out of the cache (LAN).
     """
 
-    bypass_bytes: int = 0
-    load_bytes: int = 0
-    cache_bytes: int = 0
-    bypass_cost: float = 0.0
-    load_cost: float = 0.0
+    bypass_bytes: RawBytes = ZERO_BYTES
+    load_bytes: RawBytes = ZERO_BYTES
+    cache_bytes: RawBytes = ZERO_BYTES
+    bypass_cost: WeightedCost = ZERO_COST
+    load_cost: WeightedCost = ZERO_COST
     per_server_bypass: Dict[str, int] = field(default_factory=dict)
     per_server_load: Dict[str, int] = field(default_factory=dict)
 
@@ -105,8 +113,13 @@ class TrafficLedger:
         """Account a bypass query result shipped from ``server``."""
         if num_bytes < 0:
             raise FederationError("bypass bytes must be non-negative")
-        self.bypass_bytes += num_bytes
-        self.bypass_cost += num_bytes if cost is None else cost
+        charged = (
+            weigh(num_bytes, UNIT_WEIGHT)
+            if cost is None
+            else WeightedCost(cost)
+        )
+        self.bypass_bytes = RawBytes(self.bypass_bytes + num_bytes)
+        self.bypass_cost = WeightedCost(self.bypass_cost + charged)
         self.per_server_bypass[server] = (
             self.per_server_bypass.get(server, 0) + num_bytes
         )
@@ -117,8 +130,13 @@ class TrafficLedger:
         """Account an object load from ``server`` into the cache."""
         if num_bytes < 0:
             raise FederationError("load bytes must be non-negative")
-        self.load_bytes += num_bytes
-        self.load_cost += num_bytes if cost is None else cost
+        charged = (
+            weigh(num_bytes, UNIT_WEIGHT)
+            if cost is None
+            else WeightedCost(cost)
+        )
+        self.load_bytes = RawBytes(self.load_bytes + num_bytes)
+        self.load_cost = WeightedCost(self.load_cost + charged)
         self.per_server_load[server] = (
             self.per_server_load.get(server, 0) + num_bytes
         )
@@ -127,18 +145,18 @@ class TrafficLedger:
         """Account result bytes served from the cache over the LAN."""
         if num_bytes < 0:
             raise FederationError("cache bytes must be non-negative")
-        self.cache_bytes += num_bytes
+        self.cache_bytes = RawBytes(self.cache_bytes + num_bytes)
 
     @property
-    def wan_bytes(self) -> int:
+    def wan_bytes(self) -> RawBytes:
         """Total WAN traffic: the quantity the paper minimizes."""
-        return self.bypass_bytes + self.load_bytes
+        return RawBytes(self.bypass_bytes + self.load_bytes)
 
     @property
-    def wan_cost(self) -> float:
+    def wan_cost(self) -> WeightedCost:
         """Total weighted WAN cost (equals :attr:`wan_bytes` on uniform
         networks)."""
-        return self.bypass_cost + self.load_cost
+        return WeightedCost(self.bypass_cost + self.load_cost)
 
     @property
     def application_bytes(self) -> int:
@@ -158,11 +176,25 @@ class TrafficLedger:
             per_server_load=dict(self.per_server_load),
         )
 
+    def restore(self, snapshot: "TrafficLedger") -> None:
+        """Roll totals back to a previously captured :meth:`snapshot`.
+
+        The sanctioned way for drivers (e.g. trace preparation's trial
+        replay) to undo traffic they never meant to charge.
+        """
+        self.bypass_bytes = snapshot.bypass_bytes
+        self.load_bytes = snapshot.load_bytes
+        self.cache_bytes = snapshot.cache_bytes
+        self.bypass_cost = snapshot.bypass_cost
+        self.load_cost = snapshot.load_cost
+        self.per_server_bypass = dict(snapshot.per_server_bypass)
+        self.per_server_load = dict(snapshot.per_server_load)
+
     def reset(self) -> None:
-        self.bypass_bytes = 0
-        self.load_bytes = 0
-        self.cache_bytes = 0
-        self.bypass_cost = 0.0
-        self.load_cost = 0.0
+        self.bypass_bytes = ZERO_BYTES
+        self.load_bytes = ZERO_BYTES
+        self.cache_bytes = ZERO_BYTES
+        self.bypass_cost = ZERO_COST
+        self.load_cost = ZERO_COST
         self.per_server_bypass.clear()
         self.per_server_load.clear()

@@ -3,7 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.core.events import Decision
+    from repro.core.pipeline import QueryAccounting
 
 
 @dataclass
@@ -21,6 +25,16 @@ class CostBreakdown:
     @property
     def total_bytes(self) -> float:
         return self.bypass_bytes + self.load_bytes
+
+    def charge(self, accounting: "QueryAccounting") -> None:
+        """Accumulate one query's WAN charges into the breakdown.
+
+        The only sanctioned mutation point: drivers must route per-query
+        byte totals through here rather than writing the fields ad hoc
+        (``repro-lint`` RPR004 enforces this).
+        """
+        self.bypass_bytes += accounting.bypass_bytes
+        self.load_bytes += accounting.load_bytes
 
     def as_gb(self, bytes_per_gb: float = 1e9) -> Dict[str, float]:
         """The table row, scaled to GB-like units for presentation."""
@@ -87,6 +101,22 @@ class SimulationResult:
         if self.total_bytes == 0:
             return float("inf")
         return self.sequence_bytes / self.total_bytes
+
+    def charge(
+        self, accounting: "QueryAccounting", decision: "Decision"
+    ) -> None:
+        """Accumulate one (decision, accounting) pair into the result.
+
+        Byte totals land in the breakdown, the weighted cost and the
+        load/eviction/hit counters on the result itself — keeping every
+        per-query write inside the accounting classes (RPR004).
+        """
+        self.breakdown.charge(accounting)
+        self.weighted_cost += accounting.weighted_cost
+        self.loads += len(decision.loads)
+        self.evictions += len(decision.evictions)
+        if decision.served_from_cache:
+            self.served_queries += 1
 
     def summary(self) -> Dict[str, object]:
         return {

@@ -18,6 +18,8 @@ import sys
 from typing import List, Optional
 
 from repro.core.policies import POLICY_REGISTRY
+from repro.errors import ConfigurationError
+from repro.experiments.common import parse_worker_count
 from repro.federation.federation import Federation
 from repro.federation.mediator import Mediator
 from repro.federation.server import DatabaseServer
@@ -57,8 +59,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache size as a fraction of the database",
     )
     parser.add_argument(
-        "--parallel", action="store_true",
-        help="replay policies in parallel worker processes",
+        "--parallel", nargs="?", const="auto", default=None,
+        metavar="WORKERS",
+        help=(
+            "replay policies in parallel worker processes; optionally "
+            "give a positive worker count (0/false/no/off forces serial)"
+        ),
     )
     return parser
 
@@ -75,6 +81,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not 0.0 < args.capacity_frac <= 1.0:
         print("capacity-frac must be in (0, 1]", file=sys.stderr)
         return 2
+
+    # --parallel absent -> serial; bare --parallel -> default pool;
+    # --parallel N -> pinned pool, validated like REPRO_PARALLEL.
+    parallel = args.parallel is not None
+    max_workers: Optional[int] = None
+    if parallel and args.parallel != "auto":
+        try:
+            workers = parse_worker_count(args.parallel, source="--parallel")
+        except ConfigurationError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if workers == 0:
+            parallel = False
+        else:
+            max_workers = workers
 
     try:
         prepared = PreparedTrace.load(args.trace)
@@ -97,7 +118,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.granularity,
         policies=policies,
         record_series=False,
-        parallel=args.parallel,
+        parallel=parallel,
+        max_workers=max_workers,
     )
     print(
         format_breakdown(

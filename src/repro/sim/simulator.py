@@ -111,7 +111,6 @@ class Simulator:
             series_stride=stride,
         )
         breakdown = result.breakdown
-        weighted = 0.0
         cumulative = result.cumulative_bytes
 
         for index, prepared in enumerate(trace):
@@ -123,13 +122,7 @@ class Simulator:
                 servers=prepared.servers,
             )
 
-            breakdown.load_bytes += accounting.load_bytes
-            breakdown.bypass_bytes += accounting.bypass_bytes
-            weighted += accounting.weighted_cost
-            result.loads += len(decision.loads)
-            result.evictions += len(decision.evictions)
-            if decision.served_from_cache:
-                result.served_queries += 1
+            result.charge(accounting, decision)
             if record_series and (
                 (index + 1) % stride == 0 or index == total - 1
             ):
@@ -144,5 +137,4 @@ class Simulator:
             )
 
         result.queries = total
-        result.weighted_cost = weighted
         return result

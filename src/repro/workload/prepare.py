@@ -73,9 +73,7 @@ def _multi_server_bypass_bytes(
     snapshot = mediator.ledger.snapshot()
     federated = mediator.bypass(sql, plan, result)
     # Roll the ledger back: preparation must be accounting-neutral.
-    mediator.ledger.bypass_bytes = snapshot.bypass_bytes
-    mediator.ledger.bypass_cost = snapshot.bypass_cost
-    mediator.ledger.per_server_bypass = dict(snapshot.per_server_bypass)
+    mediator.ledger.restore(snapshot)
     return federated.wan_bytes
 
 

@@ -1,0 +1,33 @@
+"""Seeded RPR001 violations: raw bytes mixed with weighted costs."""
+
+
+def mixed_total(load_bytes, load_cost):
+    # Adding bytes to a weighted cost without weigh()/unweigh().
+    return load_bytes + load_cost
+
+
+def mixed_compare(size, cost):
+    # Comparing quantities in different currencies.
+    return size > cost
+
+
+def mixed_augmented(total_bytes, extra_cost):
+    total_bytes += extra_cost
+    return total_bytes
+
+
+def mixed_via_flow(catalog, object_id, num_bytes):
+    fetched = catalog.fetch_cost(object_id)
+    return num_bytes - fetched
+
+
+class PreFixProxy:
+    """The PR-1 proxy shape: weighted fetch price, raw-byte yield."""
+
+    def emit(self, federation, object_id, share):
+        return ObjectRequest(  # noqa: F821 - parsed, never executed
+            object_id=object_id,
+            size=federation.object_size(object_id),
+            fetch_cost=federation.fetch_cost(object_id),
+            yield_bytes=share,
+        )

@@ -1,0 +1,28 @@
+"""Corrected RPR001 patterns: explicit conversions, consistent pairing."""
+
+from repro.core.units import per_byte_weight, unweigh, weigh
+
+
+def weighted_total(load_bytes, link_weight, load_cost):
+    return weigh(load_bytes, link_weight) + load_cost
+
+
+def raw_total(load_bytes, link_weight, load_cost):
+    return load_bytes + unweigh(load_cost, link_weight)
+
+
+def consistent_pairing(catalog, object_id, share):
+    size = catalog.size(object_id)
+    fetch_cost = catalog.fetch_cost(object_id)
+    weight = per_byte_weight(fetch_cost, size)
+    shown_yield = weigh(share, weight)
+    return ObjectRequest(  # noqa: F821 - parsed, never executed
+        object_id=object_id,
+        size=size,
+        fetch_cost=fetch_cost,
+        yield_bytes=shown_yield,
+    )
+
+
+def suppressed_legacy(load_bytes, load_cost):
+    return load_bytes + load_cost  # repro-lint: allow[RPR001] legacy report glue

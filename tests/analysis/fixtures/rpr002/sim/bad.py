@@ -1,0 +1,29 @@
+"""Seeded RPR002 violations: entropy, wall clocks, set iteration."""
+
+import random
+import time
+
+
+def jitter():
+    return random.random()
+
+
+def unseeded_rng():
+    return random.Random()
+
+
+def wall_clock():
+    return time.time()
+
+
+def stopwatch():
+    return time.perf_counter()
+
+
+def iterate_set(object_ids):
+    for object_id in set(object_ids):
+        yield object_id
+
+
+def comprehension_over_set_display():
+    return [value for value in {3, 1, 2}]

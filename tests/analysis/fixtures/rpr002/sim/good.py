@@ -1,0 +1,23 @@
+"""Corrected RPR002 patterns: seeded RNGs, query-index time, sorting."""
+
+import random
+
+
+def seeded_rng(seed):
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def iterate_deterministically(object_ids):
+    for object_id in sorted(set(object_ids)):
+        yield object_id
+
+
+def time_from_query_index(query):
+    return query.index
+
+
+def observability_timer(clock):
+    import time
+
+    return time.perf_counter()  # repro-lint: allow[RPR002] stage timer only

@@ -1,0 +1,25 @@
+"""Seeded RPR003 violations: contract breaks in policy classes."""
+
+
+class RoguePolicy:
+    """Ends in Policy but joins no hierarchy."""
+
+    def decide(self, query):
+        return None
+
+
+class IncompletePolicy(CachePolicy):  # noqa: F821 - parsed, never executed
+    """Direct CachePolicy subclass without decide()."""
+
+    def __init__(self, capacity_bytes):
+        self.capacity = capacity_bytes
+
+
+class StatefulPolicy(CachePolicy):  # noqa: F821 - parsed, never executed
+    def decide(self, query):
+        return None
+
+    def describe(self, extra={}):
+        # Mutable default *and* public-method state mutation.
+        self.snapshots = extra
+        return self.snapshots

@@ -1,0 +1,35 @@
+"""Corrected RPR003 patterns: conformant policy classes."""
+
+import abc
+
+
+class CachePolicy(abc.ABC):
+    """The abstract root may derive from abc.ABC directly."""
+
+    @abc.abstractmethod
+    def decide(self, query):
+        """Policy-specific decision logic."""
+
+
+class WellBehavedPolicy(CachePolicy):
+    def __init__(self, capacity_bytes, seeds=None):
+        self.capacity = capacity_bytes
+        self.seeds = list(seeds or [])
+        self.decisions = 0
+
+    def decide(self, query):
+        self.decisions += 1
+        return None
+
+    def describe(self):
+        return {"decisions": self.decisions}
+
+    def _rebuild(self):
+        self.decisions = 0
+
+
+class SpecializedPolicy(WellBehavedPolicy):
+    """Deriving from another *Policy keeps the hierarchy intact."""
+
+    def update(self, query):
+        self.decisions += 1

@@ -1,0 +1,19 @@
+"""Seeded RPR004 violations: ad-hoc writes to WAN accounting fields."""
+
+
+def tally(result, accounting):
+    result.load_bytes += accounting.load_bytes
+    result.breakdown.bypass_bytes = accounting.bypass_bytes
+
+
+def rollback_by_hand(mediator, snapshot):
+    mediator.ledger.bypass_bytes = snapshot.bypass_bytes
+    mediator.ledger.bypass_cost = snapshot.bypass_cost
+
+
+class CustomDriver:
+    """Not a sanctioned owner: even self-writes are ad hoc."""
+
+    def run(self, breakdown):
+        breakdown.weighted_cost += 1.0
+        self.wan_cost = 0.0

@@ -1,0 +1,25 @@
+"""Corrected RPR004 patterns: accounting flows through sanctioned owners."""
+
+
+class TrafficLedger:
+    """A sanctioned owner may mutate its own totals."""
+
+    def __init__(self):
+        self.load_bytes = 0
+        self.load_cost = 0.0
+
+    def record_load(self, num_bytes, cost):
+        self.load_bytes += num_bytes
+        self.load_cost += cost
+
+    def reset(self):
+        self.load_bytes = 0
+        self.load_cost = 0.0
+
+
+def drive(result, accounting, decision):
+    result.charge(accounting, decision)
+
+
+def rollback(mediator, snapshot):
+    mediator.ledger.restore(snapshot)

@@ -1,0 +1,151 @@
+"""Tests for the repro-lint engine: registry, pragmas, CLI, errors."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    RULE_REGISTRY,
+    LintViolation,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.lint.cli import main
+from repro.analysis.lint.engine import iter_python_files
+from repro.errors import AnalysisError
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def registered_rules():
+    import repro.analysis.lint.rules  # noqa: F401 - triggers registration
+
+    return dict(RULE_REGISTRY)
+
+
+class TestRegistry:
+    def test_all_four_rules_register(self):
+        rules = registered_rules()
+        assert set(rules) >= {"RPR001", "RPR002", "RPR003", "RPR004"}
+
+    def test_every_rule_has_a_summary(self):
+        for rule_class in registered_rules().values():
+            assert rule_class.summary
+
+    def test_bad_rule_id_rejected(self):
+        from repro.analysis.lint.engine import Rule, register_rule
+
+        with pytest.raises(AnalysisError):
+
+            @register_rule
+            class BadIdRule(Rule):
+                rule_id = "XYZ1"
+
+                def check(self, context):
+                    return iter(())
+
+    def test_duplicate_registration_rejected(self):
+        from repro.analysis.lint.engine import Rule, register_rule
+
+        with pytest.raises(AnalysisError):
+
+            @register_rule
+            class ImposterRule(Rule):
+                rule_id = "RPR001"
+
+                def check(self, context):
+                    return iter(())
+
+
+class TestPragmas:
+    def test_targeted_pragma_suppresses_named_rule(self):
+        source = (
+            "def f(load_bytes, load_cost):\n"
+            "    return load_bytes + load_cost"
+            "  # repro-lint: allow[RPR001] why\n"
+        )
+        assert lint_source(source, Path("x.py"), select=["RPR001"]) == []
+
+    def test_pragma_for_other_rule_does_not_suppress(self):
+        source = (
+            "def f(load_bytes, load_cost):\n"
+            "    return load_bytes + load_cost"
+            "  # repro-lint: allow[RPR002]\n"
+        )
+        violations = lint_source(source, Path("x.py"), select=["RPR001"])
+        assert [v.rule_id for v in violations] == ["RPR001"]
+
+    def test_bare_allow_suppresses_everything(self):
+        source = (
+            "def f(load_bytes, load_cost):\n"
+            "    return load_bytes + load_cost  # repro-lint: allow\n"
+        )
+        assert lint_source(source, Path("x.py"), select=["RPR001"]) == []
+
+
+class TestEngineMechanics:
+    def test_syntax_error_becomes_rpr000(self):
+        violations = lint_source("def broken(:\n", Path("x.py"))
+        assert len(violations) == 1
+        assert violations[0].rule_id == "RPR000"
+
+    def test_unknown_select_raises(self):
+        with pytest.raises(AnalysisError):
+            lint_source("x = 1\n", Path("x.py"), select=["RPR999"])
+
+    def test_render_format(self):
+        violation = LintViolation(
+            rule_id="RPR001", path="a/b.py", line=3, col=4, message="boom"
+        )
+        assert violation.render() == "a/b.py:3:4: RPR001 boom"
+
+    def test_iter_python_files_missing_path_raises(self):
+        with pytest.raises(AnalysisError):
+            list(iter_python_files([Path("definitely/not/here")]))
+
+    def test_lint_paths_sorts_deterministically(self):
+        violations = lint_paths([FIXTURES], select=["RPR001"])
+        keys = [(v.path, v.line, v.col, v.rule_id) for v in violations]
+        assert keys == sorted(keys)
+
+    def test_violations_carry_fixture_paths(self):
+        violations = lint_file(
+            FIXTURES / "rpr001" / "bad.py", select=["RPR001"]
+        )
+        assert violations
+        assert all("bad.py" in v.path for v in violations)
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, capsys):
+        exit_code = main([str(FIXTURES / "rpr004" / "good.py")])
+        assert exit_code == 0
+        assert capsys.readouterr().out == ""
+
+    def test_violations_exit_one_and_print(self, capsys):
+        exit_code = main(
+            [str(FIXTURES / "rpr001" / "bad.py"), "--select", "RPR001"]
+        )
+        assert exit_code == 1
+        out = capsys.readouterr().out
+        assert "RPR001" in out
+        assert "violation" in out
+
+    def test_missing_path_exits_two(self, capsys):
+        exit_code = main(["definitely/not/here"])
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, capsys):
+        exit_code = main(
+            [str(FIXTURES / "rpr001" / "good.py"), "--select", "NOPE"]
+        )
+        assert exit_code == 2
+
+    def test_list_rules(self, capsys):
+        exit_code = main(["--list-rules"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004"):
+            assert rule_id in out

@@ -1,0 +1,106 @@
+"""Fixture-driven tests: each rule fires on seeded violations and stays
+silent on the corrected code."""
+
+from pathlib import Path
+
+from repro.analysis.lint import lint_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run_rule(rule_id, relative):
+    return lint_file(FIXTURES / relative, select=[rule_id])
+
+
+class TestRPR001UnitMixing:
+    def test_fires_on_seeded_violations(self):
+        violations = run_rule("RPR001", Path("rpr001/bad.py"))
+        assert all(v.rule_id == "RPR001" for v in violations)
+        lines = {v.line for v in violations}
+        # One per seeded construct: add, compare, augmented, flow,
+        # and the PR-1 fetch_cost/yield_bytes pairing.
+        assert len(violations) == 5
+        assert len(lines) == 5
+
+    def test_flags_the_pre_fix_proxy_pairing(self):
+        violations = run_rule("RPR001", Path("rpr001/bad.py"))
+        pairing = [v for v in violations if "yield_bytes=" in v.message]
+        assert len(pairing) == 1
+
+    def test_silent_on_corrected_code(self):
+        assert run_rule("RPR001", Path("rpr001/good.py")) == []
+
+
+class TestRPR002Nondeterminism:
+    def test_fires_on_seeded_violations(self):
+        violations = run_rule("RPR002", Path("rpr002/sim/bad.py"))
+        assert all(v.rule_id == "RPR002" for v in violations)
+        messages = " ".join(v.message for v in violations)
+        assert "random" in messages
+        assert "time.time" in messages
+        assert "time.perf_counter" in messages
+        assert "set" in messages
+        assert len(violations) == 6
+
+    def test_silent_on_corrected_code(self):
+        assert run_rule("RPR002", Path("rpr002/sim/good.py")) == []
+
+    def test_scoped_to_core_and_sim_paths(self):
+        from repro.analysis.lint import lint_source
+
+        source = "import time\n\n\ndef f():\n    return time.time()\n"
+        inside = lint_source(
+            source, Path("src/repro/sim/x.py"), select=["RPR002"]
+        )
+        outside = lint_source(
+            source, Path("src/repro/reports/x.py"), select=["RPR002"]
+        )
+        assert len(inside) == 1
+        assert outside == []
+
+
+class TestRPR003PolicyConformance:
+    def test_fires_on_seeded_violations(self):
+        violations = run_rule(
+            "RPR003", Path("rpr003/core/policies/bad.py")
+        )
+        messages = " ".join(v.message for v in violations)
+        assert "RoguePolicy" in messages
+        assert "IncompletePolicy" in messages
+        assert "mutable default" in messages
+        assert "mutates" in messages
+        assert len(violations) == 4
+
+    def test_silent_on_corrected_code(self):
+        assert (
+            run_rule("RPR003", Path("rpr003/core/policies/good.py")) == []
+        )
+
+    def test_scoped_to_core_policies_paths(self):
+        from repro.analysis.lint import lint_source
+
+        source = "class LonePolicy:\n    pass\n"
+        inside = lint_source(
+            source,
+            Path("src/repro/core/policies/x.py"),
+            select=["RPR003"],
+        )
+        outside = lint_source(
+            source, Path("src/repro/core/x.py"), select=["RPR003"]
+        )
+        assert len(inside) == 1
+        assert outside == []
+
+
+class TestRPR004AccountingDiscipline:
+    def test_fires_on_seeded_violations(self):
+        violations = run_rule("RPR004", Path("rpr004/bad.py"))
+        assert all(v.rule_id == "RPR004" for v in violations)
+        messages = " ".join(v.message for v in violations)
+        assert "load_bytes" in messages
+        assert "bypass_cost" in messages
+        assert "weighted_cost" in messages
+        assert len(violations) == 6
+
+    def test_silent_on_corrected_code(self):
+        assert run_rule("RPR004", Path("rpr004/good.py")) == []

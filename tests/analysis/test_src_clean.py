@@ -1,0 +1,18 @@
+"""The repo's own source must be repro-lint clean (CI runs the same
+check via the console script)."""
+
+from pathlib import Path
+
+from repro.analysis.lint import lint_paths
+
+SRC = Path(__file__).parent.parent.parent / "src" / "repro"
+
+
+def test_src_tree_exists():
+    assert SRC.is_dir()
+
+
+def test_src_is_lint_clean():
+    violations = lint_paths([SRC])
+    rendered = "\n".join(v.render() for v in violations)
+    assert violations == [], f"repro-lint violations in src:\n{rendered}"

@@ -1,0 +1,72 @@
+"""Tests for the typed byte/cost unit substrate."""
+
+import pytest
+
+from repro.core.units import (
+    UNIT_WEIGHT,
+    ZERO_BYTES,
+    ZERO_COST,
+    ZERO_YIELD,
+    RawBytes,
+    WeightedCost,
+    Yield,
+    per_byte_weight,
+    raw_bytes,
+    unweigh,
+    weigh,
+)
+from repro.errors import CacheError, ReproError
+
+
+class TestConstructors:
+    def test_raw_bytes_accepts_non_negative(self):
+        assert raw_bytes(0) == 0
+        assert raw_bytes(1024) == 1024
+
+    def test_raw_bytes_rejects_negative(self):
+        with pytest.raises(CacheError):
+            raw_bytes(-1)
+
+    def test_newtypes_are_plain_values_at_runtime(self):
+        assert RawBytes(7) == 7
+        assert WeightedCost(2.5) == 2.5
+        assert Yield(0.5) == 0.5
+
+    def test_zero_constants(self):
+        assert ZERO_BYTES == 0
+        assert ZERO_COST == 0.0
+        assert ZERO_YIELD == 0.0
+        assert UNIT_WEIGHT == 1.0
+
+
+class TestConversions:
+    def test_weigh_scales_by_link_weight(self):
+        assert weigh(100, 3.0) == 300.0
+
+    def test_weigh_unit_weight_is_identity(self):
+        assert weigh(42, UNIT_WEIGHT) == 42.0
+
+    def test_unweigh_inverts_weigh(self):
+        cost = weigh(250, 4.0)
+        assert unweigh(cost, 4.0) == 250.0
+
+    def test_weigh_rejects_non_positive_weight(self):
+        with pytest.raises(CacheError):
+            weigh(10, 0.0)
+        with pytest.raises(CacheError):
+            weigh(10, -1.0)
+
+    def test_unweigh_rejects_non_positive_weight(self):
+        with pytest.raises(CacheError):
+            unweigh(WeightedCost(10.0), 0.0)
+
+    def test_per_byte_weight(self):
+        assert per_byte_weight(WeightedCost(300.0), raw_bytes(100)) == 3.0
+
+    def test_per_byte_weight_rejects_non_positive_size(self):
+        with pytest.raises(CacheError):
+            per_byte_weight(WeightedCost(10.0), 0)
+
+    def test_errors_are_repro_errors(self):
+        with pytest.raises(ReproError):
+            weigh(1, -2.0)
