@@ -3,13 +3,26 @@
 Contexts (federation + prepared trace) are built once per session and
 persisted to the repo-local ``.repro_cache`` directory, so repeated
 benchmark runs skip trace re-execution.
+
+Every :func:`run_once` call also drops a ``BENCH_<name>.json`` perf
+artifact — wall time plus whatever WAN counters the result exposes — so
+CI can archive benchmark telemetry next to the timings.  The artifact
+directory defaults to ``.repro_cache/bench`` and can be redirected with
+``REPRO_BENCH_ARTIFACTS`` (set it empty to disable).
 """
 
 from __future__ import annotations
 
+import json
+import os
+import re
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
 import pytest
 
-from repro.experiments.common import build_context
+from repro.experiments.common import build_context, cache_dir
 
 
 @pytest.fixture(scope="session")
@@ -22,8 +35,97 @@ def dr1_context():
     return build_context("dr1")
 
 
+def artifact_dir() -> Optional[Path]:
+    """Where ``BENCH_<name>.json`` artifacts go (None when disabled)."""
+    raw = os.environ.get("REPRO_BENCH_ARTIFACTS")
+    if raw is None:
+        return cache_dir() / "bench"
+    if not raw.strip():
+        return None
+    return Path(raw)
+
+
+def _wan_counters(result: object) -> Dict[str, object]:
+    """Pull WAN accounting out of whatever shape an experiment returns.
+
+    Handles the runner's :class:`SimulationResult`, dicts of them
+    (``compare_policies``), fleet/sweep/cost-series aggregates, and
+    anything with a ``summary()`` — unknown shapes yield no counters
+    rather than failing the benchmark.
+    """
+    from repro.sim.results import SimulationResult, SweepResult
+
+    if isinstance(result, SimulationResult):
+        return dict(result.summary())
+    if isinstance(result, SweepResult):
+        return {
+            "granularity": result.granularity,
+            "database_bytes": result.database_bytes,
+            "points": [
+                {
+                    "policy": point.policy_name,
+                    "cache_fraction": point.cache_fraction,
+                    "total_bytes": point.total_bytes,
+                }
+                for point in result.points
+            ],
+        }
+    if isinstance(result, dict) and all(
+        isinstance(value, SimulationResult) for value in result.values()
+    ):
+        return {
+            name: dict(value.summary()) for name, value in result.items()
+        }
+    inner = getattr(result, "results", None)
+    if isinstance(inner, dict):
+        return _wan_counters(inner)
+    sweep = getattr(result, "sweep", None)
+    if isinstance(sweep, SweepResult):
+        return _wan_counters(sweep)
+    summary = getattr(result, "summary", None)
+    if callable(summary):
+        try:
+            return dict(summary())
+        except Exception:
+            return {}
+    return {}
+
+
+def write_bench_artifact(
+    name: str, elapsed_seconds: float, result: object
+) -> Optional[Path]:
+    """Write one ``BENCH_<name>.json`` artifact; None when disabled."""
+    directory = artifact_dir()
+    if directory is None:
+        return None
+    directory.mkdir(parents=True, exist_ok=True)
+    safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", name).strip("_") or "unnamed"
+    payload = {
+        "benchmark": name,
+        "wall_seconds": round(elapsed_seconds, 6),
+        "wan": _wan_counters(result),
+    }
+    path = directory / f"BENCH_{safe}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
 def run_once(benchmark, func, *args, **kwargs):
-    """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Also writes the ``BENCH_<name>.json`` perf artifact (wall time +
+    WAN counters extracted from the result) — see module docstring.
+    """
+    start = time.perf_counter()
+    result = benchmark.pedantic(
         func, args=args, kwargs=kwargs, rounds=1, iterations=1
     )
+    elapsed = time.perf_counter() - start
+    name = getattr(benchmark, "name", None) or getattr(
+        func, "__name__", "unnamed"
+    )
+    write_bench_artifact(name, elapsed, result)
+    return result

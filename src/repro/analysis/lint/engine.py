@@ -13,8 +13,16 @@ Violations can be suppressed per line with a pragma comment::
 
 The pragma names the rule it silences (``allow[RPR002]``) or silences
 every rule on the line (bare ``allow``); an optional trailing reason is
-encouraged.  The engine only parses files — fixture corpora with
-deliberate violations are safe to lint because nothing is executed.
+encouraged.  Modules whose entire purpose is exempt from a rule (e.g.
+:mod:`repro.obs.manifest`, which stamps wall-clock timestamps by design)
+declare it once with a **file pragma** on a standalone comment line::
+
+    # repro-lint: allow-file[RPR002] manifests stamp metadata, not replays
+
+Unlike the line pragma, ``allow-file`` *requires* an explicit rule list —
+there is no spelling that exempts a whole module from every rule.  The
+engine only parses files — fixture corpora with deliberate violations
+are safe to lint because nothing is executed.
 """
 
 from __future__ import annotations
@@ -30,8 +38,32 @@ from repro.errors import AnalysisError
 
 #: Pragma grammar: ``# repro-lint: allow[RPR001]`` or ``# repro-lint: allow``.
 _PRAGMA = re.compile(
-    r"#\s*repro-lint:\s*allow(?:\[(?P<rules>[A-Z0-9, ]+)\])?"
+    r"#\s*repro-lint:\s*allow(?!-file)(?:\[(?P<rules>[A-Z0-9, ]+)\])?"
 )
+
+#: Module-level pragma: ``# repro-lint: allow-file[RPR002] reason`` on a
+#: standalone comment line.  The rule list is mandatory.
+_FILE_PRAGMA = re.compile(
+    r"^\s*#\s*repro-lint:\s*allow-file\[(?P<rules>[A-Z0-9, ]+)\]"
+)
+
+
+def file_allowed_rules(lines: Sequence[str]) -> frozenset:
+    """Rule ids exempted for the whole module via ``allow-file`` pragmas.
+
+    Only standalone comment lines count — an ``allow-file`` trailing
+    code would read as a line pragma gone wrong, so it is ignored.
+    """
+    allowed = set()
+    for line in lines:
+        match = _FILE_PRAGMA.match(line)
+        if match is not None:
+            allowed.update(
+                part.strip()
+                for part in match.group("rules").split(",")
+                if part.strip()
+            )
+    return frozenset(allowed)
 
 
 @dataclass(frozen=True)
@@ -183,8 +215,11 @@ def lint_source(
         tree=tree,
         lines=source.splitlines(),
     )
+    file_allowed = file_allowed_rules(context.lines)
     violations: List[LintViolation] = []
     for rule in _load_rules(select):
+        if rule.rule_id in file_allowed:
+            continue
         if not rule.applies_to(context):
             continue
         for violation in rule.check(context):

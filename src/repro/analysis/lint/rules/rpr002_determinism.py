@@ -19,8 +19,12 @@ breaks those guarantees, so this rule flags:
   ``for`` loop or comprehension — set iteration order varies across
   processes; sort first (``sorted(...)`` is deterministic).
 
-Observability-only exceptions (e.g. stage timers) carry an explicit
-``# repro-lint: allow[RPR002]`` pragma at the use site.
+The rule covers ``repro.core``, ``repro.sim``, and ``repro.obs`` (trace
+replay must be as deterministic as simulation).  Observability-only
+exceptions carry a pragma: per line for isolated reads (e.g. stage
+timers), or a module-level ``# repro-lint: allow-file[RPR002]`` when the
+module's whole purpose is sanctioned (``repro.obs.manifest`` stamps
+wall-clock timestamps at the CLI edge by design).
 """
 
 from __future__ import annotations
@@ -75,7 +79,11 @@ class NondeterminismRule(Rule):
     )
 
     def applies_to(self, context: FileContext) -> bool:
-        return context.has_segments("core") or context.has_segments("sim")
+        return (
+            context.has_segments("core")
+            or context.has_segments("sim")
+            or context.has_segments("obs")
+        )
 
     def check(self, context: FileContext) -> Iterator[LintViolation]:
         random_aliases = self._random_aliases(context.tree)

@@ -18,16 +18,51 @@ import logging
 import time
 from collections import deque
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Deque,
     Dict,
     Iterator,
     List,
+    Mapping,
     Optional,
     Tuple,
     Union,
 )
+
+#: Version tag carried by :meth:`Instrumentation.snapshot` payloads so
+#: that merge/restore code can reject incompatible shapes.
+SNAPSHOT_SCHEMA = 2
+
+#: Counters whose unit cannot be inferred from their name alone.
+_KNOWN_COUNTER_UNITS: Dict[str, str] = {
+    "wan.weighted_cost": "cost",
+    "fleet.wan_bytes": "bytes",
+}
+
+
+def counter_unit(name: str) -> str:
+    """Unit of one named counter: ``bytes``, ``cost``, ``seconds`` or
+    ``count``.
+
+    Units follow naming conventions (``*_bytes`` counters are bytes,
+    ``*_cost`` counters are link-weighted cost units, ``*_seconds`` are
+    wall-clock seconds) with a small table of known exceptions.  The
+    unit rides along in snapshots so merged/persisted telemetry stays
+    self-describing (RPR001's unit-mixing discipline, applied to
+    observability output).
+    """
+    known = _KNOWN_COUNTER_UNITS.get(name)
+    if known is not None:
+        return known
+    tail = name.rsplit(".", 1)[-1]
+    if tail.endswith("bytes"):
+        return "bytes"
+    if tail.endswith("cost"):
+        return "cost"
+    if tail.endswith("seconds"):
+        return "seconds"
+    return "count"
 
 
 @dataclass(frozen=True)
@@ -46,6 +81,9 @@ class DecisionEvent:
         bypass_bytes: WAN bytes spent bypassing this query (0 on hits).
         weighted_cost: Link-weighted WAN cost this query added.
         sql: Query text (may be empty for synthetic traces).
+        yield_bytes: Result size of the query (its yield), whichever
+            path served it.  0 when the emitting driver predates the
+            field (old traces).
     """
 
     index: int
@@ -59,11 +97,51 @@ class DecisionEvent:
     bypass_bytes: int
     weighted_cost: float
     sql: str = ""
+    yield_bytes: int = 0
 
     @property
     def wan_bytes(self) -> int:
         """Total WAN bytes this query added (loads + bypass)."""
         return self.load_bytes + self.bypass_bytes
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-safe dict that :meth:`from_json` restores exactly."""
+        return {
+            "index": self.index,
+            "source": self.source,
+            "policy": self.policy,
+            "granularity": self.granularity,
+            "served_from_cache": self.served_from_cache,
+            "loads": list(self.loads),
+            "evictions": list(self.evictions),
+            "load_bytes": self.load_bytes,
+            "bypass_bytes": self.bypass_bytes,
+            "weighted_cost": self.weighted_cost,
+            "sql": self.sql,
+            "yield_bytes": self.yield_bytes,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "DecisionEvent":
+        """Rebuild an event from :meth:`to_json` output."""
+        loads = data.get("loads", [])
+        evictions = data.get("evictions", [])
+        if not isinstance(loads, list) or not isinstance(evictions, list):
+            raise ValueError("event loads/evictions must be lists")
+        return cls(
+            index=int(data["index"]),  # type: ignore[call-overload]
+            source=str(data["source"]),
+            policy=str(data["policy"]),
+            granularity=str(data["granularity"]),
+            served_from_cache=bool(data["served_from_cache"]),
+            loads=tuple(str(item) for item in loads),
+            evictions=tuple(str(item) for item in evictions),
+            load_bytes=int(data["load_bytes"]),  # type: ignore[call-overload]
+            bypass_bytes=int(data["bypass_bytes"]),  # type: ignore[call-overload]
+            weighted_cost=float(data["weighted_cost"]),  # type: ignore[arg-type]
+            sql=str(data.get("sql", "")),
+            yield_bytes=int(data.get("yield_bytes", 0)),  # type: ignore[call-overload]
+        )
 
 
 class Probe:
@@ -110,6 +188,20 @@ class Instrumentation:
             maxlen=max_events if max_events not in (None, 0) else None
         )
         self._retain_events = max_events != 0
+        #: Total decisions recorded, including any the retention bound
+        #: (or ``max_events=0``) dropped — ``events_truncated`` compares
+        #: this against ``len(events)``.
+        self.events_seen = 0
+
+    @property
+    def max_events(self) -> Optional[int]:
+        """The retention bound this sink was built with."""
+        return self._max_events
+
+    @property
+    def events_truncated(self) -> bool:
+        """True when some recorded events are no longer retained."""
+        return self.events_seen > len(self.events)
 
     # -- probes ---------------------------------------------------------
 
@@ -149,6 +241,7 @@ class Instrumentation:
         """Record one per-query decision event."""
         if self._retain_events:
             self.events.append(event)
+        self.events_seen += 1
         self.count("decisions")
         if event.served_from_cache:
             self.count("decisions.served")
@@ -178,9 +271,21 @@ class Instrumentation:
     # -- snapshots ------------------------------------------------------
 
     def snapshot(self) -> Dict[str, object]:
-        """Structured view of everything recorded so far."""
+        """Structured, merge-safe view of everything recorded so far.
+
+        The payload is pure JSON-serializable data: counters annotated
+        with their units (see :func:`counter_unit`), stage timers, and
+        the event-retention accounting (``events`` retained versus
+        ``events_seen`` recorded, plus the resulting truncation flag).
+        :meth:`merge_snapshot` consumes exactly this shape, and
+        ``reset()`` + ``merge_snapshot(snapshot())`` round-trips.
+        """
         return {
+            "schema": SNAPSHOT_SCHEMA,
             "counters": dict(self.counters),
+            "counter_units": {
+                name: counter_unit(name) for name in self.counters
+            },
             "stages": {
                 name: {
                     "seconds": seconds,
@@ -189,7 +294,82 @@ class Instrumentation:
                 for name, seconds in self.stage_seconds.items()
             },
             "events": len(self.events),
+            "events_seen": self.events_seen,
+            "events_truncated": self.events_truncated,
         }
+
+    def merge(self, other: "Instrumentation") -> "Instrumentation":
+        """Fold another sink's recorded state into this one.
+
+        Counters and stage timers add; retained events append in
+        ``other``'s order (this sink's retention bound still applies);
+        ``events_seen`` accumulates so truncation stays visible.  Merge
+        order is the caller's iteration order, which the parallel
+        runners keep deterministic (submission order).  Probes are not
+        merged.  Returns ``self`` for chaining.
+        """
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0.0) + value
+        for name, seconds in other.stage_seconds.items():
+            self.stage_seconds[name] = (
+                self.stage_seconds.get(name, 0.0) + seconds
+            )
+            self.stage_calls[name] = (
+                self.stage_calls.get(name, 0)
+                + other.stage_calls.get(name, 0)
+            )
+        if self._retain_events:
+            self.events.extend(other.events)
+        self.events_seen += other.events_seen
+        return self
+
+    def merge_snapshot(
+        self, snapshot: Mapping[str, object]
+    ) -> "Instrumentation":
+        """Fold a :meth:`snapshot` payload into this sink.
+
+        This is how parallel sweep workers aggregate: each worker ships
+        its snapshot (cheap, JSON-safe) back to the parent, which merges
+        them in deterministic task order.  Event *bodies* do not cross
+        the process boundary — only their count — so ``events_seen``
+        grows while retained events do not, and ``events_truncated``
+        correctly reports the merged view as partial.
+        """
+        schema = snapshot.get("schema", SNAPSHOT_SCHEMA)
+        if not isinstance(schema, int) or schema > SNAPSHOT_SCHEMA:
+            raise ValueError(
+                f"cannot merge snapshot with schema {schema!r}; "
+                f"this build understands <= {SNAPSHOT_SCHEMA}"
+            )
+        counters = snapshot.get("counters", {})
+        if isinstance(counters, Mapping):
+            for name, value in counters.items():
+                self.counters[str(name)] = (
+                    self.counters.get(str(name), 0.0) + float(value)  # type: ignore[arg-type]
+                )
+        stages = snapshot.get("stages", {})
+        if isinstance(stages, Mapping):
+            for name, stage in stages.items():
+                if not isinstance(stage, Mapping):
+                    continue
+                self.stage_seconds[str(name)] = self.stage_seconds.get(
+                    str(name), 0.0
+                ) + float(stage.get("seconds", 0.0))  # type: ignore[arg-type]
+                self.stage_calls[str(name)] = self.stage_calls.get(
+                    str(name), 0
+                ) + int(stage.get("calls", 0))  # type: ignore[call-overload]
+        events_seen = snapshot.get("events_seen", snapshot.get("events", 0))
+        self.events_seen += int(events_seen)  # type: ignore[call-overload]
+        return self
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot: Mapping[str, object]
+    ) -> "Instrumentation":
+        """Rebuild a sink from a :meth:`snapshot` payload."""
+        instrumentation = cls()
+        instrumentation.merge_snapshot(snapshot)
+        return instrumentation
 
     def reset(self) -> None:
         """Drop all recorded state (probes stay attached)."""
@@ -197,6 +377,7 @@ class Instrumentation:
         self.stage_seconds.clear()
         self.stage_calls.clear()
         self.events.clear()
+        self.events_seen = 0
 
     def __repr__(self) -> str:
         return (

@@ -314,6 +314,7 @@ class DecisionPipeline:
         decision: Decision,
         accounting: QueryAccounting,
         sql: str = "",
+        yield_bytes: int = 0,
     ) -> None:
         """Forward one decision to the instrumentation sink, if any."""
         if self.instrumentation is None:
@@ -331,5 +332,6 @@ class DecisionPipeline:
                 bypass_bytes=accounting.bypass_bytes,
                 weighted_cost=accounting.weighted_cost,
                 sql=sql,
+                yield_bytes=yield_bytes,
             )
         )

@@ -22,7 +22,18 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import ContextManager, Dict, Iterable, List, Optional
+from typing import (
+    TYPE_CHECKING,
+    ContextManager,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+)
+
+if TYPE_CHECKING:
+    from repro.obs.httpd import MetricsServer
+    from repro.obs.metrics import MetricsRegistry
 
 from repro.core.events import CacheQuery
 from repro.core.instrumentation import Instrumentation
@@ -94,6 +105,8 @@ class BypassYieldProxy:
         self.granularity = granularity
         self.mediator = Mediator(federation, instrumentation=instrumentation)
         self.queries_handled = 0
+        self._metrics_registry: Optional["MetricsRegistry"] = None
+        self._metrics_server: Optional["MetricsServer"] = None
 
     @property
     def policy_sees_weights(self) -> bool:
@@ -176,6 +189,7 @@ class BypassYieldProxy:
                 bypass_cost=bypass_cost,
             ),
             sql=sql,
+            yield_bytes=event.yield_bytes,
         )
         return ProxyResponse(
             result=result,
@@ -196,6 +210,60 @@ class BypassYieldProxy:
             if self.policy.invalidate(object_id)
         ]
         return dropped
+
+    def enable_metrics(
+        self, registry: Optional["MetricsRegistry"] = None
+    ) -> "MetricsRegistry":
+        """Attach a :class:`repro.obs.metrics.MetricsProbe` to this proxy.
+
+        Creates an :class:`Instrumentation` sink if the proxy was built
+        without one (counters only — event retention stays opt-in), then
+        wires a probe that feeds ``registry`` from every decision,
+        including a cache-occupancy timeline read from the policy store.
+        Idempotent: calling again returns the existing registry.
+        """
+        from repro.obs.metrics import MetricsProbe, MetricsRegistry
+
+        if self._metrics_registry is not None:
+            return self._metrics_registry
+        instrumentation = self.pipeline.instrumentation
+        if instrumentation is None:
+            instrumentation = Instrumentation(max_events=0)
+            self.pipeline.instrumentation = instrumentation
+            self.mediator.instrumentation = instrumentation
+        self._metrics_registry = registry or MetricsRegistry()
+        instrumentation.add_probe(
+            MetricsProbe(
+                self._metrics_registry,
+                occupancy=lambda: self.policy.store.used_bytes,
+            )
+        )
+        return self._metrics_registry
+
+    def serve_metrics(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> "MetricsServer":
+        """Start the stdlib HTTP ``/metrics`` endpoint for this proxy.
+
+        Calls :meth:`enable_metrics` if needed, then binds a
+        :class:`repro.obs.httpd.MetricsServer` (daemon thread; ``port=0``
+        picks a free port).  Returns the running server — use its
+        ``url`` property, and ``close()`` when done.  Idempotent.
+        """
+        from repro.obs.httpd import MetricsServer
+
+        if self._metrics_server is not None:
+            return self._metrics_server
+        registry = self.enable_metrics()
+        self._metrics_server = MetricsServer(registry, host=host, port=port)
+        self._metrics_server.start()
+        return self._metrics_server
+
+    def close_metrics(self) -> None:
+        """Stop the metrics endpoint if one is running."""
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            self._metrics_server = None
 
     def stats(self) -> Dict[str, object]:
         """Operational snapshot: traffic, hit rate, residency."""

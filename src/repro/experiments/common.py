@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro.core.instrumentation import Instrumentation
 from repro.errors import ConfigurationError
 from repro.federation.federation import Federation
 from repro.federation.mediator import Mediator
@@ -195,3 +196,33 @@ def _cache_key(
 def clear_memo() -> None:
     """Drop in-process memoized contexts (tests use this)."""
     _MEMO.clear()
+
+
+# ---------------------------------------------------------------------------
+# Experiment-wide telemetry
+# ---------------------------------------------------------------------------
+
+#: Process-wide telemetry sink for experiment drivers.  ``run_all``
+#: installs one when ``--telemetry-dir`` is given; individual figure
+#: modules forward it into the runners so sweep/comparison telemetry
+#: (including parallel-worker snapshots) aggregates in one place.
+_EXPERIMENT_INSTRUMENTATION: Optional[Instrumentation] = None
+
+
+def experiment_instrumentation() -> Optional[Instrumentation]:
+    """The installed experiment-wide telemetry sink (None when off)."""
+    return _EXPERIMENT_INSTRUMENTATION
+
+
+def set_experiment_instrumentation(
+    instrumentation: Optional[Instrumentation],
+) -> Optional[Instrumentation]:
+    """Install (or clear, with None) the experiment telemetry sink.
+
+    Returns the previous sink so callers can restore it; ``run_all``
+    wraps its driver loop in try/finally around this.
+    """
+    global _EXPERIMENT_INSTRUMENTATION
+    previous = _EXPERIMENT_INSTRUMENTATION
+    _EXPERIMENT_INSTRUMENTATION = instrumentation
+    return previous

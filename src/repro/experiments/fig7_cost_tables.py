@@ -13,6 +13,7 @@ from typing import Dict, Optional, Sequence
 from repro.experiments.common import (
     ExperimentContext,
     build_context,
+    experiment_instrumentation,
     parallel_workers,
 )
 from repro.sim.reporting import cost_series_chart, format_table
@@ -73,6 +74,7 @@ def run_cost_series(
         record_series=True,
         parallel=workers > 1,
         max_workers=workers or None,
+        instrumentation=experiment_instrumentation(),
     )
     return CostSeriesResult(
         granularity=granularity,

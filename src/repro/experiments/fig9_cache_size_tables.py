@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 from repro.experiments.common import (
     ExperimentContext,
     build_context,
+    experiment_instrumentation,
     parallel_workers,
 )
 from repro.sim.reporting import format_table, sweep_chart
@@ -71,6 +72,7 @@ def run_sweep(
         policies=policies,
         parallel=workers > 1,
         max_workers=workers or None,
+        instrumentation=experiment_instrumentation(),
     )
     return SweepExperimentResult(
         sweep=sweep,

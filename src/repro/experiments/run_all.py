@@ -10,10 +10,13 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
+from repro.core.instrumentation import Instrumentation
 from repro.experiments import (
     build_context,
     fig4_containment,
@@ -26,7 +29,11 @@ from repro.experiments import (
     table1_column_breakdown,
     table2_table_breakdown,
 )
-from repro.experiments.common import DEFAULT_NUM_QUERIES, DEFAULT_PROFILE
+from repro.experiments.common import (
+    DEFAULT_NUM_QUERIES,
+    DEFAULT_PROFILE,
+    set_experiment_instrumentation,
+)
 from repro.workload.sdss_schema import PROFILES
 
 #: (label, module, needs) — 'edr' experiments take one context; the
@@ -65,14 +72,67 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "-o", "--output", default=None,
         help="also write the report to this file",
     )
+    parser.add_argument(
+        "--telemetry-dir", default=None, metavar="DIR",
+        help=(
+            "aggregate run telemetry across every experiment and write "
+            "DIR/telemetry.json (instrumentation snapshot + attribution)"
+        ),
+    )
     return parser
+
+
+def _write_telemetry(
+    directory: Path,
+    sink: Instrumentation,
+    args: argparse.Namespace,
+    elapsed_seconds: float,
+) -> Path:
+    """Persist the aggregated experiment telemetry with attribution."""
+    from repro.obs.manifest import package_version, wall_clock_timestamp
+
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "attribution": {
+            "source": "run_all",
+            "num_queries": args.num_queries,
+            "profile": args.profile,
+            "package_version": package_version(),
+            "created_at": wall_clock_timestamp(),
+            "elapsed_seconds": round(elapsed_seconds, 3),
+        },
+        "snapshot": sink.snapshot(),
+    }
+    path = directory / "telemetry.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_arg_parser().parse_args(argv)
     use_cache = not args.no_disk_cache
 
+    telemetry: Optional[Instrumentation] = None
+    if args.telemetry_dir is not None:
+        telemetry = Instrumentation(max_events=0)
+
     start = time.time()
+    previous = set_experiment_instrumentation(telemetry)
+    try:
+        return _run_experiments(args, use_cache, telemetry, start)
+    finally:
+        set_experiment_instrumentation(previous)
+
+
+def _run_experiments(
+    args: argparse.Namespace,
+    use_cache: bool,
+    telemetry: Optional[Instrumentation],
+    start: float,
+) -> int:
     edr = build_context(
         "edr", args.num_queries, args.profile, use_disk_cache=use_cache
     )
@@ -110,6 +170,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")
         print(f"\nreport written to {args.output}")
+    if telemetry is not None:
+        path = _write_telemetry(
+            Path(args.telemetry_dir),
+            telemetry,
+            args,
+            elapsed_seconds=time.time() - start,
+        )
+        print(f"telemetry written to {path}")
     return 0 if all_hold else 1
 
 

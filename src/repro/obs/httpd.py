@@ -1,0 +1,120 @@
+"""Stdlib-only HTTP exposition of a :class:`MetricsRegistry`.
+
+A tiny threaded server with two routes:
+
+* ``/metrics`` — Prometheus text exposition of the registry;
+* ``/healthz`` — liveness probe (``ok``).
+
+No third-party dependencies: ``http.server`` from the standard library,
+one daemon thread, ephemeral port by default (``port=0``) so tests and
+collocated proxies never collide.  Attach to a live proxy with
+:meth:`repro.core.proxy.BypassYieldProxy.serve_metrics`.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Type
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Prometheus text exposition content type.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _make_handler(
+    registry: MetricsRegistry,
+) -> Type[BaseHTTPRequestHandler]:
+    class MetricsHandler(BaseHTTPRequestHandler):
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            if self.path.split("?", 1)[0] == "/metrics":
+                body = registry.render_prometheus().encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            elif self.path.split("?", 1)[0] == "/healthz":
+                body = b"ok\n"
+                self.send_response(200)
+                self.send_header("Content-Type", "text/plain")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            else:
+                self.send_error(404, "unknown path (try /metrics)")
+
+        def log_message(self, format: str, *args: object) -> None:
+            """Silence per-request stderr logging."""
+
+    return MetricsHandler
+
+
+class MetricsServer:
+    """Serve one registry over HTTP until closed.
+
+    Args:
+        registry: The metrics to expose.
+        host: Bind address (loopback by default — expose deliberately).
+        port: TCP port; 0 picks a free ephemeral port (see ``.port``).
+
+    Usable as a context manager; the background thread is a daemon so a
+    forgotten server never blocks interpreter exit.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.registry = registry
+        self._server = ThreadingHTTPServer(
+            (host, port), _make_handler(registry)
+        )
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return str(self._server.server_address[0])
+
+    @property
+    def port(self) -> int:
+        return int(self._server.server_address[1])
+
+    @property
+    def url(self) -> str:
+        """Base URL (no path) — append ``/metrics`` or ``/healthz``."""
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def metrics_url(self) -> str:
+        """The scrape endpoint."""
+        return f"{self.url}/metrics"
+
+    def start(self) -> "MetricsServer":
+        """Begin serving in a background daemon thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="repro-metrics",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,412 @@
+"""``repro-report``: render one trace, or diff two runs as a CI gate.
+
+Single-trace mode loads a JSONL decision trace (manifest + events) and
+renders the run through the existing :mod:`repro.sim.reporting`
+dashboards: manifest, WAN accounting summary, per-query WAN byte
+distribution, decision tail, cumulative-cost chart.
+
+Diff mode (``--diff BASE CANDIDATE``) replays the paper's accounting
+argument across two runs: total WAN bytes, link-weighted cost, hit
+rate, and the realized byte-yield hit rate.  Any metric that worsens
+beyond ``--threshold`` percent is flagged, and the process exits
+non-zero — usable directly as a CI regression gate::
+
+    repro-report --diff baseline.jsonl candidate.jsonl --threshold 1.0
+
+Exit codes: 0 no regressions, 1 regressions found, 2 bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.instrumentation import DecisionEvent
+from repro.errors import ReproError
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import LogHistogram
+from repro.obs.trace_io import read_trace
+from repro.sim.reporting import (
+    cost_series_chart,
+    format_decision_trace,
+    format_table,
+)
+from repro.sim.results import SimulationResult
+
+#: Cap on reconstructed cumulative-series points (memory on long traces).
+SERIES_POINTS = 512
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """The accounting quantities of one recorded run."""
+
+    queries: int
+    served: int
+    loads: int
+    evictions: int
+    load_bytes: int
+    bypass_bytes: int
+    weighted_cost: float
+    yield_bytes: int
+    served_yield_bytes: int
+
+    @property
+    def wan_bytes(self) -> int:
+        return self.load_bytes + self.bypass_bytes
+
+    @property
+    def hit_rate(self) -> float:
+        return self.served / self.queries if self.queries else 0.0
+
+    @property
+    def byte_yield_hit_rate(self) -> float:
+        """Realized yield-weighted hit rate: what fraction of result
+        bytes was produced without touching the WAN (the run-level
+        analogue of the paper's BYHR objective)."""
+        if self.yield_bytes == 0:
+            return 0.0
+        return self.served_yield_bytes / self.yield_bytes
+
+
+def summarize_events(events: Sequence[DecisionEvent]) -> RunMetrics:
+    """Fold a trace's events into the run's accounting quantities."""
+    queries = len(events)
+    served = sum(1 for e in events if e.served_from_cache)
+    return RunMetrics(
+        queries=queries,
+        served=served,
+        loads=sum(len(e.loads) for e in events),
+        evictions=sum(len(e.evictions) for e in events),
+        load_bytes=sum(e.load_bytes for e in events),
+        bypass_bytes=sum(e.bypass_bytes for e in events),
+        weighted_cost=sum(e.weighted_cost for e in events),
+        yield_bytes=sum(e.yield_bytes for e in events),
+        served_yield_bytes=sum(
+            e.yield_bytes for e in events if e.served_from_cache
+        ),
+    )
+
+
+def result_from_trace(
+    manifest: RunManifest, events: Sequence[DecisionEvent]
+) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` view of a persisted trace,
+    so the standard dashboards (charts, breakdown tables) apply."""
+    result = SimulationResult(
+        policy_name=manifest.policy,
+        granularity=manifest.granularity,
+        capacity_bytes=manifest.capacity_bytes,
+    )
+    stride = max(1, len(events) // SERIES_POINTS)
+    result.series_stride = stride
+    cumulative = 0.0
+    for i, event in enumerate(events):
+        result.charge_event(event)
+        cumulative += event.wan_bytes
+        if (i + 1) % stride == 0 or i == len(events) - 1:
+            result.cumulative_bytes.append(cumulative)
+    return result
+
+
+def render_report(
+    manifest: RunManifest,
+    events: Sequence[DecisionEvent],
+    limit: int = 15,
+) -> str:
+    """The single-trace dashboard."""
+    metrics = summarize_events(events)
+    sections: List[str] = [
+        format_table(
+            ["field", "value"],
+            [[key, value] for key, value in manifest.describe().items()],
+            title="run manifest",
+        )
+    ]
+    sections.append(
+        format_table(
+            ["metric", "value"],
+            [
+                ["queries", metrics.queries],
+                ["served from cache", metrics.served],
+                ["hit rate", round(metrics.hit_rate, 4)],
+                ["byte-yield hit rate",
+                 round(metrics.byte_yield_hit_rate, 4)],
+                ["object loads", metrics.loads],
+                ["evictions", metrics.evictions],
+                ["WAN load bytes", metrics.load_bytes],
+                ["WAN bypass bytes", metrics.bypass_bytes],
+                ["WAN total bytes", metrics.wan_bytes],
+                ["weighted WAN cost", metrics.weighted_cost],
+                ["result yield bytes", metrics.yield_bytes],
+            ],
+            title="run summary",
+        )
+    )
+    if events:
+        histogram = LogHistogram("query_wan_bytes")
+        for event in events:
+            histogram.observe(event.wan_bytes)
+        sections.append(
+            format_table(
+                ["per-query WAN bytes", "queries"],
+                [list(row) for row in histogram.rows()],
+                title="WAN distribution (log2 buckets)",
+            )
+        )
+        result = result_from_trace(manifest, events)
+        sections.append(
+            cost_series_chart(
+                {manifest.policy: result},
+                title="cumulative WAN bytes",
+            )
+        )
+        sections.append(
+            format_decision_trace(events, limit=limit)
+        )
+    else:
+        sections.append("(trace holds no decision events)")
+    return "\n\n".join(sections)
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One compared metric between a baseline and a candidate run."""
+
+    name: str
+    baseline: float
+    candidate: float
+    higher_is_better: bool
+    gated: bool
+
+    @property
+    def delta(self) -> float:
+        return self.candidate - self.baseline
+
+    def relative_regression(self) -> float:
+        """How much worse the candidate is, as a fraction (>= 0)."""
+        worsening = (
+            self.baseline - self.candidate
+            if self.higher_is_better
+            else self.candidate - self.baseline
+        )
+        if worsening <= 0:
+            return 0.0
+        if self.baseline == 0:
+            return float("inf")
+        return worsening / abs(self.baseline)
+
+    def is_regression(self, threshold_fraction: float) -> bool:
+        return self.gated and (
+            self.relative_regression() > threshold_fraction
+        )
+
+
+def diff_metrics(
+    baseline: RunMetrics, candidate: RunMetrics
+) -> List[MetricDelta]:
+    """Per-metric comparison; gated rows drive the exit code."""
+    return [
+        MetricDelta(
+            "wan_bytes", baseline.wan_bytes, candidate.wan_bytes,
+            higher_is_better=False, gated=True,
+        ),
+        MetricDelta(
+            "weighted_cost", baseline.weighted_cost,
+            candidate.weighted_cost,
+            higher_is_better=False, gated=True,
+        ),
+        MetricDelta(
+            "hit_rate", baseline.hit_rate, candidate.hit_rate,
+            higher_is_better=True, gated=True,
+        ),
+        MetricDelta(
+            "byte_yield_hit_rate", baseline.byte_yield_hit_rate,
+            candidate.byte_yield_hit_rate,
+            higher_is_better=True, gated=True,
+        ),
+        MetricDelta(
+            "load_bytes", baseline.load_bytes, candidate.load_bytes,
+            higher_is_better=False, gated=False,
+        ),
+        MetricDelta(
+            "bypass_bytes", baseline.bypass_bytes,
+            candidate.bypass_bytes,
+            higher_is_better=False, gated=False,
+        ),
+        MetricDelta(
+            "evictions", float(baseline.evictions),
+            float(candidate.evictions),
+            higher_is_better=False, gated=False,
+        ),
+        MetricDelta(
+            "queries", float(baseline.queries),
+            float(candidate.queries),
+            higher_is_better=True, gated=False,
+        ),
+    ]
+
+
+def render_diff(
+    base_manifest: RunManifest,
+    candidate_manifest: RunManifest,
+    deltas: Sequence[MetricDelta],
+    threshold_fraction: float,
+) -> Tuple[str, bool]:
+    """(report text, any_regression) for two compared runs."""
+    sections: List[str] = []
+    identity_rows = [
+        [field, getattr(base_manifest, field),
+         getattr(candidate_manifest, field)]
+        for field in (
+            "workload", "policy", "granularity", "capacity_bytes",
+            "seed", "source", "package_version",
+        )
+    ]
+    sections.append(
+        format_table(
+            ["field", "baseline", "candidate"],
+            identity_rows,
+            title="compared runs",
+        )
+    )
+    mismatched = [
+        row[0]
+        for row in identity_rows
+        if row[0] not in ("policy", "package_version") and row[1] != row[2]
+    ]
+    if mismatched:
+        sections.append(
+            "note: runs differ in "
+            + ", ".join(str(name) for name in mismatched)
+            + " — deltas compare different experiments"
+        )
+
+    any_regression = False
+    rows: List[List[object]] = []
+    for delta in deltas:
+        regressed = delta.is_regression(threshold_fraction)
+        any_regression = any_regression or regressed
+        if regressed:
+            status = "REGRESSION"
+        elif delta.relative_regression() > 0:
+            status = "worse (within threshold)"
+        elif delta.delta == 0:
+            status = "unchanged"
+        else:
+            status = "improved"
+        rows.append(
+            [
+                delta.name,
+                delta.baseline,
+                delta.candidate,
+                delta.delta,
+                (
+                    f"{delta.relative_regression() * 100:.2f}%"
+                    if delta.relative_regression() != float("inf")
+                    else "inf"
+                ),
+                status if delta.gated else f"({status})",
+            ]
+        )
+    sections.append(
+        format_table(
+            ["metric", "baseline", "candidate", "delta",
+             "worse by", "status"],
+            rows,
+            title=(
+                f"regression gate (threshold "
+                f"{threshold_fraction * 100:.2f}%; "
+                f"ungated rows in parentheses)"
+            ),
+        )
+    )
+    verdict = (
+        "REGRESSIONS FOUND" if any_regression else "no regressions"
+    )
+    sections.append(f"verdict: {verdict}")
+    return "\n\n".join(sections), any_regression
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-report",
+        description=(
+            "Render a recorded decision trace, or diff two traces and "
+            "gate on WAN/hit-rate regressions."
+        ),
+    )
+    parser.add_argument(
+        "traces", nargs="+",
+        help="one trace to report on, or two with --diff",
+    )
+    parser.add_argument(
+        "--diff", action="store_true",
+        help="compare two traces: BASELINE CANDIDATE",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.0, metavar="PCT",
+        help=(
+            "allowed per-metric worsening in percent before a gated "
+            "metric counts as a regression (default 0)"
+        ),
+    )
+    parser.add_argument(
+        "--limit", type=int, default=15,
+        help="decision-trace tail length in single-trace mode",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.threshold < 0:
+        print("--threshold must be >= 0", file=sys.stderr)
+        return 2
+    if args.diff and len(args.traces) != 2:
+        print(
+            "--diff needs exactly two traces: BASELINE CANDIDATE",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.diff and len(args.traces) != 1:
+        print(
+            "pass one trace, or two with --diff", file=sys.stderr
+        )
+        return 2
+
+    try:
+        if args.diff:
+            base_manifest, base_events = read_trace(args.traces[0])
+            cand_manifest, cand_events = read_trace(args.traces[1])
+            text, any_regression = render_diff(
+                base_manifest,
+                cand_manifest,
+                diff_metrics(
+                    summarize_events(base_events),
+                    summarize_events(cand_events),
+                ),
+                args.threshold / 100.0,
+            )
+            print(text)
+            return 1 if any_regression else 0
+        manifest, events = read_trace(args.traces[0])
+        print(render_report(manifest, events, limit=args.limit))
+        return 0
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error for a
+        # terminal-rendering tool. Detach stdout so the interpreter's
+        # shutdown flush does not raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

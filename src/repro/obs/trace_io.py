@@ -1,0 +1,159 @@
+"""Durable decision traces: JSONL streaming with a manifest header.
+
+Format (one JSON object per line)::
+
+    {"manifest": {...RunManifest...}}
+    {...DecisionEvent...}
+    {...DecisionEvent...}
+
+:class:`TraceWriter` is also an :class:`~repro.core.instrumentation.Probe`,
+so attaching it to an :class:`~repro.core.instrumentation.Instrumentation`
+streams every decision straight to disk — the run itself needs no event
+retention (``max_events=0``) and memory stays flat on arbitrarily long
+traces.  :class:`TraceReader` restores the manifest and every event
+exactly (tested round-trip), which is what makes cross-run diffing
+(:mod:`repro.obs.report`) trustworthy.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from types import TracebackType
+from typing import IO, Iterator, List, Optional, Tuple, Type, Union
+
+from repro.core.instrumentation import DecisionEvent, Probe
+from repro.errors import ConfigurationError
+from repro.obs.manifest import RunManifest
+
+
+class TraceWriter(Probe):
+    """Stream :class:`DecisionEvent` records to a JSONL trace file.
+
+    Args:
+        path: Destination file (parent directories are created).
+        manifest: The run's attribution header, written first.
+
+    Use as a context manager, or call :meth:`close` explicitly.  The
+    writer flushes on close; ``events_written`` counts emitted records.
+    """
+
+    def __init__(
+        self, path: Union[str, Path], manifest: RunManifest
+    ) -> None:
+        self.path = Path(path)
+        self.manifest = manifest
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle: Optional[IO[str]] = self.path.open(
+            "w", encoding="utf-8"
+        )
+        self._handle.write(
+            json.dumps({"manifest": manifest.to_json()}, sort_keys=True)
+            + "\n"
+        )
+        self.events_written = 0
+
+    # -- Probe interface -------------------------------------------------
+
+    def on_decision(self, event: DecisionEvent) -> None:
+        """Probe hook: stream each decision as it happens."""
+        self.write(event)
+
+    # -- explicit API ----------------------------------------------------
+
+    def write(self, event: DecisionEvent) -> None:
+        """Append one event line."""
+        if self._handle is None:
+            raise ConfigurationError(
+                f"trace writer for {self.path} is closed"
+            )
+        self._handle.write(
+            json.dumps(event.to_json(), sort_keys=True) + "\n"
+        )
+        self.events_written += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.close()
+
+
+class TraceReader:
+    """Read a JSONL trace written by :class:`TraceWriter`.
+
+    The manifest is parsed eagerly (``reader.manifest``); events stream
+    lazily through iteration, so summarizing a multi-gigabyte trace
+    never materializes it.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        if not self.path.exists():
+            raise ConfigurationError(f"no such trace file: {self.path}")
+        self.manifest = self._read_manifest()
+
+    def _read_manifest(self) -> RunManifest:
+        with self.path.open("r", encoding="utf-8") as handle:
+            first = handle.readline().strip()
+        if not first:
+            raise ConfigurationError(
+                f"{self.path}: empty file is not a trace"
+            )
+        try:
+            header = json.loads(first)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"{self.path}:1: invalid JSON in trace header"
+            ) from exc
+        if not isinstance(header, dict) or "manifest" not in header:
+            raise ConfigurationError(
+                f"{self.path}:1: trace header must be a "
+                f'{{"manifest": ...}} object'
+            )
+        return RunManifest.from_json(header["manifest"])
+
+    def __iter__(self) -> Iterator[DecisionEvent]:
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle):
+                if line_no == 0:
+                    continue
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ConfigurationError(
+                        f"{self.path}:{line_no + 1}: invalid JSON "
+                        f"event line"
+                    ) from exc
+                try:
+                    yield DecisionEvent.from_json(data)
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise ConfigurationError(
+                        f"{self.path}:{line_no + 1}: malformed "
+                        f"decision event: {exc}"
+                    ) from exc
+
+    def read_all(self) -> Tuple[RunManifest, List[DecisionEvent]]:
+        """(manifest, every event) — convenience for small traces."""
+        return self.manifest, list(self)
+
+
+def read_trace(
+    path: Union[str, Path]
+) -> Tuple[RunManifest, List[DecisionEvent]]:
+    """One-shot load of a trace file."""
+    return TraceReader(path).read_all()

@@ -114,11 +114,20 @@ def _run_fleet_task(client: ClientSite) -> SimulationResult:
     federation, granularity, policy_sees_weights, record_series = (
         _FLEET_CONTEXT["args"]
     )
-    simulator = Simulator(federation, granularity, policy_sees_weights)
+    # Counters-only sink; the snapshot rides home on the result so the
+    # parent can aggregate fleet telemetry in client order.
+    telemetry = Instrumentation(max_events=0)
+    simulator = Simulator(
+        federation,
+        granularity,
+        policy_sees_weights,
+        instrumentation=telemetry,
+    )
     result = simulator.run(
         client.trace, client.policy, record_series=record_series
     )
     result.worker_pid = os.getpid()
+    result.telemetry = telemetry.snapshot()
     return result
 
 
@@ -140,6 +149,11 @@ def simulate_fleet(
     worker process (falling back to serial when the platform cannot
     spawn a pool); note that the caller's ``client.policy`` objects are
     then *not* mutated — per-site state lives in the returned results.
+
+    Telemetry is never dropped: parallel workers record counters into
+    their own sink and ship the snapshot back on each result, and when
+    ``instrumentation`` is supplied those snapshots merge into it in
+    client order (serial runs emit into it directly).
     """
     if not clients:
         raise CacheError("simulate_fleet needs at least one client")
@@ -184,6 +198,9 @@ def simulate_fleet(
     for client, outcome in zip(clients, outcomes):
         result.per_client[client.name] = outcome
     if instrumentation is not None:
+        for outcome in outcomes:
+            if outcome.telemetry is not None:
+                instrumentation.merge_snapshot(outcome.telemetry)
         instrumentation.count("fleet.clients", len(clients))
         instrumentation.count("fleet.wan_bytes", result.total_bytes)
     return result

@@ -7,6 +7,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:
     from repro.core.events import Decision
+    from repro.core.instrumentation import DecisionEvent
     from repro.core.pipeline import QueryAccounting
 
 
@@ -69,6 +70,12 @@ class SimulationResult:
             ratios).
         worker_pid: Process id that produced this result when it came
             from a parallel runner (None for in-process runs).
+        telemetry: The worker's
+            :meth:`~repro.core.instrumentation.Instrumentation.snapshot`
+            when the run executed in a parallel worker (None for
+            in-process runs, whose events flow into the caller's sink
+            directly).  Parents merge these in deterministic task order
+            via ``Instrumentation.merge_snapshot``.
     """
 
     policy_name: str
@@ -84,6 +91,7 @@ class SimulationResult:
     evictions: int = 0
     sequence_bytes: float = 0.0
     worker_pid: Optional[int] = None
+    telemetry: Optional[Dict[str, object]] = None
 
     @property
     def total_bytes(self) -> float:
@@ -117,6 +125,37 @@ class SimulationResult:
         self.evictions += len(decision.evictions)
         if decision.served_from_cache:
             self.served_queries += 1
+
+    def charge_event(self, event: "DecisionEvent") -> None:
+        """Accumulate one persisted :class:`DecisionEvent`.
+
+        The trace-replay path (``repro-report`` rebuilding a result
+        from a JSONL trace) goes through here, keeping RPR004's
+        single-mutation-point discipline.  The event stores only the
+        *total* weighted cost, so it is charged as load cost with zero
+        bypass cost — the breakdown's weighted split is not
+        reconstructable from a trace, but every total is exact.
+        """
+        from repro.core.pipeline import QueryAccounting
+        from repro.core.units import (
+            ZERO_COST,
+            RawBytes,
+            WeightedCost,
+        )
+
+        accounting = QueryAccounting(
+            load_bytes=RawBytes(event.load_bytes),
+            load_cost=WeightedCost(event.weighted_cost),
+            bypass_bytes=RawBytes(event.bypass_bytes),
+            bypass_cost=ZERO_COST,
+        )
+        self.breakdown.charge(accounting)
+        self.weighted_cost += event.weighted_cost
+        self.loads += len(event.loads)
+        self.evictions += len(event.evictions)
+        if event.served_from_cache:
+            self.served_queries += 1
+        self.queries += 1
 
     def summary(self) -> Dict[str, object]:
         return {

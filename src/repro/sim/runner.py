@@ -113,6 +113,10 @@ def _run_task(task: Tuple[str, int]) -> SimulationResult:
     trace, federation, granularity, record_series, policy_sees_weights = (
         _WORKER_CONTEXT["args"]
     )
+    # Counters-only sink: event bodies stay in the worker, the snapshot
+    # (cheap, JSON-safe) rides back on the result for the parent to
+    # merge in deterministic task order.
+    telemetry = Instrumentation(max_events=0)
     result = run_single(
         trace,
         federation,
@@ -121,9 +125,29 @@ def _run_task(task: Tuple[str, int]) -> SimulationResult:
         granularity,
         record_series=record_series,
         policy_sees_weights=policy_sees_weights,
+        instrumentation=telemetry,
     )
     result.worker_pid = os.getpid()
+    result.telemetry = telemetry.snapshot()
     return result
+
+
+def merge_worker_telemetry(
+    instrumentation: Optional[Instrumentation],
+    outcomes: Sequence[SimulationResult],
+) -> None:
+    """Fold worker telemetry snapshots into the caller's sink.
+
+    Merged in the given (deterministic submission) order, so parallel
+    aggregation is reproducible run to run.  Results without telemetry
+    (serial in-process runs, whose events already flowed into the sink)
+    are skipped.
+    """
+    if instrumentation is None:
+        return
+    for outcome in outcomes:
+        if outcome.telemetry is not None:
+            instrumentation.merge_snapshot(outcome.telemetry)
 
 
 def _run_cells(
@@ -135,6 +159,7 @@ def _run_cells(
     policy_sees_weights: bool,
     parallel: bool,
     max_workers: Optional[int],
+    instrumentation: Optional[Instrumentation] = None,
 ) -> List[SimulationResult]:
     """Run (policy, capacity) cells, optionally across processes.
 
@@ -142,6 +167,11 @@ def _run_cells(
     execution are interchangeable.  If the platform cannot run a
     process pool (no fork/spawn, unpicklable state), we fall back to
     serial execution rather than failing the experiment.
+
+    When ``instrumentation`` is supplied, serial cells emit into it
+    directly; parallel cells record counters in their worker process
+    and the snapshots are merged back in task order (events stay
+    worker-local — only counter/stage aggregates cross the boundary).
     """
     if parallel and len(tasks) > 1:
         workers = max_workers or (os.cpu_count() or 1)
@@ -159,9 +189,12 @@ def _run_cells(
                         policy_sees_weights,
                     ),
                 ) as pool:
-                    return list(pool.map(_run_task, tasks))
+                    outcomes = list(pool.map(_run_task, tasks))
             except (BrokenProcessPool, pickle.PicklingError, OSError):
                 pass  # fall back to in-process execution below
+            else:
+                merge_worker_telemetry(instrumentation, outcomes)
+                return outcomes
     return [
         run_single(
             trace,
@@ -171,6 +204,7 @@ def _run_cells(
             granularity,
             record_series=record_series,
             policy_sees_weights=policy_sees_weights,
+            instrumentation=instrumentation,
         )
         for name, capacity in tasks
     ]
@@ -186,8 +220,14 @@ def compare_policies(
     policy_sees_weights: bool = True,
     parallel: bool = False,
     max_workers: Optional[int] = None,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> Dict[str, SimulationResult]:
-    """Run several policies at one cache size (Figures 7-8, Tables 1-2)."""
+    """Run several policies at one cache size (Figures 7-8, Tables 1-2).
+
+    With ``instrumentation``, telemetry aggregates across every cell —
+    including parallel workers, whose counter snapshots merge back in
+    deterministic policy order.
+    """
     tasks = [(name, capacity_bytes) for name in policies]
     outcomes = _run_cells(
         tasks,
@@ -198,6 +238,7 @@ def compare_policies(
         policy_sees_weights,
         parallel,
         max_workers,
+        instrumentation=instrumentation,
     )
     return {name: result for name, result in zip(policies, outcomes)}
 
@@ -215,12 +256,14 @@ def run_sweep(
     policy_sees_weights: bool = True,
     parallel: bool = False,
     max_workers: Optional[int] = None,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> SweepResult:
     """Total cost vs cache size, 10%-100% of the DB (Figures 9-10).
 
     With ``parallel=True`` the (fraction × policy) grid fans out over a
     process pool; the returned points are ordered exactly as in serial
-    mode (fractions outer, policies inner).
+    mode (fractions outer, policies inner).  Worker telemetry snapshots
+    merge into ``instrumentation`` in that same order.
     """
     database_bytes = federation.total_database_bytes()
     sweep = SweepResult(
@@ -246,6 +289,7 @@ def run_sweep(
         policy_sees_weights,
         parallel,
         max_workers,
+        instrumentation=instrumentation,
     )
     for (name, fraction, capacity), result in zip(cells, outcomes):
         sweep.points.append(

@@ -15,8 +15,10 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional
 
+from repro.core.instrumentation import Instrumentation
 from repro.core.policies import POLICY_REGISTRY
 from repro.errors import ConfigurationError
 from repro.experiments.common import parse_worker_count
@@ -24,7 +26,8 @@ from repro.federation.federation import Federation
 from repro.federation.mediator import Mediator
 from repro.federation.server import DatabaseServer
 from repro.sim.reporting import format_breakdown
-from repro.sim.runner import compare_policies
+from repro.sim.results import SimulationResult
+from repro.sim.runner import compare_policies, run_single
 from repro.workload.sdss_schema import (
     PROFILES,
     build_first_catalog,
@@ -66,7 +69,62 @@ def build_parser() -> argparse.ArgumentParser:
             "give a positive worker count (0/false/no/off forces serial)"
         ),
     )
+    parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help=(
+            "write one JSONL decision trace per policy "
+            "(DIR/trace-<policy>.jsonl, with a run-manifest header) for "
+            "repro-report; forces serial replay"
+        ),
+    )
     return parser
+
+
+def _run_with_traces(
+    prepared,
+    federation,
+    capacity: int,
+    granularity: str,
+    policies,
+    trace_dir: Path,
+) -> Dict[str, SimulationResult]:
+    """Serial per-policy replay, streaming each run to a JSONL trace.
+
+    Decision events must stay in-process to reach the
+    :class:`~repro.obs.trace_io.TraceWriter` probe, so this path never
+    fans out to workers.  Each policy gets its own counters-only sink
+    (``max_events=0`` — the probe sees every event without retention)
+    and its own ``trace-<policy>.jsonl`` under ``trace_dir``.
+    """
+    from repro.obs.manifest import RunManifest, wall_clock_timestamp
+    from repro.obs.trace_io import TraceWriter
+
+    trace_dir.mkdir(parents=True, exist_ok=True)
+    results: Dict[str, SimulationResult] = {}
+    for name in policies:
+        manifest = RunManifest(
+            workload=prepared.name,
+            policy=name,
+            granularity=granularity,
+            capacity_bytes=capacity,
+            source="simulator",
+            created_at=wall_clock_timestamp(),
+        )
+        sink = Instrumentation(max_events=0)
+        path = trace_dir / f"trace-{name}.jsonl"
+        with TraceWriter(path, manifest) as writer:
+            sink.add_probe(writer)
+            results[name] = run_single(
+                prepared,
+                federation,
+                name,
+                capacity,
+                granularity,
+                record_series=False,
+                instrumentation=sink,
+            )
+        print(f"wrote {writer.events_written} events to {path}")
+    return results
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -111,16 +169,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         1, int(federation.total_database_bytes() * args.capacity_frac)
     )
 
-    results = compare_policies(
-        prepared,
-        federation,
-        capacity,
-        args.granularity,
-        policies=policies,
-        record_series=False,
-        parallel=parallel,
-        max_workers=max_workers,
-    )
+    if args.trace_dir is not None:
+        results = _run_with_traces(
+            prepared,
+            federation,
+            capacity,
+            args.granularity,
+            policies,
+            Path(args.trace_dir),
+        )
+    else:
+        results = compare_policies(
+            prepared,
+            federation,
+            capacity,
+            args.granularity,
+            policies=policies,
+            record_series=False,
+            parallel=parallel,
+            max_workers=max_workers,
+        )
     print(
         format_breakdown(
             results,

@@ -134,6 +134,7 @@ class Simulator:
                 decision=decision,
                 accounting=accounting,
                 sql=prepared.sql,
+                yield_bytes=prepared.yield_bytes,
             )
 
         result.queries = total

@@ -84,6 +84,69 @@ class TestPragmas:
         assert lint_source(source, Path("x.py"), select=["RPR001"]) == []
 
 
+class TestFilePragma:
+    CLOCKY = (
+        "import time\n"
+        "\n"
+        "def stamp():\n"
+        "    return time.time()\n"
+    )
+
+    def test_allow_file_suppresses_named_rule_module_wide(self):
+        source = (
+            "# repro-lint: allow-file[RPR002] CLI-edge timestamps\n"
+            + self.CLOCKY
+        )
+        path = Path("src/repro/obs/manifest.py")
+        assert lint_source(source, path, select=["RPR002"]) == []
+
+    def test_without_file_pragma_rule_fires(self):
+        path = Path("src/repro/obs/manifest.py")
+        violations = lint_source(self.CLOCKY, path, select=["RPR002"])
+        assert [v.rule_id for v in violations] == ["RPR002"]
+
+    def test_allow_file_requires_explicit_rule_list(self):
+        # A bare allow-file (no brackets) is not a valid spelling and
+        # must not suppress anything.
+        source = "# repro-lint: allow-file whole module\n" + self.CLOCKY
+        path = Path("src/repro/obs/manifest.py")
+        violations = lint_source(source, path, select=["RPR002"])
+        assert [v.rule_id for v in violations] == ["RPR002"]
+
+    def test_allow_file_only_covers_listed_rules(self):
+        source = (
+            "# repro-lint: allow-file[RPR001] units only\n" + self.CLOCKY
+        )
+        path = Path("src/repro/obs/manifest.py")
+        violations = lint_source(source, path, select=["RPR002"])
+        assert [v.rule_id for v in violations] == ["RPR002"]
+
+    def test_allow_file_trailing_code_ignored(self):
+        # Only standalone comment lines count as file pragmas.
+        source = (
+            "X = 1  # repro-lint: allow-file[RPR002]\n" + self.CLOCKY
+        )
+        path = Path("src/repro/obs/manifest.py")
+        violations = lint_source(source, path, select=["RPR002"])
+        assert [v.rule_id for v in violations] == ["RPR002"]
+
+    def test_allow_file_multiple_rules(self):
+        source = (
+            "# repro-lint: allow-file[RPR001, RPR002] both\n"
+            "def f(load_bytes, load_cost):\n"
+            "    return load_bytes + load_cost\n"
+        )
+        path = Path("src/repro/core/x.py")
+        assert lint_source(
+            source, path, select=["RPR001", "RPR002"]
+        ) == []
+
+    def test_obs_paths_now_in_rpr002_scope(self):
+        path = Path("src/repro/obs/metrics.py")
+        violations = lint_source(self.CLOCKY, path, select=["RPR002"])
+        assert [v.rule_id for v in violations] == ["RPR002"]
+
+
 class TestEngineMechanics:
     def test_syntax_error_becomes_rpr000(self):
         violations = lint_source("def broken(:\n", Path("x.py"))

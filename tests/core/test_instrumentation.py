@@ -135,10 +135,71 @@ class TestInstrumentation:
         assert snap["counters"]["a"] == 2
         assert snap["stages"]["s"]["calls"] == 1
         assert snap["events"] == 1
+        assert snap["events_seen"] == 1
+        assert snap["events_truncated"] is False
         instrumentation.reset()
-        assert instrumentation.snapshot() == {
-            "counters": {}, "stages": {}, "events": 0
-        }
+        cleared = instrumentation.snapshot()
+        assert cleared["counters"] == {}
+        assert cleared["stages"] == {}
+        assert cleared["events"] == 0
+        assert cleared["events_seen"] == 0
+        assert cleared["events_truncated"] is False
+
+    def test_snapshot_counter_units(self):
+        instrumentation = Instrumentation()
+        instrumentation.record_decision(event(bypass_bytes=7))
+        units = instrumentation.snapshot()["counter_units"]
+        assert units["wan.bypass_bytes"] == "bytes"
+        assert units["wan.weighted_cost"] == "cost"
+        assert units["decisions"] == "count"
+
+    def test_truncation_status(self):
+        instrumentation = Instrumentation(max_events=2)
+        for i in range(5):
+            instrumentation.record_decision(event(index=i))
+        assert instrumentation.events_seen == 5
+        assert len(instrumentation.events) == 2
+        assert instrumentation.events_truncated is True
+        snap = instrumentation.snapshot()
+        assert snap["events_truncated"] is True
+        assert snap["events_seen"] == 5
+
+    def test_merge_and_merge_snapshot_round_trip(self):
+        left = Instrumentation()
+        left.count("a", 1)
+        left.record_decision(event(index=0))
+        right = Instrumentation()
+        right.count("a", 2)
+        right.count("b", 5)
+        right.record_decision(event(index=1))
+
+        merged = Instrumentation.from_snapshot(left.snapshot())
+        merged.merge_snapshot(right.snapshot())
+        assert merged.counters["a"] == 3
+        assert merged.counters["b"] == 5
+        assert merged.events_seen == 2
+
+        direct = Instrumentation()
+        direct.merge(left).merge(right)
+        assert direct.counters == merged.counters
+        assert [e.index for e in direct.events] == [0, 1]
+
+    def test_merge_snapshot_rejects_newer_schema(self):
+        instrumentation = Instrumentation()
+        with pytest.raises(ValueError):
+            instrumentation.merge_snapshot({"schema": 999, "counters": {}})
+
+    def test_reset_snapshot_round_trip_is_merge_safe(self):
+        # reset() must return the sink to a state whose snapshot merges
+        # as the identity element.
+        sink = Instrumentation()
+        sink.count("x", 3)
+        sink.reset()
+        other = Instrumentation()
+        other.count("x", 4)
+        other.merge_snapshot(sink.snapshot())
+        assert other.counters["x"] == 4
+        assert other.events_seen == 0
 
 
 class TestDriverEmission:

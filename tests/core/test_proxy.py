@@ -178,3 +178,39 @@ class TestMultiServerProxy:
         # Decomposed shipping, not the final-result size.
         assert set(proxy.ledger.per_server_bypass) == {"sdss", "first"}
         assert response.wan_bytes == proxy.ledger.bypass_bytes
+
+
+class TestMetricsEndpoint:
+    def test_enable_metrics_feeds_registry(self, proxy):
+        registry = proxy.enable_metrics()
+        assert proxy.enable_metrics() is registry  # idempotent
+        proxy.query(HOT_QUERY)
+        proxy.query(HOT_QUERY)
+        proxy.query(HOT_QUERY)
+        assert registry.counter("repro_decisions_total").value == 3.0
+        served = registry.counter("repro_decisions_served_total").value
+        assert served >= 1.0
+        occupancy = registry.windowed_gauge("repro_cache_occupancy_bytes")
+        exposed = dict(occupancy.expose())
+        assert exposed["repro_cache_occupancy_bytes"] == (
+            proxy.policy.store.used_bytes
+        )
+
+    def test_enable_metrics_creates_sink_when_absent(self, proxy):
+        assert proxy.instrumentation is None
+        proxy.enable_metrics()
+        assert proxy.instrumentation is not None
+        assert proxy.mediator.instrumentation is proxy.instrumentation
+
+    def test_serve_metrics_http_scrape(self, proxy):
+        from urllib.request import urlopen
+
+        server = proxy.serve_metrics()
+        try:
+            assert proxy.serve_metrics() is server  # idempotent
+            proxy.query(HOT_QUERY)
+            with urlopen(server.metrics_url, timeout=5) as response:
+                body = response.read().decode("utf-8")
+            assert "repro_decisions_total 1" in body
+        finally:
+            proxy.close_metrics()

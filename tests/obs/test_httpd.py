@@ -1,0 +1,50 @@
+"""Tests for the stdlib-only /metrics HTTP endpoint."""
+
+from urllib.request import urlopen
+
+from repro.obs.httpd import CONTENT_TYPE, MetricsServer
+from repro.obs.metrics import MetricsRegistry
+
+
+def test_serves_metrics_and_healthz():
+    registry = MetricsRegistry()
+    registry.counter("repro_demo_total", "Demo").inc(3)
+    with MetricsServer(registry) as server:
+        with urlopen(f"{server.url}/metrics", timeout=5) as response:
+            body = response.read().decode("utf-8")
+            assert response.headers["Content-Type"] == CONTENT_TYPE
+        assert "repro_demo_total 3" in body
+
+        with urlopen(f"{server.url}/healthz", timeout=5) as response:
+            assert response.read() == b"ok\n"
+
+
+def test_unknown_path_is_404():
+    with MetricsServer(MetricsRegistry()) as server:
+        import urllib.error
+
+        try:
+            urlopen(f"{server.url}/nope", timeout=5)
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 404
+        else:  # pragma: no cover - the request must fail
+            raise AssertionError("expected 404")
+
+
+def test_live_updates_between_scrapes():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_live_total")
+    with MetricsServer(registry) as server:
+        with urlopen(f"{server.url}/metrics", timeout=5) as response:
+            assert "repro_live_total 0" in response.read().decode()
+        counter.inc(5)
+        with urlopen(f"{server.url}/metrics", timeout=5) as response:
+            assert "repro_live_total 5" in response.read().decode()
+
+
+def test_close_is_idempotent():
+    server = MetricsServer(MetricsRegistry())
+    server.start()
+    server.start()  # second start is a no-op
+    server.close()
+    server.close()

@@ -1,0 +1,76 @@
+"""Unit tests for run manifests (attribution headers)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    RunManifest,
+    package_version,
+    wall_clock_timestamp,
+)
+
+
+def manifest(**overrides):
+    fields = dict(
+        workload="edr-100",
+        policy="rate-profile",
+        granularity="table",
+        capacity_bytes=1000,
+        seed=42,
+        policy_params={"alpha": 0.5},
+        created_at="2026-08-05T00:00:00+00:00",
+        extra={"host": "ci"},
+    )
+    fields.update(overrides)
+    return RunManifest(**fields)
+
+
+class TestRoundTrip:
+    def test_to_from_json_exact(self):
+        original = manifest()
+        restored = RunManifest.from_json(original.to_json())
+        assert restored == original
+
+    def test_schema_tag_present(self):
+        assert manifest().to_json()["schema"] == MANIFEST_SCHEMA
+
+    def test_defaults_round_trip(self):
+        original = RunManifest(
+            workload="w", policy="p", granularity="table",
+            capacity_bytes=1,
+        )
+        assert RunManifest.from_json(original.to_json()) == original
+
+    def test_newer_schema_rejected(self):
+        data = manifest().to_json()
+        data["schema"] = MANIFEST_SCHEMA + 1
+        with pytest.raises(ConfigurationError):
+            RunManifest.from_json(data)
+
+    def test_missing_required_field_rejected(self):
+        data = manifest().to_json()
+        del data["policy"]
+        with pytest.raises(ConfigurationError):
+            RunManifest.from_json(data)
+
+
+class TestDescribe:
+    def test_contains_params_and_extra(self):
+        described = manifest().describe()
+        assert described["policy_params.alpha"] == 0.5
+        assert described["extra.host"] == "ci"
+        assert described["seed"] == 42
+
+    def test_none_seed_shown_as_dash(self):
+        assert manifest(seed=None).describe()["seed"] == "-"
+
+
+class TestStamping:
+    def test_wall_clock_timestamp_is_iso_utc(self):
+        stamp = wall_clock_timestamp()
+        assert "T" in stamp
+        assert stamp.endswith("+00:00")
+
+    def test_package_version_matches_dataclass_default(self):
+        assert manifest().package_version == package_version()

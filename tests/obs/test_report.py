@@ -1,0 +1,186 @@
+"""Tests for the ``repro-report`` CLI (render + regression diffing).
+
+Acceptance criteria exercised here:
+
+* diffing two traces of the same seeded run exits 0 with zero WAN-byte
+  delta;
+* diffing traces from two different policies exits non-zero and prints
+  a per-metric regression table.
+"""
+
+import shutil
+
+import pytest
+
+from repro.core.instrumentation import Instrumentation
+from repro.federation import Federation
+from repro.obs.manifest import RunManifest
+from repro.obs.report import (
+    MetricDelta,
+    diff_metrics,
+    main,
+    result_from_trace,
+    summarize_events,
+)
+from repro.obs.trace_io import TraceWriter, read_trace
+from repro.sim.runner import run_single
+from repro.workload.trace import PreparedQuery, PreparedTrace
+
+from tests.conftest import build_catalog
+
+
+def make_trace(n=30, name="report-unit"):
+    queries = []
+    for i in range(n):
+        table = "PhotoObj" if i % 4 else "SpecObj"
+        queries.append(
+            PreparedQuery(
+                index=i,
+                sql=f"q{i}",
+                template="t",
+                yield_bytes=120,
+                bypass_bytes=120,
+                table_yields={table: 120.0},
+                column_yields={f"{table}.objID": 120.0},
+                servers=("sdss",),
+            )
+        )
+    return PreparedTrace(name, queries)
+
+
+def record_run(tmp_path, policy_name, filename=None):
+    """Simulate one policy and persist its decision trace."""
+    federation = Federation.single_site(build_catalog(), "sdss")
+    trace = make_trace()
+    capacity = federation.total_database_bytes() // 3
+    manifest = RunManifest(
+        workload=trace.name,
+        policy=policy_name,
+        granularity="table",
+        capacity_bytes=capacity,
+    )
+    sink = Instrumentation(max_events=0)
+    path = tmp_path / (filename or f"trace-{policy_name}.jsonl")
+    with TraceWriter(path, manifest) as writer:
+        sink.add_probe(writer)
+        run_single(
+            trace,
+            federation,
+            policy_name,
+            capacity,
+            "table",
+            record_series=False,
+            instrumentation=sink,
+        )
+    return path
+
+
+class TestSummaries:
+    def test_result_from_trace_matches_live_totals(self, tmp_path):
+        path = record_run(tmp_path, "rate-profile")
+        manifest, events = read_trace(path)
+        rebuilt = result_from_trace(manifest, events)
+        metrics = summarize_events(events)
+        assert rebuilt.queries == metrics.queries
+        assert rebuilt.total_bytes == metrics.wan_bytes
+        assert rebuilt.served_queries == metrics.served
+        assert rebuilt.cumulative_bytes[-1] == metrics.wan_bytes
+
+    def test_metric_delta_gating(self):
+        worse = MetricDelta("m", 100.0, 110.0, False, True)
+        assert worse.relative_regression() == pytest.approx(0.1)
+        assert worse.is_regression(0.05)
+        assert not worse.is_regression(0.2)
+        ungated = MetricDelta("m", 100.0, 110.0, False, False)
+        assert not ungated.is_regression(0.0)
+        improved = MetricDelta("m", 100.0, 90.0, False, True)
+        assert improved.relative_regression() == 0.0
+
+    def test_zero_baseline_worsening_is_infinite(self):
+        delta = MetricDelta("m", 0.0, 5.0, False, True)
+        assert delta.relative_regression() == float("inf")
+        assert delta.is_regression(10.0)
+
+    def test_diff_metrics_gated_set(self):
+        metrics = summarize_events([])
+        gated = {d.name for d in diff_metrics(metrics, metrics) if d.gated}
+        assert gated == {
+            "wan_bytes", "weighted_cost", "hit_rate",
+            "byte_yield_hit_rate",
+        }
+
+
+class TestCli:
+    def test_single_trace_report(self, tmp_path, capsys):
+        path = record_run(tmp_path, "rate-profile")
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "run manifest" in out
+        assert "rate-profile" in out
+        assert "WAN total bytes" in out
+        assert "decision trace" in out
+
+    def test_same_run_diff_exits_zero_with_zero_delta(
+        self, tmp_path, capsys
+    ):
+        # Two traces of the same deterministic run — the acceptance
+        # criterion for the CI gate's negative case.
+        first = record_run(tmp_path, "rate-profile", "a.jsonl")
+        second = record_run(tmp_path, "rate-profile", "b.jsonl")
+        assert main(["--diff", str(first), str(second)]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: no regressions" in out
+        wan_row = next(
+            line for line in out.splitlines()
+            if line.startswith("wan_bytes")
+        )
+        assert "unchanged" in wan_row
+
+    def test_identical_file_diff_exits_zero(self, tmp_path, capsys):
+        path = record_run(tmp_path, "rate-profile")
+        copy = tmp_path / "copy.jsonl"
+        shutil.copy(path, copy)
+        assert main(["--diff", str(path), str(copy)]) == 0
+
+    def test_cross_policy_diff_flags_regressions(self, tmp_path, capsys):
+        # rate-profile (baseline) vs no-cache (candidate): every query
+        # bypasses, so WAN bytes and hit rate must both regress.
+        base = record_run(tmp_path, "rate-profile")
+        cand = record_run(tmp_path, "no-cache")
+        assert main(["--diff", str(base), str(cand)]) == 1
+        out = capsys.readouterr().out
+        assert "verdict: REGRESSIONS FOUND" in out
+        assert "REGRESSION" in out
+        assert "regression gate" in out
+        for metric in ("wan_bytes", "hit_rate", "weighted_cost"):
+            assert metric in out
+
+    def test_threshold_tolerates_small_regressions(self, tmp_path):
+        base = record_run(tmp_path, "rate-profile")
+        cand = record_run(tmp_path, "no-cache")
+        # An absurdly large threshold turns the gate off entirely...
+        assert (
+            main(["--diff", str(base), str(cand), "--threshold", "1e9"])
+            == 0
+        )
+        # ...while zero threshold keeps it strict.
+        assert main(["--diff", str(base), str(cand)]) == 1
+
+    def test_usage_errors_exit_two(self, tmp_path, capsys):
+        path = record_run(tmp_path, "rate-profile")
+        assert main([str(path), str(path)]) == 2
+        assert main(["--diff", str(path)]) == 2
+        assert main([str(path), "--threshold", "-1"]) == 2
+        assert main([str(tmp_path / "missing.jsonl")]) == 2
+
+    def test_empty_trace_renders(self, tmp_path, capsys):
+        manifest = RunManifest(
+            workload="w", policy="p", granularity="table",
+            capacity_bytes=1,
+        )
+        path = tmp_path / "empty-run.jsonl"
+        TraceWriter(path, manifest).close()
+        assert main([str(path)]) == 0
+        assert (
+            "trace holds no decision events" in capsys.readouterr().out
+        )

@@ -1,0 +1,128 @@
+"""Round-trip tests for JSONL trace streaming (acceptance criterion:
+writer -> reader reproduces every event and the manifest exactly)."""
+
+import json
+
+import pytest
+
+from repro.core.instrumentation import DecisionEvent, Instrumentation
+from repro.errors import ConfigurationError
+from repro.obs.manifest import RunManifest
+from repro.obs.trace_io import TraceReader, TraceWriter, read_trace
+
+
+def manifest(**overrides):
+    fields = dict(
+        workload="edr-100",
+        policy="rate-profile",
+        granularity="table",
+        capacity_bytes=4096,
+        seed=7,
+        created_at="2026-08-05T00:00:00+00:00",
+    )
+    fields.update(overrides)
+    return RunManifest(**fields)
+
+
+def event(index, served=False):
+    return DecisionEvent(
+        index=index,
+        source="simulator",
+        policy="rate-profile",
+        granularity="table",
+        served_from_cache=served,
+        loads=("PhotoObj",) if not served else (),
+        evictions=("Frame",) if index % 3 == 0 else (),
+        load_bytes=0 if served else 2048,
+        bypass_bytes=0 if served else 128,
+        weighted_cost=0.0 if served else 2176.0,
+        sql=f"SELECT * FROM t WHERE i = {index}",
+        yield_bytes=512 + index,
+    )
+
+
+class TestRoundTrip:
+    def test_writer_reader_reproduces_everything_exactly(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        events = [event(i, served=bool(i % 2)) for i in range(25)]
+        original = manifest()
+        with TraceWriter(path, original) as writer:
+            for evt in events:
+                writer.write(evt)
+        assert writer.events_written == 25
+
+        restored_manifest, restored_events = read_trace(path)
+        assert restored_manifest == original
+        assert restored_events == events
+
+    def test_probe_streaming_from_instrumentation(self, tmp_path):
+        path = tmp_path / "probe.jsonl"
+        sink = Instrumentation(max_events=0)
+        events = [event(i) for i in range(5)]
+        with TraceWriter(path, manifest()) as writer:
+            sink.add_probe(writer)
+            for evt in events:
+                sink.record_decision(evt)
+        _, restored = read_trace(path)
+        assert restored == events
+
+    def test_lazy_iteration_matches_read_all(self, tmp_path):
+        path = tmp_path / "lazy.jsonl"
+        with TraceWriter(path, manifest()) as writer:
+            for i in range(4):
+                writer.write(event(i))
+        reader = TraceReader(path)
+        assert list(reader) == reader.read_all()[1]
+
+    def test_header_is_first_line_sorted_json(self, tmp_path):
+        path = tmp_path / "header.jsonl"
+        TraceWriter(path, manifest()).close()
+        first = json.loads(path.read_text().splitlines()[0])
+        assert set(first) == {"manifest"}
+        assert first["manifest"]["policy"] == "rate-profile"
+
+
+class TestErrors:
+    def test_write_after_close_raises(self, tmp_path):
+        writer = TraceWriter(tmp_path / "x.jsonl", manifest())
+        writer.close()
+        writer.close()  # idempotent
+        with pytest.raises(ConfigurationError):
+            writer.write(event(0))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            TraceReader(tmp_path / "nope.jsonl")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ConfigurationError):
+            TraceReader(path)
+
+    def test_non_json_header(self, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ConfigurationError):
+            TraceReader(path)
+
+    def test_header_without_manifest_key(self, tmp_path):
+        path = tmp_path / "headerless.jsonl"
+        path.write_text('{"events": []}\n')
+        with pytest.raises(ConfigurationError):
+            TraceReader(path)
+
+    def test_corrupt_event_line(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        with TraceWriter(path, manifest()) as writer:
+            writer.write(event(0))
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("{broken\n")
+        with pytest.raises(ConfigurationError):
+            read_trace(path)
+
+    def test_nested_dirs_created(self, tmp_path):
+        path = tmp_path / "a" / "b" / "trace.jsonl"
+        with TraceWriter(path, manifest()):
+            pass
+        assert path.exists()

@@ -195,3 +195,39 @@ class TestParallelFleet:
         pids = {r.worker_pid for r in result.per_client.values()}
         assert None not in pids
         assert os.getpid() not in pids
+
+
+class TestFleetTelemetry:
+    def test_parallel_fleet_telemetry_matches_serial(self, federation):
+        from repro.core.instrumentation import Instrumentation
+
+        photo = federation.object_size("PhotoObj")
+        hot = [float(photo)] * 30
+
+        def fleet():
+            return [
+                ClientSite(
+                    "alpha", prepared_trace("alpha", hot),
+                    RateProfilePolicy(capacity_bytes=photo * 2),
+                ),
+                ClientSite(
+                    "beta", prepared_trace("beta", [200] * 20),
+                    NoCachePolicy(),
+                ),
+            ]
+
+        serial_sink = Instrumentation(max_events=0)
+        simulate_fleet(
+            federation, fleet(), instrumentation=serial_sink
+        )
+        parallel_sink = Instrumentation(max_events=0)
+        simulate_fleet(
+            federation,
+            fleet(),
+            parallel=True,
+            max_workers=2,
+            instrumentation=parallel_sink,
+        )
+        assert dict(serial_sink.counters) == dict(parallel_sink.counters)
+        assert serial_sink.counters["decisions"] == 50
+        assert serial_sink.counters["fleet.clients"] == 2

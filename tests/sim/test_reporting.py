@@ -2,11 +2,14 @@
 
 import pytest
 
+from repro.core.instrumentation import DecisionEvent, Instrumentation
 from repro.sim.reporting import (
     ascii_chart,
     breakdown_rows,
     cost_series_chart,
     format_breakdown,
+    format_decision_trace,
+    format_instrumentation,
     format_table,
     sweep_chart,
 )
@@ -16,6 +19,21 @@ from repro.sim.results import (
     SweepPoint,
     SweepResult,
 )
+
+
+def event(index):
+    return DecisionEvent(
+        index=index,
+        source="sim",
+        policy="p",
+        granularity="table",
+        served_from_cache=False,
+        loads=(),
+        evictions=(),
+        load_bytes=0,
+        bypass_bytes=10,
+        weighted_cost=10.0,
+    )
 
 
 def result(name, bypass, load, series=()):
@@ -134,3 +152,67 @@ class TestExperimentCharts:
         results = {"a": result("a", 10, 0, series=[])}
         text = cost_series_chart(results, "F")
         assert "(no data)" in text
+
+
+class TestEdgeCases:
+    """Degenerate inputs every dashboard entry point must survive."""
+
+    def test_single_point_ascii_chart(self):
+        # One point: x and y spans are zero; the fallback span of 1.0
+        # must keep the grid math finite.
+        text = ascii_chart({"s": [(0.5, 42.0)]}, title="One")
+        assert "One" in text
+        assert "*" in text
+        assert "top=42" in text
+
+    def test_single_point_ascii_chart_log_scale(self):
+        text = ascii_chart({"s": [(0.0, 100.0)]}, log_y=True)
+        assert "top=100" in text
+
+    def test_single_point_sweep_chart(self):
+        sweep = SweepResult(granularity="table", database_bytes=1000)
+        sweep.points.append(SweepPoint("gds", 0.3, 300, 500.0))
+        text = sweep_chart(sweep, "Figure 9")
+        assert "Figure 9" in text
+        assert "*=gds" in text
+
+    def test_sweep_chart_zero_bytes_point(self):
+        # total_bytes 0 would break the log axis; sweep_chart clamps.
+        sweep = SweepResult(granularity="table", database_bytes=1000)
+        sweep.points.append(SweepPoint("static", 1.0, 1000, 0.0))
+        text = sweep_chart(sweep, "F")
+        assert "*=static" in text
+
+    def test_single_point_cost_series_chart(self):
+        results = {"a": result("a", 10, 0, series=[7.0])}
+        text = cost_series_chart(results, "F7")
+        assert "F7" in text
+        assert "*=a" in text
+
+    def test_empty_sweep_chart(self):
+        sweep = SweepResult(granularity="table", database_bytes=1000)
+        assert "(no data)" in sweep_chart(sweep, "F")
+
+    def test_format_decision_trace_empty(self):
+        text = format_decision_trace([])
+        assert "decision trace" in text
+        assert "query" in text
+
+    def test_format_decision_trace_limit_zero_keeps_all(self):
+        text = format_decision_trace(
+            [event(i) for i in range(3)], limit=0
+        )
+        assert text.count("sim") == 3
+
+    def test_format_instrumentation_empty_sink(self):
+        sink = Instrumentation(max_events=0)
+        text = format_instrumentation(sink)
+        assert "counter" in text
+        assert "stage timers" not in text
+
+    def test_format_instrumentation_max_events_zero_still_counts(self):
+        sink = Instrumentation(max_events=0)
+        sink.record_decision(event(0))
+        assert len(sink.events) == 0
+        text = format_instrumentation(sink)
+        assert "decisions" in text

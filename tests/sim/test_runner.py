@@ -293,3 +293,60 @@ class TestSampledSeries:
         )
         assert result.cumulative_bytes == []
         assert result.total_bytes == 20 * 120
+
+
+class TestTelemetryAggregation:
+    """Worker telemetry snapshots must merge deterministically."""
+
+    POLICIES = ("rate-profile", "gds", "no-cache")
+
+    def _counters(self, parallel, federation):
+        from repro.core.instrumentation import Instrumentation
+
+        trace = make_trace(60)
+        capacity = federation.total_database_bytes() // 2
+        sink = Instrumentation(max_events=0)
+        compare_policies(
+            trace,
+            federation,
+            capacity,
+            "table",
+            policies=self.POLICIES,
+            record_series=False,
+            parallel=parallel,
+            max_workers=2 if parallel else None,
+            instrumentation=sink,
+        )
+        return dict(sink.counters), sink.events_seen
+
+    def test_parallel_telemetry_matches_serial(self, federation):
+        serial_counters, serial_seen = self._counters(False, federation)
+        parallel_counters, parallel_seen = self._counters(True, federation)
+        assert serial_counters == parallel_counters
+        assert serial_seen == parallel_seen
+        assert serial_counters["decisions"] == 60 * len(self.POLICIES)
+
+    def test_worker_results_carry_snapshots(self, federation):
+        trace = make_trace(40)
+        capacity = federation.total_database_bytes() // 2
+        results = compare_policies(
+            trace,
+            federation,
+            capacity,
+            "table",
+            policies=self.POLICIES,
+            record_series=False,
+            parallel=True,
+            max_workers=2,
+        )
+        for result in results.values():
+            assert result.telemetry is not None
+            assert result.telemetry["counters"]["decisions"] == 40
+
+    def test_serial_results_have_no_snapshot(self, federation):
+        trace = make_trace(10)
+        result = run_single(
+            trace, federation, "no-cache",
+            federation.total_database_bytes(),
+        )
+        assert result.telemetry is None
