@@ -1,0 +1,213 @@
+"""Decision-loop microbenchmarks (queries/sec) for the hot policies.
+
+Unlike the figure benchmarks these bypass the federation entirely: a
+seeded generator builds synthetic :class:`~repro.core.events.CacheQuery`
+streams over 10^3-10^5 cached objects and the measured section is the
+bare ``policy.process`` loop — the per-query hot path the sweeps and the
+online proxy spend their time in.
+
+Every configuration records its throughput into a combined
+``BENCH_hotpath.json`` artifact (plus the per-test artifacts
+``run_once`` already writes), giving ``BENCH_*.json`` a decision-loop
+perf trajectory across PRs.  EXPERIMENTS.md keeps the before/after
+table.
+
+The 10^5-object configurations multiply the pre-heap quadratic cost to
+minutes, so they only run when ``REPRO_BENCH_LARGE`` is set.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.core.events import CacheQuery, ObjectRequest
+from repro.core.policies import make_policy
+from repro.core.policies.online import OnlineBYPolicy
+from repro.core.policies.rate_profile import RateProfilePolicy
+
+from .conftest import artifact_dir
+
+#: (label, object count, measured queries) per scale tier.
+SCALES: List[Tuple[str, int, int]] = [
+    ("1e3", 1_000, 2_000),
+    ("1e4", 10_000, 600),
+]
+if os.environ.get("REPRO_BENCH_LARGE"):
+    SCALES.append(("1e5", 100_000, 100))
+
+#: Objects referenced per synthetic query (SDSS queries join several
+#: tables, and several missing objects per query is exactly what makes
+#: the per-object victim scan hurt).
+OBJECTS_PER_QUERY = 6
+
+#: Collected results, flushed into BENCH_hotpath.json at session end.
+_RESULTS: Dict[str, Dict[str, float]] = {}
+
+
+def _sizes(universe: int, rng: random.Random) -> List[int]:
+    return [64 + rng.randrange(0, 128) for _ in range(universe)]
+
+
+def _query(
+    index: int,
+    ids: List[int],
+    sizes: List[int],
+    rng: random.Random,
+    yield_factor: float = 0.0,
+) -> CacheQuery:
+    requests = tuple(
+        ObjectRequest(
+            object_id=f"obj{oid:06d}",
+            size=sizes[oid],
+            fetch_cost=float(sizes[oid]),
+            yield_bytes=sizes[oid] * (yield_factor or 0.5 + rng.random()),
+        )
+        for oid in ids
+    )
+    total = int(sum(request.yield_bytes for request in requests))
+    return CacheQuery(
+        index=index,
+        yield_bytes=total,
+        bypass_bytes=total,
+        objects=requests,
+    )
+
+
+def _mixed_stream(
+    n_objects: int, n_queries: int, seed: int = 29
+) -> Tuple[List[CacheQuery], List[CacheQuery], int]:
+    """(warm stream, measured stream, capacity) over a 2n universe.
+
+    The warm stream touches the first ``n_objects`` twice each with
+    yields of twice the object size, so every first touch has a
+    positive load-adjusted rate and the cache ends the warm phase
+    exactly full.  Each measured query mixes references to the resident range
+    with references drawn from a small *churn window* of outside
+    objects; the window objects are re-touched often enough that their
+    load-adjusted rates go positive and the victim-selection /
+    make-room path runs continuously at every scale.
+    """
+    universe = 2 * n_objects
+    rng = random.Random(seed)
+    sizes = _sizes(universe, rng)
+    capacity = sum(sizes[:n_objects])
+    warm: List[CacheQuery] = []
+    index = 0
+    for _ in range(2):
+        for start in range(0, n_objects, OBJECTS_PER_QUERY):
+            ids = [
+                oid % n_objects
+                for oid in range(start, start + OBJECTS_PER_QUERY)
+            ]
+            warm.append(_query(index, ids, sizes, rng, yield_factor=2.0))
+            index += 1
+    measured: List[CacheQuery] = []
+    resident = range(n_objects)
+    churn = range(n_objects, n_objects + 256)
+    half = OBJECTS_PER_QUERY // 2
+    for _ in range(n_queries):
+        ids = rng.sample(resident, half) + rng.sample(
+            churn, OBJECTS_PER_QUERY - half
+        )
+        measured.append(_query(index, ids, sizes, rng))
+        index += 1
+    return warm, measured, capacity
+
+
+def _record(label: str, n_objects: int, queries: int, seconds: float):
+    entry = {
+        "objects": n_objects,
+        "queries": queries,
+        "wall_seconds": round(seconds, 6),
+        "queries_per_second": round(queries / max(seconds, 1e-9), 2),
+    }
+    _RESULTS[label] = entry
+    return entry
+
+
+def _run_measured(policy, warm, measured, label, n_objects):
+    for query in warm:
+        policy.process(query)
+    start = time.perf_counter()
+    for query in measured:
+        policy.process(query)
+    elapsed = time.perf_counter() - start
+    return _record(label, n_objects, len(measured), elapsed)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _flush_results():
+    """Write the combined BENCH_hotpath.json after the module runs."""
+    yield
+    directory = artifact_dir()
+    if directory is None or not _RESULTS:
+        return
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "benchmark": "hotpath",
+        "objects_per_query": OBJECTS_PER_QUERY,
+        "configs": dict(sorted(_RESULTS.items())),
+    }
+    (directory / "BENCH_hotpath.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+@pytest.mark.parametrize("label,n_objects,n_queries", SCALES)
+def test_hotpath_rate_profile(benchmark, label, n_objects, n_queries):
+    warm, measured, capacity = _mixed_stream(n_objects, n_queries)
+
+    def run():
+        policy = RateProfilePolicy(
+            capacity, max_tracked=2 * n_objects + 16
+        )
+        return _run_measured(
+            policy, warm, measured, f"rate-profile/{label}", n_objects
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result["queries_per_second"] > 0
+
+
+@pytest.mark.parametrize("label,n_objects,n_queries", SCALES)
+def test_hotpath_landlord(benchmark, label, n_objects, n_queries):
+    # Eager admission turns every miss into a load, so Landlord's
+    # make-room path (eviction + survivor rent) runs on ~every query.
+    warm, measured, capacity = _mixed_stream(n_objects, n_queries)
+
+    def run():
+        policy = OnlineBYPolicy(capacity, admission="eager")
+        return _run_measured(
+            policy, warm, measured, f"landlord/{label}", n_objects
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result["queries_per_second"] > 0
+
+
+@pytest.mark.parametrize("policy_name", ["gds", "lru", "lfu", "lru-k"])
+@pytest.mark.parametrize("label,n_objects,n_queries", SCALES)
+def test_hotpath_baselines(
+    benchmark, policy_name, label, n_objects, n_queries
+):
+    warm, measured, capacity = _mixed_stream(n_objects, n_queries)
+
+    def run():
+        policy = make_policy(policy_name, capacity)
+        return _run_measured(
+            policy,
+            warm,
+            measured,
+            f"{policy_name}/{label}",
+            n_objects,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result["queries_per_second"] > 0

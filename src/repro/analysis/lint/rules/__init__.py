@@ -12,6 +12,7 @@ from repro.analysis.lint.rules import (  # noqa: F401
     rpr002_determinism,
     rpr003_policies,
     rpr004_accounting,
+    rpr005_scans,
 )
 
 __all__ = [
@@ -19,4 +20,5 @@ __all__ = [
     "rpr002_determinism",
     "rpr003_policies",
     "rpr004_accounting",
+    "rpr005_scans",
 ]

@@ -1,0 +1,136 @@
+"""RPR005 — no full-cache scans on the per-query decision path.
+
+The decision hot path was made sublinear on purpose: victim selection
+goes through :class:`~repro.core.victimheap.VictimHeap`, Landlord aging
+through the global-offset trick, and rate-profile candidate ranking
+through a once-per-epoch cursor.  A full scan of the resident set —
+``store.object_ids()``, a ``sorted(...)`` over cache state, or a
+``min()``/``max()`` sweep over a comprehension — silently reverts a
+policy to O(n) per query, which benchmarks only catch at scale.
+
+For modules under ``core/policies`` or the ``core`` object-cache layer,
+this rule flags those scan constructs inside the per-query decision
+methods (``decide``, ``process``, ``request``, ``_choose_victim``,
+``_plan_load``, ``_make_room``) and inside every private helper of the
+same classes (hot methods delegate to private helpers; public
+introspection methods such as ``describe`` are presumed cold).
+
+Sanctioned scans — amortized work that runs once per epoch or per
+prune batch, not per query — carry a line pragma stating so::
+
+    entries = sorted(...)  # repro-lint: allow[RPR005]
+
+The detector is syntactic: a scan hidden behind a temporary variable
+or a helper function escapes it.  It exists to stop the *easy*
+regression — pasting a full scan back into a decision method — not to
+prove asymptotics.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.analysis.lint.engine import (
+    FileContext,
+    LintViolation,
+    Rule,
+    register_rule,
+)
+
+#: Methods on the per-query decision path.  Private helpers (leading
+#: underscore, non-dunder) are checked as well — decision methods
+#: delegate the actual victim selection to them.
+_HOT_METHODS = {
+    "decide",
+    "process",
+    "request",
+    "_choose_victim",
+    "_plan_load",
+    "_make_room",
+}
+
+
+def _is_private_helper(name: str) -> bool:
+    return name.startswith("_") and not name.startswith("__")
+
+
+def _scan_construct(node: ast.AST) -> Optional[str]:
+    """Describe ``node`` when it is a full-scan call, else None."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name):
+        if func.id == "sorted":
+            return "sorted(...) ranks the full candidate set"
+        if func.id in ("min", "max") and any(
+            isinstance(arg, (ast.GeneratorExp, ast.ListComp))
+            for arg in node.args
+        ):
+            return (
+                f"{func.id}(...) sweeps a comprehension over the "
+                f"candidate set"
+            )
+    if isinstance(func, ast.Attribute) and func.attr == "object_ids":
+        return ".object_ids() enumerates every resident object"
+    return None
+
+
+@register_rule
+class DecisionPathScanRule(Rule):
+    """Keep the per-query decision path free of O(n) cache scans."""
+
+    rule_id = "RPR005"
+    summary = (
+        "per-query decision methods (and their private helpers) must "
+        "not scan the full cache — no store.object_ids(), sorted(), "
+        "or min/max comprehension sweeps; use the victim heap or an "
+        "amortized pragma-sanctioned site"
+    )
+
+    def applies_to(self, context: FileContext) -> bool:
+        return context.has_segments("core", "policies") or (
+            context.has_segments("core")
+            and context.path.name == "object_cache.py"
+        )
+
+    def check(self, context: FileContext) -> Iterator[LintViolation]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(context, node)
+
+    def _check_class(
+        self, context: FileContext, class_def: ast.ClassDef
+    ) -> Iterator[LintViolation]:
+        for method in class_def.body:
+            if not isinstance(
+                method, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if not (
+                method.name in _HOT_METHODS
+                or _is_private_helper(method.name)
+            ):
+                continue
+            yield from self._check_method(context, class_def, method)
+
+    def _check_method(
+        self,
+        context: FileContext,
+        class_def: ast.ClassDef,
+        method: ast.AST,
+    ) -> Iterator[LintViolation]:
+        seen: Set[int] = set()
+        for node in ast.walk(method):
+            described = _scan_construct(node)
+            if described is None or id(node) in seen:
+                continue
+            seen.add(id(node))
+            yield self.violation(
+                context,
+                node,
+                f"{class_def.name}.{method.name}() scans the cache: "
+                f"{described}; per-query work must stay sublinear — "
+                f"use the victim heap, or mark an amortized site with "
+                f"'# repro-lint: allow[RPR005] <reason>'",
+            )

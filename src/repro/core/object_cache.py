@@ -19,15 +19,29 @@ This implementation combines:
   credit in proportion to size and evicts the objects that reach zero
   first (equivalently: evict ascending by credit/size, then charge the
   survivors the evicted ratio).
+
+Landlord is implemented with the standard **global-offset trick** so the
+survivor rent-charge is O(1) instead of O(survivors): instead of
+mutating every resident's credit when room is made, one inflation
+offset ``L`` advances and each resident stores the *rank*
+``credit/size + L_at_write`` in a lazy-deletion heap.  Eviction pops
+ascending rank; setting ``L`` to the last evicted rank charges every
+survivor ``(L_new - L_old) * size`` implicitly.  Credits are
+materialized only on read: ``credit = credit_at_write -
+(L_now - L_at_write) * size`` (clamped at zero), so the
+:meth:`BypassObjectCache.credit` introspection API keeps its exact
+semantics.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.core.ski_rental import SkiRental
 from repro.core.store import CacheStore
+from repro.core.victimheap import VictimHeap
 from repro.errors import CacheError
 
 
@@ -50,23 +64,40 @@ class BypassObjectCache:
             cost) or ``"eager"`` (load on first miss, the in-line
             behaviour; kept for the ablation that isolates what the
             bypass option itself is worth).
+        max_accounts: Rent-to-buy accounts kept at once.  Accounts are
+            pure metadata and previously grew without bound across
+            evictions; beyond this cap the least-recently-touched
+            accounts are pruned (mirroring ``max_tracked`` on the
+            rate-profile policy).
     """
 
     ADMISSION_MODES = ("rent-to-buy", "eager")
 
     def __init__(
-        self, store: CacheStore, admission: str = "rent-to-buy"
+        self,
+        store: CacheStore,
+        admission: str = "rent-to-buy",
+        max_accounts: int = 20000,
     ) -> None:
         if admission not in self.ADMISSION_MODES:
             raise CacheError(
                 f"unknown admission mode {admission!r}; "
                 f"use one of {self.ADMISSION_MODES}"
             )
+        if max_accounts <= 0:
+            raise CacheError("max_accounts must be positive")
         self.admission = admission
         self.store = store
-        self._credits: Dict[str, float] = {}
-        self._fetch_costs: Dict[str, float] = {}
-        self._accounts: Dict[str, SkiRental] = {}
+        self.max_accounts = max_accounts
+        # Resident bookkeeping: credit_at_write, offset_at_write,
+        # load sequence number (ties in the eviction order resolve by
+        # load order, matching the stable sort this replaces).
+        self._entries: dict[str, Tuple[float, float, int]] = {}
+        self._fetch_costs: dict[str, float] = {}
+        self._victims = VictimHeap()
+        self._offset = 0.0
+        self._load_seq = 0
+        self._accounts: "OrderedDict[str, SkiRental]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.loads = 0
@@ -75,10 +106,29 @@ class BypassObjectCache:
         return object_id in self.store
 
     def credit(self, object_id: str) -> float:
-        """Current Landlord credit of a resident object."""
+        """Current Landlord credit of a resident object.
+
+        Materialized lazily from the stored rank: the rent charged
+        since the entry was written is ``(offset_now - offset_at_write)
+        * size``, clamped at zero exactly as the eager survivor charge
+        was.
+        """
         if object_id not in self.store:
             raise CacheError(f"{object_id!r} is not cached")
-        return self._credits[object_id]
+        credit_at_write, offset_at_write, _ = self._entries[object_id]
+        charged = (self._offset - offset_at_write) * self.store.size_of(
+            object_id
+        )
+        return max(0.0, credit_at_write - charged)
+
+    def _set_credit(
+        self, object_id: str, size: int, credit: float, load_seq: int
+    ) -> None:
+        """Write a resident entry and its rank-heap key."""
+        self._entries[object_id] = (credit, self._offset, load_seq)
+        self._victims.set(
+            object_id, (credit / size + self._offset, load_seq)
+        )
 
     def request(
         self, object_id: str, size: int, fetch_cost: float
@@ -91,7 +141,10 @@ class BypassObjectCache:
         """
         if object_id in self.store:
             self.hits += 1
-            self._credits[object_id] = fetch_cost
+            # Refresh keeps the original load sequence so credit ties
+            # still resolve by residency order, as the stable sort did.
+            load_seq = self._entries[object_id][2]
+            self._set_credit(object_id, size, fetch_cost, load_seq)
             self._fetch_costs[object_id] = fetch_cost
             return ObjectOutcome(hit=True)
 
@@ -103,7 +156,10 @@ class BypassObjectCache:
         if account is None or account.buy_cost != fetch_cost:
             paid = account.paid if account is not None else 0.0
             account = SkiRental(buy_cost=fetch_cost, paid=paid)
+            if object_id not in self._accounts:
+                self._prune_accounts()
             self._accounts[object_id] = account
+        self._accounts.move_to_end(object_id)
         if account.bought:
             # Was bought before but evicted since; start a new rental run.
             account.reset()
@@ -111,7 +167,8 @@ class BypassObjectCache:
         if self.admission == "eager" or account.should_buy():
             evicted = self._make_room(size)
             self.store.add(object_id, size)
-            self._credits[object_id] = fetch_cost
+            self._load_seq += 1
+            self._set_credit(object_id, size, fetch_cost, self._load_seq)
             self._fetch_costs[object_id] = fetch_cost
             account.buy()
             self.loads += 1
@@ -120,48 +177,54 @@ class BypassObjectCache:
         account.pay_rent(fetch_cost)
         return ObjectOutcome(hit=False)
 
+    def _prune_accounts(self) -> None:
+        """Drop the oldest-touched accounts once the cap is reached.
+
+        Called before inserting a new account; prunes a 10% batch so
+        the O(pruned) cost amortizes instead of firing per insert.
+        """
+        if len(self._accounts) < self.max_accounts:
+            return
+        drop = max(1, len(self._accounts) // 10)
+        for _ in range(drop):
+            self._accounts.popitem(last=False)
+
     def _make_room(self, size: int) -> List[str]:
         """Landlord eviction until ``size`` bytes are free.
 
-        Equivalent to the credit-drain process: evict ascending by
-        credit/size and charge the survivors the largest evicted ratio.
+        Pops ascending by rank (= credit/size at write time, inflated
+        by the offset then in force); advancing the offset to the last
+        evicted rank charges all survivors their proportional rent in
+        O(1).
         """
         if self.store.has_room(size):
             return []
-        ranked = sorted(
-            self.store.object_ids(),
-            key=lambda oid: self._credits[oid] / self.store.size_of(oid),
-        )
         evicted: List[str] = []
-        drained_ratio = 0.0
-        for object_id in ranked:
-            if self.store.has_room(size):
-                break
-            drained_ratio = (
-                self._credits[object_id] / self.store.size_of(object_id)
-            )
+        top_rank = self._offset
+        while not self.store.has_room(size):
+            popped = self._victims.pop_min()
+            if popped is None:
+                raise CacheError(
+                    "landlord eviction failed to free enough space; "
+                    "object size exceeds capacity"
+                )
+            (rank, _), object_id = popped
+            top_rank = rank
             self.store.remove(object_id)
-            del self._credits[object_id]
+            del self._entries[object_id]
             self._fetch_costs.pop(object_id, None)
             evicted.append(object_id)
-        # Survivors pay rent proportional to their size (Landlord step).
-        if drained_ratio > 0.0:
-            for object_id in self.store.object_ids():
-                reduced = self._credits[object_id] - (
-                    drained_ratio * self.store.size_of(object_id)
-                )
-                self._credits[object_id] = max(0.0, reduced)
-        if not self.store.has_room(size):
-            raise CacheError(
-                "landlord eviction failed to free enough space; "
-                "object size exceeds capacity"
-            )
+        # Survivors pay rent proportional to their size (Landlord
+        # step): one offset bump instead of touching every resident.
+        if top_rank > self._offset:
+            self._offset = top_rank
         return evicted
 
     def evict(self, object_id: str) -> None:
         """Force-evict (used by tests and consistency hooks)."""
         self.store.remove(object_id)
-        self._credits.pop(object_id, None)
+        self._entries.pop(object_id, None)
+        self._victims.discard(object_id)
         self._fetch_costs.pop(object_id, None)
         account = self._accounts.get(object_id)
         if account is not None:

@@ -15,7 +15,11 @@ This module is that implementation:
   construction (yield attribution plus the BYHR/BYU
   ``policy_sees_weights`` cost views) and WAN-cost accounting;
 * :class:`QueryAccounting` — the per-query cost record both drivers
-  produce.
+  produce;
+* :class:`CompiledTrace` — a prepared trace fully lowered to the
+  policy-facing event stream under one (granularity, cost-view),
+  memoized per federation and trace so sweeps build each query stream
+  once instead of once per (policy × capacity) cell.
 
 The BYHR view (``policy_sees_weights=True``) expresses the load price
 *and* the per-query savings in link-weighted cost units, so an object
@@ -33,6 +37,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.events import CacheQuery, Decision, ObjectRequest
 from repro.core.instrumentation import DecisionEvent, Instrumentation
+from repro.core.policies.static_select import accumulate_object_yields
 from repro.core.units import (
     UNIT_WEIGHT,
     ZERO_BYTES,
@@ -50,7 +55,7 @@ from repro.core.yield_model import (
 from repro.errors import CacheError
 from repro.federation.federation import Federation
 from repro.sqlengine.planner import QueryPlan
-from repro.workload.trace import PreparedQuery
+from repro.workload.trace import PreparedQuery, PreparedTrace
 
 GRANULARITIES = ("table", "column")
 
@@ -101,6 +106,77 @@ def shared_catalog(federation: Federation) -> ObjectCatalog:
         catalog = ObjectCatalog(federation)
         _SHARED_CATALOGS[federation] = catalog
     return catalog
+
+
+@dataclass(frozen=True)
+class CompiledQuery:
+    """One trace event lowered to its policy-facing form.
+
+    Carries the :class:`~repro.core.events.CacheQuery` (already under
+    the compiling pipeline's granularity and cost view) together with
+    the raw accounting inputs the replay loop needs per query.
+    """
+
+    query: CacheQuery
+    bypass_bytes: int
+    servers: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CompiledTrace:
+    """A prepared trace fully lowered to policy-facing events.
+
+    Immutable and pickle-cheap: sweeps compile once in the parent and
+    ship the compiled stream to every worker instead of re-attributing
+    yields per (policy × capacity) cell.  ``object_totals`` carries the
+    *raw-byte* per-object yield sums (what
+    :func:`~repro.core.policies.static_select.accumulate_object_yields`
+    returns) so the static policy's offline selection works from a
+    compiled trace even though the event stream itself is expressed in
+    the compiled cost view.
+    """
+
+    name: str
+    granularity: str
+    policy_sees_weights: bool
+    sequence_bytes: int
+    events: Tuple[CompiledQuery, ...]
+    object_totals: Tuple[Tuple[str, float], ...]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+#: Compiled traces memoized per federation; inside, traces key by
+#: identity (PreparedTrace is an unhashable dataclass) guarded with a
+#: weakref so a recycled id can never resurrect a dead trace's stream.
+_TraceMemo = Dict[
+    int,
+    Tuple["weakref.ref[PreparedTrace]", Dict[Tuple[str, bool], CompiledTrace]],
+]
+_COMPILED_TRACES: "weakref.WeakKeyDictionary[Federation, _TraceMemo]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _compiled_memo(
+    federation: Federation, trace: PreparedTrace
+) -> Dict[Tuple[str, bool], CompiledTrace]:
+    """The (granularity, cost-view) → compiled memo for one trace."""
+    per_fed = _COMPILED_TRACES.get(federation)
+    if per_fed is None:
+        per_fed = {}
+        _COMPILED_TRACES[federation] = per_fed
+    ident = id(trace)
+    entry = per_fed.get(ident)
+    if entry is not None and entry[0]() is trace:
+        return entry[1]
+    ref = weakref.ref(
+        trace, lambda _, memo=per_fed, key=ident: memo.pop(key, None)
+    )
+    views: Dict[Tuple[str, bool], CompiledTrace] = {}
+    per_fed[ident] = (ref, views)
+    return views
 
 
 @dataclass(frozen=True)
@@ -230,6 +306,58 @@ class DecisionPipeline:
             yield_bytes=prepared.yield_bytes,
             bypass_bytes=prepared.bypass_bytes,
             sql=prepared.sql,
+        )
+
+    def compile_trace(
+        self, trace: "PreparedTrace | CompiledTrace"
+    ) -> CompiledTrace:
+        """Lower a prepared trace to its policy-facing event stream.
+
+        Memoized per (federation, trace, granularity, cost view): every
+        simulator run, sweep cell, and fleet client over the same trace
+        shares one compiled stream.  An already-compiled trace passes
+        through — after checking it was compiled under this pipeline's
+        view, since replaying a stream built for a different granularity
+        or cost currency would silently change every decision.
+        """
+        if isinstance(trace, CompiledTrace):
+            if (
+                trace.granularity != self.granularity
+                or trace.policy_sees_weights != self.policy_sees_weights
+            ):
+                raise CacheError(
+                    f"trace {trace.name!r} was compiled for "
+                    f"granularity={trace.granularity!r}, "
+                    f"policy_sees_weights={trace.policy_sees_weights}; "
+                    f"this pipeline needs ({self.granularity!r}, "
+                    f"{self.policy_sees_weights})"
+                )
+            return trace
+        views = _compiled_memo(self.federation, trace)
+        key = (self.granularity, self.policy_sees_weights)
+        compiled = views.get(key)
+        if compiled is None:
+            compiled = self._build_compiled(trace)
+            views[key] = compiled
+        return compiled
+
+    def _build_compiled(self, trace: PreparedTrace) -> CompiledTrace:
+        events = tuple(
+            CompiledQuery(
+                query=self.query_from_prepared(prepared, index),
+                bypass_bytes=prepared.bypass_bytes,
+                servers=tuple(prepared.servers),
+            )
+            for index, prepared in enumerate(trace)
+        )
+        totals = accumulate_object_yields(trace, self.granularity)
+        return CompiledTrace(
+            name=trace.name,
+            granularity=self.granularity,
+            policy_sees_weights=self.policy_sees_weights,
+            sequence_bytes=trace.sequence_bytes,
+            events=events,
+            object_totals=tuple(sorted(totals.items())),
         )
 
     # -- WAN accounting --------------------------------------------------

@@ -26,6 +26,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 from repro.core.events import CacheQuery, Decision, ObjectRequest
 from repro.core.policies.base import CachePolicy
 from repro.core.units import AnyRawBytes
+from repro.core.victimheap import ReverseOrder, VictimHeap
 from repro.errors import CacheError
 
 
@@ -49,9 +50,19 @@ class _InlineObjectPolicy(CachePolicy):
     resident, loading each miss and evicting by the subclass's utility
     order.  Only objects larger than the whole cache are left uncached
     (those queries bypass out of physical necessity).
+
+    Victim selection is O(log n) amortized: each subclass keeps its
+    utility order in a shared :class:`~repro.core.victimheap.VictimHeap`
+    (``self._victims``) whose keys encode the exact scan order —
+    including tie-breaks — of the full-scan implementations they
+    replaced, so decisions are byte-identical.
     """
 
     supports_bypass = False
+
+    def __init__(self, capacity_bytes: AnyRawBytes) -> None:
+        super().__init__(capacity_bytes)
+        self._victims = VictimHeap()
 
     def decide(self, query: CacheQuery) -> Decision:
         loads: List[str] = []
@@ -92,7 +103,7 @@ class _InlineObjectPolicy(CachePolicy):
         raise NotImplementedError
 
     def _choose_victim(self, protected: Set[str]) -> Optional[str]:
-        raise NotImplementedError
+        return self._victims.select_min(protected)
 
     def _drop(self, object_id: str) -> None:
         # Invalidation must not age the cache (unlike an eviction, the
@@ -106,7 +117,11 @@ class _InlineObjectPolicy(CachePolicy):
 
 
 class GreedyDualSizePolicy(_InlineObjectPolicy):
-    """Greedy-Dual-Size: utility ``H = L + fetch_cost / size``."""
+    """Greedy-Dual-Size: utility ``H = L + fetch_cost / size``.
+
+    Victim order: ascending ``(H, object_id)`` — the heap key mirrors
+    the ``min((value, object_id))`` scan it replaced.
+    """
 
     name = "gds"
 
@@ -125,29 +140,23 @@ class GreedyDualSizePolicy(_InlineObjectPolicy):
         return self._inflation + request.fetch_cost / request.size
 
     def _touch(self, request: ObjectRequest) -> None:
-        self._h_values[request.object_id] = self._utility(request)
+        value = self._utility(request)
+        self._h_values[request.object_id] = value
+        self._victims.set(request.object_id, (value, request.object_id))
 
     def _admit(self, request: ObjectRequest) -> None:
-        self._h_values[request.object_id] = self._utility(request)
+        self._touch(request)
 
     def _forget(self, object_id: str) -> None:
         value = self._h_values.pop(object_id, None)
         if value is not None:
             # Greedy-Dual aging: inflation rises to the evicted utility.
             self._inflation = max(self._inflation, value)
+        self._victims.discard(object_id)
 
     def _forget_quietly(self, object_id: str) -> None:
         self._h_values.pop(object_id, None)
-
-    def _choose_victim(self, protected: Set[str]) -> Optional[str]:
-        candidates = [
-            (value, object_id)
-            for object_id, value in self._h_values.items()
-            if object_id not in protected
-        ]
-        if not candidates:
-            return None
-        return min(candidates)[1]
+        self._victims.discard(object_id)
 
 
 class GDSPopularityPolicy(GreedyDualSizePolicy):
@@ -176,28 +185,28 @@ class GDSPopularityPolicy(GreedyDualSizePolicy):
 
 
 class LRUPolicy(_InlineObjectPolicy):
-    """Least-recently-used over variable-size objects, in-line."""
+    """Least-recently-used over variable-size objects, in-line.
+
+    Victim order: ascending last-touch sequence number (unique, so no
+    tie-break is needed) — identical to walking the recency list from
+    its cold end.
+    """
 
     name = "lru"
 
     def __init__(self, capacity_bytes: AnyRawBytes) -> None:
         super().__init__(capacity_bytes)
-        self._order: "OrderedDict[str, None]" = OrderedDict()
+        self._clock = 0
 
     def _touch(self, request: ObjectRequest) -> None:
-        self._order.move_to_end(request.object_id)
+        self._clock += 1
+        self._victims.set(request.object_id, self._clock)
 
     def _admit(self, request: ObjectRequest) -> None:
-        self._order[request.object_id] = None
+        self._touch(request)
 
     def _forget(self, object_id: str) -> None:
-        self._order.pop(object_id, None)
-
-    def _choose_victim(self, protected: Set[str]) -> Optional[str]:
-        for object_id in self._order:
-            if object_id not in protected:
-                return object_id
-        return None
+        self._victims.discard(object_id)
 
 
 class LFUPolicy(_InlineObjectPolicy):
@@ -210,25 +219,17 @@ class LFUPolicy(_InlineObjectPolicy):
         self._counts: Dict[str, int] = {}
 
     def _touch(self, request: ObjectRequest) -> None:
-        self._counts[request.object_id] = (
-            self._counts.get(request.object_id, 0) + 1
-        )
+        count = self._counts.get(request.object_id, 0) + 1
+        self._counts[request.object_id] = count
+        self._victims.set(request.object_id, (count, request.object_id))
 
     def _admit(self, request: ObjectRequest) -> None:
         self._counts[request.object_id] = 1
+        self._victims.set(request.object_id, (1, request.object_id))
 
     def _forget(self, object_id: str) -> None:
         self._counts.pop(object_id, None)
-
-    def _choose_victim(self, protected: Set[str]) -> Optional[str]:
-        candidates = [
-            (count, object_id)
-            for object_id, count in self._counts.items()
-            if object_id not in protected
-        ]
-        if not candidates:
-            return None
-        return min(candidates)[1]
+        self._victims.discard(object_id)
 
 
 class LFFPolicy(_InlineObjectPolicy):
@@ -237,6 +238,10 @@ class LFFPolicy(_InlineObjectPolicy):
     One of the simple proxy-database revocation policies the paper's
     related-work section lists (LRU, LFU, LFF).  Biased toward keeping
     many small objects resident regardless of their traffic.
+
+    Victim order: descending ``(size, object_id)`` — the
+    :class:`~repro.core.victimheap.ReverseOrder` tie-break reproduces
+    the ``max((size, object_id))`` scan exactly.
     """
 
     name = "lff"
@@ -245,20 +250,13 @@ class LFFPolicy(_InlineObjectPolicy):
         pass
 
     def _admit(self, request: ObjectRequest) -> None:
-        pass
+        self._victims.set(
+            request.object_id,
+            (-request.size, ReverseOrder(request.object_id)),
+        )
 
     def _forget(self, object_id: str) -> None:
-        pass
-
-    def _choose_victim(self, protected: Set[str]) -> Optional[str]:
-        candidates = [
-            (self.store.size_of(object_id), object_id)
-            for object_id in self.store.object_ids()
-            if object_id not in protected
-        ]
-        if not candidates:
-            return None
-        return max(candidates)[1]
+        self._victims.discard(object_id)
 
 
 class LRUKPolicy(_InlineObjectPolicy):
@@ -267,6 +265,12 @@ class LRUKPolicy(_InlineObjectPolicy):
     Objects with fewer than K references sort before all fully-referenced
     objects (their K-distance is infinite), breaking ties by oldest last
     reference.
+
+    Victim order: ascending ``(K-distance key, admission sequence)``.
+    The reference scan walked the store in insertion order keeping the
+    first strictly-smallest key, so equal keys resolve to the earliest
+    admitted object — which is exactly what the per-admission sequence
+    number encodes.
     """
 
     name = "lru-k"
@@ -278,40 +282,41 @@ class LRUKPolicy(_InlineObjectPolicy):
         self.k = k
         self._history: Dict[str, List[int]] = {}
         self._clock = 0
+        self._admit_seq = 0
+        self._admit_order: Dict[str, int] = {}
 
     def decide(self, query: CacheQuery) -> Decision:
         self._clock += 1
         return super().decide(query)
+
+    def _kdist(self, object_id: str) -> Tuple[int, int]:
+        history = self._history.get(object_id, [])
+        if len(history) < self.k:
+            return (0, history[-1] if history else 0)
+        return (1, history[0])
 
     def _record(self, object_id: str) -> None:
         history = self._history.setdefault(object_id, [])
         history.append(self._clock)
         if len(history) > self.k:
             del history[0]
+        self._victims.set(
+            object_id, (self._kdist(object_id), self._admit_order[object_id])
+        )
 
     def _touch(self, request: ObjectRequest) -> None:
         self._record(request.object_id)
 
     def _admit(self, request: ObjectRequest) -> None:
+        self._admit_seq += 1
+        self._admit_order[request.object_id] = self._admit_seq
         self._record(request.object_id)
 
     def _forget(self, object_id: str) -> None:
-        # Reference history survives eviction (that is LRU-K's point).
-        pass
-
-    def _choose_victim(self, protected: Set[str]) -> Optional[str]:
-        best: Optional[Tuple[Tuple[int, int], str]] = None
-        for object_id in self.store.object_ids():
-            if object_id in protected:
-                continue
-            history = self._history.get(object_id, [])
-            if len(history) < self.k:
-                key = (0, history[-1] if history else 0)
-            else:
-                key = (1, history[0])
-            if best is None or key < best[0]:
-                best = (key, object_id)
-        return best[1] if best else None
+        # Reference history survives eviction (that is LRU-K's point),
+        # but the object leaves the victim order until readmission.
+        self._victims.discard(object_id)
+        self._admit_order.pop(object_id, None)
 
 
 class StaticPolicy(CachePolicy):

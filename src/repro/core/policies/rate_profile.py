@@ -27,8 +27,14 @@ sunk load cost so the cache stays conservative about evicting).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+try:  # Vectorized eviction-candidate ranking; plain Python otherwise.
+    import numpy as _np
+except ImportError:  # pragma: no cover - depends on environment
+    _np = None  # type: ignore[assignment]
 
 from repro.core.events import CacheQuery, Decision, ObjectRequest
 from repro.core.policies.base import CachePolicy
@@ -166,6 +172,30 @@ class RateProfilePolicy(CachePolicy):
         self._time = 0
         self._cached: Dict[str, CachedProfile] = {}
         self._outside: Dict[str, OutsideProfile] = {}
+        # Flat mirrors of the per-resident rate inputs (yield sum, load
+        # time, size), always keyed in ``self._cached`` order, so the
+        # per-epoch candidate ranking can be vectorized instead of
+        # touching 10^4 profile objects per query.
+        self._plan_y: Dict[str, float] = {}
+        self._plan_l: Dict[str, float] = {}
+        self._plan_s: Dict[str, float] = {}
+        # Eviction-candidate cursor: rate profiles vary with time, so
+        # ranks are only stable *within* one query epoch.  The ascending
+        # (rate, object_id) order is built once per epoch and shared by
+        # every missing object in the query; ``_plan_pos`` advances past
+        # consumed candidates (evicted victims, protected ids) and
+        # rewinds on failed plans.
+        self._plan_epoch = -1
+        self._plan_pos = 0
+        self._plan_rates: Sequence[float] = ()
+        self._plan_oids: List[str] = []
+        self._plan_order: Optional[Any] = None
+        # Equal-rate runs left by the stable argsort, fixed up to the
+        # scan's object-id tie-break lazily — only when the cursor
+        # actually reaches a run.
+        self._plan_run_starts: List[int] = []
+        self._plan_run_ends: List[int] = []
+        self._plan_run_idx = 0
 
     # -- introspection (used heavily by tests) --------------------------
 
@@ -213,9 +243,9 @@ class RateProfilePolicy(CachePolicy):
         )
         if served:
             for request in query.objects:
-                self._cached[request.object_id].yield_sum += (
-                    request.yield_bytes
-                )
+                profile = self._cached[request.object_id]
+                profile.yield_sum += request.yield_bytes
+                self._plan_y[request.object_id] = profile.yield_sum
         return Decision(
             served_from_cache=served, loads=loads, evictions=evictions
         )
@@ -275,23 +305,117 @@ class RateProfilePolicy(CachePolicy):
         needed = request.size - self.store.free_bytes
         if needed <= 0:
             return []
-        candidates = sorted(
-            (
-                (self._cached[oid].rate_profile(self._time), oid)
-                for oid in self.store.object_ids()
-                if oid not in protected
-            ),
-        )
+        if self._plan_epoch != self._time:
+            self._rank_candidates()
+        # The cursor walks ascending (rate, object_id) exactly as the
+        # per-call sorted scan did: protected ids are skipped (the scan
+        # excluded them), ids evicted earlier this query are stale, and
+        # the position only sticks when the plan succeeds — victims are
+        # then evicted, so nothing consumable is ever skipped over.
+        rates = self._plan_rates
+        total = len(rates)
+        pos = self._plan_pos
+        start = pos
         victims: List[str] = []
         freed = 0
-        for rate, object_id in candidates:
-            if rate >= lar:
+        run_starts = self._plan_run_starts
+        while pos < total:
+            while (
+                self._plan_run_idx < len(run_starts)
+                and pos >= run_starts[self._plan_run_idx]
+            ):
+                self._fix_run(self._plan_run_idx)
+                self._plan_run_idx += 1
+            object_id = self._plan_oid(pos)
+            if object_id in protected or object_id not in self._cached:
+                pos += 1
+                continue
+            if rates[pos] >= lar:
                 break
             victims.append(object_id)
             freed += self.store.size_of(object_id)
+            pos += 1
             if freed >= needed:
+                self._plan_pos = pos
                 return victims
+        # Not enough evictable bytes below the LAR: rewind so later
+        # missing objects see the full candidate set.
+        self._plan_pos = start
         return None
+
+    def _plan_oid(self, pos: int) -> str:
+        if self._plan_order is None:
+            return self._plan_oids[pos]
+        return self._plan_oids[self._plan_order[pos]]
+
+    def _rank_candidates(self) -> None:
+        """Rank this epoch's eviction candidates ascending by rate.
+
+        Sanctioned full scan: runs once per query epoch, not per
+        missing object.  The vectorized path computes the same IEEE-754
+        doubles as :meth:`CachedProfile.rate_profile` — ``elapsed *
+        size`` rounds the exact product once either way — and restores
+        the sorted scan's object-id tie-break by reordering equal-rate
+        runs.
+        """
+        self._plan_epoch = self._time
+        self._plan_pos = 0
+        ids = list(self._cached)
+        count = len(ids)
+        if _np is None or count < 512:
+            entries = sorted(  # repro-lint: allow[RPR005]
+                (self._cached[oid].rate_profile(self._time), oid)
+                for oid in ids
+            )
+            self._plan_rates = [entry[0] for entry in entries]
+            self._plan_oids = [entry[1] for entry in entries]
+            self._plan_order = None
+            self._plan_run_starts = []
+            self._plan_run_ends = []
+            self._plan_run_idx = 0
+            return
+        yields = _np.fromiter(
+            self._plan_y.values(), _np.float64, count=count
+        )
+        loads = _np.fromiter(
+            self._plan_l.values(), _np.float64, count=count
+        )
+        sizes = _np.fromiter(
+            self._plan_s.values(), _np.float64, count=count
+        )
+        elapsed = _np.maximum(self._time - loads, 1.0)
+        rates = yields / (elapsed * sizes)
+        order = _np.argsort(rates, kind="stable")
+        ranked = rates[order]
+        # Stable argsort breaks rate ties by insertion order; the scan
+        # this replaces broke them by object id.  Equal doubles are
+        # exactly detectable; record the runs and let the cursor fix
+        # each one up the first time it gets there (a run the cursor
+        # never reaches never needed its tie-break resolved).
+        ties = _np.flatnonzero(ranked[1:] == ranked[:-1])
+        if ties.size:
+            breaks = _np.flatnonzero(_np.diff(ties) > 1)
+            first = _np.concatenate(([0], breaks + 1))
+            last = _np.concatenate((breaks, [ties.size - 1]))
+            self._plan_run_starts = ties[first].tolist()
+            self._plan_run_ends = (ties[last] + 1).tolist()
+        else:
+            self._plan_run_starts = []
+            self._plan_run_ends = []
+        self._plan_run_idx = 0
+        self._plan_rates = ranked
+        self._plan_oids = ids
+        self._plan_order = order
+
+    def _fix_run(self, run: int) -> None:
+        """Reorder one equal-rate run of positions by object id."""
+        start = self._plan_run_starts[run]
+        stop = self._plan_run_ends[run] + 1
+        order = self._plan_order
+        assert order is not None
+        segment = order[start:stop].tolist()
+        segment.sort(key=self._plan_oids.__getitem__)
+        order[start:stop] = segment
 
     def _load(self, request: ObjectRequest, now: int) -> None:
         self.store.add(request.object_id, request.size)
@@ -300,6 +424,9 @@ class RateProfilePolicy(CachePolicy):
             fetch_cost=request.fetch_cost,
             load_time=now,
         )
+        self._plan_y[request.object_id] = 0.0
+        self._plan_l[request.object_id] = float(now)
+        self._plan_s[request.object_id] = float(request.size)
         # Its outside profile pauses while resident; the current episode
         # is closed so a later eviction starts cleanly.
         profile = self._outside.get(request.object_id)
@@ -309,15 +436,25 @@ class RateProfilePolicy(CachePolicy):
     def _evict(self, object_id: str, now: int) -> None:
         self.store.remove(object_id)
         self._cached.pop(object_id, None)
+        self._plan_y.pop(object_id, None)
+        self._plan_l.pop(object_id, None)
+        self._plan_s.pop(object_id, None)
 
     def _drop(self, object_id: str) -> None:
         self._evict(object_id, self._time)
 
     def _prune_outside(self) -> None:
-        """Drop the stalest tenth of outside profiles."""
-        ranked = sorted(
-            self._outside.items(), key=lambda item: item[1].last_access
+        """Drop the stalest tenth of outside profiles.
+
+        ``heapq.nsmallest`` is documented equivalent to
+        ``sorted(...)[:n]`` (ties keep iteration order), but runs in
+        O(n log drop) instead of sorting all tracked profiles.
+        """
+        drop = max(1, len(self._outside) // 10)
+        stalest = heapq.nsmallest(
+            drop,
+            self._outside.items(),
+            key=lambda item: item[1].last_access,
         )
-        drop = max(1, len(ranked) // 10)
-        for object_id, _ in ranked[:drop]:
+        for object_id, _ in stalest:
             del self._outside[object_id]

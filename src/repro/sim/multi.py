@@ -19,9 +19,10 @@ import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.instrumentation import Instrumentation
+from repro.core.pipeline import CompiledTrace, DecisionPipeline
 from repro.core.policies.base import CachePolicy
 from repro.errors import CacheError
 from repro.federation.federation import Federation
@@ -110,7 +111,10 @@ def _init_fleet_worker(
     )
 
 
-def _run_fleet_task(client: ClientSite) -> SimulationResult:
+def _run_fleet_task(
+    task: Tuple[str, CompiledTrace, CachePolicy]
+) -> SimulationResult:
+    _, compiled, policy = task
     federation, granularity, policy_sees_weights, record_series = (
         _FLEET_CONTEXT["args"]
     )
@@ -123,9 +127,7 @@ def _run_fleet_task(client: ClientSite) -> SimulationResult:
         policy_sees_weights,
         instrumentation=telemetry,
     )
-    result = simulator.run(
-        client.trace, client.policy, record_series=record_series
-    )
+    result = simulator.run(compiled, policy, record_series=record_series)
     result.worker_pid = os.getpid()
     result.telemetry = telemetry.snapshot()
     return result
@@ -166,6 +168,20 @@ def simulate_fleet(
         workers = max_workers or (os.cpu_count() or 1)
         workers = max(1, min(workers, len(clients)))
         if workers > 1:
+            # Compile every client's stream once in the parent; workers
+            # receive the pickle-cheap compiled form instead of
+            # re-attributing yields per site.
+            pipeline = DecisionPipeline(
+                federation, granularity, policy_sees_weights
+            )
+            tasks = [
+                (
+                    client.name,
+                    pipeline.compile_trace(client.trace),
+                    client.policy,
+                )
+                for client in clients
+            ]
             try:
                 with ProcessPoolExecutor(
                     max_workers=workers,
@@ -177,7 +193,7 @@ def simulate_fleet(
                         record_series,
                     ),
                 ) as pool:
-                    outcomes = list(pool.map(_run_fleet_task, clients))
+                    outcomes = list(pool.map(_run_fleet_task, tasks))
             except (BrokenProcessPool, pickle.PicklingError, OSError):
                 outcomes = None  # fall back to serial below
     if outcomes is None:

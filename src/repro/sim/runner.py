@@ -18,7 +18,11 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.instrumentation import Instrumentation
-from repro.core.pipeline import shared_catalog
+from repro.core.pipeline import (
+    CompiledTrace,
+    DecisionPipeline,
+    shared_catalog,
+)
 from repro.core.policies import (
     StaticPolicy,
     accumulate_object_yields,
@@ -46,14 +50,22 @@ DEFAULT_POLICIES = (
 def build_policy(
     name: str,
     capacity_bytes: int,
-    trace: PreparedTrace,
+    trace: Union[PreparedTrace, CompiledTrace],
     federation: Federation,
     granularity: str,
     **kwargs,
 ) -> CachePolicy:
-    """Instantiate a policy, handling the offline setup of ``static``."""
+    """Instantiate a policy, handling the offline setup of ``static``.
+
+    The static policy's offline selection needs the *raw* per-object
+    yield totals; a compiled trace carries them precomputed
+    (``object_totals``), so workers never re-attribute yields.
+    """
     if name == "static":
-        yields = accumulate_object_yields(trace, granularity)
+        if isinstance(trace, CompiledTrace):
+            yields = dict(trace.object_totals)
+        else:
+            yields = accumulate_object_yields(trace, granularity)
         catalog = shared_catalog(federation)
         sizes = {object_id: catalog.size(object_id) for object_id in yields}
         chosen = choose_static_objects(yields, sizes, capacity_bytes)
@@ -62,7 +74,7 @@ def build_policy(
 
 
 def run_single(
-    trace: PreparedTrace,
+    trace: Union[PreparedTrace, CompiledTrace],
     federation: Federation,
     policy_name: str,
     capacity_bytes: int,
@@ -97,7 +109,7 @@ _WORKER_CONTEXT: Dict[str, object] = {}
 
 
 def _init_worker(
-    trace: PreparedTrace,
+    trace: CompiledTrace,
     federation: Federation,
     granularity: str,
     record_series: Union[bool, str],
@@ -152,7 +164,7 @@ def merge_worker_telemetry(
 
 def _run_cells(
     tasks: Sequence[Tuple[str, int]],
-    trace: PreparedTrace,
+    trace: Union[PreparedTrace, CompiledTrace],
     federation: Federation,
     granularity: str,
     record_series: Union[bool, str],
@@ -172,7 +184,15 @@ def _run_cells(
     directly; parallel cells record counters in their worker process
     and the snapshots are merged back in task order (events stay
     worker-local — only counter/stage aggregates cross the boundary).
+
+    The trace is compiled once here — serial cells share the memoized
+    stream, parallel workers receive the compiled form in their
+    initializer — so query construction happens once per sweep rather
+    than once per cell.
     """
+    compiled = DecisionPipeline(
+        federation, granularity, policy_sees_weights
+    ).compile_trace(trace)
     if parallel and len(tasks) > 1:
         workers = max_workers or (os.cpu_count() or 1)
         workers = max(1, min(workers, len(tasks)))
@@ -182,7 +202,7 @@ def _run_cells(
                     max_workers=workers,
                     initializer=_init_worker,
                     initargs=(
-                        trace,
+                        compiled,
                         federation,
                         granularity,
                         record_series,
@@ -197,7 +217,7 @@ def _run_cells(
                 return outcomes
     return [
         run_single(
-            trace,
+            compiled,
             federation,
             name,
             capacity,

@@ -20,7 +20,11 @@ from typing import Optional, Union
 # lived here before the pipeline layer was extracted.
 from repro.core.events import CacheQuery
 from repro.core.instrumentation import Instrumentation
-from repro.core.pipeline import DecisionPipeline, ObjectCatalog
+from repro.core.pipeline import (
+    CompiledTrace,
+    DecisionPipeline,
+    ObjectCatalog,
+)
 from repro.core.policies.base import CachePolicy
 from repro.federation.federation import Federation
 from repro.sim.results import SimulationResult
@@ -82,14 +86,18 @@ class Simulator:
 
     def run(
         self,
-        trace: PreparedTrace,
+        trace: Union[PreparedTrace, CompiledTrace],
         policy: CachePolicy,
         record_series: Union[bool, str] = True,
     ) -> SimulationResult:
         """Replay ``trace`` through ``policy``, returning full accounting.
 
         Args:
-            trace: The prepared workload.
+            trace: The prepared workload, or a stream already compiled
+                by :meth:`DecisionPipeline.compile_trace` under this
+                simulator's (granularity, cost view).  Prepared traces
+                are compiled on entry — memoized, so repeat runs over
+                the same trace skip query construction entirely.
             policy: Any cache policy.
             record_series: ``True`` records the cumulative WAN series
                 after every query (the Figures 7-8 data); ``False``
@@ -99,7 +107,8 @@ class Simulator:
                 The stride is stored as ``result.series_stride``.
         """
         pipeline = self.pipeline
-        total = len(trace)
+        compiled = pipeline.compile_trace(trace)
+        total = len(compiled.events)
         stride = 1
         if record_series == "sampled":
             stride = max(1, total // SAMPLED_SERIES_POINTS)
@@ -107,19 +116,22 @@ class Simulator:
             policy_name=policy.name,
             granularity=self.granularity,
             capacity_bytes=policy.capacity_bytes,
-            sequence_bytes=float(trace.sequence_bytes),
+            sequence_bytes=float(compiled.sequence_bytes),
             series_stride=stride,
         )
         breakdown = result.breakdown
         cumulative = result.cumulative_bytes
+        # Hoisted so the replay loop pays nothing per query when no
+        # instrumentation sink is attached.
+        emit = pipeline.instrumentation is not None
 
-        for index, prepared in enumerate(trace):
-            query = pipeline.query_from_prepared(prepared, index)
+        for index, event in enumerate(compiled.events):
+            query = event.query
             decision = policy.process(query)
             accounting = pipeline.account(
                 decision,
-                bypass_bytes=prepared.bypass_bytes,
-                servers=prepared.servers,
+                bypass_bytes=event.bypass_bytes,
+                servers=event.servers,
             )
 
             result.charge(accounting, decision)
@@ -127,15 +139,16 @@ class Simulator:
                 (index + 1) % stride == 0 or index == total - 1
             ):
                 cumulative.append(breakdown.total_bytes)
-            pipeline.emit_decision(
-                index=index,
-                source="simulator",
-                policy_name=policy.name,
-                decision=decision,
-                accounting=accounting,
-                sql=prepared.sql,
-                yield_bytes=prepared.yield_bytes,
-            )
+            if emit:
+                pipeline.emit_decision(
+                    index=index,
+                    source="simulator",
+                    policy_name=policy.name,
+                    decision=decision,
+                    accounting=accounting,
+                    sql=query.sql,
+                    yield_bytes=query.yield_bytes,
+                )
 
         result.queries = total
         return result

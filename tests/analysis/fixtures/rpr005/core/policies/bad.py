@@ -1,0 +1,48 @@
+"""Seeded RPR005 violations: the pre-heap full scans, verbatim shapes.
+
+Parsed, never executed — every class body reproduces a decision-path
+scan pattern that the victim-heap rewrite removed.
+"""
+
+
+class ScanningPolicy(CachePolicy):  # noqa: F821 - parsed, never executed
+    def decide(self, query):
+        # Full store enumeration inside the per-query method.
+        for object_id in self.store.object_ids():
+            self.touch(object_id)
+        return None
+
+    def _choose_victim(self, protected):
+        # The old GDS shape: min() over a comprehension of all state.
+        return min(
+            (value, object_id)
+            for object_id, value in self._h_values.items()
+            if object_id not in protected
+        )[1]
+
+    def _plan_load(self, request, protected):
+        # The old rate-profile shape: sorted() over every resident.
+        candidates = sorted(
+            (self.rate(oid), oid)
+            for oid in self.store.object_ids()
+            if oid not in protected
+        )
+        return [oid for _, oid in candidates]
+
+
+class ScanningCache:
+    def _make_room(self, size):
+        # The old Landlord shape: rank all residents per eviction.
+        ranked = sorted(
+            self.store.object_ids(),
+            key=lambda oid: self._credits[oid] / self.store.size_of(oid),
+        )
+        return ranked
+
+    def _largest(self, protected):
+        # max() sweep in a private helper of the same class.
+        return max(
+            (self.store.size_of(oid), oid)
+            for oid in self._entries
+            if oid not in protected
+        )[1]

@@ -1,0 +1,29 @@
+"""RPR005-clean counterpart: heap-based selection, pragma'd amortized
+scans, and scans in cold public methods (exempt by design)."""
+
+
+class HeapPolicy(CachePolicy):  # noqa: F821 - parsed, never executed
+    def decide(self, query):
+        victim = self._choose_victim({req.object_id for req in query.objects})
+        return victim
+
+    def _choose_victim(self, protected):
+        # Sublinear: lazy-deletion heap, no scan.
+        return self._victims.select_min(protected)
+
+    def _rank_candidates(self):
+        # Amortized once-per-epoch ranking: sanctioned with a pragma.
+        entries = sorted(  # repro-lint: allow[RPR005] once per epoch
+            (self.rate(oid), oid) for oid in self._cached
+        )
+        return entries
+
+    def describe(self):
+        # Public introspection is cold — scans here are fine.
+        return sorted(self.store.object_ids())
+
+
+class HeapCache:
+    def _make_room(self, size):
+        popped = self._victims.pop_min()
+        return popped

@@ -104,3 +104,79 @@ class TestRPR004AccountingDiscipline:
 
     def test_silent_on_corrected_code(self):
         assert run_rule("RPR004", Path("rpr004/good.py")) == []
+
+
+class TestRPR005DecisionPathScans:
+    def test_fires_on_seeded_violations(self):
+        violations = run_rule(
+            "RPR005", Path("rpr005/core/policies/bad.py")
+        )
+        assert all(v.rule_id == "RPR005" for v in violations)
+        messages = " ".join(v.message for v in violations)
+        assert ".object_ids()" in messages
+        assert "sorted(...)" in messages
+        assert "min(...)" in messages
+        assert "max(...)" in messages
+        # decide + _choose_victim + _plan_load (2) + _make_room (2)
+        # + private helper.
+        assert len(violations) == 7
+
+    def test_every_hot_method_is_covered(self):
+        violations = run_rule(
+            "RPR005", Path("rpr005/core/policies/bad.py")
+        )
+        methods = {v.message.split("(")[0] for v in violations}
+        assert methods == {
+            "ScanningPolicy.decide",
+            "ScanningPolicy._choose_victim",
+            "ScanningPolicy._plan_load",
+            "ScanningCache._make_room",
+            "ScanningCache._largest",
+        }
+
+    def test_silent_on_heap_based_code(self):
+        assert (
+            run_rule("RPR005", Path("rpr005/core/policies/good.py")) == []
+        )
+
+    def test_scoped_to_decision_layers(self):
+        from repro.analysis.lint import lint_source
+
+        source = (
+            "class C:\n"
+            "    def decide(self, query):\n"
+            "        return sorted(self.store.object_ids())\n"
+        )
+        in_policies = lint_source(
+            source,
+            Path("src/repro/core/policies/x.py"),
+            select=["RPR005"],
+        )
+        in_object_cache = lint_source(
+            source,
+            Path("src/repro/core/object_cache.py"),
+            select=["RPR005"],
+        )
+        elsewhere = lint_source(
+            source, Path("src/repro/sim/x.py"), select=["RPR005"]
+        )
+        assert len(in_policies) == 2
+        assert len(in_object_cache) == 2
+        assert elsewhere == []
+
+    def test_cold_public_methods_exempt(self):
+        from repro.analysis.lint import lint_source
+
+        source = (
+            "class C:\n"
+            "    def describe(self):\n"
+            "        return sorted(self.store.object_ids())\n"
+        )
+        assert (
+            lint_source(
+                source,
+                Path("src/repro/core/policies/x.py"),
+                select=["RPR005"],
+            )
+            == []
+        )

@@ -93,7 +93,7 @@ class TestInvalidateBase:
         assert "A" not in policy.store
         assert "B" in policy.store
         # Recency order must not contain the dropped object.
-        assert "A" not in policy._order
+        assert "A" not in policy._victims
 
     def test_static_invalidate(self):
         policy = StaticPolicy(300, {"A": 100, "B": 100})

@@ -128,3 +128,41 @@ class TestBookkeeping:
             cache.request("A", size=10, fetch_cost=10.0)
         cache.evict("A")
         assert "A" not in cache
+
+
+class TestAccountCap:
+    """Rent-to-buy accounts are metadata and must not grow unbounded."""
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(CacheError):
+            BypassObjectCache(CacheStore(100), max_accounts=0)
+
+    def test_footprint_stays_bounded_under_churn(self):
+        cache = BypassObjectCache(CacheStore(100), max_accounts=50)
+        # A long stream of one-shot objects previously left one account
+        # per distinct id forever; the cap must hold regardless.
+        for i in range(1000):
+            cache.request(f"one-shot-{i}", size=20, fetch_cost=10.0)
+            assert cache.tracked_accounts() <= 50
+        assert cache.tracked_accounts() > 0
+
+    def test_prune_drops_least_recently_touched(self):
+        cache = BypassObjectCache(CacheStore(100), max_accounts=10)
+        for i in range(10):
+            cache.request(f"o{i}", size=20, fetch_cost=10.0)
+        # Refresh o0's account so the prune hits o1 (the stalest) first.
+        cache.request("o0", size=20, fetch_cost=10.0)
+        cache.request("fresh", size=20, fetch_cost=10.0)
+        assert cache.tracked_accounts() <= 10
+        assert "o1" not in cache._accounts
+        assert "o0" in cache._accounts
+        assert "fresh" in cache._accounts
+
+    def test_rent_progress_survives_below_cap(self):
+        # Pruning must never fire while under the cap: rent-to-buy
+        # progress is the algorithm's memory and only trims under
+        # pressure.
+        cache = BypassObjectCache(CacheStore(100), max_accounts=1000)
+        for i in range(100):
+            cache.request(f"o{i}", size=20, fetch_cost=10.0)
+        assert cache.tracked_accounts() == 100

@@ -1,0 +1,185 @@
+"""Tests for the compiled-trace layer (DecisionPipeline.compile_trace).
+
+Compiled streams must be (a) memoized — one build per (federation,
+trace, granularity, cost view), with the memo releasing entries when
+traces die; (b) interchangeable with prepared traces — identical
+simulation results either way, including the static policy's offline
+selection; and (c) view-safe — a stream compiled under one granularity
+or cost currency is rejected by a pipeline running another.
+"""
+
+import gc
+
+import pytest
+
+from repro.core.pipeline import (
+    CompiledTrace,
+    DecisionPipeline,
+    _COMPILED_TRACES,
+)
+from repro.errors import CacheError
+from repro.federation import Federation
+from repro.sim.runner import build_policy, compare_policies, run_single
+from repro.sim.simulator import Simulator
+from repro.workload.trace import PreparedQuery, PreparedTrace
+
+from tests.conftest import build_catalog
+
+
+def make_trace(n=20, name="unit"):
+    queries = []
+    for i in range(n):
+        table = "PhotoObj" if i % 4 else "SpecObj"
+        queries.append(
+            PreparedQuery(
+                index=i,
+                sql=f"q{i}",
+                template="t",
+                yield_bytes=120,
+                bypass_bytes=120,
+                table_yields={table: 120.0},
+                column_yields={f"{table}.objID": 120.0},
+                servers=("sdss",),
+            )
+        )
+    return PreparedTrace(name, queries)
+
+
+@pytest.fixture
+def federation():
+    return Federation.single_site(build_catalog(), "sdss")
+
+
+@pytest.fixture
+def trace():
+    return make_trace(20)
+
+
+class TestCompileMemoization:
+    def test_same_pipeline_returns_same_object(self, federation, trace):
+        pipeline = DecisionPipeline(federation, "table", True)
+        assert pipeline.compile_trace(trace) is pipeline.compile_trace(
+            trace
+        )
+
+    def test_shared_across_pipelines_with_same_view(
+        self, federation, trace
+    ):
+        first = DecisionPipeline(federation, "table", True)
+        second = DecisionPipeline(federation, "table", True)
+        assert first.compile_trace(trace) is second.compile_trace(trace)
+
+    def test_views_compile_separately(self, federation, trace):
+        table = DecisionPipeline(federation, "table", True)
+        column = DecisionPipeline(federation, "column", True)
+        unweighted = DecisionPipeline(federation, "table", False)
+        by_table = table.compile_trace(trace)
+        assert column.compile_trace(trace) is not by_table
+        assert unweighted.compile_trace(trace) is not by_table
+        assert by_table.granularity == "table"
+        assert column.compile_trace(trace).granularity == "column"
+        assert unweighted.compile_trace(trace).policy_sees_weights is False
+
+    def test_passthrough_returns_identity(self, federation, trace):
+        pipeline = DecisionPipeline(federation, "table", True)
+        compiled = pipeline.compile_trace(trace)
+        assert pipeline.compile_trace(compiled) is compiled
+
+    def test_view_mismatch_rejected(self, federation, trace):
+        compiled = DecisionPipeline(federation, "table", True).compile_trace(
+            trace
+        )
+        with pytest.raises(CacheError, match="granularity"):
+            DecisionPipeline(federation, "column", True).compile_trace(
+                compiled
+            )
+        with pytest.raises(CacheError, match="policy_sees_weights"):
+            DecisionPipeline(federation, "table", False).compile_trace(
+                compiled
+            )
+
+    def test_memo_entry_released_when_trace_dies(self, federation):
+        pipeline = DecisionPipeline(federation, "table", True)
+        doomed = make_trace(5, name="doomed")
+        pipeline.compile_trace(doomed)
+        ident = id(doomed)
+        assert ident in _COMPILED_TRACES[federation]
+        del doomed
+        gc.collect()
+        assert ident not in _COMPILED_TRACES.get(federation, {})
+
+    def test_dead_id_reuse_cannot_resurrect(self, federation, trace):
+        # Two live traces never collide even if a dead trace's id gets
+        # recycled: the weakref guard re-keys on identity, not id alone.
+        pipeline = DecisionPipeline(federation, "table", True)
+        other = make_trace(5, name="other")
+        assert pipeline.compile_trace(trace) is not pipeline.compile_trace(
+            other
+        )
+        assert pipeline.compile_trace(other).name == "other"
+
+
+class TestCompiledReplayEquivalence:
+    def test_simulator_same_result_compiled_or_prepared(
+        self, federation, trace
+    ):
+        simulator = Simulator(federation, "table", True)
+        compiled = simulator.pipeline.compile_trace(trace)
+        from_prepared = run_single(trace, federation, "gds", 2000)
+        from_compiled = run_single(compiled, federation, "gds", 2000)
+        assert from_prepared.total_bytes == from_compiled.total_bytes
+        assert from_prepared.cumulative_bytes == (
+            from_compiled.cumulative_bytes
+        )
+        assert from_prepared.queries == from_compiled.queries
+        assert from_prepared.breakdown == from_compiled.breakdown
+
+    def test_static_selection_same_from_compiled(self, federation, trace):
+        compiled = DecisionPipeline(federation, "table", True).compile_trace(
+            trace
+        )
+        from_prepared = build_policy(
+            "static", 5000, trace, federation, "table"
+        )
+        from_compiled = build_policy(
+            "static", 5000, compiled, federation, "table"
+        )
+        assert from_prepared.store.object_ids() == (
+            from_compiled.store.object_ids()
+        )
+
+    def test_object_totals_match_raw_attribution(self, federation, trace):
+        from repro.core.policies import accumulate_object_yields
+
+        compiled = DecisionPipeline(federation, "table", True).compile_trace(
+            trace
+        )
+        assert dict(compiled.object_totals) == accumulate_object_yields(
+            trace, "table"
+        )
+
+    def test_compare_policies_accepts_shared_compilation(
+        self, federation, trace
+    ):
+        # compare_policies compiles internally; pre-compiling by hand
+        # and replaying per policy must give identical WAN totals.
+        results = compare_policies(
+            trace,
+            federation,
+            2000,
+            policies=("gds", "lru", "no-cache"),
+        )
+        compiled = DecisionPipeline(federation, "table", True).compile_trace(
+            trace
+        )
+        for name, result in results.items():
+            again = run_single(compiled, federation, name, 2000)
+            assert again.total_bytes == result.total_bytes, name
+
+    def test_compiled_trace_len_and_sequence_bytes(self, federation, trace):
+        compiled = DecisionPipeline(federation, "table", True).compile_trace(
+            trace
+        )
+        assert len(compiled) == len(trace.queries)
+        assert compiled.sequence_bytes == trace.sequence_bytes
+        assert isinstance(compiled, CompiledTrace)
