@@ -13,6 +13,7 @@ from repro.analysis.lint.rules import (  # noqa: F401
     rpr003_policies,
     rpr004_accounting,
     rpr005_scans,
+    rpr006_swallowed,
 )
 
 __all__ = [
@@ -21,4 +22,5 @@ __all__ = [
     "rpr003_policies",
     "rpr004_accounting",
     "rpr005_scans",
+    "rpr006_swallowed",
 ]

@@ -19,8 +19,11 @@ breaks those guarantees, so this rule flags:
   ``for`` loop or comprehension — set iteration order varies across
   processes; sort first (``sorted(...)`` is deterministic).
 
-The rule covers ``repro.core``, ``repro.sim``, and ``repro.obs`` (trace
-replay must be as deterministic as simulation).  Observability-only
+The rule covers ``repro.core``, ``repro.sim``, ``repro.obs`` (trace
+replay must be as deterministic as simulation), and ``repro.faults``
+(fault injection promises byte-identical replay from ``(seed,
+schedule)`` — wall clocks and module randomness would void the
+contract outright).  Observability-only
 exceptions carry a pragma: per line for isolated reads (e.g. stage
 timers), or a module-level ``# repro-lint: allow-file[RPR002]`` when the
 module's whole purpose is sanctioned (``repro.obs.manifest`` stamps
@@ -83,6 +86,7 @@ class NondeterminismRule(Rule):
             context.has_segments("core")
             or context.has_segments("sim")
             or context.has_segments("obs")
+            or context.has_segments("faults")
         )
 
     def check(self, context: FileContext) -> Iterator[LintViolation]:

@@ -31,6 +31,8 @@ _ACCOUNTING_FIELDS = {
     "cache_bytes",
     "load_cost",
     "bypass_cost",
+    "retry_bytes",
+    "retry_cost",
     "wan_bytes",
     "wan_cost",
     "weighted_cost",

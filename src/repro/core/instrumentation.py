@@ -84,6 +84,14 @@ class DecisionEvent:
         yield_bytes: Result size of the query (its yield), whichever
             path served it.  0 when the emitting driver predates the
             field (old traces).
+        retries: Transfer attempts beyond the first this query needed
+            (0 on fault-free runs).
+        retry_bytes: WAN bytes burned by failed transfer attempts and
+            discarded partials for this query.
+        outcome: How the query was ultimately resolved under faults —
+            ``"served"``, ``"bypassed"``, ``"partial"``, or
+            ``"unavailable"``.  Empty for fault-free traces, whose
+            outcome is implied by ``served_from_cache``.
     """
 
     index: int
@@ -98,11 +106,15 @@ class DecisionEvent:
     weighted_cost: float
     sql: str = ""
     yield_bytes: int = 0
+    retries: int = 0
+    retry_bytes: int = 0
+    outcome: str = ""
 
     @property
     def wan_bytes(self) -> int:
-        """Total WAN bytes this query added (loads + bypass)."""
-        return self.load_bytes + self.bypass_bytes
+        """Total WAN bytes this query added (loads + bypass + retry
+        waste)."""
+        return self.load_bytes + self.bypass_bytes + self.retry_bytes
 
     def to_json(self) -> Dict[str, object]:
         """JSON-safe dict that :meth:`from_json` restores exactly."""
@@ -119,6 +131,9 @@ class DecisionEvent:
             "weighted_cost": self.weighted_cost,
             "sql": self.sql,
             "yield_bytes": self.yield_bytes,
+            "retries": self.retries,
+            "retry_bytes": self.retry_bytes,
+            "outcome": self.outcome,
         }
 
     @classmethod
@@ -141,6 +156,9 @@ class DecisionEvent:
             weighted_cost=float(data["weighted_cost"]),  # type: ignore[arg-type]
             sql=str(data.get("sql", "")),
             yield_bytes=int(data.get("yield_bytes", 0)),  # type: ignore[call-overload]
+            retries=int(data.get("retries", 0)),  # type: ignore[call-overload]
+            retry_bytes=int(data.get("retry_bytes", 0)),  # type: ignore[call-overload]
+            outcome=str(data.get("outcome", "")),
         )
 
 
@@ -254,6 +272,12 @@ class Instrumentation:
         self.count("wan.load_bytes", event.load_bytes)
         self.count("wan.bypass_bytes", event.bypass_bytes)
         self.count("wan.weighted_cost", event.weighted_cost)
+        if event.retries:
+            self.count("decisions.retries", event.retries)
+        if event.retry_bytes:
+            self.count("wan.retry_bytes", event.retry_bytes)
+        if event.outcome:
+            self.count(f"decisions.outcome.{event.outcome}")
         if self.logger is not None:
             self.logger.debug(
                 "q%d [%s/%s] %s loads=%s evictions=%s wan=%d",

@@ -33,7 +33,15 @@ from __future__ import annotations
 
 import weakref
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.events import CacheQuery, Decision, ObjectRequest
 from repro.core.instrumentation import DecisionEvent, Instrumentation
@@ -57,7 +65,17 @@ from repro.federation.federation import Federation
 from repro.sqlengine.planner import QueryPlan
 from repro.workload.trace import PreparedQuery, PreparedTrace
 
+if TYPE_CHECKING:  # typing-only: keeps repro.core import-light
+    from repro.core.policies.base import CachePolicy
+    from repro.faults.transport import ResilientTransport
+
 GRANULARITIES = ("table", "column")
+
+#: How a query was ultimately resolved under faults.
+OUTCOME_SERVED = "served"
+OUTCOME_BYPASSED = "bypassed"
+OUTCOME_PARTIAL = "partial"
+OUTCOME_UNAVAILABLE = "unavailable"
 
 
 class ObjectCatalog:
@@ -188,20 +206,56 @@ class QueryAccounting:
         load_cost: Link-weighted cost of those loads.
         bypass_bytes: Result bytes shipped past the cache (0 on hits).
         bypass_cost: Link-weighted cost of the bypass (0 on hits).
+        retry_bytes: WAN bytes burned by failed transfer attempts and
+            discarded partials (0 on fault-free runs).
+        retry_cost: Link-weighted cost of that waste, brownout
+            inflation included.
     """
 
     load_bytes: RawBytes
     load_cost: WeightedCost
     bypass_bytes: RawBytes
     bypass_cost: WeightedCost
+    retry_bytes: RawBytes = ZERO_BYTES
+    retry_cost: WeightedCost = ZERO_COST
 
     @property
     def wan_bytes(self) -> RawBytes:
-        return RawBytes(self.load_bytes + self.bypass_bytes)
+        return RawBytes(
+            self.load_bytes + self.bypass_bytes + self.retry_bytes
+        )
 
     @property
     def weighted_cost(self) -> WeightedCost:
-        return WeightedCost(self.load_cost + self.bypass_cost)
+        return WeightedCost(
+            self.load_cost + self.bypass_cost + self.retry_cost
+        )
+
+
+@dataclass(frozen=True)
+class ResolvedQuery:
+    """One query's outcome under a fault-aware replay.
+
+    Produced by :meth:`DecisionPipeline.resolve`; consumed by
+    :meth:`~repro.sim.results.SimulationResult.charge_resolved`.
+
+    Attributes:
+        decision: What the policy asked for (before faults intervened).
+        accounting: The WAN charges the query actually generated,
+            retry waste included.
+        outcome: ``"served"``, ``"bypassed"``, ``"partial"``, or
+            ``"unavailable"`` — what the client actually got.
+        retries: Transfer attempts beyond the first, summed across the
+            query's loads and bypass shipments.
+        failed_loads: Object ids whose loads exhausted their retries
+            (rolled back out of the cache via ``policy.invalidate``).
+    """
+
+    decision: Decision
+    accounting: QueryAccounting
+    outcome: str
+    retries: int = 0
+    failed_loads: Tuple[str, ...] = ()
 
 
 class DecisionPipeline:
@@ -432,6 +486,183 @@ class DecisionPipeline:
             bypass_cost=charged_cost,
         )
 
+    # -- fault-aware resolution ------------------------------------------
+
+    def resolve(
+        self,
+        event: CompiledQuery,
+        policy: "CachePolicy",
+        transport: "ResilientTransport",
+        tick: int,
+        partial_results: bool = False,
+    ) -> ResolvedQuery:
+        """Run one query through ``policy`` with the WAN behind ``transport``.
+
+        The policy decides exactly as it would fault-free (it never sees
+        the network); the transport then decides what actually happens:
+
+        * each load ships through :meth:`ResilientTransport.send` — a
+          failed load is rolled back out of the cache via
+          ``policy.invalidate`` and its wasted attempts charged as
+          retry traffic;
+        * a cache-serve whose *needed* load failed degrades to a bypass
+          attempt (the cache cannot answer without the object);
+        * a bypass ships each involved server's share — when some
+          servers are dark the query degrades to a partial result
+          (``partial_results=True``), falls back to the cache when
+          every referenced object is resident, or surfaces as
+          ``"unavailable"``; partials shipped before the failure are
+          charged as retry waste (they crossed the WAN and were
+          discarded).
+
+        With an empty fault schedule every transfer succeeds on its
+        first attempt at multiplier 1.0, so the returned accounting is
+        byte-identical to :meth:`account` — the no-fault identity the
+        golden-equivalence suite pins down.
+        """
+        query = event.query
+        decision = policy.process(query)
+        network = self.federation.network
+        retries = 0
+        retry_bytes = ZERO_BYTES
+        retry_cost = ZERO_COST
+        load_bytes = ZERO_BYTES
+        load_cost = ZERO_COST
+        failed_loads: List[str] = []
+
+        for object_id in decision.loads:
+            server = self.catalog.server(object_id)
+            size = self.catalog.size(object_id)
+            sent = transport.send(
+                server, size, tick, network.link(server).weight
+            )
+            retries += sent.retries
+            if sent.wasted_bytes:
+                retry_bytes = RawBytes(retry_bytes + sent.wasted_bytes)
+                retry_cost = WeightedCost(retry_cost + sent.wasted_cost)
+            if sent.ok:
+                cost = self.catalog.fetch_cost(object_id)
+                if sent.cost_multiplier != 1.0:
+                    cost = WeightedCost(cost * sent.cost_multiplier)
+                load_bytes = RawBytes(load_bytes + size)
+                load_cost = WeightedCost(load_cost + cost)
+            else:
+                policy.invalidate(object_id)
+                failed_loads.append(object_id)
+
+        wants_serve = decision.served_from_cache
+        if wants_serve and failed_loads:
+            needed = {request.object_id for request in query.objects}
+            if needed.intersection(failed_loads):
+                wants_serve = False
+        if wants_serve:
+            return ResolvedQuery(
+                decision=decision,
+                accounting=QueryAccounting(
+                    load_bytes=load_bytes,
+                    load_cost=load_cost,
+                    bypass_bytes=ZERO_BYTES,
+                    bypass_cost=ZERO_COST,
+                    retry_bytes=retry_bytes,
+                    retry_cost=retry_cost,
+                ),
+                outcome=OUTCOME_SERVED,
+                retries=retries,
+                failed_loads=tuple(failed_loads),
+            )
+
+        # Bypass attempt: ship each involved server's share.
+        shares = split_bypass_bytes(event.bypass_bytes, event.servers)
+        shipped: List[Tuple[str, int, WeightedCost]] = []
+        dark = False
+        for server, share in shares:
+            sent = transport.send(
+                server, share, tick, network.link(server).weight
+            )
+            retries += sent.retries
+            if sent.wasted_bytes:
+                retry_bytes = RawBytes(retry_bytes + sent.wasted_bytes)
+                retry_cost = WeightedCost(retry_cost + sent.wasted_cost)
+            if sent.ok:
+                cost = network.cost(server, share)
+                if sent.cost_multiplier != 1.0:
+                    cost = WeightedCost(cost * sent.cost_multiplier)
+                shipped.append((server, share, cost))
+            else:
+                dark = True
+
+        if not dark:
+            if shares:
+                bypass_charged = raw_bytes(
+                    sum(share for _, share, _ in shipped)
+                )
+                bypass_cost = WeightedCost(
+                    sum(cost for _, _, cost in shipped)
+                )
+            else:
+                # No server attribution (synthetic traces): the WAN is
+                # charged at unit weight, as in the fault-free path.
+                bypass_charged = raw_bytes(event.bypass_bytes)
+                bypass_cost = weigh(event.bypass_bytes, UNIT_WEIGHT)
+            return ResolvedQuery(
+                decision=decision,
+                accounting=QueryAccounting(
+                    load_bytes=load_bytes,
+                    load_cost=load_cost,
+                    bypass_bytes=bypass_charged,
+                    bypass_cost=bypass_cost,
+                    retry_bytes=retry_bytes,
+                    retry_cost=retry_cost,
+                ),
+                outcome=OUTCOME_BYPASSED,
+                retries=retries,
+                failed_loads=tuple(failed_loads),
+            )
+
+        if shipped and partial_results:
+            # Serve what the reachable servers produced.
+            return ResolvedQuery(
+                decision=decision,
+                accounting=QueryAccounting(
+                    load_bytes=load_bytes,
+                    load_cost=load_cost,
+                    bypass_bytes=raw_bytes(
+                        sum(share for _, share, _ in shipped)
+                    ),
+                    bypass_cost=WeightedCost(
+                        sum(cost for _, _, cost in shipped)
+                    ),
+                    retry_bytes=retry_bytes,
+                    retry_cost=retry_cost,
+                ),
+                outcome=OUTCOME_PARTIAL,
+                retries=retries,
+                failed_loads=tuple(failed_loads),
+            )
+
+        # Partials that did ship were discarded: pure WAN waste.
+        for _, share, cost in shipped:
+            retry_bytes = RawBytes(retry_bytes + share)
+            retry_cost = WeightedCost(retry_cost + cost)
+
+        resident = bool(query.objects) and all(
+            request.object_id in policy.store for request in query.objects
+        )
+        return ResolvedQuery(
+            decision=decision,
+            accounting=QueryAccounting(
+                load_bytes=load_bytes,
+                load_cost=load_cost,
+                bypass_bytes=ZERO_BYTES,
+                bypass_cost=ZERO_COST,
+                retry_bytes=retry_bytes,
+                retry_cost=retry_cost,
+            ),
+            outcome=OUTCOME_SERVED if resident else OUTCOME_UNAVAILABLE,
+            retries=retries,
+            failed_loads=tuple(failed_loads),
+        )
+
     # -- instrumentation -------------------------------------------------
 
     def emit_decision(
@@ -443,6 +674,8 @@ class DecisionPipeline:
         accounting: QueryAccounting,
         sql: str = "",
         yield_bytes: int = 0,
+        retries: int = 0,
+        outcome: str = "",
     ) -> None:
         """Forward one decision to the instrumentation sink, if any."""
         if self.instrumentation is None:
@@ -461,5 +694,28 @@ class DecisionPipeline:
                 weighted_cost=accounting.weighted_cost,
                 sql=sql,
                 yield_bytes=yield_bytes,
+                retries=retries,
+                retry_bytes=accounting.retry_bytes,
+                outcome=outcome,
             )
         )
+
+
+def split_bypass_bytes(
+    total: int, servers: Sequence[str]
+) -> Tuple[Tuple[str, int], ...]:
+    """Deterministic per-server split of a query's bypass bytes.
+
+    Prepared traces store only the *total* decomposed bytes plus the
+    involved servers; the fault layer needs a per-server decomposition
+    to ship each share independently.  The split is even with the
+    remainder going to the earliest servers, in the trace's stable
+    server order — same inputs, same split, every run.
+    """
+    if not servers:
+        return ()
+    base, remainder = divmod(int(total), len(servers))
+    return tuple(
+        (server, base + (1 if position < remainder else 0))
+        for position, server in enumerate(servers)
+    )

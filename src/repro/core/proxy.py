@@ -20,8 +20,9 @@ they agree exactly on accounting under both cost views (tested).
 
 from __future__ import annotations
 
+import threading
 from contextlib import nullcontext
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
     ContextManager,
@@ -32,14 +33,22 @@ from typing import (
 )
 
 if TYPE_CHECKING:
+    from repro.faults.transport import ResilientTransport
     from repro.obs.httpd import MetricsServer
     from repro.obs.metrics import MetricsRegistry
 
 from repro.core.events import CacheQuery
 from repro.core.instrumentation import Instrumentation
-from repro.core.pipeline import DecisionPipeline, QueryAccounting
+from repro.core.pipeline import (
+    OUTCOME_BYPASSED,
+    OUTCOME_SERVED,
+    OUTCOME_UNAVAILABLE,
+    DecisionPipeline,
+    QueryAccounting,
+)
 from repro.core.units import ZERO_BYTES, ZERO_COST, RawBytes, WeightedCost
 from repro.core.policies.base import CachePolicy
+from repro.errors import BackendUnavailable
 from repro.federation.federation import Federation
 from repro.federation.mediator import Mediator
 from repro.federation.network import TrafficLedger
@@ -53,18 +62,29 @@ class ProxyResponse:
 
     Attributes:
         result: The materialized result (identical whichever path
-            produced it).
+            produced it).  ``None`` only when ``outcome`` is
+            ``"unavailable"`` — every backend the query needed stayed
+            dark through the retries and nothing was resident.
         served_from_cache: True when the query was evaluated locally.
         loads: Objects fetched into the cache for this query.
         evictions: Objects evicted to make room.
-        wan_bytes: WAN bytes this query added (loads + bypass).
+        wan_bytes: WAN bytes this query added (loads + bypass + retry
+            waste).
+        outcome: ``"served"``, ``"bypassed"``, or ``"unavailable"`` —
+            what the client actually got once faults had their say.
+        retries: Transfer attempts beyond the first this query needed.
+        failed_loads: Object ids whose loads exhausted their retries
+            and were rolled back.
     """
 
-    result: ResultSet
+    result: Optional[ResultSet]
     served_from_cache: bool
     loads: List[str]
     evictions: List[str]
     wan_bytes: int
+    outcome: str = OUTCOME_SERVED
+    retries: int = 0
+    failed_loads: List[str] = field(default_factory=list)
 
 
 class BypassYieldProxy:
@@ -81,6 +101,14 @@ class BypassYieldProxy:
             on the ledger are always weighted.
         instrumentation: Optional observability sink; per-query decision
             events and stage timers flow through it.
+        transport: Optional resilient transport
+            (:class:`~repro.faults.transport.ResilientTransport`).
+            When set, every WAN transfer retries with backoff behind
+            per-server circuit breakers, retry waste is charged to the
+            ledger, and queries whose backends stay dark degrade:
+            serve-from-cache when everything needed is resident,
+            ``"unavailable"`` otherwise.  The proxy advances one
+            logical tick per query.
 
     The proxy owns a :class:`~repro.federation.mediator.Mediator`; its
     ``ledger`` carries the network-citizenship accounting.
@@ -93,6 +121,7 @@ class BypassYieldProxy:
         granularity: str = "table",
         policy_sees_weights: bool = True,
         instrumentation: Optional[Instrumentation] = None,
+        transport: Optional["ResilientTransport"] = None,
     ) -> None:
         self.pipeline = DecisionPipeline(
             federation,
@@ -103,10 +132,18 @@ class BypassYieldProxy:
         self.federation = federation
         self.policy = policy
         self.granularity = granularity
-        self.mediator = Mediator(federation, instrumentation=instrumentation)
+        self.transport = transport
+        self.mediator = Mediator(
+            federation,
+            instrumentation=instrumentation,
+            transport=transport,
+        )
         self.queries_handled = 0
         self._metrics_registry: Optional["MetricsRegistry"] = None
         self._metrics_server: Optional["MetricsServer"] = None
+        self._metrics_lock = threading.Lock()
+        if transport is not None and instrumentation is not None:
+            transport.set_counter_hook(instrumentation.count)
 
     @property
     def policy_sees_weights(self) -> bool:
@@ -162,6 +199,12 @@ class BypassYieldProxy:
         index = self.queries_handled
         self.queries_handled += 1
 
+        if self.transport is not None:
+            if self.mediator.clock is not None:
+                self.mediator.clock.advance_to(index)
+            return self._query_resilient(sql, plan, result, event,
+                                         decision, index)
+
         load_bytes = ZERO_BYTES
         load_cost = ZERO_COST
         with self._stage("proxy.transfer"):
@@ -197,6 +240,112 @@ class BypassYieldProxy:
             loads=decision.loads,
             evictions=decision.evictions,
             wan_bytes=load_bytes + bypass_bytes,
+            outcome=(
+                OUTCOME_SERVED
+                if decision.served_from_cache
+                else OUTCOME_BYPASSED
+            ),
+        )
+
+    def _query_resilient(
+        self,
+        sql: str,
+        plan: QueryPlan,
+        result: ResultSet,
+        event: CacheQuery,
+        decision,
+        index: int,
+    ) -> ProxyResponse:
+        """The transfer/accounting stage when a transport is attached.
+
+        Mirrors :meth:`DecisionPipeline.resolve` for the online path:
+        failed loads roll back, a serve missing its load degrades to a
+        bypass, a dark bypass falls back to the cache when everything
+        the query touches is resident, and whatever remains surfaces as
+        an ``"unavailable"`` response rather than an exception.
+        """
+        assert self.transport is not None
+        ledger = self.mediator.ledger
+        retries_before = self.transport.stats()["retries"]
+        retry_bytes_before = ledger.retry_bytes
+        retry_cost_before = ledger.retry_cost
+
+        load_bytes = ZERO_BYTES
+        load_cost = ZERO_COST
+        failed_loads: List[str] = []
+        final_result: Optional[ResultSet] = result
+        with self._stage("proxy.transfer"):
+            for object_id in decision.loads:
+                try:
+                    size, cost = self.mediator.load_object(object_id)
+                except BackendUnavailable:
+                    self.policy.invalidate(object_id)
+                    failed_loads.append(object_id)
+                else:
+                    load_bytes = RawBytes(load_bytes + size)
+                    load_cost = WeightedCost(load_cost + cost)
+
+            wants_serve = decision.served_from_cache
+            if wants_serve and failed_loads:
+                needed = {request.object_id for request in event.objects}
+                if needed.intersection(failed_loads):
+                    wants_serve = False
+
+            if wants_serve:
+                bypass_bytes, bypass_cost = ZERO_BYTES, ZERO_COST
+                self.mediator.serve_from_cache(result)
+                outcome_label = OUTCOME_SERVED
+            else:
+                try:
+                    shipped = self.mediator.bypass(sql, plan, result)
+                except BackendUnavailable:
+                    bypass_bytes, bypass_cost = ZERO_BYTES, ZERO_COST
+                    resident = bool(event.objects) and all(
+                        request.object_id in self.policy.store
+                        for request in event.objects
+                    )
+                    if resident:
+                        self.mediator.serve_from_cache(result)
+                        outcome_label = OUTCOME_SERVED
+                    else:
+                        outcome_label = OUTCOME_UNAVAILABLE
+                        final_result = None
+                else:
+                    bypass_bytes = shipped.wan_bytes
+                    bypass_cost = shipped.wan_cost
+                    outcome_label = OUTCOME_BYPASSED
+
+        retry_bytes = RawBytes(ledger.retry_bytes - retry_bytes_before)
+        retry_cost = WeightedCost(ledger.retry_cost - retry_cost_before)
+        retries = self.transport.stats()["retries"] - retries_before
+
+        self.pipeline.emit_decision(
+            index=index,
+            source="proxy",
+            policy_name=self.policy.name,
+            decision=decision,
+            accounting=QueryAccounting(
+                load_bytes=load_bytes,
+                load_cost=load_cost,
+                bypass_bytes=bypass_bytes,
+                bypass_cost=bypass_cost,
+                retry_bytes=retry_bytes,
+                retry_cost=retry_cost,
+            ),
+            sql=sql,
+            yield_bytes=event.yield_bytes,
+            retries=retries,
+            outcome=outcome_label,
+        )
+        return ProxyResponse(
+            result=final_result,
+            served_from_cache=decision.served_from_cache,
+            loads=decision.loads,
+            evictions=decision.evictions,
+            wan_bytes=load_bytes + bypass_bytes + retry_bytes,
+            outcome=outcome_label,
+            retries=retries,
+            failed_loads=failed_loads,
         )
 
     def invalidate(self, object_ids: Iterable[str]) -> List[str]:
@@ -231,6 +380,8 @@ class BypassYieldProxy:
             instrumentation = Instrumentation(max_events=0)
             self.pipeline.instrumentation = instrumentation
             self.mediator.instrumentation = instrumentation
+            if self.transport is not None:
+                self.transport.set_counter_hook(instrumentation.count)
         self._metrics_registry = registry or MetricsRegistry()
         instrumentation.add_probe(
             MetricsProbe(
@@ -252,30 +403,44 @@ class BypassYieldProxy:
         """
         from repro.obs.httpd import MetricsServer
 
-        if self._metrics_server is not None:
-            return self._metrics_server
-        registry = self.enable_metrics()
-        self._metrics_server = MetricsServer(registry, host=host, port=port)
-        self._metrics_server.start()
-        return self._metrics_server
+        with self._metrics_lock:
+            if self._metrics_server is not None:
+                return self._metrics_server
+            registry = self.enable_metrics()
+            server = MetricsServer(registry, host=host, port=port)
+            server.start()
+            self._metrics_server = server
+        return server
 
     def close_metrics(self) -> None:
-        """Stop the metrics endpoint if one is running."""
-        if self._metrics_server is not None:
-            self._metrics_server.close()
+        """Stop the metrics endpoint if one is running.
+
+        Idempotent and thread-safe: concurrent or repeated calls (and a
+        call before :meth:`serve_metrics` ever ran) are no-ops.  The
+        server reference is claimed under a lock so exactly one caller
+        performs the actual shutdown.
+        """
+        with self._metrics_lock:
+            server = self._metrics_server
             self._metrics_server = None
+        if server is not None:
+            server.close()
 
     def stats(self) -> Dict[str, object]:
         """Operational snapshot: traffic, hit rate, residency."""
         ledger = self.mediator.ledger
-        return {
+        snapshot: Dict[str, object] = {
             "queries": self.queries_handled,
             "hit_rate": round(self.policy.hit_rate, 4),
             "wan_bytes": ledger.wan_bytes,
             "bypass_bytes": ledger.bypass_bytes,
             "load_bytes": ledger.load_bytes,
+            "retry_bytes": ledger.retry_bytes,
             "lan_bytes": ledger.cache_bytes,
             "resident_objects": len(self.policy.store),
             "cache_used_bytes": self.policy.store.used_bytes,
             "cache_capacity_bytes": self.policy.capacity_bytes,
         }
+        if self.transport is not None:
+            snapshot["transport"] = self.transport.stats()
+        return snapshot

@@ -52,6 +52,44 @@ class FederationError(ReproError):
     """Raised for federation-level failures (unknown servers, bad routes)."""
 
 
+class FaultError(ReproError):
+    """Raised for malformed fault schedules or fault-engine misuse."""
+
+
+class BackendUnavailable(FederationError):
+    """Raised when a backend server stays dark through every retry.
+
+    Typed so drivers can discriminate "the federation is degraded"
+    from configuration errors: the proxy converts it into a degraded
+    :class:`~repro.core.proxy.ProxyResponse`, the simulator accounts it
+    as an unavailable query.
+
+    Attributes:
+        server: Name of the dark server (the first one encountered).
+        operation: ``"load"`` or ``"bypass"``.
+        object_id: The object being fetched, for load failures.
+        attempts: Transport attempts made before giving up (0 when the
+            circuit breaker refused the request outright).
+    """
+
+    def __init__(
+        self,
+        server: str,
+        operation: str = "bypass",
+        object_id: str = "",
+        attempts: int = 0,
+    ) -> None:
+        detail = f" fetching {object_id!r}" if object_id else ""
+        super().__init__(
+            f"backend {server!r} unavailable during {operation}{detail} "
+            f"(after {attempts} attempt(s))"
+        )
+        self.server = server
+        self.operation = operation
+        self.object_id = object_id
+        self.attempts = attempts
+
+
 class CacheError(ReproError):
     """Raised for cache misconfiguration (e.g. object larger than cache)."""
 

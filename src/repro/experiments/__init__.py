@@ -11,6 +11,7 @@
 | ``fig10_cache_size_columns``| Fig. 10 — cache-size sweep, columns |
 | ``table1_column_breakdown`` | Table 1 — breakdown, columns        |
 | ``table2_table_breakdown``  | Table 2 — breakdown, tables         |
+| ``fig_resilience``          | Resilience — faults vs WAN/avail.   |
 
 Each ``run`` returns a structured result with a ``shape_holds`` property
 asserting the paper's qualitative claim; ``render`` produces the
@@ -25,6 +26,7 @@ from repro.experiments import (
     fig8_cost_columns,
     fig9_cache_size_tables,
     fig10_cache_size_columns,
+    fig_resilience,
     table1_column_breakdown,
     table2_table_breakdown,
 )
@@ -45,6 +47,7 @@ __all__ = [
     "fig8_cost_columns",
     "fig9_cache_size_tables",
     "fig10_cache_size_columns",
+    "fig_resilience",
     "table1_column_breakdown",
     "table2_table_breakdown",
 ]

@@ -1,0 +1,375 @@
+"""Resilience figure — WAN traffic and availability vs fault intensity.
+
+The paper's economy assumes an always-up network; this experiment asks
+what each policy's network citizenship looks like when the network
+misbehaves.  A fault *intensity* in ``[0, 1]`` scales a fixed schedule
+shape over the trace:
+
+* an outage on the primary server (length grows with intensity);
+* a brownout window (per-attempt failure rate and byte-cost inflation
+  grow with intensity);
+* a flapping link on the cross-match server (down-time share grows
+  with intensity).
+
+Intensity 0 is the empty schedule — the identity — so the left edge of
+the sweep reproduces the fault-free totals exactly.  Each (intensity,
+policy) cell replays through a fresh
+:class:`~repro.faults.transport.ResilientTransport`, so retries,
+breaker churn, and retry-byte waste land in the WAN totals.
+
+The headline shape: caching is an *availability* mechanism, not just a
+traffic one.  Policies that keep objects resident can fall back to the
+cache when a backend goes dark, so their availability degrades far more
+slowly than no-cache's as intensity rises — and their WAN totals stay
+below it throughout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, FaultError
+from repro.experiments.common import (
+    ExperimentContext,
+    build_context,
+    experiment_instrumentation,
+    parallel_workers,
+)
+from repro.faults import FaultSchedule, FaultWindow
+from repro.sim.reporting import format_table
+from repro.sim.results import SimulationResult
+from repro.sim import runner as sim_runner
+
+#: Fault intensities swept (0 = the identity / fault-free baseline).
+INTENSITIES = (0.0, 0.25, 0.5, 0.75)
+
+POLICIES = ("rate-profile", "online-by", "gds", "no-cache")
+
+#: Seed for every schedule in the sweep (determinism contract: the same
+#: (seed, schedule) replays byte-identically).
+SCHEDULE_SEED = 90210
+
+#: Default cache fraction (the paper's effective-cache operating point).
+CACHE_FRACTION = 0.3
+
+
+def build_schedule(intensity: float, num_queries: int) -> FaultSchedule:
+    """The sweep's fault schedule at one intensity over one trace length.
+
+    Intensity 0 returns the empty schedule; everything else scales the
+    same three-window shape so sweeps stay comparable across levels.
+    """
+    if not 0.0 <= intensity <= 1.0:
+        raise FaultError(
+            f"fault intensity must be in [0, 1], got {intensity}"
+        )
+    windows: List[FaultWindow] = []
+    if intensity > 0.0 and num_queries >= 20:
+        n = num_queries
+        outage_len = int(intensity * n * 0.15)
+        if outage_len > 0:
+            windows.append(
+                FaultWindow(
+                    kind="outage",
+                    server="sdss",
+                    start=n // 4,
+                    end=n // 4 + outage_len,
+                )
+            )
+        windows.append(
+            FaultWindow(
+                kind="brownout",
+                server="sdss",
+                start=n // 2,
+                end=n // 2 + n // 4,
+                cost_multiplier=1.0 + intensity,
+                failure_rate=0.5 * intensity,
+            )
+        )
+        windows.append(
+            FaultWindow(
+                kind="flap",
+                server="first",
+                start=(7 * n) // 10,
+                end=n,
+                period=8,
+                duty=1.0 - 0.5 * intensity,
+            )
+        )
+    return FaultSchedule(seed=SCHEDULE_SEED, windows=tuple(windows))
+
+
+@dataclass
+class ResilienceResult:
+    """The sweep grid: (intensity, policy) -> simulation result."""
+
+    intensities: Tuple[float, ...]
+    policies: Tuple[str, ...]
+    cells: Dict[Tuple[float, str], SimulationResult] = field(
+        default_factory=dict
+    )
+    baseline: Dict[str, SimulationResult] = field(default_factory=dict)
+
+    def cell(self, intensity: float, policy: str) -> SimulationResult:
+        return self.cells[(intensity, policy)]
+
+    @property
+    def shape_holds(self) -> bool:
+        """Three checks: (1) intensity 0 is the exact fault-free
+        identity per policy; (2) under faults, caching policies keep
+        availability at or above no-cache's (cache fallback is an
+        availability mechanism); (3) retry waste only exists under
+        faults."""
+        for policy in self.policies:
+            zero = self.cells.get((0.0, policy))
+            base = self.baseline.get(policy)
+            if base is None:
+                return False
+            if zero is None:
+                # Intensity 0 was not part of the sweep (e.g. a CLI
+                # run with only --intensity 0.5); the identity check
+                # is vacuous for this run.
+                continue
+            if (
+                zero.total_bytes != base.total_bytes
+                or zero.weighted_cost != base.weighted_cost
+                or zero.served_queries != base.served_queries
+                or zero.breakdown.retry_bytes != 0.0
+                or zero.availability != 1.0
+            ):
+                return False
+        if "no-cache" in self.policies:
+            for intensity in self.intensities:
+                if intensity == 0.0:
+                    continue
+                floor = self.cell(intensity, "no-cache").availability
+                for policy in self.policies:
+                    if policy == "no-cache":
+                        continue
+                    if self.cell(intensity, policy).availability < floor:
+                        return False
+        return True
+
+
+def run(
+    context: Optional[ExperimentContext] = None,
+    intensities: Sequence[float] = INTENSITIES,
+    policies: Sequence[str] = POLICIES,
+    trace_dir: Optional[Path] = None,
+) -> ResilienceResult:
+    """Sweep fault intensity × policy over one prepared trace.
+
+    With ``trace_dir``, every cell additionally streams its decision
+    events to ``trace_dir/trace-i<intensity>-<policy>.jsonl`` (manifest
+    header included) for ``repro-report`` — the CI resilience-smoke job
+    diffs those traces across same-seed reruns.
+    """
+    if context is None:
+        context = build_context("edr")
+    capacity = context.capacity_for(CACHE_FRACTION)
+    workers = parallel_workers()
+    result = ResilienceResult(
+        intensities=tuple(intensities), policies=tuple(policies)
+    )
+    result.baseline = sim_runner.compare_policies(
+        context.prepared,
+        context.federation,
+        capacity,
+        "table",
+        policies=tuple(policies),
+        record_series=False,
+        parallel=workers > 1 and trace_dir is None,
+        max_workers=workers or None,
+        instrumentation=experiment_instrumentation(),
+    )
+    for intensity in intensities:
+        schedule = build_schedule(intensity, len(context.prepared))
+        if trace_dir is None:
+            cells = sim_runner.compare_policies(
+                context.prepared,
+                context.federation,
+                capacity,
+                "table",
+                policies=tuple(policies),
+                record_series=False,
+                parallel=workers > 1,
+                max_workers=workers or None,
+                instrumentation=experiment_instrumentation(),
+                faults=schedule,
+            )
+        else:
+            cells = _run_with_traces(
+                context, capacity, policies, schedule, intensity,
+                Path(trace_dir),
+            )
+        for policy in policies:
+            result.cells[(intensity, policy)] = cells[policy]
+    return result
+
+
+def _run_with_traces(
+    context: ExperimentContext,
+    capacity: int,
+    policies: Sequence[str],
+    schedule: FaultSchedule,
+    intensity: float,
+    trace_dir: Path,
+) -> Dict[str, SimulationResult]:
+    """Serial per-policy replay streaming each cell to a JSONL trace."""
+    from repro.core.instrumentation import Instrumentation
+    from repro.obs.manifest import RunManifest, wall_clock_timestamp
+    from repro.obs.trace_io import TraceWriter
+
+    trace_dir.mkdir(parents=True, exist_ok=True)
+    results: Dict[str, SimulationResult] = {}
+    for name in policies:
+        manifest = RunManifest(
+            workload=f"{context.prepared.name}+faults@{intensity:g}",
+            policy=name,
+            granularity="table",
+            capacity_bytes=capacity,
+            seed=schedule.seed,
+            source="simulator",
+            created_at=wall_clock_timestamp(),
+        )
+        sink = Instrumentation(max_events=0)
+        path = trace_dir / f"trace-i{intensity:g}-{name}.jsonl"
+        with TraceWriter(path, manifest) as writer:
+            sink.add_probe(writer)
+            results[name] = sim_runner.run_single(
+                context.prepared,
+                context.federation,
+                name,
+                capacity,
+                "table",
+                record_series=False,
+                instrumentation=sink,
+                faults=schedule,
+            )
+        print(f"wrote {writer.events_written} events to {path}")
+    return results
+
+
+def render(result: ResilienceResult) -> str:
+    sections: List[str] = []
+    wan_rows = []
+    for intensity in result.intensities:
+        row: list = [f"{intensity:g}"]
+        for policy in result.policies:
+            row.append(result.cell(intensity, policy).total_bytes / 1e6)
+        wan_rows.append(row)
+    sections.append(
+        format_table(
+            ["intensity"] + list(result.policies),
+            wan_rows,
+            title=(
+                "Resilience: total WAN traffic (MB, retry waste "
+                "included) vs fault intensity"
+            ),
+        )
+    )
+    avail_rows = []
+    for intensity in result.intensities:
+        row = [f"{intensity:g}"]
+        for policy in result.policies:
+            row.append(
+                f"{result.cell(intensity, policy).availability:.4f}"
+            )
+        avail_rows.append(row)
+    sections.append(
+        format_table(
+            ["intensity"] + list(result.policies),
+            avail_rows,
+            title="Resilience: availability vs fault intensity",
+        )
+    )
+    retry_rows = []
+    for intensity in result.intensities:
+        row = [f"{intensity:g}"]
+        for policy in result.policies:
+            cell = result.cell(intensity, policy)
+            row.append(
+                f"{cell.breakdown.retry_bytes / 1e6:.3f} "
+                f"({cell.retries}r)"
+            )
+        retry_rows.append(row)
+    sections.append(
+        format_table(
+            ["intensity"] + list(result.policies),
+            retry_rows,
+            title="Resilience: retry waste MB (retry count)",
+        )
+    )
+    verdict = (
+        "resilience shape (identity at 0, caching holds availability "
+        f"above no-cache): {'HOLDS' if result.shape_holds else 'VIOLATED'}"
+    )
+    sections.append(verdict)
+    return "\n".join(sections)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.fig_resilience",
+        description=(
+            "Sweep fault intensity vs WAN traffic and availability "
+            "per policy."
+        ),
+    )
+    parser.add_argument(
+        "--intensity", action="append", type=float, metavar="X",
+        help=(
+            "fault intensity in [0, 1] (repeatable; default: the "
+            "full sweep)"
+        ),
+    )
+    parser.add_argument(
+        "-n", "--num-queries", type=int, default=None,
+        help="queries per trace (default: the experiment-suite scale)",
+    )
+    parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help=(
+            "stream one JSONL decision trace per (intensity, policy) "
+            "cell for repro-report; forces serial replay"
+        ),
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    intensities = (
+        tuple(args.intensity) if args.intensity else INTENSITIES
+    )
+    try:
+        if args.num_queries is None:
+            context = build_context("edr")
+        else:
+            if args.num_queries < 1:
+                raise ConfigurationError(
+                    f"--num-queries must be >= 1, got {args.num_queries}"
+                )
+            context = build_context("edr", num_queries=args.num_queries)
+        result = run(
+            context,
+            intensities=intensities,
+            trace_dir=(
+                Path(args.trace_dir)
+                if args.trace_dir is not None
+                else None
+            ),
+        )
+    except (ConfigurationError, FaultError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(render(result))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

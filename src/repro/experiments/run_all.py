@@ -26,6 +26,7 @@ from repro.experiments import (
     fig8_cost_columns,
     fig9_cache_size_tables,
     fig10_cache_size_columns,
+    fig_resilience,
     table1_column_breakdown,
     table2_table_breakdown,
 )
@@ -48,6 +49,7 @@ EXPERIMENTS = [
     ("Figure 10", fig10_cache_size_columns, "edr"),
     ("Table 1", table1_column_breakdown, "both"),
     ("Table 2", table2_table_breakdown, "both"),
+    ("Resilience", fig_resilience, "edr"),
 ]
 
 

@@ -1,0 +1,62 @@
+"""Deterministic fault injection for the federation layer.
+
+The subsystem splits into four small pieces:
+
+* :mod:`repro.faults.schedule` — :class:`FaultSchedule` /
+  :class:`FaultWindow`: pure-data descriptions of outages, brownouts,
+  and flapping links, with exact JSON round-trip;
+* :mod:`repro.faults.clock` — :class:`FaultClock`: logical time (one
+  tick per replayed query), never the wall clock;
+* :mod:`repro.faults.engine` — :class:`FaultEngine`: evaluates a
+  schedule at a tick, with all pseudo-randomness derived from SHA-256
+  draws over ``(seed, key)`` so replay is byte-identical;
+* :mod:`repro.faults.transport` — :class:`ResilientTransport`:
+  retries with capped backoff and deterministic jitter, per-server
+  circuit breakers, and retry-traffic totals that callers route
+  through the sanctioned ledger mutators.
+
+An empty schedule is the identity: the transport's first attempt
+always succeeds, nothing is wasted, and every decision and WAN total
+matches the fault-free pipeline byte for byte.
+"""
+
+from repro.faults.clock import FaultClock
+from repro.faults.engine import FaultEngine, uniform_draw
+from repro.faults.schedule import (
+    FAULT_KINDS,
+    FaultSchedule,
+    FaultWindow,
+    combined_failure_rate,
+    outage_windows,
+    parse_fault_seed,
+)
+from repro.faults.transport import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BreakerPolicy,
+    CircuitBreaker,
+    ResilientTransport,
+    RetryPolicy,
+    TransportOutcome,
+)
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "FAULT_KINDS",
+    "FaultClock",
+    "FaultEngine",
+    "FaultSchedule",
+    "FaultWindow",
+    "ResilientTransport",
+    "RetryPolicy",
+    "TransportOutcome",
+    "combined_failure_rate",
+    "outage_windows",
+    "parse_fault_seed",
+    "uniform_draw",
+]

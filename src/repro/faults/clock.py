@@ -1,0 +1,65 @@
+"""Logical time for the fault layer.
+
+The reproduction has no wall clock anywhere on the decision path (the
+determinism contract, RPR002): the only notion of time is the *query
+index* of the trace being replayed.  :class:`FaultClock` wraps that
+index so fault windows, breaker cooldowns, and retry backoff all talk
+about the same monotonically advancing integer — a "tick".
+
+The simulator advances the clock once per query; the proxy advances it
+once per request.  Backoff delays are modelled as fractional elapsed
+time *within* a tick (see :mod:`repro.faults.transport`), so a retry
+sequence can observe a fault window ending mid-request without ever
+consulting the host clock.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FaultError
+
+
+class FaultClock:
+    """A monotonically advancing logical clock measured in ticks.
+
+    One tick corresponds to one replayed query.  The clock never reads
+    host time; callers drive it explicitly via :meth:`advance` or
+    :meth:`advance_to`.
+    """
+
+    __slots__ = ("_tick",)
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise FaultError(f"clock cannot start before tick 0, got {start}")
+        self._tick = start
+
+    @property
+    def tick(self) -> int:
+        """The current logical tick."""
+        return self._tick
+
+    def advance(self, ticks: int = 1) -> int:
+        """Move the clock forward by ``ticks`` and return the new tick."""
+        if ticks < 0:
+            raise FaultError(f"clock cannot move backwards (advance {ticks})")
+        self._tick += ticks
+        return self._tick
+
+    def advance_to(self, tick: int) -> int:
+        """Jump directly to ``tick`` (must not be in the past)."""
+        if tick < self._tick:
+            raise FaultError(
+                f"clock cannot move backwards (at {self._tick}, "
+                f"asked for {tick})"
+            )
+        self._tick = tick
+        return self._tick
+
+    def reset(self, start: int = 0) -> None:
+        """Rewind to ``start`` for a fresh replay of the same schedule."""
+        if start < 0:
+            raise FaultError(f"clock cannot reset before tick 0, got {start}")
+        self._tick = start
+
+    def __repr__(self) -> str:
+        return f"FaultClock(tick={self._tick})"

@@ -1,0 +1,159 @@
+"""The fault engine: deterministic answers to "is this server up?".
+
+:class:`FaultEngine` evaluates a :class:`~repro.faults.schedule.FaultSchedule`
+at a logical tick and answers three questions per server:
+
+* :meth:`is_up` — is the server reachable at all (outages, flap-down
+  phases)?
+* :meth:`cost_multiplier` — how inflated is each shipped byte
+  (overlapping brownouts multiply)?
+* :meth:`attempt_fails` — does *this particular transfer attempt*
+  transiently fail (brownout ``failure_rate``, drawn deterministically)?
+
+All pseudo-randomness comes from SHA-256 draws keyed by
+``(seed, label, *parts)`` — no ``random`` module, no process state, so
+the same ``(seed, schedule)`` replays byte-identically in any process
+and in any evaluation order (the property the parallel sweep runner
+relies on).
+
+The engine also keeps per-server downtime counters that the transport
+layer surfaces through instrumentation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Dict, Tuple
+
+from repro.faults.schedule import (
+    FaultSchedule,
+    FaultWindow,
+    combined_failure_rate,
+)
+
+_TWO_64 = float(2**64)
+
+
+def uniform_draw(seed: int, *parts: object) -> float:
+    """A deterministic uniform draw in ``[0, 1)`` keyed by its arguments.
+
+    Hash-based rather than generator-based so a draw depends only on
+    its key, never on how many draws happened before it — evaluation
+    order and process boundaries cannot change the outcome.
+    """
+    key = ":".join(str(part) for part in (seed,) + parts)
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / _TWO_64
+
+
+def _flap_is_up(window: FaultWindow, tick: int) -> bool:
+    """Whether a flap window has its link up at ``tick``.
+
+    Each cycle of ``period`` ticks starts up for ``ceil(duty * period)``
+    ticks and is down for the remainder; a duty of 1 never drops.
+    """
+    phase = (tick - window.start) % window.period
+    up_ticks = min(window.period, math.ceil(window.duty * window.period))
+    return phase < up_ticks
+
+
+class FaultEngine:
+    """Evaluates a fault schedule at logical ticks, deterministically."""
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        self._schedule = schedule
+        self._by_server: Dict[str, Tuple[FaultWindow, ...]] = {
+            server: schedule.windows_for(server)
+            for server in schedule.servers
+        }
+        # Per-server count of ticks observed down, for telemetry.  Only
+        # ticks actually probed are counted — the engine is lazy.
+        self._downtime: Dict[str, int] = {}
+        self._last_down_tick: Dict[str, int] = {}
+
+    @property
+    def schedule(self) -> FaultSchedule:
+        return self._schedule
+
+    @property
+    def seed(self) -> int:
+        return self._schedule.seed
+
+    @property
+    def is_identity(self) -> bool:
+        """True when the schedule injects nothing at any tick."""
+        return self._schedule.is_empty
+
+    # -- state queries ---------------------------------------------------
+
+    def is_up(self, server: str, tick: int) -> bool:
+        """Whether ``server`` is reachable at ``tick``."""
+        up = True
+        for window in self._by_server.get(server, ()):
+            if not window.covers(tick):
+                continue
+            if window.kind == "outage":
+                up = False
+                break
+            if window.kind == "flap" and not _flap_is_up(window, tick):
+                up = False
+                break
+        if not up and self._last_down_tick.get(server) != tick:
+            self._downtime[server] = self._downtime.get(server, 0) + 1
+            self._last_down_tick[server] = tick
+        return up
+
+    def cost_multiplier(self, server: str, tick: int) -> float:
+        """Byte-cost inflation at ``tick`` (overlapping brownouts multiply)."""
+        multiplier = 1.0
+        for window in self._by_server.get(server, ()):
+            if window.covers(tick) and window.cost_multiplier > 1.0:
+                multiplier *= window.cost_multiplier
+        return multiplier
+
+    def failure_rate(self, server: str, tick: int) -> float:
+        """Per-attempt transient failure probability at ``tick``."""
+        rates = [
+            window.failure_rate
+            for window in self._by_server.get(server, ())
+            if window.covers(tick) and window.failure_rate > 0.0
+        ]
+        if not rates:
+            return 0.0
+        return combined_failure_rate(rates)
+
+    def attempt_fails(
+        self, server: str, tick: int, request_id: int, attempt: int
+    ) -> bool:
+        """Whether transfer ``attempt`` of ``request_id`` transiently fails.
+
+        The draw is keyed by ``(seed, server, tick, request_id,
+        attempt)`` so repeated evaluation — including re-evaluation in a
+        worker process — always lands on the same side of the rate.
+        """
+        rate = self.failure_rate(server, tick)
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        draw = uniform_draw(
+            self.seed, "attempt", server, tick, request_id, attempt
+        )
+        return draw < rate
+
+    # -- telemetry -------------------------------------------------------
+
+    def downtime(self, server: str) -> int:
+        """Ticks this engine has observed ``server`` down so far."""
+        return self._downtime.get(server, 0)
+
+    def downtime_by_server(self) -> Dict[str, int]:
+        """Copy of the per-server observed-downtime counters."""
+        return dict(self._downtime)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultEngine(seed={self.seed}, "
+            f"windows={len(self._schedule.windows)})"
+        )

@@ -1,0 +1,285 @@
+"""Declarative fault schedules: what breaks, where, and when.
+
+A :class:`FaultSchedule` is a seed plus a list of :class:`FaultWindow`
+records, each naming a server, a half-open ``[start, end)`` interval in
+*logical ticks* (the query index — the paper's notion of time), and a
+fault kind:
+
+* ``outage`` — the server is dark for the whole window;
+* ``brownout`` — the server stays up but degraded: every byte shipped
+  costs ``cost_multiplier`` times more (congested/failing-over links)
+  and each transfer attempt fails independently with ``failure_rate``;
+* ``flap`` — the link cycles up/down with ``period`` ticks per cycle
+  and ``duty`` fraction of each cycle up (route flapping, DHCP storms).
+
+Schedules are pure data: JSON round-trip (:meth:`FaultSchedule.dump` /
+:meth:`FaultSchedule.load`) is exact, and everything downstream —
+transient-failure draws, backoff jitter — derives deterministically
+from ``(seed, schedule)`` via :class:`~repro.faults.engine.FaultEngine`.
+No wall clock, no module-global randomness, byte-identical replay.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Tuple, Union
+
+from repro.errors import FaultError
+
+#: Recognized fault kinds.
+FAULT_KINDS = ("outage", "brownout", "flap")
+
+#: Schema tag written into serialized schedules.
+SCHEDULE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One fault affecting one server over one tick interval.
+
+    Attributes:
+        kind: ``"outage"``, ``"brownout"``, or ``"flap"``.
+        server: Name of the affected server.
+        start: First affected tick (inclusive).
+        end: First unaffected tick (exclusive).
+        cost_multiplier: Brownout byte-cost/latency inflation (>= 1).
+        failure_rate: Brownout per-attempt transient failure
+            probability in ``[0, 1]``.
+        period: Flap cycle length in ticks (>= 2).
+        duty: Flap fraction of each cycle the link is *up*, in
+            ``[0, 1]``.
+    """
+
+    kind: str
+    server: str
+    start: int
+    end: int
+    cost_multiplier: float = 1.0
+    failure_rate: float = 0.0
+    period: int = 0
+    duty: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {FAULT_KINDS}"
+            )
+        if not self.server:
+            raise FaultError("fault window needs a server name")
+        if self.start < 0 or self.end <= self.start:
+            raise FaultError(
+                f"fault window needs 0 <= start < end, got "
+                f"[{self.start}, {self.end})"
+            )
+        if self.cost_multiplier < 1.0:
+            raise FaultError(
+                f"cost_multiplier must be >= 1, got {self.cost_multiplier}"
+            )
+        if not 0.0 <= self.failure_rate <= 1.0:
+            raise FaultError(
+                f"failure_rate must be in [0, 1], got {self.failure_rate}"
+            )
+        if self.kind == "flap":
+            if self.period < 2:
+                raise FaultError(
+                    f"flap window needs period >= 2 ticks, "
+                    f"got {self.period}"
+                )
+            if not 0.0 <= self.duty <= 1.0:
+                raise FaultError(
+                    f"flap duty must be in [0, 1], got {self.duty}"
+                )
+
+    def covers(self, tick: int) -> bool:
+        """True when ``tick`` falls inside this window."""
+        return self.start <= tick < self.end
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-safe dict that :meth:`from_json` restores exactly."""
+        data: Dict[str, object] = {
+            "kind": self.kind,
+            "server": self.server,
+            "start": self.start,
+            "end": self.end,
+        }
+        if self.cost_multiplier != 1.0:
+            data["cost_multiplier"] = self.cost_multiplier
+        if self.failure_rate != 0.0:
+            data["failure_rate"] = self.failure_rate
+        if self.kind == "flap":
+            data["period"] = self.period
+            data["duty"] = self.duty
+        return data
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "FaultWindow":
+        """Rebuild a window from :meth:`to_json` output (validated)."""
+        if not isinstance(data, Mapping):
+            raise FaultError(
+                f"fault window must be an object, got {type(data).__name__}"
+            )
+        try:
+            return cls(
+                kind=str(data["kind"]),
+                server=str(data["server"]),
+                start=int(data["start"]),  # type: ignore[call-overload]
+                end=int(data["end"]),  # type: ignore[call-overload]
+                cost_multiplier=float(data.get("cost_multiplier", 1.0)),  # type: ignore[arg-type]
+                failure_rate=float(data.get("failure_rate", 0.0)),  # type: ignore[arg-type]
+                period=int(data.get("period", 0)),  # type: ignore[call-overload]
+                duty=float(data.get("duty", 0.5)),  # type: ignore[arg-type]
+            )
+        except KeyError as exc:
+            raise FaultError(
+                f"fault window missing required field {exc.args[0]!r}"
+            ) from None
+        except (TypeError, ValueError) as exc:
+            raise FaultError(f"malformed fault window: {exc}") from None
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A seed plus the fault windows it drives.
+
+    The schedule is the *entire* source of nondeterminism in the fault
+    layer: two runs over the same ``(seed, windows)`` see identical
+    outages, identical transient-failure draws, and identical backoff
+    jitter, in any process, in any order.
+    """
+
+    seed: int = 0
+    windows: Tuple[FaultWindow, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seed, int):
+            raise FaultError(f"schedule seed must be an int, got {self.seed!r}")
+        object.__setattr__(self, "windows", tuple(self.windows))
+
+    @classmethod
+    def empty(cls, seed: int = 0) -> "FaultSchedule":
+        """A schedule that injects nothing (the identity schedule)."""
+        return cls(seed=seed, windows=())
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.windows
+
+    @property
+    def servers(self) -> Tuple[str, ...]:
+        """Sorted distinct server names the schedule touches."""
+        return tuple(sorted({window.server for window in self.windows}))
+
+    def windows_for(self, server: str) -> Tuple[FaultWindow, ...]:
+        """Windows affecting ``server``, in schedule order."""
+        return tuple(
+            window for window in self.windows if window.server == server
+        )
+
+    def with_seed(self, seed: int) -> "FaultSchedule":
+        """The same windows under a different seed."""
+        return FaultSchedule(seed=seed, windows=self.windows)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEDULE_SCHEMA,
+            "seed": self.seed,
+            "faults": [window.to_json() for window in self.windows],
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "FaultSchedule":
+        if not isinstance(data, Mapping):
+            raise FaultError(
+                f"fault schedule must be an object, got "
+                f"{type(data).__name__}"
+            )
+        schema = data.get("schema", SCHEDULE_SCHEMA)
+        if not isinstance(schema, int) or schema > SCHEDULE_SCHEMA:
+            raise FaultError(
+                f"cannot read fault schedule schema {schema!r}; "
+                f"this build understands <= {SCHEDULE_SCHEMA}"
+            )
+        raw_seed = data.get("seed", 0)
+        if isinstance(raw_seed, bool) or not isinstance(raw_seed, int):
+            raise FaultError(
+                f"schedule seed must be an integer, got {raw_seed!r}"
+            )
+        raw_windows = data.get("faults", [])
+        if not isinstance(raw_windows, list):
+            raise FaultError("schedule 'faults' must be a list of windows")
+        windows = tuple(
+            FaultWindow.from_json(entry) for entry in raw_windows
+        )
+        return cls(seed=raw_seed, windows=windows)
+
+    def dumps(self) -> str:
+        """Serialize to a JSON string (stable key order)."""
+        return json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def loads(cls, text: str) -> "FaultSchedule":
+        """Parse a schedule from JSON text."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultError(f"fault schedule is not valid JSON: {exc}") from None
+        return cls.from_json(data)
+
+    def dump(self, path: Union[str, Path]) -> None:
+        """Write the schedule to ``path`` as JSON."""
+        Path(path).write_text(self.dumps(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FaultSchedule":
+        """Read a schedule written by :meth:`dump`."""
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except FileNotFoundError:
+            raise FaultError(f"no such fault schedule file: {path}") from None
+        return cls.loads(text)
+
+
+def combined_failure_rate(rates: Iterable[float]) -> float:
+    """Failure probability of independent overlapping failure sources."""
+    survive = 1.0
+    for rate in rates:
+        survive *= 1.0 - rate
+    return 1.0 - survive
+
+
+def outage_windows(
+    server: str, spans: Iterable[Tuple[int, int]]
+) -> List[FaultWindow]:
+    """Convenience: outage windows for one server from (start, end) pairs."""
+    return [
+        FaultWindow(kind="outage", server=server, start=start, end=end)
+        for start, end in spans
+    ]
+
+
+def parse_fault_seed(raw: str, source: str = "--fault-seed") -> int:
+    """Parse a fault-seed setting into a non-negative integer.
+
+    The CLI-facing validator (same contract as
+    :func:`repro.experiments.common.parse_worker_count`): anything that
+    is not a plain non-negative decimal integer raises
+    :class:`~repro.errors.FaultError` naming ``source`` instead of
+    being silently coerced.
+    """
+    text = raw.strip()
+    try:
+        value = int(text, 10)
+    except ValueError:
+        raise FaultError(
+            f"{source} must be a non-negative integer seed, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise FaultError(
+            f"{source} must be a non-negative integer seed, got {raw!r}"
+        )
+    return value

@@ -27,12 +27,14 @@ from repro.core.units import (
     WeightedCost,
     raw_bytes,
 )
-from repro.errors import FederationError
+from repro.errors import BackendUnavailable, FederationError
 from repro.federation.federation import Federation
 from repro.federation.network import TrafficLedger
 
 if TYPE_CHECKING:  # avoids a repro.core <-> repro.federation cycle
     from repro.core.instrumentation import Instrumentation
+    from repro.faults.clock import FaultClock
+    from repro.faults.transport import ResilientTransport
 from repro.sqlengine.ast_nodes import ColumnRef, column_refs
 from repro.sqlengine.executor import ResultSet, execute_plan
 from repro.sqlengine.parser import parse
@@ -76,6 +78,18 @@ class Mediator:
             (:class:`~repro.core.instrumentation.Instrumentation`);
             every WAN-cost-bearing operation (plans, loads, bypasses,
             cache hits) increments its counters.
+        transport: Optional resilient transport
+            (:class:`~repro.faults.transport.ResilientTransport`).
+            When set, every WAN transfer goes through its retry/breaker
+            machinery: retry waste lands in the ledger via
+            :meth:`TrafficLedger.record_retry`, and transfers that
+            exhaust their retries raise
+            :class:`~repro.errors.BackendUnavailable`.  Without it the
+            network is the paper's always-up model, byte for byte.
+        clock: Logical clock the transport reads
+            (:class:`~repro.faults.clock.FaultClock`).  Defaults to a
+            fresh clock pinned at tick 0; drivers that replay traces
+            advance it once per query.
     """
 
     def __init__(
@@ -83,6 +97,8 @@ class Mediator:
         federation: Federation,
         plan_cache_size: int = 4096,
         instrumentation: Optional["Instrumentation"] = None,
+        transport: Optional["ResilientTransport"] = None,
+        clock: Optional["FaultClock"] = None,
     ) -> None:
         if plan_cache_size <= 0:
             raise FederationError("plan_cache_size must be positive")
@@ -90,12 +106,53 @@ class Mediator:
         self._lookup = federation.schema_lookup()
         self.ledger = TrafficLedger()
         self.instrumentation = instrumentation
+        self.transport = transport
+        if clock is None and transport is not None:
+            from repro.faults.clock import FaultClock as _FaultClock
+
+            clock = _FaultClock()
+        self.clock = clock
         self._plan_cache: "OrderedDict[str, QueryPlan]" = OrderedDict()
         self._plan_cache_size = plan_cache_size
 
     def _count(self, name: str, value: float = 1.0) -> None:
         if self.instrumentation is not None:
             self.instrumentation.count(name, value)
+
+    def _tick(self) -> int:
+        return self.clock.tick if self.clock is not None else 0
+
+    def _ship(
+        self, server_name: str, num_bytes: int, operation: str, object_id: str = ""
+    ) -> float:
+        """Push ``num_bytes`` through the transport; returns the cost
+        multiplier of the successful attempt.
+
+        Retry waste is charged to the ledger immediately — those bytes
+        crossed the WAN whether or not the transfer ultimately lands.
+        Raises :class:`BackendUnavailable` when the transfer exhausts
+        its retries or the breaker refuses it.
+        """
+        assert self.transport is not None
+        weight = self.federation.network.link(server_name).weight
+        outcome = self.transport.send(
+            server_name, num_bytes, self._tick(), weight
+        )
+        if outcome.wasted_bytes:
+            self.ledger.record_retry(
+                server_name, outcome.wasted_bytes, outcome.wasted_cost
+            )
+            self._count("mediator.retry_bytes", outcome.wasted_bytes)
+        if outcome.retries:
+            self._count("mediator.retries", outcome.retries)
+        if not outcome.ok:
+            raise BackendUnavailable(
+                server_name,
+                operation=operation,
+                object_id=object_id,
+                attempts=outcome.attempts,
+            )
+        return outcome.cost_multiplier
 
     def plan(self, sql: str) -> QueryPlan:
         """Parse and plan against the global federation schema (cached)."""
@@ -163,10 +220,29 @@ class Mediator:
             for name in servers:
                 per_server[name] = self._subquery_bytes(plan, name)
 
+        multipliers: Dict[str, float] = {}
+        if self.transport is not None:
+            for name, num_bytes in per_server.items():
+                try:
+                    multipliers[name] = self._ship(name, num_bytes, "bypass")
+                except BackendUnavailable:
+                    # Partials already shipped by earlier servers were
+                    # discarded: real WAN traffic that bought nothing.
+                    for done, factor in multipliers.items():
+                        shipped = per_server[done]
+                        waste = self.federation.network.cost(done, shipped)
+                        self.ledger.record_retry(
+                            done, shipped, WeightedCost(waste * factor)
+                        )
+                        self._count("mediator.retry_bytes", shipped)
+                    raise
+
         wan_bytes = ZERO_BYTES
         wan_cost = ZERO_COST
         for name, num_bytes in per_server.items():
             cost = self.federation.network.cost(name, num_bytes)
+            if multipliers.get(name, 1.0) != 1.0:
+                cost = WeightedCost(cost * multipliers[name])
             self.ledger.record_bypass(name, num_bytes, cost)
             wan_bytes = RawBytes(wan_bytes + num_bytes)
             wan_cost = WeightedCost(wan_cost + cost)
@@ -185,6 +261,10 @@ class Mediator:
         server = self.federation.server_for_object(object_id)
         size = raw_bytes(server.fetch_object(object_id))
         cost = self.federation.network.cost(server.name, size)
+        if self.transport is not None:
+            multiplier = self._ship(server.name, size, "load", object_id)
+            if multiplier != 1.0:
+                cost = WeightedCost(cost * multiplier)
         self.ledger.record_load(server.name, size, cost)
         self._count("mediator.loads")
         self._count("mediator.load_bytes", size)

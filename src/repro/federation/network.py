@@ -97,15 +97,20 @@ class TrafficLedger:
             cache.
         load_bytes: ``D_L`` — object bytes fetched into the cache.
         cache_bytes: ``D_C`` — result bytes served out of the cache (LAN).
+        retry_bytes: WAN bytes shipped by failed transfer attempts and
+            then retransmitted — real traffic that bought nothing.
     """
 
     bypass_bytes: RawBytes = ZERO_BYTES
     load_bytes: RawBytes = ZERO_BYTES
     cache_bytes: RawBytes = ZERO_BYTES
+    retry_bytes: RawBytes = ZERO_BYTES
     bypass_cost: WeightedCost = ZERO_COST
     load_cost: WeightedCost = ZERO_COST
+    retry_cost: WeightedCost = ZERO_COST
     per_server_bypass: Dict[str, int] = field(default_factory=dict)
     per_server_load: Dict[str, int] = field(default_factory=dict)
+    per_server_retry: Dict[str, int] = field(default_factory=dict)
 
     def record_bypass(
         self, server: str, num_bytes: int, cost: Optional[float] = None
@@ -147,16 +152,43 @@ class TrafficLedger:
             raise FederationError("cache bytes must be non-negative")
         self.cache_bytes = RawBytes(self.cache_bytes + num_bytes)
 
+    def record_retry(
+        self, server: str, num_bytes: int, cost: Optional[float] = None
+    ) -> None:
+        """Account bytes burned by failed transfer attempts to ``server``.
+
+        Retransmitted payloads crossed the WAN like any other traffic;
+        they count toward the totals the paper minimizes even though
+        the application never saw them.
+        """
+        if num_bytes < 0:
+            raise FederationError("retry bytes must be non-negative")
+        charged = (
+            weigh(num_bytes, UNIT_WEIGHT)
+            if cost is None
+            else WeightedCost(cost)
+        )
+        self.retry_bytes = RawBytes(self.retry_bytes + num_bytes)
+        self.retry_cost = WeightedCost(self.retry_cost + charged)
+        self.per_server_retry[server] = (
+            self.per_server_retry.get(server, 0) + num_bytes
+        )
+
     @property
     def wan_bytes(self) -> RawBytes:
-        """Total WAN traffic: the quantity the paper minimizes."""
-        return RawBytes(self.bypass_bytes + self.load_bytes)
+        """Total WAN traffic: the quantity the paper minimizes.
+
+        Retransmitted bytes are WAN traffic too — a lossy network makes
+        every policy look worse, which is exactly the point of the
+        resilience experiments.
+        """
+        return RawBytes(self.bypass_bytes + self.load_bytes + self.retry_bytes)
 
     @property
     def wan_cost(self) -> WeightedCost:
         """Total weighted WAN cost (equals :attr:`wan_bytes` on uniform
         networks)."""
-        return WeightedCost(self.bypass_cost + self.load_cost)
+        return WeightedCost(self.bypass_cost + self.load_cost + self.retry_cost)
 
     @property
     def application_bytes(self) -> int:
@@ -170,10 +202,13 @@ class TrafficLedger:
             bypass_bytes=self.bypass_bytes,
             load_bytes=self.load_bytes,
             cache_bytes=self.cache_bytes,
+            retry_bytes=self.retry_bytes,
             bypass_cost=self.bypass_cost,
             load_cost=self.load_cost,
+            retry_cost=self.retry_cost,
             per_server_bypass=dict(self.per_server_bypass),
             per_server_load=dict(self.per_server_load),
+            per_server_retry=dict(self.per_server_retry),
         )
 
     def restore(self, snapshot: "TrafficLedger") -> None:
@@ -185,16 +220,22 @@ class TrafficLedger:
         self.bypass_bytes = snapshot.bypass_bytes
         self.load_bytes = snapshot.load_bytes
         self.cache_bytes = snapshot.cache_bytes
+        self.retry_bytes = snapshot.retry_bytes
         self.bypass_cost = snapshot.bypass_cost
         self.load_cost = snapshot.load_cost
+        self.retry_cost = snapshot.retry_cost
         self.per_server_bypass = dict(snapshot.per_server_bypass)
         self.per_server_load = dict(snapshot.per_server_load)
+        self.per_server_retry = dict(snapshot.per_server_retry)
 
     def reset(self) -> None:
         self.bypass_bytes = ZERO_BYTES
         self.load_bytes = ZERO_BYTES
         self.cache_bytes = ZERO_BYTES
+        self.retry_bytes = ZERO_BYTES
         self.bypass_cost = ZERO_COST
         self.load_cost = ZERO_COST
+        self.retry_cost = ZERO_COST
         self.per_server_bypass.clear()
         self.per_server_load.clear()
+        self.per_server_retry.clear()

@@ -75,6 +75,8 @@ class MetricsServer:
         )
         self._server.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._closed = False
 
     @property
     def host(self) -> str:
@@ -94,23 +96,46 @@ class MetricsServer:
         """The scrape endpoint."""
         return f"{self.url}/metrics"
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run (terminal — cannot restart)."""
+        return self._closed
+
     def start(self) -> "MetricsServer":
-        """Begin serving in a background daemon thread (idempotent)."""
-        if self._thread is None:
-            self._thread = threading.Thread(
-                target=self._server.serve_forever,
-                name="repro-metrics",
-                daemon=True,
-            )
-            self._thread.start()
+        """Begin serving in a background daemon thread (idempotent).
+
+        Starting an already-closed server is a no-op returning ``self``
+        — the socket is gone, so there is nothing safe to resume; check
+        :attr:`closed` if liveness matters.
+        """
+        with self._lock:
+            if self._closed:
+                return self
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._server.serve_forever,
+                    name="repro-metrics",
+                    daemon=True,
+                )
+                self._thread.start()
         return self
 
     def close(self) -> None:
-        """Stop serving and release the socket (idempotent)."""
-        if self._thread is not None:
-            self._server.shutdown()
-            self._thread.join(timeout=5.0)
+        """Stop serving and release the socket.
+
+        Idempotent and thread-safe: the first caller through the lock
+        performs the shutdown, every later (or concurrent) call — and a
+        close before :meth:`start` ever ran — is a no-op.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            thread = self._thread
             self._thread = None
+        if thread is not None:
+            self._server.shutdown()
+            thread.join(timeout=5.0)
         self._server.server_close()
 
     def __enter__(self) -> "MetricsServer":

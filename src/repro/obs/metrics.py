@@ -433,7 +433,16 @@ class MetricsProbe(Probe):
             "Cache bytes in use (windowed timeline)",
             window=window,
         )
+        self._retries = registry.counter(
+            f"{p}_retries_total",
+            "Transfer attempts beyond the first (fault retries)",
+        )
+        self._retry_bytes = registry.counter(
+            f"{p}_wan_retry_bytes_total",
+            "WAN bytes wasted by failed attempts and discarded partials",
+        )
         self._stage_prefix = f"{p}_stage"
+        self._prefix = p
 
     def on_decision(self, event: DecisionEvent) -> None:
         self._decisions.inc()
@@ -451,11 +460,41 @@ class MetricsProbe(Probe):
         self._wan_histogram.observe(event.wan_bytes)
         if event.yield_bytes:
             self._yield_histogram.observe(event.yield_bytes)
+        if event.retries:
+            self._retries.inc(event.retries)
+        if event.retry_bytes:
+            self._retry_bytes.inc(event.retry_bytes)
+        if event.outcome:
+            self.registry.counter(
+                f"{self._prefix}_outcome_"
+                f"{sanitize_metric_name(event.outcome)}_total",
+                f"Queries resolved as {event.outcome}",
+            ).inc()
         decided = self._decisions.value
         if decided:
             self._hit_rate.set(self._served.value / decided)
         if self.occupancy is not None:
             self._occupancy_gauge.set(float(self.occupancy()))
+
+    def on_counter(self, name: str, value: float) -> None:
+        """Mirror fault-layer counters into the registry.
+
+        The transport/breaker/fault counters flow through the
+        instrumentation seam (``transport.*``, ``breaker.*``,
+        ``faults.*``, ``mediator.retries``/``retry_bytes``); everything
+        else already arrives aggregated via :meth:`on_decision`, so
+        only the resilience namespaces are forwarded — the scrape page
+        shows retransmissions and breaker churn without double-counting
+        decision traffic.
+        """
+        if not name.startswith(("transport.", "breaker.", "faults.")):
+            return
+        if value < 0:
+            return
+        self.registry.counter(
+            f"{self._prefix}_{sanitize_metric_name(name)}_total",
+            f"Fault-layer counter {name}",
+        ).inc(value)
 
     def on_stage(self, name: str, seconds: float) -> None:
         stage = sanitize_metric_name(name)

@@ -53,14 +53,24 @@ class RunMetrics:
     weighted_cost: float
     yield_bytes: int
     served_yield_bytes: int
+    retries: int = 0
+    retry_bytes: int = 0
+    unavailable: int = 0
 
     @property
     def wan_bytes(self) -> int:
-        return self.load_bytes + self.bypass_bytes
+        return self.load_bytes + self.bypass_bytes + self.retry_bytes
 
     @property
     def hit_rate(self) -> float:
         return self.served / self.queries if self.queries else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of queries that got an answer (full or partial)."""
+        if self.queries == 0:
+            return 1.0
+        return 1.0 - self.unavailable / self.queries
 
     @property
     def byte_yield_hit_rate(self) -> float:
@@ -87,6 +97,11 @@ def summarize_events(events: Sequence[DecisionEvent]) -> RunMetrics:
         yield_bytes=sum(e.yield_bytes for e in events),
         served_yield_bytes=sum(
             e.yield_bytes for e in events if e.served_from_cache
+        ),
+        retries=sum(e.retries for e in events),
+        retry_bytes=sum(e.retry_bytes for e in events),
+        unavailable=sum(
+            1 for e in events if e.outcome == "unavailable"
         ),
     )
 
@@ -139,9 +154,12 @@ def render_report(
                 ["evictions", metrics.evictions],
                 ["WAN load bytes", metrics.load_bytes],
                 ["WAN bypass bytes", metrics.bypass_bytes],
+                ["WAN retry bytes", metrics.retry_bytes],
                 ["WAN total bytes", metrics.wan_bytes],
                 ["weighted WAN cost", metrics.weighted_cost],
                 ["result yield bytes", metrics.yield_bytes],
+                ["retries", metrics.retries],
+                ["availability", round(metrics.availability, 4)],
             ],
             title="run summary",
         )
@@ -235,6 +253,21 @@ def diff_metrics(
         MetricDelta(
             "bypass_bytes", baseline.bypass_bytes,
             candidate.bypass_bytes,
+            higher_is_better=False, gated=False,
+        ),
+        MetricDelta(
+            "availability", baseline.availability,
+            candidate.availability,
+            higher_is_better=True, gated=True,
+        ),
+        MetricDelta(
+            "retry_bytes", float(baseline.retry_bytes),
+            float(candidate.retry_bytes),
+            higher_is_better=False, gated=False,
+        ),
+        MetricDelta(
+            "retries", float(baseline.retries),
+            float(candidate.retries),
             higher_is_better=False, gated=False,
         ),
         MetricDelta(

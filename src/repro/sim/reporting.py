@@ -52,21 +52,41 @@ def _cell(value: object) -> str:
     return str(value)
 
 
+def _faulted(results: Dict[str, SimulationResult]) -> bool:
+    """Whether any result shows fault-layer activity worth a column."""
+    return any(
+        result.retries
+        or result.breakdown.retry_bytes
+        or result.unavailable_queries
+        or result.partial_queries
+        for result in results.values()
+    )
+
+
 def breakdown_rows(
     results: Dict[str, SimulationResult],
     unit: float = 1e6,
 ) -> List[List[object]]:
-    """Rows of a Tables 1-2 style cost breakdown (unit default: MB)."""
+    """Rows of a Tables 1-2 style cost breakdown (unit default: MB).
+
+    On faulted runs two extra columns appear: retry waste (the WAN
+    bytes failed attempts burned — part of the total) and availability.
+    Fault-free runs keep the paper's exact three-column table.
+    """
+    show_faults = _faulted(results)
     rows: List[List[object]] = []
     for name, result in results.items():
-        rows.append(
-            [
-                name,
-                result.breakdown.bypass_bytes / unit,
-                result.breakdown.load_bytes / unit,
-                result.total_bytes / unit,
-            ]
-        )
+        row: List[object] = [
+            name,
+            result.breakdown.bypass_bytes / unit,
+            result.breakdown.load_bytes / unit,
+        ]
+        if show_faults:
+            row.append(result.breakdown.retry_bytes / unit)
+        row.append(result.total_bytes / unit)
+        if show_faults:
+            row.append(f"{result.availability:.4f}")
+        rows.append(row)
     return rows
 
 
@@ -82,11 +102,12 @@ def format_breakdown(
         f"{title}\n"
         f"sequence cost: {sequence_bytes / unit:.2f} {unit_name}"
     )
-    table = format_table(
-        ["algorithm", f"bypass ({unit_name})", f"fetch ({unit_name})",
-         f"total ({unit_name})"],
-        breakdown_rows(results, unit),
-    )
+    headers = ["algorithm", f"bypass ({unit_name})", f"fetch ({unit_name})"]
+    if _faulted(results):
+        headers += [f"retry ({unit_name})", f"total ({unit_name})", "avail"]
+    else:
+        headers.append(f"total ({unit_name})")
+    table = format_table(headers, breakdown_rows(results, unit))
     return f"{header}\n{table}"
 
 

@@ -8,7 +8,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 if TYPE_CHECKING:
     from repro.core.events import Decision
     from repro.core.instrumentation import DecisionEvent
-    from repro.core.pipeline import QueryAccounting
+    from repro.core.pipeline import QueryAccounting, ResolvedQuery
 
 
 @dataclass
@@ -18,14 +18,17 @@ class CostBreakdown:
     Attributes:
         bypass_bytes: Results shipped past the cache ("Bypass Cost").
         load_bytes: Object loads into the cache ("Fetch Cost").
+        retry_bytes: Bytes burned by failed transfer attempts and
+            discarded partials (0 on fault-free runs).
     """
 
     bypass_bytes: float = 0.0
     load_bytes: float = 0.0
+    retry_bytes: float = 0.0
 
     @property
     def total_bytes(self) -> float:
-        return self.bypass_bytes + self.load_bytes
+        return self.bypass_bytes + self.load_bytes + self.retry_bytes
 
     def charge(self, accounting: "QueryAccounting") -> None:
         """Accumulate one query's WAN charges into the breakdown.
@@ -36,12 +39,14 @@ class CostBreakdown:
         """
         self.bypass_bytes += accounting.bypass_bytes
         self.load_bytes += accounting.load_bytes
+        self.retry_bytes += accounting.retry_bytes
 
     def as_gb(self, bytes_per_gb: float = 1e9) -> Dict[str, float]:
         """The table row, scaled to GB-like units for presentation."""
         return {
             "bypass": self.bypass_bytes / bytes_per_gb,
             "fetch": self.load_bytes / bytes_per_gb,
+            "retry": self.retry_bytes / bytes_per_gb,
             "total": self.total_bytes / bytes_per_gb,
         }
 
@@ -66,6 +71,14 @@ class SimulationResult:
         served_queries: Queries served from cache.
         loads: Number of object loads.
         evictions: Number of evictions.
+        retries: Transfer attempts beyond the first across the whole
+            run (0 on fault-free runs).
+        failed_loads: Loads that exhausted their retries and were
+            rolled back out of the cache.
+        partial_queries: Queries answered with partial results because
+            some backends were dark.
+        unavailable_queries: Queries that could not be answered at all
+            (every path dark, nothing resident).
         sequence_bytes: The no-cache cost of the same trace (context for
             ratios).
         worker_pid: Process id that produced this result when it came
@@ -89,6 +102,10 @@ class SimulationResult:
     served_queries: int = 0
     loads: int = 0
     evictions: int = 0
+    retries: int = 0
+    failed_loads: int = 0
+    partial_queries: int = 0
+    unavailable_queries: int = 0
     sequence_bytes: float = 0.0
     worker_pid: Optional[int] = None
     telemetry: Optional[Dict[str, object]] = None
@@ -102,6 +119,13 @@ class SimulationResult:
         if self.queries == 0:
             return 0.0
         return self.served_queries / self.queries
+
+    @property
+    def availability(self) -> float:
+        """Fraction of queries that got an answer (full or partial)."""
+        if self.queries == 0:
+            return 1.0
+        return 1.0 - self.unavailable_queries / self.queries
 
     @property
     def savings_factor(self) -> float:
@@ -126,6 +150,27 @@ class SimulationResult:
         if decision.served_from_cache:
             self.served_queries += 1
 
+    def charge_resolved(self, resolved: "ResolvedQuery") -> None:
+        """Accumulate one fault-aware :class:`ResolvedQuery`.
+
+        The sanctioned mutation point for the resilient replay loop
+        (RPR004): hit/availability counters follow the query's actual
+        ``outcome`` — a serve degraded to "unavailable" by a dark
+        backend is not a hit, whatever the policy intended.
+        """
+        self.breakdown.charge(resolved.accounting)
+        self.weighted_cost += resolved.accounting.weighted_cost
+        self.loads += len(resolved.decision.loads) - len(resolved.failed_loads)
+        self.evictions += len(resolved.decision.evictions)
+        self.retries += resolved.retries
+        self.failed_loads += len(resolved.failed_loads)
+        if resolved.outcome == "served":
+            self.served_queries += 1
+        elif resolved.outcome == "partial":
+            self.partial_queries += 1
+        elif resolved.outcome == "unavailable":
+            self.unavailable_queries += 1
+
     def charge_event(self, event: "DecisionEvent") -> None:
         """Accumulate one persisted :class:`DecisionEvent`.
 
@@ -148,12 +193,21 @@ class SimulationResult:
             load_cost=WeightedCost(event.weighted_cost),
             bypass_bytes=RawBytes(event.bypass_bytes),
             bypass_cost=ZERO_COST,
+            retry_bytes=RawBytes(event.retry_bytes),
+            retry_cost=ZERO_COST,
         )
         self.breakdown.charge(accounting)
         self.weighted_cost += event.weighted_cost
         self.loads += len(event.loads)
         self.evictions += len(event.evictions)
-        if event.served_from_cache:
+        self.retries += event.retries
+        if event.outcome == "partial":
+            self.partial_queries += 1
+        elif event.outcome == "unavailable":
+            self.unavailable_queries += 1
+        if event.outcome == "served" or (
+            not event.outcome and event.served_from_cache
+        ):
             self.served_queries += 1
         self.queries += 1
 
@@ -169,6 +223,10 @@ class SimulationResult:
             "hit_rate": round(self.hit_rate, 4),
             "loads": self.loads,
             "evictions": self.evictions,
+            "retries": self.retries,
+            "retry_bytes": self.breakdown.retry_bytes,
+            "failed_loads": self.failed_loads,
+            "availability": round(self.availability, 4),
             "savings_factor": (
                 round(self.savings_factor, 2)
                 if self.total_bytes

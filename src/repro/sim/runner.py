@@ -31,6 +31,7 @@ from repro.core.policies import (
 )
 from repro.core.policies.base import CachePolicy
 from repro.errors import CacheError
+from repro.faults import FaultEngine, FaultSchedule, ResilientTransport
 from repro.federation.federation import Federation
 from repro.sim.results import SimulationResult, SweepPoint, SweepResult
 from repro.sim.simulator import Simulator
@@ -73,6 +74,22 @@ def build_policy(
     return make_policy(name, capacity_bytes, **kwargs)
 
 
+def build_transport(
+    faults: FaultSchedule,
+    instrumentation: Optional[Instrumentation] = None,
+) -> ResilientTransport:
+    """A fresh per-run transport over ``faults``.
+
+    Breakers and request ids are per-transport state, so every run
+    (every sweep cell) gets its own instance — that is what makes
+    serial and parallel execution agree under faults.  When an
+    instrumentation sink is given, transport and breaker counters
+    (``transport.*``, ``breaker.*``) flow into it.
+    """
+    hook = instrumentation.count if instrumentation is not None else None
+    return ResilientTransport(FaultEngine(faults), on_counter=hook)
+
+
 def run_single(
     trace: Union[PreparedTrace, CompiledTrace],
     federation: Federation,
@@ -82,9 +99,17 @@ def run_single(
     record_series: Union[bool, str] = True,
     policy_sees_weights: bool = True,
     instrumentation: Optional[Instrumentation] = None,
+    faults: Optional[FaultSchedule] = None,
+    partial_results: bool = False,
     **kwargs,
 ) -> SimulationResult:
-    """Run one policy over one trace."""
+    """Run one policy over one trace.
+
+    With ``faults``, the replay runs behind a fresh
+    :class:`~repro.faults.transport.ResilientTransport` over the
+    schedule; per-server observed-downtime counters land in the
+    instrumentation sink after the run.
+    """
     simulator = Simulator(
         federation,
         granularity,
@@ -95,7 +120,21 @@ def run_single(
         policy_name, capacity_bytes, trace, federation, granularity,
         **kwargs,
     )
-    return simulator.run(trace, policy, record_series=record_series)
+    if faults is None:
+        return simulator.run(trace, policy, record_series=record_series)
+    transport = build_transport(faults, instrumentation)
+    result = simulator.run(
+        trace,
+        policy,
+        record_series=record_series,
+        transport=transport,
+        partial_results=partial_results,
+    )
+    if instrumentation is not None:
+        downtime = transport.engine.downtime_by_server()
+        for server, ticks in sorted(downtime.items()):
+            instrumentation.count(f"faults.downtime_ticks.{server}", ticks)
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -114,17 +153,21 @@ def _init_worker(
     granularity: str,
     record_series: Union[bool, str],
     policy_sees_weights: bool,
+    faults: Optional[FaultSchedule] = None,
+    partial_results: bool = False,
 ) -> None:
     _WORKER_CONTEXT["args"] = (
-        trace, federation, granularity, record_series, policy_sees_weights
+        trace, federation, granularity, record_series, policy_sees_weights,
+        faults, partial_results,
     )
 
 
 def _run_task(task: Tuple[str, int]) -> SimulationResult:
     policy_name, capacity = task
-    trace, federation, granularity, record_series, policy_sees_weights = (
-        _WORKER_CONTEXT["args"]
-    )
+    (
+        trace, federation, granularity, record_series, policy_sees_weights,
+        faults, partial_results,
+    ) = _WORKER_CONTEXT["args"]
     # Counters-only sink: event bodies stay in the worker, the snapshot
     # (cheap, JSON-safe) rides back on the result for the parent to
     # merge in deterministic task order.
@@ -138,6 +181,8 @@ def _run_task(task: Tuple[str, int]) -> SimulationResult:
         record_series=record_series,
         policy_sees_weights=policy_sees_weights,
         instrumentation=telemetry,
+        faults=faults,
+        partial_results=partial_results,
     )
     result.worker_pid = os.getpid()
     result.telemetry = telemetry.snapshot()
@@ -172,6 +217,8 @@ def _run_cells(
     parallel: bool,
     max_workers: Optional[int],
     instrumentation: Optional[Instrumentation] = None,
+    faults: Optional[FaultSchedule] = None,
+    partial_results: bool = False,
 ) -> List[SimulationResult]:
     """Run (policy, capacity) cells, optionally across processes.
 
@@ -207,6 +254,8 @@ def _run_cells(
                         granularity,
                         record_series,
                         policy_sees_weights,
+                        faults,
+                        partial_results,
                     ),
                 ) as pool:
                     outcomes = list(pool.map(_run_task, tasks))
@@ -225,6 +274,8 @@ def _run_cells(
             record_series=record_series,
             policy_sees_weights=policy_sees_weights,
             instrumentation=instrumentation,
+            faults=faults,
+            partial_results=partial_results,
         )
         for name, capacity in tasks
     ]
@@ -241,12 +292,16 @@ def compare_policies(
     parallel: bool = False,
     max_workers: Optional[int] = None,
     instrumentation: Optional[Instrumentation] = None,
+    faults: Optional[FaultSchedule] = None,
+    partial_results: bool = False,
 ) -> Dict[str, SimulationResult]:
     """Run several policies at one cache size (Figures 7-8, Tables 1-2).
 
     With ``instrumentation``, telemetry aggregates across every cell —
     including parallel workers, whose counter snapshots merge back in
-    deterministic policy order.
+    deterministic policy order.  With ``faults``, every cell replays
+    behind its own fresh transport over the same schedule, so the
+    comparison stays apples-to-apples and serial == parallel.
     """
     tasks = [(name, capacity_bytes) for name in policies]
     outcomes = _run_cells(
@@ -259,6 +314,8 @@ def compare_policies(
         parallel,
         max_workers,
         instrumentation=instrumentation,
+        faults=faults,
+        partial_results=partial_results,
     )
     return {name: result for name, result in zip(policies, outcomes)}
 
@@ -277,6 +334,8 @@ def run_sweep(
     parallel: bool = False,
     max_workers: Optional[int] = None,
     instrumentation: Optional[Instrumentation] = None,
+    faults: Optional[FaultSchedule] = None,
+    partial_results: bool = False,
 ) -> SweepResult:
     """Total cost vs cache size, 10%-100% of the DB (Figures 9-10).
 
@@ -310,6 +369,8 @@ def run_sweep(
         parallel,
         max_workers,
         instrumentation=instrumentation,
+        faults=faults,
+        partial_results=partial_results,
     )
     for (name, fraction, capacity), result in zip(cells, outcomes):
         sweep.points.append(

@@ -20,8 +20,9 @@ from typing import Dict, List, Optional
 
 from repro.core.instrumentation import Instrumentation
 from repro.core.policies import POLICY_REGISTRY
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FaultError
 from repro.experiments.common import parse_worker_count
+from repro.faults import FaultSchedule, parse_fault_seed
 from repro.federation.federation import Federation
 from repro.federation.mediator import Mediator
 from repro.federation.server import DatabaseServer
@@ -77,6 +78,28 @@ def build_parser() -> argparse.ArgumentParser:
             "repro-report; forces serial replay"
         ),
     )
+    parser.add_argument(
+        "--faults", default=None, metavar="SCHEDULE",
+        help=(
+            "JSON fault schedule (see repro.faults.FaultSchedule) to "
+            "inject: replays behind the resilient transport with "
+            "retries, breakers, and retry-traffic accounting"
+        ),
+    )
+    parser.add_argument(
+        "--fault-seed", default=None, metavar="SEED",
+        help=(
+            "override the schedule's deterministic seed with a "
+            "non-negative integer (requires --faults)"
+        ),
+    )
+    parser.add_argument(
+        "--partial-results", action="store_true",
+        help=(
+            "under faults, answer multi-server queries from the "
+            "reachable servers instead of failing the whole query"
+        ),
+    )
     return parser
 
 
@@ -87,6 +110,8 @@ def _run_with_traces(
     granularity: str,
     policies,
     trace_dir: Path,
+    faults: Optional[FaultSchedule] = None,
+    partial_results: bool = False,
 ) -> Dict[str, SimulationResult]:
     """Serial per-policy replay, streaming each run to a JSONL trace.
 
@@ -122,6 +147,8 @@ def _run_with_traces(
                 granularity,
                 record_series=False,
                 instrumentation=sink,
+                faults=faults,
+                partial_results=partial_results,
             )
         print(f"wrote {writer.events_written} events to {path}")
     return results
@@ -155,6 +182,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             max_workers = workers
 
+    faults = None
+    if args.fault_seed is not None and args.faults is None:
+        print("--fault-seed requires --faults", file=sys.stderr)
+        return 2
+    if args.faults is not None:
+        try:
+            faults = FaultSchedule.load(args.faults)
+            if args.fault_seed is not None:
+                faults = faults.with_seed(
+                    parse_fault_seed(args.fault_seed)
+                )
+        except FaultError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
     try:
         prepared = PreparedTrace.load(args.trace)
     except FileNotFoundError:
@@ -177,6 +219,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.granularity,
             policies,
             Path(args.trace_dir),
+            faults=faults,
+            partial_results=args.partial_results,
         )
     else:
         results = compare_policies(
@@ -188,6 +232,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             record_series=False,
             parallel=parallel,
             max_workers=max_workers,
+            faults=faults,
+            partial_results=args.partial_results,
         )
     print(
         format_breakdown(

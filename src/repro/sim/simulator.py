@@ -14,7 +14,7 @@ byte-for-byte by construction (and by test).
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 # Re-exported for backwards compatibility: ObjectCatalog historically
 # lived here before the pipeline layer was extracted.
@@ -29,6 +29,9 @@ from repro.core.policies.base import CachePolicy
 from repro.federation.federation import Federation
 from repro.sim.results import SimulationResult
 from repro.workload.trace import PreparedQuery, PreparedTrace
+
+if TYPE_CHECKING:
+    from repro.faults.transport import ResilientTransport
 
 __all__ = ["ObjectCatalog", "Simulator", "SAMPLED_SERIES_POINTS"]
 
@@ -89,6 +92,8 @@ class Simulator:
         trace: Union[PreparedTrace, CompiledTrace],
         policy: CachePolicy,
         record_series: Union[bool, str] = True,
+        transport: Optional["ResilientTransport"] = None,
+        partial_results: bool = False,
     ) -> SimulationResult:
         """Replay ``trace`` through ``policy``, returning full accounting.
 
@@ -105,6 +110,16 @@ class Simulator:
                 :data:`SAMPLED_SERIES_POINTS` evenly-strided points
                 (plus the final one), bounding memory on long traces.
                 The stride is stored as ``result.series_stride``.
+            transport: Optional resilient transport
+                (:class:`~repro.faults.transport.ResilientTransport`)
+                placing the WAN behind retries, breakers, and a fault
+                schedule.  ``None`` (the default) replays the paper's
+                always-up network on the exact fault-free loop; the
+                transport should be freshly built per run — breakers
+                carry state across queries.
+            partial_results: Under faults, answer multi-server queries
+                from the reachable servers only instead of failing the
+                whole query (degraded-mode serving).
         """
         pipeline = self.pipeline
         compiled = pipeline.compile_trace(trace)
@@ -124,6 +139,12 @@ class Simulator:
         # Hoisted so the replay loop pays nothing per query when no
         # instrumentation sink is attached.
         emit = pipeline.instrumentation is not None
+
+        if transport is not None:
+            return self._run_resilient(
+                compiled, policy, result, transport, partial_results,
+                record_series, stride,
+            )
 
         for index, event in enumerate(compiled.events):
             query = event.query
@@ -148,6 +169,58 @@ class Simulator:
                     accounting=accounting,
                     sql=query.sql,
                     yield_bytes=query.yield_bytes,
+                )
+
+        result.queries = total
+        return result
+
+    def _run_resilient(
+        self,
+        compiled: CompiledTrace,
+        policy: CachePolicy,
+        result: SimulationResult,
+        transport: "ResilientTransport",
+        partial_results: bool,
+        record_series: Union[bool, str],
+        stride: int,
+    ) -> SimulationResult:
+        """The fault-aware replay loop (one logical tick per query).
+
+        Kept separate from the fault-free loop so the latter stays
+        byte-identical to the seed behavior; with an empty schedule
+        this loop converges to the same totals anyway (the no-fault
+        identity), which the golden-equivalence suite pins down.
+        """
+        pipeline = self.pipeline
+        total = len(compiled.events)
+        breakdown = result.breakdown
+        cumulative = result.cumulative_bytes
+        emit = pipeline.instrumentation is not None
+
+        for index, event in enumerate(compiled.events):
+            resolved = pipeline.resolve(
+                event,
+                policy,
+                transport,
+                tick=index,
+                partial_results=partial_results,
+            )
+            result.charge_resolved(resolved)
+            if record_series and (
+                (index + 1) % stride == 0 or index == total - 1
+            ):
+                cumulative.append(breakdown.total_bytes)
+            if emit:
+                pipeline.emit_decision(
+                    index=index,
+                    source="simulator",
+                    policy_name=policy.name,
+                    decision=resolved.decision,
+                    accounting=resolved.accounting,
+                    sql=event.query.sql,
+                    yield_bytes=event.query.yield_bytes,
+                    retries=resolved.retries,
+                    outcome=resolved.outcome,
                 )
 
         result.queries = total

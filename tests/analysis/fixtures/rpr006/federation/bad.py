@@ -1,0 +1,37 @@
+"""Seeded RPR006 violations: swallowed errors on retry paths.
+
+Parsed by the linter, never executed.
+"""
+
+
+class LeakyTransport:
+    def send_with_bare_except(self, server, payload):
+        try:
+            return self.wire.push(server, payload)
+        except:  # noqa: E722 - the seeded violation
+            return None
+
+    def send_with_catch_all(self, server, payload):
+        try:
+            return self.wire.push(server, payload)
+        except Exception:
+            return None
+
+    def send_with_broad_tuple(self, server, payload):
+        try:
+            return self.wire.push(server, payload)
+        except (ValueError, BaseException):
+            return None
+
+    def load_and_shrug(self, object_id):
+        try:
+            return self.mediator.load_object(object_id)
+        except BackendUnavailable:  # noqa: F821 - parsed only
+            pass
+
+    def probe_and_forget(self, server, tick):
+        try:
+            return self.engine.is_up(server, tick)
+        except FaultError:  # noqa: F821 - parsed only
+            self.last_probe = None
+            return False

@@ -1,0 +1,40 @@
+"""RPR006-clean counterpart: every handler re-raises or records.
+
+Parsed by the linter, never executed.
+"""
+
+
+class LoudTransport:
+    def send_and_reraise(self, server, payload):
+        try:
+            return self.wire.push(server, payload)
+        except BackendUnavailable:  # noqa: F821 - parsed only
+            raise
+
+    def send_and_charge(self, server, payload):
+        try:
+            return self.wire.push(server, payload)
+        except BackendUnavailable as exc:  # noqa: F821 - parsed only
+            self.ledger.record_retry(server, payload, 0.0)
+            raise FederationError(str(exc)) from exc  # noqa: F821
+
+    def load_and_roll_back(self, object_id):
+        try:
+            return self.mediator.load_object(object_id)
+        except BackendUnavailable:  # noqa: F821 - parsed only
+            self.policy.invalidate(object_id)
+            self.failed_loads.append(object_id)
+            return None
+
+    def probe_and_count(self, server, tick):
+        try:
+            return self.engine.is_up(server, tick)
+        except FaultError:  # noqa: F821 - parsed only
+            self.instrumentation.count("transport.probe_errors")
+            return False
+
+    def best_effort_cleanup(self, path):
+        try:
+            path.unlink()
+        except OSError:  # repro-lint: allow[RPR006] cleanup is optional
+            pass

@@ -180,3 +180,70 @@ class TestRPR005DecisionPathScans:
             )
             == []
         )
+
+
+class TestRPR006SwallowedErrors:
+    def test_fires_on_seeded_violations(self):
+        violations = run_rule("RPR006", Path("rpr006/federation/bad.py"))
+        assert all(v.rule_id == "RPR006" for v in violations)
+        messages = " ".join(v.message for v in violations)
+        assert "bare except" in messages
+        assert "catch-all" in messages
+        assert "swallows the error" in messages
+        # Three broad catches (each also swallows) + two typed
+        # handlers that swallow: 3 * 2 + 2.
+        assert len(violations) == 8
+
+    def test_silent_on_corrected_code(self):
+        assert run_rule("RPR006", Path("rpr006/federation/good.py")) == []
+
+    def test_scoped_to_federation_and_faults(self):
+        from repro.analysis.lint import lint_source
+
+        source = (
+            "def f(x):\n"
+            "    try:\n"
+            "        return x()\n"
+            "    except Exception:\n"
+            "        return None\n"
+        )
+        in_federation = lint_source(
+            source, Path("src/repro/federation/x.py"), select=["RPR006"]
+        )
+        in_faults = lint_source(
+            source, Path("src/repro/faults/x.py"), select=["RPR006"]
+        )
+        elsewhere = lint_source(
+            source, Path("src/repro/sim/x.py"), select=["RPR006"]
+        )
+        assert len(in_federation) == 2
+        assert len(in_faults) == 2
+        assert elsewhere == []
+
+    def test_reraise_and_record_both_satisfy(self):
+        from repro.analysis.lint import lint_source
+
+        reraise = (
+            "def f(x):\n"
+            "    try:\n"
+            "        return x()\n"
+            "    except ValueError:\n"
+            "        raise\n"
+        )
+        record = (
+            "def f(self, x):\n"
+            "    try:\n"
+            "        return x()\n"
+            "    except ValueError:\n"
+            "        self.ledger.record_retry('s', 1, 1.0)\n"
+            "        return None\n"
+        )
+        for source in (reraise, record):
+            assert (
+                lint_source(
+                    source,
+                    Path("src/repro/faults/x.py"),
+                    select=["RPR006"],
+                )
+                == []
+            )

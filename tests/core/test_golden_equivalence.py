@@ -655,3 +655,102 @@ class TestRateProfileGolden:
         replay_pair(new, ref, queries)
         assert new.tracked_outside() == ref.tracked_outside()
         assert set(new._outside) == set(ref._outside)
+
+
+# ---------------------------------------------------------------------------
+# No-fault identity: the resilient replay loop vs the fault-free loop
+# ---------------------------------------------------------------------------
+
+
+class TestNoFaultIdentity:
+    """An empty fault schedule must be invisible.
+
+    The resilient loop (`Simulator._run_resilient`) is a separate code
+    path from the seed's fault-free loop; this pins the two together:
+    with `FaultSchedule.empty()` every per-query decision event, the
+    cumulative WAN series, and the final accounting must be
+    byte-identical — not merely "close".
+    """
+
+    POLICIES = (
+        "lru", "lfu", "gds", "gdsp", "lff", "online-by", "rate-profile",
+        "no-cache",
+    )
+    CAPACITY = 1500
+
+    @staticmethod
+    def _trace(n=80):
+        from repro.workload.trace import PreparedQuery, PreparedTrace
+
+        queries = []
+        for i in range(n):
+            table = ("PhotoObj", "SpecObj")[i % 5 == 0]
+            queries.append(
+                PreparedQuery(
+                    index=i,
+                    sql=f"g{i}",
+                    template="t",
+                    yield_bytes=100 + (i % 7) * 20,
+                    bypass_bytes=100 + (i % 7) * 20,
+                    table_yields={table: 100.0 + (i % 7) * 20},
+                    column_yields={f"{table}.objID": 100.0 + (i % 7) * 20},
+                    servers=("sdss",),
+                )
+            )
+        return PreparedTrace("identity", queries)
+
+    @staticmethod
+    def _event_key(event):
+        return (
+            event.index,
+            event.served_from_cache,
+            event.loads,
+            event.evictions,
+            event.load_bytes,
+            event.bypass_bytes,
+            event.weighted_cost,
+            event.retries,
+            event.retry_bytes,
+        )
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_empty_schedule_stream_identical(self, policy):
+        from repro.core.instrumentation import Instrumentation
+        from repro.faults import FaultEngine, FaultSchedule
+        from repro.faults.transport import ResilientTransport
+        from repro.federation import Federation
+        from repro.sim.runner import build_policy
+        from repro.sim.simulator import Simulator
+
+        from tests.conftest import build_catalog
+
+        trace = self._trace()
+        streams = []
+        for use_transport in (False, True):
+            federation = Federation.single_site(build_catalog(), "sdss")
+            sink = Instrumentation()
+            simulator = Simulator(
+                federation, "table", instrumentation=sink
+            )
+            built = build_policy(
+                policy, self.CAPACITY, trace, federation, "table"
+            )
+            transport = (
+                ResilientTransport(FaultEngine(FaultSchedule.empty()))
+                if use_transport
+                else None
+            )
+            result = simulator.run(trace, built, transport=transport)
+            streams.append(
+                (
+                    [self._event_key(e) for e in sink.events],
+                    result.total_bytes,
+                    result.weighted_cost,
+                    result.served_queries,
+                    result.cumulative_bytes,
+                    result.breakdown.retry_bytes,
+                )
+            )
+        plain, faulted = streams
+        assert faulted == plain
+        assert faulted[5] == 0

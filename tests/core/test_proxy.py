@@ -214,3 +214,153 @@ class TestMetricsEndpoint:
             assert "repro_decisions_total 1" in body
         finally:
             proxy.close_metrics()
+
+
+class TestShutdownIdempotence:
+    def test_close_before_serve_is_noop(self, proxy):
+        proxy.close_metrics()  # never served: nothing to do
+        proxy.close_metrics()
+
+    def test_double_close_is_noop(self, proxy):
+        server = proxy.serve_metrics()
+        proxy.close_metrics()
+        assert server.closed
+        proxy.close_metrics()  # second close finds no server
+
+    def test_serve_after_close_starts_fresh(self, proxy):
+        from urllib.request import urlopen
+
+        first = proxy.serve_metrics()
+        proxy.close_metrics()
+        second = proxy.serve_metrics()
+        try:
+            assert second is not first
+            with urlopen(f"{second.url}/healthz", timeout=5) as response:
+                assert response.read() == b"ok\n"
+        finally:
+            proxy.close_metrics()
+
+    def test_concurrent_close_is_safe(self, proxy):
+        import threading
+
+        proxy.serve_metrics()
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(5):
+                    proxy.close_metrics()
+            except Exception as exc:  # pragma: no cover - failure case
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+
+class TestResilientProxy:
+    """The availability-aware online path behind a faulted transport."""
+
+    @staticmethod
+    def _make_proxy(windows=(), seed=11, policy_cls=RateProfilePolicy):
+        from repro.faults import FaultEngine, FaultSchedule
+        from repro.faults.transport import ResilientTransport
+
+        federation = Federation.single_site(build_catalog(), "sdss")
+        policy = policy_cls(
+            capacity_bytes=federation.total_database_bytes()
+        )
+        transport = ResilientTransport(
+            FaultEngine(FaultSchedule(seed=seed, windows=tuple(windows)))
+        )
+        return BypassYieldProxy(
+            federation, policy, granularity="table", transport=transport
+        )
+
+    def test_empty_schedule_is_identity(self, proxy):
+        resilient = self._make_proxy()
+        for _ in range(6):
+            plain = proxy.query(HOT_QUERY)
+            faulted = resilient.query(HOT_QUERY)
+            assert faulted.served_from_cache == plain.served_from_cache
+            assert faulted.wan_bytes == plain.wan_bytes
+            assert faulted.retries == 0
+            assert not faulted.failed_loads
+            assert faulted.result.rows == plain.result.rows
+        plain_stats = proxy.stats()
+        faulted_stats = resilient.stats()
+        faulted_stats.pop("transport")
+        assert faulted_stats == plain_stats
+
+    def test_outage_makes_uncached_query_unavailable(self):
+        from repro.faults import FaultWindow
+
+        resilient = self._make_proxy(
+            windows=(
+                FaultWindow(kind="outage", server="sdss", start=0,
+                            end=1000),
+            ),
+            policy_cls=NoCachePolicy,
+        )
+        response = resilient.query(HOT_QUERY)
+        assert response.outcome == "unavailable"
+        assert response.result is None
+        assert not response.served_from_cache
+
+    def test_cache_fallback_when_backend_goes_dark(self):
+        from repro.faults import FaultWindow
+
+        # Queries 0-2 run fault-free and pull PhotoObj into the cache;
+        # from tick 3 on the backend is dark, but residents still serve.
+        resilient = self._make_proxy(
+            windows=(
+                FaultWindow(kind="outage", server="sdss", start=3,
+                            end=1000),
+            ),
+        )
+        warm = [resilient.query(HOT_QUERY) for _ in range(3)]
+        assert any(r.served_from_cache for r in warm)
+        dark = resilient.query(HOT_QUERY)
+        assert dark.outcome == "served"
+        assert dark.result is not None
+        assert dark.result.rows == warm[-1].result.rows
+
+    def test_retry_waste_lands_in_stats(self):
+        from repro.faults import FaultWindow
+
+        resilient = self._make_proxy(
+            windows=(
+                FaultWindow(
+                    kind="brownout", server="sdss", start=0, end=1000,
+                    failure_rate=0.6,
+                ),
+            ),
+            seed=3,
+            policy_cls=NoCachePolicy,
+        )
+        for _ in range(20):
+            resilient.query(HOT_QUERY)
+        stats = resilient.stats()
+        assert stats["retry_bytes"] > 0
+        assert stats["transport"]["retries"] > 0
+        assert stats["transport"]["retry_bytes"] == stats["retry_bytes"]
+
+    def test_transport_counters_reach_metrics_registry(self):
+        from repro.faults import FaultWindow
+
+        resilient = self._make_proxy(
+            windows=(
+                FaultWindow(kind="outage", server="sdss", start=0,
+                            end=1000),
+            ),
+            policy_cls=NoCachePolicy,
+        )
+        registry = resilient.enable_metrics()
+        for _ in range(8):
+            resilient.query(HOT_QUERY)
+        scraped = registry.render_prometheus()
+        assert "repro_transport_requests_total" in scraped
+        assert "repro_outcome_unavailable_total 8" in scraped

@@ -1,0 +1,211 @@
+"""FaultEngine: deterministic draws, window semantics, telemetry."""
+
+import pytest
+
+from repro.faults import FaultEngine, FaultSchedule, FaultWindow
+from repro.faults.engine import uniform_draw
+
+
+def make_engine(*windows, seed=11):
+    return FaultEngine(FaultSchedule(seed=seed, windows=tuple(windows)))
+
+
+class TestUniformDraw:
+    def test_in_unit_interval(self):
+        for i in range(50):
+            draw = uniform_draw(3, "attempt", "sdss", i)
+            assert 0.0 <= draw < 1.0
+
+    def test_keyed_not_sequenced(self):
+        first = uniform_draw(3, "a", 1)
+        uniform_draw(3, "b", 2)
+        uniform_draw(3, "c", 3)
+        assert uniform_draw(3, "a", 1) == first
+
+    def test_distinct_keys_differ(self):
+        draws = {uniform_draw(3, "attempt", i) for i in range(64)}
+        assert len(draws) == 64
+
+    def test_seed_changes_draws(self):
+        assert uniform_draw(1, "x") != uniform_draw(2, "x")
+
+
+class TestOutage:
+    def test_down_inside_window_only(self):
+        engine = make_engine(
+            FaultWindow(kind="outage", server="sdss", start=10, end=20)
+        )
+        assert engine.is_up("sdss", 9)
+        assert not engine.is_up("sdss", 10)
+        assert not engine.is_up("sdss", 19)
+        assert engine.is_up("sdss", 20)
+
+    def test_other_servers_unaffected(self):
+        engine = make_engine(
+            FaultWindow(kind="outage", server="sdss", start=0, end=100)
+        )
+        assert engine.is_up("first", 50)
+
+    def test_identity_engine(self):
+        engine = FaultEngine(FaultSchedule.empty())
+        assert engine.is_identity
+        assert engine.is_up("anything", 0)
+        assert engine.cost_multiplier("anything", 0) == 1.0
+        assert engine.failure_rate("anything", 0) == 0.0
+        assert not engine.attempt_fails("anything", 0, 1, 0)
+
+
+class TestFlap:
+    def test_duty_cycle(self):
+        engine = make_engine(
+            FaultWindow(
+                kind="flap", server="first", start=0, end=100, period=4,
+                duty=0.5,
+            )
+        )
+        # ceil(0.5 * 4) = 2 ticks up, then 2 down, each 4-tick cycle.
+        pattern = [engine.is_up("first", t) for t in range(8)]
+        assert pattern == [True, True, False, False] * 2
+
+    def test_full_duty_never_drops(self):
+        engine = make_engine(
+            FaultWindow(
+                kind="flap", server="first", start=0, end=50, period=5,
+                duty=1.0,
+            )
+        )
+        assert all(engine.is_up("first", t) for t in range(50))
+
+    def test_zero_duty_always_down_inside(self):
+        engine = make_engine(
+            FaultWindow(
+                kind="flap", server="first", start=10, end=20, period=2,
+                duty=0.0,
+            )
+        )
+        assert engine.is_up("first", 9)
+        assert not any(engine.is_up("first", t) for t in range(10, 20))
+        assert engine.is_up("first", 20)
+
+
+class TestBrownout:
+    def test_multiplier_inside_window(self):
+        engine = make_engine(
+            FaultWindow(
+                kind="brownout", server="sdss", start=5, end=10,
+                cost_multiplier=3.0,
+            )
+        )
+        assert engine.cost_multiplier("sdss", 4) == 1.0
+        assert engine.cost_multiplier("sdss", 7) == 3.0
+        assert engine.cost_multiplier("sdss", 10) == 1.0
+
+    def test_overlapping_multipliers_multiply(self):
+        engine = make_engine(
+            FaultWindow(
+                kind="brownout", server="sdss", start=0, end=10,
+                cost_multiplier=2.0,
+            ),
+            FaultWindow(
+                kind="brownout", server="sdss", start=5, end=15,
+                cost_multiplier=3.0,
+            ),
+        )
+        assert engine.cost_multiplier("sdss", 2) == 2.0
+        assert engine.cost_multiplier("sdss", 7) == 6.0
+        assert engine.cost_multiplier("sdss", 12) == 3.0
+
+    def test_overlapping_failure_rates_combine(self):
+        engine = make_engine(
+            FaultWindow(
+                kind="brownout", server="sdss", start=0, end=10,
+                failure_rate=0.5,
+            ),
+            FaultWindow(
+                kind="brownout", server="sdss", start=0, end=10,
+                failure_rate=0.5,
+            ),
+        )
+        assert engine.failure_rate("sdss", 3) == pytest.approx(0.75)
+
+    def test_brownout_leaves_server_up(self):
+        engine = make_engine(
+            FaultWindow(
+                kind="brownout", server="sdss", start=0, end=10,
+                failure_rate=0.9, cost_multiplier=5.0,
+            )
+        )
+        assert engine.is_up("sdss", 5)
+
+
+class TestAttemptFails:
+    def test_deterministic_across_engines(self):
+        window = FaultWindow(
+            kind="brownout", server="sdss", start=0, end=100,
+            failure_rate=0.4,
+        )
+        one = make_engine(window, seed=21)
+        two = make_engine(window, seed=21)
+        outcomes_one = [
+            one.attempt_fails("sdss", t, rid, a)
+            for t in range(20)
+            for rid in range(3)
+            for a in range(3)
+        ]
+        outcomes_two = [
+            two.attempt_fails("sdss", t, rid, a)
+            for t in range(20)
+            for rid in range(3)
+            for a in range(3)
+        ]
+        assert outcomes_one == outcomes_two
+        assert any(outcomes_one)
+        assert not all(outcomes_one)
+
+    def test_seed_changes_outcomes(self):
+        window = FaultWindow(
+            kind="brownout", server="sdss", start=0, end=200,
+            failure_rate=0.5,
+        )
+        one = make_engine(window, seed=1)
+        two = make_engine(window, seed=2)
+        keys = [(t, rid, a) for t in range(40) for rid in (1, 2) for a in (0, 1)]
+        first = [one.attempt_fails("sdss", *k) for k in keys]
+        second = [two.attempt_fails("sdss", *k) for k in keys]
+        assert first != second
+
+    def test_rate_extremes_short_circuit(self):
+        certain = make_engine(
+            FaultWindow(
+                kind="brownout", server="sdss", start=0, end=10,
+                failure_rate=1.0,
+            )
+        )
+        assert certain.attempt_fails("sdss", 5, 1, 0)
+        clean = make_engine(
+            FaultWindow(
+                kind="brownout", server="sdss", start=0, end=10,
+                cost_multiplier=2.0,
+            )
+        )
+        assert not clean.attempt_fails("sdss", 5, 1, 0)
+
+
+class TestDowntimeTelemetry:
+    def test_counts_each_probed_tick_once(self):
+        engine = make_engine(
+            FaultWindow(kind="outage", server="sdss", start=0, end=5)
+        )
+        for _ in range(3):
+            engine.is_up("sdss", 2)
+        engine.is_up("sdss", 3)
+        engine.is_up("sdss", 7)  # up: not counted
+        assert engine.downtime("sdss") == 2
+        assert engine.downtime_by_server() == {"sdss": 2}
+
+    def test_untouched_server_reports_zero(self):
+        engine = make_engine(
+            FaultWindow(kind="outage", server="sdss", start=0, end=5)
+        )
+        assert engine.downtime("first") == 0
+        assert engine.downtime_by_server() == {}

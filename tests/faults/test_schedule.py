@@ -1,0 +1,193 @@
+"""Schedule validation, JSON round-trips, and CLI seed parsing."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import FaultSchedule, FaultWindow
+from repro.faults.schedule import (
+    combined_failure_rate,
+    outage_windows,
+    parse_fault_seed,
+)
+
+
+def make_windows():
+    return (
+        FaultWindow(kind="outage", server="sdss", start=10, end=20),
+        FaultWindow(
+            kind="brownout",
+            server="sdss",
+            start=30,
+            end=60,
+            cost_multiplier=2.5,
+            failure_rate=0.3,
+        ),
+        FaultWindow(
+            kind="flap", server="first", start=40, end=80, period=8,
+            duty=0.75,
+        ),
+    )
+
+
+class TestWindowValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(FaultError, match="unknown fault kind"):
+            FaultWindow(kind="meltdown", server="sdss", start=0, end=1)
+
+    def test_empty_server(self):
+        with pytest.raises(FaultError, match="server name"):
+            FaultWindow(kind="outage", server="", start=0, end=1)
+
+    @pytest.mark.parametrize("start,end", [(-1, 5), (5, 5), (7, 3)])
+    def test_bad_interval(self, start, end):
+        with pytest.raises(FaultError, match="start < end"):
+            FaultWindow(kind="outage", server="sdss", start=start, end=end)
+
+    def test_cost_multiplier_below_one(self):
+        with pytest.raises(FaultError, match="cost_multiplier"):
+            FaultWindow(
+                kind="brownout", server="sdss", start=0, end=1,
+                cost_multiplier=0.5,
+            )
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_failure_rate_out_of_range(self, rate):
+        with pytest.raises(FaultError, match="failure_rate"):
+            FaultWindow(
+                kind="brownout", server="sdss", start=0, end=1,
+                failure_rate=rate,
+            )
+
+    def test_flap_needs_period(self):
+        with pytest.raises(FaultError, match="period"):
+            FaultWindow(kind="flap", server="sdss", start=0, end=10)
+
+    def test_flap_duty_out_of_range(self):
+        with pytest.raises(FaultError, match="duty"):
+            FaultWindow(
+                kind="flap", server="sdss", start=0, end=10, period=4,
+                duty=1.5,
+            )
+
+    def test_covers_half_open(self):
+        window = FaultWindow(kind="outage", server="sdss", start=10, end=20)
+        assert not window.covers(9)
+        assert window.covers(10)
+        assert window.covers(19)
+        assert not window.covers(20)
+
+
+class TestScheduleBasics:
+    def test_empty_is_identity(self):
+        schedule = FaultSchedule.empty(seed=7)
+        assert schedule.is_empty
+        assert schedule.seed == 7
+        assert schedule.servers == ()
+
+    def test_servers_sorted_distinct(self):
+        schedule = FaultSchedule(seed=1, windows=make_windows())
+        assert schedule.servers == ("first", "sdss")
+
+    def test_windows_for_preserves_order(self):
+        schedule = FaultSchedule(seed=1, windows=make_windows())
+        kinds = [w.kind for w in schedule.windows_for("sdss")]
+        assert kinds == ["outage", "brownout"]
+
+    def test_with_seed_keeps_windows(self):
+        schedule = FaultSchedule(seed=1, windows=make_windows())
+        reseeded = schedule.with_seed(99)
+        assert reseeded.seed == 99
+        assert reseeded.windows == schedule.windows
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(FaultError, match="seed"):
+            FaultSchedule(seed="abc")  # type: ignore[arg-type]
+
+    def test_outage_windows_helper(self):
+        windows = outage_windows("sdss", [(0, 5), (10, 12)])
+        assert [w.kind for w in windows] == ["outage", "outage"]
+        assert [(w.start, w.end) for w in windows] == [(0, 5), (10, 12)]
+
+    def test_combined_failure_rate(self):
+        assert combined_failure_rate([]) == 0.0
+        assert combined_failure_rate([0.5]) == 0.5
+        assert combined_failure_rate([0.5, 0.5]) == pytest.approx(0.75)
+        assert combined_failure_rate([1.0, 0.2]) == 1.0
+
+
+class TestRoundTrip:
+    def test_dumps_loads_exact(self):
+        schedule = FaultSchedule(seed=42, windows=make_windows())
+        assert FaultSchedule.loads(schedule.dumps()) == schedule
+
+    def test_dumps_stable(self):
+        schedule = FaultSchedule(seed=42, windows=make_windows())
+        assert schedule.dumps() == schedule.dumps()
+
+    def test_dump_load_file(self, tmp_path):
+        schedule = FaultSchedule(seed=42, windows=make_windows())
+        path = tmp_path / "faults.json"
+        schedule.dump(path)
+        assert FaultSchedule.load(path) == schedule
+
+    def test_empty_round_trip(self):
+        schedule = FaultSchedule.empty(seed=3)
+        again = FaultSchedule.loads(schedule.dumps())
+        assert again == schedule
+        assert again.is_empty
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FaultError, match="no such fault schedule"):
+            FaultSchedule.load(tmp_path / "missing.json")
+
+    def test_loads_invalid_json(self):
+        with pytest.raises(FaultError, match="not valid JSON"):
+            FaultSchedule.loads("{nope")
+
+    def test_loads_non_object(self):
+        with pytest.raises(FaultError, match="must be an object"):
+            FaultSchedule.loads("[1, 2]")
+
+    def test_future_schema_rejected(self):
+        with pytest.raises(FaultError, match="schema"):
+            FaultSchedule.loads('{"schema": 99, "seed": 0, "faults": []}')
+
+    def test_bool_seed_rejected(self):
+        with pytest.raises(FaultError, match="seed"):
+            FaultSchedule.loads(
+                '{"schema": 1, "seed": true, "faults": []}'
+            )
+
+    def test_window_missing_field(self):
+        with pytest.raises(FaultError, match="missing required field"):
+            FaultSchedule.loads(
+                '{"schema": 1, "seed": 0,'
+                ' "faults": [{"kind": "outage", "server": "sdss"}]}'
+            )
+
+    def test_windows_must_be_list(self):
+        with pytest.raises(FaultError, match="list"):
+            FaultSchedule.loads(
+                '{"schema": 1, "seed": 0, "faults": {"kind": "outage"}}'
+            )
+
+
+class TestParseFaultSeed:
+    @pytest.mark.parametrize(
+        "raw,expected", [("0", 0), ("42", 42), ("  7 ", 7)]
+    )
+    def test_accepts_plain_integers(self, raw, expected):
+        assert parse_fault_seed(raw) == expected
+
+    @pytest.mark.parametrize("raw", ["", "abc", "1.5", "0x10", "1e3"])
+    def test_rejects_garbage(self, raw):
+        with pytest.raises(FaultError, match="--fault-seed"):
+            parse_fault_seed(raw)
+
+    def test_rejects_negative(self):
+        with pytest.raises(FaultError, match="non-negative"):
+            parse_fault_seed("-3")
+
+    def test_names_custom_source(self):
+        with pytest.raises(FaultError, match="FAULT_SEED"):
+            parse_fault_seed("junk", source="FAULT_SEED")

@@ -1,0 +1,308 @@
+"""ResilientTransport: retries, backoff, breakers, accounting, replay."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BreakerPolicy,
+    CircuitBreaker,
+    FaultEngine,
+    FaultSchedule,
+    FaultWindow,
+    ResilientTransport,
+    RetryPolicy,
+)
+
+
+def make_transport(*windows, seed=11, retry=None, breaker=None, hook=None):
+    schedule = FaultSchedule(seed=seed, windows=tuple(windows))
+    return ResilientTransport(
+        FaultEngine(schedule), retry=retry, breaker=breaker, on_counter=hook
+    )
+
+
+class TestRetryPolicyValidation:
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(FaultError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+
+    def test_rejects_cap_below_base(self):
+        with pytest.raises(FaultError, match="backoff"):
+            RetryPolicy(base_backoff=2.0, backoff_cap=1.0)
+
+    def test_rejects_bad_jitter(self):
+        with pytest.raises(FaultError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+
+    def test_rejects_timeout_multiplier_at_one(self):
+        with pytest.raises(FaultError, match="timeout_multiplier"):
+            RetryPolicy(timeout_multiplier=1.0)
+
+
+class TestBackoff:
+    def test_deterministic(self):
+        policy = RetryPolicy()
+        assert policy.backoff(7, "sdss", 3, 1) == policy.backoff(
+            7, "sdss", 3, 1
+        )
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base_backoff=0.5, backoff_cap=4.0, jitter=0.5)
+        for attempt in range(1, 6):
+            nominal = min(4.0, 0.5 * 2 ** (attempt - 1))
+            delay = policy.backoff(7, "sdss", 1, attempt)
+            assert nominal * 0.75 <= delay <= nominal * 1.25
+
+    def test_no_jitter_is_exact_exponential(self):
+        policy = RetryPolicy(base_backoff=0.5, backoff_cap=4.0, jitter=0.0)
+        assert [policy.backoff(7, "s", 1, a) for a in range(1, 6)] == [
+            0.5, 1.0, 2.0, 4.0, 4.0,
+        ]
+
+    def test_attempt_zero_is_free(self):
+        assert RetryPolicy().backoff(7, "s", 1, 0) == 0.0
+
+
+class TestBreakerStateMachine:
+    def test_opens_after_threshold(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=3))
+        assert breaker.state == BREAKER_CLOSED
+        for tick in range(3):
+            assert breaker.allows(tick)
+            breaker.record_failure(tick)
+        assert breaker.state == BREAKER_OPEN
+
+    def test_open_rejects_until_cooldown(self):
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, cooldown_ticks=5)
+        )
+        breaker.record_failure(10)
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allows(11)
+        assert not breaker.allows(14)
+        assert breaker.rejections == 2
+        assert breaker.allows(15)
+        assert breaker.state == BREAKER_HALF_OPEN
+
+    def test_half_open_probe_success_closes(self):
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, cooldown_ticks=2)
+        )
+        breaker.record_failure(0)
+        assert breaker.allows(2)
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, cooldown_ticks=2)
+        )
+        breaker.record_failure(0)
+        assert breaker.allows(2)
+        breaker.record_failure(2)
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allows(3)
+        assert breaker.allows(4)
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=2))
+        breaker.record_failure(0)
+        breaker.record_success()
+        breaker.record_failure(1)
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_transitions_counted(self):
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, cooldown_ticks=1)
+        )
+        breaker.record_failure(0)  # closed -> open
+        breaker.allows(1)          # open -> half_open
+        breaker.record_success()   # half_open -> closed
+        assert breaker.transitions == 3
+
+
+class TestSend:
+    def test_clean_send_single_attempt(self):
+        transport = make_transport()
+        outcome = transport.send("sdss", 1000, tick=0, weight=2.0)
+        assert outcome.ok
+        assert outcome.attempts == 1
+        assert outcome.retries == 0
+        assert outcome.wasted_bytes == 0
+        assert outcome.cost_multiplier == 1.0
+        assert transport.stats()["requests"] == 1
+        assert transport.stats()["failures"] == 0
+
+    def test_outage_exhausts_quietly(self):
+        transport = make_transport(
+            FaultWindow(kind="outage", server="sdss", start=0, end=100)
+        )
+        outcome = transport.send("sdss", 1000, tick=0)
+        assert not outcome.ok
+        assert outcome.attempts == RetryPolicy().max_attempts
+        assert outcome.retries == outcome.attempts - 1
+        # A dark server refuses connections: nothing crossed the WAN.
+        assert outcome.wasted_bytes == 0
+        assert outcome.wasted_cost == 0.0
+
+    def test_certain_brownout_wastes_every_attempt(self):
+        transport = make_transport(
+            FaultWindow(
+                kind="brownout", server="sdss", start=0, end=100,
+                failure_rate=1.0, cost_multiplier=2.0,
+            )
+        )
+        outcome = transport.send("sdss", 1000, tick=0, weight=3.0)
+        assert not outcome.ok
+        attempts = RetryPolicy().max_attempts
+        assert outcome.wasted_bytes == 1000 * attempts
+        assert outcome.wasted_cost == pytest.approx(
+            1000 * 3.0 * 2.0 * attempts
+        )
+
+    def test_timeout_multiplier_fails_attempt(self):
+        transport = make_transport(
+            FaultWindow(
+                kind="brownout", server="sdss", start=0, end=100,
+                cost_multiplier=8.0,
+            )
+        )
+        outcome = transport.send("sdss", 500, tick=0)
+        assert not outcome.ok
+        assert outcome.wasted_bytes == 500 * RetryPolicy().max_attempts
+
+    def test_success_reports_brownout_multiplier(self):
+        transport = make_transport(
+            FaultWindow(
+                kind="brownout", server="sdss", start=0, end=100,
+                cost_multiplier=2.5,
+            )
+        )
+        outcome = transport.send("sdss", 500, tick=0)
+        assert outcome.ok
+        assert outcome.cost_multiplier == 2.5
+
+    def test_retry_can_escape_closing_window(self):
+        # Outage covers only the send tick; with backoff pushing the
+        # later attempt past the window's end the transfer recovers.
+        transport = make_transport(
+            FaultWindow(kind="outage", server="sdss", start=0, end=1),
+            retry=RetryPolicy(
+                max_attempts=3, base_backoff=1.0, backoff_cap=2.0,
+                jitter=0.0,
+            ),
+        )
+        outcome = transport.send("sdss", 100, tick=0)
+        assert outcome.ok
+        assert outcome.retries >= 1
+        assert outcome.wasted_bytes == 0
+
+    def test_breaker_trips_and_rejects(self):
+        transport = make_transport(
+            FaultWindow(kind="outage", server="sdss", start=0, end=100),
+            breaker=BreakerPolicy(failure_threshold=2, cooldown_ticks=5),
+        )
+        transport.send("sdss", 100, tick=0)
+        transport.send("sdss", 100, tick=1)
+        assert transport.breaker_states() == {"sdss": BREAKER_OPEN}
+        rejected = transport.send("sdss", 100, tick=2)
+        assert rejected.rejected
+        assert rejected.attempts == 0
+        assert transport.stats()["breaker_rejections"] == 1
+
+    def test_breaker_recovers_after_outage(self):
+        transport = make_transport(
+            FaultWindow(kind="outage", server="sdss", start=0, end=3),
+            breaker=BreakerPolicy(failure_threshold=1, cooldown_ticks=4),
+        )
+        transport.send("sdss", 100, tick=0)
+        assert transport.breaker_states() == {"sdss": BREAKER_OPEN}
+        probe = transport.send("sdss", 100, tick=4)  # cooldown over, server up
+        assert probe.ok
+        assert transport.breaker_states() == {"sdss": BREAKER_CLOSED}
+
+    def test_breakers_are_per_server(self):
+        transport = make_transport(
+            FaultWindow(kind="outage", server="sdss", start=0, end=100),
+            breaker=BreakerPolicy(failure_threshold=1, cooldown_ticks=5),
+        )
+        transport.send("sdss", 100, tick=0)
+        outcome = transport.send("first", 100, tick=1)
+        assert outcome.ok
+        assert transport.breaker_states() == {
+            "first": BREAKER_CLOSED,
+            "sdss": BREAKER_OPEN,
+        }
+
+
+class TestDeterminism:
+    def _drive(self, transport):
+        log = []
+        for tick in range(40):
+            outcome = transport.send("sdss", 100 + tick, tick, weight=1.5)
+            log.append(
+                (
+                    outcome.ok,
+                    outcome.attempts,
+                    outcome.wasted_bytes,
+                    outcome.wasted_cost,
+                    outcome.rejected,
+                )
+            )
+        return log, transport.stats()
+
+    def test_fresh_transports_replay_identically(self):
+        windows = (
+            FaultWindow(kind="outage", server="sdss", start=5, end=12),
+            FaultWindow(
+                kind="brownout", server="sdss", start=15, end=35,
+                failure_rate=0.4, cost_multiplier=2.0,
+            ),
+        )
+        one = make_transport(*windows, seed=77)
+        two = make_transport(*windows, seed=77)
+        assert self._drive(one) == self._drive(two)
+
+    def test_seed_changes_the_run(self):
+        window = FaultWindow(
+            kind="brownout", server="sdss", start=0, end=40,
+            failure_rate=0.5,
+        )
+        one, _ = self._drive(make_transport(window, seed=1))
+        two, _ = self._drive(make_transport(window, seed=2))
+        assert one != two
+
+
+class TestCounterHook:
+    def test_counters_flow_through_hook(self):
+        seen = {}
+
+        def hook(name, value):
+            seen[name] = seen.get(name, 0) + value
+
+        transport = make_transport(
+            FaultWindow(
+                kind="brownout", server="sdss", start=0, end=100,
+                failure_rate=1.0,
+            ),
+            breaker=BreakerPolicy(failure_threshold=1, cooldown_ticks=5),
+            hook=hook,
+        )
+        transport.send("sdss", 200, tick=0)  # exhausts, trips breaker
+        transport.send("sdss", 200, tick=1)  # rejected
+        assert seen["transport.requests"] == 2
+        assert seen["transport.failures"] == 1
+        assert seen["transport.rejections"] == 1
+        assert seen["transport.retries"] == RetryPolicy().max_attempts - 1
+        assert seen["transport.retry_bytes"] == (
+            200 * RetryPolicy().max_attempts
+        )
+        assert seen["breaker.transitions"] == 1
+
+    def test_quiet_without_hook(self):
+        transport = make_transport()
+        outcome = transport.send("sdss", 100, tick=0)
+        assert outcome.ok

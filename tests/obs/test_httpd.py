@@ -48,3 +48,42 @@ def test_close_is_idempotent():
     server.start()  # second start is a no-op
     server.close()
     server.close()
+
+
+def test_start_after_close_is_noop():
+    server = MetricsServer(MetricsRegistry())
+    server.start()
+    server.close()
+    assert server.closed
+    assert server.start() is server  # does not resurrect the socket
+    assert server.closed
+    server.close()  # still a no-op
+
+
+def test_close_before_start_is_noop():
+    server = MetricsServer(MetricsRegistry())
+    server.close()
+    assert server.closed
+
+
+def test_concurrent_closes_are_safe():
+    import threading
+
+    server = MetricsServer(MetricsRegistry())
+    server.start()
+    errors = []
+
+    def hammer():
+        try:
+            for _ in range(10):
+                server.close()
+        except Exception as exc:  # pragma: no cover - the failure case
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert server.closed

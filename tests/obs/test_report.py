@@ -106,7 +106,7 @@ class TestSummaries:
         gated = {d.name for d in diff_metrics(metrics, metrics) if d.gated}
         assert gated == {
             "wan_bytes", "weighted_cost", "hit_rate",
-            "byte_yield_hit_rate",
+            "byte_yield_hit_rate", "availability",
         }
 
 

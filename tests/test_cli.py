@@ -170,8 +170,170 @@ class TestRunAllCoverage:
         labels = [label for label, _, _ in EXPERIMENTS]
         assert labels == [
             "Figure 4", "Figure 5", "Figure 6", "Figure 7", "Figure 8",
-            "Figure 9", "Figure 10", "Table 1", "Table 2",
+            "Figure 9", "Figure 10", "Table 1", "Table 2", "Resilience",
         ]
         for _, module, _ in EXPERIMENTS:
             assert hasattr(module, "run")
             assert hasattr(module, "render")
+
+
+class TestSimulateFaults:
+    """The --faults / --fault-seed surface of the simulate CLI."""
+
+    def _prepared(self, tmp_path, n=60):
+        trace_path = tmp_path / "t.jsonl"
+        make_trace_main(
+            ["-n", str(n), "--profile", "tiny", "--prepare",
+             "-o", str(trace_path)]
+        )
+        return str(tmp_path / "t.jsonl.prepared.jsonl")
+
+    def _schedule_path(self, tmp_path, n=60):
+        from repro.faults import FaultSchedule, FaultWindow
+
+        schedule = FaultSchedule(
+            seed=9,
+            windows=(
+                FaultWindow(kind="outage", server="sdss", start=n // 4,
+                            end=n // 2),
+                FaultWindow(
+                    kind="brownout", server="sdss", start=n // 2,
+                    end=n, failure_rate=0.4, cost_multiplier=2.0,
+                ),
+            ),
+        )
+        path = tmp_path / "faults.json"
+        schedule.dump(path)
+        return str(path)
+
+    def test_faulted_run_reports_retry_and_availability(
+        self, tmp_path, capsys
+    ):
+        from repro.sim.simulate import main as simulate_main
+
+        prepared = self._prepared(tmp_path)
+        schedule = self._schedule_path(tmp_path)
+        capsys.readouterr()
+        code = simulate_main(
+            ["--trace", prepared, "--profile", "tiny",
+             "--policy", "no-cache", "--faults", schedule]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "retry (MB)" in out
+        assert "avail" in out
+
+    def test_same_seed_reruns_identical(self, tmp_path, capsys):
+        from repro.sim.simulate import main as simulate_main
+
+        prepared = self._prepared(tmp_path)
+        schedule = self._schedule_path(tmp_path)
+        outputs = []
+        for _ in range(2):
+            capsys.readouterr()
+            code = simulate_main(
+                ["--trace", prepared, "--profile", "tiny",
+                 "--policy", "no-cache", "--policy", "lru",
+                 "--faults", schedule, "--fault-seed", "77"]
+            )
+            assert code == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_fault_seed_changes_totals(self, tmp_path, capsys):
+        from repro.sim.simulate import main as simulate_main
+
+        prepared = self._prepared(tmp_path)
+        schedule = self._schedule_path(tmp_path)
+        outputs = []
+        for seed in ("1", "2"):
+            capsys.readouterr()
+            simulate_main(
+                ["--trace", prepared, "--profile", "tiny",
+                 "--policy", "no-cache", "--faults", schedule,
+                 "--fault-seed", seed]
+            )
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] != outputs[1]
+
+    def test_fault_seed_requires_faults(self, tmp_path, capsys):
+        from repro.sim.simulate import main as simulate_main
+
+        prepared = self._prepared(tmp_path, n=10)
+        code = simulate_main(
+            ["--trace", prepared, "--profile", "tiny",
+             "--fault-seed", "5"]
+        )
+        assert code == 2
+        assert "requires --faults" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("seed", ["abc", "-1", "1.5", ""])
+    def test_garbage_fault_seed_exits_2(self, tmp_path, capsys, seed):
+        from repro.sim.simulate import main as simulate_main
+
+        prepared = self._prepared(tmp_path, n=10)
+        schedule = self._schedule_path(tmp_path, n=10)
+        code = simulate_main(
+            ["--trace", prepared, "--profile", "tiny",
+             "--faults", schedule, "--fault-seed", seed]
+        )
+        assert code == 2
+        assert "--fault-seed" in capsys.readouterr().err
+
+    def test_missing_schedule_file_exits_2(self, tmp_path, capsys):
+        from repro.sim.simulate import main as simulate_main
+
+        prepared = self._prepared(tmp_path, n=10)
+        code = simulate_main(
+            ["--trace", prepared, "--profile", "tiny",
+             "--faults", str(tmp_path / "nope.json")]
+        )
+        assert code == 2
+        assert "no such fault schedule" in capsys.readouterr().err
+
+    def test_malformed_schedule_exits_2(self, tmp_path, capsys):
+        from repro.sim.simulate import main as simulate_main
+
+        prepared = self._prepared(tmp_path, n=10)
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": 1, "seed": 0, "faults": [{"kind": "x"}]}')
+        code = simulate_main(
+            ["--trace", prepared, "--profile", "tiny",
+             "--faults", str(bad)]
+        )
+        assert code == 2
+        assert "fault" in capsys.readouterr().err.lower()
+
+    def test_empty_schedule_matches_fault_free_output(
+        self, tmp_path, capsys
+    ):
+        from repro.faults import FaultSchedule
+        from repro.sim.simulate import main as simulate_main
+
+        prepared = self._prepared(tmp_path)
+        empty = tmp_path / "empty.json"
+        FaultSchedule.empty(seed=4).dump(empty)
+        base_args = [
+            "--trace", prepared, "--profile", "tiny",
+            "--policy", "rate-profile", "--policy", "no-cache",
+        ]
+        capsys.readouterr()
+        assert simulate_main(base_args) == 0
+        plain = capsys.readouterr().out
+        assert simulate_main(base_args + ["--faults", str(empty)]) == 0
+        faulted = capsys.readouterr().out
+        assert faulted == plain
+
+    def test_faults_with_trace_dir_writes_traces(self, tmp_path, capsys):
+        from repro.sim.simulate import main as simulate_main
+
+        prepared = self._prepared(tmp_path)
+        schedule = self._schedule_path(tmp_path)
+        trace_dir = tmp_path / "traces"
+        code = simulate_main(
+            ["--trace", prepared, "--profile", "tiny",
+             "--policy", "no-cache", "--faults", schedule,
+             "--trace-dir", str(trace_dir)]
+        )
+        assert code == 0
+        assert (trace_dir / "trace-no-cache.jsonl").exists()

@@ -139,3 +139,67 @@ class TestTableModules:
         result = table2_table_breakdown.run((tiny_context, tiny_dr1))
         assert result.granularity == "table"
         assert "Table 2" in table2_table_breakdown.render(result)
+
+
+class TestResilienceModule:
+    def test_sweep_shape_and_render(self, tiny_context):
+        from repro.experiments import fig_resilience
+
+        result = fig_resilience.run(
+            tiny_context,
+            intensities=(0.0, 0.5),
+            policies=("rate-profile", "no-cache"),
+        )
+        assert result.shape_holds
+        zero = result.cell(0.0, "no-cache")
+        base = result.baseline["no-cache"]
+        assert zero.total_bytes == base.total_bytes
+        assert zero.availability == 1.0
+        faulted = result.cell(0.5, "no-cache")
+        assert faulted.availability < 1.0
+        text = fig_resilience.render(result)
+        assert "availability" in text
+        assert "HOLDS" in text
+
+    def test_schedule_scales_with_intensity(self):
+        from repro.experiments.fig_resilience import build_schedule
+
+        assert build_schedule(0.0, 400).is_empty
+        mild = build_schedule(0.25, 400)
+        harsh = build_schedule(0.75, 400)
+        assert not mild.is_empty
+        assert mild.seed == harsh.seed
+        mild_outage = next(
+            w for w in mild.windows if w.kind == "outage"
+        )
+        harsh_outage = next(
+            w for w in harsh.windows if w.kind == "outage"
+        )
+        assert (harsh_outage.end - harsh_outage.start) > (
+            mild_outage.end - mild_outage.start
+        )
+
+    def test_rejects_out_of_range_intensity(self):
+        from repro.errors import FaultError
+        from repro.experiments.fig_resilience import build_schedule
+
+        with pytest.raises(FaultError, match="intensity"):
+            build_schedule(1.5, 400)
+
+    def test_trace_dir_writes_one_trace_per_cell(
+        self, tiny_context, tmp_path, capsys
+    ):
+        from repro.experiments import fig_resilience
+        from repro.obs.trace_io import TraceReader
+
+        fig_resilience.run(
+            tiny_context,
+            intensities=(0.5,),
+            policies=("no-cache",),
+            trace_dir=tmp_path,
+        )
+        path = tmp_path / "trace-i0.5-no-cache.jsonl"
+        assert path.exists()
+        reader = TraceReader(path)
+        assert reader.manifest.policy == "no-cache"
+        assert "faults@0.5" in reader.manifest.workload
