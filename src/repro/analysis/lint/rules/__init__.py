@@ -14,6 +14,7 @@ from repro.analysis.lint.rules import (  # noqa: F401
     rpr004_accounting,
     rpr005_scans,
     rpr006_swallowed,
+    rpr007_streaming,
 )
 
 __all__ = [
@@ -23,4 +24,5 @@ __all__ = [
     "rpr004_accounting",
     "rpr005_scans",
     "rpr006_swallowed",
+    "rpr007_streaming",
 ]

@@ -36,6 +36,8 @@ from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
     Dict,
+    Iterable,
+    Iterator,
     List,
     Mapping,
     Optional,
@@ -165,12 +167,18 @@ class CompiledTrace:
         return len(self.events)
 
 
-#: Compiled traces memoized per federation; inside, traces key by
-#: identity (PreparedTrace is an unhashable dataclass) guarded with a
-#: weakref so a recycled id can never resurrect a dead trace's stream.
+#: Compiled traces memoized per federation.  A trace carrying a content
+#: ``fingerprint`` keys by it — two regenerated/reloaded traces with the
+#: same queries share one compiled stream, and a *different* trace can
+#: never collide the way recycled ``id()`` values can.  Fingerprint-less
+#: traces fall back to identity keys guarded with a weakref so a recycled
+#: id can never resurrect a dead trace's stream.
 _TraceMemo = Dict[
-    int,
-    Tuple["weakref.ref[PreparedTrace]", Dict[Tuple[str, bool], CompiledTrace]],
+    str,
+    Tuple[
+        Optional["weakref.ref[PreparedTrace]"],
+        Dict[Tuple[str, bool], CompiledTrace],
+    ],
 ]
 _COMPILED_TRACES: "weakref.WeakKeyDictionary[Federation, _TraceMemo]" = (
     weakref.WeakKeyDictionary()
@@ -185,9 +193,17 @@ def _compiled_memo(
     if per_fed is None:
         per_fed = {}
         _COMPILED_TRACES[federation] = per_fed
-    ident = id(trace)
+    if trace.fingerprint is not None:
+        fp_key = f"fp:{trace.fingerprint}"
+        fp_entry = per_fed.get(fp_key)
+        if fp_entry is not None:
+            return fp_entry[1]
+        fp_views: Dict[Tuple[str, bool], CompiledTrace] = {}
+        per_fed[fp_key] = (None, fp_views)
+        return fp_views
+    ident = f"id:{id(trace)}"
     entry = per_fed.get(ident)
-    if entry is not None and entry[0]() is trace:
+    if entry is not None and entry[0] is not None and entry[0]() is trace:
         return entry[1]
     ref = weakref.ref(
         trace, lambda _, memo=per_fed, key=ident: memo.pop(key, None)
@@ -394,6 +410,24 @@ class DecisionPipeline:
             compiled = self._build_compiled(trace)
             views[key] = compiled
         return compiled
+
+    def iter_compiled(
+        self, queries: Iterable[PreparedQuery]
+    ) -> Iterator[CompiledQuery]:
+        """Lazily lower prepared queries to policy-facing events.
+
+        The streaming counterpart of :meth:`compile_trace`: one
+        :class:`CompiledQuery` at a time, nothing memoized, nothing
+        materialized.  Million-query replays chain a prepared-query
+        stream through this straight into the streaming simulator, so
+        the full event list never exists in memory.
+        """
+        for index, prepared in enumerate(queries):
+            yield CompiledQuery(
+                query=self.query_from_prepared(prepared, index),
+                bypass_bytes=prepared.bypass_bytes,
+                servers=tuple(prepared.servers),
+            )
 
     def _build_compiled(self, trace: PreparedTrace) -> CompiledTrace:
         events = tuple(

@@ -19,11 +19,152 @@ predicates, join conditions, grouping, and ordering.
 
 from __future__ import annotations
 
+import abc
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.errors import CacheError
 from repro.sqlengine.ast_nodes import ColumnRef, Expr, column_refs
 from repro.sqlengine.planner import QueryPlan, ScopeEntry
+from repro.sqlengine.statistics import YieldEstimator
+
+if TYPE_CHECKING:  # typing-only: keeps repro.core import-light
+    from repro.federation.federation import Federation
+    from repro.federation.mediator import Mediator
+
+
+# ---------------------------------------------------------------------------
+# Yield sources: where a query's result size comes from
+# ---------------------------------------------------------------------------
+
+#: Yield-source modes selectable per run.
+YIELD_MODES = ("exact", "estimated")
+
+
+@dataclass(frozen=True)
+class YieldMeasurement:
+    """One query's measured (or estimated) result size.
+
+    Attributes:
+        yield_bytes: The query's yield — result bytes shipped to the
+            application.
+        bypass_bytes: WAN bytes if the query is bypassed (differs from
+            ``yield_bytes`` only for decomposed multi-server queries,
+            and only under the exact source — the estimator prices the
+            decomposition at the estimated yield).
+    """
+
+    yield_bytes: int
+    bypass_bytes: int
+
+
+class YieldSource(abc.ABC):
+    """Where per-query yields come from — the exact/estimated seam.
+
+    The paper measures yields "by re-executing the traces with the
+    server"; a production mediator cannot afford that and estimates
+    result sizes from catalog statistics instead.  Everything downstream
+    of trace preparation (attribution, compilation, policy decisions,
+    accounting) is source-blind: it consumes
+    :class:`~repro.workload.trace.PreparedQuery` records and never knows
+    whether their yields were executed or estimated.  Selecting the
+    source per run is therefore a one-line switch, which is what the
+    estimator-fidelity harness sweeps.
+    """
+
+    #: Stable identifier recorded in stream/report metadata.
+    mode: str = ""
+
+    @abc.abstractmethod
+    def measure(
+        self, sql: str, plan: QueryPlan, servers: Sequence[str]
+    ) -> YieldMeasurement:
+        """Measure one planned query's yield and bypass bytes."""
+
+
+class ExactYieldSource(YieldSource):
+    """Execute every query and take the exact result size (the paper)."""
+
+    mode = "exact"
+
+    def __init__(self, mediator: "Mediator") -> None:
+        self._mediator = mediator
+
+    def measure(
+        self, sql: str, plan: QueryPlan, servers: Sequence[str]
+    ) -> YieldMeasurement:
+        result = self._mediator.evaluate(sql, plan)
+        yield_bytes = result.byte_size
+        if len(servers) <= 1:
+            return YieldMeasurement(yield_bytes, yield_bytes)
+        return YieldMeasurement(
+            yield_bytes, self._decomposed_bypass(sql, plan, result)
+        )
+
+    def _decomposed_bypass(
+        self, sql: str, plan: QueryPlan, result: object
+    ) -> int:
+        """Measure decomposed shipping without polluting the ledger."""
+        mediator = self._mediator
+        snapshot = mediator.ledger.snapshot()
+        federated = mediator.bypass(sql, plan, result)
+        # Roll the ledger back: measurement must be accounting-neutral.
+        mediator.ledger.restore(snapshot)
+        return int(federated.wan_bytes)
+
+
+class EstimatedYieldSource(YieldSource):
+    """Estimate result sizes from statistics; no query is ever executed.
+
+    Preparation becomes O(plans) instead of O(data) — the raw-speed mode
+    million-query traces run under.  Multi-server decomposition is
+    priced at the estimated yield (the estimator has no per-server
+    breakdown), which the fidelity harness accounts for.
+    """
+
+    mode = "estimated"
+
+    def __init__(self, estimator: YieldEstimator) -> None:
+        self.estimator = estimator
+
+    def measure(
+        self, sql: str, plan: QueryPlan, servers: Sequence[str]
+    ) -> YieldMeasurement:
+        estimated = int(round(self.estimator.estimate_yield(plan)))
+        return YieldMeasurement(estimated, estimated)
+
+
+def make_yield_source(
+    mode: str,
+    mediator: Optional["Mediator"] = None,
+    federation: Optional["Federation"] = None,
+    estimator: Optional[YieldEstimator] = None,
+) -> YieldSource:
+    """Build the yield source for ``mode`` (``"exact"``/``"estimated"``).
+
+    ``exact`` needs a mediator; ``estimated`` needs an estimator, or a
+    federation/mediator to collect statistics from (the federation is
+    catalog-like across every server, so one collection covers
+    cross-server joins too).
+    """
+    if mode == "exact":
+        if mediator is None:
+            raise CacheError("exact yield source requires a mediator")
+        return ExactYieldSource(mediator)
+    if mode == "estimated":
+        if estimator is None:
+            if federation is None and mediator is not None:
+                federation = mediator.federation
+            if federation is None:
+                raise CacheError(
+                    "estimated yield source requires an estimator or a "
+                    "federation to collect statistics from"
+                )
+            estimator = YieldEstimator.from_catalog(federation)
+        return EstimatedYieldSource(estimator)
+    raise CacheError(
+        f"unknown yield mode {mode!r}; use one of {YIELD_MODES}"
+    )
 
 
 def referenced_columns(plan: QueryPlan) -> Dict[str, Set[str]]:

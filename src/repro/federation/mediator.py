@@ -37,14 +37,13 @@ if TYPE_CHECKING:  # avoids a repro.core <-> repro.federation cycle
     from repro.faults.transport import ResilientTransport
 from repro.sqlengine.ast_nodes import ColumnRef, column_refs
 from repro.sqlengine.executor import ResultSet, execute_plan
-from repro.sqlengine.parser import parse
 from repro.sqlengine.planner import (
     JoinEdge,
     OutputColumn,
     QueryPlan,
     ScopeEntry,
-    plan_select,
 )
+from repro.sqlengine.shapes import ShapePlanner
 
 
 @dataclass
@@ -114,6 +113,7 @@ class Mediator:
         self.clock = clock
         self._plan_cache: "OrderedDict[str, QueryPlan]" = OrderedDict()
         self._plan_cache_size = plan_cache_size
+        self._shapes = ShapePlanner(self._lookup)
 
     def _count(self, name: str, value: float = 1.0) -> None:
         if self.instrumentation is not None:
@@ -155,10 +155,17 @@ class Mediator:
         return outcome.cost_multiplier
 
     def plan(self, sql: str) -> QueryPlan:
-        """Parse and plan against the global federation schema (cached)."""
+        """Parse and plan against the global federation schema (cached).
+
+        Two cache levels: an exact-SQL LRU (helps the prepare/evaluate
+        double-call per query) over a shape-keyed template cache
+        (:class:`~repro.sqlengine.shapes.ShapePlanner`), which makes
+        planning sublinear in trace length on template-heavy workloads
+        where exact SQL almost never repeats.
+        """
         cached = self._plan_cache.get(sql)
         if cached is None:
-            cached = plan_select(parse(sql), self._lookup)
+            cached = self._shapes.plan(sql)
             self._plan_cache[sql] = cached
             if len(self._plan_cache) > self._plan_cache_size:
                 self._plan_cache.popitem(last=False)

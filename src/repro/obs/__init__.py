@@ -32,7 +32,13 @@ from repro.obs.metrics import (
     MetricsRegistry,
     WindowedGauge,
 )
-from repro.obs.trace_io import TraceReader, TraceWriter, read_trace
+from repro.obs.trace_io import (
+    RotatedTraceReader,
+    TraceReader,
+    TraceWriter,
+    read_trace,
+    rotated_segments,
+)
 
 __all__ = [
     "Counter",
@@ -43,9 +49,11 @@ __all__ = [
     "MetricsRegistry",
     "MetricsServer",
     "RunManifest",
+    "RotatedTraceReader",
     "TraceReader",
     "TraceWriter",
     "WindowedGauge",
     "read_trace",
+    "rotated_segments",
     "wall_clock_timestamp",
 ]

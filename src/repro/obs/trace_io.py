@@ -33,25 +33,57 @@ class TraceWriter(Probe):
     Args:
         path: Destination file (parent directories are created).
         manifest: The run's attribution header, written first.
+        rotate_events: When set, start a new segment file every this
+            many events.  Segments are named ``<stem>.00000<suffix>``,
+            ``<stem>.00001<suffix>``, … next to ``path``, and each
+            carries its own manifest header so any segment is readable
+            on its own (and a partial set survives a crash).  Million-
+            query replays otherwise produce one unwieldy multi-gigabyte
+            file.  ``None`` (default) writes a single file at ``path``.
 
     Use as a context manager, or call :meth:`close` explicitly.  The
-    writer flushes on close; ``events_written`` counts emitted records.
+    writer flushes on close; ``events_written`` counts emitted records
+    across all segments, and ``segments`` lists the files written.
     """
 
     def __init__(
-        self, path: Union[str, Path], manifest: RunManifest
+        self,
+        path: Union[str, Path],
+        manifest: RunManifest,
+        rotate_events: Optional[int] = None,
     ) -> None:
+        if rotate_events is not None and rotate_events <= 0:
+            raise ConfigurationError(
+                "rotate_events must be positive when given"
+            )
         self.path = Path(path)
         self.manifest = manifest
+        self.rotate_events = rotate_events
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._handle: Optional[IO[str]] = self.path.open(
-            "w", encoding="utf-8"
+        self.events_written = 0
+        self.segments: List[Path] = []
+        self._events_in_segment = 0
+        self._handle: Optional[IO[str]] = None
+        self._open_segment()
+
+    def _segment_path(self, index: int) -> Path:
+        if self.rotate_events is None:
+            return self.path
+        return self.path.with_name(
+            f"{self.path.stem}.{index:05d}{self.path.suffix}"
         )
+
+    def _open_segment(self) -> None:
+        segment = self._segment_path(len(self.segments))
+        self._handle = segment.open("w", encoding="utf-8")
         self._handle.write(
-            json.dumps({"manifest": manifest.to_json()}, sort_keys=True)
+            json.dumps(
+                {"manifest": self.manifest.to_json()}, sort_keys=True
+            )
             + "\n"
         )
-        self.events_written = 0
+        self.segments.append(segment)
+        self._events_in_segment = 0
 
     # -- Probe interface -------------------------------------------------
 
@@ -62,15 +94,22 @@ class TraceWriter(Probe):
     # -- explicit API ----------------------------------------------------
 
     def write(self, event: DecisionEvent) -> None:
-        """Append one event line."""
+        """Append one event line, rolling the segment when full."""
         if self._handle is None:
             raise ConfigurationError(
                 f"trace writer for {self.path} is closed"
             )
+        if (
+            self.rotate_events is not None
+            and self._events_in_segment >= self.rotate_events
+        ):
+            self._handle.close()
+            self._open_segment()
         self._handle.write(
             json.dumps(event.to_json(), sort_keys=True) + "\n"
         )
         self.events_written += 1
+        self._events_in_segment += 1
 
     def close(self) -> None:
         """Flush and close the underlying file (idempotent)."""
@@ -157,3 +196,55 @@ def read_trace(
 ) -> Tuple[RunManifest, List[DecisionEvent]]:
     """One-shot load of a trace file."""
     return TraceReader(path).read_all()
+
+
+def rotated_segments(path: Union[str, Path]) -> List[Path]:
+    """The segment files a rotating :class:`TraceWriter` produced for
+    ``path``, in write order.
+
+    Raises:
+        ConfigurationError: no segments exist (wrong path, or the trace
+            was written without rotation — read ``path`` directly then).
+    """
+    base = Path(path)
+    pattern = f"{base.stem}.*{base.suffix}" if base.suffix else f"{base.stem}.*"
+    segments = sorted(
+        candidate
+        for candidate in base.parent.glob(pattern)
+        if _segment_index(base, candidate) is not None
+    )
+    if not segments:
+        raise ConfigurationError(
+            f"no rotated trace segments for {base}"
+        )
+    return segments
+
+
+def _segment_index(base: Path, candidate: Path) -> Optional[int]:
+    prefix = base.stem + "."
+    name = candidate.name
+    if base.suffix:
+        if not name.endswith(base.suffix):
+            return None
+        name = name[: -len(base.suffix)]
+    if not name.startswith(prefix):
+        return None
+    digits = name[len(prefix):]
+    return int(digits) if digits.isdigit() else None
+
+
+class RotatedTraceReader:
+    """Read a rotated trace as one logical stream.
+
+    ``manifest`` comes from the first segment (all segments carry the
+    same header); iteration chains the segments' events in write order.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.segments = rotated_segments(self.path)
+        self.manifest = TraceReader(self.segments[0]).manifest
+
+    def __iter__(self) -> Iterator[DecisionEvent]:
+        for segment in self.segments:
+            yield from TraceReader(segment)

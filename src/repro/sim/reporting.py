@@ -220,7 +220,9 @@ def format_decision_trace(
     title: str = "decision trace",
 ) -> str:
     """The per-query decision log as a table (most recent ``limit``)."""
-    tail = list(events)[-limit:] if limit else list(events)
+    tail = (
+        list(events)[-limit:] if limit else list(events)  # repro-lint: allow[RPR007] report rendering reads the caller's bounded event buffer
+    )
     rows = [
         [
             event.index,

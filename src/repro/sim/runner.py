@@ -35,6 +35,7 @@ from repro.faults import FaultEngine, FaultSchedule, ResilientTransport
 from repro.federation.federation import Federation
 from repro.sim.results import SimulationResult, SweepPoint, SweepResult
 from repro.sim.simulator import Simulator
+from repro.workload.stream import QueryStream
 from repro.workload.trace import PreparedTrace
 
 #: The algorithm line-up of Figures 7-10.
@@ -51,7 +52,7 @@ DEFAULT_POLICIES = (
 def build_policy(
     name: str,
     capacity_bytes: int,
-    trace: Union[PreparedTrace, CompiledTrace],
+    trace: Union[PreparedTrace, CompiledTrace, QueryStream],
     federation: Federation,
     granularity: str,
     **kwargs,
@@ -60,11 +61,22 @@ def build_policy(
 
     The static policy's offline selection needs the *raw* per-object
     yield totals; a compiled trace carries them precomputed
-    (``object_totals``), so workers never re-attribute yields.
+    (``object_totals``), and a query stream supplies them from its
+    manifest metadata when it has any (chunked traces do; a bare
+    generated stream would need a counting pass and raises instead).
     """
     if name == "static":
         if isinstance(trace, CompiledTrace):
             yields = dict(trace.object_totals)
+        elif isinstance(trace, QueryStream):
+            totals = trace.object_totals(granularity)
+            if totals is None:
+                raise CacheError(
+                    f"stream {trace.name!r} carries no object totals; "
+                    "the static policy needs them up front — use a "
+                    "chunked trace or a materialized stream"
+                )
+            yields = totals
         else:
             yields = accumulate_object_yields(trace, granularity)
         catalog = shared_catalog(federation)

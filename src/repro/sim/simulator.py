@@ -14,7 +14,7 @@ byte-for-byte by construction (and by test).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, Iterable, Optional, Union
 
 # Re-exported for backwards compatibility: ObjectCatalog historically
 # lived here before the pipeline layer was extracted.
@@ -28,6 +28,8 @@ from repro.core.pipeline import (
 from repro.core.policies.base import CachePolicy
 from repro.federation.federation import Federation
 from repro.sim.results import SimulationResult
+from repro.sim.streaming import SampledSeries
+from repro.workload.stream import QueryStream
 from repro.workload.trace import PreparedQuery, PreparedTrace
 
 if TYPE_CHECKING:
@@ -159,7 +161,7 @@ class Simulator:
             if record_series and (
                 (index + 1) % stride == 0 or index == total - 1
             ):
-                cumulative.append(breakdown.total_bytes)
+                cumulative.append(breakdown.total_bytes)  # repro-lint: allow[RPR007] classic recorder; scale path samples via SampledSeries
             if emit:
                 pipeline.emit_decision(
                     index=index,
@@ -172,6 +174,118 @@ class Simulator:
                 )
 
         result.queries = total
+        return result
+
+    def run_stream(
+        self,
+        stream: Union[QueryStream, Iterable[PreparedQuery]],
+        policy: CachePolicy,
+        record_series: Union[bool, str] = "sampled",
+        transport: Optional["ResilientTransport"] = None,
+        partial_results: bool = False,
+        sequence_bytes: Optional[int] = None,
+    ) -> SimulationResult:
+        """Replay a prepared-query stream without materializing it.
+
+        The constant-memory counterpart of :meth:`run`: queries are
+        lowered one at a time through
+        :meth:`~repro.core.pipeline.DecisionPipeline.iter_compiled`,
+        charged incrementally into the result, and dropped.  Nothing —
+        not the trace, not the compiled events, not the full series —
+        is ever held in full, so peak memory is independent of trace
+        length.  Decisions and WAN totals are byte-identical to
+        :meth:`run` over the same queries (the streaming golden-
+        equivalence suite pins this down); only the cumulative series
+        may differ in resolution, because a stream of unknown length
+        records through an adaptive-stride :class:`SampledSeries`
+        (``record_series="sampled"``, the default at scale) instead of
+        a fixed precomputed stride.
+
+        Args:
+            stream: A re-iterable :class:`~repro.workload.stream.QueryStream`
+                or any iterable of prepared queries (single-pass
+                iterators are fine — this method takes one pass).
+            policy: Any cache policy.
+            record_series: ``"sampled"`` (default) keeps a bounded
+                adaptive-stride series; ``True`` records every query
+                (memory grows with trace length — small traces only);
+                ``False`` records none.
+            transport: Optional resilient transport, as in :meth:`run`.
+            partial_results: As in :meth:`run`.
+            sequence_bytes: The trace's no-cache total, when known up
+                front (stream metadata supplies it for chunked traces);
+                otherwise it is accumulated during the pass.
+        """
+        pipeline = self.pipeline
+        known_sequence: Optional[int] = sequence_bytes
+        if known_sequence is None and isinstance(stream, QueryStream):
+            known_sequence = stream.sequence_bytes
+        result = SimulationResult(
+            policy_name=policy.name,
+            granularity=self.granularity,
+            capacity_bytes=policy.capacity_bytes,
+        )
+        breakdown = result.breakdown
+        cumulative = result.cumulative_bytes
+        series = SampledSeries() if record_series == "sampled" else None
+        emit = pipeline.instrumentation is not None
+        total = 0
+        accumulated_sequence = 0
+
+        for index, event in enumerate(pipeline.iter_compiled(stream)):
+            accumulated_sequence += event.bypass_bytes
+            if transport is None:
+                decision = policy.process(event.query)
+                accounting = pipeline.account(
+                    decision,
+                    bypass_bytes=event.bypass_bytes,
+                    servers=event.servers,
+                )
+                result.charge(accounting, decision)
+                retries = 0
+                outcome = ""
+            else:
+                resolved = pipeline.resolve(
+                    event,
+                    policy,
+                    transport,
+                    tick=index,
+                    partial_results=partial_results,
+                )
+                result.charge_resolved(resolved)
+                decision = resolved.decision
+                accounting = resolved.accounting
+                retries = resolved.retries
+                outcome = resolved.outcome
+            if series is not None:
+                series.observe(breakdown.total_bytes)
+            elif record_series is True:
+                # Full recording: explicit small-trace opt-in, the
+                # stream path's one unbounded structure.
+                cumulative.append(breakdown.total_bytes)  # repro-lint: allow[RPR007] classic recorder; scale path samples via SampledSeries
+            if emit:
+                pipeline.emit_decision(
+                    index=index,
+                    source="simulator",
+                    policy_name=policy.name,
+                    decision=decision,
+                    accounting=accounting,
+                    sql=event.query.sql,
+                    yield_bytes=event.query.yield_bytes,
+                    retries=retries,
+                    outcome=outcome,
+                )
+            total += 1
+
+        result.queries = total
+        result.sequence_bytes = float(
+            known_sequence
+            if known_sequence is not None
+            else accumulated_sequence
+        )
+        if series is not None:
+            result.cumulative_bytes = series.points()
+            result.series_stride = series.stride
         return result
 
     def _run_resilient(
@@ -209,7 +323,7 @@ class Simulator:
             if record_series and (
                 (index + 1) % stride == 0 or index == total - 1
             ):
-                cumulative.append(breakdown.total_bytes)
+                cumulative.append(breakdown.total_bytes)  # repro-lint: allow[RPR007] classic recorder; scale path samples via SampledSeries
             if emit:
                 pipeline.emit_decision(
                     index=index,

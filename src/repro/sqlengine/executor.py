@@ -37,6 +37,7 @@ from repro.sqlengine.planner import (
     plan_select,
 )
 from repro.sqlengine.storage import Table
+from repro.sqlengine.vectorized import filtered_rows as _vector_filtered_rows
 
 
 @dataclass
@@ -166,6 +167,13 @@ def _scan(
         rows, used_predicate = probe
         remaining = [p for p in predicates if p is not used_predicate]
     if rows is None:
+        if remaining:
+            # Columnar fast path: predicate masks over cached numpy
+            # column arrays.  Returns None (numpy absent, expression
+            # not vectorizable) to keep the row-at-a-time path.
+            vectorized = _vector_filtered_rows(table, remaining, layout)
+            if vectorized is not None:
+                return vectorized, layout
         rows = table.materialized_rows()
     if remaining:
         rows = _filter(rows, remaining, layout)
@@ -643,6 +651,22 @@ def _project(
     layout: RowLayout,
     outputs: List[OutputColumn],
 ) -> List[Tuple[Any, ...]]:
+    if outputs and all(
+        isinstance(out.expr, ColumnRef) for out in outputs
+    ):
+        # Pure-column projection (the common case by far): one tuple
+        # slice per row instead of one closure call per cell.
+        positions = [
+            layout.position(out.expr.column, out.expr.table)
+            for out in outputs
+        ]
+        if len(positions) == 1:
+            pos = positions[0]
+            return [(row[pos],) for row in rows]
+        from operator import itemgetter
+
+        getter = itemgetter(*positions)
+        return [getter(row) for row in rows]
     funcs = [compile_expr(out.expr, layout) for out in outputs]
     return [tuple(func(row) for func in funcs) for row in rows]
 

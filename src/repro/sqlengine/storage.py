@@ -31,6 +31,10 @@ class Table:
         self._row_count = 0
         self._materialized: Optional[List[Tuple[Any, ...]]] = None
         self._indexes: Dict[str, Dict[Any, List[int]]] = {}
+        #: Monotonic data version; bumped on every insert so derived
+        #: caches (e.g. the vectorized executor's column arrays) can
+        #: detect staleness without hashing the data.
+        self.version = 0
 
     @property
     def name(self) -> str:
@@ -72,6 +76,7 @@ class Table:
                 index.setdefault(value, []).append(self._row_count)
         self._row_count += 1
         self._materialized = None
+        self.version += 1
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
         """Append many rows; returns the number inserted."""

@@ -1,0 +1,340 @@
+"""Vectorized columnar scans: predicate masks over numpy column arrays.
+
+The row-at-a-time executor evaluates compiled closures per row — clean,
+but the scan+filter stage dominates exact-yield execution on large
+tables.  This module evaluates a scan's pushed-down predicates over
+whole columns at once: each table column is lowered to a numpy array
+(plus a NULL mask) once and cached until the table changes, and the
+conjunction of predicates becomes one boolean mask whose surviving row
+indices drive tuple construction.
+
+SQL three-valued logic is preserved exactly: every boolean expression
+evaluates to a pair of masks ``(true, unknown)``, mirroring the
+row-path's ``True``/``None``/``False`` trichotomy, and only
+definitely-true rows survive a filter — identical to
+``executor._filter``'s ``is True`` check.
+
+The module degrades gracefully, never wrongly:
+
+* without numpy (:data:`HAVE_NUMPY` false) every entry point returns
+  ``None`` and the caller keeps the pure-Python row path;
+* expression forms that do not vectorize (LIKE, scalar function calls)
+  raise :class:`Unvectorizable` internally and the whole scan falls
+  back;
+* integer columns whose magnitude exceeds the float64-exact range
+  (2**53) are kept as object arrays so comparisons never lose
+  precision.
+
+Equivalence with the row path is pinned down by the differential suite
+in ``tests/sqlengine/test_vectorized.py``.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.sqlengine.ast_nodes import (
+    BetweenOp,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    InOp,
+    IsNullOp,
+    Literal,
+    UnaryOp,
+)
+from repro.sqlengine.expressions import RowLayout
+from repro.sqlengine.storage import Table
+
+try:  # pragma: no cover - exercised via both CI environments
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None  # type: ignore[assignment]
+
+HAVE_NUMPY = _np is not None
+
+__all__ = ["HAVE_NUMPY", "Unvectorizable", "filtered_rows"]
+
+#: Largest integer float64 represents exactly; beyond it int columns
+#: stay as object arrays rather than risk lossy comparisons.
+_FLOAT64_EXACT = 2 ** 53
+
+
+class Unvectorizable(Exception):
+    """Internal: this expression has no vector form; use the row path."""
+
+
+class _ColumnVector:
+    """One column lowered to arrays: values plus a NULL mask."""
+
+    __slots__ = ("values", "nulls")
+
+    def __init__(self, values: Any, nulls: Any) -> None:
+        self.values = values
+        self.nulls = nulls
+
+
+# Per-table cache of lowered columns, invalidated by Table.version.
+# Keyed weakly so dropping a catalog drops its arrays.
+_VECTOR_CACHE: "weakref.WeakKeyDictionary[Table, Tuple[int, Dict[str, _ColumnVector]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _lower_column(values: Sequence[Any]) -> _ColumnVector:
+    """Build the (values, nulls) arrays for one column."""
+    nulls = _np.fromiter(
+        (value is None for value in values), dtype=bool, count=len(values)
+    )
+    has_null = bool(nulls.any())
+    kinds = {type(value) for value in values if value is not None}
+    if kinds <= {int}:
+        peak = max(
+            (abs(value) for value in values if value is not None),
+            default=0,
+        )
+        if peak <= _FLOAT64_EXACT:
+            filled = (
+                [0 if value is None else value for value in values]
+                if has_null
+                else values
+            )
+            array = _np.fromiter(
+                filled, dtype=_np.int64, count=len(values)
+            )
+            return _ColumnVector(array, nulls)
+    elif kinds <= {int, float}:
+        peak = max(
+            (
+                abs(value)
+                for value in values
+                if isinstance(value, int)
+            ),
+            default=0,
+        )
+        if peak <= _FLOAT64_EXACT:
+            filled = (
+                [0.0 if value is None else value for value in values]
+                if has_null
+                else values
+            )
+            array = _np.fromiter(
+                filled, dtype=_np.float64, count=len(values)
+            )
+            return _ColumnVector(array, nulls)
+    array = _np.empty(len(values), dtype=object)
+    for position, value in enumerate(values):
+        array[position] = value
+    return _ColumnVector(array, nulls)
+
+
+def _table_vectors(table: Table) -> Dict[str, _ColumnVector]:
+    cached = _VECTOR_CACHE.get(table)
+    if cached is not None and cached[0] == table.version:
+        return cached[1]
+    vectors: Dict[str, _ColumnVector] = {}
+    _VECTOR_CACHE[table] = (table.version, vectors)
+    return vectors
+
+
+def _column_vector(table: Table, key: str) -> _ColumnVector:
+    vectors = _table_vectors(table)
+    vector = vectors.get(key)
+    if vector is None:
+        vector = _lower_column(table.column_values(key))
+        vectors[key] = vector
+    return vector
+
+
+# ----------------------------------------------------------------------
+# Expression evaluation
+# ----------------------------------------------------------------------
+#
+# Value expressions evaluate to (values, nulls); boolean expressions to
+# (true_mask, unknown_mask).  Scalars (from literals) stay scalar until
+# an operation mixes them with an array — numpy broadcasting does the
+# rest.
+
+
+class _Evaluator:
+    def __init__(self, table: Table, layout: RowLayout) -> None:
+        self._table = table
+        self._layout = layout
+        self._count = table.row_count
+
+    def _false(self) -> Any:
+        return _np.zeros(self._count, dtype=bool)
+
+    def value(self, expr: Expr) -> Tuple[Any, Any]:
+        """Evaluate a value expression to (values, null-mask)."""
+        if isinstance(expr, Literal):
+            if expr.value is None:
+                return 0, True
+            return expr.value, False
+        if isinstance(expr, ColumnRef):
+            position = self._layout.position(expr.column, expr.table)
+            key = self._table.schema.columns[position].key
+            vector = _column_vector(self._table, key)
+            return vector.values, vector.nulls
+        if isinstance(expr, UnaryOp) and expr.op == "-":
+            values, nulls = self.value(expr.operand)
+            return -values, nulls
+        if isinstance(expr, BinaryOp) and expr.op in "+-*/%":
+            left, left_nulls = self.value(expr.left)
+            right, right_nulls = self.value(expr.right)
+            nulls = left_nulls | right_nulls
+            if expr.op == "+":
+                return left + right, nulls
+            if expr.op == "-":
+                return left - right, nulls
+            if expr.op == "*":
+                return left * right, nulls
+            # Division and modulo NULL out on zero divisors, like the
+            # row path.
+            zero = right == 0
+            safe = _np.where(zero, 1, right) if zero is not False else right
+            if expr.op == "/":
+                result = left / safe
+            else:
+                result = left % safe
+            return result, nulls | zero
+        raise Unvectorizable(repr(expr))
+
+    def boolean(self, expr: Expr) -> Tuple[Any, Any]:
+        """Evaluate a predicate to (true-mask, unknown-mask)."""
+        if isinstance(expr, BinaryOp):
+            op = expr.op
+            if op == "and":
+                lt, lu = self.boolean(expr.left)
+                rt, ru = self.boolean(expr.right)
+                true = lt & rt
+                false = (~lt & ~lu) | (~rt & ~ru)
+                return true, ~true & ~false
+            if op == "or":
+                lt, lu = self.boolean(expr.left)
+                rt, ru = self.boolean(expr.right)
+                true = lt | rt
+                false = (~lt & ~lu) & (~rt & ~ru)
+                return true, ~true & ~false
+            if op in ("=", "<>", "<", "<=", ">", ">="):
+                return self._compare(expr)
+            raise Unvectorizable(repr(expr))
+        if isinstance(expr, UnaryOp) and expr.op == "not":
+            true, unknown = self.boolean(expr.operand)
+            return ~true & ~unknown, unknown
+        if isinstance(expr, BetweenOp):
+            values, nulls = self.value(expr.operand)
+            low, low_nulls = self.value(expr.low)
+            high, high_nulls = self.value(expr.high)
+            unknown = _mask(nulls | low_nulls | high_nulls, self._count)
+            inside = _as_bool((low <= values) & (values <= high))
+            if expr.negated:
+                inside = ~inside
+            return _mask(inside, self._count) & ~unknown, unknown
+        if isinstance(expr, InOp):
+            return self._contains(expr)
+        if isinstance(expr, IsNullOp):
+            values_nulls = self.value(expr.operand)[1]
+            nulls = _mask(values_nulls, self._count)
+            true = ~nulls if expr.negated else nulls
+            return true, self._false()
+        raise Unvectorizable(repr(expr))
+
+    def _compare(self, expr: BinaryOp) -> Tuple[Any, Any]:
+        left, left_nulls = self.value(expr.left)
+        right, right_nulls = self.value(expr.right)
+        op = expr.op
+        if op == "=":
+            raw = left == right
+        elif op == "<>":
+            raw = left != right
+        elif op == "<":
+            raw = left < right
+        elif op == "<=":
+            raw = left <= right
+        elif op == ">":
+            raw = left > right
+        else:
+            raw = left >= right
+        unknown = _mask(left_nulls | right_nulls, self._count)
+        return _mask(_as_bool(raw), self._count) & ~unknown, unknown
+
+    def _contains(self, expr: InOp) -> Tuple[Any, Any]:
+        values, nulls = self.value(expr.operand)
+        candidates: List[Any] = []
+        has_null_item = False
+        for item in expr.items:
+            if not isinstance(item, Literal):
+                raise Unvectorizable(repr(item))
+            if item.value is None:
+                has_null_item = True
+            else:
+                candidates.append(item.value)
+        found = self._false()
+        for candidate in candidates:
+            found = found | _mask(
+                _as_bool(values == candidate), self._count
+            )
+        unknown = _mask(nulls, self._count)
+        if has_null_item:
+            # value IN (..., NULL): misses become UNKNOWN, not FALSE.
+            unknown = unknown | ~found
+        true = found & ~unknown
+        if expr.negated:
+            return ~found & ~unknown, unknown
+        return true, unknown
+
+
+def _as_bool(raw: Any) -> Any:
+    """Comparisons over object arrays yield object dtype; normalize."""
+    if isinstance(raw, _np.ndarray) and raw.dtype == object:
+        return raw.astype(bool)
+    return raw
+
+
+def _mask(value: Any, count: int) -> Any:
+    """Broadcast scalar booleans up to a full mask."""
+    if isinstance(value, _np.ndarray):
+        return value
+    return (
+        _np.ones(count, dtype=bool)
+        if value
+        else _np.zeros(count, dtype=bool)
+    )
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+
+def filtered_rows(
+    table: Table,
+    predicates: Sequence[Expr],
+    layout: RowLayout,
+) -> Optional[List[Tuple[Any, ...]]]:
+    """Rows of ``table`` satisfying every predicate, or ``None``.
+
+    ``None`` means "not vectorizable here" — numpy missing, an
+    unsupported expression form, or a type error the row path knows how
+    to report; the caller must then run the ordinary scan+filter.  A
+    returned list is exact: the same rows, in the same order, as
+    ``_filter(materialized_rows(), predicates)``.
+    """
+    if not HAVE_NUMPY or not predicates or table.row_count == 0:
+        return None
+    try:
+        evaluator = _Evaluator(table, layout)
+        mask: Optional[Any] = None
+        for predicate in predicates:
+            true, _unknown = evaluator.boolean(predicate)
+            mask = true if mask is None else mask & true
+    except Unvectorizable:
+        return None
+    except (TypeError, ValueError):
+        # Mixed-type comparisons the row path reports as execution
+        # errors; let it produce the message.
+        return None
+    rows = table.materialized_rows()
+    return [rows[index] for index in _np.nonzero(mask)[0]]

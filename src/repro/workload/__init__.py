@@ -26,7 +26,22 @@ from repro.workload.locality import (
     analyze_locality,
     referenced_objects,
 )
-from repro.workload.prepare import estimate_trace, prepare_trace
+from repro.workload.chunks import (
+    ChunkedTrace,
+    ChunkManifest,
+    write_chunked,
+)
+from repro.workload.generator import iter_trace_records
+from repro.workload.prepare import (
+    estimate_trace,
+    iter_prepared,
+    prepare_trace,
+)
+from repro.workload.stream import (
+    GeneratedStream,
+    MaterializedStream,
+    QueryStream,
+)
 from repro.workload.stats import (
     TraceStats,
     YieldStats,
@@ -52,8 +67,13 @@ from repro.workload.trace import (
 )
 
 __all__ = [
+    "ChunkManifest",
+    "ChunkedTrace",
     "ContainmentReport",
+    "GeneratedStream",
     "LocalityReport",
+    "MaterializedStream",
+    "QueryStream",
     "MEDIUM",
     "PROFILES",
     "PreparedQuery",
@@ -78,8 +98,11 @@ __all__ = [
     "estimate_trace",
     "format_stats",
     "generate_trace",
+    "iter_prepared",
+    "iter_trace_records",
     "prepare_trace",
     "trace_stats",
     "referenced_objects",
+    "write_chunked",
     "yield_stats",
 ]

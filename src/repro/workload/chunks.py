@@ -1,0 +1,263 @@
+"""Stable on-disk chunked trace format.
+
+A chunked trace is a directory of bounded JSONL chunk files plus a
+``manifest.json`` carrying everything a replay needs *before* reading a
+single query: length, sequence bytes, content fingerprint, and the
+per-object yield totals at both granularities (so the static policy's
+offline selection never forces a counting pass).  Layout::
+
+    <dir>/
+      manifest.json
+      chunk-00000.jsonl
+      chunk-00001.jsonl
+      ...
+
+Chunk files hold :class:`~repro.workload.trace.PreparedQuery` JSON
+lines, at most ``chunk_size`` per file.  The manifest fingerprint is the
+same SHA-256 over canonical query lines that
+:func:`~repro.workload.trace.fingerprint_queries` computes, so a chunked
+trace, the JSONL file it came from, and a regenerated in-memory trace
+all agree on identity — which is what keys the compiled-trace memo.
+
+Writing is single-pass and constant-memory: queries stream in, chunks
+roll over at the size bound, and the summary statistics accumulate
+incrementally (the totals dicts are bounded by the object universe, a
+few dozen entries, not by trace length).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Dict, Iterable, Iterator, List, Optional, Union
+
+from repro.errors import WorkloadError
+from repro.workload.stream import QueryStream
+from repro.workload.trace import (
+    PreparedQuery,
+    PreparedTrace,
+    canonical_query_line,
+)
+
+#: Format tag written into every manifest; bump on incompatible change.
+CHUNK_FORMAT = "repro-chunked-trace/1"
+
+#: Default queries per chunk file.
+DEFAULT_CHUNK_SIZE = 10_000
+
+_GRANULARITIES = ("table", "column")
+
+
+@dataclass(frozen=True)
+class ChunkInfo:
+    """One chunk file of a chunked trace."""
+
+    file: str
+    count: int
+
+
+@dataclass
+class ChunkManifest:
+    """Summary metadata for a chunked trace directory."""
+
+    name: str
+    num_queries: int
+    sequence_bytes: int
+    fingerprint: str
+    chunk_size: int
+    chunks: List[ChunkInfo] = field(default_factory=list)
+    object_totals: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "format": CHUNK_FORMAT,
+            "name": self.name,
+            "num_queries": self.num_queries,
+            "sequence_bytes": self.sequence_bytes,
+            "fingerprint": self.fingerprint,
+            "chunk_size": self.chunk_size,
+            "chunks": [
+                {"file": chunk.file, "count": chunk.count}
+                for chunk in self.chunks
+            ],
+            "object_totals": self.object_totals,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "ChunkManifest":
+        tag = data.get("format")
+        if tag != CHUNK_FORMAT:
+            raise WorkloadError(
+                f"unsupported chunked-trace format {tag!r}; "
+                f"expected {CHUNK_FORMAT!r}"
+            )
+        try:
+            return cls(
+                name=str(data["name"]),
+                num_queries=int(data["num_queries"]),
+                sequence_bytes=int(data["sequence_bytes"]),
+                fingerprint=str(data["fingerprint"]),
+                chunk_size=int(data["chunk_size"]),
+                chunks=[
+                    ChunkInfo(
+                        file=str(entry["file"]), count=int(entry["count"])
+                    )
+                    for entry in list(data["chunks"])
+                ],
+                object_totals={
+                    str(granularity): {
+                        str(k): float(v) for k, v in dict(totals).items()
+                    }
+                    for granularity, totals in dict(
+                        data["object_totals"]
+                    ).items()
+                },
+            )
+        except KeyError as exc:
+            raise WorkloadError(f"manifest missing field: {exc}") from exc
+
+
+def write_chunked(
+    directory: Union[str, Path],
+    name: str,
+    queries: Iterable[PreparedQuery],
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> ChunkManifest:
+    """Stream ``queries`` into a chunked trace directory.
+
+    Single pass, constant memory: at no point does more than one query
+    (plus the bounded summary accumulators) live in memory.  Returns the
+    manifest, which is also written as ``manifest.json``.
+    """
+    if chunk_size <= 0:
+        raise WorkloadError("chunk_size must be positive")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    hasher = hashlib.sha256()
+    totals: Dict[str, Dict[str, float]] = {
+        granularity: {} for granularity in _GRANULARITIES
+    }
+    chunks: List[ChunkInfo] = []
+    num_queries = 0
+    sequence_bytes = 0
+    handle: Optional[IO[str]] = None
+    in_chunk = 0
+
+    def seal_chunk() -> None:
+        """Close the open chunk file and record it in the manifest."""
+        nonlocal handle, in_chunk
+        if handle is None:
+            return
+        handle.close()
+        handle = None
+        chunks.append(
+            ChunkInfo(file=f"chunk-{len(chunks):05d}.jsonl", count=in_chunk)
+        )
+        in_chunk = 0
+
+    try:
+        for query in queries:
+            if handle is None:
+                path = directory / f"chunk-{len(chunks):05d}.jsonl"
+                handle = path.open("w", encoding="utf-8")
+            line = canonical_query_line(query)
+            hasher.update(line)
+            hasher.update(b"\n")
+            handle.write(line.decode("utf-8") + "\n")
+            num_queries += 1
+            in_chunk += 1
+            sequence_bytes += query.bypass_bytes
+            for granularity in _GRANULARITIES:
+                bucket = totals[granularity]
+                for object_id, share in query.object_yields(
+                    granularity
+                ).items():
+                    bucket[object_id] = bucket.get(object_id, 0.0) + share
+            if in_chunk >= chunk_size:
+                seal_chunk()
+        seal_chunk()
+    finally:
+        if handle is not None:
+            handle.close()
+
+    manifest = ChunkManifest(
+        name=name,
+        num_queries=num_queries,
+        sequence_bytes=sequence_bytes,
+        fingerprint=hasher.hexdigest(),
+        chunk_size=chunk_size,
+        chunks=chunks,
+        object_totals=totals,
+    )
+    manifest_path = directory / "manifest.json"
+    with manifest_path.open("w", encoding="utf-8") as out:
+        json.dump(manifest.to_json(), out, indent=2, sort_keys=True)
+        out.write("\n")
+    return manifest
+
+
+class ChunkedTrace(QueryStream):
+    """A chunked trace directory viewed as a re-iterable query stream.
+
+    Iteration reads one chunk line at a time; memory is bounded by the
+    longest single line, not the trace.  All replay metadata (length,
+    sequence bytes, fingerprint, static-policy object totals) comes from
+    the manifest without touching a chunk.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        manifest_path = self.directory / "manifest.json"
+        if not manifest_path.exists():
+            raise WorkloadError(
+                f"{self.directory} is not a chunked trace "
+                f"(no manifest.json)"
+            )
+        with manifest_path.open("r", encoding="utf-8") as handle:
+            self.manifest = ChunkManifest.from_json(json.load(handle))
+        self.name = self.manifest.name
+
+    def __iter__(self) -> Iterator[PreparedQuery]:
+        for chunk in self.manifest.chunks:
+            path = self.directory / chunk.file
+            with path.open("r", encoding="utf-8") as handle:
+                for line_no, line in enumerate(handle):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        data = json.loads(line)
+                    except json.JSONDecodeError as exc:
+                        raise WorkloadError(
+                            f"{path}:{line_no + 1}: invalid JSON"
+                        ) from exc
+                    yield PreparedQuery.from_json(data)
+
+    @property
+    def num_queries(self) -> Optional[int]:
+        return self.manifest.num_queries
+
+    @property
+    def sequence_bytes(self) -> Optional[int]:
+        return self.manifest.sequence_bytes
+
+    @property
+    def fingerprint(self) -> Optional[str]:
+        return self.manifest.fingerprint
+
+    def object_totals(self, granularity: str) -> Optional[Dict[str, float]]:
+        totals = self.manifest.object_totals.get(granularity)
+        if totals is None:
+            return None
+        return dict(totals)
+
+    def load(self) -> PreparedTrace:
+        """Materialize the whole trace (classic sweeps on small traces)."""
+        trace = PreparedTrace(
+            name=self.name, queries=list(self)  # repro-lint: allow[RPR007] load() is the documented small-trace materializer
+        )
+        trace.fingerprint = self.manifest.fingerprint
+        return trace

@@ -103,12 +103,12 @@ def analyze_containment(
         if ids and ids <= window_ids:
             report.contained_queries += 1
         for obj_id in ids:
-            report.points.append((analyzed, obj_id))
+            report.points.append((analyzed, obj_id))  # repro-lint: allow[RPR007] containment analysis materializes reference points by design
             if obj_id in first_seen:
                 reused.add(obj_id)
             else:
                 first_seen[obj_id] = analyzed
-        recent.append(ids)
+        recent.append(ids)  # repro-lint: allow[RPR007] deque is bounded by the containment window
 
     report.total_queries = analyzed
     report.distinct_ids = len(first_seen)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import WorkloadError
 from repro.workload.sdss_schema import SMALL, ScaleProfile
@@ -117,10 +117,21 @@ class TraceConfig:
         return FLAVOR_SEEDS.get(self.flavor, 7)
 
 
-def generate_trace(
+def trace_name(config: TraceConfig) -> str:
+    """The canonical trace name for a generation config."""
+    return f"{config.flavor}-{config.num_queries}"
+
+
+def iter_trace_records(
     config: TraceConfig, profile: ScaleProfile = SMALL
-) -> Trace:
-    """Generate a trace with the configured locality structure."""
+) -> Iterator[TraceRecord]:
+    """Stream the configured trace one record at a time.
+
+    This is the constant-memory spelling of :func:`generate_trace`: the
+    same seeded RNG draws in the same order, so materializing the
+    iterator reproduces the batch result record for record.  Million-
+    query traces iterate here without ever holding more than one record.
+    """
     rng = random.Random(config.resolved_seed())
     weights = config.resolved_weights()
     cursor = RegionCursor(rng)
@@ -130,7 +141,6 @@ def generate_trace(
         total = sum(weights.values())
         weights = {k: v / total for k, v in weights.items()}
 
-    trace = Trace(name=f"{config.flavor}-{config.num_queries}")
     theme = _draw_theme(weights, rng)
     switch_prob = 1.0 / config.mean_dwell
     for index in range(config.num_queries):
@@ -143,14 +153,21 @@ def generate_trace(
             template = pick_template(theme, rng)
             record_theme = theme
         sql = template.build(rng, cursor, profile)
-        trace.append(
-            TraceRecord(
-                index=index,
-                sql=sql,
-                template=template.name,
-                theme=record_theme,
-            )
+        yield TraceRecord(
+            index=index,
+            sql=sql,
+            template=template.name,
+            theme=record_theme,
         )
+
+
+def generate_trace(
+    config: TraceConfig, profile: ScaleProfile = SMALL
+) -> Trace:
+    """Generate a trace with the configured locality structure."""
+    trace = Trace(name=trace_name(config))
+    for record in iter_trace_records(config, profile):
+        trace.append(record)  # repro-lint: allow[RPR007] batch API for classic sweeps; scale path streams iter_trace_records
     return trace
 
 

@@ -5,11 +5,17 @@ Usage::
     python -m repro.workload.make_trace --flavor edr -n 5000 -o edr.jsonl
     python -m repro.workload.make_trace --flavor dr1 -n 2000 \\
         --profile medium --prepare -o dr1.jsonl
+    python -m repro.workload.make_trace --flavor edr -n 1000000 \\
+        --yields estimated --chunked traces/edr-1m
 
 ``--prepare`` executes every query against a freshly built synthetic
 federation and writes a second file (``<output>.prepared.jsonl``)
 carrying measured yields and per-object attributions, ready for the
-simulator.
+simulator.  ``--yields estimated`` swaps execution for catalog
+statistics (O(plans) preparation).  ``--chunked DIR`` streams the
+generate→prepare pipeline straight into the chunked on-disk format with
+one query in memory at a time — the only mode that scales to 10^6
+queries.
 """
 
 from __future__ import annotations
@@ -19,21 +25,25 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.core.yield_model import YIELD_MODES, make_yield_source
 from repro.federation.federation import Federation
 from repro.federation.mediator import Mediator
 from repro.federation.server import DatabaseServer
+from repro.workload.chunks import DEFAULT_CHUNK_SIZE, write_chunked
 from repro.workload.generator import (
     FLAVOR_THEME_WEIGHTS,
     TraceConfig,
     generate_trace,
 )
 from repro.workload.prepare import prepare_trace
-from repro.workload.stats import format_stats, trace_stats, yield_stats
 from repro.workload.sdss_schema import (
     PROFILES,
+    ScaleProfile,
     build_first_catalog,
     build_sdss_catalog,
 )
+from repro.workload.stats import format_stats, trace_stats, yield_stats
+from repro.workload.stream import GeneratedStream
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,7 +59,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "-n", "--num-queries", type=int, default=5000,
-        help="number of queries to generate",
+        help="number of queries to generate (up to 10^6 with --chunked)",
     )
     parser.add_argument(
         "--profile",
@@ -71,12 +81,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--prepare", action="store_true",
-        help="also execute every query and write measured yields",
+        help="also measure every query's yield and write it alongside",
     )
     parser.add_argument(
-        "-o", "--output", required=True, help="output trace path (JSONL)"
+        "--yields",
+        default="exact",
+        choices=list(YIELD_MODES),
+        help="yield source for --prepare/--chunked: execute each query "
+        "(exact) or estimate from catalog statistics (estimated)",
+    )
+    parser.add_argument(
+        "--chunked",
+        metavar="DIR",
+        default=None,
+        help="stream generate+prepare into a chunked trace directory "
+        "(constant memory; implies preparation)",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
+        help="queries per chunk file in --chunked mode",
+    )
+    parser.add_argument(
+        "-o", "--output", default=None,
+        help="output trace path (JSONL); required unless --chunked",
     )
     return parser
+
+
+def _build_mediator(profile: ScaleProfile) -> Mediator:
+    federation = Federation.single_site(build_sdss_catalog(profile), "sdss")
+    federation.add_server(
+        DatabaseServer("first", build_first_catalog(profile))
+    )
+    return Mediator(federation)
+
+
+def run_chunked(
+    args: argparse.Namespace, config: TraceConfig, profile: ScaleProfile
+) -> int:
+    """The constant-memory path: generate→prepare→chunk, one query at a time."""
+    mediator = _build_mediator(profile)
+    source = make_yield_source(args.yields, mediator=mediator)
+    stream = GeneratedStream(config, mediator, source, profile)
+    manifest = write_chunked(
+        Path(args.chunked), stream.name, iter(stream), args.chunk_size
+    )
+    print(
+        f"wrote {manifest.num_queries} queries "
+        f"({len(manifest.chunks)} chunks, yields={args.yields}) "
+        f"to {args.chunked}"
+    )
+    print(
+        f"sequence cost {manifest.sequence_bytes / 1e6:.2f} MB, "
+        f"fingerprint {manifest.fingerprint[:16]}…"
+    )
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -89,6 +148,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         mean_dwell=args.mean_dwell,
         cold_prob=args.cold_prob,
     )
+    if args.chunked is not None:
+        return run_chunked(args, config, profile)
+    if args.output is None:
+        print("error: -o/--output is required unless --chunked", file=sys.stderr)
+        return 2
+
     trace = generate_trace(config, profile)
     output = Path(args.output)
     trace.save(output)
@@ -96,18 +161,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(format_stats(trace_stats(trace)))
 
     if args.prepare:
-        federation = Federation.single_site(
-            build_sdss_catalog(profile), "sdss"
-        )
-        federation.add_server(
-            DatabaseServer("first", build_first_catalog(profile))
-        )
-        mediator = Mediator(federation)
-        prepared = prepare_trace(trace, mediator)
+        mediator = _build_mediator(profile)
+        source = make_yield_source(args.yields, mediator=mediator)
+        prepared = prepare_trace(trace, mediator, source=source)
         prepared_path = output.with_suffix(output.suffix + ".prepared.jsonl")
         prepared.save(prepared_path)
         print(
-            f"wrote measured yields to {prepared_path} "
+            f"wrote {args.yields} yields to {prepared_path} "
             f"(sequence cost {prepared.sequence_bytes / 1e6:.2f} MB)"
         )
         print(format_stats(trace_stats(trace), yield_stats(prepared)))

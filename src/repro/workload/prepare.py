@@ -1,86 +1,106 @@
-"""Trace preparation: execute every query once and record its yields.
+"""Trace preparation: measure (or estimate) every query's yield once.
 
 The paper measures yields "by re-executing the traces with the server";
-we do the same against the synthetic federation, then persist the
+we do the same against the synthetic federation through
+:class:`~repro.core.yield_model.ExactYieldSource`, then persist the
 measurements so that the many simulator runs of the cache-size sweeps
-never touch SQL again.
+never touch SQL again.  The estimated source swaps execution for
+catalog statistics without changing anything downstream.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Iterable, Iterator, Optional
 
 from repro.core.yield_model import (
+    ExactYieldSource,
+    YieldSource,
     attribute_yield_columns,
     attribute_yield_tables,
+    make_yield_source,
 )
 from repro.federation.mediator import Mediator
 from repro.sqlengine.statistics import YieldEstimator
-from repro.workload.trace import PreparedQuery, PreparedTrace, Trace
+from repro.workload.trace import (
+    PreparedQuery,
+    PreparedTrace,
+    Trace,
+    TraceRecord,
+)
+
+
+def prepare_query(
+    record: TraceRecord, mediator: Mediator, source: YieldSource
+) -> PreparedQuery:
+    """Plan, measure, and attribute one raw trace record."""
+    plan = mediator.plan(record.sql)
+    servers = tuple(mediator.servers_for_plan(plan))
+    measured = source.measure(record.sql, plan, servers)
+    return PreparedQuery(
+        index=record.index,
+        sql=record.sql,
+        template=record.template,
+        yield_bytes=measured.yield_bytes,
+        bypass_bytes=measured.bypass_bytes,
+        table_yields=attribute_yield_tables(plan, measured.yield_bytes),
+        column_yields=attribute_yield_columns(plan, measured.yield_bytes),
+        servers=servers,
+    )
+
+
+def iter_prepared(
+    records: Iterable[TraceRecord],
+    mediator: Mediator,
+    source: YieldSource,
+) -> Iterator[PreparedQuery]:
+    """Stream prepared queries one at a time — the constant-memory path.
+
+    Million-query runs chain the generator's record iterator into this
+    and never hold more than one prepared query; ``prepare_trace`` is
+    the materializing wrapper for the classic sweeps.
+    """
+    for record in records:
+        yield prepare_query(record, mediator, source)
 
 
 def prepare_trace(
     trace: Trace,
     mediator: Mediator,
     progress: Optional[Callable[[int, int], None]] = None,
+    source: Optional[YieldSource] = None,
 ) -> PreparedTrace:
-    """Execute and measure every query of ``trace``.
+    """Measure every query of ``trace`` (exactly, unless told otherwise).
 
     Args:
         trace: Raw trace.
         mediator: Federation front-end used for evaluation.  No WAN
             traffic is charged during preparation.
         progress: Optional callback ``(done, total)``.
+        source: Yield source; defaults to executing each query
+            (:class:`~repro.core.yield_model.ExactYieldSource`).
 
     Returns:
         A :class:`~repro.workload.trace.PreparedTrace` carrying per-query
         yields and per-object attributions at both granularities.
     """
+    if source is None:
+        source = ExactYieldSource(mediator)
     prepared = PreparedTrace(name=trace.name)
     total = len(trace)
     for done, record in enumerate(trace, start=1):
-        plan = mediator.plan(record.sql)
-        result = mediator.evaluate(record.sql, plan)
-        yield_bytes = result.byte_size
-        servers = tuple(mediator.servers_for_plan(plan))
-        if len(servers) <= 1:
-            bypass_bytes = yield_bytes
-        else:
-            bypass_bytes = _multi_server_bypass_bytes(
-                mediator, record.sql, plan, result
-            )
-        prepared.queries.append(
-            PreparedQuery(
-                index=record.index,
-                sql=record.sql,
-                template=record.template,
-                yield_bytes=yield_bytes,
-                bypass_bytes=bypass_bytes,
-                table_yields=attribute_yield_tables(plan, yield_bytes),
-                column_yields=attribute_yield_columns(plan, yield_bytes),
-                servers=servers,
-            )
+        prepared.queries.append(  # repro-lint: allow[RPR007] batch preparation API; scale path uses GeneratedStream
+            prepare_query(record, mediator, source)
         )
         if progress is not None:
             progress(done, total)
+    prepared.compute_fingerprint()
     return prepared
-
-
-def _multi_server_bypass_bytes(
-    mediator: Mediator, sql: str, plan, result
-) -> int:
-    """Measure the decomposed shipping cost without polluting the ledger."""
-    snapshot = mediator.ledger.snapshot()
-    federated = mediator.bypass(sql, plan, result)
-    # Roll the ledger back: preparation must be accounting-neutral.
-    mediator.ledger.restore(snapshot)
-    return federated.wan_bytes
 
 
 def estimate_trace(
     trace: Trace,
     mediator: Mediator,
-    estimator: YieldEstimator,
+    estimator: Optional[YieldEstimator] = None,
 ) -> PreparedTrace:
     """Statistics-only trace preparation: no query is executed.
 
@@ -90,20 +110,13 @@ def estimate_trace(
     ablation benchmark quantifies what the cache loses to the
     estimation error.
     """
+    source = make_yield_source(
+        "estimated", mediator=mediator, estimator=estimator
+    )
     prepared = PreparedTrace(name=f"{trace.name}-estimated")
     for record in trace:
-        plan = mediator.plan(record.sql)
-        estimated = int(round(estimator.estimate_yield(plan)))
-        prepared.queries.append(
-            PreparedQuery(
-                index=record.index,
-                sql=record.sql,
-                template=record.template,
-                yield_bytes=estimated,
-                bypass_bytes=estimated,
-                table_yields=attribute_yield_tables(plan, estimated),
-                column_yields=attribute_yield_columns(plan, estimated),
-                servers=tuple(mediator.servers_for_plan(plan)),
-            )
+        prepared.queries.append(  # repro-lint: allow[RPR007] batch preparation API; scale path uses GeneratedStream
+            prepare_query(record, mediator, source)
         )
+    prepared.compute_fingerprint()
     return prepared

@@ -10,6 +10,7 @@ Figures 9-10 tractable.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -169,10 +170,21 @@ class PreparedQuery:
 
 @dataclass
 class PreparedTrace:
-    """A trace whose every query has been executed and measured."""
+    """A trace whose every query has been executed and measured.
+
+    ``fingerprint`` is an optional *content* identity: two
+    :class:`PreparedTrace` objects carrying the same fingerprint hold the
+    same queries byte for byte, however they were (re)built — loaded
+    twice from the same file, regenerated from the same seeded config,
+    or streamed out of the same chunked directory.  Consumers that
+    memoize per trace (the compiled-trace cache) key on the fingerprint
+    when present instead of object identity, which is wrong for
+    regenerated traces.
+    """
 
     name: str
     queries: List[PreparedQuery] = field(default_factory=list)
+    fingerprint: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.queries)
@@ -184,6 +196,11 @@ class PreparedTrace:
     def sequence_bytes(self) -> int:
         """The 'sequence cost': total bypass bytes with no cache at all."""
         return sum(query.bypass_bytes for query in self.queries)
+
+    def compute_fingerprint(self) -> str:
+        """Compute (and remember) the content fingerprint of this trace."""
+        self.fingerprint = fingerprint_queries(self.queries)
+        return self.fingerprint
 
     def save(self, path: Union[str, Path]) -> None:
         path = Path(path)
@@ -212,4 +229,26 @@ class PreparedTrace:
                     name = str(data["prepared_trace"])
                     continue
                 queries.append(PreparedQuery.from_json(data))
-        return cls(name=name, queries=queries)
+        trace = cls(name=name, queries=queries)
+        trace.compute_fingerprint()
+        return trace
+
+
+def canonical_query_line(query: PreparedQuery) -> bytes:
+    """The canonical byte serialization of one prepared query.
+
+    Both the whole-trace fingerprint and the chunked-format manifest
+    hash feed these lines into SHA-256, so a trace loaded from JSONL, a
+    regenerated seeded stream, and a chunked directory all agree on
+    identity when their queries agree.
+    """
+    return json.dumps(query.to_json(), sort_keys=True).encode("utf-8")
+
+
+def fingerprint_queries(queries: Iterable[PreparedQuery]) -> str:
+    """Content hash of a prepared-query sequence (order-sensitive)."""
+    hasher = hashlib.sha256()
+    for query in queries:
+        hasher.update(canonical_query_line(query))
+        hasher.update(b"\n")
+    return hasher.hexdigest()

@@ -1,0 +1,30 @@
+"""Seeded RPR007 violations: streaming paths that materialize or
+accumulate a whole trace."""
+
+
+def materialize_everything(stream, trace):
+    all_queries = list(stream)
+    snapshot = tuple(trace)
+    sizes = [q.yield_bytes for q in stream]
+    return all_queries, snapshot, sizes
+
+
+def accumulate_per_query(stream):
+    results = []
+    for query in stream:
+        results.append(query.yield_bytes)
+    return results
+
+
+def accumulate_records(path):
+    events = []
+    for record in iter_trace_records(path):
+        events.extend([record])
+    return events
+
+
+def index_by_query(stream):
+    index = {}
+    for query in stream:
+        index[query.index] = query
+    return index

@@ -1,0 +1,32 @@
+"""Corrected streaming code: incremental accounting, sampled series,
+bounded containers, and a pragma-sanctioned opt-in."""
+
+
+def stream_total(stream):
+    total = 0
+    for query in stream:
+        total += query.yield_bytes
+    return total
+
+
+def sampled_series(stream, series):
+    for query in stream:
+        series.observe(query.yield_bytes)
+    return series
+
+
+def bounded_head(stream):
+    head = []
+    for query in stream:
+        head.append(query)  # repro-lint: allow[RPR007] bounded preview, capped at 10
+        if len(head) >= 10:
+            break
+    return head
+
+
+def per_table_totals(stream):
+    totals = {}
+    for query in stream:
+        for table, amount in query.table_yields.items():
+            totals[table] = totals.get(table, 0.0) + amount
+    return totals

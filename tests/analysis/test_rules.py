@@ -247,3 +247,57 @@ class TestRPR006SwallowedErrors:
                 )
                 == []
             )
+
+
+class TestRPR007StreamingBoundedness:
+    def test_fires_on_seeded_violations(self):
+        violations = run_rule("RPR007", Path("rpr007/sim/bad.py"))
+        assert all(v.rule_id == "RPR007" for v in violations)
+        messages = " ".join(v.message for v in violations)
+        assert "list(...)" in messages
+        assert "tuple(...)" in messages
+        assert "comprehension" in messages
+        assert ".append(...)" in messages
+        assert ".extend(...)" in messages
+        assert "keyed entry" in messages
+        # list + tuple + comprehension + append + extend + keyed dict.
+        assert len(violations) == 6
+
+    def test_silent_on_streaming_code(self):
+        assert run_rule("RPR007", Path("rpr007/sim/good.py")) == []
+
+    def test_pragma_allows_intentional_sites(self):
+        from repro.analysis.lint import lint_source
+
+        bare = (
+            "def f(stream):\n"
+            "    out = []\n"
+            "    for query in stream:\n"
+            "        out.append(query)\n"
+            "    return out\n"
+        )
+        allowed = bare.replace(
+            "out.append(query)",
+            "out.append(query)  "
+            "# repro-lint: allow[RPR007] small-trace opt-in",
+        )
+        path = Path("src/repro/sim/x.py")
+        assert len(lint_source(bare, path, select=["RPR007"])) == 1
+        assert lint_source(allowed, path, select=["RPR007"]) == []
+
+    def test_scoped_to_sim_and_workload(self):
+        from repro.analysis.lint import lint_source
+
+        source = "def f(stream):\n    return list(stream)\n"
+        in_sim = lint_source(
+            source, Path("src/repro/sim/x.py"), select=["RPR007"]
+        )
+        in_workload = lint_source(
+            source, Path("src/repro/workload/x.py"), select=["RPR007"]
+        )
+        elsewhere = lint_source(
+            source, Path("src/repro/core/x.py"), select=["RPR007"]
+        )
+        assert len(in_sim) == 1
+        assert len(in_workload) == 1
+        assert elsewhere == []

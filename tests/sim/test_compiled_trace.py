@@ -102,11 +102,11 @@ class TestCompileMemoization:
         pipeline = DecisionPipeline(federation, "table", True)
         doomed = make_trace(5, name="doomed")
         pipeline.compile_trace(doomed)
-        ident = id(doomed)
-        assert ident in _COMPILED_TRACES[federation]
+        key = f"id:{id(doomed)}"
+        assert key in _COMPILED_TRACES[federation]
         del doomed
         gc.collect()
-        assert ident not in _COMPILED_TRACES.get(federation, {})
+        assert key not in _COMPILED_TRACES.get(federation, {})
 
     def test_dead_id_reuse_cannot_resurrect(self, federation, trace):
         # Two live traces never collide even if a dead trace's id gets
@@ -117,6 +117,38 @@ class TestCompileMemoization:
             other
         )
         assert pipeline.compile_trace(other).name == "other"
+
+    def test_fingerprinted_traces_share_compilation(self, federation):
+        # Regression: chunked/streamed traces are materialized fresh per
+        # load, so identity-keyed memoization always missed; equal
+        # fingerprints must hit the same compiled stream even across
+        # distinct PreparedTrace objects.
+        pipeline = DecisionPipeline(federation, "table", True)
+        first = make_trace(8, name="fp")
+        second = make_trace(8, name="fp")
+        first.compute_fingerprint()
+        second.compute_fingerprint()
+        assert first.fingerprint == second.fingerprint
+        assert pipeline.compile_trace(first) is pipeline.compile_trace(
+            second
+        )
+        assert f"fp:{first.fingerprint}" in _COMPILED_TRACES[federation]
+
+    def test_fingerprint_key_survives_trace_death(self, federation):
+        # Content-keyed entries are not weakref-guarded: a reloaded
+        # chunk of the same content should still hit after the first
+        # loaded copy is garbage collected.
+        pipeline = DecisionPipeline(federation, "table", True)
+        doomed = make_trace(8, name="fp-lived")
+        doomed.compute_fingerprint()
+        fingerprint = doomed.fingerprint
+        compiled = pipeline.compile_trace(doomed)
+        del doomed
+        gc.collect()
+        reborn = make_trace(8, name="fp-lived")
+        reborn.compute_fingerprint()
+        assert reborn.fingerprint == fingerprint
+        assert pipeline.compile_trace(reborn) is compiled
 
 
 class TestCompiledReplayEquivalence:
