@@ -1,0 +1,70 @@
+"""On-disk cache of per-module summaries, keyed by source hash.
+
+The cache file is one JSON document::
+
+    {"version": 1, "entries": {"repro.core.units": {"sha256": "…",
+                                                    "summary": {…}}}}
+
+Only the *local* extraction products are cached — symbol tables and
+function facts.  The global fixpoint (call graph, summaries) is cheap
+and recomputed every run, so a stale cross-module result can never be
+served: editing one file re-extracts exactly that file and re-links
+the world against the fresh summary.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+#: Bump whenever the summary JSON shape or extraction semantics change;
+#: mismatched caches are discarded wholesale.
+CACHE_VERSION = 1
+
+
+def load_cache(path: Path) -> Dict[str, Dict[str, Any]]:
+    """Cached entries (module -> {sha256, summary}), or empty.
+
+    A missing, unreadable, malformed, or version-mismatched cache is
+    treated as empty — the cache is an accelerator, never a source of
+    truth.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(payload, dict):
+        return {}
+    if payload.get("version") != CACHE_VERSION:
+        return {}
+    entries = payload.get("entries")
+    if not isinstance(entries, dict):
+        return {}
+    valid: Dict[str, Dict[str, Any]] = {}
+    for module, entry in entries.items():
+        if (
+            isinstance(entry, dict)
+            and isinstance(entry.get("sha256"), str)
+            and isinstance(entry.get("summary"), dict)
+        ):
+            valid[str(module)] = {
+                "sha256": entry["sha256"],
+                "summary": entry["summary"],
+            }
+    return valid
+
+
+def save_cache(path: Path, entries: Dict[str, Dict[str, Any]]) -> None:
+    """Write the cache atomically (best-effort; failures are silent)."""
+    payload = {"version": CACHE_VERSION, "entries": entries}
+    path = Path(path)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(
+            json.dumps(payload, sort_keys=True), encoding="utf-8"
+        )
+        tmp.replace(path)
+    except OSError:
+        pass

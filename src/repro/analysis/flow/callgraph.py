@@ -1,0 +1,284 @@
+"""Project-wide call graph over extracted module summaries.
+
+:class:`CallGraph` merges every module's symbol table into one index,
+resolves each recorded call reference to a concrete project function
+(following import re-exports and base-class method resolution), and
+exposes the strongly-connected components in callee-first order so the
+summary fixpoint can run bottom-up with a bounded pass over each
+cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.flow.extract import FunctionFacts, ModuleSummary
+from repro.analysis.flow.symbols import (
+    ClassSymbols,
+    Ref,
+    resolve_dotted,
+)
+
+#: Guards against pathological import-alias or inheritance cycles.
+_MAX_HOPS = 10
+
+
+class CallGraph:
+    """Resolved call edges across every module of a project."""
+
+    def __init__(self, summaries: Dict[str, ModuleSummary]) -> None:
+        self.modules = summaries
+        #: qualname -> facts, across all modules.
+        self.functions: Dict[str, FunctionFacts] = {}
+        #: qualname -> defining module name.
+        self.function_module: Dict[str, str] = {}
+        #: method name -> qualnames of every class method with it.
+        self._method_index: Dict[str, List[str]] = {}
+        #: caller qualname -> [(call-site index, callee qualname)].
+        self.edges: Dict[str, List[Tuple[int, str]]] = {}
+
+        for module_name in sorted(summaries):
+            summary = summaries[module_name]
+            for qualname, facts in summary.functions.items():
+                self.functions[qualname] = facts
+                self.function_module[qualname] = module_name
+                if facts.class_name is not None:
+                    self._method_index.setdefault(
+                        facts.name, []
+                    ).append(qualname)
+
+        for qualname, facts in self.functions.items():
+            module_name = self.function_module[qualname]
+            resolved: List[Tuple[int, str]] = []
+            for index, site in enumerate(facts.calls):
+                callee = self.resolve(module_name, facts, site.ref)
+                if callee is not None:
+                    resolved.append((index, callee))
+            self.edges[qualname] = resolved
+
+    # -- reference resolution -------------------------------------------
+
+    def resolve(
+        self, module: str, facts: FunctionFacts, ref: Ref
+    ) -> Optional[str]:
+        """Project function a call reference targets, if determinable."""
+        tag = ref[0]
+        if tag == "q":
+            resolved = self._resolve_qualname(ref[1])
+            if resolved is not None:
+                return resolved
+            return self._unique_method_fallback(ref[1])
+        if tag == "s":
+            return self._method_of(module, ref[1], ref[2])
+        if tag == "m":
+            candidates = self._method_index.get(ref[1], [])
+            if len(candidates) == 1:
+                return candidates[0]
+            return None
+        return None
+
+    def _unique_method_fallback(self, dotted: str) -> Optional[str]:
+        """``<var>.method()`` on an untyped receiver.
+
+        When the head is no project module (so qualname resolution had
+        nothing to say) and exactly one project class defines the
+        trailing method name, link to it — the same bet the bare
+        method index takes for ``self.<attr>.method()`` shapes.
+        """
+        head, _, rest = dotted.partition(".")
+        if not rest or head in self.modules:
+            return None
+        method = dotted.rsplit(".", 1)[-1]
+        candidates = self._method_index.get(method, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def resolve_name(self, dotted: str) -> Optional[str]:
+        """Public entry: project function a dotted path denotes."""
+        return self._resolve_qualname(dotted)
+
+    def method_of(
+        self, module: str, class_name: str, method: str
+    ) -> Optional[str]:
+        """Public entry: resolve a method against a class and its MRO."""
+        return self._method_of(module, class_name, method)
+
+    def _resolve_qualname(
+        self, dotted: str, hops: int = 0
+    ) -> Optional[str]:
+        if hops > _MAX_HOPS:
+            return None
+        if dotted in self.functions:
+            return dotted
+        parts = dotted.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:split])
+            summary = self.modules.get(module)
+            if summary is None:
+                continue
+            remainder = parts[split:]
+            head = remainder[0]
+            symbols = summary.symbols
+            if head in symbols.classes:
+                if len(remainder) == 2:
+                    return self._method_of(module, head, remainder[1])
+                return self._method_of(module, head, "__init__")
+            if len(remainder) == 1 and head in symbols.functions:
+                return f"{module}.{head}"
+            if head in symbols.imports:
+                target = symbols.imports[head]
+                rest = ".".join(remainder[1:])
+                return self._resolve_qualname(
+                    f"{target}.{rest}" if rest else target, hops + 1
+                )
+            return None
+        return None
+
+    def _resolve_class(
+        self, dotted: str, hops: int = 0
+    ) -> Optional[Tuple[str, ClassSymbols]]:
+        """(module, class symbols) a dotted class path denotes."""
+        if hops > _MAX_HOPS:
+            return None
+        parts = dotted.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:split])
+            summary = self.modules.get(module)
+            if summary is None:
+                continue
+            remainder = parts[split:]
+            head = remainder[0]
+            symbols = summary.symbols
+            if len(remainder) == 1:
+                found = symbols.classes.get(head)
+                if found is not None:
+                    return module, found
+                if head in symbols.imports:
+                    return self._resolve_class(
+                        symbols.imports[head], hops + 1
+                    )
+            return None
+        return None
+
+    def _method_of(
+        self, module: str, class_name: str, method: str, hops: int = 0
+    ) -> Optional[str]:
+        """Qualname of ``method`` on the class or its project bases."""
+        if hops > _MAX_HOPS:
+            return None
+        summary = self.modules.get(module)
+        if summary is None:
+            return None
+        symbols = summary.symbols.classes.get(class_name)
+        if symbols is None:
+            return None
+        if method in symbols.methods:
+            return f"{module}.{class_name}.{method}"
+        for base in symbols.bases:
+            ref = resolve_dotted(summary.symbols, base)
+            if ref[0] != "q":
+                continue
+            found = self._resolve_class(ref[1])
+            if found is None:
+                continue
+            base_module, base_symbols = found
+            resolved = self._method_of(
+                base_module, base_symbols.name, method, hops + 1
+            )
+            if resolved is not None:
+                return resolved
+        return None
+
+    def mro_bases(
+        self, module: str, class_name: str
+    ) -> List[Tuple[str, str]]:
+        """Project base classes of a class, nearest-first."""
+        out: List[Tuple[str, str]] = []
+        seen: Set[Tuple[str, str]] = set()
+        work: List[Tuple[str, str, int]] = [(module, class_name, 0)]
+        while work:
+            mod, cls, depth = work.pop(0)
+            if depth > _MAX_HOPS:
+                continue
+            summary = self.modules.get(mod)
+            if summary is None:
+                continue
+            symbols = summary.symbols.classes.get(cls)
+            if symbols is None:
+                continue
+            for base in symbols.bases:
+                ref = resolve_dotted(summary.symbols, base)
+                if ref[0] != "q":
+                    continue
+                found = self._resolve_class(ref[1])
+                if found is None:
+                    continue
+                key = (found[0], found[1].name)
+                if key in seen:
+                    continue
+                seen.add(key)
+                out.append(key)
+                work.append((key[0], key[1], depth + 1))
+        return out
+
+    # -- SCC ordering ----------------------------------------------------
+
+    def sccs(self) -> List[List[str]]:
+        """Strongly-connected components, callee-first (reverse topo)."""
+        succ: Dict[str, List[str]] = {}
+        for caller, pairs in self.edges.items():
+            seen_callees: Set[str] = set()
+            ordered: List[str] = []
+            for _, callee in pairs:
+                if callee not in seen_callees:
+                    seen_callees.add(callee)
+                    ordered.append(callee)
+            succ[caller] = ordered
+
+        index: Dict[str, int] = {}
+        low: Dict[str, int] = {}
+        stack: List[str] = []
+        on_stack: Set[str] = set()
+        components: List[List[str]] = []
+        counter = 0
+
+        for root in sorted(self.functions):
+            if root in index:
+                continue
+            work: List[Tuple[str, int]] = [(root, 0)]
+            while work:
+                node, edge_index = work[-1]
+                if edge_index == 0:
+                    index[node] = low[node] = counter
+                    counter += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                descended = False
+                successors = succ.get(node, [])
+                while edge_index < len(successors):
+                    child = successors[edge_index]
+                    edge_index += 1
+                    work[-1] = (node, edge_index)
+                    if child not in index:
+                        work.append((child, 0))
+                        descended = True
+                        break
+                    if child in on_stack:
+                        low[node] = min(low[node], index[child])
+                if descended:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(component)
+        return components

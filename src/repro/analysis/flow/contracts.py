@@ -1,0 +1,327 @@
+"""The effect-contract registry: shared state, mutators, and seams.
+
+This module is the contract surface the async multi-tenant mediator
+will lock against (ROADMAP's top open item): it declares *which*
+attributes constitute shared policy/cache/ledger state, *which*
+methods are the sanctioned mutators of that state, and *which*
+functions are the sanctioned seams through which nondeterminism and
+wall clocks may enter a deterministic replay.
+
+Three rule families consume it:
+
+* RPR010 flags writes to a contract's attributes outside its mutators;
+* RPR009 stops nondeterminism taint at the sanctioned seams;
+* RPR002 / RPR004 share the nondet-source tables and the accounting
+  owner/field sets so the per-file and project-wide phases cannot
+  drift apart.
+
+Contracts registered here are defaults for ``src/repro``; tests and
+future subsystems add their own via :func:`register_contract`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+# ---------------------------------------------------------------------------
+# Nondeterminism sources and sanctioned seams
+# ---------------------------------------------------------------------------
+
+#: Fully-qualified calls that read wall clocks or OS entropy.
+CLOCK_CALLS: FrozenSet[str] = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+#: Method names on ``datetime``/``date`` objects that read the clock.
+DATETIME_NOW: FrozenSet[str] = frozenset({"now", "utcnow", "today"})
+
+#: Functions through which entropy/wall-clock reads are *sanctioned*:
+#: calls into these never propagate nondeterminism taint.  The draw
+#: seam is hash-keyed (deterministic by construction); the timestamp
+#: seam stamps run metadata at the CLI edge, never replay state.
+NONDET_SEAM_QUALNAMES: FrozenSet[str] = frozenset(
+    {
+        "repro.faults.engine.uniform_draw",
+        "repro.obs.manifest.wall_clock_timestamp",
+    }
+)
+
+#: Bare-name fallback for the seams, so fixture projects (and callers
+#: that re-export the seam under its own name) resolve identically.
+NONDET_SEAM_NAMES: FrozenSet[str] = frozenset(
+    {"uniform_draw", "wall_clock_timestamp"}
+)
+
+
+def is_seam(qualname: str) -> bool:
+    """Whether ``qualname`` is a sanctioned nondeterminism seam."""
+    if qualname in NONDET_SEAM_QUALNAMES:
+        return True
+    return qualname.rsplit(".", 1)[-1] in NONDET_SEAM_NAMES
+
+
+def nondet_call_reason(
+    qualname: str, has_arguments: bool
+) -> Optional[str]:
+    """Why a call to ``qualname`` is nondeterministic, or None.
+
+    ``has_arguments`` distinguishes ``random.Random(seed)`` (seeded,
+    deterministic) from ``random.Random()`` (entropy-seeded).
+    """
+    head, _, tail = qualname.rpartition(".")
+    if head == "random" or head.endswith(".random"):
+        if tail == "Random":
+            return None if has_arguments else "random.Random() unseeded"
+        if tail == "SystemRandom":
+            return "random.SystemRandom is OS entropy"
+        return f"module-global {qualname}()"
+    if qualname in CLOCK_CALLS:
+        return f"{qualname}() reads the wall clock / OS entropy"
+    if qualname.startswith("secrets.") or head == "secrets":
+        return f"{qualname}() is OS entropy"
+    if tail in DATETIME_NOW and head.rsplit(".", 1)[-1] in (
+        "datetime",
+        "date",
+    ):
+        return f"{qualname}() reads the wall clock"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Shared-state effect contracts
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EffectContract:
+    """Who owns a piece of shared policy/cache/ledger state.
+
+    Attributes:
+        owner: Class name owning the state.
+        attrs: Attribute names constituting the shared state.
+        mutators: Method names sanctioned to write those attributes
+            (``__init__`` is always implicitly sanctioned — an object
+            under construction is not yet shared).
+        description: One line on what the state is, for messages.
+    """
+
+    owner: str
+    attrs: FrozenSet[str]
+    mutators: FrozenSet[str]
+    description: str = ""
+
+    def sanctions(self, method: str) -> bool:
+        """Whether ``method`` of the owner may write the state."""
+        return method == "__init__" or method in self.mutators
+
+
+_DEFAULT_CONTRACTS: Tuple[EffectContract, ...] = (
+    EffectContract(
+        owner="TrafficLedger",
+        attrs=frozenset(
+            {
+                "bypass_bytes",
+                "load_bytes",
+                "cache_bytes",
+                "retry_bytes",
+                "bypass_cost",
+                "load_cost",
+                "retry_cost",
+                "per_server_bypass",
+                "per_server_load",
+                "per_server_retry",
+            }
+        ),
+        mutators=frozenset(
+            {
+                "record_bypass",
+                "record_load",
+                "record_cache_hit",
+                "record_retry",
+                "restore",
+                "reset",
+            }
+        ),
+        description="federation WAN byte/cost totals",
+    ),
+    EffectContract(
+        owner="CostBreakdown",
+        attrs=frozenset({"bypass_bytes", "load_bytes", "retry_bytes"}),
+        mutators=frozenset({"charge"}),
+        description="simulator WAN breakdown",
+    ),
+    EffectContract(
+        owner="SimulationResult",
+        attrs=frozenset(
+            {
+                "weighted_cost",
+                "served_queries",
+                "loads",
+                "evictions",
+                "retries",
+                "failed_loads",
+                "partial_queries",
+                "unavailable_queries",
+                "queries",
+            }
+        ),
+        mutators=frozenset(
+            {"charge", "charge_resolved", "charge_event"}
+        ),
+        description="per-run simulation counters",
+    ),
+    EffectContract(
+        owner="BypassObjectCache",
+        attrs=frozenset(
+            {
+                "_entries",
+                "_fetch_costs",
+                "_victims",
+                "_offset",
+                "_load_seq",
+                "_accounts",
+                "hits",
+                "misses",
+                "loads",
+            }
+        ),
+        mutators=frozenset(
+            {
+                "request",
+                "evict",
+                "_set_credit",
+                "_make_room",
+                "_prune_accounts",
+            }
+        ),
+        description="Landlord cache state (victim heap, global offset)",
+    ),
+    EffectContract(
+        owner="VictimHeap",
+        attrs=frozenset({"_heap", "_keys"}),
+        mutators=frozenset(
+            {"set", "discard", "pop_min", "select_min", "_compact", "clear"}
+        ),
+        description="lazy-deletion victim heap internals",
+    ),
+    EffectContract(
+        owner="CircuitBreaker",
+        attrs=frozenset(
+            {
+                "_state",
+                "_consecutive_failures",
+                "_opened_at",
+                "_transitions",
+                "_rejections",
+            }
+        ),
+        mutators=frozenset(
+            {"allows", "record_success", "record_failure", "_move"}
+        ),
+        description="per-server breaker state machine",
+    ),
+    EffectContract(
+        owner="DatabaseServer",
+        attrs=frozenset({"bytes_shipped", "queries_executed"}),
+        mutators=frozenset(
+            {"execute", "fetch_object", "record_shipment"}
+        ),
+        description="per-server shipped-traffic attribution",
+    ),
+)
+
+#: owner class name -> contract.  Mutated only by register_contract.
+_REGISTRY: Dict[str, EffectContract] = {
+    contract.owner: contract for contract in _DEFAULT_CONTRACTS
+}
+
+
+def register_contract(contract: EffectContract) -> EffectContract:
+    """Add (or replace) a contract in the registry; returns it."""
+    _REGISTRY[contract.owner] = contract
+    return contract
+
+
+def contract_for(owner: str) -> Optional[EffectContract]:
+    """The contract registered for class ``owner``, if any."""
+    return _REGISTRY.get(owner)
+
+
+def all_contracts() -> List[EffectContract]:
+    """Registered contracts in deterministic owner order."""
+    return [_REGISTRY[owner] for owner in sorted(_REGISTRY)]
+
+
+def owners_of_attr(attr: str) -> List[EffectContract]:
+    """Contracts that claim attribute ``attr``, in owner order."""
+    return [
+        contract
+        for contract in all_contracts()
+        if attr in contract.attrs
+    ]
+
+
+def strict_attrs() -> FrozenSet[str]:
+    """Attribute names distinctive enough to police on *any* holder.
+
+    Writes like ``obj.load_bytes = …`` are flagged wherever they
+    appear; generic counter names (``hits``, ``loads``, ``queries``)
+    are only policed on ``self`` inside their owning class, where the
+    class name disambiguates them.
+    """
+    generic = frozenset(
+        {
+            "hits",
+            "misses",
+            "loads",
+            "queries",
+            "evictions",
+            "retries",
+        }
+    )
+    names = set()
+    for contract in all_contracts():
+        names.update(contract.attrs - generic)
+    return frozenset(names)
+
+
+#: Accounting owners/fields shared with the per-file RPR004 rule, so
+#: the two phases police the same surface.
+ACCOUNTING_OWNERS: FrozenSet[str] = frozenset(
+    {
+        "TrafficLedger",
+        "QueryAccounting",
+        "CostBreakdown",
+        "SimulationResult",
+        "FederatedResult",
+        "DecisionEvent",
+    }
+)
+
+ACCOUNTING_FIELDS: FrozenSet[str] = frozenset(
+    {
+        "load_bytes",
+        "bypass_bytes",
+        "cache_bytes",
+        "load_cost",
+        "bypass_cost",
+        "retry_bytes",
+        "retry_cost",
+        "wan_bytes",
+        "wan_cost",
+        "weighted_cost",
+    }
+)

@@ -1,0 +1,876 @@
+"""Per-module local-summary extraction (the cacheable analysis half).
+
+One pass over a module's AST produces a :class:`ModuleSummary`: for
+every function and method, the facts the interprocedural phase needs —
+parameter units, symbolic return expressions, every call site with
+symbolic argument units, unit-mixing candidate sites, direct
+nondeterminism sites, and shared-state attribute writes.  Everything
+is JSON-serializable, so summaries round-trip through the on-disk
+cache and warm runs skip both the parse and this walk.
+
+The symbolic unit inference mirrors the per-file RPR001 rule — names
+carry units, assignments propagate them, branches merge — but instead
+of resolving calls against a hard-coded table it emits ``["c", i]``
+placeholders that the summary phase evaluates against real callee
+summaries.  Each mixing candidate also records whether *local*
+inference alone already proves the mix (``locally_flagged``), so the
+interprocedural rule RPR008 never re-reports what RPR001 catches.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.flow import contracts
+from repro.analysis.flow.lattice import (
+    AbstractUnit,
+    UExpr,
+    classify_name,
+    divide,
+    merge,
+    multiply,
+    u_call,
+    u_const,
+    u_merge,
+    u_mul,
+    u_div,
+    u_param,
+    u_unknown,
+)
+from repro.analysis.flow.symbols import (
+    ModuleSymbols,
+    Ref,
+    build_symbols,
+    dotted_name,
+    resolve_dotted,
+)
+
+#: Annotation names with a declared unit (the repro.core.units types).
+ANNOTATION_UNITS: Dict[str, AbstractUnit] = {
+    "RawBytes": AbstractUnit.RAW,
+    "AnyRawBytes": AbstractUnit.RAW,
+    "WeightedCost": AbstractUnit.WEIGHTED,
+    "AnyCost": AbstractUnit.WEIGHTED,
+    "Yield": AbstractUnit.YIELD,
+    "AnyYield": AbstractUnit.YIELD,
+}
+
+#: Builtins transparent to units (result = merged argument units).
+_TRANSPARENT_CALLS = frozenset(
+    {"float", "int", "abs", "round", "max", "min", "sum"}
+)
+
+#: Bare callee names with a declared result unit — the same local
+#: heuristics RPR001 applies, used for the ``locally_flagged`` check.
+LOCAL_CALL_UNITS: Dict[str, AbstractUnit] = {
+    "weigh": AbstractUnit.WEIGHTED,
+    "unweigh": AbstractUnit.YIELD,
+    "RawBytes": AbstractUnit.RAW,
+    "raw_bytes": AbstractUnit.RAW,
+    "WeightedCost": AbstractUnit.WEIGHTED,
+    "Yield": AbstractUnit.YIELD,
+    "per_byte_weight": AbstractUnit.WEIGHT,
+    "fetch_cost": AbstractUnit.WEIGHTED,
+    "cost": AbstractUnit.WEIGHTED,
+    "size": AbstractUnit.RAW,
+    "size_of": AbstractUnit.RAW,
+    "object_size": AbstractUnit.RAW,
+}
+
+#: ``line, rule_id -> suppressed`` predicate supplied by the engine.
+SuppressionCheck = Callable[[int, str], bool]
+
+
+def _never_suppressed(_line: int, _rule: str) -> bool:
+    return False
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function."""
+
+    ref: Ref
+    line: int
+    col: int
+    args: List[UExpr] = field(default_factory=list)
+    kwargs: Dict[str, UExpr] = field(default_factory=dict)
+    has_arguments: bool = False
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "ref": list(self.ref),
+            "line": self.line,
+            "col": self.col,
+            "args": self.args,
+            "kwargs": self.kwargs,
+            "has_arguments": self.has_arguments,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "CallSite":
+        return cls(
+            ref=tuple(str(part) for part in payload["ref"]),
+            line=int(payload["line"]),
+            col=int(payload["col"]),
+            args=list(payload["args"]),
+            kwargs=dict(payload["kwargs"]),
+            has_arguments=bool(payload["has_arguments"]),
+        )
+
+
+@dataclass
+class MixSite:
+    """An add/sub/compare whose operand units may conflict."""
+
+    line: int
+    col: int
+    verb: str
+    left: UExpr
+    right: UExpr
+    locally_flagged: bool = False
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "line": self.line,
+            "col": self.col,
+            "verb": self.verb,
+            "left": self.left,
+            "right": self.right,
+            "locally_flagged": self.locally_flagged,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "MixSite":
+        return cls(
+            line=int(payload["line"]),
+            col=int(payload["col"]),
+            verb=str(payload["verb"]),
+            left=list(payload["left"]),
+            right=list(payload["right"]),
+            locally_flagged=bool(payload["locally_flagged"]),
+        )
+
+
+@dataclass
+class PairSite:
+    """A call quoting ``fetch_cost=`` and ``yield_bytes=`` together."""
+
+    line: int
+    col: int
+    cost: UExpr
+    yield_bytes: UExpr
+    locally_flagged: bool = False
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "line": self.line,
+            "col": self.col,
+            "cost": self.cost,
+            "yield_bytes": self.yield_bytes,
+            "locally_flagged": self.locally_flagged,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "PairSite":
+        return cls(
+            line=int(payload["line"]),
+            col=int(payload["col"]),
+            cost=list(payload["cost"]),
+            yield_bytes=list(payload["yield_bytes"]),
+            locally_flagged=bool(payload["locally_flagged"]),
+        )
+
+
+@dataclass
+class NondetSite:
+    """A direct entropy/wall-clock/set-order hazard in a function."""
+
+    reason: str
+    line: int
+    col: int
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"reason": self.reason, "line": self.line, "col": self.col}
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "NondetSite":
+        return cls(
+            reason=str(payload["reason"]),
+            line=int(payload["line"]),
+            col=int(payload["col"]),
+        )
+
+
+@dataclass
+class SharedWrite:
+    """An attribute write (``holder.attr = …`` / ``+=`` / ``del``)."""
+
+    attr: str
+    holder: str
+    is_self: bool
+    line: int
+    col: int
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "attr": self.attr,
+            "holder": self.holder,
+            "is_self": self.is_self,
+            "line": self.line,
+            "col": self.col,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "SharedWrite":
+        return cls(
+            attr=str(payload["attr"]),
+            holder=str(payload["holder"]),
+            is_self=bool(payload["is_self"]),
+            line=int(payload["line"]),
+            col=int(payload["col"]),
+        )
+
+
+@dataclass
+class FunctionFacts:
+    """Everything the project phases know about one function."""
+
+    qualname: str
+    name: str
+    lineno: int
+    class_name: Optional[str] = None
+    params: List[str] = field(default_factory=list)
+    param_units: List[str] = field(default_factory=list)
+    return_annotation_unit: Optional[str] = None
+    calls: List[CallSite] = field(default_factory=list)
+    returns: List[UExpr] = field(default_factory=list)
+    mixes: List[MixSite] = field(default_factory=list)
+    pairs: List[PairSite] = field(default_factory=list)
+    nondet: List[NondetSite] = field(default_factory=list)
+    writes: List[SharedWrite] = field(default_factory=list)
+    #: ``[description, line, col]`` triples of full-scan constructs
+    #: (sorted()/min-max sweeps/.object_ids()), for RPR005's
+    #: project-mode helper-chain check.
+    scan_sites: List[List[Any]] = field(default_factory=list)
+    is_generator: bool = False
+
+    def param_unit(self, index: int) -> AbstractUnit:
+        if 0 <= index < len(self.param_units):
+            return AbstractUnit[self.param_units[index]]
+        return AbstractUnit.UNKNOWN
+
+    def param_index(self, name: str) -> Optional[int]:
+        try:
+            return self.params.index(name)
+        except ValueError:
+            return None
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "qualname": self.qualname,
+            "name": self.name,
+            "lineno": self.lineno,
+            "class_name": self.class_name,
+            "params": self.params,
+            "param_units": self.param_units,
+            "return_annotation_unit": self.return_annotation_unit,
+            "calls": [call.to_json() for call in self.calls],
+            "returns": self.returns,
+            "mixes": [mix.to_json() for mix in self.mixes],
+            "pairs": [pair.to_json() for pair in self.pairs],
+            "nondet": [site.to_json() for site in self.nondet],
+            "writes": [write.to_json() for write in self.writes],
+            "scan_sites": self.scan_sites,
+            "is_generator": self.is_generator,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "FunctionFacts":
+        return cls(
+            qualname=str(payload["qualname"]),
+            name=str(payload["name"]),
+            lineno=int(payload["lineno"]),
+            class_name=(
+                str(payload["class_name"])
+                if payload["class_name"] is not None
+                else None
+            ),
+            params=[str(p) for p in payload["params"]],
+            param_units=[str(u) for u in payload["param_units"]],
+            return_annotation_unit=(
+                str(payload["return_annotation_unit"])
+                if payload["return_annotation_unit"] is not None
+                else None
+            ),
+            calls=[CallSite.from_json(c) for c in payload["calls"]],
+            returns=list(payload["returns"]),
+            mixes=[MixSite.from_json(m) for m in payload["mixes"]],
+            pairs=[PairSite.from_json(p) for p in payload["pairs"]],
+            nondet=[NondetSite.from_json(n) for n in payload["nondet"]],
+            writes=[SharedWrite.from_json(w) for w in payload["writes"]],
+            scan_sites=[list(s) for s in payload["scan_sites"]],
+            is_generator=bool(payload["is_generator"]),
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """The cached per-module product of the extraction pass."""
+
+    module: str
+    path: str
+    sha256: str
+    symbols: ModuleSymbols
+    functions: Dict[str, FunctionFacts] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "module": self.module,
+            "path": self.path,
+            "sha256": self.sha256,
+            "symbols": self.symbols.to_json(),
+            "functions": {
+                qualname: facts.to_json()
+                for qualname, facts in self.functions.items()
+            },
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "ModuleSummary":
+        return cls(
+            module=str(payload["module"]),
+            path=str(payload["path"]),
+            sha256=str(payload["sha256"]),
+            symbols=ModuleSymbols.from_json(payload["symbols"]),
+            functions={
+                str(qualname): FunctionFacts.from_json(facts)
+                for qualname, facts in payload["functions"].items()
+            },
+        )
+
+
+def _annotation_unit(node: Optional[ast.expr]) -> Optional[AbstractUnit]:
+    if isinstance(node, ast.Name):
+        return ANNOTATION_UNITS.get(node.id)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return ANNOTATION_UNITS.get(node.value)
+    if isinstance(node, ast.Attribute):
+        return ANNOTATION_UNITS.get(node.attr)
+    return None
+
+
+class _FunctionExtractor:
+    """Builds the :class:`FunctionFacts` of one function body."""
+
+    def __init__(
+        self,
+        facts: FunctionFacts,
+        symbols: ModuleSymbols,
+        suppressed: SuppressionCheck,
+    ) -> None:
+        self.facts = facts
+        self.symbols = symbols
+        self.suppressed = suppressed
+        self.env: Dict[str, UExpr] = {
+            name: u_param(index)
+            for index, name in enumerate(facts.params)
+        }
+        self._recorded: Set[int] = set()
+
+    # -- expression inference -------------------------------------------
+
+    def infer(self, node: Optional[ast.AST]) -> UExpr:
+        if node is None:
+            return u_unknown()
+        if isinstance(node, ast.Name):
+            known = self.env.get(node.id)
+            if known is not None:
+                return known
+            unit = classify_name(node.id)
+            return (
+                u_const(unit)
+                if unit is not AbstractUnit.UNKNOWN
+                else u_unknown()
+            )
+        if isinstance(node, ast.Attribute):
+            unit = classify_name(node.attr)
+            return (
+                u_const(unit)
+                if unit is not AbstractUnit.UNKNOWN
+                else u_unknown()
+            )
+        if isinstance(node, ast.Call):
+            return self._infer_call(node)
+        if isinstance(node, ast.BinOp):
+            return self._infer_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self.infer(node.operand)
+        if isinstance(node, ast.IfExp):
+            self.infer(node.test)
+            return u_merge(self.infer(node.body), self.infer(node.orelse))
+        if isinstance(node, ast.Compare):
+            self._check_compare(node)
+            return u_unknown()
+        if isinstance(node, ast.NamedExpr):
+            value = self.infer(node.value)
+            self.env[node.target.id] = value
+            return value
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self.infer(value)
+            return u_unknown()
+        return u_unknown()
+
+    def _check_scan(self, node: ast.Call) -> None:
+        func = node.func
+        description = None
+        if isinstance(func, ast.Name):
+            if func.id == "sorted":
+                description = "sorted(...) ranks the full candidate set"
+            elif func.id in ("min", "max") and any(
+                isinstance(arg, (ast.GeneratorExp, ast.ListComp))
+                for arg in node.args
+            ):
+                description = (
+                    f"{func.id}(...) sweeps a comprehension over the "
+                    f"candidate set"
+                )
+        elif isinstance(func, ast.Attribute) and func.attr == "object_ids":
+            description = (
+                ".object_ids() enumerates every resident object"
+            )
+        if description is not None and not self.suppressed(
+            node.lineno, "RPR005"
+        ):
+            self.facts.scan_sites.append(
+                [description, node.lineno, node.col_offset]
+            )
+
+    def _infer_call(self, node: ast.Call) -> UExpr:
+        self._recorded.add(id(node))
+        self._check_scan(node)
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _TRANSPARENT_CALLS:
+            # Unit-transparent builtins: no call site, merged args.
+            result = u_unknown()
+            for arg in node.args:
+                result = u_merge(result, self.infer(arg))
+            for keyword in node.keywords:
+                self.infer(keyword.value)
+            return result
+        ref = self._call_ref(func)
+        args = [
+            self.infer(arg)
+            for arg in node.args
+            if not isinstance(arg, ast.Starred)
+        ]
+        kwargs = {
+            keyword.arg: self.infer(keyword.value)
+            for keyword in node.keywords
+            if keyword.arg is not None
+        }
+        site = CallSite(
+            ref=ref,
+            line=node.lineno,
+            col=node.col_offset,
+            args=args,
+            kwargs=kwargs,
+            has_arguments=bool(node.args or node.keywords),
+        )
+        self.facts.calls.append(site)
+        index = len(self.facts.calls) - 1
+        self._check_nondet_call(site)
+        if "fetch_cost" in kwargs and "yield_bytes" in kwargs:
+            cost = kwargs["fetch_cost"]
+            yield_bytes = kwargs["yield_bytes"]
+            cost_unit = self.local_eval(cost)
+            yield_unit = self.local_eval(yield_bytes)
+            locally = (
+                cost_unit is AbstractUnit.WEIGHTED
+                and yield_unit in (AbstractUnit.RAW, AbstractUnit.YIELD)
+            ) or (
+                cost_unit in (AbstractUnit.RAW, AbstractUnit.YIELD)
+                and yield_unit is AbstractUnit.WEIGHTED
+            )
+            self.facts.pairs.append(
+                PairSite(
+                    line=node.lineno,
+                    col=node.col_offset,
+                    cost=cost,
+                    yield_bytes=yield_bytes,
+                    locally_flagged=locally,
+                )
+            )
+        return u_call(index)
+
+    def _call_ref(self, func: ast.expr) -> Ref:
+        dotted = dotted_name(func)
+        if dotted is None:
+            if isinstance(func, ast.Attribute):
+                return ("m", func.attr)
+            return ("u", "<dynamic>")
+        head, _, rest = dotted.partition(".")
+        if head in ("self", "cls") and rest:
+            parts = rest.split(".")
+            if len(parts) == 1 and self.facts.class_name is not None:
+                return ("s", self.facts.class_name, parts[0])
+            return ("m", parts[-1])
+        return resolve_dotted(self.symbols, dotted)
+
+    def _infer_binop(self, node: ast.BinOp) -> UExpr:
+        left = self.infer(node.left)
+        right = self.infer(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            self._record_mix(node, left, right, "combined")
+            return u_merge(left, right)
+        if isinstance(node.op, ast.Mult):
+            return u_mul(left, right)
+        if isinstance(node.op, ast.Div):
+            return u_div(left, right)
+        return u_unknown()
+
+    def _check_compare(self, node: ast.Compare) -> None:
+        exprs = [self.infer(node.left)]
+        exprs.extend(
+            self.infer(comparator) for comparator in node.comparators
+        )
+        for index in range(len(exprs) - 1):
+            self._record_mix(
+                node, exprs[index], exprs[index + 1], "compared"
+            )
+
+    def _record_mix(
+        self, node: ast.AST, left: UExpr, right: UExpr, verb: str
+    ) -> None:
+        left_unit = self.local_eval(left)
+        right_unit = self.local_eval(right)
+        from repro.analysis.flow.lattice import mixes
+
+        self.facts.mixes.append(
+            MixSite(
+                line=getattr(node, "lineno", self.facts.lineno),
+                col=getattr(node, "col_offset", 0),
+                verb=verb,
+                left=left,
+                right=right,
+                locally_flagged=mixes(left_unit, right_unit),
+            )
+        )
+
+    # -- local evaluation (RPR001-equivalent power) ---------------------
+
+    def local_eval(self, expr: UExpr, depth: int = 0) -> AbstractUnit:
+        """Evaluate a UExpr with per-file knowledge only."""
+        if depth > 16 or not expr:
+            return AbstractUnit.UNKNOWN
+        tag = expr[0]
+        if tag == "k":
+            return AbstractUnit[str(expr[1])]
+        if tag == "p":
+            return self.facts.param_unit(int(expr[1]))
+        if tag == "c":
+            site = self.facts.calls[int(expr[1])]
+            name = site.ref[-1].rsplit(".", 1)[-1]
+            return LOCAL_CALL_UNITS.get(name, AbstractUnit.UNKNOWN)
+        if tag == "mul":
+            return multiply(
+                self.local_eval(expr[1], depth + 1),
+                self.local_eval(expr[2], depth + 1),
+            )
+        if tag == "div":
+            return divide(
+                self.local_eval(expr[1], depth + 1),
+                self.local_eval(expr[2], depth + 1),
+            )
+        if tag == "merge":
+            return merge(
+                self.local_eval(expr[1], depth + 1),
+                self.local_eval(expr[2], depth + 1),
+            )
+        return AbstractUnit.UNKNOWN
+
+    # -- effect sites ----------------------------------------------------
+
+    def _check_nondet_call(self, site: CallSite) -> None:
+        if site.ref[0] not in ("q", "u"):
+            return
+        reason = contracts.nondet_call_reason(
+            site.ref[-1], site.has_arguments
+        )
+        if reason is None:
+            return
+        if self.suppressed(site.line, "RPR009") or self.suppressed(
+            site.line, "RPR002"
+        ):
+            return
+        self.facts.nondet.append(
+            NondetSite(reason=reason, line=site.line, col=site.col)
+        )
+
+    def _check_set_iteration(self, iterable: ast.expr) -> None:
+        is_hazard = isinstance(iterable, ast.Set) or (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id in ("set", "frozenset")
+        )
+        if not is_hazard:
+            return
+        line = iterable.lineno
+        if self.suppressed(line, "RPR009") or self.suppressed(
+            line, "RPR002"
+        ):
+            return
+        self.facts.nondet.append(
+            NondetSite(
+                reason="set iteration order",
+                line=line,
+                col=iterable.col_offset,
+            )
+        )
+
+    def _record_write(self, target: ast.expr, node: ast.stmt) -> None:
+        inner = target
+        while isinstance(inner, ast.Subscript):
+            inner = inner.value
+        if not isinstance(inner, ast.Attribute):
+            return
+        holder = dotted_name(inner.value)
+        if holder is None:
+            holder = "<expr>"
+        self.facts.writes.append(
+            SharedWrite(
+                attr=inner.attr,
+                holder=holder,
+                is_self=holder in ("self", "cls"),
+                line=node.lineno,
+                col=node.col_offset,
+            )
+        )
+
+    # -- statement walk --------------------------------------------------
+
+    def run(self, body: List[ast.stmt]) -> None:
+        self._walk(body)
+
+    def _walk(self, body: List[ast.stmt]) -> None:
+        for statement in body:
+            self._statement(statement)
+            self._sweep_missed_effects(statement)
+
+    def _statement(self, statement: ast.stmt) -> None:
+        if isinstance(
+            statement,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+        ):
+            return  # nested scopes: effects collected by the sweep
+        if isinstance(statement, ast.Assign):
+            value = self.infer(statement.value)
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    self.env[target.id] = value
+                else:
+                    self._record_write(target, statement)
+        elif isinstance(statement, ast.AnnAssign):
+            declared = _annotation_unit(statement.annotation)
+            value = (
+                u_const(declared)
+                if declared is not None
+                else self.infer(statement.value)
+            )
+            if isinstance(statement.target, ast.Name):
+                self.env[statement.target.id] = value
+            else:
+                self._record_write(statement.target, statement)
+        elif isinstance(statement, ast.AugAssign):
+            target_expr = self.infer(statement.target)
+            value_expr = self.infer(statement.value)
+            if isinstance(statement.op, (ast.Add, ast.Sub)):
+                self._record_mix(
+                    statement, target_expr, value_expr, "combined"
+                )
+            if isinstance(statement.target, ast.Name):
+                self.env[statement.target.id] = u_merge(
+                    target_expr, value_expr
+                )
+            else:
+                self._record_write(statement.target, statement)
+        elif isinstance(statement, ast.Delete):
+            for target in statement.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    self._record_write(target, statement)
+        elif isinstance(statement, ast.If):
+            self.infer(statement.test)
+            self._branch(statement.body, statement.orelse)
+        elif isinstance(statement, (ast.For, ast.AsyncFor)):
+            self._check_set_iteration(statement.iter)
+            self.infer(statement.iter)
+            self._walk(statement.body)
+            self._walk(statement.orelse)
+        elif isinstance(statement, ast.While):
+            self.infer(statement.test)
+            self._walk(statement.body)
+            self._walk(statement.orelse)
+        elif isinstance(statement, (ast.With, ast.AsyncWith)):
+            for item in statement.items:
+                self.infer(item.context_expr)
+            self._walk(statement.body)
+        elif isinstance(statement, ast.Try):
+            self._walk(statement.body)
+            for handler in statement.handlers:
+                self._walk(handler.body)
+            self._walk(statement.orelse)
+            self._walk(statement.finalbody)
+        elif isinstance(statement, ast.Return):
+            self.facts.returns.append(self.infer(statement.value))
+        elif isinstance(statement, ast.Expr):
+            self.infer(statement.value)
+        elif isinstance(statement, ast.Assert):
+            self.infer(statement.test)
+        elif isinstance(statement, ast.Raise):
+            self.infer(statement.exc)
+
+    def _branch(
+        self, body: List[ast.stmt], orelse: List[ast.stmt]
+    ) -> None:
+        baseline = dict(self.env)
+        self._walk(body)
+        after_body = self.env
+        self.env = dict(baseline)
+        self._walk(orelse)
+        after_orelse = self.env
+        merged: Dict[str, UExpr] = {}
+        for name in set(after_body) | set(after_orelse):
+            left = after_body.get(name)
+            right = after_orelse.get(name)
+            if left is not None and left == right:
+                merged[name] = left
+            else:
+                merged[name] = u_unknown()
+        self.env = merged
+
+    def _sweep_missed_effects(self, statement: ast.stmt) -> None:
+        """Record effect sites the targeted walk skipped.
+
+        Lambdas, comprehension bodies, and nested function/class
+        definitions never contribute unit expressions, but the calls
+        and set-iterations inside them still matter for taint and the
+        call graph — collect them as effects-only sites.
+        """
+        for node in ast.walk(statement):
+            if isinstance(node, ast.Call) and id(node) not in self._recorded:
+                self._recorded.add(id(node))
+                self._check_scan(node)
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in _TRANSPARENT_CALLS
+                ):
+                    continue
+                site = CallSite(
+                    ref=self._call_ref(func),
+                    line=node.lineno,
+                    col=node.col_offset,
+                    has_arguments=bool(node.args or node.keywords),
+                )
+                self.facts.calls.append(site)
+                self._check_nondet_call(site)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                       ast.GeneratorExp)
+            ):
+                for generator in node.generators:
+                    self._check_set_iteration(generator.iter)
+
+
+def _is_generator(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if child is not node:
+                continue
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+def _function_params(
+    node: ast.AST, is_method: bool
+) -> Tuple[List[str], List[str]]:
+    """Parameter names and unit names (skipping self/cls on methods)."""
+    arguments = node.args  # type: ignore[attr-defined]
+    args = list(arguments.posonlyargs) + list(arguments.args)
+    if is_method and args and args[0].arg in ("self", "cls"):
+        args = args[1:]
+    names: List[str] = []
+    units: List[str] = []
+    for arg in args:
+        names.append(arg.arg)
+        declared = _annotation_unit(arg.annotation)
+        unit = declared if declared is not None else classify_name(arg.arg)
+        units.append(unit.name)
+    return names, units
+
+
+def _iter_functions(
+    module: str, tree: ast.Module
+) -> Iterator[Tuple[ast.AST, Optional[str]]]:
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, None
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(
+                    item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    yield item, node.name
+
+
+def extract_module(
+    module: str,
+    path: str,
+    sha256: str,
+    tree: ast.Module,
+    suppressed: SuppressionCheck = _never_suppressed,
+) -> ModuleSummary:
+    """Extract the cacheable local summary of one parsed module."""
+    symbols = build_symbols(module, tree)
+    summary = ModuleSummary(
+        module=module, path=path, sha256=sha256, symbols=symbols
+    )
+    for node, class_name in _iter_functions(module, tree):
+        name = node.name  # type: ignore[attr-defined]
+        qualname = (
+            f"{module}.{class_name}.{name}"
+            if class_name is not None
+            else f"{module}.{name}"
+        )
+        params, units = _function_params(node, class_name is not None)
+        return_unit = _annotation_unit(
+            node.returns  # type: ignore[attr-defined]
+        )
+        facts = FunctionFacts(
+            qualname=qualname,
+            name=name,
+            lineno=node.lineno,  # type: ignore[attr-defined]
+            class_name=class_name,
+            params=params,
+            param_units=units,
+            return_annotation_unit=(
+                return_unit.name if return_unit is not None else None
+            ),
+            is_generator=_is_generator(node),
+        )
+        extractor = _FunctionExtractor(facts, symbols, suppressed)
+        extractor.run(node.body)  # type: ignore[attr-defined]
+        summary.functions[qualname] = facts
+    return summary

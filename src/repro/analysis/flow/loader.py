@@ -1,0 +1,93 @@
+"""Project loader: every module parsed once, hashed for the cache.
+
+:func:`load_project` walks a package root (``src/repro`` in CI, a
+fixture mini-project in tests), reads every ``.py`` file, and yields
+:class:`ModuleInfo` records carrying the source, its SHA-256 (the
+summary-cache key), and a lazily-parsed AST — warm cache runs never
+pay for parses the summaries already cover.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import AnalysisError
+
+
+@dataclass
+class ModuleInfo:
+    """One project module: identity, source, and a lazy AST."""
+
+    name: str
+    path: Path
+    source: str
+    sha256: str
+    lines: List[str] = field(default_factory=list)
+    _tree: Optional[ast.Module] = field(default=None, repr=False)
+
+    @property
+    def tree(self) -> ast.Module:
+        """The parsed AST (parsed on first access, then memoized)."""
+        if self._tree is None:
+            self._tree = ast.parse(self.source, filename=str(self.path))
+        return self._tree
+
+    @property
+    def package(self) -> str:
+        """The root package this module belongs to."""
+        return self.name.split(".", 1)[0]
+
+
+def module_name_for(root: Path, package: str, path: Path) -> str:
+    """Dotted module name of ``path`` relative to the project root."""
+    relative = path.relative_to(root)
+    parts = [package] + list(relative.parts)
+    stem = Path(parts[-1]).stem
+    if stem == "__init__":
+        parts = parts[:-1]
+    else:
+        parts[-1] = stem
+    return ".".join(parts)
+
+
+def load_module(root: Path, package: str, path: Path) -> ModuleInfo:
+    """Read and hash one module (the AST stays unparsed until used)."""
+    source = path.read_text(encoding="utf-8")
+    return ModuleInfo(
+        name=module_name_for(root, package, path),
+        path=path,
+        source=source,
+        sha256=hashlib.sha256(source.encode("utf-8")).hexdigest(),
+        lines=source.splitlines(),
+    )
+
+
+def load_project(
+    root: Path, package: Optional[str] = None
+) -> Dict[str, ModuleInfo]:
+    """Load every ``.py`` module under ``root``, keyed by module name.
+
+    ``package`` defaults to the root directory's name, so loading
+    ``src/repro`` produces ``repro.*`` modules and a fixture directory
+    ``unitsbad`` produces ``unitsbad.*`` modules.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        raise AnalysisError(f"project root is not a directory: {root}")
+    package = package or root.name
+    modules: Dict[str, ModuleInfo] = {}
+    for path in sorted(root.rglob("*.py")):
+        info = load_module(root, package, path)
+        if info.name in modules:
+            raise AnalysisError(
+                f"duplicate module name {info.name!r}: "
+                f"{modules[info.name].path} vs {path}"
+            )
+        modules[info.name] = info
+    if not modules:
+        raise AnalysisError(f"no python modules under {root}")
+    return modules

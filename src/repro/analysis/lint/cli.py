@@ -1,20 +1,46 @@
 """Command-line front end for ``repro-lint``.
 
+Two modes share one rule registry:
+
+* **per-file** (default): ``repro-lint src/repro`` lints each file in
+  isolation — fast, no cross-module knowledge, the seven per-file
+  rules;
+* **project** (``--project ROOT``): loads the whole package once,
+  builds the call graph and function summaries, and runs *every* rule
+  with project context — the interprocedural rules (RPR008–RPR010)
+  come alive and the per-file rules sharpen through callee summaries.
+  ``--cache FILE`` keeps per-module summaries keyed by content hash,
+  so warm runs only re-extract edited files.
+
 Exit codes follow the usual linter convention:
 
-* ``0`` — no violations,
-* ``1`` — violations found (each printed as ``path:line:col: RULE …``),
-* ``2`` — tooling error (unknown rule, missing path, …).
+* ``0`` — no violations (baselined findings do not count);
+* ``1`` — violations found (each printed as ``path:line:col: RULE …``);
+* ``2`` — tooling error (unknown rule, missing path, bad baseline, …).
+
+Output formats (``--format``): ``text`` (default), ``json`` (one
+machine-readable document, for CI artifacts), and ``github`` (GitHub
+Actions ``::error`` workflow annotations).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
-from repro.analysis.lint.engine import RULE_REGISTRY, lint_paths
+from repro.analysis.lint.engine import (
+    RULE_REGISTRY,
+    LintViolation,
+    apply_baseline,
+    baseline_payload,
+    lint_paths,
+    lint_project,
+    load_baseline,
+)
 from repro.errors import AnalysisError
 
 
@@ -31,12 +57,63 @@ def build_parser() -> argparse.ArgumentParser:
         "paths",
         nargs="*",
         type=Path,
-        help="files or directories to lint (default: src)",
+        help="files or directories to lint per-file (default: src)",
+    )
+    parser.add_argument(
+        "--project",
+        metavar="ROOT",
+        type=Path,
+        help=(
+            "lint a package root with whole-project semantics (call "
+            "graph + summaries; enables RPR008-RPR010)"
+        ),
     )
     parser.add_argument(
         "--select",
         metavar="RULES",
         help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids to drop from the results",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        type=Path,
+        help=(
+            "suppress findings recorded in FILE (rule+path+message "
+            "keyed, so line drift does not churn it)"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=(
+            "rewrite --baseline FILE with the current findings and "
+            "exit 0"
+        ),
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        type=Path,
+        help=(
+            "project mode: per-module summary cache keyed by file "
+            "hash (warm runs skip unchanged files)"
+        ),
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print analysis statistics to stderr",
     )
     parser.add_argument(
         "--list-rules",
@@ -55,6 +132,84 @@ def _list_rules() -> int:
     return 0
 
 
+def _rule_list(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [part.strip().upper() for part in raw.split(",") if part.strip()]
+
+
+def _validate_ignore(ignore: Sequence[str]) -> Set[str]:
+    import repro.analysis.lint.rules  # noqa: F401
+
+    unknown = [
+        rule_id for rule_id in ignore if rule_id not in RULE_REGISTRY
+    ]
+    # RPR000 (syntax error) is engine-level, not registered.
+    unknown = [r for r in unknown if r != "RPR000"]
+    if unknown:
+        raise AnalysisError(
+            f"unknown rule(s) in --ignore: {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(RULE_REGISTRY))}"
+        )
+    return set(ignore)
+
+
+def _emit_text(
+    violations: Sequence[LintViolation], baselined: int
+) -> None:
+    for violation in violations:
+        print(violation.render())
+    if baselined:
+        plural = "" if baselined == 1 else "s"
+        print(
+            f"repro-lint: {baselined} baselined finding{plural} "
+            f"suppressed"
+        )
+    if violations:
+        count = len(violations)
+        plural = "" if count == 1 else "s"
+        print(f"repro-lint: {count} violation{plural}")
+
+
+def _emit_json(
+    violations: Sequence[LintViolation],
+    baselined: int,
+    stats: Optional[dict],
+) -> None:
+    document = {
+        "violations": [
+            {
+                "rule": v.rule_id,
+                "path": Path(v.path).as_posix(),
+                "line": v.line,
+                "col": v.col,
+                "message": v.message,
+            }
+            for v in violations
+        ],
+        "count": len(violations),
+        "baselined": baselined,
+    }
+    if stats is not None:
+        document["stats"] = stats
+    print(json.dumps(document, indent=2, sort_keys=True))
+
+
+def _emit_github(violations: Sequence[LintViolation]) -> None:
+    for v in violations:
+        # Workflow-annotation messages must stay single-line; the
+        # format's own escaping covers %, CR and LF.
+        message = (
+            v.message.replace("%", "%25")
+            .replace("\r", "%0D")
+            .replace("\n", "%0A")
+        )
+        print(
+            f"::error file={Path(v.path).as_posix()},line={v.line},"
+            f"col={v.col},title={v.rule_id}::{message}"
+        )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     options = parser.parse_args(argv)
@@ -62,24 +217,81 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if options.list_rules:
         return _list_rules()
 
-    paths: List[Path] = options.paths or [Path("src")]
-    select = (
-        options.select.split(",") if options.select is not None else None
-    )
+    if options.update_baseline and options.baseline is None:
+        print(
+            "repro-lint: error: --update-baseline requires --baseline",
+            file=sys.stderr,
+        )
+        return 2
+    if options.project is not None and options.paths:
+        print(
+            "repro-lint: error: pass either paths or --project, "
+            "not both",
+            file=sys.stderr,
+        )
+        return 2
+
+    select = _rule_list(options.select)
+    ignore = _rule_list(options.ignore) or []
+
+    started = time.perf_counter()
+    stats: Optional[dict] = None
     try:
-        violations = lint_paths(paths, select=select)
+        ignored = _validate_ignore(ignore)
+        if options.project is not None:
+            violations, analysis = lint_project(
+                options.project,
+                select=select,
+                cache_path=options.cache,
+            )
+            if analysis is not None:
+                stats = dict(analysis.stats)
+        else:
+            paths: List[Path] = options.paths or [Path("src")]
+            violations = lint_paths(paths, select=select)
+        if ignored:
+            violations = [
+                v for v in violations if v.rule_id not in ignored
+            ]
+        baselined = 0
+        if options.baseline is not None and not options.update_baseline:
+            baseline = load_baseline(options.baseline)
+            violations, baselined = apply_baseline(
+                violations, baseline
+            )
     except AnalysisError as exc:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return 2
 
-    for violation in violations:
-        print(violation.render())
-    if violations:
-        count = len(violations)
-        plural = "" if count == 1 else "s"
-        print(f"repro-lint: {count} violation{plural}")
-        return 1
-    return 0
+    if stats is not None:
+        stats["elapsed_seconds"] = round(
+            time.perf_counter() - started, 3
+        )
+
+    if options.update_baseline:
+        assert options.baseline is not None
+        payload = baseline_payload(violations)
+        options.baseline.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        count = len(payload["findings"])
+        print(
+            f"repro-lint: baseline updated with {count} finding(s) "
+            f"at {options.baseline}"
+        )
+        return 0
+
+    if options.stats and stats is not None:
+        print(f"repro-lint: stats: {stats}", file=sys.stderr)
+
+    if options.format == "json":
+        _emit_json(violations, baselined, stats)
+    elif options.format == "github":
+        _emit_github(violations)
+    else:
+        _emit_text(violations, baselined)
+    return 1 if violations else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -29,12 +29,28 @@ from __future__ import annotations
 
 import abc
 import ast
+import json
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
 
 from repro.errors import AnalysisError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.flow.summaries import ProjectAnalysis
 
 #: Pragma grammar: ``# repro-lint: allow[RPR001]`` or ``# repro-lint: allow``.
 _PRAGMA = re.compile(
@@ -66,6 +82,27 @@ def file_allowed_rules(lines: Sequence[str]) -> frozenset:
     return frozenset(allowed)
 
 
+def line_allows(
+    lines: Sequence[str], line: int, rule_id: str
+) -> bool:
+    """Whether a line pragma on ``line`` (1-based) silences ``rule_id``.
+
+    Every pragma on the line is consulted, so two suppressions can sit
+    on one line (``# repro-lint: allow[RPR001] … allow[RPR008] …``) and
+    comma lists work in either spelling (``allow[RPR001,RPR008]``).
+    """
+    if not 1 <= line <= len(lines):
+        return False
+    for match in _PRAGMA.finditer(lines[line - 1]):
+        rules = match.group("rules")
+        if rules is None:
+            return True
+        allowed = {part.strip() for part in rules.split(",")}
+        if rule_id in allowed:
+            return True
+    return False
+
+
 @dataclass(frozen=True)
 class LintViolation:
     """One rule violation at one source location."""
@@ -92,6 +129,12 @@ class FileContext:
     source: str
     tree: ast.Module
     lines: List[str] = field(default_factory=list)
+    #: Whole-project semantics when linting in ``--project`` mode;
+    #: None on single-file runs (project rules then stay silent and
+    #: per-file rules fall back to local inference).
+    project: Optional["ProjectAnalysis"] = None
+    #: Dotted module name within the analyzed project, if any.
+    module: Optional[str] = None
 
     @property
     def posix(self) -> str:
@@ -179,16 +222,33 @@ def _load_rules(select: Optional[Sequence[str]]) -> List[Rule]:
 
 
 def _suppressed(violation: LintViolation, lines: List[str]) -> bool:
-    if not 1 <= violation.line <= len(lines):
-        return False
-    match = _PRAGMA.search(lines[violation.line - 1])
-    if match is None:
-        return False
-    rules = match.group("rules")
-    if rules is None:
-        return True
-    allowed = {part.strip() for part in rules.split(",")}
-    return violation.rule_id in allowed
+    return line_allows(lines, violation.line, violation.rule_id)
+
+
+def _syntax_violation(path: Path, exc: SyntaxError) -> LintViolation:
+    return LintViolation(
+        rule_id="RPR000",
+        path=str(path),
+        line=exc.lineno or 1,
+        col=exc.offset or 0,
+        message=f"syntax error: {exc.msg}",
+    )
+
+
+def _check_context(
+    context: FileContext, rules: Sequence[Rule]
+) -> List[LintViolation]:
+    file_allowed = file_allowed_rules(context.lines)
+    violations: List[LintViolation] = []
+    for rule in rules:
+        if rule.rule_id in file_allowed:
+            continue
+        if not rule.applies_to(context):
+            continue
+        for violation in rule.check(context):
+            if not _suppressed(violation, context.lines):
+                violations.append(violation)
+    return violations
 
 
 def lint_source(
@@ -200,31 +260,14 @@ def lint_source(
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
-        return [
-            LintViolation(
-                rule_id="RPR000",
-                path=str(path),
-                line=exc.lineno or 1,
-                col=exc.offset or 0,
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
+        return [_syntax_violation(path, exc)]
     context = FileContext(
         path=path,
         source=source,
         tree=tree,
         lines=source.splitlines(),
     )
-    file_allowed = file_allowed_rules(context.lines)
-    violations: List[LintViolation] = []
-    for rule in _load_rules(select):
-        if rule.rule_id in file_allowed:
-            continue
-        if not rule.applies_to(context):
-            continue
-        for violation in rule.check(context):
-            if not _suppressed(violation, context.lines):
-                violations.append(violation)
+    violations = _check_context(context, _load_rules(select))
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
     return violations
 
@@ -257,3 +300,140 @@ def lint_paths(
     for file_path in iter_python_files(paths):
         violations.extend(lint_file(file_path, select))
     return violations
+
+
+# ---------------------------------------------------------------------------
+# Project-context phase
+# ---------------------------------------------------------------------------
+
+
+def lint_project(
+    root: Path,
+    select: Optional[Sequence[str]] = None,
+    cache_path: Optional[Path] = None,
+) -> Tuple[List[LintViolation], Optional["ProjectAnalysis"]]:
+    """Lint a package root with whole-project semantics.
+
+    Every module is loaded once; modules that parse feed the
+    interprocedural analysis (call graph + summaries), then every rule
+    runs per file with :attr:`FileContext.project` populated — the
+    project rules (RPR008–RPR010) come alive and the per-file rules
+    sharpen their inference through callee summaries.  Modules that do
+    not parse surface as ``RPR000`` and are excluded from the graph.
+    """
+    from repro.analysis import flow
+    from repro.analysis.flow.loader import load_project
+
+    modules = load_project(Path(root))
+    violations: List[LintViolation] = []
+    parsed = {}
+    for name in sorted(modules):
+        info = modules[name]
+        try:
+            info.tree
+        except SyntaxError as exc:
+            violations.append(_syntax_violation(info.path, exc))
+            continue
+        parsed[name] = info
+
+    analysis: Optional["ProjectAnalysis"] = None
+    if parsed:
+        analysis = flow.analyze_project(
+            Path(root), cache_path=cache_path, modules=parsed
+        )
+
+    rules = _load_rules(select)
+    for name in sorted(parsed):
+        info = parsed[name]
+        context = FileContext(
+            path=info.path,
+            source=info.source,
+            tree=info.tree,
+            lines=info.lines,
+            project=analysis,
+            module=name,
+        )
+        violations.extend(_check_context(context, rules))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return violations, analysis
+
+
+# ---------------------------------------------------------------------------
+# Baselines
+# ---------------------------------------------------------------------------
+
+#: Baseline key: (rule id, posix path, message) — line numbers are
+#: deliberately excluded so unrelated edits do not churn the file.
+BaselineKey = Tuple[str, str, str]
+
+
+def _baseline_key(violation: LintViolation) -> BaselineKey:
+    return (
+        violation.rule_id,
+        Path(violation.path).as_posix(),
+        violation.message,
+    )
+
+
+def load_baseline(path: Path) -> Set[BaselineKey]:
+    """Parse a baseline file into its suppression keys."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise AnalysisError(f"cannot read baseline {path}: {exc}")
+    except ValueError as exc:
+        raise AnalysisError(f"malformed baseline {path}: {exc}")
+    findings = payload.get("findings", [])
+    keys: Set[BaselineKey] = set()
+    for finding in findings:
+        keys.add(
+            (
+                str(finding["rule"]),
+                str(finding["path"]),
+                str(finding["message"]),
+            )
+        )
+    return keys
+
+
+def apply_baseline(
+    violations: Sequence[LintViolation], baseline: Set[BaselineKey]
+) -> Tuple[List[LintViolation], int]:
+    """Split out baselined findings; returns (fresh, matched-count)."""
+    fresh: List[LintViolation] = []
+    matched = 0
+    for violation in violations:
+        if _baseline_key(violation) in baseline:
+            matched += 1
+        else:
+            fresh.append(violation)
+    return fresh, matched
+
+
+def baseline_payload(
+    violations: Sequence[LintViolation],
+    justifications: Optional[Dict[str, str]] = None,
+) -> Dict[str, Any]:
+    """JSON document for ``--update-baseline``.
+
+    ``justifications`` maps a rule id to a one-line reason recorded
+    alongside its findings; unexplained entries get a placeholder so
+    review can demand a reason.
+    """
+    justifications = justifications or {}
+    findings = []
+    for violation in sorted(
+        violations, key=lambda v: (v.path, v.line, v.col, v.rule_id)
+    ):
+        rule_id, path, message = _baseline_key(violation)
+        findings.append(
+            {
+                "rule": rule_id,
+                "path": path,
+                "message": message,
+                "justification": justifications.get(
+                    rule_id, "TODO: justify or fix"
+                ),
+            }
+        )
+    return {"version": 1, "findings": findings}

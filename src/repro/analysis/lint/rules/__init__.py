@@ -15,6 +15,9 @@ from repro.analysis.lint.rules import (  # noqa: F401
     rpr005_scans,
     rpr006_swallowed,
     rpr007_streaming,
+    rpr008_interunits,
+    rpr009_nondet_reach,
+    rpr010_shared_state,
 )
 
 __all__ = [
@@ -25,4 +28,7 @@ __all__ = [
     "rpr005_scans",
     "rpr006_swallowed",
     "rpr007_streaming",
+    "rpr008_interunits",
+    "rpr009_nondet_reach",
+    "rpr010_shared_state",
 ]

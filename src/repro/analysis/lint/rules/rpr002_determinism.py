@@ -35,6 +35,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator, Optional, Set
 
+from repro.analysis.flow.contracts import CLOCK_CALLS, DATETIME_NOW
 from repro.analysis.lint.engine import (
     FileContext,
     LintViolation,
@@ -42,21 +43,12 @@ from repro.analysis.lint.engine import (
     register_rule,
 )
 
-_CLOCK_CALLS = {
-    "time.time",
-    "time.time_ns",
-    "time.monotonic",
-    "time.monotonic_ns",
-    "time.perf_counter",
-    "time.perf_counter_ns",
-    "time.process_time",
-    "time.process_time_ns",
-    "os.urandom",
-    "uuid.uuid1",
-    "uuid.uuid4",
-}
+#: Shared with the project-wide taint analysis (RPR009) via
+#: :mod:`repro.analysis.flow.contracts`, so the per-file and
+#: interprocedural phases can never drift on what counts as a hazard.
+_CLOCK_CALLS = CLOCK_CALLS
 
-_DATETIME_NOW = {"now", "utcnow", "today"}
+_DATETIME_NOW = DATETIME_NOW
 
 
 def _dotted(node: ast.AST) -> Optional[str]:

@@ -140,6 +140,34 @@ class PolicyConformanceRule(Rule):
                 f"{class_def.name} subclasses CachePolicy but does not "
                 f"implement decide()",
             )
+        elif (
+            "CachePolicy" not in bases
+            and not is_abstract_root
+            and context.project is not None
+            and context.module is not None
+        ):
+            # Project mode sees through intermediate bases: an indirect
+            # CachePolicy subclass must resolve decide() somewhere in
+            # its hierarchy even when no single file shows the chain.
+            graph = context.project.graph
+            ancestors = graph.mro_bases(context.module, class_def.name)
+            if any(name == "CachePolicy" for _, name in ancestors):
+                resolved = graph.method_of(
+                    context.module, class_def.name, "decide"
+                )
+                if resolved is None or resolved.endswith(
+                    ".CachePolicy.decide"
+                ):
+                    chain = " -> ".join(
+                        name for _, name in ancestors
+                    )
+                    yield self.violation(
+                        context,
+                        class_def,
+                        f"{class_def.name} reaches CachePolicy through "
+                        f"{chain} but no class on the chain implements "
+                        f"decide()",
+                    )
 
         if not (is_policy and (has_policy_base or is_abstract_root)):
             return

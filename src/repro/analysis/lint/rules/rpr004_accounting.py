@@ -17,6 +17,10 @@ from __future__ import annotations
 import ast
 from typing import Iterator, List, Optional, Tuple
 
+from repro.analysis.flow.contracts import (
+    ACCOUNTING_FIELDS,
+    ACCOUNTING_OWNERS,
+)
 from repro.analysis.lint.engine import (
     FileContext,
     LintViolation,
@@ -24,29 +28,14 @@ from repro.analysis.lint.engine import (
     register_rule,
 )
 
-#: Attribute names that carry WAN byte/cost totals.
-_ACCOUNTING_FIELDS = {
-    "load_bytes",
-    "bypass_bytes",
-    "cache_bytes",
-    "load_cost",
-    "bypass_cost",
-    "retry_bytes",
-    "retry_cost",
-    "wan_bytes",
-    "wan_cost",
-    "weighted_cost",
-}
+#: Attribute names that carry WAN byte/cost totals, and the classes
+#: sanctioned to mutate them on ``self`` — shared with the project
+#: phase (RPR010's effect-contract registry) via
+#: :mod:`repro.analysis.flow.contracts` so the two passes police the
+#: same surface.
+_ACCOUNTING_FIELDS = ACCOUNTING_FIELDS
 
-#: Classes that own accounting state and may mutate it on ``self``.
-_SANCTIONED_OWNERS = {
-    "TrafficLedger",
-    "QueryAccounting",
-    "CostBreakdown",
-    "SimulationResult",
-    "FederatedResult",
-    "DecisionEvent",
-}
+_SANCTIONED_OWNERS = ACCOUNTING_OWNERS
 
 
 def _attribute_write(target: ast.expr) -> Optional[Tuple[str, bool]]:

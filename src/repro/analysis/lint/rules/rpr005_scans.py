@@ -29,7 +29,7 @@ prove asymptotics.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional, Set
+from typing import TYPE_CHECKING, Iterator, Optional, Set, Tuple
 
 from repro.analysis.lint.engine import (
     FileContext,
@@ -37,6 +37,9 @@ from repro.analysis.lint.engine import (
     Rule,
     register_rule,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.flow.summaries import ProjectAnalysis
 
 #: Methods on the per-query decision path.  Private helpers (leading
 #: underscore, non-dunder) are checked as well — decision methods
@@ -113,6 +116,89 @@ class DecisionPathScanRule(Rule):
             ):
                 continue
             yield from self._check_method(context, class_def, method)
+            if method.name in _HOT_METHODS:
+                yield from self._check_helper_chain(
+                    context, class_def, method
+                )
+
+    def _check_helper_chain(
+        self,
+        context: FileContext,
+        class_def: ast.ClassDef,
+        method: ast.AST,
+    ) -> Iterator[LintViolation]:
+        """Project mode: scans hidden behind module-level helpers.
+
+        The syntactic check stops at the method body; with summaries
+        available, a hot method calling a plain function that (up to
+        three hops away) runs ``sorted(...)``/``.object_ids()`` is the
+        same O(n) regression and gets flagged at the call site.
+        """
+        project = context.project
+        if project is None or context.module is None:
+            return
+        qualname = (
+            f"{context.module}.{class_def.name}."
+            f"{method.name}"  # type: ignore[attr-defined]
+        )
+        facts = project.facts(qualname)
+        if facts is None:
+            return
+        for index, site in enumerate(facts.calls):
+            callee = project.callee_of(qualname, index)
+            if callee is None:
+                continue
+            found = self._find_scan(project, callee, 0, set())
+            if found is None:
+                continue
+            scan_holder, described = found
+            via = (
+                f" (reached through {callee})"
+                if scan_holder != callee
+                else ""
+            )
+            yield LintViolation(
+                rule_id=self.rule_id,
+                path=str(context.path),
+                line=site.line,
+                col=site.col,
+                message=(
+                    f"{class_def.name}."
+                    f"{method.name}"  # type: ignore[attr-defined]
+                    f"() calls {scan_holder} which scans the cache: "
+                    f"{described}{via}; per-query work must stay "
+                    f"sublinear — or mark an amortized site with "
+                    f"'# repro-lint: allow[RPR005] <reason>'"
+                ),
+            )
+
+    def _find_scan(
+        self,
+        project: "ProjectAnalysis",
+        qualname: str,
+        depth: int,
+        seen: Set[str],
+    ) -> Optional[Tuple[str, str]]:
+        """(function, description) of the first scan reachable through
+        plain module-level functions, up to three hops deep."""
+        if depth > 3 or qualname in seen:
+            return None
+        seen.add(qualname)
+        facts = project.facts(qualname)
+        if facts is None or facts.class_name is not None:
+            # Methods of other classes are covered by their own file's
+            # per-file pass (or presumed cold); only chase helpers.
+            return None
+        if facts.scan_sites:
+            return qualname, str(facts.scan_sites[0][0])
+        for index in range(len(facts.calls)):
+            callee = project.callee_of(qualname, index)
+            if callee is None:
+                continue
+            found = self._find_scan(project, callee, depth + 1, seen)
+            if found is not None:
+                return found
+        return None
 
     def _check_method(
         self,

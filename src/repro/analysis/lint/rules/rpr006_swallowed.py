@@ -123,6 +123,34 @@ class SwallowedErrorRule(Rule):
             if isinstance(node, ast.ExceptHandler):
                 yield from self._check_handler(context, node)
 
+    @staticmethod
+    def _project_handles(
+        context: FileContext, handler: ast.ExceptHandler
+    ) -> bool:
+        """Project mode: a call into a function whose summary mutates
+        shared ledger/accounting state counts as recording the failure,
+        even when its name says nothing (``_note_waste(...)``)."""
+        project = context.project
+        if project is None or context.module is None:
+            return False
+        from repro.analysis.flow.symbols import dotted_name
+
+        for statement in handler.body:
+            for node in ast.walk(statement):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = dotted_name(node.func)
+                if dotted is None:
+                    continue
+                callee = project.resolve_dotted_call(
+                    context.module, dotted
+                )
+                if callee is not None and project.mutates_shared(
+                    callee
+                ):
+                    return True
+        return False
+
     def _check_handler(
         self, context: FileContext, handler: ast.ExceptHandler
     ) -> Iterator[LintViolation]:
@@ -144,7 +172,9 @@ class SwallowedErrorRule(Rule):
                 f"catch the typed failure (e.g. BackendUnavailable, "
                 f"FaultError) instead",
             )
-        if not _handles_failure(handler):
+        if not _handles_failure(handler) and not self._project_handles(
+            context, handler
+        ):
             caught = ", ".join(names) if names else "everything"
             yield self.violation(
                 context,

@@ -32,7 +32,7 @@ trace on a path that was built to stream.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional, Set
+from typing import AbstractSet, Iterator, Optional, Set
 
 from repro.analysis.lint.engine import (
     FileContext,
@@ -63,14 +63,19 @@ _STREAM_CALLS = {
 }
 
 
-def _mentions_stream(node: ast.AST) -> bool:
+def _mentions_stream(
+    node: ast.AST, stream_calls: AbstractSet[str] = frozenset()
+) -> bool:
     """True when ``node`` textually references a stream-like value.
 
     A *bare* ``self`` counts (the object itself is the stream, as in
     ``ChunkedTrace``'s ``list(self)``); ``self.some_attr`` does not —
     attributes are judged by their own names, else every bounded
-    instance list would fire.
+    instance list would fire.  ``stream_calls`` extends the known
+    generator constructors (project mode adds every public generator
+    function the analysis discovered).
     """
+    all_stream_calls = _STREAM_CALLS | stream_calls
     if isinstance(node, ast.Name) and node.id == "self":
         return True
     for child in ast.walk(node):
@@ -78,7 +83,7 @@ def _mentions_stream(node: ast.AST) -> bool:
             return True
         if (
             isinstance(child, ast.Attribute)
-            and child.attr in (_STREAMY_NAMES | _STREAM_CALLS)
+            and child.attr in (_STREAMY_NAMES | all_stream_calls)
         ):
             return True
         if isinstance(child, ast.Call):
@@ -90,12 +95,14 @@ def _mentions_stream(node: ast.AST) -> bool:
                 if isinstance(func, ast.Attribute)
                 else None
             )
-            if name in _STREAM_CALLS:
+            if name in all_stream_calls:
                 return True
     return False
 
 
-def _materialization(node: ast.AST) -> Optional[str]:
+def _materialization(
+    node: ast.AST, stream_calls: AbstractSet[str] = frozenset()
+) -> Optional[str]:
     """Describe ``node`` when it materializes a stream, else None."""
     if not (
         isinstance(node, ast.Call)
@@ -104,7 +111,7 @@ def _materialization(node: ast.AST) -> Optional[str]:
         and len(node.args) == 1
     ):
         return None
-    if _mentions_stream(node.args[0]):
+    if _mentions_stream(node.args[0], stream_calls):
         return (
             f"{node.func.id}(...) materializes a stream-like value in "
             f"full"
@@ -162,8 +169,18 @@ class StreamingBoundednessRule(Rule):
 
     def check(self, context: FileContext) -> Iterator[LintViolation]:
         seen: Set[int] = set()
+        stream_calls: Set[str] = set()
+        if context.project is not None:
+            # Project mode: every public generator function discovered
+            # by the analysis is a stream source, not just the
+            # hard-coded constructor names.
+            stream_calls = {
+                name
+                for name in context.project.generator_functions()
+                if not name.startswith("_")
+            }
         for node in ast.walk(context.tree):
-            described = _materialization(node)
+            described = _materialization(node, stream_calls)
             if described is not None and id(node) not in seen:
                 seen.add(id(node))
                 yield self.violation(
@@ -175,12 +192,13 @@ class StreamingBoundednessRule(Rule):
                 )
             if isinstance(
                 node, (ast.For, ast.AsyncFor)
-            ) and _mentions_stream(node.iter):
+            ) and _mentions_stream(node.iter, stream_calls):
                 yield from self._check_loop(context, node, seen)
             elif isinstance(
                 node, (ast.ListComp, ast.SetComp, ast.DictComp)
             ) and any(
-                _mentions_stream(gen.iter) for gen in node.generators
+                _mentions_stream(gen.iter, stream_calls)
+                for gen in node.generators
             ):
                 if id(node) not in seen:
                     seen.add(id(node))

@@ -1,0 +1,163 @@
+"""RPR008: interprocedural unit mixing (raw bytes vs weighted cost).
+
+RPR001 polices unit mixing *within* one function using naming
+conventions and a local call table.  This rule closes the gap it
+leaves: a ``WeightedCost`` produced three helpers away and added to a
+raw byte counter, a weighted return value passed into a parameter that
+the callee treats as raw bytes, or a ``fetch_cost=``/``yield_bytes=``
+pairing whose operands only reveal their kinds through callee
+summaries.  Any site RPR001 can already prove locally is skipped, so
+the two rules never double-report.
+
+Runs only in ``--project`` mode (it needs function summaries).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List, Tuple
+
+from repro.analysis.flow.lattice import AbstractUnit, RAW_LIKE, mixes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.flow.extract import FunctionFacts
+    from repro.analysis.flow.lattice import UExpr
+from repro.analysis.lint.engine import (
+    FileContext,
+    LintViolation,
+    Rule,
+    register_rule,
+)
+
+
+def _unit_phrase(unit: AbstractUnit) -> str:
+    return unit.value
+
+
+@register_rule
+class InterproceduralUnitsRule(Rule):
+    rule_id = "RPR008"
+    summary = (
+        "raw-byte and weighted-cost values must not mix across "
+        "function boundaries (summary-based check)"
+    )
+
+    def check(self, context: FileContext) -> Iterator[LintViolation]:
+        project = context.project
+        if project is None or context.module is None:
+            return
+        for facts in project.functions_in(context.module):
+            yield from self._check_mix_sites(context, facts)
+            yield from self._check_pair_sites(context, facts)
+            yield from self._check_arguments(context, facts)
+
+    # -- mixing through returned values ---------------------------------
+
+    def _check_mix_sites(
+        self, context: FileContext, facts: "FunctionFacts"
+    ) -> Iterator[LintViolation]:
+        project = context.project
+        assert project is not None
+        for mix in facts.mixes:
+            if mix.locally_flagged:
+                continue  # RPR001 territory
+            left = project.eval_expr(facts.qualname, mix.left)
+            right = project.eval_expr(facts.qualname, mix.right)
+            if not mixes(left, right):
+                continue
+            via = project.unit_provenance(
+                facts.qualname, mix.left
+            ) or project.unit_provenance(facts.qualname, mix.right)
+            chain = f" (unit established by {via})" if via else ""
+            yield LintViolation(
+                rule_id=self.rule_id,
+                path=str(context.path),
+                line=mix.line,
+                col=mix.col,
+                message=(
+                    f"{_unit_phrase(left)} {mix.verb} with "
+                    f"{_unit_phrase(right)} through a helper "
+                    f"chain{chain}; convert with weigh()/unweigh() "
+                    f"first"
+                ),
+            )
+
+    # -- fetch_cost= / yield_bytes= pairings ----------------------------
+
+    def _check_pair_sites(
+        self, context: FileContext, facts: "FunctionFacts"
+    ) -> Iterator[LintViolation]:
+        project = context.project
+        assert project is not None
+        for pair in facts.pairs:
+            if pair.locally_flagged:
+                continue
+            cost = project.eval_expr(facts.qualname, pair.cost)
+            yield_unit = project.eval_expr(
+                facts.qualname, pair.yield_bytes
+            )
+            wrong: List[str] = []
+            if cost in RAW_LIKE:
+                wrong.append(
+                    f"fetch_cost= received {_unit_phrase(cost)}"
+                )
+            if yield_unit is AbstractUnit.WEIGHTED:
+                wrong.append(
+                    f"yield_bytes= received {_unit_phrase(yield_unit)}"
+                )
+            if not wrong:
+                continue
+            yield LintViolation(
+                rule_id=self.rule_id,
+                path=str(context.path),
+                line=pair.line,
+                col=pair.col,
+                message=(
+                    "; ".join(wrong)
+                    + " (kinds established through callee summaries)"
+                ),
+            )
+
+    # -- arguments flowing into typed parameters ------------------------
+
+    def _check_arguments(
+        self, context: FileContext, facts: "FunctionFacts"
+    ) -> Iterator[LintViolation]:
+        project = context.project
+        assert project is not None
+        for index, site in enumerate(facts.calls):
+            callee = project.callee_of(facts.qualname, index)
+            if callee is None:
+                continue
+            callee_facts = project.facts(callee)
+            if callee_facts is None:
+                continue
+            bindings: List[Tuple[int, "UExpr"]] = list(
+                enumerate(site.args)
+            )
+            for keyword, expr in sorted(site.kwargs.items()):
+                position = callee_facts.param_index(keyword)
+                if position is not None:
+                    bindings.append((position, expr))
+            for position, expr in bindings:
+                expected = callee_facts.param_unit(position)
+                if expected is AbstractUnit.UNKNOWN:
+                    continue
+                actual = project.eval_expr(facts.qualname, expr)
+                if not mixes(actual, expected):
+                    continue
+                if position >= len(callee_facts.params):
+                    continue
+                param = callee_facts.params[position]
+                yield LintViolation(
+                    rule_id=self.rule_id,
+                    path=str(context.path),
+                    line=site.line,
+                    col=site.col,
+                    message=(
+                        f"argument for parameter {param!r} of "
+                        f"{callee} carries {_unit_phrase(actual)} "
+                        f"but the parameter expects "
+                        f"{_unit_phrase(expected)}"
+                    ),
+                )
+

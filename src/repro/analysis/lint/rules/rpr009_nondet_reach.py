@@ -1,0 +1,102 @@
+"""RPR009: nondeterminism reachability in replay-critical code.
+
+RPR002 flags *direct* entropy and wall-clock reads inside the
+replay-critical packages.  This rule extends the guarantee
+transitively: a ``repro.core`` / ``repro.sim`` / ``repro.workload``
+function must not *reach* a nondeterminism hazard through any chain of
+project calls — a helper three modules away calling
+``random.random()`` breaks replay just as surely as an inline call.
+
+Sanctioned seams absorb taint (:data:`…flow.contracts
+.NONDET_SEAM_QUALNAMES`): ``uniform_draw`` is hash-keyed and
+deterministic by construction, ``wall_clock_timestamp`` stamps run
+metadata at the CLI edge.  Hazards suppressed at their source with an
+``allow[RPR002]``/``allow[RPR009]`` pragma never enter the taint
+computation at all.
+
+Direct hazards inside RPR002's own scope are left to RPR002 — this
+rule only reports what the per-file pass cannot see (transitive
+chains anywhere, plus direct hazards in ``workload``, which RPR002
+does not cover).  Runs only in ``--project`` mode.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.flow import contracts
+from repro.analysis.lint.engine import (
+    FileContext,
+    LintViolation,
+    Rule,
+    register_rule,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.flow.extract import FunctionFacts
+
+#: Packages whose functions must stay deterministically replayable.
+_SCOPE = ("core", "sim", "workload")
+
+#: Packages where RPR002 already reports direct hazard sites.
+_RPR002_SCOPE = ("core", "sim", "obs", "faults")
+
+
+@register_rule
+class NondetReachabilityRule(Rule):
+    rule_id = "RPR009"
+    summary = (
+        "replay-critical functions must not reach entropy/clock/"
+        "set-order hazards through any call chain"
+    )
+
+    def applies_to(self, context: FileContext) -> bool:
+        return any(
+            context.has_segments(segment) for segment in _SCOPE
+        )
+
+    def check(self, context: FileContext) -> Iterator[LintViolation]:
+        project = context.project
+        if project is None or context.module is None:
+            return
+        in_rpr002_scope = any(
+            context.has_segments(segment) for segment in _RPR002_SCOPE
+        )
+        for facts in project.functions_in(context.module):
+            if contracts.is_seam(facts.qualname):
+                continue
+            summary = project.summary(facts.qualname)
+            if summary is None or summary.taint is None:
+                continue
+            taint = summary.taint
+            if taint.via is None and in_rpr002_scope:
+                continue  # RPR002 reports the direct site itself
+            yield self._render(context, facts, project)
+
+    def _render(
+        self,
+        context: FileContext,
+        facts: "FunctionFacts",
+        project: "object",
+    ) -> LintViolation:
+        assert context.project is not None
+        chain = context.project.taint_chain(facts.qualname)
+        summary = context.project.summary(facts.qualname)
+        assert summary is not None and summary.taint is not None
+        taint = summary.taint
+        if taint.via is None:
+            detail = f"contains {taint.reason}"
+        else:
+            hops = " -> ".join(qualname for qualname, _ in chain)
+            detail = f"reaches {taint.reason} via {hops}"
+        return LintViolation(
+            rule_id=self.rule_id,
+            path=str(context.path),
+            line=taint.line,
+            col=0,
+            message=(
+                f"{facts.qualname} {detail}; route entropy through "
+                f"uniform_draw() and timestamps through "
+                f"wall_clock_timestamp()"
+            ),
+        )

@@ -1,0 +1,108 @@
+"""RPR010: shared policy/cache/ledger state has sanctioned mutators.
+
+The effect-contract registry (:mod:`repro.analysis.flow.contracts`)
+declares which attributes form shared policy/cache/ledger state and
+which methods may write them.  This rule enforces the discipline the
+async multi-tenant mediator will depend on: when the shared cache
+serves several tenants, every mutation must funnel through the
+methods a lock (or a single-writer event loop) can guard.
+
+Two write shapes are policed:
+
+* **inside an owning class** — ``self.<attr> = …`` from a method the
+  contract does not sanction (``__init__`` is always allowed: an
+  object under construction is not yet shared);
+* **from outside** — ``obj.<attr> += …`` reaching into another
+  object's contract-owned state, unless the writer is itself a
+  sanctioned mutator of that state's owner (restore-style methods
+  operating on a sibling instance).
+
+Runs only in ``--project`` mode.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.analysis.flow import contracts
+from repro.analysis.lint.engine import (
+    FileContext,
+    LintViolation,
+    Rule,
+    register_rule,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.flow.extract import FunctionFacts, SharedWrite
+
+
+def _mutator_list(contract: contracts.EffectContract) -> str:
+    return ", ".join(sorted(contract.mutators)) or "(none)"
+
+
+@register_rule
+class SharedStateRule(Rule):
+    rule_id = "RPR010"
+    summary = (
+        "contract-registered shared state is written only through "
+        "its sanctioned mutators"
+    )
+
+    def check(self, context: FileContext) -> Iterator[LintViolation]:
+        project = context.project
+        if project is None or context.module is None:
+            return
+        for facts in project.functions_in(context.module):
+            for write in facts.writes:
+                violation = self._check_write(context, facts, write)
+                if violation is not None:
+                    yield violation
+
+    def _check_write(
+        self,
+        context: FileContext,
+        facts: "FunctionFacts",
+        write: "SharedWrite",
+    ) -> Optional[LintViolation]:
+        project = context.project
+        assert project is not None and context.module is not None
+        if write.is_self:
+            contract = project.owning_contract(
+                context.module, facts.class_name, write.attr
+            )
+            if contract is None or contract.sanctions(facts.name):
+                return None
+            return LintViolation(
+                rule_id=self.rule_id,
+                path=str(context.path),
+                line=write.line,
+                col=write.col,
+                message=(
+                    f"{facts.qualname} writes contract-owned "
+                    f"attribute {write.attr!r} of {contract.owner} "
+                    f"outside its sanctioned mutators "
+                    f"({_mutator_list(contract)})"
+                ),
+            )
+        if write.attr not in contracts.strict_attrs():
+            return None
+        owners = contracts.owners_of_attr(write.attr)
+        if not owners:
+            return None
+        for contract in owners:
+            if contract.owner == facts.class_name and contract.sanctions(
+                facts.name
+            ):
+                return None  # a sanctioned mutator touching a sibling
+        owner_names = "/".join(c.owner for c in owners)
+        return LintViolation(
+            rule_id=self.rule_id,
+            path=str(context.path),
+            line=write.line,
+            col=write.col,
+            message=(
+                f"{facts.qualname} reaches into shared attribute "
+                f"{write.attr!r} (contract-owned by {owner_names}); "
+                f"route the write through a sanctioned mutator"
+            ),
+        )

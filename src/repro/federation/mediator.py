@@ -346,8 +346,7 @@ class Mediator:
             has_aggregates=False,
         )
         partial = _execute_subplan(subplan, server.catalog)
-        server.bytes_shipped += partial.byte_size
-        server.queries_executed += 1
+        server.record_shipment(partial.byte_size)
         return partial.byte_size
 
     def _needed_columns(

@@ -33,6 +33,16 @@ class DatabaseServer:
         self.bytes_shipped += result.byte_size
         return result
 
+    def record_shipment(self, num_bytes: int, queries: int = 1) -> None:
+        """Attribute traffic executed on this server's behalf.
+
+        The mediator calls this when it evaluates a subplan against the
+        server's catalog itself, so shipped-byte attribution stays in
+        one place regardless of where the evaluation ran.
+        """
+        self.bytes_shipped += num_bytes
+        self.queries_executed += queries
+
     def object_size(self, object_id: str) -> int:
         """Size in bytes of a cacheable object hosted here."""
         return self.catalog.object_size(object_id)

@@ -1,0 +1,11 @@
+"""Same opaque helpers as the bad twin — units live in the summaries."""
+
+
+def freight(entry):
+    """Weighted transfer price of ``entry``."""
+    return entry.fetch_cost
+
+
+def payload(entry):
+    """Raw on-disk byte size of ``entry``."""
+    return entry.raw_bytes

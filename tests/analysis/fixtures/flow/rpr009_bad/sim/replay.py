@@ -1,0 +1,12 @@
+"""A replay step that reaches entropy through a helper chain.
+
+No hazard appears in this file, so per-file RPR002 stays silent; only
+the transitive summary exposes the ``random.random()`` two hops away.
+"""
+
+from rpr009_bad.util import jitter
+
+
+def step(state):
+    # BUG: replay-critical, yet transitively entropy-dependent.
+    return state + jitter()

@@ -1,0 +1,16 @@
+"""Helpers outside the replay-critical packages.
+
+Neither RPR002 nor RPR009 runs on this path — the hazards only
+matter once a replay-critical function reaches them.
+"""
+
+import random
+import time
+
+
+def jitter():
+    return random.random()
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,12 @@
+"""Workload generation with a direct clock read.
+
+``workload`` is outside RPR002's per-file scope — this direct hazard
+is exactly the blind spot RPR009 covers.
+"""
+
+import time
+
+
+def arrival_time():
+    # BUG: direct wall-clock read in a replay-critical package.
+    return time.time()

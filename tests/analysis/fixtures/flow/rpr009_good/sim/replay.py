@@ -1,0 +1,11 @@
+"""A replay step that only touches entropy through the draw seam."""
+
+from rpr009_good.util import uniform_draw, wall_clock_timestamp
+
+
+def step(state, key):
+    return state + uniform_draw(key)
+
+
+def annotate(result):
+    return {"stamped": wall_clock_timestamp(), "result": result}

@@ -1,0 +1,14 @@
+"""The corrected twin: entropy and clocks live behind sanctioned seams."""
+
+import random
+import time
+
+
+def uniform_draw(key):
+    """Hash-keyed draw seam — deterministic by construction."""
+    return random.Random(key).random()
+
+
+def wall_clock_timestamp():
+    """Metadata-only timestamp seam, sanctioned at the CLI edge."""
+    return time.time()

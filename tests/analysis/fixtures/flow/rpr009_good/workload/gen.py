@@ -1,0 +1,5 @@
+"""Workload generation from the query index — no clocks, no entropy."""
+
+
+def arrival_time(index, gap):
+    return index * gap

@@ -1,0 +1,15 @@
+"""A TrafficLedger that writes contract-owned totals ad hoc."""
+
+
+class TrafficLedger:
+    def __init__(self):
+        self.bypass_bytes = 0
+        self.load_bytes = 0
+
+    def record_bypass(self, num_bytes):
+        # Sanctioned mutator: allowed.
+        self.bypass_bytes += num_bytes
+
+    def sneak(self, num_bytes):
+        # BUG: unsanctioned self-write to contract-owned state.
+        self.load_bytes += num_bytes

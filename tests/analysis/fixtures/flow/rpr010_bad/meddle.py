@@ -1,0 +1,6 @@
+"""External code reaching into another object's ledger state."""
+
+
+def meddle(ledger, num_bytes):
+    # BUG: external write to shared, contract-owned state.
+    ledger.load_bytes += num_bytes

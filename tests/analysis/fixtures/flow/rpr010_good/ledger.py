@@ -1,0 +1,18 @@
+"""The corrected twin: every write funnels through a sanctioned mutator."""
+
+
+class TrafficLedger:
+    def __init__(self):
+        self.bypass_bytes = 0
+        self.load_bytes = 0
+
+    def record_bypass(self, num_bytes):
+        self.bypass_bytes += num_bytes
+
+    def record_load(self, num_bytes):
+        self.load_bytes += num_bytes
+
+    def restore(self, other):
+        # A sanctioned mutator may touch a sibling instance (the
+        # restore-style pattern the contract explicitly permits).
+        other.load_bytes = self.load_bytes

@@ -1,0 +1,5 @@
+"""External code routing its write through the sanctioned mutator."""
+
+
+def settle(ledger, num_bytes):
+    ledger.record_load(num_bytes)

@@ -83,6 +83,65 @@ class TestPragmas:
         )
         assert lint_source(source, Path("x.py"), select=["RPR001"]) == []
 
+    def test_comma_list_suppresses_each_named_rule(self):
+        source = (
+            "def f(load_bytes, load_cost):\n"
+            "    return load_bytes + load_cost"
+            "  # repro-lint: allow[RPR001,RPR008] both phases\n"
+        )
+        assert (
+            lint_source(
+                source, Path("x.py"), select=["RPR001", "RPR008"]
+            )
+            == []
+        )
+
+    def test_comma_list_spacing_is_flexible(self):
+        source = (
+            "def f(load_bytes, load_cost):\n"
+            "    return load_bytes + load_cost"
+            "  # repro-lint: allow[RPR001 , RPR002]\n"
+        )
+        assert lint_source(source, Path("x.py"), select=["RPR001"]) == []
+
+    def test_comma_list_excludes_unlisted_rules(self):
+        source = (
+            "def f(load_bytes, load_cost):\n"
+            "    return load_bytes + load_cost"
+            "  # repro-lint: allow[RPR002,RPR008]\n"
+        )
+        violations = lint_source(source, Path("x.py"), select=["RPR001"])
+        assert [v.rule_id for v in violations] == ["RPR001"]
+
+
+class TestLineAllows:
+    """The pragma matcher itself: every pragma on a line counts."""
+
+    def test_comma_list(self):
+        from repro.analysis.lint.engine import line_allows
+
+        lines = ["x = 1  # repro-lint: allow[RPR001, RPR008]"]
+        assert line_allows(lines, 1, "RPR001")
+        assert line_allows(lines, 1, "RPR008")
+        assert not line_allows(lines, 1, "RPR002")
+
+    def test_multiple_pragmas_on_one_line(self):
+        from repro.analysis.lint.engine import line_allows
+
+        lines = [
+            "x = 1  # repro-lint: allow[RPR001] units"
+            "  # repro-lint: allow[RPR008] summaries"
+        ]
+        assert line_allows(lines, 1, "RPR001")
+        assert line_allows(lines, 1, "RPR008")
+        assert not line_allows(lines, 1, "RPR002")
+
+    def test_out_of_range_lines_never_allow(self):
+        from repro.analysis.lint.engine import line_allows
+
+        assert not line_allows([], 1, "RPR001")
+        assert not line_allows(["# repro-lint: allow"], 2, "RPR001")
+
 
 class TestFilePragma:
     CLOCKY = (

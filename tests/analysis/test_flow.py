@@ -1,0 +1,295 @@
+"""Unit tests for the :mod:`repro.analysis.flow` semantic layer:
+module loading, call-graph resolution, summaries, and the on-disk
+per-module cache."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.flow import analyze_project
+from repro.analysis.flow.lattice import AbstractUnit
+from repro.analysis.flow.loader import load_project
+from repro.errors import AnalysisError
+
+
+def make_project(tmp_path, files, name="pkg"):
+    """Materialize a tiny package on disk and return its root."""
+    root = tmp_path / name
+    root.mkdir()
+    files = dict(files)
+    files.setdefault("__init__.py", "")
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return root
+
+
+class TestLoader:
+    def test_loads_every_module_once(self, tmp_path):
+        root = make_project(
+            tmp_path,
+            {"a.py": "x = 1\n", "sub/__init__.py": "", "sub/b.py": "y = 2\n"},
+        )
+        modules = load_project(root)
+        assert set(modules) == {"pkg", "pkg.a", "pkg.sub", "pkg.sub.b"}
+
+    def test_missing_root_raises(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            load_project(tmp_path / "nope")
+
+    def test_empty_root_raises(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(AnalysisError):
+            load_project(empty)
+
+
+class TestCallGraph:
+    def test_resolves_imported_function(self, tmp_path):
+        root = make_project(
+            tmp_path,
+            {
+                "impl.py": "def core_fn():\n    return 1\n",
+                "user.py": (
+                    "from pkg.impl import core_fn\n"
+                    "\n"
+                    "def call():\n"
+                    "    return core_fn()\n"
+                ),
+            },
+        )
+        analysis = analyze_project(root)
+        assert analysis.callee_of("pkg.user.call", 0) == "pkg.impl.core_fn"
+
+    def test_follows_package_reexport(self, tmp_path):
+        root = make_project(
+            tmp_path,
+            {
+                "__init__.py": "from pkg.impl import core_fn\n",
+                "impl.py": "def core_fn():\n    return 1\n",
+                "user.py": (
+                    "from pkg import core_fn\n"
+                    "\n"
+                    "def call():\n"
+                    "    return core_fn()\n"
+                ),
+            },
+        )
+        analysis = analyze_project(root)
+        assert analysis.callee_of("pkg.user.call", 0) == "pkg.impl.core_fn"
+
+    def test_resolves_inherited_method(self, tmp_path):
+        root = make_project(
+            tmp_path,
+            {
+                "klass.py": (
+                    "class Base:\n"
+                    "    def helper(self):\n"
+                    "        return 1\n"
+                    "\n"
+                    "class Child(Base):\n"
+                    "    def run(self):\n"
+                    "        return self.helper()\n"
+                ),
+            },
+        )
+        analysis = analyze_project(root)
+        assert (
+            analysis.callee_of("pkg.klass.Child.run", 0)
+            == "pkg.klass.Base.helper"
+        )
+        assert (
+            analysis.graph.method_of("pkg.klass", "Child", "helper")
+            == "pkg.klass.Base.helper"
+        )
+
+    def test_mutual_recursion_forms_one_scc(self, tmp_path):
+        root = make_project(
+            tmp_path,
+            {
+                "cyc.py": (
+                    "def ping(n):\n"
+                    "    if n <= 0:\n"
+                    "        return 0\n"
+                    "    return pong(n - 1)\n"
+                    "\n"
+                    "def pong(n):\n"
+                    "    return ping(n - 1)\n"
+                ),
+            },
+        )
+        analysis = analyze_project(root)
+        components = [set(c) for c in analysis.graph.sccs()]
+        assert {"pkg.cyc.ping", "pkg.cyc.pong"} in components
+
+    def test_taint_propagates_through_a_cycle(self, tmp_path):
+        # The fixpoint must converge on cyclic graphs, and taint
+        # entering anywhere in the cycle must reach every member.
+        root = make_project(
+            tmp_path,
+            {
+                "cyc.py": (
+                    "import random\n"
+                    "\n"
+                    "def ping(n):\n"
+                    "    if n <= 0:\n"
+                    "        return random.random()\n"
+                    "    return pong(n - 1)\n"
+                    "\n"
+                    "def pong(n):\n"
+                    "    return ping(n - 1)\n"
+                ),
+            },
+        )
+        analysis = analyze_project(root)
+        for qualname in ("pkg.cyc.ping", "pkg.cyc.pong"):
+            summary = analysis.summary(qualname)
+            assert summary is not None and summary.taint is not None
+
+
+class TestSummaries:
+    def test_return_unit_from_annotation(self, tmp_path):
+        root = make_project(
+            tmp_path,
+            {
+                "units.py": (
+                    "def size_hint(entry) -> 'RawBytes':\n"
+                    "    return entry.anything\n"
+                ),
+            },
+        )
+        analysis = analyze_project(root)
+        summary = analysis.summary("pkg.units.size_hint")
+        assert summary.return_unit is AbstractUnit.RAW
+
+    def test_return_unit_flows_through_helpers(self, tmp_path):
+        root = make_project(
+            tmp_path,
+            {
+                "chain.py": (
+                    "def inner(entry):\n"
+                    "    return entry.fetch_cost\n"
+                    "\n"
+                    "def outer(entry):\n"
+                    "    return inner(entry)\n"
+                ),
+            },
+        )
+        analysis = analyze_project(root)
+        summary = analysis.summary("pkg.chain.outer")
+        assert summary.return_unit is AbstractUnit.WEIGHTED
+
+    def test_taint_chain_names_every_hop(self, tmp_path):
+        root = make_project(
+            tmp_path,
+            {
+                "a.py": "import random\n\ndef leaf():\n    return random.random()\n",
+                "b.py": "from pkg.a import leaf\n\ndef mid():\n    return leaf()\n",
+                "c.py": "from pkg.b import mid\n\ndef top():\n    return mid()\n",
+            },
+        )
+        analysis = analyze_project(root)
+        chain = [qualname for qualname, _ in analysis.taint_chain("pkg.c.top")]
+        assert chain == ["pkg.c.top", "pkg.b.mid", "pkg.a.leaf"]
+
+    def test_seam_absorbs_taint(self, tmp_path):
+        root = make_project(
+            tmp_path,
+            {
+                "seam.py": (
+                    "import time\n"
+                    "\n"
+                    "def wall_clock_timestamp():\n"
+                    "    return time.time()\n"
+                    "\n"
+                    "def caller():\n"
+                    "    return wall_clock_timestamp()\n"
+                ),
+            },
+        )
+        analysis = analyze_project(root)
+        assert analysis.summary("pkg.seam.caller").taint is None
+
+    def test_mutation_effect_is_transitive(self, tmp_path):
+        root = make_project(
+            tmp_path,
+            {
+                "led.py": (
+                    "class TrafficLedger:\n"
+                    "    def record_load(self, num_bytes):\n"
+                    "        self.load_bytes += num_bytes\n"
+                    "\n"
+                    "def funnel(ledger, num_bytes):\n"
+                    "    ledger.record_load(num_bytes)\n"
+                ),
+            },
+        )
+        analysis = analyze_project(root)
+        assert analysis.mutates_shared("pkg.led.TrafficLedger.record_load")
+        assert analysis.mutates_shared("pkg.led.funnel")
+
+
+class TestSummaryCache:
+    FILES = {
+        "a.py": "def f(entry):\n    return entry.fetch_cost\n",
+        "b.py": "from pkg.a import f\n\ndef g(entry):\n    return f(entry)\n",
+    }
+
+    def test_warm_run_hits_every_module(self, tmp_path):
+        root = make_project(tmp_path, self.FILES)
+        cache = tmp_path / "cache.json"
+        cold = analyze_project(root, cache_path=cache)
+        assert cold.stats["cache_hits"] == 0
+        assert cold.stats["cache_misses"] == cold.stats["modules"]
+        warm = analyze_project(root, cache_path=cache)
+        assert warm.stats["cache_hits"] == warm.stats["modules"]
+        assert warm.stats["cache_misses"] == 0
+
+    def test_editing_one_file_invalidates_only_it(self, tmp_path):
+        root = make_project(tmp_path, self.FILES)
+        cache = tmp_path / "cache.json"
+        analyze_project(root, cache_path=cache)
+        (root / "a.py").write_text(
+            "def f(entry):\n    return entry.raw_bytes\n",
+            encoding="utf-8",
+        )
+        warmish = analyze_project(root, cache_path=cache)
+        assert warmish.stats["cache_misses"] == 1
+        assert (
+            warmish.stats["cache_hits"] == warmish.stats["modules"] - 1
+        )
+        # The recomputed summary reflects the edit.
+        summary = warmish.summary("pkg.b.g")
+        assert summary.return_unit is AbstractUnit.RAW
+
+    def test_cached_results_match_fresh_ones(self, tmp_path):
+        root = make_project(tmp_path, self.FILES)
+        cache = tmp_path / "cache.json"
+        analyze_project(root, cache_path=cache)
+        warm = analyze_project(root, cache_path=cache)
+        fresh = analyze_project(root)
+        assert (
+            warm.summary("pkg.b.g").return_unit
+            is fresh.summary("pkg.b.g").return_unit
+        )
+
+    def test_malformed_cache_is_ignored(self, tmp_path):
+        root = make_project(tmp_path, self.FILES)
+        cache = tmp_path / "cache.json"
+        cache.write_text("this is not json{", encoding="utf-8")
+        analysis = analyze_project(root, cache_path=cache)
+        assert analysis.stats["cache_misses"] == analysis.stats["modules"]
+        # The run repairs the cache file in passing.
+        assert json.loads(cache.read_text(encoding="utf-8"))
+
+    def test_version_mismatch_discards_entries(self, tmp_path):
+        root = make_project(tmp_path, self.FILES)
+        cache = tmp_path / "cache.json"
+        analyze_project(root, cache_path=cache)
+        payload = json.loads(cache.read_text(encoding="utf-8"))
+        payload["version"] = -1
+        cache.write_text(json.dumps(payload), encoding="utf-8")
+        again = analyze_project(root, cache_path=cache)
+        assert again.stats["cache_hits"] == 0

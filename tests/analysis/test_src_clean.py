@@ -16,3 +16,26 @@ def test_src_is_lint_clean():
     violations = lint_paths([SRC])
     rendered = "\n".join(v.render() for v in violations)
     assert violations == [], f"repro-lint violations in src:\n{rendered}"
+
+
+def test_src_is_project_lint_clean():
+    """The whole-project pass (call graph + summaries, RPR008-RPR010
+    live) must also come back clean — CI gates on this with the
+    checked-in baseline, which is empty."""
+    from repro.analysis.lint.engine import lint_project
+
+    violations, analysis = lint_project(SRC)
+    rendered = "\n".join(v.render() for v in violations)
+    assert violations == [], f"project-lint violations in src:\n{rendered}"
+    assert analysis is not None
+    assert analysis.stats["modules"] > 100
+    assert analysis.stats["functions"] > 1000
+
+
+def test_checked_in_baseline_is_empty():
+    import json
+
+    baseline = SRC.parent.parent / "repro-lint-baseline.json"
+    payload = json.loads(baseline.read_text(encoding="utf-8"))
+    assert payload["version"] == 1
+    assert payload["findings"] == []
