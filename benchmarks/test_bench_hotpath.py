@@ -211,3 +211,64 @@ def test_hotpath_baselines(
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result["queries_per_second"] > 0
+
+
+#: Best-of-N trials for the tracing-overhead gate; the minimum across
+#: trials strips scheduler noise that a single run would fold into the
+#: overhead ratio.
+TRACING_TRIALS = 5
+
+#: Disabled tracing (NullTracer) must cost no more than this fraction
+#: of the bare (tracer=None) replay — the NullTracer normalizes to
+#: ``None`` at construction, so the two loops execute identical code.
+TRACING_OVERHEAD_LIMIT = 0.02
+
+
+def test_tracing_disabled_overhead(benchmark, edr_context):
+    """Gate: a disabled tracer adds <= 2% to the simulation hot path."""
+    from repro.core.policies.rate_profile import RateProfilePolicy
+    from repro.obs.spans import NullTracer
+    from repro.sim.simulator import Simulator
+
+    capacity = edr_context.capacity_for(0.3)
+
+    def replay(tracer):
+        simulator = Simulator(
+            edr_context.federation, "table", tracer=tracer
+        )
+        policy = RateProfilePolicy(capacity)
+        start = time.perf_counter()
+        result = simulator.run(
+            edr_context.prepared, policy, record_series=False
+        )
+        return time.perf_counter() - start, result
+
+    def run():
+        bare_best = null_best = float("inf")
+        bare_total = null_total = None
+        for _ in range(TRACING_TRIALS):
+            seconds, result = replay(None)
+            bare_best = min(bare_best, seconds)
+            bare_total = result.total_bytes
+            seconds, result = replay(NullTracer())
+            null_best = min(null_best, seconds)
+            null_total = result.total_bytes
+        return bare_best, null_best, bare_total, null_total
+
+    bare_best, null_best, bare_total, null_total = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    # Golden equivalence first: disabled tracing must not perturb WAN
+    # accounting at all.
+    assert null_total == bare_total
+    overhead = (null_best - bare_best) / bare_best
+    _RESULTS["tracing-overhead/null-vs-none"] = {
+        "bare_seconds": round(bare_best, 6),
+        "null_tracer_seconds": round(null_best, 6),
+        "overhead_fraction": round(overhead, 6),
+    }
+    assert overhead <= TRACING_OVERHEAD_LIMIT, (
+        f"disabled-tracer overhead {overhead:.2%} exceeds "
+        f"{TRACING_OVERHEAD_LIMIT:.0%} (bare {bare_best:.4f}s, "
+        f"NullTracer {null_best:.4f}s)"
+    )

@@ -241,6 +241,24 @@ _DEFAULT_CONTRACTS: Tuple[EffectContract, ...] = (
         ),
         description="per-server shipped-traffic attribution",
     ),
+    EffectContract(
+        owner="SpanTracer",
+        attrs=frozenset(
+            {"spans", "spans_seen", "_clock", "_stack", "_sinks"}
+        ),
+        mutators=frozenset(
+            {"start", "finish", "record", "add_sink", "reset", "_seal"}
+        ),
+        description=(
+            "span tracer buffer, logical clock, and sink fan-out"
+        ),
+    ),
+    EffectContract(
+        owner="SpanWriter",
+        attrs=frozenset({"spans_written", "_handle"}),
+        mutators=frozenset({"write", "close", "on_span"}),
+        description="span file sink (stream handle and write count)",
+    ),
 )
 
 #: owner class name -> contract.  Mutated only by register_contract.

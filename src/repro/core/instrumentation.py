@@ -92,6 +92,8 @@ class DecisionEvent:
             ``"served"``, ``"bypassed"``, ``"partial"``, or
             ``"unavailable"``.  Empty for fault-free traces, whose
             outcome is implied by ``served_from_cache``.
+        tenant: Client that issued the query ("" when the trace is
+            untagged).  Per-tenant WAN attribution partitions on this.
     """
 
     index: int
@@ -109,6 +111,7 @@ class DecisionEvent:
     retries: int = 0
     retry_bytes: int = 0
     outcome: str = ""
+    tenant: str = ""
 
     @property
     def wan_bytes(self) -> int:
@@ -134,6 +137,7 @@ class DecisionEvent:
             "retries": self.retries,
             "retry_bytes": self.retry_bytes,
             "outcome": self.outcome,
+            "tenant": self.tenant,
         }
 
     @classmethod
@@ -159,6 +163,7 @@ class DecisionEvent:
             retries=int(data.get("retries", 0)),  # type: ignore[call-overload]
             retry_bytes=int(data.get("retry_bytes", 0)),  # type: ignore[call-overload]
             outcome=str(data.get("outcome", "")),
+            tenant=str(data.get("tenant", "")),
         )
 
 
@@ -278,6 +283,15 @@ class Instrumentation:
             self.count("wan.retry_bytes", event.retry_bytes)
         if event.outcome:
             self.count(f"decisions.outcome.{event.outcome}")
+        # Per-tenant attribution.  Untagged traffic lands in its own
+        # bucket so the tenant partition always sums exactly to the
+        # aggregate counters above.
+        tenant = event.tenant or "untagged"
+        self.count(f"tenant.{tenant}.decisions")
+        if event.served_from_cache:
+            self.count(f"tenant.{tenant}.served")
+        self.count(f"tenant.{tenant}.wan_bytes", event.wan_bytes)
+        self.count(f"tenant.{tenant}.weighted_cost", event.weighted_cost)
         if self.logger is not None:
             self.logger.debug(
                 "q%d [%s/%s] %s loads=%s evictions=%s wan=%d",

@@ -64,6 +64,13 @@ from repro.core.yield_model import (
 )
 from repro.errors import CacheError
 from repro.federation.federation import Federation
+from repro.obs.spans import (
+    STAGE_BYPASS,
+    STAGE_DECIDE,
+    STAGE_LOAD,
+    Tracer,
+    live_tracer,
+)
 from repro.sqlengine.planner import QueryPlan
 from repro.workload.trace import PreparedQuery, PreparedTrace
 
@@ -134,12 +141,14 @@ class CompiledQuery:
 
     Carries the :class:`~repro.core.events.CacheQuery` (already under
     the compiling pipeline's granularity and cost view) together with
-    the raw accounting inputs the replay loop needs per query.
+    the raw accounting inputs the replay loop needs per query and the
+    tenant the query is attributed to ("" when untagged).
     """
 
     query: CacheQuery
     bypass_bytes: int
     servers: Tuple[str, ...]
+    tenant: str = ""
 
 
 @dataclass(frozen=True)
@@ -290,6 +299,9 @@ class DecisionPipeline:
             federation's shared one.
         instrumentation: Optional observability sink; decision events
             flow through :meth:`emit_decision`.
+        tracer: Optional span tracer.  A disabled tracer (``NullTracer``)
+            is normalized to ``None`` so the replay hot path pays one
+            ``is None`` test per traced site and nothing else.
     """
 
     def __init__(
@@ -299,6 +311,7 @@ class DecisionPipeline:
         policy_sees_weights: bool = True,
         catalog: Optional[ObjectCatalog] = None,
         instrumentation: Optional[Instrumentation] = None,
+        tracer: "Optional[Tracer]" = None,
     ) -> None:
         if granularity not in GRANULARITIES:
             raise CacheError(
@@ -310,6 +323,7 @@ class DecisionPipeline:
         self.policy_sees_weights = policy_sees_weights
         self.catalog = catalog or shared_catalog(federation)
         self.instrumentation = instrumentation
+        self.tracer = live_tracer(tracer)
 
     # -- query construction ---------------------------------------------
 
@@ -427,6 +441,7 @@ class DecisionPipeline:
                 query=self.query_from_prepared(prepared, index),
                 bypass_bytes=prepared.bypass_bytes,
                 servers=tuple(prepared.servers),
+                tenant=prepared.tenant,
             )
 
     def _build_compiled(self, trace: PreparedTrace) -> CompiledTrace:
@@ -435,6 +450,7 @@ class DecisionPipeline:
                 query=self.query_from_prepared(prepared, index),
                 bypass_bytes=prepared.bypass_bytes,
                 servers=tuple(prepared.servers),
+                tenant=prepared.tenant,
             )
             for index, prepared in enumerate(trace)
         )
@@ -555,7 +571,17 @@ class DecisionPipeline:
         golden-equivalence suite pins down.
         """
         query = event.query
-        decision = policy.process(query)
+        tracer = self.tracer
+        if tracer is not None:
+            with tracer.span(
+                STAGE_DECIDE, index=query.index, tenant=event.tenant
+            ) as decide_span:
+                decision = policy.process(query)
+                decide_span.set(
+                    "served", decision.served_from_cache
+                )
+        else:
+            decision = policy.process(query)
         network = self.federation.network
         retries = 0
         retry_bytes = ZERO_BYTES
@@ -567,6 +593,15 @@ class DecisionPipeline:
         for object_id in decision.loads:
             server = self.catalog.server(object_id)
             size = self.catalog.size(object_id)
+            load_span = None
+            if tracer is not None:
+                load_span = tracer.start(
+                    STAGE_LOAD,
+                    index=query.index,
+                    tenant=event.tenant,
+                    object=object_id,
+                    server=server,
+                )
             sent = transport.send(
                 server, size, tick, network.link(server).weight
             )
@@ -583,6 +618,13 @@ class DecisionPipeline:
             else:
                 policy.invalidate(object_id)
                 failed_loads.append(object_id)
+            if tracer is not None and load_span is not None:
+                tracer.finish(
+                    load_span,
+                    bytes_moved=int(size) + sent.wasted_bytes,
+                    ok=sent.ok,
+                    retries=sent.retries,
+                )
 
         wants_serve = decision.served_from_cache
         if wants_serve and failed_loads:
@@ -609,6 +651,11 @@ class DecisionPipeline:
         shares = split_bypass_bytes(event.bypass_bytes, event.servers)
         shipped: List[Tuple[str, int, WeightedCost]] = []
         dark = False
+        bypass_span = None
+        if tracer is not None:
+            bypass_span = tracer.start(
+                STAGE_BYPASS, index=query.index, tenant=event.tenant
+            )
         for server, share in shares:
             sent = transport.send(
                 server, share, tick, network.link(server).weight
@@ -624,6 +671,13 @@ class DecisionPipeline:
                 shipped.append((server, share, cost))
             else:
                 dark = True
+        if tracer is not None and bypass_span is not None:
+            tracer.finish(
+                bypass_span,
+                bytes_moved=sum(share for _, share, _ in shipped),
+                servers=len(shares),
+                dark=dark,
+            )
 
         if not dark:
             if shares:
@@ -710,6 +764,7 @@ class DecisionPipeline:
         yield_bytes: int = 0,
         retries: int = 0,
         outcome: str = "",
+        tenant: str = "",
     ) -> None:
         """Forward one decision to the instrumentation sink, if any."""
         if self.instrumentation is None:
@@ -731,6 +786,7 @@ class DecisionPipeline:
                 retries=retries,
                 retry_bytes=accounting.retry_bytes,
                 outcome=outcome,
+                tenant=tenant,
             )
         )
 

@@ -160,18 +160,24 @@ def run(
     intensities: Sequence[float] = INTENSITIES,
     policies: Sequence[str] = POLICIES,
     trace_dir: Optional[Path] = None,
+    span_dir: Optional[Path] = None,
 ) -> ResilienceResult:
     """Sweep fault intensity × policy over one prepared trace.
 
     With ``trace_dir``, every cell additionally streams its decision
     events to ``trace_dir/trace-i<intensity>-<policy>.jsonl`` (manifest
     header included) for ``repro-report`` — the CI resilience-smoke job
-    diffs those traces across same-seed reruns.
+    diffs those traces across same-seed reruns.  With ``span_dir``,
+    every cell runs under a deterministic span tracer, streaming
+    ``spans-i<intensity>-<policy>.jsonl`` plus a Perfetto-loadable
+    ``perfetto-i<intensity>-<policy>.json`` export.  Either directory
+    forces serial replay.
     """
     if context is None:
         context = build_context("edr")
     capacity = context.capacity_for(CACHE_FRACTION)
     workers = parallel_workers()
+    streaming = trace_dir is not None or span_dir is not None
     result = ResilienceResult(
         intensities=tuple(intensities), policies=tuple(policies)
     )
@@ -182,13 +188,13 @@ def run(
         "table",
         policies=tuple(policies),
         record_series=False,
-        parallel=workers > 1 and trace_dir is None,
+        parallel=workers > 1 and not streaming,
         max_workers=workers or None,
         instrumentation=experiment_instrumentation(),
     )
     for intensity in intensities:
         schedule = build_schedule(intensity, len(context.prepared))
-        if trace_dir is None:
+        if not streaming:
             cells = sim_runner.compare_policies(
                 context.prepared,
                 context.federation,
@@ -204,7 +210,8 @@ def run(
         else:
             cells = _run_with_traces(
                 context, capacity, policies, schedule, intensity,
-                Path(trace_dir),
+                Path(trace_dir) if trace_dir is not None else None,
+                Path(span_dir) if span_dir is not None else None,
             )
         for policy in policies:
             result.cells[(intensity, policy)] = cells[policy]
@@ -217,14 +224,20 @@ def _run_with_traces(
     policies: Sequence[str],
     schedule: FaultSchedule,
     intensity: float,
-    trace_dir: Path,
+    trace_dir: Optional[Path],
+    span_dir: Optional[Path] = None,
 ) -> Dict[str, SimulationResult]:
-    """Serial per-policy replay streaming each cell to a JSONL trace."""
+    """Serial per-policy replay streaming each cell to JSONL traces
+    (decision events, span trees, or both)."""
     from repro.core.instrumentation import Instrumentation
     from repro.obs.manifest import RunManifest, wall_clock_timestamp
+    from repro.obs.spans import SpanTracer, SpanWriter, write_chrome_trace
     from repro.obs.trace_io import TraceWriter
 
-    trace_dir.mkdir(parents=True, exist_ok=True)
+    if trace_dir is not None:
+        trace_dir.mkdir(parents=True, exist_ok=True)
+    if span_dir is not None:
+        span_dir.mkdir(parents=True, exist_ok=True)
     results: Dict[str, SimulationResult] = {}
     for name in policies:
         manifest = RunManifest(
@@ -237,9 +250,22 @@ def _run_with_traces(
             created_at=wall_clock_timestamp(),
         )
         sink = Instrumentation(max_events=0)
-        path = trace_dir / f"trace-i{intensity:g}-{name}.jsonl"
-        with TraceWriter(path, manifest) as writer:
+        writer: Optional[TraceWriter] = None
+        if trace_dir is not None:
+            path = trace_dir / f"trace-i{intensity:g}-{name}.jsonl"
+            writer = TraceWriter(path, manifest)
             sink.add_probe(writer)
+        tracer: Optional[SpanTracer] = None
+        span_writer: Optional[SpanWriter] = None
+        if span_dir is not None:
+            tracer = SpanTracer(
+                seed=schedule.seed,
+                run_label=f"i{intensity:g}-{name}",
+                keep_spans=True,
+            )
+            span_path = span_dir / f"spans-i{intensity:g}-{name}.jsonl"
+            span_writer = tracer.add_sink(SpanWriter(span_path, tracer))
+        try:
             results[name] = sim_runner.run_single(
                 context.prepared,
                 context.federation,
@@ -249,8 +275,25 @@ def _run_with_traces(
                 record_series=False,
                 instrumentation=sink,
                 faults=schedule,
+                tracer=tracer,
             )
-        print(f"wrote {writer.events_written} events to {path}")
+        finally:
+            if writer is not None:
+                writer.close()
+            if span_writer is not None:
+                span_writer.close()
+        if writer is not None:
+            print(f"wrote {writer.events_written} events to {path}")
+        if tracer is not None and span_dir is not None:
+            perfetto = write_chrome_trace(
+                tracer.spans,
+                span_dir / f"perfetto-i{intensity:g}-{name}.json",
+                label=f"repro i{intensity:g} {name}",
+            )
+            print(
+                f"wrote {tracer.spans_seen} spans to {span_writer.path} "
+                f"(Perfetto export: {perfetto})"
+            )
     return results
 
 
@@ -338,6 +381,14 @@ def build_parser() -> argparse.ArgumentParser:
             "cell for repro-report; forces serial replay"
         ),
     )
+    parser.add_argument(
+        "--span-dir", default=None, metavar="DIR",
+        help=(
+            "trace every cell with the span tracer: one span JSONL "
+            "plus a Perfetto JSON export per (intensity, policy) "
+            "cell; forces serial replay"
+        ),
+    )
     return parser
 
 
@@ -361,6 +412,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             trace_dir=(
                 Path(args.trace_dir)
                 if args.trace_dir is not None
+                else None
+            ),
+            span_dir=(
+                Path(args.span_dir)
+                if args.span_dir is not None
                 else None
             ),
         )

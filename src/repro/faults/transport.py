@@ -28,6 +28,7 @@ from typing import Callable, Dict, Optional
 
 from repro.errors import FaultError
 from repro.faults.engine import FaultEngine, uniform_draw
+from repro.obs.spans import STAGE_ATTEMPT, Tracer, live_tracer
 
 #: Breaker states, in transition order.
 BREAKER_CLOSED = "closed"
@@ -247,12 +248,14 @@ class ResilientTransport:
         retry: Optional[RetryPolicy] = None,
         breaker: Optional[BreakerPolicy] = None,
         on_counter: Optional[CounterHook] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self._engine = engine
         self._retry = retry or RetryPolicy()
         self._breaker_policy = breaker or BreakerPolicy()
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._on_counter = on_counter
+        self._tracer = live_tracer(tracer)
         self._request_id = 0
         self._requests = 0
         self._retries = 0
@@ -283,6 +286,10 @@ class ResilientTransport:
         """
         self._on_counter = hook
 
+    def attach_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Late tracer wiring, mirroring :meth:`set_counter_hook`."""
+        self._tracer = live_tracer(tracer)
+
     def _count(self, name: str, value: int = 1) -> None:
         if self._on_counter is not None and value:
             self._on_counter(name, value)
@@ -311,11 +318,21 @@ class ResilientTransport:
         self._requests += 1
         self._count("transport.requests")
 
+        tracer = self._tracer
         breaker = self.breaker_for(server)
         before = breaker.transitions
         if not breaker.allows(tick):
             self._count("transport.rejections")
             self._count("breaker.transitions", breaker.transitions - before)
+            if tracer is not None:
+                rejected_span = tracer.start(
+                    STAGE_ATTEMPT,
+                    server=server,
+                    attempt=0,
+                    breaker=breaker.state,
+                    status="rejected",
+                )
+                tracer.finish(rejected_span)
             return TransportOutcome(
                 ok=False,
                 server=server,
@@ -338,6 +355,17 @@ class ResilientTransport:
             # Backoff pushes later attempts into later (fractional)
             # ticks, so a retry can observe a fault window ending.
             probe_tick = tick + int(elapsed)
+            attempt_span = None
+            if tracer is not None:
+                attempt_span = tracer.start(
+                    STAGE_ATTEMPT,
+                    server=server,
+                    attempt=attempt,
+                    breaker=breaker.state,
+                    tick=probe_tick,
+                )
+            shipped = 0
+            status = "dark"
             if not self._engine.is_up(server, probe_tick):
                 # Dark server: connection refused, nothing shipped.
                 pass
@@ -350,11 +378,21 @@ class ResilientTransport:
                 if not failed:
                     ok = True
                     success_multiplier = multiplier
-                    break
-                # The transfer died mid-flight: the payload crossed the
-                # WAN (inflated) and bought nothing.
-                wasted_bytes += payload_bytes
-                wasted_cost += payload_bytes * weight * multiplier
+                    status = "ok"
+                    shipped = payload_bytes
+                else:
+                    # The transfer died mid-flight: the payload crossed
+                    # the WAN (inflated) and bought nothing.
+                    wasted_bytes += payload_bytes
+                    wasted_cost += payload_bytes * weight * multiplier
+                    status = "timeout" if timed_out else "failed"
+                    shipped = payload_bytes
+            if tracer is not None and attempt_span is not None:
+                tracer.finish(
+                    attempt_span, bytes_moved=shipped, status=status
+                )
+            if ok:
+                break
             elapsed += self._retry.backoff(
                 self._engine.seed, server, request_id, attempt + 1
             )

@@ -30,6 +30,14 @@ from repro.core.units import (
 from repro.errors import BackendUnavailable, FederationError
 from repro.federation.federation import Federation
 from repro.federation.network import TrafficLedger
+from repro.obs.spans import (
+    STAGE_BYPASS,
+    STAGE_EXECUTE,
+    STAGE_LOAD,
+    STAGE_PLAN,
+    Tracer,
+    live_tracer,
+)
 
 if TYPE_CHECKING:  # avoids a repro.core <-> repro.federation cycle
     from repro.core.instrumentation import Instrumentation
@@ -89,6 +97,10 @@ class Mediator:
             (:class:`~repro.faults.clock.FaultClock`).  Defaults to a
             fresh clock pinned at tick 0; drivers that replay traces
             advance it once per query.
+        tracer: Optional span tracer.  Plan-cache lookups, SQL
+            execution (with vectorized-vs-row-path scan attribution),
+            object loads, and bypass shipments each get a span; a
+            disabled tracer is normalized to ``None``.
     """
 
     def __init__(
@@ -98,6 +110,7 @@ class Mediator:
         instrumentation: Optional["Instrumentation"] = None,
         transport: Optional["ResilientTransport"] = None,
         clock: Optional["FaultClock"] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if plan_cache_size <= 0:
             raise FederationError("plan_cache_size must be positive")
@@ -111,6 +124,7 @@ class Mediator:
 
             clock = _FaultClock()
         self.clock = clock
+        self.tracer = live_tracer(tracer)
         self._plan_cache: "OrderedDict[str, QueryPlan]" = OrderedDict()
         self._plan_cache_size = plan_cache_size
         self._shapes = ShapePlanner(self._lookup)
@@ -163,16 +177,27 @@ class Mediator:
         planning sublinear in trace length on template-heavy workloads
         where exact SQL almost never repeats.
         """
+        tracer = self.tracer
+        span = tracer.start(STAGE_PLAN) if tracer is not None else None
         cached = self._plan_cache.get(sql)
         if cached is None:
+            shape_hits_before = self._shapes.shape_hits
             cached = self._shapes.plan(sql)
             self._plan_cache[sql] = cached
             if len(self._plan_cache) > self._plan_cache_size:
                 self._plan_cache.popitem(last=False)
             self._count("mediator.plan_misses")
+            cache_level = (
+                "shape"
+                if self._shapes.shape_hits > shape_hits_before
+                else "miss"
+            )
         else:
             self._plan_cache.move_to_end(sql)
             self._count("mediator.plan_hits")
+            cache_level = "exact"
+        if tracer is not None and span is not None:
+            tracer.finish(span, cache=cache_level)
         return cached
 
     def evaluate(self, sql: str, plan: Optional[QueryPlan] = None) -> ResultSet:
@@ -184,7 +209,30 @@ class Mediator:
         """
         if plan is None:
             plan = self.plan(sql)
-        return execute_plan(plan, self.federation)
+        tracer = self.tracer
+        if tracer is None:
+            return execute_plan(plan, self.federation)
+        from repro.sqlengine.executor import set_scan_observer
+
+        scans = {"index": 0, "vectorized": 0, "rowpath": 0}
+
+        def observe(table_name: str, path: str) -> None:
+            scans[path] += 1
+
+        span = tracer.start(STAGE_EXECUTE)
+        previous = set_scan_observer(observe)
+        try:
+            result = execute_plan(plan, self.federation)
+        finally:
+            set_scan_observer(previous)
+        tracer.finish(
+            span,
+            yield_bytes=result.byte_size,
+            index_scans=scans["index"],
+            vectorized_scans=scans["vectorized"],
+            rowpath_scans=scans["rowpath"],
+        )
+        return result
 
     def servers_for_plan(self, plan: QueryPlan) -> List[str]:
         """Names of the distinct servers a plan's tables live on."""
@@ -211,6 +259,30 @@ class Mediator:
         """
         if plan is None:
             plan = self.plan(sql)
+        tracer = self.tracer
+        span = (
+            tracer.start(STAGE_BYPASS) if tracer is not None else None
+        )
+        try:
+            outcome = self._bypass_inner(sql, plan, result)
+        except BackendUnavailable:
+            if tracer is not None and span is not None:
+                tracer.finish(span, unavailable=True)
+            raise
+        if tracer is not None and span is not None:
+            tracer.finish(
+                span,
+                bytes_moved=int(outcome.wan_bytes),
+                servers=len(outcome.per_server_bytes),
+            )
+        return outcome
+
+    def _bypass_inner(
+        self,
+        sql: str,
+        plan: QueryPlan,
+        result: Optional[ResultSet],
+    ) -> FederatedResult:
         servers = self.servers_for_plan(plan)
         if result is None:
             result = execute_plan(plan, self.federation)
@@ -265,17 +337,32 @@ class Mediator:
 
     def load_object(self, object_id: str) -> Tuple[RawBytes, WeightedCost]:
         """Fetch a whole object into the cache; returns (bytes, cost)."""
+        tracer = self.tracer
         server = self.federation.server_for_object(object_id)
-        size = raw_bytes(server.fetch_object(object_id))
-        cost = self.federation.network.cost(server.name, size)
-        if self.transport is not None:
-            multiplier = self._ship(server.name, size, "load", object_id)
-            if multiplier != 1.0:
-                cost = WeightedCost(cost * multiplier)
+        span = None
+        if tracer is not None:
+            span = tracer.start(
+                STAGE_LOAD, object=object_id, server=server.name
+            )
+        try:
+            size = raw_bytes(server.fetch_object(object_id))
+            cost = self.federation.network.cost(server.name, size)
+            if self.transport is not None:
+                multiplier = self._ship(
+                    server.name, size, "load", object_id
+                )
+                if multiplier != 1.0:
+                    cost = WeightedCost(cost * multiplier)
+        except BackendUnavailable:
+            if tracer is not None and span is not None:
+                tracer.finish(span, unavailable=True)
+            raise
         self.ledger.record_load(server.name, size, cost)
         self._count("mediator.loads")
         self._count("mediator.load_bytes", size)
         self._count("mediator.load_cost", cost)
+        if tracer is not None and span is not None:
+            tracer.finish(span, bytes_moved=int(size))
         return size, cost
 
     def serve_from_cache(self, result: ResultSet) -> None:

@@ -1,47 +1,72 @@
 """Stdlib-only HTTP exposition of a :class:`MetricsRegistry`.
 
-A tiny threaded server with two routes:
+A tiny threaded server with three routes:
 
 * ``/metrics`` — Prometheus text exposition of the registry;
-* ``/healthz`` — liveness probe (``ok``).
+* ``/healthz`` — liveness probe (``ok``);
+* ``/slo`` — current :class:`~repro.obs.slo.SLOEngine` evaluation as
+  JSON (404 unless the server was built with an engine).
 
 No third-party dependencies: ``http.server`` from the standard library,
 one daemon thread, ephemeral port by default (``port=0``) so tests and
 collocated proxies never collide.  Attach to a live proxy with
 :meth:`repro.core.proxy.BypassYieldProxy.serve_metrics`.
+
+Every response declares an explicit charset and ``Connection: close``
+(each scrape is one short-lived exchange — keep-alive would pin handler
+threads on clients that forget to hang up), and unknown paths get 404.
 """
 
 from __future__ import annotations
 
+import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Type
+from typing import TYPE_CHECKING, Optional, Type
 
 from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:
+    from repro.obs.slo import SLOEngine
 
 #: Prometheus text exposition content type.
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
+#: Plain-text content type with explicit charset (``/healthz``).
+TEXT_CONTENT_TYPE = "text/plain; charset=utf-8"
+
+#: JSON content type with explicit charset (``/slo``).
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
 
 def _make_handler(
     registry: MetricsRegistry,
+    slo_engine: "Optional[SLOEngine]" = None,
 ) -> Type[BaseHTTPRequestHandler]:
     class MetricsHandler(BaseHTTPRequestHandler):
+        def _respond(
+            self, status: int, content_type: str, body: bytes
+        ) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(body)
+
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
-            if self.path.split("?", 1)[0] == "/metrics":
+            route = self.path.split("?", 1)[0]
+            if route == "/metrics":
                 body = registry.render_prometheus().encode("utf-8")
-                self.send_response(200)
-                self.send_header("Content-Type", CONTENT_TYPE)
-                self.send_header("Content-Length", str(len(body)))
-                self.end_headers()
-                self.wfile.write(body)
-            elif self.path.split("?", 1)[0] == "/healthz":
-                body = b"ok\n"
-                self.send_response(200)
-                self.send_header("Content-Type", "text/plain")
-                self.send_header("Content-Length", str(len(body)))
-                self.end_headers()
-                self.wfile.write(body)
+                self._respond(200, CONTENT_TYPE, body)
+            elif route == "/healthz":
+                self._respond(200, TEXT_CONTENT_TYPE, b"ok\n")
+            elif route == "/slo" and slo_engine is not None:
+                report = slo_engine.evaluate()
+                body = (
+                    json.dumps(report.to_json(), sort_keys=True) + "\n"
+                ).encode("utf-8")
+                self._respond(200, JSON_CONTENT_TYPE, body)
             else:
                 self.send_error(404, "unknown path (try /metrics)")
 
@@ -58,6 +83,8 @@ class MetricsServer:
         registry: The metrics to expose.
         host: Bind address (loopback by default — expose deliberately).
         port: TCP port; 0 picks a free ephemeral port (see ``.port``).
+        slo_engine: Optional :class:`~repro.obs.slo.SLOEngine`; when
+            given, ``/slo`` serves its current evaluation as JSON.
 
     Usable as a context manager; the background thread is a daemon so a
     forgotten server never blocks interpreter exit.
@@ -68,10 +95,12 @@ class MetricsServer:
         registry: MetricsRegistry,
         host: str = "127.0.0.1",
         port: int = 0,
+        slo_engine: "Optional[SLOEngine]" = None,
     ) -> None:
         self.registry = registry
+        self.slo_engine = slo_engine
         self._server = ThreadingHTTPServer(
-            (host, port), _make_handler(registry)
+            (host, port), _make_handler(registry, slo_engine)
         )
         self._server.daemon_threads = True
         self._thread: Optional[threading.Thread] = None

@@ -323,14 +323,24 @@ class MetricsRegistry:
         return len(self._metrics)
 
     def render_prometheus(self) -> str:
-        """Prometheus text exposition format 0.0.4 (sorted, stable)."""
+        """Prometheus text exposition format 0.0.4 (sorted, stable).
+
+        Registry keys may carry a label suffix (``name{tenant="a"}``) —
+        that is how per-tenant series share one metric family.  HELP and
+        TYPE are emitted once per *base* name, so a labeled family
+        renders as one header followed by its labeled samples.
+        """
         lines: List[str] = []
+        seen_headers = set()
         for name in sorted(self._metrics):
             metric = self._metrics[name]
-            exposed = sanitize_metric_name(name)
-            if metric.help_text:
-                lines.append(f"# HELP {exposed} {metric.help_text}")
-            lines.append(f"# TYPE {exposed} {metric.kind}")
+            base_name, _, _ = name.partition("{")
+            exposed = sanitize_metric_name(base_name)
+            if exposed not in seen_headers:
+                seen_headers.add(exposed)
+                if metric.help_text:
+                    lines.append(f"# HELP {exposed} {metric.help_text}")
+                lines.append(f"# TYPE {exposed} {metric.kind}")
             for sample_name, value in metric.expose():
                 base, brace, labels = sample_name.partition("{")
                 rendered = sanitize_metric_name(base) + brace + labels
@@ -470,11 +480,43 @@ class MetricsProbe(Probe):
                 f"{sanitize_metric_name(event.outcome)}_total",
                 f"Queries resolved as {event.outcome}",
             ).inc()
+        self._attribute_tenant(event)
         decided = self._decisions.value
         if decided:
             self._hit_rate.set(self._served.value / decided)
         if self.occupancy is not None:
             self._occupancy_gauge.set(float(self.occupancy()))
+
+    def _attribute_tenant(self, event: DecisionEvent) -> None:
+        """Charge the decision to its tenant via labeled counters.
+
+        Untagged traffic gets its own ``tenant="untagged"`` series, so
+        summing any tenant family over its labels reproduces the
+        aggregate counter exactly — the attribution is a partition, not
+        a sample.  Only :meth:`on_decision` writes these; the
+        ``tenant.*`` instrumentation counters are deliberately *not*
+        forwarded by :meth:`on_counter`, which would double-count.
+        """
+        tenant = event.tenant or "untagged"
+        label = f'{{tenant="{tenant}"}}'
+        p = self._prefix
+        self.registry.counter(
+            f"{p}_tenant_decisions_total{label}",
+            "Queries decided, partitioned by tenant",
+        ).inc()
+        if event.served_from_cache:
+            self.registry.counter(
+                f"{p}_tenant_served_total{label}",
+                "Queries served from cache, partitioned by tenant",
+            ).inc()
+        self.registry.counter(
+            f"{p}_tenant_wan_bytes_total{label}",
+            "WAN bytes (loads + bypass + retry waste) per tenant",
+        ).inc(event.wan_bytes)
+        self.registry.counter(
+            f"{p}_tenant_weighted_cost_total{label}",
+            "Link-weighted WAN cost per tenant",
+        ).inc(event.weighted_cost)
 
     def on_counter(self, name: str, value: float) -> None:
         """Mirror fault-layer counters into the registry.

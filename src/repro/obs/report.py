@@ -13,7 +13,18 @@ non-zero — usable directly as a CI regression gate::
 
     repro-report --diff baseline.jsonl candidate.jsonl --threshold 1.0
 
-Exit codes: 0 no regressions, 1 regressions found, 2 bad input.
+Flamegraph mode (``--flamegraph``) aggregates a *span* file (written
+by :class:`repro.obs.spans.SpanWriter`) into the top-down stage tree
+with inclusive/exclusive logical time and byte totals.
+
+SLO mode (``--slo spec.json``) evaluates a declarative SLO spec
+(:mod:`repro.obs.slo`) against the decision trace — and, with
+``--spans``, against per-stage span latencies — and exits 1 when any
+objective is violated or burning::
+
+    repro-report run.jsonl --slo slo.json --spans run.spans.jsonl
+
+Exit codes: 0 clean, 1 regressions/SLO failures found, 2 bad input.
 """
 
 from __future__ import annotations
@@ -391,13 +402,83 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=15,
         help="decision-trace tail length in single-trace mode",
     )
+    parser.add_argument(
+        "--flamegraph", action="store_true",
+        help=(
+            "render the top-down stage flamegraph of a span file "
+            "(pass the .spans.jsonl written by the tracer)"
+        ),
+    )
+    parser.add_argument(
+        "--slo", metavar="SPEC",
+        help=(
+            "evaluate a JSON SLO spec against the trace and exit 1 on "
+            "any violated or burning objective"
+        ),
+    )
+    parser.add_argument(
+        "--spans", metavar="FILE",
+        help=(
+            "span file feeding stage-latency objectives in --slo mode"
+        ),
+    )
     return parser
+
+
+def run_flamegraph(span_path: str) -> int:
+    """``--flamegraph``: aggregate a span file into the stage tree."""
+    from repro.obs.spans import SpanReader, aggregate_flame, render_flamegraph
+
+    reader = SpanReader(span_path)
+    spans = reader.read_all()
+    if reader.truncated:
+        print(
+            f"note: {span_path} ends in a torn line (crash mid-write); "
+            f"reporting the complete prefix",
+            file=sys.stderr,
+        )
+    if not spans:
+        print(f"{span_path}: span file holds no spans", file=sys.stderr)
+        return 2
+    header = reader.header
+    print(
+        f"span trace {header.get('trace_id', '?')} "
+        f"(seed {header.get('seed', '?')}, "
+        f"run {header.get('run_label', '?')}): {len(spans)} spans"
+    )
+    print()
+    print(render_flamegraph(aggregate_flame(spans)))
+    return 0
+
+
+def run_slo(
+    trace_path: str, spec_path: str, span_path: Optional[str]
+) -> int:
+    """``--slo``: gate a recorded run on a declarative SLO spec."""
+    from repro.obs.slo import SLOSpec, evaluate_sources, render_slo_report
+    from repro.obs.spans import SpanReader
+
+    spec = SLOSpec.load(spec_path)
+    _, events = read_trace(trace_path)
+    spans = SpanReader(span_path).read_all() if span_path else ()
+    report = evaluate_sources(spec, events=events, spans=spans)
+    print(render_slo_report(report))
+    return 0 if report.ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.threshold < 0:
         print("--threshold must be >= 0", file=sys.stderr)
+        return 2
+    modes = sum(
+        1 for on in (args.diff, args.flamegraph, bool(args.slo)) if on
+    )
+    if modes > 1:
+        print(
+            "--diff, --flamegraph, and --slo are mutually exclusive",
+            file=sys.stderr,
+        )
         return 2
     if args.diff and len(args.traces) != 2:
         print(
@@ -412,6 +493,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     try:
+        if args.flamegraph:
+            return run_flamegraph(args.traces[0])
+        if args.slo:
+            return run_slo(args.traces[0], args.slo, args.spans)
         if args.diff:
             base_manifest, base_events = read_trace(args.traces[0])
             cand_manifest, cand_events = read_trace(args.traces[1])

@@ -135,12 +135,20 @@ class TraceReader:
     The manifest is parsed eagerly (``reader.manifest``); events stream
     lazily through iteration, so summarizing a multi-gigabyte trace
     never materializes it.
+
+    A malformed *final* line is a crash mid-write, not corruption:
+    iteration yields the complete prefix and sets ``truncated`` instead
+    of raising.  Malformed lines anywhere else still raise — an event
+    silently dropped from the middle of a trace would corrupt every
+    diff downstream.
     """
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         if not self.path.exists():
             raise ConfigurationError(f"no such trace file: {self.path}")
+        #: True once iteration has discarded a truncated trailing line.
+        self.truncated = False
         self.manifest = self._read_manifest()
 
     def _read_manifest(self) -> RunManifest:
@@ -165,26 +173,39 @@ class TraceReader:
 
     def __iter__(self) -> Iterator[DecisionEvent]:
         with self.path.open("r", encoding="utf-8") as handle:
+            # One line of lookahead: a parse failure is only tolerated
+            # when no complete line follows it (crash mid-write).
+            pending: Optional[Tuple[int, str]] = None
             for line_no, line in enumerate(handle):
                 if line_no == 0:
                     continue
-                line = line.strip()
-                if not line:
+                stripped = line.strip()
+                if not stripped:
                     continue
+                if pending is not None:
+                    yield self._parse(*pending)
+                pending = (line_no, stripped)
+            if pending is not None:
                 try:
-                    data = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    raise ConfigurationError(
-                        f"{self.path}:{line_no + 1}: invalid JSON "
-                        f"event line"
-                    ) from exc
-                try:
-                    yield DecisionEvent.from_json(data)
-                except (KeyError, TypeError, ValueError) as exc:
-                    raise ConfigurationError(
-                        f"{self.path}:{line_no + 1}: malformed "
-                        f"decision event: {exc}"
-                    ) from exc
+                    yield self._parse(*pending)
+                except ConfigurationError:
+                    self.truncated = True
+
+    def _parse(self, line_no: int, line: str) -> DecisionEvent:
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"{self.path}:{line_no + 1}: invalid JSON "
+                f"event line"
+            ) from exc
+        try:
+            return DecisionEvent.from_json(data)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"{self.path}:{line_no + 1}: malformed "
+                f"decision event: {exc}"
+            ) from exc
 
     def read_all(self) -> Tuple[RunManifest, List[DecisionEvent]]:
         """(manifest, every event) — convenience for small traces."""

@@ -33,6 +33,7 @@ from repro.core.policies.base import CachePolicy
 from repro.errors import CacheError
 from repro.faults import FaultEngine, FaultSchedule, ResilientTransport
 from repro.federation.federation import Federation
+from repro.obs.spans import Tracer
 from repro.sim.results import SimulationResult, SweepPoint, SweepResult
 from repro.sim.simulator import Simulator
 from repro.workload.stream import QueryStream
@@ -113,6 +114,7 @@ def run_single(
     instrumentation: Optional[Instrumentation] = None,
     faults: Optional[FaultSchedule] = None,
     partial_results: bool = False,
+    tracer: Optional["Tracer"] = None,
     **kwargs,
 ) -> SimulationResult:
     """Run one policy over one trace.
@@ -120,13 +122,15 @@ def run_single(
     With ``faults``, the replay runs behind a fresh
     :class:`~repro.faults.transport.ResilientTransport` over the
     schedule; per-server observed-downtime counters land in the
-    instrumentation sink after the run.
+    instrumentation sink after the run.  With ``tracer``, the decision
+    path (and, under faults, every transport attempt) emits spans.
     """
     simulator = Simulator(
         federation,
         granularity,
         policy_sees_weights,
         instrumentation=instrumentation,
+        tracer=tracer,
     )
     policy = build_policy(
         policy_name, capacity_bytes, trace, federation, granularity,
@@ -135,6 +139,8 @@ def run_single(
     if faults is None:
         return simulator.run(trace, policy, record_series=record_series)
     transport = build_transport(faults, instrumentation)
+    if tracer is not None:
+        transport.attach_tracer(tracer)
     result = simulator.run(
         trace,
         policy,

@@ -27,6 +27,12 @@ from repro.core.pipeline import (
 )
 from repro.core.policies.base import CachePolicy
 from repro.federation.federation import Federation
+from repro.obs.spans import (
+    STAGE_ACCOUNT,
+    STAGE_DECIDE,
+    STAGE_QUERY,
+    Tracer,
+)
 from repro.sim.results import SimulationResult
 from repro.sim.streaming import SampledSeries
 from repro.workload.stream import QueryStream
@@ -51,6 +57,7 @@ class Simulator:
         policy_sees_weights: bool = True,
         pipeline: Optional[DecisionPipeline] = None,
         instrumentation: Optional[Instrumentation] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         """Args:
             federation: Object metadata, link weights, servers.
@@ -67,6 +74,10 @@ class Simulator:
                 decision events and stage counters are emitted through
                 it (ignored when ``pipeline`` is supplied — the
                 pipeline's own sink wins).
+            tracer: Optional span tracer threaded into the decision
+                path (also ignored when ``pipeline`` is supplied).
+                Disabled tracers are normalized away; the replay loops
+                pay one ``is None`` test per query when tracing is off.
         """
         if pipeline is None:
             pipeline = DecisionPipeline(
@@ -74,6 +85,7 @@ class Simulator:
                 granularity,
                 policy_sees_weights,
                 instrumentation=instrumentation,
+                tracer=tracer,
             )
         self.pipeline = pipeline
         self.federation = pipeline.federation
@@ -141,6 +153,7 @@ class Simulator:
         # Hoisted so the replay loop pays nothing per query when no
         # instrumentation sink is attached.
         emit = pipeline.instrumentation is not None
+        tracer = pipeline.tracer
 
         if transport is not None:
             return self._run_resilient(
@@ -150,12 +163,30 @@ class Simulator:
 
         for index, event in enumerate(compiled.events):
             query = event.query
-            decision = policy.process(query)
-            accounting = pipeline.account(
-                decision,
-                bypass_bytes=event.bypass_bytes,
-                servers=event.servers,
-            )
+            if tracer is not None:
+                root = tracer.start(
+                    STAGE_QUERY, index=index, tenant=event.tenant
+                )
+                with tracer.span(STAGE_DECIDE, index=index):
+                    decision = policy.process(query)
+                with tracer.span(STAGE_ACCOUNT, index=index):
+                    accounting = pipeline.account(
+                        decision,
+                        bypass_bytes=event.bypass_bytes,
+                        servers=event.servers,
+                    )
+                tracer.finish(
+                    root,
+                    bytes_moved=int(accounting.wan_bytes),
+                    served=decision.served_from_cache,
+                )
+            else:
+                decision = policy.process(query)
+                accounting = pipeline.account(
+                    decision,
+                    bypass_bytes=event.bypass_bytes,
+                    servers=event.servers,
+                )
 
             result.charge(accounting, decision)
             if record_series and (
@@ -171,6 +202,7 @@ class Simulator:
                     accounting=accounting,
                     sql=query.sql,
                     yield_bytes=query.yield_bytes,
+                    tenant=event.tenant,
                 )
 
         result.queries = total
@@ -229,18 +261,34 @@ class Simulator:
         cumulative = result.cumulative_bytes
         series = SampledSeries() if record_series == "sampled" else None
         emit = pipeline.instrumentation is not None
+        tracer = pipeline.tracer
         total = 0
         accumulated_sequence = 0
 
         for index, event in enumerate(pipeline.iter_compiled(stream)):
             accumulated_sequence += event.bypass_bytes
-            if transport is None:
-                decision = policy.process(event.query)
-                accounting = pipeline.account(
-                    decision,
-                    bypass_bytes=event.bypass_bytes,
-                    servers=event.servers,
+            root = None
+            if tracer is not None:
+                root = tracer.start(
+                    STAGE_QUERY, index=index, tenant=event.tenant
                 )
+            if transport is None:
+                if tracer is not None:
+                    with tracer.span(STAGE_DECIDE, index=index):
+                        decision = policy.process(event.query)
+                    with tracer.span(STAGE_ACCOUNT, index=index):
+                        accounting = pipeline.account(
+                            decision,
+                            bypass_bytes=event.bypass_bytes,
+                            servers=event.servers,
+                        )
+                else:
+                    decision = policy.process(event.query)
+                    accounting = pipeline.account(
+                        decision,
+                        bypass_bytes=event.bypass_bytes,
+                        servers=event.servers,
+                    )
                 result.charge(accounting, decision)
                 retries = 0
                 outcome = ""
@@ -257,6 +305,12 @@ class Simulator:
                 accounting = resolved.accounting
                 retries = resolved.retries
                 outcome = resolved.outcome
+            if tracer is not None and root is not None:
+                tracer.finish(
+                    root,
+                    bytes_moved=int(accounting.wan_bytes),
+                    served=decision.served_from_cache,
+                )
             if series is not None:
                 series.observe(breakdown.total_bytes)
             elif record_series is True:
@@ -274,6 +328,7 @@ class Simulator:
                     yield_bytes=event.query.yield_bytes,
                     retries=retries,
                     outcome=outcome,
+                    tenant=event.tenant,
                 )
             total += 1
 
@@ -310,8 +365,14 @@ class Simulator:
         breakdown = result.breakdown
         cumulative = result.cumulative_bytes
         emit = pipeline.instrumentation is not None
+        tracer = pipeline.tracer
 
         for index, event in enumerate(compiled.events):
+            root = None
+            if tracer is not None:
+                root = tracer.start(
+                    STAGE_QUERY, index=index, tenant=event.tenant
+                )
             resolved = pipeline.resolve(
                 event,
                 policy,
@@ -319,6 +380,12 @@ class Simulator:
                 tick=index,
                 partial_results=partial_results,
             )
+            if tracer is not None and root is not None:
+                tracer.finish(
+                    root,
+                    bytes_moved=int(resolved.accounting.wan_bytes),
+                    outcome=resolved.outcome,
+                )
             result.charge_resolved(resolved)
             if record_series and (
                 (index + 1) % stride == 0 or index == total - 1
@@ -335,6 +402,7 @@ class Simulator:
                     yield_bytes=event.query.yield_bytes,
                     retries=resolved.retries,
                     outcome=resolved.outcome,
+                    tenant=event.tenant,
                 )
 
         result.queries = total

@@ -39,6 +39,30 @@ from repro.sqlengine.planner import (
 from repro.sqlengine.storage import Table
 from repro.sqlengine.vectorized import filtered_rows as _vector_filtered_rows
 
+#: Scan-path observer: ``(table_name, path)`` with path one of
+#: ``"index"`` (hash-index probe), ``"vectorized"`` (columnar mask
+#: evaluation), or ``"rowpath"`` (row-at-a-time fallback).  Installed by
+#: observability layers (the mediator's execute span) to attribute how
+#: each table scan actually ran; ``None`` costs one comparison per scan.
+ScanObserver = Callable[[str, str], None]
+
+_SCAN_OBSERVER: Optional[ScanObserver] = None
+
+
+def set_scan_observer(
+    observer: Optional[ScanObserver],
+) -> Optional[ScanObserver]:
+    """Install (or clear) the scan observer; returns the previous one.
+
+    Callers restore the previous observer when done so nested
+    executions (a traced mediator evaluating inside a traced driver)
+    compose.
+    """
+    global _SCAN_OBSERVER
+    previous = _SCAN_OBSERVER
+    _SCAN_OBSERVER = observer
+    return previous
+
 
 @dataclass
 class ResultColumn:
@@ -162,10 +186,12 @@ def _scan(
 
     rows: Optional[List[Tuple[Any, ...]]] = None
     remaining = predicates
+    scan_path = "rowpath"
     probe = _index_probe(predicates, table)
     if probe is not None:
         rows, used_predicate = probe
         remaining = [p for p in predicates if p is not used_predicate]
+        scan_path = "index"
     if rows is None:
         if remaining:
             # Columnar fast path: predicate masks over cached numpy
@@ -173,10 +199,14 @@ def _scan(
             # not vectorizable) to keep the row-at-a-time path.
             vectorized = _vector_filtered_rows(table, remaining, layout)
             if vectorized is not None:
+                if _SCAN_OBSERVER is not None:
+                    _SCAN_OBSERVER(entry.table_name, "vectorized")
                 return vectorized, layout
         rows = table.materialized_rows()
     if remaining:
         rows = _filter(rows, remaining, layout)
+    if _SCAN_OBSERVER is not None:
+        _SCAN_OBSERVER(entry.table_name, scan_path)
     return rows, layout
 
 

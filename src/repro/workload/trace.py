@@ -111,6 +111,9 @@ class PreparedQuery:
             granularity; object ids are table names).
         column_yields: Same at column granularity (``table.column`` ids).
         servers: Names of servers the query touches.
+        tenant: Client that issued the query ("" for untagged traces).
+            Serialized only when set, so every pre-existing trace keeps
+            its fingerprint.
     """
 
     index: int
@@ -121,6 +124,7 @@ class PreparedQuery:
     table_yields: Dict[str, float]
     column_yields: Dict[str, float]
     servers: tuple
+    tenant: str = ""
 
     def object_yields(self, granularity: str) -> Dict[str, float]:
         if granularity == "table":
@@ -132,7 +136,7 @@ class PreparedQuery:
         )
 
     def to_json(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "index": self.index,
             "sql": self.sql,
             "template": self.template,
@@ -142,6 +146,12 @@ class PreparedQuery:
             "column_yields": self.column_yields,
             "servers": list(self.servers),
         }
+        # Conditional on purpose: untagged queries must serialize to
+        # the exact bytes they did before the field existed, because
+        # canonical_query_line() feeds fingerprints and chunk manifests.
+        if self.tenant:
+            payload["tenant"] = self.tenant
+        return payload
 
     @classmethod
     def from_json(cls, data: Dict[str, object]) -> "PreparedQuery":
@@ -161,6 +171,7 @@ class PreparedQuery:
                     for k, v in dict(data["column_yields"]).items()
                 },
                 servers=tuple(data.get("servers", ())),
+                tenant=str(data.get("tenant", "")),
             )
         except KeyError as exc:
             raise WorkloadError(

@@ -1,0 +1,7 @@
+"""External code reaching into a tracer's span-buffer state."""
+
+
+def forge(tracer, count):
+    # BUG: ad-hoc write to the tracer's dispatch counter instead of
+    # routing spans through the sanctioned record() mutator.
+    tracer.spans_seen = count

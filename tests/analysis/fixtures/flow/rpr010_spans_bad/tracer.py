@@ -1,0 +1,18 @@
+"""A SpanTracer that pokes its span buffer outside the mutators."""
+
+
+class SpanTracer:
+    def __init__(self):
+        self.spans = []
+        self.spans_seen = 0
+        self._clock = 0
+
+    def record(self, span):
+        # Sanctioned mutator: allowed.
+        self.spans_seen += 1
+        self.spans.append(span)
+
+    def backdate(self, ticks):
+        # BUG: rewinding the logical clock outside start/finish/reset
+        # breaks the byte-identical span-file contract.
+        self._clock -= ticks

@@ -1,0 +1,19 @@
+"""The corrected twin: span state moves only through the mutators."""
+
+
+class SpanTracer:
+    def __init__(self):
+        self.spans = []
+        self.spans_seen = 0
+        self._clock = 0
+
+    def record(self, span):
+        self.spans_seen += 1
+        self.spans.append(span)
+
+    def reset(self):
+        # The sanctioned way to rewind: drop the buffer and the clock
+        # together so replays restart from a well-defined origin.
+        self.spans = []
+        self.spans_seen = 0
+        self._clock = 0

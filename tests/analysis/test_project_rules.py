@@ -113,6 +113,37 @@ class TestRPR010SharedStateDiscipline:
         assert project_rule("RPR010", "rpr010_good") == []
 
 
+class TestRPR010SpanSinkSurface:
+    """The tracer's span buffer/clock/sink state is contract-owned:
+    ad-hoc span-buffer writes are flagged, the sanctioned mutators
+    (start/finish/record/add_sink/reset) pass."""
+
+    def test_fires_on_seeded_violations(self):
+        violations = project_rule("RPR010", "rpr010_spans_bad")
+        assert all(v.rule_id == "RPR010" for v in violations)
+        assert len(violations) == 2
+
+    def test_clock_rewind_outside_mutators_is_flagged(self):
+        violations = project_rule("RPR010", "rpr010_spans_bad")
+        (self_write,) = [
+            v for v in violations if "tracer.py" in v.path
+        ]
+        assert "SpanTracer.backdate" in self_write.message
+        assert "'_clock'" in self_write.message
+        assert "outside its sanctioned mutators" in self_write.message
+        assert "record" in self_write.message
+
+    def test_external_span_buffer_write_is_flagged(self):
+        violations = project_rule("RPR010", "rpr010_spans_bad")
+        (external,) = [v for v in violations if "meddle.py" in v.path]
+        assert "reaches into shared attribute" in external.message
+        assert "'spans_seen'" in external.message
+        assert "SpanTracer" in external.message
+
+    def test_sanctioned_span_mutators_pass(self):
+        assert project_rule("RPR010", "rpr010_spans_good") == []
+
+
 class TestProjectCli:
     BAD = str(FLOW / "rpr010_bad")
 

@@ -1,8 +1,16 @@
 """Tests for the stdlib-only /metrics HTTP endpoint."""
 
+import json
+import threading
+
 from urllib.request import urlopen
 
-from repro.obs.httpd import CONTENT_TYPE, MetricsServer
+from repro.obs.httpd import (
+    CONTENT_TYPE,
+    JSON_CONTENT_TYPE,
+    TEXT_CONTENT_TYPE,
+    MetricsServer,
+)
 from repro.obs.metrics import MetricsRegistry
 
 
@@ -17,6 +25,17 @@ def test_serves_metrics_and_healthz():
 
         with urlopen(f"{server.url}/healthz", timeout=5) as response:
             assert response.read() == b"ok\n"
+
+
+def test_explicit_charset_and_connection_close():
+    with MetricsServer(MetricsRegistry()) as server:
+        with urlopen(f"{server.url}/metrics", timeout=5) as response:
+            assert "charset=utf-8" in response.headers["Content-Type"]
+            assert response.headers["Connection"] == "close"
+        with urlopen(f"{server.url}/healthz", timeout=5) as response:
+            assert response.headers["Content-Type"] == TEXT_CONTENT_TYPE
+            assert "charset=utf-8" in response.headers["Content-Type"]
+            assert response.headers["Connection"] == "close"
 
 
 def test_unknown_path_is_404():
@@ -66,9 +85,120 @@ def test_close_before_start_is_noop():
     assert server.closed
 
 
-def test_concurrent_closes_are_safe():
-    import threading
+def test_slo_endpoint_serves_engine_state():
+    from repro.core.instrumentation import DecisionEvent
+    from repro.obs.slo import Objective, SLOEngine, SLOSpec
 
+    spec = SLOSpec(
+        name="live",
+        objectives=(
+            Objective(name="availability", kind="availability", target=0.9),
+        ),
+    )
+    engine = SLOEngine(spec)
+    for index in range(10):
+        engine.observe_event(
+            DecisionEvent(
+                index=index,
+                source="simulator",
+                policy="rate-profile",
+                granularity="table",
+                served_from_cache=False,
+                loads=(),
+                evictions=(),
+                load_bytes=0,
+                bypass_bytes=10,
+                weighted_cost=10.0,
+                outcome="bypassed",
+            )
+        )
+    registry = MetricsRegistry()
+    with MetricsServer(registry, slo_engine=engine) as server:
+        with urlopen(f"{server.url}/slo", timeout=5) as response:
+            assert response.headers["Content-Type"] == JSON_CONTENT_TYPE
+            assert response.headers["Connection"] == "close"
+            payload = json.loads(response.read().decode("utf-8"))
+    assert payload["slo"] == "live"
+    assert payload["ok"] is True
+    assert payload["objectives"][0]["total"] == 10
+
+
+def test_slo_endpoint_404_without_engine():
+    import urllib.error
+
+    with MetricsServer(MetricsRegistry()) as server:
+        try:
+            urlopen(f"{server.url}/slo", timeout=5)
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 404
+        else:  # pragma: no cover - the request must fail
+            raise AssertionError("expected 404")
+
+
+def test_concurrent_scrapes_during_simulation():
+    """Two scraper threads hammer the endpoints while a run emits."""
+    from repro.core.instrumentation import Instrumentation
+    from repro.federation import Federation, Mediator
+    from repro.obs.metrics import MetricsProbe
+    from repro.sim.runner import run_single
+    from repro.workload.generator import TraceConfig, generate_trace
+    from repro.workload.prepare import prepare_trace
+    from repro.workload.sdss_schema import TINY, build_sdss_catalog
+
+    registry = MetricsRegistry()
+    instrumentation = Instrumentation(max_events=0)
+    instrumentation.add_probe(MetricsProbe(registry))
+
+    errors = []
+    stop = threading.Event()
+
+    def scrape(url: str) -> None:
+        try:
+            while not stop.is_set():
+                with urlopen(url, timeout=5) as response:
+                    body = response.read().decode("utf-8")
+                    assert body
+        except Exception as exc:  # pragma: no cover - the failure case
+            errors.append(exc)
+
+    with MetricsServer(registry) as server:
+        threads = [
+            threading.Thread(
+                target=scrape, args=(f"{server.url}/metrics",)
+            ),
+            threading.Thread(
+                target=scrape, args=(f"{server.url}/healthz",)
+            ),
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            federation = Federation.single_site(
+                build_sdss_catalog(TINY, seed=5), "sdss"
+            )
+            trace = generate_trace(
+                TraceConfig(num_queries=80, flavor="edr", seed=11), TINY
+            )
+            prepared = prepare_trace(trace, Mediator(federation))
+            run_single(
+                prepared,
+                federation,
+                "rate-profile",
+                federation.total_database_bytes() // 3,
+                "table",
+                instrumentation=instrumentation,
+            )
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+    assert not errors
+    # The run's decisions reached the scraped registry.
+    body = registry.render_prometheus()
+    assert "repro_decisions_total" in body
+
+
+def test_concurrent_closes_are_safe():
     server = MetricsServer(MetricsRegistry())
     server.start()
     errors = []

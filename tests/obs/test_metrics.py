@@ -15,7 +15,9 @@ from repro.obs.metrics import (
 )
 
 
-def event(index=0, served=False, bypass=100, load=0, yield_bytes=200):
+def event(
+    index=0, served=False, bypass=100, load=0, yield_bytes=200, tenant=""
+):
     return DecisionEvent(
         index=index,
         source="simulator",
@@ -28,6 +30,7 @@ def event(index=0, served=False, bypass=100, load=0, yield_bytes=200):
         bypass_bytes=bypass,
         weighted_cost=float(bypass + load),
         yield_bytes=yield_bytes,
+        tenant=tenant,
     )
 
 
@@ -179,3 +182,56 @@ class TestMetricsProbe:
             pass
         calls = registry.counter("repro_stage_proxy_decide_calls_total")
         assert calls.value == 1.0
+
+    def test_tenant_partition_sums_to_aggregates(self):
+        registry = MetricsRegistry()
+        sink = Instrumentation(max_events=0)
+        sink.add_probe(MetricsProbe(registry))
+        sink.record_decision(event(0, bypass=100, tenant="alice"))
+        sink.record_decision(event(1, load=250, bypass=0, tenant="bob"))
+        sink.record_decision(event(2, served=True, bypass=0, tenant="alice"))
+        sink.record_decision(event(3, bypass=40))  # untagged
+
+        def tenant_sum(family):
+            return sum(
+                entry["value"]
+                for name, entry in registry.snapshot().items()
+                if name.startswith(f"repro_tenant_{family}_total{{")
+            )
+
+        wan_total = (
+            registry.counter("repro_wan_load_bytes_total").value
+            + registry.counter("repro_wan_bypass_bytes_total").value
+        )
+        assert tenant_sum("wan_bytes") == wan_total == 390.0
+        assert (
+            tenant_sum("decisions")
+            == registry.counter("repro_decisions_total").value
+        )
+        assert (
+            tenant_sum("served")
+            == registry.counter("repro_decisions_served_total").value
+        )
+        body = registry.render_prometheus()
+        assert 'repro_tenant_wan_bytes_total{tenant="alice"} 100' in body
+        assert 'repro_tenant_wan_bytes_total{tenant="untagged"} 40' in body
+
+    def test_labeled_series_share_one_header(self):
+        registry = MetricsRegistry()
+        sink = Instrumentation(max_events=0)
+        sink.add_probe(MetricsProbe(registry))
+        sink.record_decision(event(0, tenant="alice"))
+        sink.record_decision(event(1, tenant="bob"))
+        body = registry.render_prometheus()
+        helps = [
+            line
+            for line in body.splitlines()
+            if line.startswith("# HELP repro_tenant_wan_bytes_total")
+        ]
+        types = [
+            line
+            for line in body.splitlines()
+            if line.startswith("# TYPE repro_tenant_wan_bytes_total")
+        ]
+        assert len(helps) == 1
+        assert types == ["# TYPE repro_tenant_wan_bytes_total counter"]

@@ -184,3 +184,165 @@ class TestCli:
         assert (
             "trace holds no decision events" in capsys.readouterr().out
         )
+
+
+def record_traced_run(tmp_path, policy_name="rate-profile"):
+    """Simulate one policy, persisting both the decision trace and the
+    span file.  Returns (trace_path, span_path)."""
+    from repro.obs.spans import SpanTracer, SpanWriter
+    from repro.sim.runner import build_policy
+    from repro.sim.simulator import Simulator
+
+    federation = Federation.single_site(build_catalog(), "sdss")
+    trace = make_trace()
+    capacity = federation.total_database_bytes() // 3
+    manifest = RunManifest(
+        workload=trace.name,
+        policy=policy_name,
+        granularity="table",
+        capacity_bytes=capacity,
+    )
+    sink = Instrumentation(max_events=0)
+    tracer = SpanTracer(seed=7, run_label=policy_name, wall_clock=False)
+    trace_path = tmp_path / f"run-{policy_name}.jsonl"
+    span_path = tmp_path / f"run-{policy_name}.spans.jsonl"
+    span_writer = tracer.add_sink(SpanWriter(span_path, tracer))
+    with TraceWriter(trace_path, manifest) as writer:
+        sink.add_probe(writer)
+        policy = build_policy(
+            policy_name, capacity, trace, federation, "table"
+        )
+        Simulator(
+            federation, "table", instrumentation=sink, tracer=tracer
+        ).run(trace, policy)
+    span_writer.close()
+    return trace_path, span_path
+
+
+class TestFlamegraphCli:
+    def test_renders_stage_tree(self, tmp_path, capsys):
+        _, span_path = record_traced_run(tmp_path)
+        assert main([str(span_path), "--flamegraph"]) == 0
+        out = capsys.readouterr().out
+        assert "query" in out
+        assert "decide" in out
+        assert "incl%" in out
+        assert "spans" in out  # header line with the span count
+
+    def test_missing_span_file_exits_two(self, tmp_path, capsys):
+        assert (
+            main([str(tmp_path / "nope.spans.jsonl"), "--flamegraph"])
+            == 2
+        )
+
+    def test_empty_span_file_exits_two(self, tmp_path, capsys):
+        from repro.obs.spans import SpanTracer, SpanWriter
+
+        tracer = SpanTracer(seed=1, run_label="empty")
+        path = tmp_path / "empty.spans.jsonl"
+        SpanWriter(path, tracer).close()
+        assert main([str(path), "--flamegraph"]) == 2
+        assert "no spans" in capsys.readouterr().err
+
+    def test_torn_span_file_reports_prefix(self, tmp_path, capsys):
+        _, span_path = record_traced_run(tmp_path)
+        text = span_path.read_text(encoding="utf-8")
+        span_path.write_text(text[:-20], encoding="utf-8")
+        assert main([str(span_path), "--flamegraph"]) == 0
+        assert "torn line" in capsys.readouterr().err
+
+
+class TestSloCli:
+    def _spec(self, tmp_path, objectives):
+        import json
+
+        path = tmp_path / "slo.json"
+        path.write_text(
+            json.dumps({"name": "test", "objectives": objectives}),
+            encoding="utf-8",
+        )
+        return path
+
+    def test_holding_slo_exits_zero(self, tmp_path, capsys):
+        trace_path, _ = record_traced_run(tmp_path)
+        spec = self._spec(
+            tmp_path, [{"kind": "availability", "target": 0.5}]
+        )
+        assert main([str(trace_path), "--slo", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "overall: OK" in out
+
+    def test_violated_slo_exits_one(self, tmp_path, capsys):
+        trace_path, _ = record_traced_run(tmp_path, "no-cache")
+        # A 1-byte per-query WAN budget that bypass traffic must bust.
+        spec = self._spec(
+            tmp_path,
+            [
+                {
+                    "kind": "wan_per_query_bytes",
+                    "target": 0.99,
+                    "budget_bytes": 1,
+                }
+            ],
+        )
+        assert main([str(trace_path), "--slo", str(spec)]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out
+        assert "overall: FAILING" in out
+
+    def test_stage_latency_consumes_spans(self, tmp_path, capsys):
+        trace_path, span_path = record_traced_run(tmp_path)
+        spec = self._spec(
+            tmp_path,
+            [
+                {
+                    "name": "decide-p99",
+                    "kind": "stage_latency_p99",
+                    "target": 0.5,
+                    "stage": "decide",
+                    "threshold_ticks": 1000,
+                }
+            ],
+        )
+        assert (
+            main(
+                [
+                    str(trace_path),
+                    "--slo",
+                    str(spec),
+                    "--spans",
+                    str(span_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "decide-p99" in out
+        # The spans actually fed the objective (non-zero observations).
+        row = next(
+            line for line in out.splitlines() if "decide-p99" in line
+        )
+        total = int(row.split()[-2])
+        assert total == 30  # one decide span per query
+
+    def test_bad_spec_exits_two(self, tmp_path, capsys):
+        trace_path, _ = record_traced_run(tmp_path)
+        assert (
+            main(
+                [str(trace_path), "--slo", str(tmp_path / "nope.json")]
+            )
+            == 2
+        )
+
+    def test_modes_mutually_exclusive(self, tmp_path, capsys):
+        trace_path, span_path = record_traced_run(tmp_path)
+        spec = self._spec(
+            tmp_path, [{"kind": "availability", "target": 0.5}]
+        )
+        assert (
+            main(
+                [str(span_path), "--flamegraph", "--slo", str(spec)]
+            )
+            == 2
+        )
+        assert "mutually exclusive" in capsys.readouterr().err

@@ -1,0 +1,320 @@
+"""Tests for the declarative SLO engine (:mod:`repro.obs.slo`)."""
+
+import json
+
+import pytest
+
+from repro.core.instrumentation import DecisionEvent
+from repro.errors import ConfigurationError
+from repro.obs.slo import (
+    KIND_AVAILABILITY,
+    KIND_STAGE_LATENCY,
+    KIND_WAN_PER_QUERY,
+    Objective,
+    SLOEngine,
+    SLOSpec,
+    evaluate_sources,
+    render_slo_report,
+)
+from repro.obs.spans import Span
+
+
+def event(index, outcome="", load_bytes=0, bypass_bytes=0, retry_bytes=0):
+    return DecisionEvent(
+        index=index,
+        source="simulator",
+        policy="rate-profile",
+        granularity="table",
+        served_from_cache=outcome == "served",
+        loads=(),
+        evictions=(),
+        load_bytes=load_bytes,
+        bypass_bytes=bypass_bytes,
+        weighted_cost=float(load_bytes + bypass_bytes),
+        retry_bytes=retry_bytes,
+        outcome=outcome,
+    )
+
+
+def span(name, start, end):
+    return Span("t", f"s{start}", "", name, 0, "", start, end)
+
+
+def availability(target=0.9, **overrides):
+    return Objective(
+        name="availability",
+        kind=KIND_AVAILABILITY,
+        target=target,
+        **overrides,
+    )
+
+
+class TestObjectiveValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown kind"):
+            Objective(name="x", kind="latency", target=0.9)
+
+    @pytest.mark.parametrize("target", [0.0, 1.0, -0.1, 1.5])
+    def test_target_must_be_open_interval(self, target):
+        with pytest.raises(ConfigurationError, match="target"):
+            Objective(name="x", kind=KIND_AVAILABILITY, target=target)
+
+    def test_wan_needs_budget(self):
+        with pytest.raises(ConfigurationError, match="budget_bytes"):
+            Objective(name="x", kind=KIND_WAN_PER_QUERY, target=0.9)
+
+    def test_latency_needs_stage_and_threshold(self):
+        with pytest.raises(ConfigurationError, match="stage"):
+            Objective(name="x", kind=KIND_STAGE_LATENCY, target=0.9)
+        with pytest.raises(ConfigurationError, match="threshold_ticks"):
+            Objective(
+                name="x",
+                kind=KIND_STAGE_LATENCY,
+                target=0.9,
+                stage="decide",
+            )
+
+    def test_window_ordering(self):
+        with pytest.raises(ConfigurationError, match="windows"):
+            availability(long_window=10, short_window=20)
+
+    def test_error_budget(self):
+        assert availability(target=0.99).error_budget == pytest.approx(0.01)
+
+
+class TestSpecLoading:
+    def test_from_json_roundtrip(self):
+        spec = SLOSpec.from_json(
+            {
+                "name": "ci",
+                "objectives": [
+                    {"kind": "availability", "target": 0.95},
+                    {
+                        "name": "wan-budget",
+                        "kind": "wan_per_query_bytes",
+                        "target": 0.5,
+                        "budget_bytes": 1000,
+                    },
+                ],
+            }
+        )
+        assert spec.name == "ci"
+        assert [o.kind for o in spec.objectives] == [
+            KIND_AVAILABILITY,
+            KIND_WAN_PER_QUERY,
+        ]
+
+    def test_empty_objectives_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            SLOSpec.from_json({"objectives": []})
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError, match="unique"):
+            SLOSpec.from_json(
+                {
+                    "objectives": [
+                        {"kind": "availability", "target": 0.9},
+                        {"kind": "availability", "target": 0.99},
+                    ]
+                }
+            )
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "file",
+                    "objectives": [
+                        {"kind": "availability", "target": 0.9}
+                    ],
+                }
+            ),
+            encoding="utf-8",
+        )
+        assert SLOSpec.load(path).name == "file"
+
+    def test_load_errors(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no such SLO spec"):
+            SLOSpec.load(tmp_path / "nope.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="invalid JSON"):
+            SLOSpec.load(bad)
+
+
+class TestAvailabilityObjective:
+    def test_compliance_counts_unavailable(self):
+        spec = SLOSpec("t", (availability(target=0.9),))
+        engine = SLOEngine(spec)
+        for index in range(9):
+            engine.observe_event(event(index, outcome="served"))
+        engine.observe_event(event(9, outcome="unavailable"))
+        (result,) = engine.evaluate().results
+        assert result.total == 10
+        assert result.bad == 1
+        assert result.compliance == pytest.approx(0.9)
+        assert not result.violated  # 0.9 >= 0.9
+
+    def test_violation_below_target(self):
+        spec = SLOSpec("t", (availability(target=0.95),))
+        engine = SLOEngine(spec)
+        engine.observe_event(event(0, outcome="unavailable"))
+        engine.observe_event(event(1, outcome="served"))
+        (result,) = engine.evaluate().results
+        assert result.violated
+        assert result.failing
+        assert not engine.evaluate().ok
+
+    def test_no_observations_is_compliant(self):
+        spec = SLOSpec("t", (availability(),))
+        (result,) = SLOEngine(spec).evaluate().results
+        assert result.compliance == 1.0
+        assert not result.failing
+
+
+class TestWanObjective:
+    def test_budget_partition(self):
+        objective = Objective(
+            name="wan",
+            kind=KIND_WAN_PER_QUERY,
+            target=0.5,
+            budget_bytes=100,
+        )
+        engine = SLOEngine(SLOSpec("t", (objective,)))
+        engine.observe_event(event(0, bypass_bytes=50))  # within budget
+        engine.observe_event(event(1, load_bytes=90, retry_bytes=20))  # 110
+        (result,) = engine.evaluate().results
+        assert result.bad == 1
+        assert result.compliance == pytest.approx(0.5)
+
+    def test_retry_waste_counts_against_budget(self):
+        objective = Objective(
+            name="wan",
+            kind=KIND_WAN_PER_QUERY,
+            target=0.5,
+            budget_bytes=100,
+        )
+        engine = SLOEngine(SLOSpec("t", (objective,)))
+        engine.observe_event(event(0, bypass_bytes=60, retry_bytes=60))
+        (result,) = engine.evaluate().results
+        assert result.bad == 1
+
+
+class TestLatencyObjective:
+    def test_only_matching_stage_observed(self):
+        objective = Objective(
+            name="p99",
+            kind=KIND_STAGE_LATENCY,
+            target=0.9,
+            stage="decide",
+            threshold_ticks=5,
+        )
+        engine = SLOEngine(SLOSpec("t", (objective,)))
+        engine.observe_span(span("decide", 0, 3))  # good
+        engine.observe_span(span("decide", 0, 10))  # bad
+        engine.observe_span(span("load", 0, 100))  # ignored
+        (result,) = engine.evaluate().results
+        assert result.total == 2
+        assert result.bad == 1
+
+
+class TestBurnRate:
+    def test_multi_window_alerting(self):
+        # budget 0.1; long window of 20, short of 5, threshold 2.0 —
+        # alert needs both windows at error rate >= 0.2.
+        objective = availability(
+            target=0.9, long_window=20, short_window=5, burn_threshold=2.0
+        )
+        engine = SLOEngine(SLOSpec("t", (objective,)))
+        # 16 good then 4 bad: long window error rate 4/20 = 0.2 → burn
+        # 2.0; short window 4/5 = 0.8 → burn 8.0.  Both >= 2.0: alert.
+        for index in range(16):
+            engine.observe_event(event(index, outcome="served"))
+        for index in range(16, 20):
+            engine.observe_event(event(index, outcome="unavailable"))
+        (result,) = engine.evaluate().results
+        assert result.burn_long == pytest.approx(2.0)
+        assert result.burn_short == pytest.approx(8.0)
+        assert result.alerting
+
+    def test_short_window_recovery_stops_alert(self):
+        # Same burn history, then 5 good queries: the short window
+        # clears (problem stopped), so no alert even though the long
+        # window still burns.
+        objective = availability(
+            target=0.9, long_window=20, short_window=5, burn_threshold=2.0
+        )
+        engine = SLOEngine(SLOSpec("t", (objective,)))
+        for index in range(11):
+            engine.observe_event(event(index, outcome="served"))
+        for index in range(11, 15):
+            engine.observe_event(event(index, outcome="unavailable"))
+        for index in range(15, 20):
+            engine.observe_event(event(index, outcome="served"))
+        (result,) = engine.evaluate().results
+        assert result.burn_long == pytest.approx(2.0)
+        assert result.burn_short == 0.0
+        assert not result.alerting
+
+    def test_burn_zero_without_observations(self):
+        engine = SLOEngine(SLOSpec("t", (availability(),)))
+        (result,) = engine.evaluate().results
+        assert result.burn_long == 0.0
+        assert not result.alerting
+
+
+class TestReportRendering:
+    def _report(self, bad):
+        engine = SLOEngine(SLOSpec("demo", (availability(target=0.9),)))
+        for index in range(10):
+            outcome = "unavailable" if index < bad else "served"
+            engine.observe_event(event(index, outcome=outcome))
+        return engine.evaluate()
+
+    def test_ok_report(self):
+        report = self._report(bad=0)
+        text = render_slo_report(report)
+        assert "overall: OK" in text
+        assert "availability" in text
+        assert report.ok
+
+    def test_violated_report(self):
+        report = self._report(bad=5)
+        text = render_slo_report(report)
+        assert "VIOLATED" in text
+        assert "overall: FAILING" in text
+
+    def test_to_json_shape(self):
+        payload = self._report(bad=0).to_json()
+        assert payload["slo"] == "demo"
+        assert payload["ok"] is True
+        (objective,) = payload["objectives"]
+        assert objective["total"] == 10
+        json.dumps(payload)  # JSON-safe
+
+
+class TestEvaluateSources:
+    def test_one_shot(self):
+        spec = SLOSpec(
+            "mixed",
+            (
+                availability(target=0.9),
+                Objective(
+                    name="p99",
+                    kind=KIND_STAGE_LATENCY,
+                    target=0.5,
+                    stage="decide",
+                    threshold_ticks=2,
+                ),
+            ),
+        )
+        report = evaluate_sources(
+            spec,
+            events=[event(0, outcome="served")],
+            spans=[span("decide", 0, 1), span("decide", 0, 9)],
+        )
+        by_name = {r.objective.name: r for r in report.results}
+        assert by_name["availability"].total == 1
+        assert by_name["p99"].total == 2
+        assert by_name["p99"].bad == 1

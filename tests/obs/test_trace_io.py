@@ -112,12 +112,17 @@ class TestErrors:
         with pytest.raises(ConfigurationError):
             TraceReader(path)
 
-    def test_corrupt_event_line(self, tmp_path):
+    def test_corrupt_event_line_mid_file(self, tmp_path):
+        # A malformed line with complete lines after it is corruption,
+        # not a crash mid-write — it must raise.
         path = tmp_path / "corrupt.jsonl"
         with TraceWriter(path, manifest()) as writer:
             writer.write(event(0))
         with path.open("a", encoding="utf-8") as handle:
             handle.write("{broken\n")
+            handle.write(
+                json.dumps(event(1).to_json(), sort_keys=True) + "\n"
+            )
         with pytest.raises(ConfigurationError):
             read_trace(path)
 
@@ -126,6 +131,57 @@ class TestErrors:
         with TraceWriter(path, manifest()):
             pass
         assert path.exists()
+
+
+class TestTruncation:
+    """A torn trailing line (crash mid-write) yields the complete
+    prefix and sets ``truncated`` instead of raising."""
+
+    def _write(self, path, count):
+        with TraceWriter(path, manifest()) as writer:
+            for index in range(count):
+                writer.write(event(index))
+
+    def test_partial_trailing_json(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        self._write(path, 5)
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: len(text) - 30], encoding="utf-8")
+        reader = TraceReader(path)
+        events = list(reader)
+        assert reader.truncated
+        assert [evt.index for evt in events] == [0, 1, 2, 3]
+
+    def test_trailing_garbage_line(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        self._write(path, 3)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"index": 99')  # no newline, torn JSON
+        reader = TraceReader(path)
+        assert [evt.index for evt in reader] == [0, 1, 2]
+        assert reader.truncated
+
+    def test_clean_file_not_flagged(self, tmp_path):
+        path = tmp_path / "clean.jsonl"
+        self._write(path, 3)
+        reader = TraceReader(path)
+        assert len(list(reader)) == 3
+        assert not reader.truncated
+
+    def test_flag_resets_per_reader_not_per_iteration(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        self._write(path, 2)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("{torn")
+        reader = TraceReader(path)
+        list(reader)
+        assert reader.truncated
+        # Fresh reader on a repaired file starts clean.
+        repaired = path.read_text(encoding="utf-8").rsplit("{torn", 1)[0]
+        path.write_text(repaired, encoding="utf-8")
+        fresh = TraceReader(path)
+        assert len(list(fresh)) == 2
+        assert not fresh.truncated
 
 
 class TestRotation:

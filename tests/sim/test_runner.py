@@ -253,6 +253,95 @@ class TestParallelExecution:
         assert byu_par.points[0].total_bytes == byu.points[0].total_bytes
 
 
+class TestTenantTelemetryMerge:
+    """Per-tenant counters must merge across parallel workers to the
+    exact totals a serial run records (ISSUE: per-tenant WAN
+    attribution survives process-pool fan-out)."""
+
+    def _tenant_trace(self, n, tenants, name):
+        queries = []
+        for i in range(n):
+            table = "PhotoObj" if i % 4 else "SpecObj"
+            queries.append(
+                PreparedQuery(
+                    index=i,
+                    sql=f"q{i}",
+                    template="t",
+                    yield_bytes=120,
+                    bypass_bytes=120,
+                    table_yields={table: 120.0},
+                    column_yields={},
+                    servers=("sdss",),
+                    tenant=tenants[i % len(tenants)],
+                )
+            )
+        return PreparedTrace(name, queries)
+
+    def _sweep_counters(self, federation, parallel):
+        from repro.core.instrumentation import Instrumentation
+
+        sink = Instrumentation(max_events=0)
+        kwargs = dict(
+            granularity="table",
+            fractions=(0.3, 0.8),
+            policies=("gds", "no-cache"),
+            instrumentation=sink,
+            parallel=parallel,
+        )
+        if parallel:
+            kwargs["max_workers"] = 2
+        # Disjoint ("alice" vs "carol") and overlapping ("bob", plus
+        # untagged) label sets across the two merged sweeps.
+        run_sweep(
+            self._tenant_trace(40, ("alice", "bob", ""), "ab"),
+            federation,
+            **kwargs,
+        )
+        run_sweep(
+            self._tenant_trace(40, ("bob", "carol"), "bc"),
+            federation,
+            **kwargs,
+        )
+        return sink.counters
+
+    def test_parallel_merge_matches_serial(self, federation):
+        serial = self._sweep_counters(federation, parallel=False)
+        parallel = self._sweep_counters(federation, parallel=True)
+        tenant_keys = {
+            key
+            for key in set(serial) | set(parallel)
+            if key.startswith("tenant.")
+        }
+        assert tenant_keys, "runs recorded no tenant counters"
+        assert {
+            key.split(".")[1] for key in tenant_keys
+        } >= {"alice", "bob", "carol", "untagged"}
+        for key in sorted(tenant_keys):
+            assert serial.get(key) == pytest.approx(
+                parallel.get(key)
+            ), key
+
+    def test_tenant_partition_sums_to_aggregates(self, federation):
+        counters = self._sweep_counters(federation, parallel=False)
+        wan_total = (
+            counters.get("wan.load_bytes", 0.0)
+            + counters.get("wan.bypass_bytes", 0.0)
+            + counters.get("wan.retry_bytes", 0.0)
+        )
+        tenant_wan = sum(
+            value
+            for key, value in counters.items()
+            if key.startswith("tenant.") and key.endswith(".wan_bytes")
+        )
+        assert tenant_wan == pytest.approx(wan_total)
+        tenant_decisions = sum(
+            value
+            for key, value in counters.items()
+            if key.startswith("tenant.") and key.endswith(".decisions")
+        )
+        assert tenant_decisions == pytest.approx(counters["decisions"])
+
+
 class TestSampledSeries:
     def test_sampled_series_is_strided_subsequence(self, federation):
         trace = make_trace(1100)

@@ -203,3 +203,39 @@ class TestResilienceModule:
         reader = TraceReader(path)
         assert reader.manifest.policy == "no-cache"
         assert "faults@0.5" in reader.manifest.workload
+
+    def test_span_dir_writes_spans_and_perfetto_per_cell(
+        self, tiny_context, tmp_path, capsys
+    ):
+        import json
+
+        from repro.experiments import fig_resilience
+        from repro.obs.spans import SpanReader
+
+        traced = fig_resilience.run(
+            tiny_context,
+            intensities=(0.5,),
+            policies=("rate-profile",),
+            span_dir=tmp_path,
+        )
+        span_path = tmp_path / "spans-i0.5-rate-profile.jsonl"
+        assert span_path.exists()
+        reader = SpanReader(span_path)
+        assert reader.header["run_label"] == "i0.5-rate-profile"
+        spans = list(reader)
+        assert not reader.truncated
+        names = {span.name for span in spans}
+        assert {"query", "decide"} <= names
+        perfetto = tmp_path / "perfetto-i0.5-rate-profile.json"
+        payload = json.loads(perfetto.read_text(encoding="utf-8"))
+        assert payload["traceEvents"]
+        # Tracing must not perturb the decisions themselves.
+        untraced = fig_resilience.run(
+            tiny_context,
+            intensities=(0.5,),
+            policies=("rate-profile",),
+        )
+        assert (
+            traced.cell(0.5, "rate-profile").total_bytes
+            == untraced.cell(0.5, "rate-profile").total_bytes
+        )
