@@ -1,0 +1,137 @@
+"""Fleet benchmarks: ring lookup throughput and cooperative WAN savings.
+
+Two claims get pinned here.  First, consistent-hash ring lookups are an
+O(log V) bisect over precomputed virtual-node positions, so routing is
+never the bottleneck — the microbenchmark asserts >= 10^5 lookups/s
+(real throughput is orders of magnitude higher; the floor only catches
+an accidental O(V) regression).  Second, cooperation pays: at 4, 16,
+and 64 shards the cooperative fleet's global WAN must come in at or
+below the same shards run independently, strictly below while sibling
+hits exist.
+
+Results land in a combined ``BENCH_fleet.json`` artifact (ring
+throughput plus the shard-count sweep table) so CI archives the fleet
+trajectory across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.fleet.ring import ConsistentHashRing
+from repro.sim.multi import simulate_fleet
+from repro.sim.runner import build_fleet
+
+from .conftest import artifact_dir
+
+#: Shard counts for the cooperative-vs-independent sweep.
+FLEET_SIZES: Tuple[int, ...] = (4, 16, 64)
+
+#: Total cache budget as a database fraction, split N ways per row.
+CACHE_FRACTION = 0.3
+
+#: Floor for ring lookups per second.  Deliberately conservative (the
+#: bisect path measures in the millions); trips only if lookup degrades
+#: to a scan over virtual nodes.
+MIN_LOOKUPS_PER_SECOND = 100_000.0
+
+RING_LOOKUPS = 200_000
+
+#: Collected results, flushed into BENCH_fleet.json at module end.
+_RESULTS: Dict[str, object] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _flush_results():
+    """Write the combined BENCH_fleet.json after the module runs."""
+    yield
+    directory = artifact_dir()
+    if directory is None or not _RESULTS:
+        return
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {"benchmark": "fleet"}
+    payload.update(sorted(_RESULTS.items()))
+    (directory / "BENCH_fleet.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def test_ring_lookup_throughput(benchmark):
+    """>= 10^5 owner() lookups/s on a 64-shard ring."""
+    ring = ConsistentHashRing(
+        [f"shard{i}" for i in range(64)], seed=412
+    )
+    keys = [f"object-{i % 4096}" for i in range(RING_LOOKUPS)]
+
+    def run() -> float:
+        start = time.perf_counter()
+        for key in keys:
+            ring.owner(key)
+        return time.perf_counter() - start
+
+    elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    per_second = RING_LOOKUPS / max(elapsed, 1e-9)
+    _RESULTS["ring"] = {
+        "shards": 64,
+        "virtual_nodes": len(ring) * ring.replicas,
+        "lookups": RING_LOOKUPS,
+        "wall_seconds": round(elapsed, 6),
+        "lookups_per_second": round(per_second, 2),
+    }
+    assert per_second >= MIN_LOOKUPS_PER_SECOND, (
+        f"ring owner() at {per_second:,.0f} lookups/s is below the "
+        f"{MIN_LOOKUPS_PER_SECOND:,.0f}/s floor"
+    )
+
+
+@pytest.mark.parametrize("shards", FLEET_SIZES)
+def test_cooperative_vs_independent_wan(benchmark, edr_context, shards):
+    """Cooperative global WAN <= independent at every fleet size,
+    strictly below whenever a sibling served a byte."""
+    context = edr_context
+    per_shard = max(1, context.capacity_for(CACHE_FRACTION) // shards)
+
+    def build(count):
+        return build_fleet(
+            context.prepared,
+            count,
+            "rate-profile",
+            per_shard,
+            context.federation,
+            "table",
+        )
+
+    def run():
+        independent = simulate_fleet(context.federation, build(shards))
+        cooperative = simulate_fleet(
+            context.federation,
+            build(shards),
+            cooperative=True,
+            ring_seed=412,
+            probe_all_siblings=True,
+        )
+        return independent, cooperative
+
+    independent, cooperative = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    sweep: List[dict] = _RESULTS.setdefault("sweep", [])  # type: ignore[assignment]
+    sweep.append(
+        {
+            "shards": shards,
+            "per_shard_capacity_bytes": per_shard,
+            "independent_wan_bytes": int(independent.total_bytes),
+            "cooperative_wan_bytes": int(cooperative.total_bytes),
+            "peer_bytes": int(cooperative.peer_bytes),
+            "peer_hits": cooperative.peer_hits,
+        }
+    )
+    assert independent.peer_bytes == 0
+    assert cooperative.total_bytes <= independent.total_bytes
+    if cooperative.peer_hits:
+        assert cooperative.total_bytes < independent.total_bytes

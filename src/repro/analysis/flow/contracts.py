@@ -140,9 +140,12 @@ _DEFAULT_CONTRACTS: Tuple[EffectContract, ...] = (
                 "bypass_cost",
                 "load_cost",
                 "retry_cost",
+                "peer_bytes",
+                "peer_cost",
                 "per_server_bypass",
                 "per_server_load",
                 "per_server_retry",
+                "per_server_peer",
             }
         ),
         mutators=frozenset(
@@ -151,17 +154,20 @@ _DEFAULT_CONTRACTS: Tuple[EffectContract, ...] = (
                 "record_load",
                 "record_cache_hit",
                 "record_retry",
+                "record_peer",
                 "restore",
                 "reset",
             }
         ),
-        description="federation WAN byte/cost totals",
+        description="federation WAN/peer byte and cost totals",
     ),
     EffectContract(
         owner="CostBreakdown",
-        attrs=frozenset({"bypass_bytes", "load_bytes", "retry_bytes"}),
+        attrs=frozenset(
+            {"bypass_bytes", "load_bytes", "retry_bytes", "peer_bytes"}
+        ),
         mutators=frozenset({"charge"}),
-        description="simulator WAN breakdown",
+        description="simulator WAN/peer breakdown",
     ),
     EffectContract(
         owner="SimulationResult",
@@ -176,6 +182,7 @@ _DEFAULT_CONTRACTS: Tuple[EffectContract, ...] = (
                 "partial_queries",
                 "unavailable_queries",
                 "queries",
+                "peer_hits",
             }
         ),
         mutators=frozenset(
@@ -240,6 +247,14 @@ _DEFAULT_CONTRACTS: Tuple[EffectContract, ...] = (
             {"execute", "fetch_object", "record_shipment"}
         ),
         description="per-server shipped-traffic attribution",
+    ),
+    EffectContract(
+        owner="ConsistentHashRing",
+        attrs=frozenset({"_shards", "_nodes", "_points"}),
+        mutators=frozenset(
+            {"add_shard", "remove_shard", "_reindex"}
+        ),
+        description="fleet hash-ring membership and node index",
     ),
     EffectContract(
         owner="SpanTracer",
@@ -338,6 +353,8 @@ ACCOUNTING_FIELDS: FrozenSet[str] = frozenset(
         "bypass_cost",
         "retry_bytes",
         "retry_cost",
+        "peer_bytes",
+        "peer_cost",
         "wan_bytes",
         "wan_cost",
         "weighted_cost",

@@ -94,6 +94,12 @@ class DecisionEvent:
             outcome is implied by ``served_from_cache``.
         tenant: Client that issued the query ("" when the trace is
             untagged).  Per-tenant WAN attribution partitions on this.
+        shard: Fleet shard (proxy instance) that decided the query (""
+            outside cooperative fleet runs).  Per-shard attribution
+            partitions on this.
+        peer_bytes: Object bytes a sibling shard supplied instead of
+            the backend (0 outside cooperative fleet runs) — regional
+            traffic, excluded from :attr:`wan_bytes`.
     """
 
     index: int
@@ -112,6 +118,8 @@ class DecisionEvent:
     retry_bytes: int = 0
     outcome: str = ""
     tenant: str = ""
+    shard: str = ""
+    peer_bytes: int = 0
 
     @property
     def wan_bytes(self) -> int:
@@ -121,7 +129,7 @@ class DecisionEvent:
 
     def to_json(self) -> Dict[str, object]:
         """JSON-safe dict that :meth:`from_json` restores exactly."""
-        return {
+        data: Dict[str, object] = {
             "index": self.index,
             "source": self.source,
             "policy": self.policy,
@@ -139,6 +147,14 @@ class DecisionEvent:
             "outcome": self.outcome,
             "tenant": self.tenant,
         }
+        # Fleet fields appear only when set, so traces from
+        # non-cooperative runs stay byte-identical to pre-fleet output
+        # (the repro-report diff gate compares serialized lines).
+        if self.shard:
+            data["shard"] = self.shard
+        if self.peer_bytes:
+            data["peer_bytes"] = self.peer_bytes
+        return data
 
     @classmethod
     def from_json(cls, data: Mapping[str, object]) -> "DecisionEvent":
@@ -164,6 +180,8 @@ class DecisionEvent:
             retry_bytes=int(data.get("retry_bytes", 0)),  # type: ignore[call-overload]
             outcome=str(data.get("outcome", "")),
             tenant=str(data.get("tenant", "")),
+            shard=str(data.get("shard", "")),
+            peer_bytes=int(data.get("peer_bytes", 0)),  # type: ignore[call-overload]
         )
 
 
@@ -292,6 +310,22 @@ class Instrumentation:
             self.count(f"tenant.{tenant}.served")
         self.count(f"tenant.{tenant}.wan_bytes", event.wan_bytes)
         self.count(f"tenant.{tenant}.weighted_cost", event.weighted_cost)
+        # Fleet attribution: sibling-supplied bytes and per-shard
+        # partitions, recorded only for tagged (cooperative) decisions
+        # so non-fleet runs emit exactly the pre-fleet counter set.
+        if event.peer_bytes:
+            self.count("fleet.peer_bytes", event.peer_bytes)
+            self.count("fleet.peer_hits")
+        if event.shard:
+            shard = event.shard
+            self.count(f"fleet.shard.{shard}.decisions")
+            if event.served_from_cache:
+                self.count(f"fleet.shard.{shard}.served")
+            self.count(f"fleet.shard.{shard}.wan_bytes", event.wan_bytes)
+            if event.peer_bytes:
+                self.count(
+                    f"fleet.shard.{shard}.peer_bytes", event.peer_bytes
+                )
         if self.logger is not None:
             self.logger.debug(
                 "q%d [%s/%s] %s loads=%s evictions=%s wan=%d",

@@ -235,6 +235,12 @@ class QueryAccounting:
             discarded partials (0 on fault-free runs).
         retry_cost: Link-weighted cost of that waste, brownout
             inflation included.
+        peer_bytes: Object bytes received from sibling proxies instead
+            of the backend (0 outside cooperative fleet runs).  Peer
+            traffic rides the regional interconnect, so it is excluded
+            from :attr:`wan_bytes` but priced into
+            :attr:`weighted_cost` at the peer link weight.
+        peer_cost: Peer-weighted cost of those sibling transfers.
     """
 
     load_bytes: RawBytes
@@ -243,6 +249,8 @@ class QueryAccounting:
     bypass_cost: WeightedCost
     retry_bytes: RawBytes = ZERO_BYTES
     retry_cost: WeightedCost = ZERO_COST
+    peer_bytes: RawBytes = ZERO_BYTES
+    peer_cost: WeightedCost = ZERO_COST
 
     @property
     def wan_bytes(self) -> RawBytes:
@@ -253,7 +261,10 @@ class QueryAccounting:
     @property
     def weighted_cost(self) -> WeightedCost:
         return WeightedCost(
-            self.load_cost + self.bypass_cost + self.retry_cost
+            self.load_cost
+            + self.bypass_cost
+            + self.retry_cost
+            + self.peer_cost
         )
 
 
@@ -536,6 +547,60 @@ class DecisionPipeline:
             bypass_cost=charged_cost,
         )
 
+    def account_cooperative(
+        self,
+        decision: Decision,
+        bypass_bytes: int,
+        servers: Sequence[str] = (),
+        peer_loads: Sequence[str] = (),
+    ) -> QueryAccounting:
+        """Charge one decision when some loads came from sibling shards.
+
+        ``peer_loads`` names the subset of ``decision.loads`` a sibling
+        proxy supplied: those objects move over the peer link class
+        (``peer_weight × bytes``, off the WAN) while the remainder pays
+        the normal backend fetch.  With no peer loads this delegates to
+        :meth:`account` — the identity that makes single-shard
+        cooperative replays byte-identical to the independent path.
+
+        The decision itself is untouched: cooperation changes where
+        bytes come from, never what the policy chose (policies stay
+        cooperation-blind, exactly as they are fault-blind).
+        """
+        if not peer_loads:
+            return self.account(decision, bypass_bytes, servers)
+        peers = frozenset(peer_loads)
+        backend_loads = [
+            object_id
+            for object_id in decision.loads
+            if object_id not in peers
+        ]
+        load_bytes, load_cost = self.load_accounting(backend_loads)
+        peer_bytes = ZERO_BYTES
+        peer_cost = ZERO_COST
+        network = self.federation.network
+        for object_id in decision.loads:
+            if object_id not in peers:
+                continue
+            size = self.catalog.size(object_id)
+            peer_bytes = RawBytes(peer_bytes + size)
+            peer_cost = WeightedCost(
+                peer_cost + network.peer_cost(size)
+            )
+        if decision.served_from_cache:
+            charged_bypass, charged_cost = ZERO_BYTES, ZERO_COST
+        else:
+            charged_bypass = raw_bytes(bypass_bytes)
+            charged_cost = self.bypass_cost(bypass_bytes, servers)
+        return QueryAccounting(
+            load_bytes=load_bytes,
+            load_cost=load_cost,
+            bypass_bytes=charged_bypass,
+            bypass_cost=charged_cost,
+            peer_bytes=peer_bytes,
+            peer_cost=peer_cost,
+        )
+
     # -- fault-aware resolution ------------------------------------------
 
     def resolve(
@@ -765,6 +830,7 @@ class DecisionPipeline:
         retries: int = 0,
         outcome: str = "",
         tenant: str = "",
+        shard: str = "",
     ) -> None:
         """Forward one decision to the instrumentation sink, if any."""
         if self.instrumentation is None:
@@ -787,6 +853,8 @@ class DecisionPipeline:
                 retry_bytes=accounting.retry_bytes,
                 outcome=outcome,
                 tenant=tenant,
+                shard=shard,
+                peer_bytes=accounting.peer_bytes,
             )
         )
 

@@ -25,6 +25,7 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
+    Callable,
     ContextManager,
     Dict,
     Iterable,
@@ -109,6 +110,15 @@ class BypassYieldProxy:
             serve-from-cache when everything needed is resident,
             ``"unavailable"`` otherwise.  The proxy advances one
             logical tick per query.
+        peer_lookup: Optional fleet hook mapping an object id to the
+            name of a sibling proxy holding it (or None).  When the
+            hook names a provider, that load arrives over the peer
+            link class via
+            :meth:`~repro.federation.mediator.Mediator.load_from_peer`
+            instead of paying the backend WAN fetch — how a proxy
+            participates in a cooperative shard fleet.  Consulted on
+            the fault-free path only; under a transport the backend
+            fetch already carries the fault semantics.
 
     The proxy owns a :class:`~repro.federation.mediator.Mediator`; its
     ``ledger`` carries the network-citizenship accounting.
@@ -122,6 +132,7 @@ class BypassYieldProxy:
         policy_sees_weights: bool = True,
         instrumentation: Optional[Instrumentation] = None,
         transport: Optional["ResilientTransport"] = None,
+        peer_lookup: Optional[Callable[[str], Optional[str]]] = None,
     ) -> None:
         self.pipeline = DecisionPipeline(
             federation,
@@ -133,6 +144,7 @@ class BypassYieldProxy:
         self.policy = policy
         self.granularity = granularity
         self.transport = transport
+        self.peer_lookup = peer_lookup
         self.mediator = Mediator(
             federation,
             instrumentation=instrumentation,
@@ -207,11 +219,26 @@ class BypassYieldProxy:
 
         load_bytes = ZERO_BYTES
         load_cost = ZERO_COST
+        peer_bytes = ZERO_BYTES
+        peer_cost = ZERO_COST
+        peer_lookup = self.peer_lookup
         with self._stage("proxy.transfer"):
             for object_id in decision.loads:
-                size, cost = self.mediator.load_object(object_id)
-                load_bytes = RawBytes(load_bytes + size)
-                load_cost = WeightedCost(load_cost + cost)
+                provider = (
+                    peer_lookup(object_id)
+                    if peer_lookup is not None
+                    else None
+                )
+                if provider is not None:
+                    size, cost = self.mediator.load_from_peer(
+                        object_id, provider
+                    )
+                    peer_bytes = RawBytes(peer_bytes + size)
+                    peer_cost = WeightedCost(peer_cost + cost)
+                else:
+                    size, cost = self.mediator.load_object(object_id)
+                    load_bytes = RawBytes(load_bytes + size)
+                    load_cost = WeightedCost(load_cost + cost)
             if decision.served_from_cache:
                 bypass_bytes, bypass_cost = ZERO_BYTES, ZERO_COST
                 self.mediator.serve_from_cache(result)
@@ -230,6 +257,8 @@ class BypassYieldProxy:
                 load_cost=load_cost,
                 bypass_bytes=bypass_bytes,
                 bypass_cost=bypass_cost,
+                peer_bytes=peer_bytes,
+                peer_cost=peer_cost,
             ),
             sql=sql,
             yield_bytes=event.yield_bytes,
@@ -436,6 +465,7 @@ class BypassYieldProxy:
             "bypass_bytes": ledger.bypass_bytes,
             "load_bytes": ledger.load_bytes,
             "retry_bytes": ledger.retry_bytes,
+            "peer_bytes": ledger.peer_bytes,
             "lan_bytes": ledger.cache_bytes,
             "resident_objects": len(self.policy.store),
             "cache_used_bytes": self.policy.store.used_bytes,

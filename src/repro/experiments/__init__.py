@@ -12,6 +12,7 @@
 | ``table1_column_breakdown`` | Table 1 — breakdown, columns        |
 | ``table2_table_breakdown``  | Table 2 — breakdown, tables         |
 | ``fig_resilience``          | Resilience — faults vs WAN/avail.   |
+| ``fig_fleet``               | Fleet — cooperative vs independent  |
 
 Each ``run`` returns a structured result with a ``shape_holds`` property
 asserting the paper's qualitative claim; ``render`` produces the
@@ -26,6 +27,7 @@ from repro.experiments import (
     fig8_cost_columns,
     fig9_cache_size_tables,
     fig10_cache_size_columns,
+    fig_fleet,
     fig_resilience,
     table1_column_breakdown,
     table2_table_breakdown,
@@ -47,6 +49,7 @@ __all__ = [
     "fig8_cost_columns",
     "fig9_cache_size_tables",
     "fig10_cache_size_columns",
+    "fig_fleet",
     "fig_resilience",
     "table1_column_breakdown",
     "table2_table_breakdown",

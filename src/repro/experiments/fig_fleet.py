@@ -1,0 +1,337 @@
+"""Fleet figure — cooperative sharding vs independent caches.
+
+Section 3 reduces the global problem to independent caches; this
+experiment asks what the federation *gains* by letting proxy shards
+cooperate.  A fixed cache budget ``C`` (a fraction of the database) is
+deployed three ways:
+
+* **one big cache** — a single proxy with all of ``C`` (the ``N = 1``
+  row, identical in every mode);
+* **N independent shards** — the workload split round-robin over ``N``
+  proxies with ``C / N`` each, no coordination (the paper's model);
+* **cooperative N × C/N** — the same shards joined by a consistent-hash
+  ring (:mod:`repro.fleet`): a local miss probes the ring owner first
+  and then every other sibling (``probe_all_siblings`` — the full
+  hierarchy, so any resident copy anywhere in the fleet is found), and
+  a sibling hit ships over a cheap peer link instead of the WAN.
+
+Splitting a cache always hurts (each shard re-fetches objects its
+siblings already hold); cooperation claws the loss back by turning
+those duplicate backend fetches into regional peer transfers.  The
+headline shape: cooperative global WAN sits strictly below the
+independent fleet's at every ``N > 1``, peer bytes exist only in
+cooperative mode, and the ``N = 1`` cells of both modes are
+byte-identical (golden equivalence).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CacheError, ConfigurationError
+from repro.experiments.common import (
+    ExperimentContext,
+    build_context,
+    experiment_instrumentation,
+    parallel_workers,
+)
+from repro.sim.multi import FleetResult, simulate_fleet
+from repro.sim.reporting import format_table
+from repro.sim.runner import build_fleet
+
+#: Shard counts swept (1 = the one-big-cache identity row).
+SHARDS = (1, 2, 4, 8)
+
+#: Replacement policy every shard runs (the paper's online winner).
+POLICY = "rate-profile"
+
+#: Total cache budget as a fraction of the database; each shard gets
+#: budget / N so every row spends the same capacity.
+CACHE_FRACTION = 0.3
+
+#: Seed for the consistent-hash ring (determinism contract: the same
+#: seed yields the same catalog partition in every process).
+RING_SEED = 412
+
+MODES = ("independent", "cooperative")
+
+
+@dataclass
+class FleetSweepResult:
+    """The sweep grid: (shards, mode) -> fleet result."""
+
+    shards: Tuple[int, ...]
+    policy: str
+    capacity_bytes: int
+    cells: Dict[Tuple[int, str], FleetResult] = field(
+        default_factory=dict
+    )
+
+    def cell(self, shards: int, mode: str) -> FleetResult:
+        return self.cells[(shards, mode)]
+
+    @property
+    def shape_holds(self) -> bool:
+        """Three checks: (1) the ``N = 1`` cells of both modes are
+        byte-identical (a lone shard has no siblings to probe); (2) at
+        every ``N > 1`` cooperative global WAN is strictly below
+        independent; (3) peer bytes exist only in cooperative cells
+        with at least two shards."""
+        for count in self.shards:
+            independent = self.cells.get((count, "independent"))
+            cooperative = self.cells.get((count, "cooperative"))
+            if independent is None or cooperative is None:
+                return False
+            if independent.peer_bytes != 0:
+                return False
+            if count == 1:
+                if cooperative.summary() != independent.summary():
+                    return False
+            else:
+                if cooperative.total_bytes >= independent.total_bytes:
+                    return False
+                if cooperative.peer_bytes <= 0:
+                    return False
+        return True
+
+
+def run(
+    context: Optional[ExperimentContext] = None,
+    shards: Sequence[int] = SHARDS,
+    policy: str = POLICY,
+    trace_dir: Optional[Path] = None,
+) -> FleetSweepResult:
+    """Sweep shard count × cache split over one prepared trace.
+
+    Every row splits the same workload round-robin into ``N`` shard
+    traces (so shards overlap heavily in what they touch) and the same
+    cache budget into ``N`` equal slices.  Independent rows may fan out
+    over worker processes; cooperative rows are serial by construction
+    (sibling probes read live cache state).
+
+    With ``trace_dir``, every cell streams its decision events to
+    ``trace_dir/trace-s<N>-<mode>.jsonl`` (manifest header included)
+    for ``repro-report`` — the CI fleet-smoke job diffs those traces
+    across same-seed reruns.  Trace export forces serial replay.
+    """
+    if context is None:
+        context = build_context("edr")
+    counts = tuple(shards)
+    if not counts:
+        raise ConfigurationError("fleet sweep needs at least one shard count")
+    for count in counts:
+        if count < 1:
+            raise ConfigurationError(
+                f"shard count must be >= 1, got {count}"
+            )
+    capacity = context.capacity_for(CACHE_FRACTION)
+    workers = parallel_workers()
+    streaming = trace_dir is not None
+    if streaming:
+        assert trace_dir is not None
+        trace_dir.mkdir(parents=True, exist_ok=True)
+    result = FleetSweepResult(
+        shards=counts, policy=policy, capacity_bytes=capacity
+    )
+    for count in counts:
+        per_shard = max(1, capacity // count)
+        for mode in MODES:
+            # Fresh policies per cell — simulate_fleet mutates cache
+            # state, so cells must not share policy objects.
+            clients = build_fleet(
+                context.prepared,
+                count,
+                policy,
+                per_shard,
+                context.federation,
+                "table",
+            )
+            sink = experiment_instrumentation()
+            writer = None
+            if streaming:
+                assert trace_dir is not None
+                sink, writer = _open_trace(
+                    trace_dir, context, policy, per_shard, count, mode
+                )
+            try:
+                result.cells[(count, mode)] = simulate_fleet(
+                    context.federation,
+                    clients,
+                    cooperative=(mode == "cooperative"),
+                    ring_seed=RING_SEED,
+                    probe_all_siblings=True,
+                    parallel=(
+                        mode == "independent"
+                        and workers > 1
+                        and not streaming
+                    ),
+                    max_workers=workers or None,
+                    instrumentation=sink,
+                )
+            finally:
+                if writer is not None:
+                    writer.close()
+            if writer is not None:
+                print(
+                    f"wrote {writer.events_written} events to "
+                    f"{writer.path}"
+                )
+    return result
+
+
+def _open_trace(
+    trace_dir: Path,
+    context: ExperimentContext,
+    policy: str,
+    per_shard: int,
+    count: int,
+    mode: str,
+):
+    """A counters-only sink streaming one cell's decisions to JSONL."""
+    from repro.core.instrumentation import Instrumentation
+    from repro.obs.manifest import RunManifest, wall_clock_timestamp
+    from repro.obs.trace_io import TraceWriter
+
+    manifest = RunManifest(
+        workload=f"{context.prepared.name}+fleet-s{count}",
+        policy=policy,
+        granularity="table",
+        capacity_bytes=per_shard,
+        seed=RING_SEED,
+        source="fleet",
+        created_at=wall_clock_timestamp(),
+    )
+    sink = Instrumentation(max_events=0)
+    writer = TraceWriter(
+        trace_dir / f"trace-s{count}-{mode}.jsonl", manifest
+    )
+    sink.add_probe(writer)
+    return sink, writer
+
+
+def render(result: FleetSweepResult) -> str:
+    sections: List[str] = []
+    wan_rows: List[list] = []
+    for count in result.shards:
+        independent = result.cell(count, "independent")
+        cooperative = result.cell(count, "cooperative")
+        saved = independent.total_bytes - cooperative.total_bytes
+        wan_rows.append(
+            [
+                count,
+                independent.total_bytes / 1e6,
+                cooperative.total_bytes / 1e6,
+                cooperative.peer_bytes / 1e6,
+                (
+                    f"{100.0 * saved / independent.total_bytes:.1f}%"
+                    if independent.total_bytes
+                    else "0.0%"
+                ),
+            ]
+        )
+    sections.append(
+        format_table(
+            ["shards", "indep MB", "coop MB", "peer MB", "WAN saved"],
+            wan_rows,
+            title=(
+                f"Fleet: global WAN for one {result.capacity_bytes / 1e6:.1f} "
+                f"MB budget split N ways ({result.policy})"
+            ),
+        )
+    )
+    hit_rows: List[list] = []
+    for count in result.shards:
+        cooperative = result.cell(count, "cooperative")
+        rates = sorted(
+            site.hit_rate for site in cooperative.per_client.values()
+        )
+        hit_rows.append(
+            [
+                count,
+                f"{rates[0]:.4f}",
+                f"{cooperative.mean_hit_rate:.4f}",
+                f"{rates[-1]:.4f}",
+                cooperative.peer_hits,
+            ]
+        )
+    sections.append(
+        format_table(
+            ["shards", "min hit", "mean hit", "max hit", "peer hits"],
+            hit_rows,
+            title="Fleet: per-shard hit rates, cooperative mode",
+        )
+    )
+    verdict = (
+        "fleet shape (N=1 identity, cooperative WAN strictly below "
+        "independent at N>1, peer bytes cooperative-only): "
+        f"{'HOLDS' if result.shape_holds else 'VIOLATED'}"
+    )
+    sections.append(verdict)
+    return "\n".join(sections)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.fig_fleet",
+        description=(
+            "Sweep shard count: one cache budget deployed as N "
+            "independent vs N cooperating proxy shards."
+        ),
+    )
+    parser.add_argument(
+        "--shards", action="append", type=int, metavar="N",
+        help="shard count (repeatable; default: the full sweep)",
+    )
+    parser.add_argument(
+        "--policy", default=POLICY,
+        help=f"replacement policy per shard (default: {POLICY})",
+    )
+    parser.add_argument(
+        "-n", "--num-queries", type=int, default=None,
+        help="queries per trace (default: the experiment-suite scale)",
+    )
+    parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help=(
+            "stream one JSONL decision trace per (shards, mode) cell "
+            "for repro-report; forces serial replay"
+        ),
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    shards = tuple(args.shards) if args.shards else SHARDS
+    try:
+        if args.num_queries is None:
+            context = build_context("edr")
+        else:
+            if args.num_queries < 1:
+                raise ConfigurationError(
+                    f"--num-queries must be >= 1, got {args.num_queries}"
+                )
+            context = build_context("edr", num_queries=args.num_queries)
+        result = run(
+            context,
+            shards=shards,
+            policy=args.policy,
+            trace_dir=(
+                Path(args.trace_dir)
+                if args.trace_dir is not None
+                else None
+            ),
+        )
+    except (ConfigurationError, CacheError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(render(result))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

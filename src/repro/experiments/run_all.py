@@ -26,6 +26,7 @@ from repro.experiments import (
     fig8_cost_columns,
     fig9_cache_size_tables,
     fig10_cache_size_columns,
+    fig_fleet,
     fig_resilience,
     table1_column_breakdown,
     table2_table_breakdown,
@@ -50,6 +51,7 @@ EXPERIMENTS = [
     ("Table 1", table1_column_breakdown, "both"),
     ("Table 2", table2_table_breakdown, "both"),
     ("Resilience", fig_resilience, "edr"),
+    ("Fleet", fig_fleet, "edr"),
 ]
 
 

@@ -365,6 +365,24 @@ class Mediator:
             tracer.finish(span, bytes_moved=int(size))
         return size, cost
 
+    def load_from_peer(
+        self, object_id: str, provider: str
+    ) -> Tuple[RawBytes, WeightedCost]:
+        """Receive a whole object from sibling proxy ``provider``.
+
+        The fleet counterpart of :meth:`load_object`: the bytes arrive
+        over the peer link class (``peer_weight`` per byte) and land in
+        the ledger's peer counters instead of the WAN load totals —
+        a sibling hit is regional traffic, not backend traffic.
+        """
+        size = raw_bytes(self.federation.object_size(object_id))
+        cost = self.federation.network.peer_cost(size)
+        self.ledger.record_peer(provider, size, cost)
+        self._count("mediator.peer_loads")
+        self._count("mediator.peer_bytes", size)
+        self._count("mediator.peer_cost", cost)
+        return size, cost
+
     def serve_from_cache(self, result: ResultSet) -> None:
         """Account a cache-served result (LAN only)."""
         self.ledger.record_cache_hit(result.byte_size)

@@ -10,6 +10,15 @@ citizenship").
 Per-server link weights model non-uniform networks: shipping ``b`` bytes
 from server ``s`` costs ``b * weight(s)``.  With all weights equal to 1
 (the default) costs are plain byte counts and BYHR degenerates to BYU.
+
+Links come in two classes.  ``backend`` links (the default) are the WAN
+paths to the federation's database servers.  ``peer`` links model the
+regional interconnect between sibling proxies in a sharded fleet: a
+cache miss satisfied by a sibling ships over a peer link at
+``peer_weight`` per byte instead of paying the full backend fetch.
+Peer traffic is accounted separately (:attr:`TrafficLedger.peer_bytes`)
+and never counts toward :attr:`TrafficLedger.wan_bytes` — the paper's
+network-citizenship quantity stays backend-only.
 """
 
 from __future__ import annotations
@@ -28,6 +37,15 @@ from repro.core.units import (
 from repro.errors import FederationError
 
 
+#: Valid :attr:`NetworkLink.kind` values.
+LINK_KINDS = ("backend", "peer")
+
+#: Default cost multiplier for inter-proxy (peer) transfers.  Sibling
+#: proxies share a regional network an order of magnitude cheaper than
+#: the backend WAN (the LBNL in-network caching measurements).
+DEFAULT_PEER_WEIGHT = 0.25
+
+
 @dataclass(frozen=True)
 class NetworkLink:
     """WAN link from one server to the mediator/client site.
@@ -36,15 +54,22 @@ class NetworkLink:
         server: Server name.
         weight: Cost multiplier per byte (relative link expense). A slow
             or congested link has weight > 1.
+        kind: ``"backend"`` (server -> proxy WAN path, the default) or
+            ``"peer"`` (proxy -> proxy transfer path in a fleet).
     """
 
     server: str
     weight: float = 1.0
+    kind: str = "backend"
 
     def __post_init__(self) -> None:
         if self.weight <= 0:
             raise FederationError(
                 f"link weight for {self.server!r} must be positive"
+            )
+        if self.kind not in LINK_KINDS:
+            raise FederationError(
+                f"link kind must be one of {LINK_KINDS}, got {self.kind!r}"
             )
 
     def cost(self, num_bytes: int) -> WeightedCost:
@@ -55,12 +80,25 @@ class NetworkLink:
 
 
 class NetworkModel:
-    """Registry of per-server WAN links with a default weight."""
+    """Registry of per-server WAN links with a default weight.
 
-    def __init__(self, default_weight: float = 1.0) -> None:
+    Also owns the fleet's single ``peer`` link class: every sibling
+    proxy pair shares one ``peer_weight`` multiplier (the regional
+    interconnect is symmetric and uniform — per-pair peer weights would
+    be a different model, not a different constant).
+    """
+
+    def __init__(
+        self,
+        default_weight: float = 1.0,
+        peer_weight: float = DEFAULT_PEER_WEIGHT,
+    ) -> None:
         if default_weight <= 0:
             raise FederationError("default link weight must be positive")
+        if peer_weight <= 0:
+            raise FederationError("peer link weight must be positive")
         self._default_weight = default_weight
+        self._peer_weight = peer_weight
         self._links: Dict[str, NetworkLink] = {}
 
     def set_link(self, server: str, weight: float) -> None:
@@ -75,6 +113,28 @@ class NetworkModel:
     def cost(self, server: str, num_bytes: int) -> WeightedCost:
         """Weighted WAN cost of shipping ``num_bytes`` from ``server``."""
         return self.link(server).cost(num_bytes)
+
+    @property
+    def peer_weight(self) -> float:
+        """Cost multiplier per byte on sibling-to-sibling transfers."""
+        return self._peer_weight
+
+    def set_peer_weight(self, weight: float) -> None:
+        if weight <= 0:
+            raise FederationError("peer link weight must be positive")
+        self._peer_weight = weight
+
+    def peer_link(self, provider: str) -> NetworkLink:
+        """The peer-class link from sibling proxy ``provider``."""
+        return NetworkLink(
+            server=provider, weight=self._peer_weight, kind="peer"
+        )
+
+    def peer_cost(self, num_bytes: int) -> WeightedCost:
+        """Weighted cost of shipping ``num_bytes`` between siblings."""
+        if num_bytes < 0:
+            raise FederationError("cannot ship a negative number of bytes")
+        return weigh(num_bytes, self._peer_weight)
 
     @property
     def is_uniform(self) -> bool:
@@ -99,18 +159,24 @@ class TrafficLedger:
         cache_bytes: ``D_C`` — result bytes served out of the cache (LAN).
         retry_bytes: WAN bytes shipped by failed transfer attempts and
             then retransmitted — real traffic that bought nothing.
+        peer_bytes: Object bytes received from sibling proxies over
+            peer links (fleet cooperation) — regional traffic, tracked
+            but excluded from :attr:`wan_bytes`.
     """
 
     bypass_bytes: RawBytes = ZERO_BYTES
     load_bytes: RawBytes = ZERO_BYTES
     cache_bytes: RawBytes = ZERO_BYTES
     retry_bytes: RawBytes = ZERO_BYTES
+    peer_bytes: RawBytes = ZERO_BYTES
     bypass_cost: WeightedCost = ZERO_COST
     load_cost: WeightedCost = ZERO_COST
     retry_cost: WeightedCost = ZERO_COST
+    peer_cost: WeightedCost = ZERO_COST
     per_server_bypass: Dict[str, int] = field(default_factory=dict)
     per_server_load: Dict[str, int] = field(default_factory=dict)
     per_server_retry: Dict[str, int] = field(default_factory=dict)
+    per_server_peer: Dict[str, int] = field(default_factory=dict)
 
     def record_bypass(
         self, server: str, num_bytes: int, cost: Optional[float] = None
@@ -174,6 +240,31 @@ class TrafficLedger:
             self.per_server_retry.get(server, 0) + num_bytes
         )
 
+    def record_peer(
+        self, provider: str, num_bytes: int, cost: Optional[float] = None
+    ) -> None:
+        """Account object bytes received from sibling proxy ``provider``.
+
+        Peer transfers ride the fleet's regional interconnect, not the
+        backend WAN: they are tracked (and priced at the peer weight
+        when no explicit cost is given) but never added to
+        :attr:`wan_bytes` — replacing a backend load with a peer
+        transfer is exactly how a cooperative fleet reduces the total
+        the paper minimizes.
+        """
+        if num_bytes < 0:
+            raise FederationError("peer bytes must be non-negative")
+        charged = (
+            weigh(num_bytes, UNIT_WEIGHT)
+            if cost is None
+            else WeightedCost(cost)
+        )
+        self.peer_bytes = RawBytes(self.peer_bytes + num_bytes)
+        self.peer_cost = WeightedCost(self.peer_cost + charged)
+        self.per_server_peer[provider] = (
+            self.per_server_peer.get(provider, 0) + num_bytes
+        )
+
     @property
     def wan_bytes(self) -> RawBytes:
         """Total WAN traffic: the quantity the paper minimizes.
@@ -203,12 +294,15 @@ class TrafficLedger:
             load_bytes=self.load_bytes,
             cache_bytes=self.cache_bytes,
             retry_bytes=self.retry_bytes,
+            peer_bytes=self.peer_bytes,
             bypass_cost=self.bypass_cost,
             load_cost=self.load_cost,
             retry_cost=self.retry_cost,
+            peer_cost=self.peer_cost,
             per_server_bypass=dict(self.per_server_bypass),
             per_server_load=dict(self.per_server_load),
             per_server_retry=dict(self.per_server_retry),
+            per_server_peer=dict(self.per_server_peer),
         )
 
     def restore(self, snapshot: "TrafficLedger") -> None:
@@ -221,21 +315,27 @@ class TrafficLedger:
         self.load_bytes = snapshot.load_bytes
         self.cache_bytes = snapshot.cache_bytes
         self.retry_bytes = snapshot.retry_bytes
+        self.peer_bytes = snapshot.peer_bytes
         self.bypass_cost = snapshot.bypass_cost
         self.load_cost = snapshot.load_cost
         self.retry_cost = snapshot.retry_cost
+        self.peer_cost = snapshot.peer_cost
         self.per_server_bypass = dict(snapshot.per_server_bypass)
         self.per_server_load = dict(snapshot.per_server_load)
         self.per_server_retry = dict(snapshot.per_server_retry)
+        self.per_server_peer = dict(snapshot.per_server_peer)
 
     def reset(self) -> None:
         self.bypass_bytes = ZERO_BYTES
         self.load_bytes = ZERO_BYTES
         self.cache_bytes = ZERO_BYTES
         self.retry_bytes = ZERO_BYTES
+        self.peer_bytes = ZERO_BYTES
         self.bypass_cost = ZERO_COST
         self.load_cost = ZERO_COST
         self.retry_cost = ZERO_COST
+        self.peer_cost = ZERO_COST
         self.per_server_bypass.clear()
         self.per_server_load.clear()
         self.per_server_retry.clear()
+        self.per_server_peer.clear()

@@ -1,0 +1,24 @@
+"""Sharded cooperative proxy fleets.
+
+One proxy cannot hold the working set of "millions of users"; a fleet
+can — if misses at one shard become cheap transfers from a sibling
+instead of full backend fetches (the LBNL in-network caching result).
+This package supplies the two pieces the independent
+:func:`repro.sim.multi.simulate_fleet` lacks:
+
+* :class:`~repro.fleet.ring.ConsistentHashRing` — seeded, keyed-hash
+  virtual-node partitioning of the object catalog across N shards,
+  with deterministic bounded-churn remapping on shard add/remove;
+* :mod:`repro.fleet.cooperative` — the cooperative replay engine: on a
+  local miss, consult the ring owner (and optionally every sibling)
+  before paying backend cost, charging sibling hits over the peer
+  link class (:meth:`repro.federation.network.NetworkModel.peer_cost`).
+
+Drivers enter through ``simulate_fleet(cooperative=True, ...)`` in
+:mod:`repro.sim.multi`.
+"""
+
+from repro.fleet.ring import ConsistentHashRing
+from repro.fleet.cooperative import run_cooperative, split_trace
+
+__all__ = ["ConsistentHashRing", "run_cooperative", "split_trace"]

@@ -481,6 +481,8 @@ class MetricsProbe(Probe):
                 f"Queries resolved as {event.outcome}",
             ).inc()
         self._attribute_tenant(event)
+        if event.shard:
+            self._attribute_shard(event)
         decided = self._decisions.value
         if decided:
             self._hit_rate.set(self._served.value / decided)
@@ -517,6 +519,37 @@ class MetricsProbe(Probe):
             f"{p}_tenant_weighted_cost_total{label}",
             "Link-weighted WAN cost per tenant",
         ).inc(event.weighted_cost)
+
+    def _attribute_shard(self, event: DecisionEvent) -> None:
+        """Charge the decision to its fleet shard via labeled series.
+
+        Mirrors :meth:`_attribute_tenant`: only tagged (cooperative
+        fleet) decisions carry a shard, so independent runs add no
+        series, and summing a shard family over its labels reproduces
+        the aggregate exactly.  Peer bytes get their own family — they
+        ride the regional interconnect and must stay distinguishable
+        from WAN traffic on the scrape page.
+        """
+        label = f'{{shard="{event.shard}"}}'
+        p = self._prefix
+        self.registry.counter(
+            f"{p}_shard_decisions_total{label}",
+            "Queries decided, partitioned by fleet shard",
+        ).inc()
+        if event.served_from_cache:
+            self.registry.counter(
+                f"{p}_shard_served_total{label}",
+                "Queries served from cache, partitioned by fleet shard",
+            ).inc()
+        self.registry.counter(
+            f"{p}_shard_wan_bytes_total{label}",
+            "WAN bytes (loads + bypass + retry waste) per fleet shard",
+        ).inc(event.wan_bytes)
+        if event.peer_bytes:
+            self.registry.counter(
+                f"{p}_shard_peer_bytes_total{label}",
+                "Bytes received from sibling shards over peer links",
+            ).inc(event.peer_bytes)
 
     def on_counter(self, name: str, value: float) -> None:
         """Mirror fault-layer counters into the registry.

@@ -5,7 +5,9 @@
   :class:`~repro.core.pipeline.DecisionPipeline`).
 * :mod:`repro.sim.runner` — policy comparisons and cache-size sweeps,
   optionally fanned out over worker processes.
-* :mod:`repro.sim.multi` — independent-cache fleet simulation.
+* :mod:`repro.sim.multi` — fleet simulation: independent caches by
+  default, cooperative consistent-hash sharding via
+  ``simulate_fleet(cooperative=True)`` (see :mod:`repro.fleet`).
 * :mod:`repro.sim.results` — cost breakdowns, series, sweep containers.
 * :mod:`repro.sim.reporting` — plain-text tables, ASCII charts, and
   instrumentation rendering.
@@ -20,6 +22,7 @@ from repro.sim.results import (
 )
 from repro.sim.runner import (
     DEFAULT_POLICIES,
+    build_fleet,
     build_policy,
     compare_policies,
     run_single,
@@ -38,6 +41,7 @@ __all__ = [
     "Simulator",
     "SweepPoint",
     "SweepResult",
+    "build_fleet",
     "build_policy",
     "compare_policies",
     "run_single",

@@ -20,11 +20,16 @@ class CostBreakdown:
         load_bytes: Object loads into the cache ("Fetch Cost").
         retry_bytes: Bytes burned by failed transfer attempts and
             discarded partials (0 on fault-free runs).
+        peer_bytes: Object bytes supplied by sibling fleet shards over
+            peer links (0 outside cooperative fleet runs).  Regional
+            traffic — tracked here, excluded from :attr:`total_bytes`,
+            which stays the backend-WAN quantity the paper minimizes.
     """
 
     bypass_bytes: float = 0.0
     load_bytes: float = 0.0
     retry_bytes: float = 0.0
+    peer_bytes: float = 0.0
 
     @property
     def total_bytes(self) -> float:
@@ -40,6 +45,7 @@ class CostBreakdown:
         self.bypass_bytes += accounting.bypass_bytes
         self.load_bytes += accounting.load_bytes
         self.retry_bytes += accounting.retry_bytes
+        self.peer_bytes += accounting.peer_bytes
 
     def as_gb(self, bytes_per_gb: float = 1e9) -> Dict[str, float]:
         """The table row, scaled to GB-like units for presentation."""
@@ -47,6 +53,7 @@ class CostBreakdown:
             "bypass": self.bypass_bytes / bytes_per_gb,
             "fetch": self.load_bytes / bytes_per_gb,
             "retry": self.retry_bytes / bytes_per_gb,
+            "peer": self.peer_bytes / bytes_per_gb,
             "total": self.total_bytes / bytes_per_gb,
         }
 
@@ -79,6 +86,9 @@ class SimulationResult:
             some backends were dark.
         unavailable_queries: Queries that could not be answered at all
             (every path dark, nothing resident).
+        peer_hits: Object loads satisfied by a sibling fleet shard over
+            a peer link instead of the backend (0 outside cooperative
+            fleet runs); the bytes live in ``breakdown.peer_bytes``.
         sequence_bytes: The no-cache cost of the same trace (context for
             ratios).
         worker_pid: Process id that produced this result when it came
@@ -106,6 +116,7 @@ class SimulationResult:
     failed_loads: int = 0
     partial_queries: int = 0
     unavailable_queries: int = 0
+    peer_hits: int = 0
     sequence_bytes: float = 0.0
     worker_pid: Optional[int] = None
     telemetry: Optional[Dict[str, object]] = None
@@ -135,18 +146,24 @@ class SimulationResult:
         return self.sequence_bytes / self.total_bytes
 
     def charge(
-        self, accounting: "QueryAccounting", decision: "Decision"
+        self,
+        accounting: "QueryAccounting",
+        decision: "Decision",
+        peer_hits: int = 0,
     ) -> None:
         """Accumulate one (decision, accounting) pair into the result.
 
         Byte totals land in the breakdown, the weighted cost and the
         load/eviction/hit counters on the result itself — keeping every
         per-query write inside the accounting classes (RPR004).
+        ``peer_hits`` counts this query's loads that a sibling fleet
+        shard supplied (cooperative replays only).
         """
         self.breakdown.charge(accounting)
         self.weighted_cost += accounting.weighted_cost
         self.loads += len(decision.loads)
         self.evictions += len(decision.evictions)
+        self.peer_hits += peer_hits
         if decision.served_from_cache:
             self.served_queries += 1
 
@@ -195,6 +212,8 @@ class SimulationResult:
             bypass_cost=ZERO_COST,
             retry_bytes=RawBytes(event.retry_bytes),
             retry_cost=ZERO_COST,
+            peer_bytes=RawBytes(event.peer_bytes),
+            peer_cost=ZERO_COST,
         )
         self.breakdown.charge(accounting)
         self.weighted_cost += event.weighted_cost
@@ -226,6 +245,8 @@ class SimulationResult:
             "retries": self.retries,
             "retry_bytes": self.breakdown.retry_bytes,
             "failed_loads": self.failed_loads,
+            "peer_hits": self.peer_hits,
+            "peer_bytes": self.breakdown.peer_bytes,
             "availability": round(self.availability, 4),
             "savings_factor": (
                 round(self.savings_factor, 2)

@@ -15,7 +15,15 @@ import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.instrumentation import Instrumentation
 from repro.core.pipeline import (
@@ -38,6 +46,9 @@ from repro.sim.results import SimulationResult, SweepPoint, SweepResult
 from repro.sim.simulator import Simulator
 from repro.workload.stream import QueryStream
 from repro.workload.trace import PreparedTrace
+
+if TYPE_CHECKING:
+    from repro.sim.multi import ClientSite
 
 #: The algorithm line-up of Figures 7-10.
 DEFAULT_POLICIES = (
@@ -153,6 +164,48 @@ def run_single(
         for server, ticks in sorted(downtime.items()):
             instrumentation.count(f"faults.downtime_ticks.{server}", ticks)
     return result
+
+
+def build_fleet(
+    trace: PreparedTrace,
+    shards: int,
+    policy_name: str,
+    capacity_bytes: int,
+    federation: Federation,
+    granularity: str = "table",
+    prefix: str = "shard",
+    **kwargs,
+) -> List["ClientSite"]:
+    """Split one workload across ``shards`` proxies with own policies.
+
+    Round-robins the trace into per-shard subsequences (overlapping
+    object universe — the regime where cooperation pays) and builds an
+    independent ``policy_name`` instance of ``capacity_bytes`` for each,
+    ready for :func:`repro.sim.multi.simulate_fleet` in either mode.
+    Static policies select from their *own shard's* yield totals, just
+    as a real deployment would only see its own traffic.
+    """
+    from repro.fleet.cooperative import split_trace
+    from repro.sim.multi import ClientSite
+
+    clients: List[ClientSite] = []
+    for shard_trace in split_trace(trace, shards, prefix=prefix):
+        policy = build_policy(
+            policy_name,
+            capacity_bytes,
+            shard_trace,
+            federation,
+            granularity,
+            **kwargs,
+        )
+        clients.append(  # repro-lint: allow[RPR007] bounded by shard count
+            ClientSite(
+                name=shard_trace.name.rsplit(".", 1)[-1],
+                trace=shard_trace,
+                policy=policy,
+            )
+        )
+    return clients
 
 
 # ---------------------------------------------------------------------------

@@ -364,3 +364,51 @@ class TestResilientProxy:
         scraped = registry.render_prometheus()
         assert "repro_transport_requests_total" in scraped
         assert "repro_outcome_unavailable_total 8" in scraped
+
+
+class TestPeerLookup:
+    """The fleet hook: loads sourced from a sibling proxy ride the
+    peer link instead of the backend WAN."""
+
+    def _proxy(self, peer_lookup):
+        federation = Federation.single_site(build_catalog(), "sdss")
+        policy = RateProfilePolicy(
+            capacity_bytes=federation.total_database_bytes()
+        )
+        return BypassYieldProxy(
+            federation, policy, granularity="table",
+            peer_lookup=peer_lookup,
+        )
+
+    def test_peer_load_skips_the_backend(self):
+        proxy = self._proxy(lambda object_id: "sibling")
+        proxy.query(HOT_QUERY)
+        loaded = proxy.query(HOT_QUERY)
+        assert loaded.loads == ["PhotoObj"]
+        photo = proxy.federation.object_size("PhotoObj")
+        assert proxy.ledger.peer_bytes == photo
+        assert proxy.ledger.load_bytes == 0
+        assert proxy.ledger.per_server_peer == {"sibling": photo}
+        # Peer transfers ride the discounted link class.
+        assert proxy.ledger.peer_cost == (
+            proxy.federation.network.peer_cost(photo)
+        )
+        assert proxy.stats()["peer_bytes"] == photo
+
+    def test_no_provider_falls_back_to_backend(self):
+        proxy = self._proxy(lambda object_id: None)
+        proxy.query(HOT_QUERY)
+        proxy.query(HOT_QUERY)
+        photo = proxy.federation.object_size("PhotoObj")
+        assert proxy.ledger.load_bytes == photo
+        assert proxy.ledger.peer_bytes == 0
+
+    def test_peer_bytes_stay_off_the_wan(self):
+        proxy = self._proxy(lambda object_id: "sibling")
+        first = proxy.query(HOT_QUERY)
+        loaded = proxy.query(HOT_QUERY)
+        # The second query loads from a sibling and serves the result
+        # from cache, so the WAN carried only the first bypass.
+        assert loaded.served_from_cache
+        assert proxy.ledger.wan_bytes == first.result.byte_size
+        assert proxy.ledger.peer_bytes > 0

@@ -112,3 +112,64 @@ class TestTrafficLedger:
             ledger.record_load("s", -1)
         with pytest.raises(FederationError):
             ledger.record_cache_hit(-1)
+
+
+class TestPeerLinks:
+    def test_peer_link_kind_and_weight(self):
+        model = NetworkModel(peer_weight=0.25)
+        link = model.peer_link("s1")
+        assert link.kind == "peer"
+        assert link.weight == 0.25
+
+    def test_peer_cost_uses_peer_weight(self):
+        model = NetworkModel(peer_weight=0.5)
+        assert model.peer_cost(100) == 50.0
+
+    def test_set_peer_weight(self):
+        model = NetworkModel()
+        model.set_peer_weight(0.1)
+        assert model.peer_cost(1000) == 100.0
+
+    def test_bad_peer_weight_rejected(self):
+        with pytest.raises(FederationError):
+            NetworkModel(peer_weight=0.0)
+        model = NetworkModel()
+        with pytest.raises(FederationError):
+            model.set_peer_weight(-1.0)
+
+    def test_bad_link_kind_rejected(self):
+        with pytest.raises(FederationError):
+            NetworkLink("s", kind="carrier-pigeon")
+
+    def test_peer_accounting(self):
+        ledger = TrafficLedger()
+        ledger.record_peer("s1", 100, cost=25.0)
+        ledger.record_peer("s2", 50)
+        assert ledger.peer_bytes == 150
+        assert ledger.peer_cost == 75.0
+        assert ledger.per_server_peer == {"s1": 100, "s2": 50}
+
+    def test_peer_bytes_stay_off_the_wan(self):
+        ledger = TrafficLedger()
+        ledger.record_load("backend", 100)
+        ledger.record_peer("sibling", 100)
+        assert ledger.wan_bytes == 100
+        assert ledger.peer_bytes == 100
+
+    def test_peer_snapshot_restore_reset(self):
+        ledger = TrafficLedger()
+        ledger.record_peer("s", 10)
+        snapshot = ledger.snapshot()
+        ledger.record_peer("s", 10)
+        assert snapshot.peer_bytes == 10
+        ledger.restore(snapshot)
+        assert ledger.peer_bytes == 10
+        assert ledger.per_server_peer == {"s": 10}
+        ledger.reset()
+        assert ledger.peer_bytes == 0
+        assert not ledger.per_server_peer
+
+    def test_negative_peer_amount_rejected(self):
+        ledger = TrafficLedger()
+        with pytest.raises(FederationError):
+            ledger.record_peer("s", -1)

@@ -1,0 +1,146 @@
+"""Determinism and churn properties of the consistent-hash ring."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.errors import CacheError
+from repro.fleet.ring import ConsistentHashRing
+
+KEYS = [f"object-{i}" for i in range(2000)]
+
+
+def _assignment_in_subprocess(args):
+    shards, seed, keys = args
+    return ConsistentHashRing(shards, seed=seed).assignment(keys)
+
+
+class TestDeterminism:
+    def test_same_seed_same_assignment(self):
+        first = ConsistentHashRing(["a", "b", "c"], seed=42)
+        second = ConsistentHashRing(["a", "b", "c"], seed=42)
+        assert first.assignment(KEYS) == second.assignment(KEYS)
+
+    def test_shard_order_is_irrelevant(self):
+        forward = ConsistentHashRing(["a", "b", "c"], seed=42)
+        backward = ConsistentHashRing(["c", "b", "a"], seed=42)
+        assert forward.assignment(KEYS) == backward.assignment(KEYS)
+
+    def test_different_seed_different_layout(self):
+        first = ConsistentHashRing(["a", "b", "c"], seed=1)
+        second = ConsistentHashRing(["a", "b", "c"], seed=2)
+        assert first.assignment(KEYS) != second.assignment(KEYS)
+
+    def test_identical_assignment_across_processes(self):
+        """The layout is a pure function of (seed, shards, replicas) —
+        a worker process computes the exact same owners as the parent."""
+        shards = ["a", "b", "c", "d"]
+        parent = ConsistentHashRing(shards, seed=7).assignment(KEYS)
+        try:
+            with ProcessPoolExecutor(max_workers=1) as pool:
+                child = pool.submit(
+                    _assignment_in_subprocess, (shards, 7, KEYS)
+                ).result()
+        except (OSError, PermissionError):
+            pytest.skip("platform cannot spawn worker processes")
+        assert child == parent
+
+
+class TestChurn:
+    def test_add_moves_only_keys_to_the_new_shard(self):
+        shards = [f"s{i}" for i in range(10)]
+        ring = ConsistentHashRing(shards, seed=11)
+        before = ring.assignment(KEYS)
+        ring.add_shard("s10")
+        after = ring.assignment(KEYS)
+        moved = [key for key in KEYS if before[key] != after[key]]
+        assert moved, "a new shard must take over some keys"
+        # Every moved key lands on the newcomer — existing shards never
+        # exchange keys among themselves.
+        assert all(after[key] == "s10" for key in moved)
+        # Expected churn is K/(N+1); assert a generous 2x bound so the
+        # test pins boundedness, not hash luck.
+        assert len(moved) <= 2 * len(KEYS) // (len(shards) + 1)
+
+    def test_remove_moves_only_the_lost_shards_keys(self):
+        shards = [f"s{i}" for i in range(10)]
+        ring = ConsistentHashRing(shards, seed=11)
+        before = ring.assignment(KEYS)
+        orphaned = [key for key in KEYS if before[key] == "s3"]
+        ring.remove_shard("s3")
+        after = ring.assignment(KEYS)
+        moved = [key for key in KEYS if before[key] != after[key]]
+        # Exactly the removed shard's keys remap; nobody else moves.
+        assert sorted(moved) == sorted(orphaned)
+        assert all(after[key] != "s3" for key in KEYS)
+
+    def test_add_then_remove_restores_layout(self):
+        ring = ConsistentHashRing(["a", "b", "c"], seed=5)
+        before = ring.assignment(KEYS)
+        ring.add_shard("d")
+        ring.remove_shard("d")
+        assert ring.assignment(KEYS) == before
+
+
+class TestPartition:
+    def test_partition_covers_catalog_exactly_once(self):
+        ring = ConsistentHashRing(["a", "b", "c", "d"], seed=3)
+        partition = ring.partition(KEYS)
+        assert set(partition) == {"a", "b", "c", "d"}
+        owned = [key for keys in partition.values() for key in keys]
+        assert sorted(owned) == sorted(KEYS)
+        assert len(owned) == len(set(owned))
+
+    def test_partition_agrees_with_owner(self):
+        ring = ConsistentHashRing(["a", "b"], seed=3)
+        for shard, keys in ring.partition(KEYS[:100]).items():
+            assert all(ring.owner(key) == shard for key in keys)
+
+    def test_every_shard_gets_a_fair_share(self):
+        """64 virtual nodes per shard keep ownership within ~2x of
+        even, so no shard's cache slice is wasted."""
+        shards = ["a", "b", "c", "d"]
+        ring = ConsistentHashRing(shards, seed=3)
+        sizes = {
+            shard: len(keys)
+            for shard, keys in ring.partition(KEYS).items()
+        }
+        fair = len(KEYS) / len(shards)
+        for shard, size in sizes.items():
+            assert fair / 2 <= size <= fair * 2, (shard, size)
+
+
+class TestValidation:
+    def test_empty_shards_rejected(self):
+        with pytest.raises(CacheError):
+            ConsistentHashRing([])
+
+    def test_duplicate_shards_rejected(self):
+        with pytest.raises(CacheError):
+            ConsistentHashRing(["a", "a"])
+
+    def test_bad_replicas_rejected(self):
+        with pytest.raises(CacheError):
+            ConsistentHashRing(["a"], replicas=0)
+
+    def test_add_existing_shard_rejected(self):
+        ring = ConsistentHashRing(["a", "b"])
+        with pytest.raises(CacheError):
+            ring.add_shard("a")
+
+    def test_remove_unknown_shard_rejected(self):
+        ring = ConsistentHashRing(["a", "b"])
+        with pytest.raises(CacheError):
+            ring.remove_shard("zzz")
+
+    def test_remove_last_shard_rejected(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(CacheError):
+            ring.remove_shard("a")
+
+    def test_membership_and_len(self):
+        ring = ConsistentHashRing(["a", "b"])
+        assert len(ring) == 2
+        assert "a" in ring
+        assert "zzz" not in ring
+        assert ring.shards == ("a", "b")

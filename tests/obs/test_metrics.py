@@ -235,3 +235,65 @@ class TestMetricsProbe:
         ]
         assert len(helps) == 1
         assert types == ["# TYPE repro_tenant_wan_bytes_total counter"]
+
+
+class TestShardAttribution:
+    def _event(self, index, shard="", peer_bytes=0, **kwargs):
+        base = event(index, **kwargs)
+        return DecisionEvent(
+            **{
+                **base.__dict__,
+                "shard": shard,
+                "peer_bytes": peer_bytes,
+            }
+        )
+
+    def test_shard_partition_sums_to_aggregates(self):
+        registry = MetricsRegistry()
+        sink = Instrumentation(max_events=0)
+        sink.add_probe(MetricsProbe(registry))
+        sink.record_decision(self._event(0, shard="s0", bypass=100))
+        sink.record_decision(
+            self._event(1, shard="s1", load=250, bypass=0)
+        )
+        sink.record_decision(
+            self._event(2, shard="s0", served=True, bypass=0)
+        )
+
+        def shard_sum(family):
+            return sum(
+                entry["value"]
+                for name, entry in registry.snapshot().items()
+                if name.startswith(f"repro_shard_{family}_total{{")
+            )
+
+        assert (
+            shard_sum("decisions")
+            == registry.counter("repro_decisions_total").value
+        )
+        assert shard_sum("wan_bytes") == 350.0
+        body = registry.render_prometheus()
+        assert 'repro_shard_wan_bytes_total{shard="s0"} 100' in body
+        assert 'repro_shard_decisions_total{shard="s1"} 1' in body
+
+    def test_peer_bytes_get_their_own_family(self):
+        registry = MetricsRegistry()
+        sink = Instrumentation(max_events=0)
+        sink.add_probe(MetricsProbe(registry))
+        sink.record_decision(
+            self._event(0, shard="s0", load=0, bypass=0, peer_bytes=80)
+        )
+        body = registry.render_prometheus()
+        assert 'repro_shard_peer_bytes_total{shard="s0"} 80' in body
+        # Peer traffic never inflates the shard's WAN series.
+        assert 'repro_shard_wan_bytes_total{shard="s0"} 0' in body
+
+    def test_untagged_decisions_add_no_shard_series(self):
+        registry = MetricsRegistry()
+        sink = Instrumentation(max_events=0)
+        sink.add_probe(MetricsProbe(registry))
+        sink.record_decision(event(0))
+        assert not any(
+            name.startswith("repro_shard_")
+            for name in registry.snapshot()
+        )

@@ -171,6 +171,7 @@ class TestRunAllCoverage:
         assert labels == [
             "Figure 4", "Figure 5", "Figure 6", "Figure 7", "Figure 8",
             "Figure 9", "Figure 10", "Table 1", "Table 2", "Resilience",
+            "Fleet",
         ]
         for _, module, _ in EXPERIMENTS:
             assert hasattr(module, "run")
