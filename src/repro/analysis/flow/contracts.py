@@ -360,3 +360,83 @@ ACCOUNTING_FIELDS: FrozenSet[str] = frozenset(
         "weighted_cost",
     }
 )
+
+
+# ---------------------------------------------------------------------------
+# Decision-lock discipline (repro.service)
+# ---------------------------------------------------------------------------
+
+#: Contract owners whose state the mediator service may mutate only
+#: under the per-federation decision lock: the Landlord cache (victim
+#: heaps, global credit offset), the heap internals themselves, and
+#: the federation traffic ledger.  RPR011 polices this set.
+LOCK_GUARDED_OWNERS: FrozenSet[str] = frozenset(
+    {"BypassObjectCache", "VictimHeap", "TrafficLedger"}
+)
+
+#: The sanctioned lock-holder seam: the ``DecisionGate`` methods that
+#: take the decision lock before replaying the simulator's per-query
+#: sequence.  Service code reaching guarded state through any other
+#: path defeats the lock.
+LOCK_HOLDER_QUALNAMES: FrozenSet[str] = frozenset(
+    {
+        "repro.service.session.DecisionGate.locked_resolve",
+        "repro.service.session.DecisionGate.locked_shed",
+        "repro.service.session.DecisionGate.locked_reject",
+    }
+)
+
+#: Bare-name fallback for the seam (fixture projects and re-exports
+#: resolve identically, mirroring NONDET_SEAM_NAMES).
+LOCK_HOLDER_NAMES: FrozenSet[str] = frozenset(
+    {"locked_resolve", "locked_shed", "locked_reject"}
+)
+
+#: Mutator bare names too generic to police by name alone — ``set``
+#: is also asyncio.Event.set, ``request`` is also
+#: http.client.HTTPConnection.request, and so on.  RPR011 only matches
+#: calls against the distinctive remainder.
+_GENERIC_MUTATOR_NAMES: FrozenSet[str] = frozenset(
+    {"set", "discard", "clear", "request", "evict", "reset", "restore"}
+)
+
+
+def in_service_scope(module: str) -> bool:
+    """Whether ``module`` is part of a serving (``service``) package."""
+    return "service" in module.split(".")
+
+
+def is_lock_holder(name: str, qualname: str) -> bool:
+    """Whether a function is the sanctioned decision-lock holder."""
+    return name in LOCK_HOLDER_NAMES or qualname in LOCK_HOLDER_QUALNAMES
+
+
+def lock_guarded_contracts() -> List[EffectContract]:
+    """Contracts of the lock-guarded owners, in owner order."""
+    return [
+        contract
+        for contract in all_contracts()
+        if contract.owner in LOCK_GUARDED_OWNERS
+    ]
+
+
+def lock_guarded_mutator_names() -> FrozenSet[str]:
+    """Distinctive mutator names of the lock-guarded owners.
+
+    A call to one of these from service code (outside the lock-holder
+    seam) is a lock-discipline violation wherever the receiver came
+    from — the names are unique enough that the callee is never an
+    innocent stdlib method.
+    """
+    names = set()
+    for contract in lock_guarded_contracts():
+        names.update(contract.mutators - _GENERIC_MUTATOR_NAMES)
+    return frozenset(names)
+
+
+def lock_guarded_attrs() -> FrozenSet[str]:
+    """Attribute names owned by the lock-guarded contracts."""
+    names = set()
+    for contract in lock_guarded_contracts():
+        names.update(contract.attrs)
+    return frozenset(names)

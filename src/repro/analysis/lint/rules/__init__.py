@@ -18,6 +18,7 @@ from repro.analysis.lint.rules import (  # noqa: F401
     rpr008_interunits,
     rpr009_nondet_reach,
     rpr010_shared_state,
+    rpr011_lock_discipline,
 )
 
 __all__ = [
@@ -31,4 +32,5 @@ __all__ = [
     "rpr008_interunits",
     "rpr009_nondet_reach",
     "rpr010_shared_state",
+    "rpr011_lock_discipline",
 ]

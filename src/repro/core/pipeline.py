@@ -1,12 +1,16 @@
 """The shared offline/online decision pipeline.
 
-Both replay drivers — the offline
-:class:`~repro.sim.simulator.Simulator` and the online
-:class:`~repro.core.proxy.BypassYieldProxy` — must present *exactly* the
-same view of a query to the cache policy and charge *exactly* the same
-WAN costs for its decision; the paper's "the simulator and the proxy
-agree" claim is only true if the two paths share one implementation.
-This module is that implementation:
+All three replay drivers — the offline
+:class:`~repro.sim.simulator.Simulator`, the online
+:class:`~repro.core.proxy.BypassYieldProxy`, and the serving
+:class:`~repro.service.server.MediatorService` (whose
+:class:`~repro.service.session.DecisionGate` replays the simulator's
+per-query sequence under the decision lock) — must present *exactly*
+the same view of a query to the cache policy and charge *exactly* the
+same WAN costs for its decision; the paper's "the simulator and the
+proxy agree" claim (and the service's golden-equivalence guarantee) is
+only true if all paths share one implementation.  This module is that
+implementation:
 
 * :class:`ObjectCatalog` — memoized object metadata (sizes, fetch
   costs, owning servers), shared per federation via

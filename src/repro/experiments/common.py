@@ -46,6 +46,37 @@ DEFAULT_PROFILE = "small"
 _SERIAL_SPELLINGS = frozenset({"0", "false", "no", "off"})
 
 
+def parse_bounded_int(
+    raw: str,
+    source: str,
+    minimum: int,
+    maximum: Optional[int] = None,
+    what: str = "value",
+) -> int:
+    """Parse a decimal integer within ``[minimum, maximum]``.
+
+    The shared hardening core behind :func:`parse_worker_count` and the
+    service knobs (``--port``, ``--max-inflight``, ``--queue-depth``):
+    non-integers and out-of-range values raise
+    :class:`~repro.errors.ConfigurationError` naming ``source``, so
+    every CLI turns garbage into exit code 2 instead of a silent
+    fallback.
+    """
+    bounds = f">= {minimum}" if maximum is None else f"in [{minimum}, {maximum}]"
+    try:
+        value = int(raw.strip(), 10)
+    except ValueError:
+        raise ConfigurationError(
+            f"{source} must be a decimal integer {bounds} "
+            f"({what}), got {raw!r}"
+        ) from None
+    if value < minimum or (maximum is not None and value > maximum):
+        raise ConfigurationError(
+            f"{source} must be {bounds} ({what}), got {raw!r}"
+        )
+    return value
+
+
 def parse_worker_count(raw: str, source: str = "REPRO_PARALLEL") -> int:
     """Parse a worker-count setting into a pool size (0 means serial).
 

@@ -12,6 +12,12 @@ the bypass-yield cache needs:
   charging the WAN for every result byte.  Cross-server joins are
   decomposed into per-server subqueries whose partial results are shipped
   to the mediator and joined there ("hybrid shipping").
+
+:mod:`repro.service` puts a serving front on this middleware: the
+asyncio :class:`~repro.service.server.MediatorService` multiplexes many
+tenants' query streams onto one shared cache over one federation, with
+the per-federation decision lock serializing policy state and admission
+control shedding overload to the bypass arm (DESIGN.md §15).
 """
 
 from __future__ import annotations

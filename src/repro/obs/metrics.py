@@ -36,6 +36,23 @@ DEFAULT_WINDOW = 256
 Number = Union[int, float]
 
 
+def format_sample_value(value: float) -> str:
+    """Render a sample at full precision for text exposition.
+
+    ``%g`` keeps only six significant digits, which rounds any counter
+    past ~1e6 on the scrape page — enough to break the exact
+    tenant-sum == aggregate conservation contract that
+    ``repro.service.loadgen --check-conservation`` verifies against
+    ``/metrics``.  Exact integers render bare; everything else uses
+    ``repr`` (shortest string that round-trips the float).
+    """
+    if value != value or value in (float("inf"), float("-inf")):
+        return f"{value:g}"
+    if value == int(value) and abs(value) < 2**53:
+        return str(int(value))
+    return repr(value)
+
+
 def sanitize_metric_name(name: str) -> str:
     """Map dotted/stage names onto the Prometheus name grammar."""
     cleaned = []
@@ -344,7 +361,9 @@ class MetricsRegistry:
             for sample_name, value in metric.expose():
                 base, brace, labels = sample_name.partition("{")
                 rendered = sanitize_metric_name(base) + brace + labels
-                lines.append(f"{rendered} {value:g}")
+                lines.append(
+                    f"{rendered} {format_sample_value(value)}"
+                )
         return "\n".join(lines) + "\n"
 
     def snapshot(self) -> Dict[str, object]:

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 import time
 from pathlib import Path
 from types import TracebackType
@@ -523,6 +524,13 @@ class SpanWriter(SpanSink):
     Same-seed runs produce byte-identical files: ids, ticks, and byte
     counts are all deterministic, keys are sorted, and wall-clock
     measurements never serialize.
+
+    Writes are serialized by a single internal lock (same discipline
+    as :class:`~repro.obs.trace_io.TraceWriter`): one writer may be
+    shared by several threads and every span line lands whole.  The
+    lock is in-process only — it does not arbitrate between processes.
+    ``append=True`` opens an existing file for appending and skips the
+    header when the file already has one.
     """
 
     def __init__(
@@ -530,10 +538,12 @@ class SpanWriter(SpanSink):
         path: Union[str, Path],
         tracer: SpanTracer,
         extra: Optional[Mapping[str, object]] = None,
+        append: bool = False,
     ) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.spans_written = 0
+        self._lock = threading.Lock()
         header: Dict[str, object] = {
             "schema": SPAN_SCHEMA,
             "seed": tracer.seed,
@@ -542,30 +552,39 @@ class SpanWriter(SpanSink):
         }
         if extra:
             header.update(extra)
+        has_header = (
+            append
+            and self.path.exists()
+            and self.path.stat().st_size > 0
+        )
         self._handle: Optional[IO[str]] = self.path.open(
-            "w", encoding="utf-8"
+            "a" if append else "w", encoding="utf-8"
         )
-        self._handle.write(
-            json.dumps({"span_trace": header}, sort_keys=True) + "\n"
-        )
+        if not has_header:
+            self._handle.write(
+                json.dumps({"span_trace": header}, sort_keys=True)
+                + "\n"
+            )
 
     def on_span(self, span: Span) -> None:
         self.write(span)
 
     def write(self, span: Span) -> None:
-        if self._handle is None:
-            raise ConfigurationError(
-                f"span writer for {self.path} is closed"
+        with self._lock:
+            if self._handle is None:
+                raise ConfigurationError(
+                    f"span writer for {self.path} is closed"
+                )
+            self._handle.write(
+                json.dumps(span.to_json(), sort_keys=True) + "\n"
             )
-        self._handle.write(
-            json.dumps(span.to_json(), sort_keys=True) + "\n"
-        )
-        self.spans_written += 1
+            self.spans_written += 1
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
     def __enter__(self) -> "SpanWriter":
         return self

@@ -18,6 +18,7 @@ exactly (tested round-trip), which is what makes cross-run diffing
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 from types import TracebackType
 from typing import IO, Iterator, List, Optional, Tuple, Type, Union
@@ -40,10 +41,20 @@ class TraceWriter(Probe):
             on its own (and a partial set survives a crash).  Million-
             query replays otherwise produce one unwieldy multi-gigabyte
             file.  ``None`` (default) writes a single file at ``path``.
+        append: Open an existing trace for appending instead of
+            truncating; the manifest header is only written when the
+            file is new (or empty).  Incompatible with
+            ``rotate_events``.
 
     Use as a context manager, or call :meth:`close` explicitly.  The
     writer flushes on close; ``events_written`` counts emitted records
     across all segments, and ``segments`` lists the files written.
+
+    Writes are serialized by a single internal lock, so one writer may
+    be shared by several threads (the mediator service's probes fire
+    from worker tasks); each event line lands whole and the reader
+    never sees interleaved records.  The lock is *in-process* only —
+    two processes appending to one file still corrupt it.
     """
 
     def __init__(
@@ -51,19 +62,26 @@ class TraceWriter(Probe):
         path: Union[str, Path],
         manifest: RunManifest,
         rotate_events: Optional[int] = None,
+        append: bool = False,
     ) -> None:
         if rotate_events is not None and rotate_events <= 0:
             raise ConfigurationError(
                 "rotate_events must be positive when given"
             )
+        if append and rotate_events is not None:
+            raise ConfigurationError(
+                "append mode cannot rotate segments"
+            )
         self.path = Path(path)
         self.manifest = manifest
         self.rotate_events = rotate_events
+        self.append = append
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.events_written = 0
         self.segments: List[Path] = []
         self._events_in_segment = 0
         self._handle: Optional[IO[str]] = None
+        self._lock = threading.Lock()
         self._open_segment()
 
     def _segment_path(self, index: int) -> Path:
@@ -75,13 +93,22 @@ class TraceWriter(Probe):
 
     def _open_segment(self) -> None:
         segment = self._segment_path(len(self.segments))
-        self._handle = segment.open("w", encoding="utf-8")
-        self._handle.write(
-            json.dumps(
-                {"manifest": self.manifest.to_json()}, sort_keys=True
+        if self.append:
+            has_header = (
+                segment.exists() and segment.stat().st_size > 0
             )
-            + "\n"
-        )
+            self._handle = segment.open("a", encoding="utf-8")
+        else:
+            has_header = False
+            self._handle = segment.open("w", encoding="utf-8")
+        if not has_header:
+            self._handle.write(
+                json.dumps(
+                    {"manifest": self.manifest.to_json()},
+                    sort_keys=True,
+                )
+                + "\n"
+            )
         self.segments.append(segment)
         self._events_in_segment = 0
 
@@ -95,27 +122,29 @@ class TraceWriter(Probe):
 
     def write(self, event: DecisionEvent) -> None:
         """Append one event line, rolling the segment when full."""
-        if self._handle is None:
-            raise ConfigurationError(
-                f"trace writer for {self.path} is closed"
+        with self._lock:
+            if self._handle is None:
+                raise ConfigurationError(
+                    f"trace writer for {self.path} is closed"
+                )
+            if (
+                self.rotate_events is not None
+                and self._events_in_segment >= self.rotate_events
+            ):
+                self._handle.close()
+                self._open_segment()
+            self._handle.write(
+                json.dumps(event.to_json(), sort_keys=True) + "\n"
             )
-        if (
-            self.rotate_events is not None
-            and self._events_in_segment >= self.rotate_events
-        ):
-            self._handle.close()
-            self._open_segment()
-        self._handle.write(
-            json.dumps(event.to_json(), sort_keys=True) + "\n"
-        )
-        self.events_written += 1
-        self._events_in_segment += 1
+            self.events_written += 1
+            self._events_in_segment += 1
 
     def close(self) -> None:
         """Flush and close the underlying file (idempotent)."""
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
     def __enter__(self) -> "TraceWriter":
         return self

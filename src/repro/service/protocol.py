@@ -1,0 +1,155 @@
+"""The JSON-lines wire format of the mediator service.
+
+One request per line, one response line per request, order preserved
+within a POST body::
+
+    {"id": 7, "tenant": "astro-1", "query": {...PreparedQuery...}}
+
+    {"accepted": true, "decision": "bypassed", "id": 7, ...}
+
+Requests carry a full prepared-query payload (the client measured or
+replayed yields offline; the server owns only sizes, weights, and the
+shared cache), plus an optional ``tenant`` override — when present it
+wins over the prepared query's own tag, which is how the load
+generator fans one untagged trace across simulated tenants.
+
+Everything here is pure parsing/formatting: malformed input raises
+:class:`ProtocolError` with a line-scoped message, and responses
+serialize with sorted keys so wire bytes are deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from repro.workload.trace import PreparedQuery
+
+
+class ProtocolError(ValueError):
+    """A request line the service cannot parse or validate."""
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One decoded client request."""
+
+    request_id: int
+    tenant: str
+    prepared: PreparedQuery
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """One service answer, mirrored back with the request id.
+
+    ``status`` is the admission outcome — ``"ok"`` (full service),
+    ``"shed"`` (degraded to bypass-only), or ``"rejected"`` — while
+    ``outcome`` carries the decision-path verdict recorded in the
+    trace (``"served"``/``"bypassed"``/``"shed"``/``"unavailable"``).
+    """
+
+    request_id: int
+    tenant: str
+    status: str
+    outcome: str
+    index: int
+    wan_bytes: int
+    weighted_cost: float
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "id": self.request_id,
+            "tenant": self.tenant,
+            "status": self.status,
+            "outcome": self.outcome,
+            "index": self.index,
+            "wan_bytes": self.wan_bytes,
+            "weighted_cost": self.weighted_cost,
+        }
+
+
+def decode_request(line: str, line_no: int = 0) -> QueryRequest:
+    """Parse one request line; raises :class:`ProtocolError`."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(
+            f"request line {line_no}: invalid JSON: {exc}"
+        ) from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"request line {line_no}: expected a JSON object"
+        )
+    request_id = payload.get("id", line_no)
+    if not isinstance(request_id, int) or isinstance(request_id, bool):
+        raise ProtocolError(
+            f"request line {line_no}: 'id' must be an integer"
+        )
+    tenant = payload.get("tenant", "")
+    if not isinstance(tenant, str):
+        raise ProtocolError(
+            f"request line {line_no}: 'tenant' must be a string"
+        )
+    query = payload.get("query")
+    if not isinstance(query, dict):
+        raise ProtocolError(
+            f"request line {line_no}: 'query' must be a prepared-query "
+            f"object"
+        )
+    try:
+        prepared = PreparedQuery.from_json(query)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(
+            f"request line {line_no}: malformed prepared query: {exc}"
+        ) from None
+    if tenant and prepared.tenant != tenant:
+        prepared = replace(prepared, tenant=tenant)
+    return QueryRequest(
+        request_id=request_id,
+        tenant=tenant or prepared.tenant,
+        prepared=prepared,
+    )
+
+
+def encode_request(
+    prepared: PreparedQuery,
+    request_id: int,
+    tenant: Optional[str] = None,
+) -> str:
+    """Format one request line (no trailing newline)."""
+    payload: Dict[str, object] = {
+        "id": request_id,
+        "query": prepared.to_json(),
+    }
+    if tenant is not None:
+        payload["tenant"] = tenant
+    return json.dumps(payload, sort_keys=True)
+
+
+def encode_response(response: QueryResponse) -> str:
+    """Format one response line (no trailing newline)."""
+    return json.dumps(response.to_json(), sort_keys=True)
+
+
+def decode_response(line: str) -> QueryResponse:
+    """Parse one response line (the load generator's side)."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid response JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("response must be a JSON object")
+    try:
+        return QueryResponse(
+            request_id=int(payload["id"]),
+            tenant=str(payload["tenant"]),
+            status=str(payload["status"]),
+            outcome=str(payload["outcome"]),
+            index=int(payload["index"]),
+            wan_bytes=int(payload["wan_bytes"]),
+            weighted_cost=float(payload["weighted_cost"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed response: {exc}") from None

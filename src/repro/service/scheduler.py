@@ -1,0 +1,175 @@
+"""Admission control: token buckets, bounded queues, fair draining.
+
+Pure logic, no asyncio: the controller is driven by the server's
+arrival clock (one logical tick per submitted request) and unit-tested
+deterministically — the same arrival sequence always produces the same
+admit/shed/reject pattern (LifeRaft's lesson: admission must be a
+function of load, not of wall-clock jitter).
+
+The shedding ladder degrades before it refuses:
+
+1. **ADMIT** — backlog below the soft bound and a token available:
+   full service through the shared cache.
+2. **SHED** — backlog at the soft bound, or the tenant's token bucket
+   is dry: bypass-only service.  The query is still answered (results
+   ship past the cache, as the paper's bypass arm always could); the
+   shared cache is neither consulted nor mutated.
+3. **REJECT** — the tenant is at its soft bound *and* the
+   service-wide backlog has reached the hard bound
+   (``reject_depth``): the service as a whole cannot absorb the
+   work, so over-bound tenants are refused and the query surfaces as
+   unavailable.  Tenants under their soft bound keep full (or shed)
+   service even then — refusal never reaches an innocent queue.
+
+Queues are strictly per-tenant and drained round-robin, so a greedy
+tenant saturates only its own bounded backlog — its overflow sheds to
+bypass while other tenants' queues keep draining (the starvation test
+pins this down).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, Dict, Generic, List, Optional, Tuple, TypeVar
+
+from repro.service.config import ServiceConfig
+
+T = TypeVar("T")
+
+
+class AdmissionStatus(enum.Enum):
+    """What the admission ladder decided for one arrival."""
+
+    ADMIT = "admit"
+    SHED = "shed"
+    REJECT = "reject"
+
+
+class TokenBucket:
+    """A deterministic token bucket on the logical arrival clock.
+
+    ``rate`` tokens accrue per tick (capped at ``burst``); each granted
+    request spends one.  Refill is computed from tick deltas, never
+    from wall time, so the grant pattern is a pure function of the
+    arrival sequence — replaying the same ticks replays the same
+    grants.  ``rate == 0`` disables limiting (always grants).
+    """
+
+    def __init__(self, rate: float, burst: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self._last_tick = 0
+
+    def try_take(self, tick: int) -> bool:
+        """Spend one token at ``tick``; False when the bucket is dry."""
+        if self.rate <= 0.0:
+            return True
+        if tick > self._last_tick:
+            self.tokens = min(
+                self.burst,
+                self.tokens + (tick - self._last_tick) * self.rate,
+            )
+            self._last_tick = tick
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class _TenantLane(Generic[T]):
+    """One tenant's bounded queue and rate state."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.pending: Deque[T] = deque()
+        self.bucket = TokenBucket(
+            config.tenant_rate, config.tenant_burst
+        )
+        self.admitted = 0
+        self.shed = 0
+        self.rejected = 0
+
+
+class AdmissionController(Generic[T]):
+    """Bounded per-tenant queues with shed-before-reject admission.
+
+    Generic over the queued item type: the server enqueues
+    ``(request, future)`` pairs, the tests enqueue plain markers.
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self._lanes: Dict[str, _TenantLane[T]] = {}
+        #: Round-robin cursor over tenant names, in first-seen order.
+        self._order: List[str] = []
+        self._cursor = 0
+
+    def _lane(self, tenant: str) -> _TenantLane[T]:
+        lane = self._lanes.get(tenant)
+        if lane is None:
+            lane = _TenantLane(self.config)
+            self._lanes[tenant] = lane
+            self._order.append(tenant)
+        return lane
+
+    def admit(self, tenant: str, tick: int) -> AdmissionStatus:
+        """Run one arrival through the shedding ladder (pure; does
+        not enqueue — callers enqueue on ADMIT via :meth:`enqueue`)."""
+        lane = self._lane(tenant)
+        backlog = len(lane.pending)
+        if backlog >= self.config.queue_depth:
+            if self.pending() >= self.config.reject_depth:
+                lane.rejected += 1
+                return AdmissionStatus.REJECT
+            lane.shed += 1
+            return AdmissionStatus.SHED
+        if not lane.bucket.try_take(tick):
+            lane.shed += 1
+            return AdmissionStatus.SHED
+        lane.admitted += 1
+        return AdmissionStatus.ADMIT
+
+    def enqueue(self, tenant: str, item: T) -> None:
+        """Append an admitted item to its tenant's bounded queue."""
+        self._lane(tenant).pending.append(item)
+
+    def pending(self, tenant: Optional[str] = None) -> int:
+        """Backlog of one tenant, or of every tenant combined."""
+        if tenant is not None:
+            lane = self._lanes.get(tenant)
+            return len(lane.pending) if lane is not None else 0
+        return sum(len(lane.pending) for lane in self._lanes.values())
+
+    def next_ready(self) -> Optional[Tuple[str, T]]:
+        """Pop the next queued item, round-robin across tenants.
+
+        The cursor advances past the served tenant even when its queue
+        still holds work, so 50 queued queries from one tenant and one
+        from another drain interleaved — the second tenant waits at
+        most one full rotation, never the greedy tenant's backlog.
+        """
+        if not self._order:
+            return None
+        for _ in range(len(self._order)):
+            tenant = self._order[self._cursor]
+            self._cursor = (self._cursor + 1) % len(self._order)
+            lane = self._lanes[tenant]
+            if lane.pending:
+                return tenant, lane.pending.popleft()
+        return None
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant admitted/shed/rejected/backlog counts."""
+        return {
+            tenant: {
+                "admitted": lane.admitted,
+                "shed": lane.shed,
+                "rejected": lane.rejected,
+                "backlog": len(lane.pending),
+            }
+            for tenant, lane in sorted(self._lanes.items())
+        }
+
+
+__all__ = ["AdmissionController", "AdmissionStatus", "TokenBucket"]

@@ -1,0 +1,438 @@
+"""The asyncio mediator server: many tenants, one shared cache.
+
+Stdlib-only (``asyncio`` streams, hand-rolled HTTP/1.1 — the same
+dependency posture as :mod:`repro.obs.httpd`), one event-loop thread.
+Routes:
+
+* ``POST /query`` — a body of JSON request lines (see
+  :mod:`repro.service.protocol`); the response body carries one JSON
+  line per request, in request order.
+* ``GET /healthz`` — liveness (``ok``).
+* ``GET /metrics`` — Prometheus text exposition of the service's
+  registry (per-tenant WAN attribution included).
+* ``GET /slo`` — current SLO evaluation as JSON (404 without an
+  engine).
+* ``GET /stats`` — admission/shedding counters as JSON.
+* ``POST /shutdown`` — graceful stop (the smoke jobs use it to flush
+  trace/span sinks deterministically).
+
+Request flow: every arrival advances the logical admission clock and
+runs the shedding ladder (:class:`~repro.service.scheduler.AdmissionController`).
+Admitted queries wait in their tenant's bounded queue; a drain loop
+feeds them round-robin to worker tasks, bounded by
+``config.max_inflight``.  Workers decide under the per-federation
+decision lock (:class:`~repro.service.session.DecisionGate` — the
+sanctioned seam) and ship the WAN transfer *outside* it, so loads and
+bypasses overlap while the next query decides.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.core.instrumentation import (
+    DecisionEvent,
+    Instrumentation,
+    Probe,
+)
+from repro.core.pipeline import DecisionPipeline
+from repro.obs.httpd import (
+    CONTENT_TYPE,
+    JSON_CONTENT_TYPE,
+    TEXT_CONTENT_TYPE,
+)
+from repro.obs.metrics import MetricsProbe, MetricsRegistry
+from repro.service.config import ServiceConfig
+from repro.service.protocol import (
+    ProtocolError,
+    QueryRequest,
+    QueryResponse,
+    decode_request,
+    encode_response,
+)
+from repro.service.scheduler import (
+    AdmissionController,
+    AdmissionStatus,
+)
+from repro.service.session import DecisionGate
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.events import Decision
+    from repro.core.pipeline import QueryAccounting
+    from repro.core.policies.base import CachePolicy
+    from repro.federation.federation import Federation
+    from repro.obs.slo import SLOEngine
+    from repro.obs.spans import Tracer
+    from repro.sim.results import SimulationResult
+    from repro.workload.trace import PreparedQuery
+
+#: One queued unit: the prepared query and the future its submitter
+#: awaits (resolved with (index, decision, accounting)).
+_QueueItem = Tuple["PreparedQuery", "asyncio.Future[Tuple[int, object, object]]"]
+
+
+class _SLOForwarder(Probe):
+    """Forward decision events into a live SLO engine."""
+
+    def __init__(self, engine: "SLOEngine") -> None:
+        self._engine = engine
+
+    def on_decision(self, event: DecisionEvent) -> None:
+        self._engine.observe_event(event)
+
+
+class MediatorService:
+    """One shared-cache serving endpoint over one federation.
+
+    Args:
+        federation: Object sizes, link weights, servers.
+        policy: The shared cache policy every tenant's queries drive.
+        config: Admission-control and bind settings.
+        granularity: ``"table"`` or ``"column"`` caching.
+        policy_sees_weights: The BYHR/BYU cost-view flag.
+        instrumentation: Observability sink; one is created
+            (``max_events=0``) when omitted so ``/metrics`` always
+            works.
+        tracer: Optional span tracer (span emission happens under the
+            decision lock — the tracer itself stays single-threaded).
+        slo_engine: Optional live SLO engine backing ``/slo``.
+        registry: Metrics registry; created when omitted.
+        record_series: Record the cumulative WAN series in the result.
+    """
+
+    def __init__(
+        self,
+        federation: "Federation",
+        policy: "CachePolicy",
+        config: Optional[ServiceConfig] = None,
+        granularity: str = "table",
+        policy_sees_weights: bool = True,
+        instrumentation: Optional[Instrumentation] = None,
+        tracer: Optional["Tracer"] = None,
+        slo_engine: Optional["SLOEngine"] = None,
+        registry: Optional[MetricsRegistry] = None,
+        record_series: bool = True,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        if instrumentation is None:
+            instrumentation = Instrumentation(max_events=0)
+        self.instrumentation = instrumentation
+        self.registry = registry or MetricsRegistry()
+        instrumentation.add_probe(MetricsProbe(self.registry))
+        self.slo_engine = slo_engine
+        if slo_engine is not None:
+            instrumentation.add_probe(_SLOForwarder(slo_engine))
+        pipeline = DecisionPipeline(
+            federation,
+            granularity,
+            policy_sees_weights,
+            instrumentation=instrumentation,
+            tracer=tracer,
+        )
+        self.pipeline = pipeline
+        self.gate = DecisionGate(
+            pipeline, policy, record_series=record_series
+        )
+        self.admission: AdmissionController[_QueueItem] = (
+            AdmissionController(self.config)
+        )
+        self._arrivals = 0
+        self._inflight = 0
+        self._ready = asyncio.Event()
+        self._drain_task: Optional["asyncio.Task[None]"] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+
+    # -- request processing ----------------------------------------------
+
+    async def submit(self, request: QueryRequest) -> QueryResponse:
+        """Run one request through admission and the decision path.
+
+        The in-process entry point — the HTTP route, the loadgen's
+        in-process mode, and the tests all land here.  Arrival order
+        defines the logical admission clock.
+        """
+        tick = self._arrivals
+        self._arrivals += 1
+        status = self.admission.admit(request.tenant, tick)
+        prepared = request.prepared
+        if status is AdmissionStatus.REJECT:
+            index, _, accounting = await self.gate.locked_reject(
+                prepared
+            )
+            return self._response(
+                request, "rejected", "unavailable", index, accounting
+            )
+        if status is AdmissionStatus.SHED:
+            index, _, accounting = await self.gate.locked_shed(
+                prepared
+            )
+            # Bypass shipping overlaps outside the decision lock.
+            await self._ship(accounting)
+            return self._response(
+                request, "shed", "shed", index, accounting
+            )
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Tuple[int, object, object]]" = (
+            loop.create_future()
+        )
+        self.admission.enqueue(request.tenant, (prepared, future))
+        self._ensure_drain()
+        self._ready.set()
+        index, decision, accounting = await future  # type: ignore[misc]
+        outcome = (
+            "served"
+            if decision.served_from_cache  # type: ignore[attr-defined]
+            else "bypassed"
+        )
+        return self._response(
+            request, "ok", outcome, index, accounting  # type: ignore[arg-type]
+        )
+
+    def _response(
+        self,
+        request: QueryRequest,
+        status: str,
+        outcome: str,
+        index: int,
+        accounting: "QueryAccounting",
+    ) -> QueryResponse:
+        return QueryResponse(
+            request_id=request.request_id,
+            tenant=request.prepared.tenant,
+            status=status,
+            outcome=outcome,
+            index=index,
+            wan_bytes=int(accounting.wan_bytes),
+            weighted_cost=float(accounting.weighted_cost),
+        )
+
+    async def _ship(self, accounting: "QueryAccounting") -> None:
+        """The (simulated) WAN transfer window.
+
+        One cooperative yield per transfer: enough to let another
+        worker take the decision lock while this query's bytes are "on
+        the wire", without coupling replay speed to wall time.
+        """
+        await asyncio.sleep(0)
+
+    def _ensure_drain(self) -> None:
+        if self._drain_task is None or self._drain_task.done():
+            self._drain_task = asyncio.get_running_loop().create_task(
+                self._drain()
+            )
+
+    async def _drain(self) -> None:
+        """Feed queued work to workers, round-robin, inflight-bounded."""
+        while True:
+            await self._ready.wait()
+            self._ready.clear()
+            while self._inflight < self.config.max_inflight:
+                item = self.admission.next_ready()
+                if item is None:
+                    break
+                _tenant, (prepared, future) = item
+                self._inflight += 1
+                asyncio.get_running_loop().create_task(
+                    self._serve_one(prepared, future)
+                )
+
+    async def _serve_one(
+        self,
+        prepared: "PreparedQuery",
+        future: "asyncio.Future[Tuple[int, object, object]]",
+    ) -> None:
+        try:
+            index, decision, accounting = (
+                await self.gate.locked_resolve(prepared)
+            )
+            # Loads/bypasses overlap outside the lock: the next query
+            # decides while this one's bytes ship.
+            await self._ship(accounting)
+            if not future.cancelled():
+                future.set_result((index, decision, accounting))
+        except Exception as exc:  # surface failures to the submitter
+            if not future.cancelled():
+                future.set_exception(exc)
+        finally:
+            self._inflight -= 1
+            self._ready.set()
+
+    def result(self) -> "SimulationResult":
+        """The accumulated run accounting (run_stream shape)."""
+        return self.gate.finalize()
+
+    def stats(self) -> Dict[str, object]:
+        """Service-level counters for ``/stats``."""
+        return {
+            "decided": self.gate.decided,
+            "shed": self.gate.shed_queries,
+            "rejected": self.gate.rejected_queries,
+            "inflight": self._inflight,
+            "tenants": self.admission.stats(),
+        }
+
+    # -- HTTP surface ----------------------------------------------------
+
+    async def start(
+        self,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+    ) -> "MediatorService":
+        """Bind and start accepting connections (idempotent)."""
+        if self._server is None:
+            self._server = await asyncio.start_server(
+                self._on_connection,
+                host if host is not None else self.config.host,
+                port if port is not None else self.config.port,
+            )
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            return 0
+        return int(self._server.sockets[0].getsockname()[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until ``POST /shutdown`` (or :meth:`close`)."""
+        await self.start()
+        await self._shutdown.wait()
+        await self.close()
+
+    async def close(self) -> None:
+        """Stop accepting connections and cancel the drain loop."""
+        self._shutdown.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._drain_task is not None:
+            self._drain_task.cancel()
+            self._drain_task = None
+
+    async def _on_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                try:
+                    method, target, _version = (
+                        request_line.decode("latin-1").split(" ", 2)
+                    )
+                except ValueError:
+                    break
+                headers: Dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    key, _, value = (
+                        line.decode("latin-1").partition(":")
+                    )
+                    headers[key.strip().lower()] = value.strip()
+                length = int(headers.get("content-length", 0) or 0)
+                body = (
+                    await reader.readexactly(length) if length else b""
+                )
+                status, ctype, payload = await self._route(
+                    method.upper(), target.split("?", 1)[0], body
+                )
+                head = (
+                    f"HTTP/1.1 {status}\r\n"
+                    f"Content-Type: {ctype}\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    f"Connection: keep-alive\r\n\r\n"
+                )
+                writer.write(head.encode("latin-1") + payload)
+                await writer.drain()
+                if self._shutdown.is_set():
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            ValueError,
+        ):
+            pass
+        finally:
+            writer.close()
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[str, str, bytes]:
+        if method == "GET" and path == "/healthz":
+            return "200 OK", TEXT_CONTENT_TYPE, b"ok\n"
+        if method == "GET" and path == "/metrics":
+            text = self.registry.render_prometheus()
+            return "200 OK", CONTENT_TYPE, text.encode("utf-8")
+        if method == "GET" and path == "/slo":
+            if self.slo_engine is None:
+                return (
+                    "404 Not Found",
+                    TEXT_CONTENT_TYPE,
+                    b"no SLO engine configured\n",
+                )
+            report = self.slo_engine.evaluate()
+            payload = (
+                json.dumps(report.to_json(), sort_keys=True) + "\n"
+            )
+            return "200 OK", JSON_CONTENT_TYPE, payload.encode("utf-8")
+        if method == "GET" and path == "/stats":
+            payload = json.dumps(self.stats(), sort_keys=True) + "\n"
+            return "200 OK", JSON_CONTENT_TYPE, payload.encode("utf-8")
+        if method == "POST" and path == "/shutdown":
+            self._shutdown.set()
+            return "200 OK", TEXT_CONTENT_TYPE, b"shutting down\n"
+        if method == "POST" and path == "/query":
+            return await self._route_query(body)
+        return (
+            "404 Not Found",
+            TEXT_CONTENT_TYPE,
+            b"unknown path (try /healthz)\n",
+        )
+
+    async def _route_query(
+        self, body: bytes
+    ) -> Tuple[str, str, bytes]:
+        lines = [
+            line
+            for line in body.decode("utf-8").splitlines()
+            if line.strip()
+        ]
+        responses: List[str] = await asyncio.gather(
+            *(
+                self._handle_line(line, line_no)
+                for line_no, line in enumerate(lines)
+            )
+        )
+        payload = "".join(text + "\n" for text in responses)
+        return (
+            "200 OK",
+            "application/jsonlines; charset=utf-8",
+            payload.encode("utf-8"),
+        )
+
+    async def _handle_line(self, line: str, line_no: int) -> str:
+        try:
+            request = decode_request(line, line_no)
+        except ProtocolError as exc:
+            return json.dumps(
+                {"error": str(exc), "id": line_no}, sort_keys=True
+            )
+        response = await self.submit(request)
+        return encode_response(response)
+
+
+__all__ = ["MediatorService"]

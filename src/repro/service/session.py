@@ -1,0 +1,256 @@
+"""The per-federation decision lock and its sanctioned holder seam.
+
+Concurrency discipline (DESIGN.md §15): the PR-4 policy state — the
+Landlord victim heaps, the global credit offset, the traffic ledger —
+mutates **only** under the per-federation decision lock, and only
+inside the ``locked_*`` methods of :class:`DecisionGate`.  Everything
+else in :mod:`repro.service` (scheduler, server, loadgen) treats
+policy, result, and pipeline as opaque: repro-lint RPR011 flags any
+service code path that reaches a decision-lock-guarded mutator without
+going through this seam.
+
+Loads and bypasses *overlap* outside the lock: the gate returns as
+soon as the decision is charged, and the caller ships the (simulated)
+WAN transfer at its own pace while the next query decides.  Ordering
+of decisions — which is all the policy state ever observes — is
+therefore exactly the lock-acquisition order, which in a single-tenant
+serial run is trace order: that is what makes the service
+byte-identical to :meth:`~repro.sim.simulator.Simulator.run_stream`
+in that mode (the golden-equivalence suite pins it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import weakref
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.core.events import Decision
+from repro.core.pipeline import DecisionPipeline, ResolvedQuery
+from repro.obs.spans import (
+    STAGE_ACCOUNT,
+    STAGE_DECIDE,
+    STAGE_QUERY,
+)
+from repro.sim.results import SimulationResult
+from repro.sim.streaming import SampledSeries
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pipeline import QueryAccounting
+    from repro.core.policies.base import CachePolicy
+    from repro.workload.trace import PreparedQuery
+
+#: federation -> its decision lock.  Weak keys: a lock lives exactly
+#: as long as the federation whose shared cache it guards, and two
+#: services over one federation contend on one lock.
+_DECISION_LOCKS: "weakref.WeakKeyDictionary[object, asyncio.Lock]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def decision_lock_for(federation: object) -> asyncio.Lock:
+    """The one decision lock guarding ``federation``'s shared cache."""
+    lock = _DECISION_LOCKS.get(federation)
+    if lock is None:
+        lock = asyncio.Lock()
+        _DECISION_LOCKS[federation] = lock
+    return lock
+
+
+class DecisionGate:
+    """The sanctioned lock-holder seam around one shared cache.
+
+    One gate wraps one (pipeline, policy, result) triple.  Its three
+    ``locked_*`` methods are the *only* places in :mod:`repro.service`
+    allowed to touch decision-lock-guarded state (RPR011); each takes
+    the per-federation decision lock, replays the exact per-query
+    sequence of :meth:`Simulator.run_stream` — process, account,
+    charge, record, emit — and releases the lock before the caller
+    ships any bytes.
+    """
+
+    def __init__(
+        self,
+        pipeline: DecisionPipeline,
+        policy: "CachePolicy",
+        record_series: bool = True,
+        source: str = "service",
+    ) -> None:
+        self.pipeline = pipeline
+        self.policy = policy
+        self.source = source
+        self.result = SimulationResult(
+            policy_name=policy.name,
+            granularity=pipeline.granularity,
+            capacity_bytes=policy.capacity_bytes,
+        )
+        self._lock = decision_lock_for(pipeline.federation)
+        self._series: Optional[SampledSeries] = (
+            SampledSeries() if record_series else None
+        )
+        self._decided = 0
+        self._sequence_bytes = 0
+        self._shed = 0
+        self._rejected = 0
+
+    @property
+    def decided(self) -> int:
+        """Queries decided so far (full service + shed + rejected)."""
+        return self._decided
+
+    @property
+    def shed_queries(self) -> int:
+        return self._shed
+
+    @property
+    def rejected_queries(self) -> int:
+        return self._rejected
+
+    async def locked_resolve(
+        self, prepared: "PreparedQuery"
+    ) -> Tuple[int, Decision, "QueryAccounting"]:
+        """Full service: decide one query under the decision lock.
+
+        The lock covers policy mutation (victim heaps, Landlord
+        offset), result charging, series recording, and event
+        emission — the atomic unit whose ordering defines the run.
+        The WAN transfer itself happens in the caller, outside.
+        """
+        pipeline = self.pipeline
+        policy = self.policy
+        async with self._lock:
+            index = self._decided
+            self._decided += 1
+            self._sequence_bytes += prepared.bypass_bytes
+            query = pipeline.query_from_prepared(prepared, index)
+            tracer = pipeline.tracer
+            if tracer is not None:
+                root = tracer.start(
+                    STAGE_QUERY, index=index, tenant=prepared.tenant
+                )
+                with tracer.span(STAGE_DECIDE, index=index):
+                    decision = policy.process(query)
+                with tracer.span(STAGE_ACCOUNT, index=index):
+                    accounting = pipeline.account(
+                        decision,
+                        bypass_bytes=prepared.bypass_bytes,
+                        servers=tuple(prepared.servers),
+                    )
+                tracer.finish(
+                    root,
+                    bytes_moved=int(accounting.wan_bytes),
+                    served=decision.served_from_cache,
+                )
+            else:
+                decision = policy.process(query)
+                accounting = pipeline.account(
+                    decision,
+                    bypass_bytes=prepared.bypass_bytes,
+                    servers=tuple(prepared.servers),
+                )
+            self.result.charge(accounting, decision)
+            if self._series is not None:
+                self._series.observe(self.result.breakdown.total_bytes)
+            pipeline.emit_decision(
+                index=index,
+                source=self.source,
+                policy_name=policy.name,
+                decision=decision,
+                accounting=accounting,
+                sql=prepared.sql,
+                yield_bytes=prepared.yield_bytes,
+                tenant=prepared.tenant,
+            )
+        return index, decision, accounting
+
+    async def locked_shed(
+        self, prepared: "PreparedQuery"
+    ) -> Tuple[int, Decision, "QueryAccounting"]:
+        """Degraded service: bypass-only, policy state untouched.
+
+        A shed query still gets its answer — the result ships past the
+        cache exactly as a policy bypass would — but the shared cache
+        is never consulted or mutated, so an overloaded (or
+        rate-limited) tenant costs other tenants no heap churn.
+        Charged and emitted under the lock so aggregate accounting
+        stays a partition (outcome ``"shed"``).
+        """
+        pipeline = self.pipeline
+        async with self._lock:
+            index = self._decided
+            self._decided += 1
+            self._sequence_bytes += prepared.bypass_bytes
+            self._shed += 1
+            decision = Decision(served_from_cache=False)
+            accounting = pipeline.account(
+                decision,
+                bypass_bytes=prepared.bypass_bytes,
+                servers=tuple(prepared.servers),
+            )
+            self.result.charge(accounting, decision)
+            if self._series is not None:
+                self._series.observe(self.result.breakdown.total_bytes)
+            pipeline.emit_decision(
+                index=index,
+                source=self.source,
+                policy_name=self.policy.name,
+                decision=decision,
+                accounting=accounting,
+                sql=prepared.sql,
+                yield_bytes=prepared.yield_bytes,
+                outcome="shed",
+                tenant=prepared.tenant,
+            )
+        return index, decision, accounting
+
+    async def locked_reject(
+        self, prepared: "PreparedQuery"
+    ) -> Tuple[int, Decision, "QueryAccounting"]:
+        """Refusal: zero bytes move, the query surfaces unavailable.
+
+        Only reached when the tenant is over its soft backlog bound
+        *and* the service-wide backlog has hit the hard bound;
+        recorded (outcome ``"unavailable"``) so the availability SLO
+        sees every refusal.
+        """
+        pipeline = self.pipeline
+        async with self._lock:
+            index = self._decided
+            self._decided += 1
+            self._sequence_bytes += prepared.bypass_bytes
+            self._rejected += 1
+            resolved = ResolvedQuery(
+                decision=Decision(served_from_cache=False),
+                accounting=pipeline.account(
+                    Decision(served_from_cache=False), bypass_bytes=0
+                ),
+                outcome="unavailable",
+            )
+            self.result.charge_resolved(resolved)
+            if self._series is not None:
+                self._series.observe(self.result.breakdown.total_bytes)
+            pipeline.emit_decision(
+                index=index,
+                source=self.source,
+                policy_name=self.policy.name,
+                decision=resolved.decision,
+                accounting=resolved.accounting,
+                sql=prepared.sql,
+                yield_bytes=prepared.yield_bytes,
+                outcome="unavailable",
+                tenant=prepared.tenant,
+            )
+        return index, resolved.decision, resolved.accounting
+
+    def finalize(self) -> SimulationResult:
+        """Seal and return the accumulated result (run_stream shape)."""
+        result = self.result
+        result.queries = self._decided
+        result.sequence_bytes = float(self._sequence_bytes)
+        if self._series is not None:
+            result.cumulative_bytes = self._series.points()
+            result.series_stride = self._series.stride
+        return result
+
+
+__all__ = ["DecisionGate", "decision_lock_for"]

@@ -15,6 +15,11 @@ memory.  Three concrete shapes cover the scale story:
 * ``ChunkedTrace`` (in :mod:`repro.workload.chunks`) — reads the
   on-disk chunked format one chunk at a time.
 
+:class:`TenantFanoutStream` is a decorator over any of them: it
+re-tags each query with a simulated tenant drawn from a keyed hash,
+turning a single-client trace into a deterministic multi-tenant
+arrival sequence for the mediator service's load generator.
+
 Streams deliberately do *not* memoize compiled events — the streaming
 replay path trades recompilation for flat memory.  Metadata that a
 replay needs up front (length, sequence bytes, per-object yield totals
@@ -169,3 +174,84 @@ class GeneratedStream(QueryStream):
         }
         payload = json.dumps(basis, sort_keys=True).encode("utf-8")
         return hashlib.sha256(payload).hexdigest()
+
+
+class TenantFanoutStream(QueryStream):
+    """Fan one stream's queries out across simulated tenants.
+
+    Each query is re-tagged ``tenant-<k>`` where ``k`` comes from
+    :func:`repro.faults.engine.uniform_draw` keyed by (seed, query
+    position) — the same keyed-hash construction as the fault engine,
+    so the assignment depends only on the seed and the position, never
+    on iteration count or process state.  Re-iterating replays the
+    identical interleave; different seeds give different interleaves
+    over the same queries (the conservation suite sweeps several).
+
+    With ``tenants == 1`` the base stream passes through *untouched*
+    (original tags kept): that is the single-tenant serial mode whose
+    service replay must stay byte-identical to ``run_stream``.
+    """
+
+    def __init__(
+        self, base: QueryStream, tenants: int, seed: int = 0
+    ) -> None:
+        if tenants < 1:
+            raise ValueError(
+                f"tenant fan-out needs >= 1 tenants, got {tenants}"
+            )
+        self.base = base
+        self.tenants = tenants
+        self.seed = seed
+        self.name = base.name
+
+    def tenant_for(self, position: int) -> str:
+        """The tenant tag assigned to the query at ``position``."""
+        from repro.faults.engine import uniform_draw
+
+        draw = uniform_draw(self.seed, "service.fanout", position)
+        return f"tenant-{int(draw * self.tenants)}"
+
+    def __iter__(self) -> Iterator[PreparedQuery]:
+        from dataclasses import replace
+
+        if self.tenants == 1:
+            yield from self.base
+            return
+        for position, prepared in enumerate(self.base):
+            yield replace(
+                prepared, tenant=self.tenant_for(position)
+            )
+
+    @property
+    def num_queries(self) -> Optional[int]:
+        return self.base.num_queries
+
+    @property
+    def sequence_bytes(self) -> Optional[int]:
+        return self.base.sequence_bytes
+
+    @property
+    def fingerprint(self) -> Optional[str]:
+        """Content identity: the base fingerprint keyed by the fan-out.
+
+        Identity (``tenants == 1``) passes the base fingerprint
+        through unchanged — the stream *is* the base stream.
+        """
+        base = self.base.fingerprint
+        if base is None:
+            return None
+        if self.tenants == 1:
+            return base
+        basis = json.dumps(
+            {
+                "kind": "tenant-fanout/1",
+                "base": base,
+                "tenants": self.tenants,
+                "seed": self.seed,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        return hashlib.sha256(basis).hexdigest()
+
+    def object_totals(self, granularity: str) -> Optional[Dict[str, float]]:
+        return self.base.object_totals(granularity)

@@ -1,0 +1,21 @@
+"""Serving paths that reach lock-guarded state around the gate."""
+
+
+class Server:
+    def __init__(self, ledger, heap):
+        self.ledger = ledger
+        self.heap = heap
+
+    def serve_one(self, num_bytes):
+        # BUG: mutates the traffic ledger without holding the
+        # decision lock.
+        self.ledger.record_load("obj", num_bytes)
+        return num_bytes
+
+    def trim(self):
+        # BUG: pops the victim heap off the lock.
+        return self.heap.pop_min()
+
+    def reset_credit(self, cache):
+        # BUG: direct write to Landlord state off the lock.
+        cache._offset = 0.0

@@ -1,0 +1,19 @@
+"""Local stand-ins for the lock-guarded owners."""
+
+
+class TrafficLedger:
+    def __init__(self):
+        self.load_bytes = 0
+
+    def record_load(self, object_id, num_bytes):
+        self.load_bytes += num_bytes
+
+
+class VictimHeap:
+    def __init__(self):
+        self._heap = []
+
+    def pop_min(self):
+        if self._heap:
+            return self._heap.pop()
+        return None

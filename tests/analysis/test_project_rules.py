@@ -274,3 +274,48 @@ class TestProjectCli:
         # Identical findings either way.
         assert warm["violations"] == cold["violations"]
         assert "elapsed_seconds" in warm["stats"]
+
+
+class TestRPR011LockDiscipline:
+    """Service-scope code must reach lock-guarded state only through
+    the DecisionGate locked_* seam: off-lock mutator calls and direct
+    guarded-attribute writes are flagged; routing through a
+    locked_resolve holder passes."""
+
+    def test_fires_on_seeded_violations(self):
+        violations = project_rule("RPR011", "rpr011_bad")
+        assert all(v.rule_id == "RPR011" for v in violations)
+        assert len(violations) == 3
+
+    def test_offlock_ledger_call_is_flagged(self):
+        violations = project_rule("RPR011", "rpr011_bad")
+        (ledger,) = [
+            v for v in violations if "record_load" in v.message
+        ]
+        assert "Server.serve_one" in ledger.message
+        assert "TrafficLedger" in ledger.message
+        assert "locked_resolve" in ledger.message
+
+    def test_offlock_heap_pop_is_flagged(self):
+        violations = project_rule("RPR011", "rpr011_bad")
+        (heap,) = [v for v in violations if "pop_min" in v.message]
+        assert "VictimHeap" in heap.message
+
+    def test_direct_guarded_write_is_flagged(self):
+        violations = project_rule("RPR011", "rpr011_bad")
+        (write,) = [v for v in violations if "'_offset'" in v.message]
+        assert "BypassObjectCache" in write.message
+        assert "DecisionGate.locked_*" in write.message
+
+    def test_lock_holder_seam_passes(self):
+        assert project_rule("RPR011", "rpr011_good") == []
+
+    def test_out_of_scope_modules_are_ignored(self):
+        # The same shapes outside a service package are RPR010's
+        # business, not RPR011's.
+        assert project_rule("RPR011", "rpr010_bad") == []
+
+    def test_service_package_is_clean_in_src(self):
+        src = Path(__file__).parents[2] / "src" / "repro"
+        violations, _ = lint_project(src, select=["RPR011"])
+        assert violations == []

@@ -113,6 +113,23 @@ class TestRegistry:
         assert "repro_y 1.5" in text
         assert text.endswith("\n")
 
+    def test_render_keeps_full_precision_past_six_digits(self):
+        # %g-style rendering would round 1101376 to 1.10138e+06 on the
+        # scrape page, breaking the exact tenant-sum == aggregate
+        # conservation check that parses /metrics.
+        registry = MetricsRegistry()
+        registry.counter("repro_big_total").inc(1101376.0)
+        registry.gauge("repro_frac").set(0.123456789012345)
+        text = registry.render_prometheus()
+        assert "repro_big_total 1101376" in text
+        assert "1.10138e+06" not in text
+        line = next(
+            row
+            for row in text.splitlines()
+            if row.startswith("repro_frac ")
+        )
+        assert float(line.split()[1]) == 0.123456789012345
+
     def test_snapshot_merge_deterministic(self):
         def build(seed_values):
             registry = MetricsRegistry()

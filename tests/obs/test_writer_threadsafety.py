@@ -1,0 +1,156 @@
+"""Multi-threaded writer regression: whole lines, exact round-trips.
+
+The mediator service shares one TraceWriter/SpanWriter across worker
+tasks (and the obs HTTP endpoint serves from another thread), so both
+writers serialize writes behind a single internal lock.  These tests
+hammer one writer from many threads and require the readers to restore
+every record with ``truncated=False`` — no torn lines, no lost events.
+"""
+
+import threading
+
+from repro.core.instrumentation import DecisionEvent
+from repro.obs.manifest import RunManifest
+from repro.obs.spans import Span, SpanReader, SpanTracer, SpanWriter
+from repro.obs.trace_io import TraceReader, TraceWriter
+from repro.errors import ConfigurationError
+
+import pytest
+
+THREADS = 8
+EVENTS_PER_THREAD = 200
+
+
+def _manifest():
+    return RunManifest(
+        workload="threaded",
+        policy="rate-profile",
+        granularity="table",
+        capacity_bytes=1000,
+        source="test",
+        created_at="2026-01-01T00:00:00Z",
+    )
+
+
+def _event(index: int) -> DecisionEvent:
+    return DecisionEvent(
+        index=index,
+        source="test",
+        policy="rate-profile",
+        granularity="table",
+        served_from_cache=bool(index % 2),
+        loads=(f"obj-{index}",),
+        evictions=(),
+        load_bytes=index,
+        bypass_bytes=2 * index,
+        weighted_cost=float(index),
+        tenant=f"tenant-{index % 4}",
+    )
+
+
+def _hammer(write, per_thread: int) -> None:
+    threads = [
+        threading.Thread(
+            target=lambda base=base: [
+                write(base * per_thread + i) for i in range(per_thread)
+            ]
+        )
+        for base in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestTraceWriterThreaded:
+    def test_concurrent_writes_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(path, _manifest())
+        _hammer(lambda i: writer.write(_event(i)), EVENTS_PER_THREAD)
+        writer.close()
+        assert writer.events_written == THREADS * EVENTS_PER_THREAD
+
+        reader = TraceReader(path)
+        events = list(reader)
+        assert reader.truncated is False
+        assert len(events) == THREADS * EVENTS_PER_THREAD
+        # Every record intact and restorable — order across threads is
+        # unspecified, content is not.
+        assert sorted(e.index for e in events) == list(
+            range(THREADS * EVENTS_PER_THREAD)
+        )
+        by_index = {e.index: e for e in events}
+        assert by_index[7] == _event(7)
+
+    def test_append_mode_keeps_single_header(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceWriter(path, _manifest()) as writer:
+            writer.write(_event(0))
+        with TraceWriter(path, _manifest(), append=True) as writer:
+            writer.write(_event(1))
+        reader = TraceReader(path)
+        events = list(reader)
+        assert reader.truncated is False
+        assert [e.index for e in events] == [0, 1]
+
+    def test_append_rejects_rotation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            TraceWriter(
+                tmp_path / "t.jsonl",
+                _manifest(),
+                rotate_events=10,
+                append=True,
+            )
+
+    def test_closed_writer_still_raises(self, tmp_path):
+        writer = TraceWriter(tmp_path / "t.jsonl", _manifest())
+        writer.close()
+        with pytest.raises(ConfigurationError):
+            writer.write(_event(0))
+
+
+class TestSpanWriterThreaded:
+    def _span(self, tracer: SpanTracer, index: int) -> Span:
+        return Span(
+            trace_id=tracer.trace_id,
+            span_id=f"s{index:06d}",
+            parent_id="",
+            name="query",
+            index=index,
+            tenant=f"tenant-{index % 4}",
+            start=index,
+            end=index + 1,
+            bytes_moved=index,
+        )
+
+    def test_concurrent_writes_round_trip(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        tracer = SpanTracer(seed=3, run_label="threaded")
+        writer = SpanWriter(path, tracer)
+        _hammer(
+            lambda i: writer.write(self._span(tracer, i)),
+            EVENTS_PER_THREAD,
+        )
+        writer.close()
+        assert writer.spans_written == THREADS * EVENTS_PER_THREAD
+
+        reader = SpanReader(path)
+        spans = list(reader)
+        assert reader.truncated is False
+        assert len(spans) == THREADS * EVENTS_PER_THREAD
+        assert sorted(s.index for s in spans) == list(
+            range(THREADS * EVENTS_PER_THREAD)
+        )
+
+    def test_append_mode_keeps_single_header(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        tracer = SpanTracer(seed=3, run_label="threaded")
+        with SpanWriter(path, tracer) as writer:
+            writer.write(self._span(tracer, 0))
+        with SpanWriter(path, tracer, append=True) as writer:
+            writer.write(self._span(tracer, 1))
+        reader = SpanReader(path)
+        spans = list(reader)
+        assert reader.truncated is False
+        assert [s.index for s in spans] == [0, 1]

@@ -1,0 +1,38 @@
+"""Shared TINY-profile workload fixtures for the service suite.
+
+The service tests mirror the simulator equivalence suite's setup: a
+small generated EDR trace prepared once against a single-site SDSS
+federation.  Federations are built fresh per test (policy and ledger
+state is mutable); the prepared trace is immutable and shared.
+"""
+
+import pytest
+
+from repro.federation import Federation, Mediator
+from repro.workload.generator import TraceConfig, generate_trace
+from repro.workload.prepare import prepare_trace
+from repro.workload.sdss_schema import TINY, build_sdss_catalog
+
+
+def make_federation():
+    return Federation.single_site(
+        build_sdss_catalog(TINY, seed=5), "sdss"
+    )
+
+
+@pytest.fixture(scope="package")
+def prepared_trace():
+    trace = generate_trace(
+        TraceConfig(num_queries=160, flavor="edr", seed=321), TINY
+    )
+    return prepare_trace(trace, Mediator(make_federation()))
+
+
+@pytest.fixture(scope="package")
+def capacity():
+    return make_federation().total_database_bytes() // 3
+
+
+@pytest.fixture()
+def federation():
+    return make_federation()

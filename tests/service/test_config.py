@@ -1,0 +1,90 @@
+"""Hardened knob parsing and ``ServiceConfig`` validation.
+
+Garbage never becomes a silent default: every parser raises
+:class:`ConfigurationError` naming the offending flag, which the CLIs
+translate into exit code 2.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.config import (
+    ServiceConfig,
+    parse_max_inflight,
+    parse_port,
+    parse_queue_depth,
+    parse_tenant_rate,
+)
+
+
+class TestParsers:
+    def test_parse_port(self):
+        assert parse_port("0") == 0
+        assert parse_port("8791") == 8791
+        assert parse_port("65535") == 65535
+        for raw in ("-1", "65536", "http", "80.5", ""):
+            with pytest.raises(ConfigurationError, match="--port"):
+                parse_port(raw)
+
+    def test_parse_max_inflight(self):
+        assert parse_max_inflight("1") == 1
+        assert parse_max_inflight("64") == 64
+        for raw in ("0", "-3", "many", "4.5"):
+            with pytest.raises(
+                ConfigurationError, match="--max-inflight"
+            ):
+                parse_max_inflight(raw)
+
+    def test_parse_queue_depth(self):
+        assert parse_queue_depth("1") == 1
+        with pytest.raises(ConfigurationError, match="--queue-depth"):
+            parse_queue_depth("0")
+        with pytest.raises(ConfigurationError, match="--queue-depth"):
+            parse_queue_depth("deep")
+
+    def test_parse_tenant_rate_unlimited_spellings(self):
+        for raw in ("0", "off", "none", "unlimited", "OFF", " None "):
+            assert parse_tenant_rate(raw) == 0.0
+
+    def test_parse_tenant_rate_finite(self):
+        assert parse_tenant_rate("0.5") == 0.5
+        assert parse_tenant_rate("3") == 3.0
+
+    def test_parse_tenant_rate_garbage(self):
+        for raw in ("-1", "fast", "nan", "inf", ""):
+            with pytest.raises(
+                ConfigurationError, match="--tenant-rate"
+            ):
+                parse_tenant_rate(raw)
+
+    def test_parsers_name_custom_source(self):
+        with pytest.raises(ConfigurationError, match="--serve-port"):
+            parse_port("bogus", source="--serve-port")
+
+
+class TestServiceConfig:
+    def test_defaults_are_valid(self):
+        config = ServiceConfig()
+        assert config.reject_depth == 2 * config.queue_depth
+
+    def test_reject_depth_defaults_to_twice_queue_depth(self):
+        config = ServiceConfig(queue_depth=5)
+        assert config.reject_depth == 10
+
+    def test_reject_depth_must_exceed_queue_depth(self):
+        with pytest.raises(ConfigurationError, match="reject_depth"):
+            ServiceConfig(queue_depth=8, reject_depth=8)
+        with pytest.raises(ConfigurationError, match="reject_depth"):
+            ServiceConfig(queue_depth=8, reject_depth=4)
+
+    def test_field_bounds(self):
+        with pytest.raises(ConfigurationError, match="port"):
+            ServiceConfig(port=70000)
+        with pytest.raises(ConfigurationError, match="max_inflight"):
+            ServiceConfig(max_inflight=0)
+        with pytest.raises(ConfigurationError, match="tenant_rate"):
+            ServiceConfig(tenant_rate=-0.5)
+        with pytest.raises(ConfigurationError, match="tenant_burst"):
+            ServiceConfig(tenant_burst=0.5)
+        with pytest.raises(ConfigurationError, match="queue_depth"):
+            ServiceConfig(queue_depth=0)

@@ -1,0 +1,193 @@
+"""The HTTP surface: wire protocol, routes, and a live end-to-end run.
+
+The live tests boot a real :class:`MediatorService` on an ephemeral
+loopback port inside a background event-loop thread and talk to it
+with the loadgen's stdlib HTTP client — the same pairing the CI
+service-smoke job exercises from two processes.
+"""
+
+import asyncio
+import json
+import queue
+import threading
+
+import pytest
+
+from repro.core.policies.rate_profile import RateProfilePolicy
+from repro.errors import ConfigurationError
+from repro.obs.slo import Objective, SLOEngine, SLOSpec
+from repro.service import loadgen
+from repro.service.config import ServiceConfig
+from repro.service.protocol import (
+    ProtocolError,
+    decode_request,
+    decode_response,
+    encode_request,
+)
+from repro.service.server import MediatorService
+from repro.workload.stream import MaterializedStream
+from tests.service.conftest import make_federation
+
+
+class TestProtocol:
+    def test_request_round_trip(self, prepared_trace):
+        prepared = prepared_trace.queries[0]
+        line = encode_request(prepared, request_id=7, tenant="astro-1")
+        request = decode_request(line)
+        assert request.request_id == 7
+        assert request.tenant == "astro-1"
+        # The tenant override wins over the trace's own tag.
+        assert request.prepared.tenant == "astro-1"
+        assert request.prepared.sql == prepared.sql
+        assert request.prepared.bypass_bytes == prepared.bypass_bytes
+
+    def test_malformed_lines_raise_protocol_error(self):
+        for line in (
+            "not json",
+            "[1, 2]",
+            '{"id": "seven", "query": {}}',
+            '{"id": 1, "tenant": 5, "query": {}}',
+            '{"id": 1, "query": "missing"}',
+        ):
+            with pytest.raises(ProtocolError):
+                decode_request(line, line_no=3)
+
+    def test_response_decode_rejects_missing_fields(self):
+        with pytest.raises(ProtocolError):
+            decode_response('{"id": 1}')
+
+
+class _ServerThread:
+    """A live service on an ephemeral port, in its own loop thread."""
+
+    def __init__(self, capacity, slo_engine=None, config=None):
+        self._capacity = capacity
+        self._slo_engine = slo_engine
+        self._config = config or ServiceConfig()
+        self._ports: "queue.Queue[int]" = queue.Queue()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self.url = ""
+
+    def _run(self):
+        async def main():
+            service = MediatorService(
+                make_federation(),
+                RateProfilePolicy(capacity_bytes=self._capacity),
+                config=self._config,
+                slo_engine=self._slo_engine,
+            )
+            await service.start()
+            self._ports.put(service.port)
+            await service.serve_until_shutdown()
+
+        asyncio.run(main())
+
+    def __enter__(self):
+        self._thread.start()
+        port = self._ports.get(timeout=10)
+        self.url = f"http://127.0.0.1:{port}"
+        loadgen.wait_ready(self.url)
+        return self
+
+    def __exit__(self, *exc_info):
+        try:
+            loadgen.http_post(self.url, "/shutdown", "")
+        except (ConfigurationError, OSError):
+            pass
+        self._thread.join(timeout=10)
+        assert not self._thread.is_alive()
+
+
+class TestLiveServer:
+    def test_observability_routes(self, prepared_trace, capacity):
+        with _ServerThread(capacity) as server:
+            assert loadgen.http_get(server.url, "/healthz").strip() == (
+                "ok"
+            )
+            # No SLO engine configured: /slo is a 404.
+            with pytest.raises(ConfigurationError, match="404"):
+                loadgen.http_get(server.url, "/slo")
+            with pytest.raises(ConfigurationError, match="404"):
+                loadgen.http_get(server.url, "/no-such-route")
+
+            report = loadgen.drive_http(
+                server.url,
+                MaterializedStream(prepared_trace),
+                serial=True,
+            )
+            assert len(report.responses) == len(prepared_trace)
+            assert not report.errors
+
+            metrics = loadgen.http_get(server.url, "/metrics")
+            assert "repro_decisions_total" in metrics
+            assert "repro_tenant_wan_bytes_total" in metrics
+            assert loadgen.check_conservation(metrics) == []
+
+            stats = json.loads(loadgen.http_get(server.url, "/stats"))
+            assert stats["decided"] == len(prepared_trace)
+            assert stats["rejected"] == 0
+
+    def test_query_route_reports_protocol_errors_in_band(
+        self, prepared_trace, capacity
+    ):
+        with _ServerThread(capacity) as server:
+            good = encode_request(
+                prepared_trace.queries[0], request_id=0, tenant="t-0"
+            )
+            body = good + "\n" + "this is not json\n"
+            lines = [
+                line
+                for line in loadgen.http_post(
+                    server.url, "/query", body
+                ).splitlines()
+                if line.strip()
+            ]
+            assert len(lines) == 2
+            ok = decode_response(lines[0])
+            assert ok.status == "ok" and ok.tenant == "t-0"
+            error = json.loads(lines[1])
+            assert "invalid JSON" in error["error"]
+
+    def test_concurrent_tenants_conserve_over_http(
+        self, prepared_trace, capacity
+    ):
+        config = ServiceConfig(queue_depth=8, max_inflight=4)
+        with _ServerThread(capacity, config=config) as server:
+            stream = loadgen.fan_out(
+                MaterializedStream(prepared_trace), tenants=4, seed=7
+            )
+            report = loadgen.drive_http(
+                server.url, stream, batch_size=16
+            )
+            assert len(report.responses) == len(prepared_trace)
+            assert not report.errors
+            assert len(report.by_tenant) == 4
+            metrics = loadgen.http_get(server.url, "/metrics")
+            assert loadgen.check_conservation(metrics) == []
+
+    def test_slo_route_with_engine(self, prepared_trace, capacity):
+        spec = SLOSpec(
+            name="http-availability",
+            objectives=(
+                Objective(
+                    name="availability",
+                    kind="availability",
+                    target=0.98,
+                    long_window=200,
+                    short_window=50,
+                    burn_threshold=10.0,
+                ),
+            ),
+        )
+        with _ServerThread(capacity, slo_engine=SLOEngine(spec)) as (
+            server
+        ):
+            loadgen.drive_http(
+                server.url,
+                MaterializedStream(prepared_trace),
+                serial=True,
+            )
+            slo = json.loads(loadgen.http_get(server.url, "/slo"))
+            assert slo["slo"] == "http-availability"
+            assert slo["ok"] is True
+            assert slo["objectives"][0]["total"] == len(prepared_trace)
